@@ -1,0 +1,97 @@
+// Shared plumbing for the table/figure reproduction harnesses.
+//
+// Every binary prints the simulated platform header (Table III), runs
+// the named workloads on the simulated node, and emits the same rows /
+// series the paper reports. Absolute numbers are model outputs; the
+// *shape* (who wins, rough factors, where scaling stops) is the
+// reproduction target — see EXPERIMENTS.md.
+#pragma once
+
+#include <inncabs/harness.hpp>
+#include <minihpx/sim/simulator.hpp>
+#include <minihpx/util/cli.hpp>
+#include <minihpx/util/strings.hpp>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+using inncabs::benchmark_entry;
+using inncabs::input_scale;
+using minihpx::sim::sched_model;
+using minihpx::sim::sim_config;
+using minihpx::sim::sim_report;
+using minihpx::sim::simulator;
+
+inline input_scale scale_from_cli(minihpx::util::cli_args const& args)
+{
+    auto const s = args.value_or("scale", "paper");
+    if (s == "tiny")
+        return input_scale::tiny;
+    if (s == "default")
+        return input_scale::bench_default;
+    return input_scale::paper;
+}
+
+// Strong-scaling x axis used throughout the paper's figures.
+inline std::vector<unsigned> core_sweep(minihpx::util::cli_args const& args)
+{
+    if (args.has("cores"))
+    {
+        std::vector<unsigned> cores;
+        for (auto part :
+            minihpx::util::split(args.value_or("cores", ""), ','))
+            cores.push_back(
+                static_cast<unsigned>(std::strtoul(
+                    std::string(part).c_str(), nullptr, 10)));
+        return cores;
+    }
+    return {1, 2, 4, 6, 8, 10, 12, 16, 20};
+}
+
+// One simulated run of a suite benchmark.
+inline sim_report run_sim(benchmark_entry const& entry, sched_model model,
+    unsigned cores, input_scale scale, std::uint64_t seed = 42)
+{
+    sim_config config;
+    config.model = model;
+    config.cores = cores;
+    config.seed = seed;
+    config.skip_compute = true;    // virtual results only
+    simulator sim(config);
+    return sim.run([&] { entry.run_sim_body(scale); });
+}
+
+inline void print_platform_header(char const* title)
+{
+    auto const machine = minihpx::sim::machine_desc::ivy_bridge_2s_20c();
+    std::printf("== %s ==\n%s\n\n", title, machine.describe().c_str());
+}
+
+inline char const* scale_name(input_scale scale)
+{
+    switch (scale)
+    {
+    case input_scale::tiny:
+        return "tiny";
+    case input_scale::bench_default:
+        return "default";
+    case input_scale::paper:
+    default:
+        return "paper";
+    }
+}
+
+// "1234" or "fail" cell for an exec-time column (ms).
+inline std::string time_cell(sim_report const& report)
+{
+    if (report.failed)
+        return "fail";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", report.exec_time_s * 1e3);
+    return buf;
+}
+
+}    // namespace bench

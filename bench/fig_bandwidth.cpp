@@ -1,0 +1,58 @@
+// Figures 13-15 reproduction: off-core memory bandwidth vs cores,
+// derived exactly as in paper §V-C — the sum of the three modeled
+// OFFCORE_REQUESTS event counts times the 64 B line size divided by
+// execution time.
+//
+// Paper shape: bandwidth grows with cores and bends toward the
+// per-socket ceiling; coarse compute-heavy tasks (alignment) stay well
+// below it, the moderate memory-streaming stencil (pyramids)
+// approaches saturation.
+#include "common.hpp"
+
+int main(int argc, char** argv)
+{
+    minihpx::util::cli_args args(argc, argv);
+    auto const scale = bench::scale_from_cli(args);
+    auto const cores = bench::core_sweep(args);
+
+    std::vector<std::string> names = args.positionals();
+    if (names.empty())
+        names = {"alignment", "pyramids", "strassen"};
+
+    bench::print_platform_header(
+        "Figs 13-15: OFFCORE bandwidth vs cores (HPX)");
+    std::printf("input scale: %s\n", bench::scale_name(scale));
+
+    int fig = 13;
+    for (auto const& name : names)
+    {
+        auto const* entry = inncabs::find_benchmark(name);
+        if (!entry)
+        {
+            std::printf("unknown benchmark: %s\n", name.c_str());
+            continue;
+        }
+        std::printf("\n-- Fig %d: %s OFFCORE bandwidth --\n", fig++,
+            name.c_str());
+        std::printf("%6s %12s %14s %14s %14s %12s\n", "cores", "exec[ms]",
+            "rd[Mlines]", "rfo[Mlines]", "code[Mlines]", "BW[GB/s]");
+
+        for (unsigned n : cores)
+        {
+            auto const r = bench::run_sim(
+                *entry, bench::sched_model::hpx_like, n, scale);
+            if (r.failed)
+            {
+                std::printf("%6u %12s\n", n, "fail");
+                continue;
+            }
+            std::printf("%6u %12.1f %14.2f %14.2f %14.2f %12.2f\n", n,
+                r.exec_time_s * 1e3,
+                static_cast<double>(r.offcore_data_rd) * 1e-6,
+                static_cast<double>(r.offcore_rfo) * 1e-6,
+                static_cast<double>(r.offcore_code_rd) * 1e-6,
+                r.offcore_bandwidth_gbs());
+        }
+    }
+    return 0;
+}

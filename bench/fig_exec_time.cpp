@@ -1,0 +1,66 @@
+// Figures 1-7 reproduction: strong-scaling execution time, HPX vs
+// C++11-Standard (thread-per-task), one series pair per benchmark.
+//
+//   Fig 1 alignment   coarse: both scale to 20
+//   Fig 2 pyramids    moderate: std faster at low counts, equal at 20
+//   Fig 3 strassen    fine: HPX scales (speedup ~11), std struggles
+//   Fig 4 sort        fine: HPX to 16, std to 10
+//   Fig 5 fft         very fine: HPX limited, std much slower
+//   Fig 6 uts         very fine: HPX to socket boundary, std fails
+//   Fig 7 intersim    very fine: HPX limited, std degrades
+#include "common.hpp"
+
+int main(int argc, char** argv)
+{
+    minihpx::util::cli_args args(argc, argv);
+    auto const scale = bench::scale_from_cli(args);
+    auto const cores = bench::core_sweep(args);
+
+    std::vector<std::string> names = args.positionals();
+    if (names.empty())
+        names = {"alignment", "pyramids", "strassen", "sort", "fft", "uts",
+            "intersim"};
+
+    bench::print_platform_header(
+        "Figs 1-7: execution time vs cores (HPX vs C++11 Standard)");
+    std::printf("input scale: %s\n", bench::scale_name(scale));
+
+    int fig = 1;
+    for (auto const& name : names)
+    {
+        auto const* entry = inncabs::find_benchmark(name);
+        if (!entry)
+        {
+            std::printf("unknown benchmark: %s\n", name.c_str());
+            continue;
+        }
+        std::printf("\n-- Fig %d: %s --\n", fig++, name.c_str());
+        std::printf("%6s %14s %14s %10s %10s\n", "cores", "hpx[ms]",
+            "std[ms]", "hpx spdup", "std spdup");
+
+        double hpx_base = 0, std_base = 0;
+        for (unsigned n : cores)
+        {
+            auto const hpx = bench::run_sim(
+                *entry, bench::sched_model::hpx_like, n, scale);
+            auto const stdr = bench::run_sim(
+                *entry, bench::sched_model::std_like, n, scale);
+            if (n == cores.front())
+            {
+                hpx_base = hpx.exec_time_s;
+                std_base = stdr.exec_time_s;
+            }
+            char hs[16] = "n/a", ss[16] = "n/a";
+            if (!hpx.failed && hpx.exec_time_s > 0)
+                std::snprintf(
+                    hs, sizeof(hs), "%.2f", hpx_base / hpx.exec_time_s);
+            if (!stdr.failed && stdr.exec_time_s > 0)
+                std::snprintf(
+                    ss, sizeof(ss), "%.2f", std_base / stdr.exec_time_s);
+            std::printf("%6u %14s %14s %10s %10s\n", n,
+                bench::time_cell(hpx).c_str(),
+                bench::time_cell(stdr).c_str(), hs, ss);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,64 @@
+// Figures 8-12 reproduction: overhead decomposition via the intrinsic
+// counters, for the HPX-style runtime.
+//
+// Per core count: execution time vs ideal scaling, task time per core
+// (the /threads/time/cumulative counter / cores) vs its ideal, and
+// scheduling overhead per core (/threads/time/cumulative-overhead /
+// cores). Paper shape: coarse benchmarks (Fig 8 alignment) track the
+// ideal with negligible overhead; fine ones (Fig 10 strassen) open a
+// gap; very fine ones (Fig 11 fft, Fig 12 uts) have overhead comparable
+// to task time and blow up past the socket boundary.
+#include "common.hpp"
+
+int main(int argc, char** argv)
+{
+    minihpx::util::cli_args args(argc, argv);
+    auto const scale = bench::scale_from_cli(args);
+    auto const cores = bench::core_sweep(args);
+
+    std::vector<std::string> names = args.positionals();
+    if (names.empty())
+        names = {"alignment", "pyramids", "strassen", "fft", "uts"};
+
+    bench::print_platform_header(
+        "Figs 8-12: overhead decomposition from intrinsic counters (HPX)");
+    std::printf("input scale: %s\n", bench::scale_name(scale));
+
+    int fig = 8;
+    for (auto const& name : names)
+    {
+        auto const* entry = inncabs::find_benchmark(name);
+        if (!entry)
+        {
+            std::printf("unknown benchmark: %s\n", name.c_str());
+            continue;
+        }
+        std::printf("\n-- Fig %d: %s overheads --\n", fig++, name.c_str());
+        std::printf("%6s %12s %12s %14s %14s %14s %12s\n", "cores",
+            "exec[ms]", "ideal[ms]", "tasktime/c[ms]", "ideal/c[ms]",
+            "sched/c[ms]", "avgdur[us]");
+
+        double t1 = 0, task1 = 0;
+        for (unsigned n : cores)
+        {
+            auto const r = bench::run_sim(
+                *entry, bench::sched_model::hpx_like, n, scale);
+            if (r.failed)
+            {
+                std::printf("%6u %12s\n", n, "fail");
+                continue;
+            }
+            if (n == cores.front())
+            {
+                t1 = r.exec_time_s;
+                task1 = r.task_time_s;
+            }
+            std::printf(
+                "%6u %12.1f %12.1f %14.1f %14.1f %14.1f %12.2f\n", n,
+                r.exec_time_s * 1e3, t1 / n * 1e3,
+                r.task_time_s / n * 1e3, task1 / n * 1e3,
+                r.sched_overhead_s / n * 1e3, r.avg_task_duration_us());
+        }
+    }
+    return 0;
+}

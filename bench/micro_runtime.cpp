@@ -1,0 +1,218 @@
+// Microbenchmarks of the runtime primitives (google-benchmark),
+// including the design-choice ablations called out in DESIGN.md §5:
+// assembly vs ucontext context switch, async vs fork spawn order,
+// queue operations, counter evaluation cost.
+#include <benchmark/benchmark.h>
+
+#include <minihpx/minihpx.hpp>
+#include <minihpx/perf/perf.hpp>
+#include <minihpx/threads/context.hpp>
+#include <minihpx/threads/stack.hpp>
+#include <minihpx/threads/thread_queue.hpp>
+
+#include <memory>
+
+namespace mt = minihpx::threads;
+
+// ---- context switch ablation: fcontext (asm) vs ucontext ---------------
+
+namespace {
+
+template <typename Context>
+struct switcher
+{
+    Context main_ctx, task_ctx;
+    mt::stack stk{64 * 1024};
+    bool stop = false;
+
+    static void entry(void* arg)
+    {
+        auto* self = static_cast<switcher*>(arg);
+        while (!self->stop)
+            Context::switch_to(self->task_ctx, self->main_ctx);
+        Context::switch_to(self->task_ctx, self->main_ctx);
+    }
+
+    switcher()
+    {
+        task_ctx.create(stk.base(), stk.size(), &entry, this);
+    }
+
+    void ping() { Context::switch_to(main_ctx, task_ctx); }
+    void shutdown()
+    {
+        stop = true;
+        ping();
+    }
+};
+
+}    // namespace
+
+template <typename Context>
+static void BM_context_switch(benchmark::State& state)
+{
+    switcher<Context> s;
+    for (auto _ : state)
+        s.ping();    // one round trip = two switches
+    s.shutdown();
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+#if defined(MINIHPX_HAVE_FCONTEXT)
+BENCHMARK(BM_context_switch<mt::fcontext>)->Name("context_switch/fcontext");
+#endif
+BENCHMARK(BM_context_switch<mt::ucontext_context>)
+    ->Name("context_switch/ucontext");
+
+// ---- queue ops ----------------------------------------------------------
+
+static void BM_queue_push_pop(benchmark::State& state)
+{
+    mt::thread_queue q;
+    mt::thread_data td;
+    for (auto _ : state)
+    {
+        q.push(&td);
+        benchmark::DoNotOptimize(q.pop());
+    }
+}
+BENCHMARK(BM_queue_push_pop);
+
+static void BM_queue_steal(benchmark::State& state)
+{
+    mt::thread_queue q;
+    mt::thread_data td;
+    for (auto _ : state)
+    {
+        q.push(&td);
+        benchmark::DoNotOptimize(q.steal());
+    }
+}
+BENCHMARK(BM_queue_steal);
+
+// ---- stack pool ----------------------------------------------------------
+
+static void BM_stack_pool_cycle(benchmark::State& state)
+{
+    mt::stack_pool pool(64 * 1024);
+    pool.release(pool.acquire());    // warm one entry
+    for (auto _ : state)
+    {
+        auto s = pool.acquire();
+        pool.release(std::move(s));
+    }
+}
+BENCHMARK(BM_stack_pool_cycle);
+
+// ---- task spawn / sync on the real runtime -------------------------------
+
+namespace {
+
+struct runtime_fixture
+{
+    minihpx::runtime rt;
+    runtime_fixture() : rt(make_config()) {}
+    static minihpx::runtime_config make_config()
+    {
+        minihpx::runtime_config config;
+        config.sched.num_workers = 2;
+        return config;
+    }
+};
+
+runtime_fixture& global_rt()
+{
+    static runtime_fixture fixture;
+    return fixture;
+}
+
+}    // namespace
+
+static void BM_async_get(benchmark::State& state)
+{
+    global_rt();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(minihpx::async([] { return 1; }).get());
+}
+BENCHMARK(BM_async_get);
+
+static void BM_async_fork_get(benchmark::State& state)
+{
+    global_rt();
+    for (auto _ : state)
+    {
+        // fork policy from a task context (the interesting case)
+        auto outer = minihpx::async([] {
+            return minihpx::async(
+                minihpx::launch::fork, [] { return 1; })
+                .get();
+        });
+        benchmark::DoNotOptimize(outer.get());
+    }
+}
+BENCHMARK(BM_async_fork_get);
+
+static void BM_async_sync_policy(benchmark::State& state)
+{
+    global_rt();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            minihpx::async(minihpx::launch::sync, [] { return 1; }).get());
+}
+BENCHMARK(BM_async_sync_policy);
+
+static void BM_future_set_get_same_thread(benchmark::State& state)
+{
+    global_rt();
+    for (auto _ : state)
+    {
+        minihpx::promise<int> p;
+        auto f = p.get_future();
+        p.set_value(42);
+        benchmark::DoNotOptimize(f.get());
+    }
+}
+BENCHMARK(BM_future_set_get_same_thread);
+
+static void BM_mutex_uncontended(benchmark::State& state)
+{
+    global_rt();
+    minihpx::mutex m;
+    for (auto _ : state)
+    {
+        m.lock();
+        m.unlock();
+    }
+}
+BENCHMARK(BM_mutex_uncontended);
+
+// ---- counter framework costs ----------------------------------------------
+
+static void BM_counter_name_parse(benchmark::State& state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(minihpx::perf::parse_counter_name(
+            "/threads{locality#0/worker-thread#3}/time/average"));
+}
+BENCHMARK(BM_counter_name_parse);
+
+static void BM_counter_evaluate(benchmark::State& state)
+{
+    auto& fixture = global_rt();
+    minihpx::perf::counter_registry registry;
+    minihpx::perf::register_thread_counters(
+        registry, fixture.rt.get_scheduler());
+    auto c = registry.create("/threads{locality#0/total}/time/average");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c->get_value(true));
+}
+BENCHMARK(BM_counter_evaluate);
+
+static void BM_work_annotation_no_sink(benchmark::State& state)
+{
+    minihpx::set_work_sink(nullptr);
+    for (auto _ : state)
+        minihpx::annotate_work({.cpu_ns = 100, .data_rd_bytes = 64});
+}
+BENCHMARK(BM_work_annotation_no_sink);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table I reproduction: Inncabs at full concurrency (20 cores) on the
+// thread-per-task std::async model, untooled vs. TAU-like vs.
+// HPCToolkit-like instrumentation.
+//
+// Paper shape: small-task-count benchmarks (alignment, round, sparselu,
+// pyramids) complete under the tools with 10^3-10^4 % overhead; large
+// task counts crash the tools (SegV/Abort); benchmarks whose *untooled*
+// std version already exhausts pthreads (fib, uts, nqueens) abort
+// regardless.
+#include "common.hpp"
+
+#include <minihpx/tools/tool_model.hpp>
+
+int main(int argc, char** argv)
+{
+    minihpx::util::cli_args args(argc, argv);
+    auto const scale = bench::scale_from_cli(args);
+
+    bench::print_platform_header(
+        "Table I: Inncabs under external tools (std::async, 20 cores)");
+    std::printf("input scale: %s\n\n", bench::scale_name(scale));
+
+    std::printf("%-10s | %12s %12s | %12s %12s | %12s %12s\n", "benchmark",
+        "base[ms]", "tasks", "TAU[ms]", "TAU ovh%", "HPCT[ms]",
+        "HPCT ovh%");
+    std::printf("%.*s\n", 104,
+        "---------------------------------------------------------------"
+        "---------------------------------------------");
+
+    minihpx::tools::tool_config tool_config;
+    for (auto const& entry : inncabs::suite())
+    {
+        auto const baseline = bench::run_sim(
+            entry, bench::sched_model::std_like, 20, scale);
+        auto const tau = minihpx::tools::apply_tool(
+            minihpx::tools::tool_kind::tau_like, tool_config, baseline);
+        auto const hpct = minihpx::tools::apply_tool(
+            minihpx::tools::tool_kind::hpctoolkit_like, tool_config,
+            baseline);
+
+        char tasks[32];
+        if (baseline.failed)
+            std::snprintf(tasks, sizeof(tasks), "n/a");
+        else
+            std::snprintf(tasks, sizeof(tasks), "%llu",
+                static_cast<unsigned long long>(baseline.tasks_created));
+
+        auto pct = [](minihpx::tools::tool_outcome const& o) {
+            char buf[32];
+            if (o.result == minihpx::tools::tool_outcome::status::completed)
+                std::snprintf(buf, sizeof(buf), "%.0f%%", o.overhead_pct);
+            else
+                std::snprintf(buf, sizeof(buf), "n/a");
+            return std::string(buf);
+        };
+
+        std::printf("%-10s | %12s %12s | %12s %12s | %12s %12s\n",
+            entry.name.c_str(),
+            baseline.failed ? "Abort" : bench::time_cell(baseline).c_str(),
+            tasks, tau.cell().c_str(), pct(tau).c_str(),
+            hpct.cell().c_str(), pct(hpct).c_str());
+    }
+
+    std::printf(
+        "\nshape targets (paper): tools crash (SegV/Abort) or add\n"
+        "10^3-10^4%% overhead; already-failing std baselines stay Abort.\n");
+    return 0;
+}

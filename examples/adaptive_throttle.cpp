@@ -1,0 +1,85 @@
+// Runtime adaptivity from intrinsic counters — the "path towards
+// runtime adaptivity" the paper's conclusion sketches (and APEX
+// implements): a policy loop reads the idle-rate counter while the
+// application runs and throttles its own concurrency (tasks in flight)
+// to keep the workers busy without oversubscribing.
+//
+//   $ ./adaptive_throttle --mh:threads=4
+#include <minihpx/minihpx.hpp>
+#include <minihpx/perf/perf.hpp>
+
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+using namespace minihpx;
+
+namespace {
+
+// Simulated pipeline stage with a fixed cost.
+void work_item()
+{
+    volatile double x = 1.0;
+    for (int i = 0; i < 40000; ++i)
+        x = x * 1.0000001 + 0.5;
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    util::cli_args args(argc, argv);
+    runtime rt(runtime_config::from_cli(args));
+    unsigned const workers = rt.get_scheduler().num_workers();
+
+    perf::counter_registry registry;
+    perf::register_all_runtime_counters(registry, rt);
+    auto idle_rate = registry.create("/threads{locality#0/total}/idle-rate");
+    auto queue_len = registry.create("/threadqueue{locality#0/total}/length");
+
+    // Policy: keep idle-rate between 5% and 25% (counter reports in
+    // 0.01% units) by adjusting the number of tasks in flight.
+    std::size_t window = workers;            // tasks in flight
+    std::size_t const min_window = 1;
+    std::size_t const max_window = workers * 64;
+    constexpr int rounds = 40;
+    constexpr int items_per_round = 128;
+
+    std::printf("%8s %12s %12s %10s\n", "round", "idle[%]", "queue", "window");
+    for (int round = 0; round < rounds; ++round)
+    {
+        idle_rate->reset();
+        int launched = 0;
+        std::vector<future<void>> inflight;
+        while (launched < items_per_round)
+        {
+            while (inflight.size() < window && launched < items_per_round)
+            {
+                inflight.push_back(async([] { work_item(); }));
+                ++launched;
+            }
+            // Retire the oldest to make room.
+            inflight.front().get();
+            inflight.erase(inflight.begin());
+        }
+        wait_all(inflight);
+
+        auto const idle = idle_rate->get_value(true);
+        double const idle_pct = idle.valid() ? idle.get() / 100.0 : 0.0;
+        double const queued = queue_len->get_value().get();
+
+        // The adaptation step.
+        if (idle_pct > 25.0 && window < max_window)
+            window *= 2;    // workers starving: release more tasks
+        else if (idle_pct < 5.0 && window > min_window)
+            window = window / 2 + window % 2;    // saturated: back off
+
+        if (round % 5 == 0 || round == rounds - 1)
+            std::printf("%8d %12.1f %12.0f %10zu\n", round, idle_pct,
+                queued, window);
+    }
+
+    std::printf("\nfinal window: %zu tasks in flight for %u workers\n",
+        window, workers);
+    return 0;
+}

@@ -1,0 +1,128 @@
+// The ported Inncabs suite runner: any benchmark, any engine, with the
+// paper's sampling protocol and counter options.
+//
+//   $ ./inncabs_driver fib --engine=minihpx --mh:threads=4 --samples=5 \
+//       --mh:print-counter=/threads{locality#0/total}/time/average
+//   $ ./inncabs_driver sort --engine=std --scale=default
+//   $ ./inncabs_driver uts --engine=sim-hpx --sim-cores=20 --scale=paper
+//   $ ./inncabs_driver --list
+#include <inncabs/harness.hpp>
+#include <inncabs/inncabs.hpp>
+#include <minihpx/papi/papi_engine.hpp>
+#include <minihpx/perf/perf.hpp>
+
+#include <cstdio>
+#include <string>
+
+using namespace minihpx;
+
+namespace {
+
+inncabs::input_scale parse_scale(util::cli_args const& args)
+{
+    auto const s = args.value_or("scale", "default");
+    if (s == "tiny")
+        return inncabs::input_scale::tiny;
+    if (s == "paper")
+        return inncabs::input_scale::paper;
+    return inncabs::input_scale::bench_default;
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    util::cli_args args(argc, argv);
+
+    if (args.flag("list") || args.positionals().empty())
+    {
+        std::printf("benchmarks:");
+        for (auto const& entry : inncabs::suite())
+            std::printf(" %s", entry.name.c_str());
+        std::printf("\nengines: minihpx std serial sim-hpx sim-std\n"
+                    "options: --engine=E --scale=tiny|default|paper "
+                    "--samples=N --sim-cores=N --mh:threads=N "
+                    "--mh:print-counter=NAME ...\n");
+        return args.flag("list") ? 0 : 1;
+    }
+
+    auto const* entry = inncabs::find_benchmark(args.positionals().front());
+    if (!entry)
+    {
+        std::fprintf(stderr, "unknown benchmark '%s' (try --list)\n",
+            args.positionals().front().c_str());
+        return 1;
+    }
+
+    auto const scale = parse_scale(args);
+    auto const engine = args.value_or("engine", "minihpx");
+    auto const samples = static_cast<unsigned>(args.int_or("samples", 5));
+
+    double result = 0.0;
+    inncabs::sample_result timing;
+
+    if (engine == "sim-hpx" || engine == "sim-std")
+    {
+        sim::sim_config config;
+        config.model = engine == "sim-hpx" ? sim::sched_model::hpx_like :
+                                             sim::sched_model::std_like;
+        config.cores = static_cast<unsigned>(args.int_or("sim-cores", 20));
+        sim::simulator simulator(config);
+        auto const report =
+            simulator.run([&] { result = entry->run_sim_body(scale); });
+        std::printf("%s on %s (%u simulated cores, scale=%s)\n",
+            entry->name.c_str(), engine.c_str(), config.cores,
+            args.value_or("scale", "default").c_str());
+        if (report.failed)
+        {
+            std::printf("  FAILED: %s\n", report.failure_reason.c_str());
+            return 2;
+        }
+        std::printf("  virtual exec time : %.3f ms\n",
+            report.exec_time_s * 1e3);
+        std::printf("  tasks executed    : %llu\n",
+            static_cast<unsigned long long>(report.tasks_executed));
+        std::printf("  avg task duration : %.2f us\n",
+            report.avg_task_duration_us());
+        std::printf("  avg task overhead : %.2f us\n",
+            report.avg_task_overhead_us());
+        std::printf("  offcore bandwidth : %.2f GB/s\n",
+            report.offcore_bandwidth_gbs());
+        return 0;
+    }
+
+    if (engine == "serial")
+    {
+        timing = inncabs::run_samples(entry->name, samples,
+            [&] { result = entry->run_serial(scale); });
+    }
+    else if (engine == "std")
+    {
+        timing = inncabs::run_samples(
+            entry->name, samples, [&] { result = entry->run_std(scale); });
+    }
+    else if (engine == "minihpx")
+    {
+        runtime rt(runtime_config::from_cli(args));
+        perf::counter_registry registry;
+        perf::register_all_runtime_counters(registry, rt);
+        papi::papi_engine papi_engine(rt.get_scheduler().num_workers());
+        papi_engine.register_counters(registry);
+        papi_engine.install();
+        perf::counter_session session(
+            registry, perf::session_options::from_cli(args));
+        timing = inncabs::run_samples(entry->name, samples,
+            [&] { result = entry->run_minihpx(scale); });
+    }
+    else
+    {
+        std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+        return 1;
+    }
+
+    std::printf("%s on %s: median %.2f ms over %u samples "
+                "(min %.2f, max %.2f), result checksum %.6g\n",
+        entry->name.c_str(), engine.c_str(), timing.median_ms(), samples,
+        timing.times_ms.min(), timing.times_ms.max(), result);
+    return 0;
+}

@@ -1,0 +1,132 @@
+// The "C++11 Standard" baseline engine.
+//
+// Reproduces what the paper measures against: GCC libstdc++'s
+// std::async, which "constructs, executes, and destroys an OS thread
+// for every task" (§II). We wrap real std::thread-per-task execution
+// behind the same Engine interface the Inncabs benchmarks use, with the
+// instrumentation needed for Table I's "Baseline tasks" column and live
+// OS-thread census (the paper observes 80k-97k live pthreads at the
+// point of failure).
+#pragma once
+
+#include <minihpx/work.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+
+namespace minihpx::baseline {
+
+// Global tallies for the std engine (one experiment at a time).
+struct std_engine_stats
+{
+    std::atomic<std::uint64_t> tasks_launched{0};
+    std::atomic<std::int64_t> threads_live{0};
+    std::atomic<std::int64_t> threads_live_peak{0};
+
+    void reset() noexcept
+    {
+        tasks_launched = 0;
+        threads_live = 0;
+        threads_live_peak = 0;
+    }
+};
+
+std_engine_stats& get_std_engine_stats() noexcept;
+
+// Engine policy for benchmark templates. Matches minihpx_engine's
+// static interface (see inncabs/engine.hpp).
+struct std_engine
+{
+    template <typename T>
+    using future = std::future<T>;
+    using mutex = std::mutex;
+
+    enum class launch : std::uint8_t
+    {
+        async,
+        deferred,
+        fork,    // no std equivalent; maps to async
+        sync,
+    };
+
+    template <typename F, typename... Ts>
+    static auto async(launch policy, F&& f, Ts&&... ts)
+    {
+        auto& stats = get_std_engine_stats();
+        using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Ts>...>;
+
+        if (policy == launch::deferred)
+        {
+            return std::async(std::launch::deferred, std::forward<F>(f),
+                std::forward<Ts>(ts)...);
+        }
+        if (policy == launch::sync)
+        {
+            std::promise<R> p;
+            auto fut = p.get_future();
+            try
+            {
+                if constexpr (std::is_void_v<R>)
+                {
+                    std::forward<F>(f)(std::forward<Ts>(ts)...);
+                    p.set_value();
+                }
+                else
+                {
+                    p.set_value(std::forward<F>(f)(std::forward<Ts>(ts)...));
+                }
+            }
+            catch (...)
+            {
+                p.set_exception(std::current_exception());
+            }
+            return fut;
+        }
+
+        stats.tasks_launched.fetch_add(1, std::memory_order_relaxed);
+        auto const live =
+            stats.threads_live.fetch_add(1, std::memory_order_relaxed) + 1;
+        auto peak = stats.threads_live_peak.load(std::memory_order_relaxed);
+        while (live > peak &&
+            !stats.threads_live_peak.compare_exchange_weak(peak, live))
+        {
+        }
+
+        // thread-per-task, like libstdc++'s std::async(launch::async).
+        return std::async(std::launch::async,
+            [fn = std::forward<F>(f)](auto&&... args) mutable {
+                struct live_guard
+                {
+                    ~live_guard()
+                    {
+                        get_std_engine_stats().threads_live.fetch_sub(
+                            1, std::memory_order_relaxed);
+                    }
+                } guard;
+                return fn(std::forward<decltype(args)>(args)...);
+            },
+            std::forward<Ts>(ts)...);
+    }
+
+    template <typename F, typename... Ts>
+    static auto async(F&& f, Ts&&... ts)
+    {
+        return async(
+            launch::async, std::forward<F>(f), std::forward<Ts>(ts)...);
+    }
+
+    static void annotate_work(work_annotation const& w) noexcept
+    {
+        minihpx::annotate_work(w);
+    }
+
+    static bool skip_compute() noexcept { return false; }
+    static constexpr char const* name() noexcept { return "std-c++11"; }
+};
+
+}    // namespace minihpx::baseline

@@ -1,0 +1,11 @@
+#include <minihpx/baseline/std_engine.hpp>
+
+namespace minihpx::baseline {
+
+std_engine_stats& get_std_engine_stats() noexcept
+{
+    static std_engine_stats stats;
+    return stats;
+}
+
+}    // namespace minihpx::baseline

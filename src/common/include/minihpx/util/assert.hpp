@@ -1,0 +1,34 @@
+// Lightweight assertion macro used throughout minihpx.
+//
+// Unlike <cassert>, MINIHPX_ASSERT stays active in release builds (the
+// runtime is a scheduler: silent state-machine corruption is far more
+// expensive than the cost of a predictable branch), prints the failing
+// expression with source location, and aborts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace minihpx::util {
+
+[[noreturn]] inline void assertion_failure(char const* expr, char const* file,
+                                           int line, char const* msg) noexcept
+{
+    std::fprintf(stderr, "minihpx: assertion '%s' failed at %s:%d%s%s\n", expr,
+                 file, line, msg && *msg ? ": " : "", msg ? msg : "");
+    std::fflush(stderr);
+    std::abort();
+}
+
+}    // namespace minihpx::util
+
+#define MINIHPX_ASSERT_MSG(expr, msg)                                         \
+    ((expr) ? static_cast<void>(0)                                            \
+            : ::minihpx::util::assertion_failure(#expr, __FILE__, __LINE__,   \
+                                                 msg))
+
+#define MINIHPX_ASSERT(expr) MINIHPX_ASSERT_MSG(expr, "")
+
+// Marks a code path that must be unreachable.
+#define MINIHPX_UNREACHABLE()                                                 \
+    ::minihpx::util::assertion_failure("unreachable", __FILE__, __LINE__, "")

@@ -1,0 +1,37 @@
+// Cache-line geometry helpers.
+//
+// Per-worker hot state (queue heads, counters) is padded to a cache line
+// to avoid false sharing between OS worker threads (CppCoreGuidelines
+// Per.16/Per.19: compact, predictable data — but never *shared* hot data
+// on one line).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace minihpx::util {
+
+// A constant 64 keeps the value (and thus struct layouts) identical
+// across translation units regardless of -mtune, which is what GCC's
+// -Winterference-size warns about for the std constant.
+inline constexpr std::size_t cache_line_size = 64;
+
+// Wraps T so that distinct instances never share a cache line.
+template <typename T>
+struct alignas(cache_line_size) cache_aligned
+{
+    T value;
+
+    template <typename... Args>
+    explicit cache_aligned(Args&&... args) : value(std::forward<Args>(args)...)
+    {
+    }
+
+    T* operator->() noexcept { return &value; }
+    T const* operator->() const noexcept { return &value; }
+    T& operator*() noexcept { return value; }
+    T const& operator*() const noexcept { return value; }
+};
+
+}    // namespace minihpx::util

@@ -1,0 +1,52 @@
+// Tiny declarative command-line parser.
+//
+// Mirrors the shape of HPX's --hpx:* option handling: long options of
+// the form --name=value or --name value, repeatable options (e.g.
+// --mh:print-counter may appear many times), plus positional arguments
+// passed through to the application.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minihpx::util {
+
+class cli_args
+{
+public:
+    // Parses argv; options start with "--" and take the --name=value
+    // or bare --flag form. Other tokens become positionals. "--"
+    // terminates option parsing.
+    cli_args(int argc, char const* const* argv);
+    cli_args() = default;
+
+    bool has(std::string_view name) const;
+
+    // Last occurrence wins for scalar access.
+    std::optional<std::string> value(std::string_view name) const;
+    std::string value_or(std::string_view name, std::string_view dflt) const;
+    std::int64_t int_or(std::string_view name, std::int64_t dflt) const;
+    double double_or(std::string_view name, double dflt) const;
+    bool flag(std::string_view name) const;    // present w/o value, or =1/true
+
+    // All occurrences, in order (for repeatable options).
+    std::vector<std::string> values(std::string_view name) const;
+
+    std::vector<std::string> const& positionals() const noexcept
+    {
+        return positionals_;
+    }
+
+    std::string const& program() const noexcept { return program_; }
+
+private:
+    std::string program_;
+    std::vector<std::pair<std::string, std::string>> options_;
+    std::vector<std::string> positionals_;
+};
+
+}    // namespace minihpx::util

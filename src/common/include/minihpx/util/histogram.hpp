@@ -1,0 +1,96 @@
+// Log2-bucketed histogram.
+//
+// Backs the /threads{...}/time/duration-histogram style counters: task
+// durations span 5+ orders of magnitude (sub-µs to ms), so linear
+// buckets are useless. Buckets are powers of two of the base unit;
+// updates are lock-free relaxed increments (pull-based counters
+// aggregate at evaluate time, design choice #3 in DESIGN.md).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace minihpx::util {
+
+template <std::size_t Buckets = 64>
+class log2_histogram
+{
+public:
+    static constexpr std::size_t bucket_count = Buckets;
+
+    void add(std::uint64_t value) noexcept
+    {
+        buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+        total_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(value, std::memory_order_relaxed);
+    }
+
+    static constexpr std::size_t bucket_index(std::uint64_t value) noexcept
+    {
+        if (value == 0)
+            return 0;
+        std::size_t const bit =
+            63 - static_cast<std::size_t>(__builtin_clzll(value));
+        return bit < Buckets ? bit : Buckets - 1;
+    }
+
+    // Lower bound of a bucket, in base units.
+    static constexpr std::uint64_t bucket_floor(std::size_t index) noexcept
+    {
+        return index == 0 ? 0 : (1ULL << index);
+    }
+
+    std::uint64_t count(std::size_t index) const noexcept
+    {
+        return buckets_[index].load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t total() const noexcept
+    {
+        return total_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t sum() const noexcept
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    double mean() const noexcept
+    {
+        auto const n = total();
+        return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
+    }
+
+    // Approximate quantile from bucket boundaries, q in [0,1].
+    std::uint64_t approx_quantile(double q) const noexcept
+    {
+        std::uint64_t const n = total();
+        if (n == 0)
+            return 0;
+        auto target = static_cast<std::uint64_t>(q * static_cast<double>(n));
+        std::uint64_t seen = 0;
+        for (std::size_t i = 0; i < Buckets; ++i)
+        {
+            seen += count(i);
+            if (seen > target)
+                return bucket_floor(i);
+        }
+        return bucket_floor(Buckets - 1);
+    }
+
+    void reset() noexcept
+    {
+        for (auto& b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        total_.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    std::array<std::atomic<std::uint64_t>, Buckets> buckets_{};
+    std::atomic<std::uint64_t> total_{0};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+}    // namespace minihpx::util

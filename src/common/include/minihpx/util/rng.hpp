@@ -1,0 +1,72 @@
+// Small deterministic PRNGs.
+//
+// The scheduler (steal-victim selection) and the simulator need fast,
+// seedable randomness that is stable across platforms, so we avoid
+// std::default_random_engine (implementation-defined) and use
+// splitmix64 for seeding and xoshiro256** for the stream.
+#pragma once
+
+#include <cstdint>
+
+namespace minihpx::util {
+
+// splitmix64: used to expand a single seed into xoshiro state.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna; public-domain construction.
+class xoshiro256ss
+{
+public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept
+    {
+        for (auto& word : state_)
+            word = splitmix64_next(seed);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return ~0ULL; }
+
+    constexpr result_type operator()() noexcept
+    {
+        std::uint64_t const result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t const t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    // Unbiased-enough bounded draw (multiply-shift); bound must be > 0.
+    constexpr std::uint64_t below(std::uint64_t bound) noexcept
+    {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(operator()()) * bound) >> 64);
+    }
+
+    // Uniform double in [0, 1).
+    constexpr double uniform01() noexcept
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+}    // namespace minihpx::util

@@ -1,0 +1,58 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used for very short critical sections inside the scheduler and the
+// future shared state, where a std::mutex round-trip (futex syscall on
+// contention) would dominate the protected work. Satisfies the C++
+// Lockable requirements so it composes with std::lock_guard (CP.20).
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace minihpx::util {
+
+class spinlock
+{
+public:
+    spinlock() noexcept = default;
+    spinlock(spinlock const&) = delete;
+    spinlock& operator=(spinlock const&) = delete;
+
+    void lock() noexcept
+    {
+        int spins = 0;
+        for (;;)
+        {
+            if (!locked_.exchange(true, std::memory_order_acquire))
+                return;
+            // Test loop: spin on a plain load to keep the line shared.
+            while (locked_.load(std::memory_order_relaxed))
+            {
+                if (++spins < 64)
+                {
+#if defined(__x86_64__)
+                    __builtin_ia32_pause();
+#endif
+                }
+                else
+                {
+                    std::this_thread::yield();
+                    spins = 0;
+                }
+            }
+        }
+    }
+
+    bool try_lock() noexcept
+    {
+        return !locked_.load(std::memory_order_relaxed) &&
+            !locked_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+private:
+    std::atomic<bool> locked_{false};
+};
+
+}    // namespace minihpx::util

@@ -1,0 +1,66 @@
+// Sample statistics used by the benchmark harness and the
+// statistics-counter family (/statistics{...}/...).
+//
+// The paper reports the *median* of 20 samples per experiment; the
+// harness reproduces that protocol via sample_set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace minihpx::util {
+
+// Streaming accumulator: mean/variance via Welford, min/max, count.
+// O(1) memory; suitable for use inside counters.
+class running_stats
+{
+public:
+    void add(double x) noexcept;
+    void reset() noexcept { *this = running_stats{}; }
+
+    std::size_t count() const noexcept { return count_; }
+    double mean() const noexcept { return count_ ? mean_ : 0.0; }
+    double variance() const noexcept;    // sample variance (n-1)
+    double stddev() const noexcept;
+    double min() const noexcept { return count_ ? min_ : 0.0; }
+    double max() const noexcept { return count_ ? max_ : 0.0; }
+    double sum() const noexcept { return sum_; }
+
+    // Merge another accumulator into this one (parallel reduction).
+    void merge(running_stats const& other) noexcept;
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+// Retaining sample set: exact median / percentiles over stored samples.
+class sample_set
+{
+public:
+    void add(double x) { samples_.push_back(x); }
+    void reserve(std::size_t n) { samples_.reserve(n); }
+    void clear() noexcept { samples_.clear(); }
+
+    std::size_t size() const noexcept { return samples_.size(); }
+    bool empty() const noexcept { return samples_.empty(); }
+
+    double median() const;
+    // p in [0, 100]; linear interpolation between closest ranks.
+    double percentile(double p) const;
+    double mean() const;
+    double min() const;
+    double max() const;
+    double stddev() const;
+
+    std::vector<double> const& samples() const noexcept { return samples_; }
+
+private:
+    std::vector<double> samples_;
+};
+
+}    // namespace minihpx::util

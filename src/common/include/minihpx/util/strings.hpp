@@ -1,0 +1,26 @@
+// Minimal string helpers shared by the counter-name parser, the CLI
+// layer, and the report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minihpx::util {
+
+// Split on a single delimiter; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+std::string_view trim(std::string_view text);
+
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+// "12.3 GB/s", "1.02 us" style humanization for report output.
+std::string format_bytes(double bytes);
+std::string format_bytes_per_sec(double bytes_per_sec);
+std::string format_duration_ns(double ns);
+
+// Fixed-width number rendering for aligned ASCII tables.
+std::string fixed(double value, int precision);
+
+}    // namespace minihpx::util

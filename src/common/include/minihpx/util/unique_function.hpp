@@ -1,0 +1,149 @@
+// Move-only callable wrapper with small-buffer optimization.
+//
+// Task closures capture futures/promises, which are move-only, so
+// std::function (copyable) cannot hold them. std::move_only_function is
+// C++23; this is the minimal C++20 equivalent the runtime needs. The
+// 48-byte inline buffer fits every closure the scheduler itself creates,
+// keeping task spawn allocation-free on that path (Per.14/Per.15).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace minihpx::util {
+
+template <typename Signature>
+class unique_function;
+
+template <typename R, typename... Args>
+class unique_function<R(Args...)>
+{
+    static constexpr std::size_t buffer_size = 48;
+    static constexpr std::size_t buffer_align = alignof(std::max_align_t);
+
+    struct vtable
+    {
+        R (*invoke)(void*, Args&&...);
+        void (*move_to)(void*, void*) noexcept;    // move-construct into dst
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename F, bool Inline>
+    struct ops
+    {
+        static F* get(void* storage) noexcept
+        {
+            if constexpr (Inline)
+                return std::launder(reinterpret_cast<F*>(storage));
+            else
+                return *static_cast<F**>(storage);
+        }
+
+        static R invoke(void* storage, Args&&... args)
+        {
+            return (*get(storage))(std::forward<Args>(args)...);
+        }
+
+        static void move_to(void* src, void* dst) noexcept
+        {
+            if constexpr (Inline)
+            {
+                ::new (dst) F(std::move(*get(src)));
+                get(src)->~F();
+            }
+            else
+            {
+                *static_cast<F**>(dst) = *static_cast<F**>(src);
+            }
+        }
+
+        static void destroy(void* storage) noexcept
+        {
+            if constexpr (Inline)
+                get(storage)->~F();
+            else
+                delete get(storage);
+        }
+
+        static constexpr vtable table{&invoke, &move_to, &destroy};
+    };
+
+public:
+    unique_function() noexcept = default;
+    unique_function(std::nullptr_t) noexcept {}
+
+    template <typename F,
+        typename = std::enable_if_t<
+            !std::is_same_v<std::decay_t<F>, unique_function> &&
+            std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+    unique_function(F&& f)
+    {
+        using D = std::decay_t<F>;
+        constexpr bool fits = sizeof(D) <= buffer_size &&
+            alignof(D) <= buffer_align &&
+            std::is_nothrow_move_constructible_v<D>;
+        if constexpr (fits)
+        {
+            ::new (static_cast<void*>(&storage_)) D(std::forward<F>(f));
+            table_ = &ops<D, true>::table;
+        }
+        else
+        {
+            *reinterpret_cast<D**>(&storage_) = new D(std::forward<F>(f));
+            table_ = &ops<D, false>::table;
+        }
+    }
+
+    unique_function(unique_function&& other) noexcept
+    {
+        if (other.table_)
+        {
+            other.table_->move_to(&other.storage_, &storage_);
+            table_ = std::exchange(other.table_, nullptr);
+        }
+    }
+
+    unique_function& operator=(unique_function&& other) noexcept
+    {
+        if (this != &other)
+        {
+            reset();
+            if (other.table_)
+            {
+                other.table_->move_to(&other.storage_, &storage_);
+                table_ = std::exchange(other.table_, nullptr);
+            }
+        }
+        return *this;
+    }
+
+    unique_function(unique_function const&) = delete;
+    unique_function& operator=(unique_function const&) = delete;
+
+    ~unique_function() { reset(); }
+
+    void reset() noexcept
+    {
+        if (table_)
+        {
+            table_->destroy(&storage_);
+            table_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return table_ != nullptr; }
+
+    R operator()(Args... args)
+    {
+        return table_->invoke(&storage_, std::forward<Args>(args)...);
+    }
+
+private:
+    alignas(buffer_align) std::byte storage_[buffer_size];
+    vtable const* table_ = nullptr;
+};
+
+}    // namespace minihpx::util

@@ -1,0 +1,100 @@
+#include <minihpx/util/cli.hpp>
+#include <minihpx/util/strings.hpp>
+
+#include <cstdlib>
+
+namespace minihpx::util {
+
+cli_args::cli_args(int argc, char const* const* argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+
+    bool options_done = false;
+    for (int i = 1; i < argc; ++i)
+    {
+        std::string_view arg = argv[i];
+        if (options_done || !arg.starts_with("--"))
+        {
+            positionals_.emplace_back(arg);
+            continue;
+        }
+        if (arg == "--")
+        {
+            options_done = true;
+            continue;
+        }
+        arg.remove_prefix(2);
+        // Only --name=value and bare --flag forms: a separate-token
+        // value form would be ambiguous with positional arguments.
+        if (auto eq = arg.find('='); eq != std::string_view::npos)
+        {
+            options_.emplace_back(std::string(arg.substr(0, eq)),
+                                  std::string(arg.substr(eq + 1)));
+        }
+        else
+        {
+            options_.emplace_back(std::string(arg), std::string());
+        }
+    }
+}
+
+bool cli_args::has(std::string_view name) const
+{
+    for (auto const& [key, _] : options_)
+        if (key == name)
+            return true;
+    return false;
+}
+
+std::optional<std::string> cli_args::value(std::string_view name) const
+{
+    std::optional<std::string> result;
+    for (auto const& [key, val] : options_)
+        if (key == name)
+            result = val;
+    return result;
+}
+
+std::string cli_args::value_or(std::string_view name,
+                               std::string_view dflt) const
+{
+    auto v = value(name);
+    return v ? *v : std::string(dflt);
+}
+
+std::int64_t cli_args::int_or(std::string_view name, std::int64_t dflt) const
+{
+    auto v = value(name);
+    if (!v || v->empty())
+        return dflt;
+    return std::strtoll(v->c_str(), nullptr, 0);
+}
+
+double cli_args::double_or(std::string_view name, double dflt) const
+{
+    auto v = value(name);
+    if (!v || v->empty())
+        return dflt;
+    return std::strtod(v->c_str(), nullptr);
+}
+
+bool cli_args::flag(std::string_view name) const
+{
+    auto v = value(name);
+    if (!v)
+        return false;
+    return v->empty() || *v == "1" || iequals(*v, "true") ||
+        iequals(*v, "yes") || iequals(*v, "on");
+}
+
+std::vector<std::string> cli_args::values(std::string_view name) const
+{
+    std::vector<std::string> out;
+    for (auto const& [key, val] : options_)
+        if (key == name)
+            out.push_back(val);
+    return out;
+}
+
+}    // namespace minihpx::util

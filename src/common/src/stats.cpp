@@ -1,0 +1,124 @@
+#include <minihpx/util/stats.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace minihpx::util {
+
+void running_stats::add(double x) noexcept
+{
+    if (count_ == 0)
+    {
+        min_ = max_ = x;
+    }
+    else
+    {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    double const delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const noexcept
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double running_stats::stddev() const noexcept
+{
+    return std::sqrt(variance());
+}
+
+void running_stats::merge(running_stats const& other) noexcept
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0)
+    {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel variance combination.
+    double const delta = other.mean_ - mean_;
+    std::size_t const n = count_ + other.count_;
+    double const nd = static_cast<double>(n);
+    m2_ += other.m2_ +
+        delta * delta * static_cast<double>(count_) *
+            static_cast<double>(other.count_) / nd;
+    mean_ += delta * static_cast<double>(other.count_) / nd;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
+namespace {
+
+    // kth order statistic with linear interpolation (rank = p/100*(n-1)).
+    double interpolated_rank(std::vector<double> sorted, double p)
+    {
+        if (sorted.empty())
+            return 0.0;
+        std::sort(sorted.begin(), sorted.end());
+        if (sorted.size() == 1)
+            return sorted.front();
+        double const rank =
+            p / 100.0 * static_cast<double>(sorted.size() - 1);
+        auto const lo = static_cast<std::size_t>(rank);
+        auto const hi = std::min(lo + 1, sorted.size() - 1);
+        double const frac = rank - static_cast<double>(lo);
+        return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+    }
+
+}    // namespace
+
+double sample_set::median() const
+{
+    return interpolated_rank(samples_, 50.0);
+}
+
+double sample_set::percentile(double p) const
+{
+    return interpolated_rank(samples_, p);
+}
+
+double sample_set::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : samples_)
+        sum += x;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double sample_set::min() const
+{
+    return samples_.empty() ?
+        0.0 :
+        *std::min_element(samples_.begin(), samples_.end());
+}
+
+double sample_set::max() const
+{
+    return samples_.empty() ?
+        0.0 :
+        *std::max_element(samples_.begin(), samples_.end());
+}
+
+double sample_set::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    double const m = mean();
+    double acc = 0.0;
+    for (double x : samples_)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+}    // namespace minihpx::util

@@ -1,0 +1,92 @@
+#include <minihpx/util/strings.hpp>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace minihpx::util {
+
+std::vector<std::string_view> split(std::string_view text, char delim)
+{
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i)
+    {
+        if (i == text.size() || text[i] == delim)
+        {
+            out.push_back(text.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string_view trim(std::string_view text)
+{
+    while (!text.empty() &&
+        std::isspace(static_cast<unsigned char>(text.front())))
+        text.remove_prefix(1);
+    while (!text.empty() &&
+        std::isspace(static_cast<unsigned char>(text.back())))
+        text.remove_suffix(1);
+    return text;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+    {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+    std::string scaled(double value, char const* const* units,
+                       std::size_t nunits, double base)
+    {
+        std::size_t unit = 0;
+        double v = value;
+        while (std::fabs(v) >= base && unit + 1 < nunits)
+        {
+            v /= base;
+            ++unit;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[unit]);
+        return buf;
+    }
+
+}    // namespace
+
+std::string format_bytes(double bytes)
+{
+    static char const* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    return scaled(bytes, units, 5, 1024.0);
+}
+
+std::string format_bytes_per_sec(double bytes_per_sec)
+{
+    static char const* units[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    return scaled(bytes_per_sec, units, 5, 1000.0);
+}
+
+std::string format_duration_ns(double ns)
+{
+    static char const* units[] = {"ns", "us", "ms", "s"};
+    return scaled(ns, units, 4, 1000.0);
+}
+
+std::string fixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+}    // namespace minihpx::util

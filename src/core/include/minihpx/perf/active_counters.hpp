@@ -1,0 +1,137 @@
+// Active counter set + command-line driven session.
+//
+// Reproduces HPX's convenience layer (paper §IV, last paragraph):
+//   --mh:print-counter=NAME            (repeatable; '*' wildcards ok)
+//   --mh:print-counter-interval=MS     (periodic background sampling)
+//   --mh:print-counter-destination=F   (file instead of stdout)
+//   --mh:print-counter-format=csv|text
+//   --mh:list-counters                 (enumerate registered types)
+// plus the programmatic evaluate_active_counters()/
+// reset_active_counters() pair the Inncabs harness calls around every
+// sample, exactly as §V-D describes.
+#pragma once
+
+#include <minihpx/perf/counter.hpp>
+#include <minihpx/perf/registry.hpp>
+#include <minihpx/util/cli.hpp>
+
+#include <atomic>
+#include <condition_variable>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace minihpx::perf {
+
+class active_counters
+{
+public:
+    // Expands wildcards and instantiates every counter. Names that fail
+    // to instantiate are recorded in errors() and skipped.
+    active_counters(counter_registry& registry,
+        std::vector<std::string> const& names);
+
+    std::size_t size() const noexcept { return counters_.size(); }
+    bool empty() const noexcept { return counters_.empty(); }
+    std::vector<std::string> const& errors() const noexcept
+    {
+        return errors_;
+    }
+
+    struct evaluation
+    {
+        std::string name;
+        std::string unit;
+        counter_value value;
+    };
+
+    // Evaluate all counters (optionally evaluate-and-reset). Statistics
+    // counters are fed one sample first so they are never empty.
+    std::vector<evaluation> evaluate(bool reset = false);
+
+    void reset();
+
+    // Pull one sample into every statistics counter (periodic sampler).
+    void sample_statistics();
+
+    // Render evaluations; text is aligned "name,count,time[s],value"
+    // lines (HPX console format), csv is one row per counter.
+    void print(std::ostream& os, bool csv, bool reset,
+        std::string_view annotation = {});
+    void print_csv_header(std::ostream& os) const;
+
+    std::vector<counter_ptr> const& counters() const noexcept
+    {
+        return counters_;
+    }
+
+private:
+    std::vector<counter_ptr> counters_;
+    std::vector<std::string> errors_;
+    std::uint64_t start_ns_;
+};
+
+struct session_options
+{
+    std::vector<std::string> counter_names;
+    double interval_ms = 0.0;    // 0: no background sampling
+    std::string destination;     // empty: stdout
+    bool csv = false;
+    bool list_counters = false;
+    bool print_at_shutdown = true;
+
+    static session_options from_cli(util::cli_args const& args);
+};
+
+// Owns an active counter set, an optional sampling thread, and the
+// output stream; installs itself as the process-global session so that
+// evaluate_active_counters()/reset_active_counters() work (one global
+// session at a time).
+class counter_session
+{
+public:
+    counter_session(counter_registry& registry, session_options options);
+    ~counter_session();
+
+    counter_session(counter_session const&) = delete;
+
+    active_counters& counters() noexcept { return counters_; }
+    bool empty() const noexcept { return counters_.empty(); }
+
+    // Evaluate-and-print now (annotation lands in the output).
+    void evaluate(std::string_view annotation = {}, bool reset = false);
+    void reset();
+
+    static counter_session* global() noexcept;
+
+    // Writes the list of registered counter types to os.
+    static void list_counter_types(counter_registry const& registry,
+        std::ostream& os);
+
+private:
+    void sampler_loop();
+
+    session_options options_;
+    active_counters counters_;
+    std::unique_ptr<std::ostream> owned_stream_;
+    std::ostream* out_;
+    bool header_written_ = false;
+    std::mutex print_mutex_;
+
+    std::mutex sampler_mutex_;
+    std::condition_variable sampler_cv_;
+    bool stop_sampler_ = false;
+    std::thread sampler_;
+};
+
+// HPX-equivalent free functions acting on the global session (no-ops
+// when no session is active, so instrumented code runs unmodified
+// without counters — the paper's "overhead only when measured" story).
+void evaluate_active_counters(
+    bool reset = false, std::string_view annotation = {});
+void reset_active_counters();
+
+}    // namespace minihpx::perf

@@ -1,0 +1,113 @@
+// Concrete counter building blocks.
+//
+// All of these pull from std::function sources so any subsystem
+// (scheduler, papi engine, simulator) can expose counters without
+// depending on this module. Reset takes base snapshots; underlying
+// instrumentation is never mutated.
+#pragma once
+
+#include <minihpx/perf/counter.hpp>
+#include <minihpx/util/spinlock.hpp>
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace minihpx::perf {
+
+using value_source = std::function<double()>;
+using count_source = std::function<std::uint64_t()>;
+
+// Instantaneous value; reset is a no-op (raw gauges have no epoch).
+class gauge_counter final : public counter
+{
+public:
+    gauge_counter(counter_info info, value_source source)
+      : info_(std::move(info))
+      , source_(std::move(source))
+    {
+    }
+
+    counter_value get_value(bool reset = false) override;
+    void reset() override {}
+    counter_info const& info() const noexcept override { return info_; }
+
+private:
+    counter_info info_;
+    value_source source_;
+    std::int64_t invocations_ = 0;
+};
+
+// Monotonic cumulative source reported relative to the last reset.
+class delta_counter final : public counter
+{
+public:
+    delta_counter(counter_info info, value_source source)
+      : info_(std::move(info))
+      , source_(std::move(source))
+    {
+    }
+
+    counter_value get_value(bool reset = false) override;
+    void reset() override;
+    counter_info const& info() const noexcept override { return info_; }
+
+private:
+    counter_info info_;
+    value_source source_;
+    util::spinlock lock_;
+    double base_ = 0.0;
+    std::int64_t invocations_ = 0;
+};
+
+// (numerator delta) / (denominator delta): average task duration is
+// exec_time/tasks, idle-rate is idle/total, etc. `scale` multiplies the
+// ratio (e.g. 10000 for HPX's 0.01% idle-rate convention).
+class ratio_counter final : public counter
+{
+public:
+    ratio_counter(counter_info info, value_source numerator,
+        value_source denominator, double scale = 1.0)
+      : info_(std::move(info))
+      , numerator_(std::move(numerator))
+      , denominator_(std::move(denominator))
+      , scale_(scale)
+    {
+    }
+
+    counter_value get_value(bool reset = false) override;
+    void reset() override;
+    counter_info const& info() const noexcept override { return info_; }
+
+private:
+    counter_info info_;
+    value_source numerator_;
+    value_source denominator_;
+    double scale_;
+    util::spinlock lock_;
+    double num_base_ = 0.0;
+    double den_base_ = 0.0;
+    std::int64_t invocations_ = 0;
+};
+
+// Seconds since construction or last reset.
+class elapsed_time_counter final : public counter
+{
+public:
+    explicit elapsed_time_counter(counter_info info)
+      : info_(std::move(info))
+      , start_ns_(counter_clock_ns())
+    {
+    }
+
+    counter_value get_value(bool reset = false) override;
+    void reset() override;
+    counter_info const& info() const noexcept override { return info_; }
+
+private:
+    counter_info info_;
+    std::uint64_t start_ns_;
+    std::int64_t invocations_ = 0;
+};
+
+}    // namespace minihpx::perf

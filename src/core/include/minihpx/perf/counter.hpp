@@ -1,0 +1,58 @@
+// The counter interface every performance counter implements.
+//
+// Counters are pull-based: get_value() computes the current value from
+// underlying instrumentation; reset() (or get_value(reset=true), the
+// hpx::evaluate_and_reset pattern the paper's harness uses per sample)
+// snapshots the underlying cumulative sources so subsequent evaluations
+// report deltas relative to the snapshot. The instrumentation itself is
+// never cleared — multiple counters can observe the same source with
+// independent reset epochs.
+#pragma once
+
+#include <minihpx/perf/counter_value.hpp>
+
+#include <memory>
+#include <string>
+
+namespace minihpx::perf {
+
+enum class counter_kind : std::uint8_t
+{
+    raw,                        // instantaneous value
+    monotonically_increasing,   // cumulative count
+    average_count,              // ratio of two cumulative sources
+    average_timer,              // like average_count, value is seconds/ns
+    elapsed_time,               // seconds since start/reset
+    aggregating,                // combination of other counters
+    histogram,                  // distribution summary
+};
+
+char const* to_string(counter_kind kind) noexcept;
+
+struct counter_info
+{
+    std::string full_name;         // canonical instance name
+    counter_kind kind = counter_kind::raw;
+    std::string unit_of_measure;   // e.g. "ns", "0.01%", "bytes"
+    std::string helptext;
+};
+
+class counter
+{
+public:
+    virtual ~counter() = default;
+
+    // Evaluate; optionally reset in the same atomic step.
+    virtual counter_value get_value(bool reset = false) = 0;
+
+    virtual void reset() = 0;
+
+    virtual counter_info const& info() const noexcept = 0;
+};
+
+using counter_ptr = std::shared_ptr<counter>;
+
+// Timestamp helper shared by implementations (steady clock, ns).
+std::uint64_t counter_clock_ns() noexcept;
+
+}    // namespace minihpx::perf

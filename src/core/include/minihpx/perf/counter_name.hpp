@@ -1,0 +1,48 @@
+// HPX performance-counter name grammar.
+//
+//   /object{parentinstance#parentindex/instance#instanceindex}/counter@params
+//
+// Examples from the paper:
+//   /threads{locality#0/total}/time/average
+//   /threads{locality#0/worker-thread#1}/count/cumulative
+//   /papi{locality#0/total}/OFFCORE_REQUESTS:ALL_DATA_RD
+//   /arithmetics/add@/threads{locality#0/total}/time/average,...
+//
+// Omitted instance braces default to {locality#0/total}. The instance
+// index may be '*' (wildcard), expanded by the registry into one
+// counter per existing instance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace minihpx::perf {
+
+struct counter_path
+{
+    std::string object;                      // "threads", "papi", ...
+    std::string parent_instance = "locality";
+    std::int64_t parent_index = 0;
+    std::string instance = "total";          // "total" | "worker-thread" ...
+    std::int64_t instance_index = -1;        // -1: no index given
+    bool instance_wildcard = false;          // instance#*
+    std::string counter;                     // "time/average", may contain ':'
+    std::string parameters;                  // after '@', verbatim
+
+    // "/object/counter" — the registry lookup key.
+    std::string type_key() const;
+
+    // Canonical full instance name (always prints the braces).
+    std::string full_name() const;
+
+    bool operator==(counter_path const&) const = default;
+};
+
+// Parse a counter name; returns std::nullopt (with *error filled when
+// non-null) on malformed input.
+std::optional<counter_path> parse_counter_name(
+    std::string_view name, std::string* error = nullptr);
+
+}    // namespace minihpx::perf

@@ -1,0 +1,42 @@
+// Value record returned by every counter evaluation.
+//
+// Mirrors hpx::performance_counters::counter_value: a timestamped
+// number with a scaling factor and a status, uniform across software
+// and hardware counters (paper §IV: "since all counters expose their
+// data using the same API, any code consuming counter data can be
+// utilized to access arbitrary system information").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace minihpx::perf {
+
+enum class counter_status : std::uint8_t
+{
+    valid_data,       // value is meaningful
+    new_data,         // first sample after a reset
+    invalid_data,     // counter exists but cannot produce data now
+    not_available,    // underlying source unavailable
+};
+
+char const* to_string(counter_status status) noexcept;
+
+struct counter_value
+{
+    std::uint64_t time_ns = 0;    // sample timestamp (steady clock)
+    std::int64_t count = 0;       // evaluation sequence number
+    double value = 0.0;           // raw value
+    double scaling = 1.0;         // value is reported as value*scaling
+    counter_status status = counter_status::valid_data;
+
+    double get() const noexcept { return value * scaling; }
+
+    bool valid() const noexcept
+    {
+        return status == counter_status::valid_data ||
+            status == counter_status::new_data;
+    }
+};
+
+}    // namespace minihpx::perf

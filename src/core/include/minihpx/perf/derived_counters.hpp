@@ -1,0 +1,97 @@
+// Derived counters: arithmetic over other counters and rolling
+// statistics of a sampled counter.
+//
+// HPX exposes these as /arithmetics/{add,subtract,multiply,divide}@c1,c2
+// and /statistics/{average,stddev,min,max,median}@counter,window. They
+// are what turns raw counts into the paper's metrics (e.g. summing the
+// three OFFCORE_REQUESTS event counters before the bandwidth formula).
+#pragma once
+
+#include <minihpx/perf/counter.hpp>
+#include <minihpx/util/spinlock.hpp>
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minihpx::perf {
+
+enum class arithmetic_op : std::uint8_t
+{
+    add,
+    subtract,
+    multiply,
+    divide,
+    min,
+    max,
+    mean,
+};
+
+// Returns nullptr-equivalent std::nullopt on unknown name.
+std::optional<arithmetic_op> parse_arithmetic_op(std::string_view name);
+
+class arithmetic_counter final : public counter
+{
+public:
+    arithmetic_counter(
+        counter_info info, arithmetic_op op, std::vector<counter_ptr> inputs);
+
+    counter_value get_value(bool reset = false) override;
+    void reset() override;
+    counter_info const& info() const noexcept override { return info_; }
+
+    std::vector<counter_ptr> const& inputs() const noexcept
+    {
+        return inputs_;
+    }
+
+private:
+    counter_info info_;
+    arithmetic_op op_;
+    std::vector<counter_ptr> inputs_;
+    std::int64_t invocations_ = 0;
+};
+
+enum class statistic : std::uint8_t
+{
+    average,
+    stddev,
+    min,
+    max,
+    median,
+};
+
+std::optional<statistic> parse_statistic(std::string_view name);
+
+// Rolling-window statistic over samples of an underlying counter. The
+// sampler (active_counters' background thread, or the application) must
+// call sample() periodically; get_value() summarizes the window.
+class statistics_counter final : public counter
+{
+public:
+    statistics_counter(counter_info info, statistic stat,
+        counter_ptr underlying, std::size_t window);
+
+    // Pull one sample from the underlying counter into the window.
+    void sample();
+
+    counter_value get_value(bool reset = false) override;
+    void reset() override;
+    counter_info const& info() const noexcept override { return info_; }
+
+    counter_ptr const& underlying() const noexcept { return underlying_; }
+
+private:
+    counter_info info_;
+    statistic stat_;
+    counter_ptr underlying_;
+    std::size_t window_;
+    util::spinlock lock_;
+    std::deque<double> samples_;
+    std::int64_t invocations_ = 0;
+};
+
+}    // namespace minihpx::perf

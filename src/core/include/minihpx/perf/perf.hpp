@@ -1,0 +1,11 @@
+// Umbrella header for the performance-counter framework.
+#pragma once
+
+#include <minihpx/perf/active_counters.hpp>
+#include <minihpx/perf/basic_counters.hpp>
+#include <minihpx/perf/counter.hpp>
+#include <minihpx/perf/counter_name.hpp>
+#include <minihpx/perf/counter_value.hpp>
+#include <minihpx/perf/derived_counters.hpp>
+#include <minihpx/perf/registry.hpp>
+#include <minihpx/perf/thread_counters.hpp>

@@ -1,0 +1,72 @@
+// Counter-type registry: the discovery and instantiation hub.
+//
+// Subsystems register counter *types* (e.g. "/threads/time/average")
+// with a factory; applications create counter *instances* by full name.
+// The registry also owns the built-in derived types:
+//   /arithmetics/{add,subtract,multiply,divide,min,max,mean}@c1,c2,...
+//   /statistics/{average,stddev,min,max,median}@counter[,window]
+// and expands instance wildcards ("worker-thread#*") into one instance
+// per existing worker, which is how --mh:print-counter gives per-OS-
+// thread breakdowns (paper §V-C measures per-OS-thread totals).
+#pragma once
+
+#include <minihpx/perf/counter.hpp>
+#include <minihpx/perf/counter_name.hpp>
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minihpx::perf {
+
+class counter_registry
+{
+public:
+    struct type_info
+    {
+        std::string type_key;    // "/object/counter"
+        counter_kind kind = counter_kind::raw;
+        std::string unit_of_measure;
+        std::string helptext;
+        // Build an instance for a concrete (non-wildcard) path.
+        std::function<counter_ptr(counter_path const&)> create;
+        // Number of indexable instances (workers); 0 = only "total".
+        std::function<std::uint64_t()> instance_count;
+    };
+
+    // Registers the built-in /arithmetics and /statistics types.
+    counter_registry();
+
+    void register_type(type_info info);
+    bool unregister_type(std::string const& type_key);
+    bool contains(std::string const& type_key) const;
+
+    // Create a counter instance by full name; nullptr + *error on
+    // failure. Wildcard names are rejected here (use expand() first).
+    counter_ptr create(std::string_view name,
+        std::string* error = nullptr) const;
+    counter_ptr create(counter_path const& path,
+        std::string* error = nullptr) const;
+
+    // Expand a (possibly wildcard) name into concrete instance paths.
+    std::vector<counter_path> expand(counter_path const& path) const;
+
+    // All registered types, sorted by key (for --mh:list-counters).
+    std::vector<type_info> list() const;
+
+    // The process-wide default registry.
+    static counter_registry& instance();
+
+private:
+    counter_ptr create_arithmetic(counter_path const& path,
+        std::string* error) const;
+    counter_ptr create_statistics(counter_path const& path,
+        std::string* error) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, type_info> types_;
+};
+
+}    // namespace minihpx::perf

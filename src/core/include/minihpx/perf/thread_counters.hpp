@@ -1,0 +1,35 @@
+// Thread-manager counter bindings.
+//
+// Registers the /threads{...}, /threadqueue{...} and /runtime{...}
+// counter types against a live scheduler/runtime. These are the
+// software counters the paper's metrics are built from (§V-C):
+//
+//   Task Duration        /threads{locality#0/total}/time/average
+//   Task Overhead        /threads{locality#0/total}/time/average-overhead
+//   Task Time            /threads{locality#0/total}/time/cumulative
+//   Scheduling Overhead  /threads{locality#0/total}/time/cumulative-overhead
+//
+// Every counter also exists per OS worker thread:
+//   /threads{locality#0/worker-thread#N}/...
+#pragma once
+
+#include <minihpx/perf/registry.hpp>
+#include <minihpx/runtime/runtime.hpp>
+#include <minihpx/runtime/scheduler.hpp>
+
+namespace minihpx::perf {
+
+// Registers all scheduler-backed counter types. The scheduler must
+// outlive the registry entries (unregister via remove_thread_counters
+// or destroy the registry first).
+void register_thread_counters(counter_registry& registry, scheduler& sched);
+void remove_thread_counters(counter_registry& registry);
+
+// /runtime{locality#0/total}/uptime and memory counters.
+void register_runtime_counters(counter_registry& registry, runtime& rt);
+void remove_runtime_counters(counter_registry& registry);
+
+// Convenience: both of the above against the global runtime.
+void register_all_runtime_counters(counter_registry& registry, runtime& rt);
+
+}    // namespace minihpx::perf

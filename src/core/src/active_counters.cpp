@@ -1,0 +1,242 @@
+#include <minihpx/perf/active_counters.hpp>
+
+#include <minihpx/perf/derived_counters.hpp>
+#include <minihpx/util/assert.hpp>
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+namespace minihpx::perf {
+
+active_counters::active_counters(
+    counter_registry& registry, std::vector<std::string> const& names)
+  : start_ns_(counter_clock_ns())
+{
+    for (auto const& name : names)
+    {
+        std::string error;
+        auto parsed = parse_counter_name(name, &error);
+        if (!parsed)
+        {
+            errors_.push_back(name + ": " + error);
+            continue;
+        }
+        for (auto const& concrete : registry.expand(*parsed))
+        {
+            counter_ptr c = registry.create(concrete, &error);
+            if (c)
+                counters_.push_back(std::move(c));
+            else
+                errors_.push_back(concrete.full_name() + ": " + error);
+        }
+    }
+}
+
+std::vector<active_counters::evaluation> active_counters::evaluate(bool reset)
+{
+    sample_statistics();
+    std::vector<evaluation> out;
+    out.reserve(counters_.size());
+    for (auto const& c : counters_)
+    {
+        out.push_back(evaluation{c->info().full_name,
+            c->info().unit_of_measure, c->get_value(reset)});
+    }
+    return out;
+}
+
+void active_counters::reset()
+{
+    for (auto const& c : counters_)
+        c->reset();
+}
+
+void active_counters::sample_statistics()
+{
+    for (auto const& c : counters_)
+    {
+        if (auto* stats = dynamic_cast<statistics_counter*>(c.get()))
+            stats->sample();
+    }
+}
+
+void active_counters::print(
+    std::ostream& os, bool csv, bool reset, std::string_view annotation)
+{
+    auto const evaluations = evaluate(reset);
+    double const t =
+        static_cast<double>(counter_clock_ns() - start_ns_) * 1e-9;
+    if (csv)
+    {
+        // One row: timestamp, annotation, then values in counter order.
+        os << std::fixed << std::setprecision(6) << t << ','
+           << annotation;
+        os.unsetf(std::ios_base::floatfield);
+        for (auto const& e : evaluations)
+        {
+            os << ',';
+            if (e.value.valid())
+                os << std::setprecision(12) << e.value.get();
+        }
+        os << '\n';
+    }
+    else
+    {
+        if (!annotation.empty())
+            os << "# " << annotation << '\n';
+        for (auto const& e : evaluations)
+        {
+            os << e.name << ",," << e.value.count << ','
+               << std::fixed << std::setprecision(6) << t << ",[s],";
+            os.unsetf(std::ios_base::floatfield);
+            if (e.value.valid())
+                os << std::setprecision(12) << e.value.get();
+            else
+                os << to_string(e.value.status);
+            if (!e.unit.empty())
+                os << ",[" << e.unit << ']';
+            os << '\n';
+        }
+    }
+    os.flush();
+}
+
+void active_counters::print_csv_header(std::ostream& os) const
+{
+    os << "time[s],annotation";
+    for (auto const& c : counters_)
+        os << ',' << c->info().full_name;
+    os << '\n';
+}
+
+// ---------------------------------------------------------------- session
+
+namespace {
+
+    std::atomic<counter_session*> global_session{nullptr};
+
+}    // namespace
+
+session_options session_options::from_cli(util::cli_args const& args)
+{
+    session_options options;
+    options.counter_names = args.values("mh:print-counter");
+    options.interval_ms = args.double_or("mh:print-counter-interval", 0.0);
+    options.destination = args.value_or("mh:print-counter-destination", "");
+    options.csv = args.value_or("mh:print-counter-format", "text") == "csv";
+    options.list_counters = args.flag("mh:list-counters");
+    return options;
+}
+
+counter_session::counter_session(
+    counter_registry& registry, session_options options)
+  : options_(std::move(options))
+  , counters_(registry, options_.counter_names)
+  , out_(&std::cout)
+{
+    for (auto const& error : counters_.errors())
+        std::cerr << "minihpx: counter error: " << error << '\n';
+
+    if (!options_.destination.empty() && options_.destination != "cout")
+    {
+        auto file = std::make_unique<std::ofstream>(options_.destination);
+        MINIHPX_ASSERT_MSG(file->is_open(), "cannot open counter file");
+        owned_stream_ = std::move(file);
+        out_ = owned_stream_.get();
+    }
+
+    if (options_.csv && !counters_.empty())
+    {
+        counters_.print_csv_header(*out_);
+        header_written_ = true;
+    }
+
+    counter_session* expected = nullptr;
+    bool const installed =
+        global_session.compare_exchange_strong(expected, this);
+    MINIHPX_ASSERT_MSG(installed, "a counter_session is already active");
+
+    if (options_.interval_ms > 0.0 && !counters_.empty())
+        sampler_ = std::thread([this] { sampler_loop(); });
+}
+
+counter_session::~counter_session()
+{
+    if (sampler_.joinable())
+    {
+        {
+            std::lock_guard lock(sampler_mutex_);
+            stop_sampler_ = true;
+        }
+        sampler_cv_.notify_all();
+        sampler_.join();
+    }
+    if (options_.print_at_shutdown && !counters_.empty())
+        evaluate("shutdown");
+    global_session.store(nullptr, std::memory_order_release);
+}
+
+void counter_session::evaluate(std::string_view annotation, bool reset)
+{
+    if (counters_.empty())
+        return;
+    std::lock_guard lock(print_mutex_);
+    counters_.print(*out_, options_.csv, reset, annotation);
+}
+
+void counter_session::reset()
+{
+    counters_.reset();
+}
+
+counter_session* counter_session::global() noexcept
+{
+    return global_session.load(std::memory_order_acquire);
+}
+
+void counter_session::list_counter_types(
+    counter_registry const& registry, std::ostream& os)
+{
+    os << "Available performance counter types:\n";
+    for (auto const& t : registry.list())
+    {
+        os << "  " << t.type_key << "  [" << to_string(t.kind) << ']';
+        if (!t.unit_of_measure.empty())
+            os << " (" << t.unit_of_measure << ')';
+        os << "\n      " << t.helptext << '\n';
+    }
+}
+
+void counter_session::sampler_loop()
+{
+    auto const interval = std::chrono::duration<double, std::milli>(
+        options_.interval_ms);
+    std::unique_lock lock(sampler_mutex_);
+    while (!stop_sampler_)
+    {
+        if (sampler_cv_.wait_for(lock,
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    interval),
+                [this] { return stop_sampler_; }))
+            break;
+        lock.unlock();
+        evaluate("sample");
+        lock.lock();
+    }
+}
+
+void evaluate_active_counters(bool reset, std::string_view annotation)
+{
+    if (counter_session* session = counter_session::global())
+        session->evaluate(annotation, reset);
+}
+
+void reset_active_counters()
+{
+    if (counter_session* session = counter_session::global())
+        session->reset();
+}
+
+}    // namespace minihpx::perf

@@ -1,0 +1,135 @@
+#include <minihpx/perf/basic_counters.hpp>
+
+#include <chrono>
+#include <mutex>
+
+namespace minihpx::perf {
+
+char const* to_string(counter_status status) noexcept
+{
+    switch (status)
+    {
+    case counter_status::valid_data:
+        return "valid";
+    case counter_status::new_data:
+        return "new";
+    case counter_status::invalid_data:
+        return "invalid";
+    case counter_status::not_available:
+        return "not-available";
+    }
+    return "?";
+}
+
+char const* to_string(counter_kind kind) noexcept
+{
+    switch (kind)
+    {
+    case counter_kind::raw:
+        return "raw";
+    case counter_kind::monotonically_increasing:
+        return "monotonically-increasing";
+    case counter_kind::average_count:
+        return "average-count";
+    case counter_kind::average_timer:
+        return "average-timer";
+    case counter_kind::elapsed_time:
+        return "elapsed-time";
+    case counter_kind::aggregating:
+        return "aggregating";
+    case counter_kind::histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+std::uint64_t counter_clock_ns() noexcept
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+counter_value gauge_counter::get_value(bool)
+{
+    counter_value v;
+    v.time_ns = counter_clock_ns();
+    v.count = ++invocations_;
+    v.value = source_();
+    return v;
+}
+
+counter_value delta_counter::get_value(bool reset)
+{
+    std::lock_guard guard(lock_);
+    double const current = source_();
+    counter_value v;
+    v.time_ns = counter_clock_ns();
+    v.count = ++invocations_;
+    v.value = current - base_;
+    if (reset)
+    {
+        base_ = current;
+        v.status = counter_status::new_data;
+    }
+    return v;
+}
+
+void delta_counter::reset()
+{
+    std::lock_guard guard(lock_);
+    base_ = source_();
+}
+
+counter_value ratio_counter::get_value(bool reset)
+{
+    std::lock_guard guard(lock_);
+    double const num = numerator_();
+    double const den = denominator_();
+    counter_value v;
+    v.time_ns = counter_clock_ns();
+    v.count = ++invocations_;
+    double const dden = den - den_base_;
+    if (dden > 0.0)
+        v.value = (num - num_base_) / dden * scale_;
+    else
+        v.status = counter_status::invalid_data;
+    if (reset)
+    {
+        num_base_ = num;
+        den_base_ = den;
+        if (v.status == counter_status::valid_data)
+            v.status = counter_status::new_data;
+    }
+    return v;
+}
+
+void ratio_counter::reset()
+{
+    std::lock_guard guard(lock_);
+    num_base_ = numerator_();
+    den_base_ = denominator_();
+}
+
+counter_value elapsed_time_counter::get_value(bool reset)
+{
+    std::uint64_t const now = counter_clock_ns();
+    counter_value v;
+    v.time_ns = now;
+    v.count = ++invocations_;
+    v.value = static_cast<double>(now - start_ns_) * 1e-9;
+    if (reset)
+    {
+        start_ns_ = now;
+        v.status = counter_status::new_data;
+    }
+    return v;
+}
+
+void elapsed_time_counter::reset()
+{
+    start_ns_ = counter_clock_ns();
+}
+
+}    // namespace minihpx::perf

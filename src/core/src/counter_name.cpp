@@ -1,0 +1,176 @@
+#include <minihpx/perf/counter_name.hpp>
+
+#include <cctype>
+#include <charconv>
+
+namespace minihpx::perf {
+
+namespace {
+
+    bool valid_identifier_char(char c) noexcept
+    {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '_';
+    }
+
+    bool valid_counter_char(char c) noexcept
+    {
+        // counter names may be hierarchical (time/average) and PAPI
+        // events contain ':' (OFFCORE_REQUESTS:ALL_DATA_RD).
+        return valid_identifier_char(c) || c == '/' || c == ':';
+    }
+
+    bool fail(std::string* error, std::string_view message)
+    {
+        if (error)
+            *error = message;
+        return false;
+    }
+
+    // identifier [#index|#*]
+    bool parse_instance_element(std::string_view text, std::string& name,
+        std::int64_t& index, bool* wildcard, std::string* error)
+    {
+        auto const hash = text.find('#');
+        std::string_view const ident =
+            hash == std::string_view::npos ? text : text.substr(0, hash);
+        if (ident.empty())
+            return fail(error, "empty instance name");
+        for (char c : ident)
+            if (!valid_identifier_char(c))
+                return fail(error, "invalid character in instance name");
+        name.assign(ident);
+
+        if (hash == std::string_view::npos)
+            return true;
+
+        std::string_view const idx = text.substr(hash + 1);
+        if (idx == "*")
+        {
+            if (!wildcard)
+                return fail(error, "wildcard not allowed here");
+            *wildcard = true;
+            index = -1;
+            return true;
+        }
+        if (idx.empty())
+            return fail(error, "empty instance index");
+        auto const [ptr, ec] =
+            std::from_chars(idx.data(), idx.data() + idx.size(), index);
+        if (ec != std::errc() || ptr != idx.data() + idx.size() || index < 0)
+            return fail(error, "malformed instance index");
+        return true;
+    }
+
+}    // namespace
+
+std::string counter_path::type_key() const
+{
+    return "/" + object + "/" + counter;
+}
+
+std::string counter_path::full_name() const
+{
+    std::string out = "/" + object + "{" + parent_instance + "#" +
+        std::to_string(parent_index) + "/" + instance;
+    if (instance_wildcard)
+        out += "#*";
+    else if (instance_index >= 0)
+        out += "#" + std::to_string(instance_index);
+    out += "}/" + counter;
+    if (!parameters.empty())
+        out += "@" + parameters;
+    return out;
+}
+
+std::optional<counter_path> parse_counter_name(
+    std::string_view name, std::string* error)
+{
+    counter_path path;
+
+    if (name.empty() || name.front() != '/')
+    {
+        fail(error, "counter name must start with '/'");
+        return std::nullopt;
+    }
+    name.remove_prefix(1);
+
+    // object: up to '{' or '/'.
+    std::size_t pos = 0;
+    while (pos < name.size() && name[pos] != '{' && name[pos] != '/')
+    {
+        if (!valid_identifier_char(name[pos]))
+        {
+            fail(error, "invalid character in object name");
+            return std::nullopt;
+        }
+        ++pos;
+    }
+    if (pos == 0)
+    {
+        fail(error, "empty object name");
+        return std::nullopt;
+    }
+    path.object.assign(name.substr(0, pos));
+    name.remove_prefix(pos);
+
+    // optional {instance path}
+    if (!name.empty() && name.front() == '{')
+    {
+        auto const close = name.find('}');
+        if (close == std::string_view::npos)
+        {
+            fail(error, "unterminated '{'");
+            return std::nullopt;
+        }
+        std::string_view inst = name.substr(1, close - 1);
+        name.remove_prefix(close + 1);
+
+        auto const slash = inst.find('/');
+        std::string_view const parent =
+            slash == std::string_view::npos ? inst : inst.substr(0, slash);
+        if (!parse_instance_element(
+                parent, path.parent_instance, path.parent_index,
+                /*wildcard=*/nullptr, error))
+            return std::nullopt;
+        if (slash != std::string_view::npos)
+        {
+            if (!parse_instance_element(inst.substr(slash + 1),
+                    path.instance, path.instance_index,
+                    &path.instance_wildcard, error))
+                return std::nullopt;
+        }
+    }
+
+    // '/counter'
+    if (name.empty() || name.front() != '/')
+    {
+        fail(error, "expected '/' before counter name");
+        return std::nullopt;
+    }
+    name.remove_prefix(1);
+
+    auto const at = name.find('@');
+    std::string_view const counter_part =
+        at == std::string_view::npos ? name : name.substr(0, at);
+    if (counter_part.empty())
+    {
+        fail(error, "empty counter name");
+        return std::nullopt;
+    }
+    for (char c : counter_part)
+    {
+        if (!valid_counter_char(c))
+        {
+            fail(error, "invalid character in counter name");
+            return std::nullopt;
+        }
+    }
+    path.counter.assign(counter_part);
+    if (at != std::string_view::npos)
+        path.parameters.assign(name.substr(at + 1));
+
+    return path;
+}
+
+}    // namespace minihpx::perf

@@ -1,0 +1,210 @@
+#include <minihpx/perf/derived_counters.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <optional>
+
+namespace minihpx::perf {
+
+std::optional<arithmetic_op> parse_arithmetic_op(std::string_view name)
+{
+    if (name == "add")
+        return arithmetic_op::add;
+    if (name == "subtract")
+        return arithmetic_op::subtract;
+    if (name == "multiply")
+        return arithmetic_op::multiply;
+    if (name == "divide")
+        return arithmetic_op::divide;
+    if (name == "min")
+        return arithmetic_op::min;
+    if (name == "max")
+        return arithmetic_op::max;
+    if (name == "mean")
+        return arithmetic_op::mean;
+    return std::nullopt;
+}
+
+arithmetic_counter::arithmetic_counter(
+    counter_info info, arithmetic_op op, std::vector<counter_ptr> inputs)
+  : info_(std::move(info))
+  , op_(op)
+  , inputs_(std::move(inputs))
+{
+    MINIHPX_ASSERT_MSG(!inputs_.empty(), "arithmetic counter needs inputs");
+}
+
+counter_value arithmetic_counter::get_value(bool reset)
+{
+    counter_value out;
+    out.time_ns = counter_clock_ns();
+    out.count = ++invocations_;
+
+    bool first = true;
+    double acc = 0.0;
+    for (auto const& input : inputs_)
+    {
+        counter_value const v = input->get_value(reset);
+        if (!v.valid())
+        {
+            out.status = counter_status::invalid_data;
+            return out;
+        }
+        double const x = v.get();
+        if (first)
+        {
+            acc = x;
+            first = false;
+            continue;
+        }
+        switch (op_)
+        {
+        case arithmetic_op::add:
+        case arithmetic_op::mean:
+            acc += x;
+            break;
+        case arithmetic_op::subtract:
+            acc -= x;
+            break;
+        case arithmetic_op::multiply:
+            acc *= x;
+            break;
+        case arithmetic_op::divide:
+            if (x == 0.0)
+            {
+                out.status = counter_status::invalid_data;
+                return out;
+            }
+            acc /= x;
+            break;
+        case arithmetic_op::min:
+            acc = std::min(acc, x);
+            break;
+        case arithmetic_op::max:
+            acc = std::max(acc, x);
+            break;
+        }
+    }
+    if (op_ == arithmetic_op::mean)
+        acc /= static_cast<double>(inputs_.size());
+    out.value = acc;
+    return out;
+}
+
+void arithmetic_counter::reset()
+{
+    for (auto const& input : inputs_)
+        input->reset();
+}
+
+std::optional<statistic> parse_statistic(std::string_view name)
+{
+    if (name == "average")
+        return statistic::average;
+    if (name == "stddev")
+        return statistic::stddev;
+    if (name == "min")
+        return statistic::min;
+    if (name == "max")
+        return statistic::max;
+    if (name == "median")
+        return statistic::median;
+    return std::nullopt;
+}
+
+statistics_counter::statistics_counter(counter_info info, statistic stat,
+    counter_ptr underlying, std::size_t window)
+  : info_(std::move(info))
+  , stat_(stat)
+  , underlying_(std::move(underlying))
+  , window_(window == 0 ? 1 : window)
+{
+    MINIHPX_ASSERT(underlying_ != nullptr);
+}
+
+void statistics_counter::sample()
+{
+    counter_value const v = underlying_->get_value(false);
+    if (!v.valid())
+        return;
+    std::lock_guard guard(lock_);
+    samples_.push_back(v.get());
+    while (samples_.size() > window_)
+        samples_.pop_front();
+}
+
+counter_value statistics_counter::get_value(bool reset)
+{
+    counter_value out;
+    out.time_ns = counter_clock_ns();
+    out.count = ++invocations_;
+
+    std::lock_guard guard(lock_);
+    if (samples_.empty())
+    {
+        out.status = counter_status::invalid_data;
+        return out;
+    }
+
+    switch (stat_)
+    {
+    case statistic::average:
+    case statistic::stddev:
+    {
+        double sum = 0.0;
+        for (double x : samples_)
+            sum += x;
+        double const mean = sum / static_cast<double>(samples_.size());
+        if (stat_ == statistic::average)
+        {
+            out.value = mean;
+        }
+        else if (samples_.size() < 2)
+        {
+            out.value = 0.0;
+        }
+        else
+        {
+            double acc = 0.0;
+            for (double x : samples_)
+                acc += (x - mean) * (x - mean);
+            out.value =
+                std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+        }
+        break;
+    }
+    case statistic::min:
+        out.value = *std::min_element(samples_.begin(), samples_.end());
+        break;
+    case statistic::max:
+        out.value = *std::max_element(samples_.begin(), samples_.end());
+        break;
+    case statistic::median:
+    {
+        std::vector<double> sorted(samples_.begin(), samples_.end());
+        std::sort(sorted.begin(), sorted.end());
+        std::size_t const mid = sorted.size() / 2;
+        out.value = sorted.size() % 2 ? sorted[mid] :
+                                        (sorted[mid - 1] + sorted[mid]) / 2.0;
+        break;
+    }
+    }
+
+    if (reset)
+    {
+        samples_.clear();
+        out.status = counter_status::new_data;
+    }
+    return out;
+}
+
+void statistics_counter::reset()
+{
+    std::lock_guard guard(lock_);
+    samples_.clear();
+}
+
+}    // namespace minihpx::perf

@@ -1,0 +1,226 @@
+#include <minihpx/perf/registry.hpp>
+
+#include <minihpx/perf/derived_counters.hpp>
+#include <minihpx/util/assert.hpp>
+#include <minihpx/util/strings.hpp>
+
+#include <charconv>
+
+namespace minihpx::perf {
+
+namespace {
+
+    bool set_error(std::string* error, std::string message)
+    {
+        if (error)
+            *error = std::move(message);
+        return false;
+    }
+
+}    // namespace
+
+counter_registry::counter_registry()
+{
+    // Derived types are synthesized in create(); registering stub
+    // entries here makes them visible to list()/contains().
+    for (char const* op :
+        {"add", "subtract", "multiply", "divide", "min", "max", "mean"})
+    {
+        type_info t;
+        t.type_key = std::string("/arithmetics/") + op;
+        t.kind = counter_kind::aggregating;
+        t.helptext = std::string("applies '") + op +
+            "' to the comma-separated counters given as @parameters";
+        types_.emplace(t.type_key, std::move(t));
+    }
+    for (char const* stat : {"average", "stddev", "min", "max", "median"})
+    {
+        type_info t;
+        t.type_key = std::string("/statistics/") + stat;
+        t.kind = counter_kind::aggregating;
+        t.helptext = std::string("rolling-window '") + stat +
+            "' of the counter given as @counter[,window]";
+        types_.emplace(t.type_key, std::move(t));
+    }
+}
+
+void counter_registry::register_type(type_info info)
+{
+    MINIHPX_ASSERT_MSG(info.create != nullptr, "counter type needs a factory");
+    std::lock_guard lock(mutex_);
+    auto const [it, inserted] = types_.emplace(info.type_key, info);
+    (void) it;
+    MINIHPX_ASSERT_MSG(inserted, "duplicate counter type registration");
+}
+
+bool counter_registry::unregister_type(std::string const& type_key)
+{
+    std::lock_guard lock(mutex_);
+    return types_.erase(type_key) > 0;
+}
+
+bool counter_registry::contains(std::string const& type_key) const
+{
+    std::lock_guard lock(mutex_);
+    return types_.count(type_key) > 0;
+}
+
+counter_ptr counter_registry::create(
+    std::string_view name, std::string* error) const
+{
+    auto path = parse_counter_name(name, error);
+    if (!path)
+        return nullptr;
+    return create(*path, error);
+}
+
+counter_ptr counter_registry::create(
+    counter_path const& path, std::string* error) const
+{
+    if (path.instance_wildcard)
+    {
+        set_error(error, "wildcard instance; expand() the name first");
+        return nullptr;
+    }
+    if (path.object == "arithmetics")
+        return create_arithmetic(path, error);
+    if (path.object == "statistics")
+        return create_statistics(path, error);
+
+    type_info entry;
+    {
+        std::lock_guard lock(mutex_);
+        auto const it = types_.find(path.type_key());
+        if (it == types_.end())
+        {
+            set_error(error, "unknown counter type: " + path.type_key());
+            return nullptr;
+        }
+        entry = it->second;
+    }
+    if (!entry.create)
+    {
+        set_error(error, "counter type not instantiable: " + path.type_key());
+        return nullptr;
+    }
+    counter_ptr result = entry.create(path);
+    if (!result)
+        set_error(error, "cannot instantiate counter: " + path.full_name());
+    return result;
+}
+
+counter_ptr counter_registry::create_arithmetic(
+    counter_path const& path, std::string* error) const
+{
+    auto const op = parse_arithmetic_op(path.counter);
+    if (!op)
+    {
+        set_error(error, "unknown arithmetic op: " + path.counter);
+        return nullptr;
+    }
+    if (path.parameters.empty())
+    {
+        set_error(error, "arithmetic counter requires @counter,... params");
+        return nullptr;
+    }
+    std::vector<counter_ptr> inputs;
+    for (auto part : util::split(path.parameters, ','))
+    {
+        counter_ptr input = create(util::trim(part), error);
+        if (!input)
+            return nullptr;
+        inputs.push_back(std::move(input));
+    }
+    counter_info info;
+    info.full_name = path.full_name();
+    info.kind = counter_kind::aggregating;
+    info.unit_of_measure = inputs.front()->info().unit_of_measure;
+    info.helptext = "arithmetic combination of " +
+        std::to_string(inputs.size()) + " counters";
+    return std::make_shared<arithmetic_counter>(
+        std::move(info), *op, std::move(inputs));
+}
+
+counter_ptr counter_registry::create_statistics(
+    counter_path const& path, std::string* error) const
+{
+    auto const stat = parse_statistic(path.counter);
+    if (!stat)
+    {
+        set_error(error, "unknown statistic: " + path.counter);
+        return nullptr;
+    }
+    if (path.parameters.empty())
+    {
+        set_error(error, "statistics counter requires @counter[,window]");
+        return nullptr;
+    }
+    // The window, if present, is the trailing ,N with N all digits.
+    std::string_view params = path.parameters;
+    std::size_t window = 64;
+    if (auto const comma = params.rfind(','); comma != std::string_view::npos)
+    {
+        std::string_view const tail = params.substr(comma + 1);
+        std::size_t parsed = 0;
+        auto const [ptr, ec] =
+            std::from_chars(tail.data(), tail.data() + tail.size(), parsed);
+        if (ec == std::errc() && ptr == tail.data() + tail.size())
+        {
+            window = parsed;
+            params = params.substr(0, comma);
+        }
+    }
+    counter_ptr underlying = create(util::trim(params), error);
+    if (!underlying)
+        return nullptr;
+    counter_info info;
+    info.full_name = path.full_name();
+    info.kind = counter_kind::aggregating;
+    info.unit_of_measure = underlying->info().unit_of_measure;
+    info.helptext = "rolling statistic over " + std::to_string(window) +
+        " samples of " + underlying->info().full_name;
+    return std::make_shared<statistics_counter>(
+        std::move(info), *stat, std::move(underlying), window);
+}
+
+std::vector<counter_path> counter_registry::expand(
+    counter_path const& path) const
+{
+    if (!path.instance_wildcard)
+        return {path};
+
+    std::uint64_t count = 0;
+    {
+        std::lock_guard lock(mutex_);
+        auto const it = types_.find(path.type_key());
+        if (it != types_.end() && it->second.instance_count)
+            count = it->second.instance_count();
+    }
+    std::vector<counter_path> out;
+    for (std::uint64_t i = 0; i < count; ++i)
+    {
+        counter_path concrete = path;
+        concrete.instance_wildcard = false;
+        concrete.instance_index = static_cast<std::int64_t>(i);
+        out.push_back(std::move(concrete));
+    }
+    return out;
+}
+
+std::vector<counter_registry::type_info> counter_registry::list() const
+{
+    std::lock_guard lock(mutex_);
+    std::vector<type_info> out;
+    out.reserve(types_.size());
+    for (auto const& [_, entry] : types_)
+        out.push_back(entry);
+    return out;
+}
+
+counter_registry& counter_registry::instance()
+{
+    static counter_registry registry;
+    return registry;
+}
+
+}    // namespace minihpx::perf

@@ -1,0 +1,332 @@
+#include <minihpx/perf/thread_counters.hpp>
+
+#include <minihpx/perf/basic_counters.hpp>
+
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace minihpx::perf {
+
+namespace {
+
+    // Per-worker or total selector for one statistic.
+    using stat_selector =
+        std::function<double(detail::worker::stats const&)>;
+
+    double sum_over_workers(scheduler& sched, stat_selector const& sel)
+    {
+        double total = 0.0;
+        for (unsigned i = 0; i < sched.num_workers(); ++i)
+            total += sel(sched.get_worker(i).get_stats());
+        return total;
+    }
+
+    // Resolve a counter path to a cumulative source over `sel`.
+    value_source make_source(
+        scheduler& sched, counter_path const& path, stat_selector sel)
+    {
+        if (path.instance == "worker-thread" && path.instance_index >= 0)
+        {
+            auto const idx = static_cast<unsigned>(path.instance_index);
+            if (idx >= sched.num_workers())
+                return nullptr;
+            return [&sched, idx, sel = std::move(sel)] {
+                return sel(sched.get_worker(idx).get_stats());
+            };
+        }
+        if (path.instance == "total")
+        {
+            return [&sched, sel = std::move(sel)] {
+                return sum_over_workers(sched, sel);
+            };
+        }
+        return nullptr;
+    }
+
+    counter_info make_info(counter_path const& path, counter_kind kind,
+        std::string unit, std::string help)
+    {
+        counter_info info;
+        info.full_name = path.full_name();
+        info.kind = kind;
+        info.unit_of_measure = std::move(unit);
+        info.helptext = std::move(help);
+        return info;
+    }
+
+    // Registration helpers -------------------------------------------------
+
+    void register_delta(counter_registry& registry, scheduler& sched,
+        std::string key, std::string unit, std::string help,
+        stat_selector sel)
+    {
+        counter_registry::type_info t;
+        t.type_key = std::move(key);
+        t.kind = counter_kind::monotonically_increasing;
+        t.unit_of_measure = unit;
+        t.helptext = std::move(help);
+        t.instance_count = [&sched] {
+            return static_cast<std::uint64_t>(sched.num_workers());
+        };
+        t.create = [&sched, sel = std::move(sel), unit,
+                       kind = t.kind](counter_path const& path) -> counter_ptr {
+            value_source source = make_source(sched, path, sel);
+            if (!source)
+                return nullptr;
+            return std::make_shared<delta_counter>(
+                make_info(path, kind, unit, ""), std::move(source));
+        };
+        registry.register_type(std::move(t));
+    }
+
+    void register_ratio(counter_registry& registry, scheduler& sched,
+        std::string key, std::string unit, std::string help,
+        stat_selector numerator, stat_selector denominator,
+        double scale = 1.0)
+    {
+        counter_registry::type_info t;
+        t.type_key = std::move(key);
+        t.kind = counter_kind::average_timer;
+        t.unit_of_measure = unit;
+        t.helptext = std::move(help);
+        t.instance_count = [&sched] {
+            return static_cast<std::uint64_t>(sched.num_workers());
+        };
+        t.create = [&sched, numerator = std::move(numerator),
+                       denominator = std::move(denominator), unit, scale,
+                       kind = t.kind](counter_path const& path) -> counter_ptr {
+            value_source num = make_source(sched, path, numerator);
+            value_source den = make_source(sched, path, denominator);
+            if (!num || !den)
+                return nullptr;
+            return std::make_shared<ratio_counter>(
+                make_info(path, kind, unit, ""), std::move(num),
+                std::move(den), scale);
+        };
+        registry.register_type(std::move(t));
+    }
+
+    void register_gauge(counter_registry& registry, std::string key,
+        std::string unit, std::string help, value_source source,
+        std::function<std::uint64_t()> instances = nullptr)
+    {
+        counter_registry::type_info t;
+        t.type_key = std::move(key);
+        t.kind = counter_kind::raw;
+        t.unit_of_measure = unit;
+        t.helptext = std::move(help);
+        t.instance_count = std::move(instances);
+        t.create = [source = std::move(source), unit,
+                       kind = t.kind](counter_path const& path) -> counter_ptr {
+            return std::make_shared<gauge_counter>(
+                make_info(path, kind, unit, ""), source);
+        };
+        registry.register_type(std::move(t));
+    }
+
+    char const* const thread_counter_keys[] = {
+        "/threads/count/cumulative",
+        "/threads/count/cumulative-spawned",
+        "/threads/time/average",
+        "/threads/time/average-overhead",
+        "/threads/time/cumulative",
+        "/threads/time/cumulative-overhead",
+        "/threads/idle-rate",
+        "/threads/count/stolen",
+        "/threads/count/steal-attempts",
+        "/threads/count/pending-misses",
+        "/threads/count/suspensions",
+        "/threads/count/yields",
+        "/threads/count/instantaneous/pending",
+        "/threads/count/instantaneous/active",
+        "/threads/count/instantaneous/suspended",
+        "/threads/time/median",
+        "/threadqueue/length",
+    };
+
+    char const* const runtime_counter_keys[] = {
+        "/runtime/uptime",
+        "/runtime/memory/resident",
+        "/runtime/memory/virtual",
+        "/runtime/count/tasks-alive",
+    };
+
+    double read_statm_pages(int field)
+    {
+        std::ifstream statm("/proc/self/statm");
+        double value = 0.0;
+        for (int i = 0; i <= field && (statm >> value); ++i)
+        {
+        }
+        return value * 4096.0;
+    }
+
+}    // namespace
+
+void register_thread_counters(counter_registry& registry, scheduler& sched)
+{
+    using stats = detail::worker::stats;
+    auto load = [](std::atomic<std::uint64_t> const& a) {
+        return static_cast<double>(a.load(std::memory_order_relaxed));
+    };
+
+    register_delta(registry, sched, "/threads/count/cumulative", "",
+        "number of HPX threads (tasks) executed to completion",
+        [load](stats const& s) { return load(s.tasks_executed); });
+
+    register_delta(registry, sched, "/threads/count/cumulative-spawned", "",
+        "number of tasks created",
+        [load](stats const& s) { return load(s.tasks_created); });
+
+    register_ratio(registry, sched, "/threads/time/average", "ns",
+        "average time spent executing one HPX thread (task duration)",
+        [load](stats const& s) { return load(s.exec_time_ns); },
+        [load](stats const& s) { return load(s.tasks_executed); });
+
+    register_ratio(registry, sched, "/threads/time/average-overhead", "ns",
+        "average scheduling cost per executed HPX thread (task overhead)",
+        [load](stats const& s) { return load(s.sched_time_ns); },
+        [load](stats const& s) { return load(s.tasks_executed); });
+
+    register_delta(registry, sched, "/threads/time/cumulative", "ns",
+        "cumulative time spent executing HPX threads (task time)",
+        [load](stats const& s) { return load(s.exec_time_ns); });
+
+    register_delta(registry, sched, "/threads/time/cumulative-overhead", "ns",
+        "cumulative time spent on scheduling (scheduling overhead)",
+        [load](stats const& s) { return load(s.sched_time_ns); });
+
+    register_ratio(registry, sched, "/threads/idle-rate", "0.01%",
+        "share of worker time not spent executing tasks",
+        [load](stats const& s) {
+            return load(s.idle_time_ns) + load(s.sched_time_ns);
+        },
+        [load](stats const& s) { return load(s.total_time_ns); },
+        /*scale=*/10000.0);
+
+    register_delta(registry, sched, "/threads/count/stolen", "",
+        "tasks this worker stole from other queues",
+        [load](stats const& s) { return load(s.steals); });
+
+    register_delta(registry, sched, "/threads/count/steal-attempts", "",
+        "steal attempts (successful or not)",
+        [load](stats const& s) { return load(s.steal_attempts); });
+
+    register_delta(registry, sched, "/threads/count/suspensions", "",
+        "task suspensions (blocking on futures/locks)",
+        [load](stats const& s) { return load(s.suspensions); });
+
+    register_delta(registry, sched, "/threads/count/yields", "",
+        "cooperative yields",
+        [load](stats const& s) { return load(s.yields); });
+
+    // Queue-level counters need the queue, not worker stats.
+    {
+        counter_registry::type_info t;
+        t.type_key = "/threads/count/pending-misses";
+        t.kind = counter_kind::monotonically_increasing;
+        t.helptext = "pop attempts that found the local queue empty";
+        t.instance_count = [&sched] {
+            return static_cast<std::uint64_t>(sched.num_workers());
+        };
+        t.create = [&sched](counter_path const& path) -> counter_ptr {
+            value_source source;
+            if (path.instance == "worker-thread" && path.instance_index >= 0 &&
+                path.instance_index <
+                    static_cast<std::int64_t>(sched.num_workers()))
+            {
+                auto const idx = static_cast<unsigned>(path.instance_index);
+                source = [&sched, idx] {
+                    return static_cast<double>(
+                        sched.get_worker(idx).queue().misses());
+                };
+            }
+            else if (path.instance == "total")
+            {
+                source = [&sched] {
+                    double total = 0;
+                    for (unsigned i = 0; i < sched.num_workers(); ++i)
+                        total += static_cast<double>(
+                            sched.get_worker(i).queue().misses());
+                    return total;
+                };
+            }
+            if (!source)
+                return nullptr;
+            return std::make_shared<delta_counter>(
+                make_info(path, counter_kind::monotonically_increasing, "",
+                    ""),
+                std::move(source));
+        };
+        registry.register_type(std::move(t));
+    }
+
+    register_gauge(registry, "/threads/count/instantaneous/pending", "",
+        "tasks currently runnable", [&sched] {
+            return static_cast<double>(
+                sched.instantaneous_count(threads::thread_state::pending));
+        });
+    register_gauge(registry, "/threads/count/instantaneous/active", "",
+        "tasks currently executing", [&sched] {
+            return static_cast<double>(
+                sched.instantaneous_count(threads::thread_state::active));
+        });
+    register_gauge(registry, "/threads/count/instantaneous/suspended", "",
+        "tasks currently suspended", [&sched] {
+            return static_cast<double>(
+                sched.instantaneous_count(threads::thread_state::suspended));
+        });
+
+    register_gauge(registry, "/threads/time/median", "ns",
+        "approximate median task duration (log2 histogram)", [&sched] {
+            return static_cast<double>(
+                sched.duration_histogram().approx_quantile(0.5));
+        });
+
+    register_gauge(registry, "/threadqueue/length", "",
+        "total length of all pending queues",
+        [&sched] {
+            double total = 0;
+            for (unsigned i = 0; i < sched.num_workers(); ++i)
+                total +=
+                    static_cast<double>(sched.get_worker(i).queue().length());
+            return total;
+        },
+        [&sched] { return static_cast<std::uint64_t>(sched.num_workers()); });
+}
+
+void remove_thread_counters(counter_registry& registry)
+{
+    for (char const* key : thread_counter_keys)
+        registry.unregister_type(key);
+}
+
+void register_runtime_counters(counter_registry& registry, runtime& rt)
+{
+    register_gauge(registry, "/runtime/uptime", "s",
+        "seconds since runtime start",
+        [&rt] { return rt.uptime_seconds(); });
+    register_gauge(registry, "/runtime/memory/resident", "bytes",
+        "resident set size", [] { return read_statm_pages(1); });
+    register_gauge(registry, "/runtime/memory/virtual", "bytes",
+        "virtual memory size", [] { return read_statm_pages(0); });
+    register_gauge(registry, "/runtime/count/tasks-alive", "",
+        "tasks created and not yet terminated", [&rt] {
+            return static_cast<double>(rt.get_scheduler().tasks_alive());
+        });
+}
+
+void remove_runtime_counters(counter_registry& registry)
+{
+    for (char const* key : runtime_counter_keys)
+        registry.unregister_type(key);
+}
+
+void register_all_runtime_counters(counter_registry& registry, runtime& rt)
+{
+    register_thread_counters(registry, rt.get_scheduler());
+    register_runtime_counters(registry, rt);
+}
+
+}    // namespace minihpx::perf

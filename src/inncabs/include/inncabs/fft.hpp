@@ -1,0 +1,140 @@
+// Inncabs "FFT": recursive radix-2 Cooley-Tukey, a task per recursion
+// node (Table V: ~1.03 us tasks, "variable/very fine"; limited HPX
+// scaling, std::async far slower — Figs 5, 11).
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <cmath>
+#include <complex>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct fft_bench
+{
+    static constexpr char const* name = "fft";
+    using cplx = std::complex<double>;
+
+    struct params
+    {
+        std::size_t n = 1 << 12;          // must be a power of two
+        std::size_t serial_cutoff = 64;   // direct DFT below this
+
+        static params tiny() { return {.n = 1 << 8}; }
+        static params bench_default() { return {.n = 1 << 12}; }
+        static params paper() { return {.n = 1 << 20}; }
+    };
+
+    // Deterministic pseudo-signal.
+    static std::vector<cplx> make_input(std::size_t n)
+    {
+        std::vector<cplx> data(n);
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            double const x = static_cast<double>(i);
+            data[i] = {std::sin(0.31 * x) + 0.5 * std::sin(0.017 * x),
+                std::cos(0.11 * x)};
+        }
+        return data;
+    }
+
+    static void fft_serial(std::vector<cplx>& a)
+    {
+        std::size_t const n = a.size();
+        if (n <= 1)
+            return;
+        std::vector<cplx> even(n / 2), odd(n / 2);
+        for (std::size_t i = 0; i < n / 2; ++i)
+        {
+            even[i] = a[2 * i];
+            odd[i] = a[2 * i + 1];
+        }
+        fft_serial(even);
+        fft_serial(odd);
+        combine(a, even, odd);
+    }
+
+    static void combine(std::vector<cplx>& out,
+        std::vector<cplx> const& even, std::vector<cplx> const& odd)
+    {
+        std::size_t const n = out.size();
+        for (std::size_t k = 0; k < n / 2; ++k)
+        {
+            double const angle =
+                -2.0 * std::numbers::pi * static_cast<double>(k) /
+                static_cast<double>(n);
+            cplx const t = std::polar(1.0, angle) * odd[k];
+            out[k] = even[k] + t;
+            out[k + n / 2] = even[k] - t;
+        }
+    }
+
+    static void fft_task(std::vector<cplx>& a, std::size_t cutoff)
+    {
+        std::size_t const n = a.size();
+        if (n <= 1)
+            return;
+        if (n <= cutoff)
+        {
+            // Leaf: n log n butterfly work over n*16-byte data.
+            auto const fn = static_cast<double>(n);
+            E::annotate_work(
+                {.cpu_ns = static_cast<std::uint64_t>(
+                     fn * std::log2(fn) * 2.0),
+                    .data_rd_bytes = static_cast<std::uint64_t>(fn * 16.0),
+                    .rfo_bytes = static_cast<std::uint64_t>(fn * 16.0),
+                    .instructions = static_cast<std::uint64_t>(
+                        fn * std::log2(fn) * 8.0)});
+            if (!E::skip_compute())
+                fft_serial(a);
+            return;
+        }
+
+        std::vector<cplx> even(n / 2), odd(n / 2);
+        for (std::size_t i = 0; i < n / 2; ++i)
+        {
+            even[i] = a[2 * i];
+            odd[i] = a[2 * i + 1];
+        }
+        auto left = E::async(
+            [&even, cutoff] { fft_task(even, cutoff); });
+        fft_task(odd, cutoff);
+        left.get();
+
+        // Internal node: split + combine cost.
+        E::annotate_work({.cpu_ns = static_cast<std::uint64_t>(n) * 1,
+            .data_rd_bytes = static_cast<std::uint64_t>(n) * 8,
+            .rfo_bytes = static_cast<std::uint64_t>(n) * 8});
+        if (!E::skip_compute())
+            combine(a, even, odd);
+    }
+
+    // Returns a checksum of the transform (magnitude sum).
+    static double run(params const& p)
+    {
+        auto data = make_input(p.n);
+        fft_task(data, p.serial_cutoff);
+        if (E::skip_compute())
+            return 0.0;
+        double sum = 0;
+        for (auto const& c : data)
+            sum += std::abs(c);
+        return sum;
+    }
+
+    static double run_serial(params const& p)
+    {
+        auto data = make_input(p.n);
+        fft_serial(data);
+        double sum = 0;
+        for (auto const& c : data)
+            sum += std::abs(c);
+        return sum;
+    }
+};
+
+}    // namespace inncabs

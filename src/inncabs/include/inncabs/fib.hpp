@@ -1,0 +1,59 @@
+// Inncabs "Fib": naive recursive Fibonacci, one task per call.
+//
+// The canonical very-fine-grained stress test (Table V: ~1.37 us avg
+// task duration, "Recursive Balanced"). The std::async version fails
+// on the paper's testbed — ~10^5 live pthreads exhaust memory.
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <cstdint>
+
+namespace inncabs {
+
+template <typename E>
+struct fib_bench
+{
+    static constexpr char const* name = "fib";
+
+    struct params
+    {
+        int n = 23;
+        // Compute attributed to one call's own body (Table V calibration:
+        // body + runtime costs ~ 1.37 us on one core).
+        std::uint64_t body_ns = 1100;
+
+        static params tiny() { return {.n = 14}; }
+        static params bench_default() { return {.n = 21}; }
+        static params paper() { return {.n = 27}; }
+    };
+
+    static std::uint64_t run_serial_n(int n)
+    {
+        return n < 2 ? static_cast<std::uint64_t>(n) :
+                       run_serial_n(n - 1) + run_serial_n(n - 2);
+    }
+
+    static std::uint64_t run_serial(params const& p)
+    {
+        return run_serial_n(p.n);
+    }
+
+    static std::uint64_t run_task(int n, std::uint64_t body_ns)
+    {
+        E::annotate_work({.cpu_ns = body_ns, .instructions = 120});
+        if (n < 2)
+            return static_cast<std::uint64_t>(n);
+        auto left =
+            E::async([n, body_ns] { return run_task(n - 1, body_ns); });
+        std::uint64_t const right = run_task(n - 2, body_ns);
+        return left.get() + right;
+    }
+
+    static std::uint64_t run(params const& p)
+    {
+        return run_task(p.n, p.body_ns);
+    }
+};
+
+}    // namespace inncabs

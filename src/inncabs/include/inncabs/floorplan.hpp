@@ -1,0 +1,181 @@
+// Inncabs "Floorplan": branch-and-bound placement of rectangular cells
+// on a grid minimizing the bounding-box area; tasks per branch with an
+// atomically-shared incumbent (Table V: ~4.6 us, very fine, recursive
+// unbalanced, "atomic pruning").
+//
+// The paper notes this benchmark's quirk: queue ordering changes how
+// fast pruning converges (HPX explored two orders of magnitude more
+// nodes), so a fixed task budget was enforced for fair comparison. We
+// expose the same `max_tasks` budget knob.
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct floorplan_bench
+{
+    static constexpr char const* name = "floorplan";
+
+    struct cell
+    {
+        int w, h;
+    };
+
+    struct params
+    {
+        std::vector<cell> cells{
+            {2, 3}, {3, 2}, {1, 4}, {2, 2}, {4, 1}, {3, 3}};
+        int grid = 8;                   // grid is grid x grid
+        int task_depth = 3;             // spawn tasks above this depth
+        std::uint64_t max_tasks = 0;    // 0 = unlimited (paper's cap knob)
+
+        static params tiny()
+        {
+            return {.cells = {{2, 3}, {3, 2}, {1, 4}, {2, 2}},
+                .grid = 6,
+                .task_depth = 2};
+        }
+        static params bench_default() { return {}; }
+        static params paper()
+        {
+            // The paper caps total tasks for fairness (ordering changes
+            // pruning); we adopt the same budget knob.
+            // Spawn at every node (what makes floorplan fine grained)
+            // with the paper's fairness cap on total tasks. The budget
+            // is kept below the thread-per-task failure threshold so
+            // the std baseline completes, as it does in Table I; the
+            // tradeoff is a coarser average grain (~16 us vs the
+            // paper's 4.6 us) because the search tail runs serially
+            // inside the last tasks (see EXPERIMENTS.md).
+            return {.cells = {{2, 3}, {3, 2}, {1, 4}, {2, 2}, {4, 1},
+                        {3, 3}},
+                .grid = 8,
+                .task_depth = 99,
+                .max_tasks = 80000};
+        }
+    };
+
+    struct shared_state
+    {
+        std::atomic<int> best_area{1 << 30};
+        std::atomic<std::uint64_t> tasks_spawned{0};
+        std::atomic<std::uint64_t> nodes{0};
+    };
+
+    // Occupancy bitset for up to 16x16 grids.
+    using board = std::array<std::uint16_t, 16>;
+
+    static bool place(board& b, int grid, cell c, int r, int col) noexcept
+    {
+        if (r + c.h > grid || col + c.w > grid)
+            return false;
+        std::uint16_t const mask =
+            static_cast<std::uint16_t>(((1u << c.w) - 1u) << col);
+        for (int i = r; i < r + c.h; ++i)
+            if (b[static_cast<std::size_t>(i)] & mask)
+                return false;
+        for (int i = r; i < r + c.h; ++i)
+            b[static_cast<std::size_t>(i)] |= mask;
+        return true;
+    }
+
+    static void unplace(board& b, cell c, int r, int col) noexcept
+    {
+        std::uint16_t const mask =
+            static_cast<std::uint16_t>(((1u << c.w) - 1u) << col);
+        for (int i = r; i < r + c.h; ++i)
+            b[static_cast<std::size_t>(i)] &=
+                static_cast<std::uint16_t>(~mask);
+    }
+
+    static int bound_area(int max_r, int max_c) noexcept
+    {
+        return max_r * max_c;
+    }
+
+    static void search(params const& p, shared_state& state, board b,
+        std::size_t index, int max_r, int max_c, int depth)
+    {
+        state.nodes.fetch_add(1, std::memory_order_relaxed);
+        E::annotate_work(
+            {.cpu_ns = 3200, .data_rd_bytes = 128, .instructions = 5000});
+
+        if (bound_area(max_r, max_c) >=
+            state.best_area.load(std::memory_order_relaxed))
+            return;    // prune
+
+        if (index == p.cells.size())
+        {
+            int const area = bound_area(max_r, max_c);
+            int best = state.best_area.load(std::memory_order_relaxed);
+            while (area < best &&
+                !state.best_area.compare_exchange_weak(best, area))
+            {
+            }
+            return;
+        }
+
+        cell const c = p.cells[index];
+        std::vector<efuture<E, void>> futures;
+        for (int r = 0; r < p.grid; ++r)
+        {
+            for (int col = 0; col < p.grid; ++col)
+            {
+                if (!place(b, p.grid, c, r, col))
+                    continue;
+                int const nmax_r = std::max(max_r, r + c.h);
+                int const nmax_c = std::max(max_c, col + c.w);
+                bool const budget_ok = p.max_tasks == 0 ||
+                    state.tasks_spawned.load(std::memory_order_relaxed) <
+                        p.max_tasks;
+                if (depth < p.task_depth && budget_ok)
+                {
+                    state.tasks_spawned.fetch_add(
+                        1, std::memory_order_relaxed);
+                    board snapshot = b;
+                    futures.push_back(E::async(
+                        [&p, &state, snapshot, index, nmax_r, nmax_c,
+                            depth]() mutable {
+                            search(p, state, snapshot, index + 1, nmax_r,
+                                nmax_c, depth + 1);
+                        }));
+                }
+                else
+                {
+                    search(p, state, b, index + 1, nmax_r, nmax_c,
+                        depth + 1);
+                }
+                unplace(b, c, r, col);
+            }
+        }
+        for (auto& f : futures)
+            f.get();
+    }
+
+    // Returns the optimal bounding area (order-independent: B&B always
+    // converges to the optimum, so parallel == serial).
+    static int run(params const& p)
+    {
+        shared_state state;
+        search(p, state, board{}, 0, 0, 0, 0);
+        return state.best_area.load();
+    }
+
+    static int run_serial(params const& p)
+    {
+        params serial = p;
+        serial.task_depth = -1;    // never spawn
+        shared_state state;
+        search(serial, state, board{}, 0, 0, 0, 0);
+        return state.best_area.load();
+    }
+};
+
+}    // namespace inncabs

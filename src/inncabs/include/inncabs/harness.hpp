@@ -1,0 +1,77 @@
+// Measurement harness reproducing the paper's protocol (§V-D):
+// N samples per experiment, medians reported, performance counters
+// evaluated-and-reset around every sample via the
+// evaluate_active_counters / reset_active_counters API.
+#pragma once
+
+#include <minihpx/perf/active_counters.hpp>
+#include <minihpx/util/stats.hpp>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace inncabs {
+
+struct sample_result
+{
+    minihpx::util::sample_set times_ms;
+    double median_ms() const { return times_ms.median(); }
+};
+
+// Runs `body` `samples` times. Counter protocol per sample: reset
+// before, evaluate(reset=true) after, annotated with the sample index
+// (the global perf::counter_session receives the output, if any).
+template <typename Body>
+sample_result run_samples(
+    std::string_view label, unsigned samples, Body&& body)
+{
+    sample_result result;
+    result.times_ms.reserve(samples);
+    for (unsigned s = 0; s < samples; ++s)
+    {
+        minihpx::perf::reset_active_counters();
+        auto const t0 = std::chrono::steady_clock::now();
+        body();
+        auto const t1 = std::chrono::steady_clock::now();
+        minihpx::perf::evaluate_active_counters(/*reset=*/true,
+            std::string(label) + " sample#" + std::to_string(s));
+        result.times_ms.add(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return result;
+}
+
+// ---- type-erased suite access (driver + benches) -----------------------
+
+enum class input_scale : std::uint8_t
+{
+    tiny,            // unit tests
+    bench_default,   // quick local runs
+    paper,           // the paper's input sizes
+};
+
+struct benchmark_entry
+{
+    std::string name;
+    // Runs the benchmark once on engine `E`; returns a result checksum
+    // (engine chosen by the Runner template below).
+    std::function<double(input_scale)> run_minihpx;
+    std::function<double(input_scale)> run_std;
+    std::function<double(input_scale)> run_serial;
+    // Runs the workload on sim_engine; must be called from inside a
+    // simulator task (the caller owns simulator::run). Returns the
+    // checksum (0 when the simulator skips compute).
+    std::function<double(input_scale)> run_sim_body;
+};
+
+// All fourteen benchmarks, in Table V order.
+std::vector<benchmark_entry> const& suite();
+
+// nullptr when `name` is not in the suite.
+benchmark_entry const* find_benchmark(std::string_view name);
+
+}    // namespace inncabs

@@ -1,0 +1,18 @@
+// Umbrella header: the full Inncabs benchmark suite (paper Table V).
+#pragma once
+
+#include <inncabs/alignment.hpp>
+#include <inncabs/engine.hpp>
+#include <inncabs/fft.hpp>
+#include <inncabs/fib.hpp>
+#include <inncabs/floorplan.hpp>
+#include <inncabs/health.hpp>
+#include <inncabs/intersim.hpp>
+#include <inncabs/nqueens.hpp>
+#include <inncabs/pyramids.hpp>
+#include <inncabs/qap.hpp>
+#include <inncabs/round.hpp>
+#include <inncabs/sort.hpp>
+#include <inncabs/sparselu.hpp>
+#include <inncabs/strassen.hpp>
+#include <inncabs/uts.hpp>

@@ -1,0 +1,104 @@
+// Inncabs "NQueens": count all N-queens placements; a task per branch
+// down to a depth cutoff (Table V: ~28 us tasks, "fine", recursive
+// unbalanced; std::async fails from pthread scheduling pressure, HPX
+// scales to 20).
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <cstdint>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct nqueens_bench
+{
+    static constexpr char const* name = "nqueens";
+
+    struct params
+    {
+        int n = 10;
+        int task_depth = 3;    // spawn tasks down to this row
+
+        static params tiny() { return {.n = 7, .task_depth = 2}; }
+        static params bench_default() { return {.n = 10, .task_depth = 3}; }
+        static params paper() { return {.n = 13, .task_depth = 6}; }
+    };
+
+    static bool safe(std::vector<int> const& pos, int row, int col) noexcept
+    {
+        for (int r = 0; r < row; ++r)
+        {
+            int const c = pos[static_cast<std::size_t>(r)];
+            if (c == col || c - col == row - r || col - c == row - r)
+                return false;
+        }
+        return true;
+    }
+
+    static std::uint64_t solve_serial(std::vector<int>& pos, int row, int n)
+    {
+        if (row == n)
+            return 1;
+        std::uint64_t count = 0;
+        for (int col = 0; col < n; ++col)
+        {
+            if (safe(pos, row, col))
+            {
+                pos[static_cast<std::size_t>(row)] = col;
+                count += solve_serial(pos, row + 1, n);
+            }
+        }
+        return count;
+    }
+
+    static std::uint64_t solve_task(
+        std::vector<int> pos, int row, int n, int task_depth)
+    {
+        // Body cost: scanning N columns against `row` placed queens,
+        // plus the serial subtree below the spawn frontier.
+        if (row >= task_depth)
+        {
+            // Serial subtree leaf task: bulk of the 28 us grain.
+            E::annotate_work({.cpu_ns = 24000,
+                .data_rd_bytes = 256,
+                .instructions = 40000});
+            return solve_serial(pos, row, n);
+        }
+        E::annotate_work({.cpu_ns = 900, .instructions = 600});
+        if (row == n)
+            return 1;
+
+        std::vector<efuture<E, std::uint64_t>> futures;
+        for (int col = 0; col < n; ++col)
+        {
+            if (!safe(pos, row, col))
+                continue;
+            auto child = pos;
+            child[static_cast<std::size_t>(row)] = col;
+            futures.push_back(
+                E::async([child = std::move(child), row, n, task_depth] {
+                    return solve_task(child, row + 1, n, task_depth);
+                }));
+        }
+        std::uint64_t count = 0;
+        for (auto& f : futures)
+            count += f.get();
+        return count;
+    }
+
+    static std::uint64_t run(params const& p)
+    {
+        std::vector<int> pos(static_cast<std::size_t>(p.n), -1);
+        return solve_task(std::move(pos), 0, p.n, p.task_depth);
+    }
+
+    static std::uint64_t run_serial(params const& p)
+    {
+        std::vector<int> pos(static_cast<std::size_t>(p.n), -1);
+        return solve_serial(pos, 0, p.n);
+    }
+};
+
+}    // namespace inncabs

@@ -1,0 +1,177 @@
+// Inncabs "Pyramids": space-time decomposition of a 1D 3-point Jacobi
+// stencil (Table V: ~246 us tasks, moderate, recursive balanced; the
+// one benchmark where the std version beats HPX at low core counts —
+// Figs 2, 9, 14).
+//
+// Decomposition: time advances in slabs of `base_steps`; each slab cuts
+// space into independent blocks. A task copies its block plus a
+// base_steps-wide ghost halo, advances the copy base_steps timesteps
+// locally, and writes back the (exact) interior — the classic
+// overlapped/trapezoid scheme, so parallel and serial arithmetic agree
+// bit-for-bit.
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct pyramids_bench
+{
+    static constexpr char const* name = "pyramids";
+
+    struct params
+    {
+        std::size_t width = 1 << 14;    // grid points
+        std::size_t steps = 128;        // timesteps (multiple of base)
+        std::size_t base_steps = 32;    // slab height
+        std::size_t block = 4096;       // cells per task
+
+        static params tiny()
+        {
+            return {.width = 512, .steps = 16, .base_steps = 8,
+                .block = 128};
+        }
+        static params bench_default()
+        {
+            return {.width = 1 << 14, .steps = 128, .base_steps = 32,
+                .block = 4096};
+        }
+        static params paper()
+        {
+            // 1024 blocks x 109 slabs ~ 112k tasks of 4096x32 cells
+            // (~246 us at 1.9 ns/cell, Table V).
+            return {.width = 1 << 22, .steps = 3488, .base_steps = 32,
+                .block = 4096};
+        }
+    };
+
+    static std::vector<double> make_grid(std::size_t width)
+    {
+        std::vector<double> g(width);
+        for (std::size_t i = 0; i < width; ++i)
+            g[i] = static_cast<double>(i % 97) * 0.01;
+        return g;
+    }
+
+    // One sweep over [1, n-1) of `src` into `dst` with clamped edges
+    // handled by the caller's halo convention.
+    static void sweep(std::vector<double> const& src,
+        std::vector<double>& dst, std::size_t lo, std::size_t hi,
+        std::size_t width)
+    {
+        for (std::size_t i = lo; i < hi; ++i)
+        {
+            double const left = i == 0 ? src[0] : src[i - 1];
+            double const right =
+                i + 1 == width ? src[width - 1] : src[i + 1];
+            dst[i] = 0.25 * left + 0.5 * src[i] + 0.25 * right;
+        }
+    }
+
+    static void annotate_block(std::size_t block_cells, std::size_t steps)
+    {
+        // ~1.9 ns per cell-update: 4096x32 -> ~249 us (Table V's 246
+        // us). Time-blocking reuses the block in cache across the slab,
+        // so off-core traffic is per *layer* (read block+halo, write
+        // block back, with partial eviction), not per cell-update.
+        std::size_t const cells = block_cells * steps;
+        // The paper-scale grid (2^22 doubles = 32 MB) exceeds the 25 MB
+        // shared L3, so the slab streams its block several times (halo
+        // chain + partial eviction): ~6 lines of traffic per block
+        // element per slab. This is what bends Fig 14's bandwidth curve
+        // toward the socket ceiling and caps the speedup near 13.
+        E::annotate_work({.cpu_ns = static_cast<std::uint64_t>(
+                              static_cast<double>(cells) * 1.9),
+            .data_rd_bytes = block_cells * 8 * 6,
+            .rfo_bytes = block_cells * 8 * 6,
+            .instructions = cells * 6});
+    }
+
+    // Advance block [lo, hi) of src by `steps` into dst[lo, hi), using
+    // a private halo copy so all blocks of a slab are independent.
+    static void block_task(std::vector<double> const& src,
+        std::vector<double>& dst, std::size_t lo, std::size_t hi,
+        std::size_t steps, std::size_t width)
+    {
+        annotate_block(hi - lo, steps);
+        if (E::skip_compute())
+            return;
+
+        // Copy [glo, ghi) where the halo absorbs `steps` of shrinkage.
+        std::size_t const glo = lo >= steps ? lo - steps : 0;
+        std::size_t const ghi = std::min(width, hi + steps);
+        std::size_t const n = ghi - glo;
+        std::vector<double> cur(src.begin() + static_cast<std::ptrdiff_t>(glo),
+            src.begin() + static_cast<std::ptrdiff_t>(ghi));
+        std::vector<double> nxt(n);
+
+        bool const at_left_edge = glo == 0;
+        bool const at_right_edge = ghi == width;
+        for (std::size_t s = 0; s < steps; ++s)
+        {
+            // Valid region shrinks from non-edge sides each step.
+            std::size_t const vlo = at_left_edge ? 0 : s + 1;
+            std::size_t const vhi = at_right_edge ? n : n - s - 1;
+            for (std::size_t i = vlo; i < vhi; ++i)
+            {
+                double const left = i == 0 ? cur[0] : cur[i - 1];
+                double const right = i + 1 == n ? cur[n - 1] : cur[i + 1];
+                nxt[i] = 0.25 * left + 0.5 * cur[i] + 0.25 * right;
+            }
+            std::swap(cur, nxt);
+        }
+        std::copy(cur.begin() + static_cast<std::ptrdiff_t>(lo - glo),
+            cur.begin() + static_cast<std::ptrdiff_t>(hi - glo),
+            dst.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+
+    static double checksum(std::vector<double> const& g)
+    {
+        double sum = 0;
+        for (std::size_t i = 0; i < g.size(); i += g.size() / 101 + 1)
+            sum += g[i];
+        return sum;
+    }
+
+    static double run(params const& p)
+    {
+        auto a = make_grid(p.width);
+        std::vector<double> b(p.width);
+        for (std::size_t t = 0; t < p.steps; t += p.base_steps)
+        {
+            std::size_t const slab =
+                std::min(p.base_steps, p.steps - t);
+            std::vector<efuture<E, void>> wave;
+            for (std::size_t lo = 0; lo < p.width; lo += p.block)
+            {
+                std::size_t const hi = std::min(p.width, lo + p.block);
+                wave.push_back(E::async([&a, &b, lo, hi, slab, &p] {
+                    block_task(a, b, lo, hi, slab, p.width);
+                }));
+            }
+            for (auto& f : wave)
+                f.get();
+            std::swap(a, b);
+        }
+        return E::skip_compute() ? 0.0 : checksum(a);
+    }
+
+    static double run_serial(params const& p)
+    {
+        auto a = make_grid(p.width);
+        std::vector<double> b(p.width);
+        for (std::size_t t = 0; t < p.steps; ++t)
+        {
+            sweep(a, b, 0, p.width, p.width);
+            std::swap(a, b);
+        }
+        return checksum(a);
+    }
+};
+
+}    // namespace inncabs

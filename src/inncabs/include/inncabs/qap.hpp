@@ -1,0 +1,157 @@
+// Inncabs "QAP": branch-and-bound quadratic assignment — assign n
+// facilities to n locations minimizing sum(flow[i][j]*dist[p(i)][p(j)])
+// (Table V: ~1.0 us, very fine, recursive unbalanced, atomic pruning).
+// The paper could only run the smallest input (memory limits); we
+// default to a small instance too.
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct qap_bench
+{
+    static constexpr char const* name = "qap";
+
+    struct params
+    {
+        int n = 9;
+        int task_depth = 2;
+        std::uint64_t seed = 17;
+
+        static params tiny() { return {.n = 6, .task_depth = 2}; }
+        // The paper runs only the smallest input; tasks are spawned at
+        // every node, which is what makes QAP very fine grained (~1 us).
+        static params bench_default() { return {.n = 8, .task_depth = 8}; }
+        static params paper() { return {.n = 9, .task_depth = 9}; }
+    };
+
+    struct instance
+    {
+        int n;
+        std::vector<int> flow;    // n*n
+        std::vector<int> dist;    // n*n
+    };
+
+    static instance make_instance(params const& p)
+    {
+        minihpx::util::xoshiro256ss rng(p.seed);
+        instance inst;
+        inst.n = p.n;
+        auto const n = static_cast<std::size_t>(p.n);
+        inst.flow.resize(n * n);
+        inst.dist.resize(n * n);
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            for (std::size_t j = 0; j < n; ++j)
+            {
+                if (i == j)
+                    continue;
+                inst.flow[i * n + j] = static_cast<int>(rng.below(10));
+                inst.dist[i * n + j] = static_cast<int>(rng.below(10)) + 1;
+            }
+        }
+        return inst;
+    }
+
+    struct shared_state
+    {
+        std::atomic<int> best{1 << 30};
+        std::atomic<std::uint64_t> nodes{0};
+    };
+
+    // Partial cost of placing facility `f` at location `loc` given the
+    // already-fixed prefix assignment.
+    static int delta_cost(instance const& inst,
+        std::vector<int> const& assign, int depth, int loc)
+    {
+        auto const n = static_cast<std::size_t>(inst.n);
+        int cost = 0;
+        auto const f = static_cast<std::size_t>(depth);
+        for (std::size_t i = 0; i < f; ++i)
+        {
+            auto const li = static_cast<std::size_t>(
+                assign[static_cast<std::size_t>(i)]);
+            cost += inst.flow[i * n + f] *
+                    inst.dist[li * n + static_cast<std::size_t>(loc)] +
+                inst.flow[f * n + i] *
+                    inst.dist[static_cast<std::size_t>(loc) * n + li];
+        }
+        return cost;
+    }
+
+    static void search(instance const& inst, params const& p,
+        shared_state& state, std::vector<int> assign, std::uint32_t used,
+        int depth, int cost)
+    {
+        state.nodes.fetch_add(1, std::memory_order_relaxed);
+        E::annotate_work(
+            {.cpu_ns = 750, .data_rd_bytes = 96, .instructions = 1100});
+
+        if (cost >= state.best.load(std::memory_order_relaxed))
+            return;    // admissible prefix bound
+        if (depth == inst.n)
+        {
+            int best = state.best.load(std::memory_order_relaxed);
+            while (
+                cost < best && !state.best.compare_exchange_weak(best, cost))
+            {
+            }
+            return;
+        }
+
+        std::vector<efuture<E, void>> futures;
+        for (int loc = 0; loc < inst.n; ++loc)
+        {
+            if (used & (1u << loc))
+                continue;
+            int const ncost = cost + delta_cost(inst, assign, depth, loc);
+            auto next = assign;
+            next[static_cast<std::size_t>(depth)] = loc;
+            std::uint32_t const nused = used | (1u << loc);
+            if (depth < p.task_depth)
+            {
+                futures.push_back(E::async(
+                    [&inst, &p, &state, next = std::move(next), nused,
+                        depth, ncost]() mutable {
+                        search(inst, p, state, std::move(next), nused,
+                            depth + 1, ncost);
+                    }));
+            }
+            else
+            {
+                search(inst, p, state, std::move(next), nused, depth + 1,
+                    ncost);
+            }
+        }
+        for (auto& f : futures)
+            f.get();
+    }
+
+    static int run(params const& p)
+    {
+        auto const inst = make_instance(p);
+        shared_state state;
+        search(inst, p, state,
+            std::vector<int>(static_cast<std::size_t>(p.n), -1), 0, 0, 0);
+        return state.best.load();
+    }
+
+    static int run_serial(params const& p)
+    {
+        params serial = p;
+        serial.task_depth = -1;
+        auto const inst = make_instance(p);
+        shared_state state;
+        search(inst, serial, state,
+            std::vector<int>(static_cast<std::size_t>(p.n), -1), 0, 0, 0);
+        return state.best.load();
+    }
+};
+
+}    // namespace inncabs

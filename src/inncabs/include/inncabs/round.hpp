@@ -1,0 +1,122 @@
+// Inncabs "Round": round-robin token circulation; K tokens travel a
+// ring of K participants for R laps. Every hop is a task that waits on
+// the token's previous hop and takes two participant mutexes
+// (Table V: "2 mutex/task", ~9671 us, coarse, co-dependent; scales to
+// 20 on both runtimes).
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct round_bench
+{
+    static constexpr char const* name = "round";
+
+    struct params
+    {
+        unsigned participants = 16;    // ring size == tokens in flight
+        unsigned laps = 4;             // tasks = participants * laps
+        std::uint64_t hop_work_ns = 9'600'000;    // Table V grain
+
+        static params tiny()
+        {
+            return {.participants = 4, .laps = 2, .hop_work_ns = 20000};
+        }
+        static params bench_default()
+        {
+            return {.participants = 16, .laps = 4, .hop_work_ns = 9'600'000};
+        }
+        static params paper()
+        {
+            // 64 x 8 = 512 tasks (Table I: 512 baseline tasks).
+            return {.participants = 64, .laps = 8,
+                .hop_work_ns = 9'600'000};
+        }
+    };
+
+    struct ring
+    {
+        std::vector<std::unique_ptr<typename E::mutex>> mutexes;
+        std::vector<std::uint64_t> visits;
+
+        explicit ring(unsigned k) : visits(k, 0)
+        {
+            mutexes.reserve(k);
+            for (unsigned i = 0; i < k; ++i)
+                mutexes.push_back(std::make_unique<typename E::mutex>());
+        }
+    };
+
+    // One hop: the token moves from `at` to `at+1`, locking both
+    // participants (in index order, deadlock-free), doing the hop work.
+    static std::uint64_t hop(
+        ring& r, unsigned at, std::uint64_t token, std::uint64_t work_ns)
+    {
+        unsigned const next =
+            (at + 1) % static_cast<unsigned>(r.visits.size());
+        auto* first = r.mutexes[std::min(at, next)].get();
+        auto* second = r.mutexes[std::max(at, next)].get();
+        first->lock();
+        if (second != first)
+            second->lock();
+        E::annotate_work({.cpu_ns = work_ns,
+            .data_rd_bytes = work_ns / 12,
+            .instructions = work_ns * 2});
+        if (!E::skip_compute())
+        {
+            // Real busy-work proportional to the annotated amount.
+            volatile double x = 1.0;
+            for (std::uint64_t i = 0; i < work_ns / 8; ++i)
+                x = x * 1.0000001 + 0.25;
+        }
+        ++r.visits[at];
+        if (second != first)
+            second->unlock();
+        first->unlock();
+        return token + 1;
+    }
+
+    // Each token hops around the ring as a chain of tasks; K chains run
+    // concurrently and contend on the shared participant mutexes.
+    static std::uint64_t run(params const& p)
+    {
+        ring r(p.participants);
+        std::vector<efuture<E, std::uint64_t>> chains;
+        chains.reserve(p.participants);
+        for (unsigned start = 0; start < p.participants; ++start)
+        {
+            efuture<E, std::uint64_t> prev =
+                E::async([] { return std::uint64_t(0); });
+            for (unsigned lap = 0; lap < p.laps; ++lap)
+            {
+                unsigned const at =
+                    (start + lap) % p.participants;
+                prev = E::async(
+                    [&r, at, work = p.hop_work_ns,
+                        pf = std::move(prev)]() mutable {
+                        std::uint64_t const token = pf.get();
+                        return hop(r, at, token, work);
+                    });
+            }
+            chains.push_back(std::move(prev));
+        }
+        std::uint64_t total = 0;
+        for (auto& f : chains)
+            total += f.get();
+        return total;    // == participants * laps
+    }
+
+    static std::uint64_t run_serial(params const& p)
+    {
+        return static_cast<std::uint64_t>(p.participants) * p.laps;
+    }
+};
+
+}    // namespace inncabs

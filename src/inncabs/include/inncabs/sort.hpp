@@ -1,0 +1,121 @@
+// Inncabs "Sort": parallel merge sort (cilksort lineage), tasks on the
+// divide step, serial sort below a threshold (Table V: ~52 us tasks,
+// "variable/fine"; HPX scales to 16, std to 10 — Fig 4).
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct sort_bench
+{
+    static constexpr char const* name = "sort";
+
+    struct params
+    {
+        std::size_t n = 1 << 16;
+        std::size_t serial_cutoff = 2048;
+        std::uint64_t seed = 11;
+
+        static params tiny()
+        {
+            return {.n = 1 << 10, .serial_cutoff = 128, .seed = 11};
+        }
+        static params bench_default()
+        {
+            return {.n = 1 << 16, .serial_cutoff = 2048, .seed = 11};
+        }
+        static params paper()
+        {
+            // ~328k tasks in the paper; 2^25 keys with a 2k cutoff give
+            // the same order of magnitude of task count.
+            return {.n = 1 << 25, .serial_cutoff = 2048, .seed = 11};
+        }
+    };
+
+    static std::vector<std::uint32_t> make_input(
+        std::size_t n, std::uint64_t seed)
+    {
+        minihpx::util::xoshiro256ss rng(seed);
+        std::vector<std::uint32_t> data(n);
+        for (auto& x : data)
+            x = static_cast<std::uint32_t>(rng());
+        return data;
+    }
+
+    static void annotate_leaf(std::size_t n)
+    {
+        auto const fn = static_cast<double>(n);
+        E::annotate_work({.cpu_ns = static_cast<std::uint64_t>(
+                              fn * std::log2(std::max(fn, 2.0)) * 2.2),
+            .data_rd_bytes = static_cast<std::uint64_t>(fn * 4),
+            .rfo_bytes = static_cast<std::uint64_t>(fn * 4),
+            .instructions = static_cast<std::uint64_t>(fn * 20)});
+    }
+
+    static void annotate_merge(std::size_t n)
+    {
+        E::annotate_work(
+            {.cpu_ns = static_cast<std::uint64_t>(n) * 2,
+                .data_rd_bytes = static_cast<std::uint64_t>(n) * 4,
+                .rfo_bytes = static_cast<std::uint64_t>(n) * 4,
+                .instructions = static_cast<std::uint64_t>(n) * 8});
+    }
+
+    static void sort_task(std::uint32_t* data, std::uint32_t* scratch,
+        std::size_t n, std::size_t cutoff)
+    {
+        if (n <= cutoff)
+        {
+            annotate_leaf(n);
+            if (!E::skip_compute())
+                std::sort(data, data + n);
+            return;
+        }
+        std::size_t const half = n / 2;
+        auto left = E::async([data, scratch, half, cutoff] {
+            sort_task(data, scratch, half, cutoff);
+        });
+        sort_task(data + half, scratch + half, n - half, cutoff);
+        left.get();
+
+        annotate_merge(n);
+        if (!E::skip_compute())
+        {
+            std::merge(data, data + half, data + half, data + n, scratch);
+            std::copy(scratch, scratch + n, data);
+        }
+    }
+
+    // Returns a checksum (sum of sorted sample positions).
+    static std::uint64_t run(params const& p)
+    {
+        auto data = make_input(p.n, p.seed);
+        std::vector<std::uint32_t> scratch(p.n);
+        sort_task(data.data(), scratch.data(), p.n, p.serial_cutoff);
+        if (E::skip_compute())
+            return 0;
+        std::uint64_t checksum = 0;
+        for (std::size_t i = 0; i < p.n; i += p.n / 64 + 1)
+            checksum = checksum * 31 + data[i];
+        return checksum;
+    }
+
+    static std::uint64_t run_serial(params const& p)
+    {
+        auto data = make_input(p.n, p.seed);
+        std::sort(data.begin(), data.end());
+        std::uint64_t checksum = 0;
+        for (std::size_t i = 0; i < p.n; i += p.n / 64 + 1)
+            checksum = checksum * 31 + data[i];
+        return checksum;
+    }
+};
+
+}    // namespace inncabs

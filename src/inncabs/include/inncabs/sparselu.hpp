@@ -1,0 +1,217 @@
+// Inncabs "SparseLU": LU factorization of a sparse blocked matrix
+// (BOTS lineage): per elimination step, fwd/bdiv tasks on the panel and
+// bmod tasks on interior blocks (Table V: ~988 us tasks, coarse,
+// loop-like; scales to 20 on both runtimes).
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct sparselu_bench
+{
+    static constexpr char const* name = "sparselu";
+
+    struct params
+    {
+        std::size_t nb = 12;     // matrix is nb x nb blocks
+        std::size_t bs = 32;     // block size
+        std::uint64_t seed = 3;
+
+        static params tiny() { return {.nb = 5, .bs = 8}; }
+        static params bench_default() { return {.nb = 12, .bs = 32}; }
+        static params paper()
+        {
+            // nb=32, bs=64: ~11k bmod tasks at ~1 ms each (Table V).
+            return {.nb = 32, .bs = 64};
+        }
+    };
+
+    using block = std::vector<double>;    // bs*bs, row-major
+    using matrix = std::vector<std::unique_ptr<block>>;    // nb*nb, sparse
+
+    // BOTS-style sparsity pattern: block (i,j) present if near the
+    // diagonal or on selected bands; diagonal always present.
+    static bool present(std::size_t i, std::size_t j) noexcept
+    {
+        return i == j || (i > j && (i - j) % 3 != 2) ||
+            (j > i && (j - i) % 3 != 2);
+    }
+
+    static matrix make_matrix(params const& p)
+    {
+        minihpx::util::xoshiro256ss rng(p.seed);
+        matrix m(p.nb * p.nb);
+        for (std::size_t i = 0; i < p.nb; ++i)
+        {
+            for (std::size_t j = 0; j < p.nb; ++j)
+            {
+                if (!present(i, j))
+                    continue;
+                auto b = std::make_unique<block>(p.bs * p.bs);
+                for (auto& x : *b)
+                    x = rng.uniform01() * 0.1;
+                if (i == j)    // diagonally dominant
+                    for (std::size_t d = 0; d < p.bs; ++d)
+                        (*b)[d * p.bs + d] += 4.0;
+                m[i * p.nb + j] = std::move(b);
+            }
+        }
+        return m;
+    }
+
+    // --- block kernels ---------------------------------------------------
+    static void lu0(block& diag, std::size_t bs)
+    {
+        for (std::size_t k = 0; k < bs; ++k)
+            for (std::size_t i = k + 1; i < bs; ++i)
+            {
+                diag[i * bs + k] /= diag[k * bs + k];
+                for (std::size_t j = k + 1; j < bs; ++j)
+                    diag[i * bs + j] -= diag[i * bs + k] * diag[k * bs + j];
+            }
+    }
+
+    static void fwd(block const& diag, block& col, std::size_t bs)
+    {
+        for (std::size_t k = 0; k < bs; ++k)
+            for (std::size_t i = k + 1; i < bs; ++i)
+                for (std::size_t j = 0; j < bs; ++j)
+                    col[i * bs + j] -= diag[i * bs + k] * col[k * bs + j];
+    }
+
+    static void bdiv(block const& diag, block& row, std::size_t bs)
+    {
+        for (std::size_t i = 0; i < bs; ++i)
+            for (std::size_t k = 0; k < bs; ++k)
+            {
+                row[i * bs + k] /= diag[k * bs + k];
+                for (std::size_t j = k + 1; j < bs; ++j)
+                    row[i * bs + j] -= row[i * bs + k] * diag[k * bs + j];
+            }
+    }
+
+    static void bmod(block const& row, block const& col, block& inner,
+        std::size_t bs)
+    {
+        for (std::size_t i = 0; i < bs; ++i)
+            for (std::size_t k = 0; k < bs; ++k)
+            {
+                double const rik = row[i * bs + k];
+                for (std::size_t j = 0; j < bs; ++j)
+                    inner[i * bs + j] -= rik * col[k * bs + j];
+            }
+    }
+
+    static void annotate_block_kernel(std::size_t bs)
+    {
+        double const fb = static_cast<double>(bs);
+        // bs^3 multiply-adds, ~3.8 ns each: bs=64 -> ~1 ms (Table V).
+        E::annotate_work({.cpu_ns = static_cast<std::uint64_t>(
+                              fb * fb * fb * 3.8),
+            .data_rd_bytes = static_cast<std::uint64_t>(fb * fb * 24),
+            .rfo_bytes = static_cast<std::uint64_t>(fb * fb * 8),
+            .instructions =
+                static_cast<std::uint64_t>(fb * fb * fb * 4)});
+    }
+
+    static double run_impl(params const& p, bool parallel)
+    {
+        auto m = make_matrix(p);
+        std::size_t const nb = p.nb, bs = p.bs;
+        auto at = [&](std::size_t i, std::size_t j) -> block* {
+            return m[i * nb + j].get();
+        };
+
+        for (std::size_t k = 0; k < nb; ++k)
+        {
+            lu0(*at(k, k), bs);
+            if (parallel)
+            {
+                std::vector<efuture<E, void>> panel;
+                for (std::size_t j = k + 1; j < nb; ++j)
+                {
+                    if (at(k, j))
+                        panel.push_back(E::async([&, j] {
+                            annotate_block_kernel(bs);
+                            if (!E::skip_compute())
+                                fwd(*at(k, k), *at(k, j), bs);
+                        }));
+                    if (at(j, k))
+                        panel.push_back(E::async([&, j] {
+                            annotate_block_kernel(bs);
+                            if (!E::skip_compute())
+                                bdiv(*at(k, k), *at(j, k), bs);
+                        }));
+                }
+                for (auto& f : panel)
+                    f.get();
+
+                std::vector<efuture<E, void>> interior;
+                for (std::size_t i = k + 1; i < nb; ++i)
+                {
+                    if (!at(i, k))
+                        continue;
+                    for (std::size_t j = k + 1; j < nb; ++j)
+                    {
+                        if (!at(k, j))
+                            continue;
+                        if (!at(i, j))
+                            m[i * nb + j] =
+                                std::make_unique<block>(bs * bs, 0.0);
+                        interior.push_back(E::async([&, i, j] {
+                            annotate_block_kernel(bs);
+                            if (!E::skip_compute())
+                                bmod(*at(i, k), *at(k, j), *at(i, j), bs);
+                        }));
+                    }
+                }
+                for (auto& f : interior)
+                    f.get();
+            }
+            else
+            {
+                for (std::size_t j = k + 1; j < nb; ++j)
+                {
+                    if (at(k, j))
+                        fwd(*at(k, k), *at(k, j), bs);
+                    if (at(j, k))
+                        bdiv(*at(k, k), *at(j, k), bs);
+                }
+                for (std::size_t i = k + 1; i < nb; ++i)
+                {
+                    if (!at(i, k))
+                        continue;
+                    for (std::size_t j = k + 1; j < nb; ++j)
+                    {
+                        if (!at(k, j))
+                            continue;
+                        if (!at(i, j))
+                            m[i * nb + j] =
+                                std::make_unique<block>(bs * bs, 0.0);
+                        bmod(*at(i, k), *at(k, j), *at(i, j), bs);
+                    }
+                }
+            }
+        }
+
+        if (parallel && E::skip_compute())
+            return 0.0;
+        double checksum = 0;
+        for (std::size_t i = 0; i < nb; ++i)
+            if (block* diag = at(i, i))
+                checksum += (*diag)[0] + (*diag)[bs * bs - 1];
+        return checksum;
+    }
+
+    static double run(params const& p) { return run_impl(p, true); }
+    static double run_serial(params const& p) { return run_impl(p, false); }
+};
+
+}    // namespace inncabs

@@ -1,0 +1,123 @@
+// Inncabs "UTS": Unbalanced Tree Search — count the nodes of an
+// implicitly defined random tree whose shape is derived from a
+// splittable hash of each node id (Table V: ~1.37 us, very fine,
+// recursive unbalanced; HPX scales to the socket boundary, std::async
+// exhausts pthreads and fails — Figs 6, 12).
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <cstdint>
+#include <vector>
+
+namespace inncabs {
+
+template <typename E>
+struct uts_bench
+{
+    static constexpr char const* name = "uts";
+
+    struct params
+    {
+        // Geometric tree: each node has `max_children` children with
+        // probability derived from its hash; expected branching <1
+        // below the root levels bounds the tree.
+        unsigned root_children = 64;
+        unsigned max_children = 4;
+        // Child probability in 1/1024 units (per candidate child).
+        unsigned q = 230;    // 4*230/1024 ~ 0.9 expected children
+        unsigned max_depth = 60;
+        std::uint64_t seed = 0xfeed;
+
+        static params tiny()
+        {
+            return {.root_children = 8, .q = 200, .seed = 0xfeed};
+        }
+        static params bench_default()
+        {
+            return {.root_children = 64, .q = 230};
+        }
+        static params paper()
+        {
+            // ~6e5 nodes: the breadth-first unfolding of the
+            // thread-per-task model overruns the pthread limit, as the
+            // paper observes (80k-97k live pthreads at failure).
+            return {.root_children = 30000, .q = 246};
+        }
+    };
+
+    // SHA-like splittable hash (the real UTS uses SHA-1; splitmix64 has
+    // the property we need: child streams are independent).
+    static std::uint64_t hash_node(std::uint64_t parent, unsigned child)
+    {
+        std::uint64_t x = parent ^ (0x9e3779b97f4a7c15ULL * (child + 1));
+        return minihpx::util::splitmix64_next(x);
+    }
+
+    static std::uint64_t count_serial(
+        std::uint64_t id, unsigned depth, params const& p)
+    {
+        std::uint64_t count = 1;
+        if (depth >= p.max_depth)
+            return count;
+        for (unsigned c = 0; c < p.max_children; ++c)
+        {
+            std::uint64_t const h = hash_node(id, c);
+            if ((h & 1023) < p.q)
+                count += count_serial(h, depth + 1, p);
+        }
+        return count;
+    }
+
+    static std::uint64_t count_task(
+        std::uint64_t id, unsigned depth, params const& p)
+    {
+        // Per-node work: one hash + bookkeeping (the real UTS computes
+        // a SHA-1 per node, ~1 us — Table V's 1.37 us grain).
+        E::annotate_work(
+            {.cpu_ns = 950, .data_rd_bytes = 64, .instructions = 1500});
+        std::uint64_t count = 1;
+        if (depth >= p.max_depth)
+            return count;
+        std::vector<efuture<E, std::uint64_t>> futures;
+        for (unsigned c = 0; c < p.max_children; ++c)
+        {
+            std::uint64_t const h = hash_node(id, c);
+            if ((h & 1023) < p.q)
+            {
+                futures.push_back(E::async([h, depth, &p] {
+                    return count_task(h, depth + 1, p);
+                }));
+            }
+        }
+        for (auto& f : futures)
+            count += f.get();
+        return count;
+    }
+
+    static std::uint64_t run(params const& p)
+    {
+        E::annotate_work({.cpu_ns = 500});
+        std::uint64_t count = 1;
+        std::vector<efuture<E, std::uint64_t>> roots;
+        for (unsigned c = 0; c < p.root_children; ++c)
+        {
+            std::uint64_t const h = hash_node(p.seed, c);
+            roots.push_back(
+                E::async([h, &p] { return count_task(h, 1, p); }));
+        }
+        for (auto& f : roots)
+            count += f.get();
+        return count;
+    }
+
+    static std::uint64_t run_serial(params const& p)
+    {
+        std::uint64_t count = 1;
+        for (unsigned c = 0; c < p.root_children; ++c)
+            count += count_serial(hash_node(p.seed, c), 1, p);
+        return count;
+    }
+};
+
+}    // namespace inncabs

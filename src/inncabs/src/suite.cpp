@@ -1,0 +1,82 @@
+#include <inncabs/harness.hpp>
+#include <inncabs/inncabs.hpp>
+
+namespace inncabs {
+
+namespace {
+
+    // params is a dependent type, so it must be picked per concrete
+    // benchmark instantiation (one per engine).
+    template <typename BE>
+    typename BE::params pick_params(input_scale scale)
+    {
+        using P = typename BE::params;
+        switch (scale)
+        {
+        case input_scale::tiny:
+            return P::tiny();
+        case input_scale::paper:
+            return P::paper();
+        case input_scale::bench_default:
+        default:
+            return P::bench_default();
+        }
+    }
+
+    template <template <typename> class B>
+    benchmark_entry make_entry()
+    {
+        benchmark_entry entry;
+        entry.name = B<sim_engine>::name;
+        entry.run_minihpx = [](input_scale scale) {
+            using BE = B<minihpx_engine>;
+            return static_cast<double>(BE::run(pick_params<BE>(scale)));
+        };
+        entry.run_std = [](input_scale scale) {
+            using BE = B<std_engine>;
+            return static_cast<double>(BE::run(pick_params<BE>(scale)));
+        };
+        entry.run_serial = [](input_scale scale) {
+            using BE = B<sim_engine>;
+            return static_cast<double>(
+                BE::run_serial(pick_params<BE>(scale)));
+        };
+        entry.run_sim_body = [](input_scale scale) {
+            using BE = B<sim_engine>;
+            return static_cast<double>(BE::run(pick_params<BE>(scale)));
+        };
+        return entry;
+    }
+
+}    // namespace
+
+std::vector<benchmark_entry> const& suite()
+{
+    static std::vector<benchmark_entry> const entries = {
+        make_entry<alignment_bench>(),
+        make_entry<health_bench>(),
+        make_entry<sparselu_bench>(),
+        make_entry<fft_bench>(),
+        make_entry<fib_bench>(),
+        make_entry<pyramids_bench>(),
+        make_entry<sort_bench>(),
+        make_entry<strassen_bench>(),
+        make_entry<floorplan_bench>(),
+        make_entry<nqueens_bench>(),
+        make_entry<qap_bench>(),
+        make_entry<uts_bench>(),
+        make_entry<intersim_bench>(),
+        make_entry<round_bench>(),
+    };
+    return entries;
+}
+
+benchmark_entry const* find_benchmark(std::string_view name)
+{
+    for (auto const& entry : suite())
+        if (entry.name == name)
+            return &entry;
+    return nullptr;
+}
+
+}    // namespace inncabs

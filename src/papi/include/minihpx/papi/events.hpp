@@ -1,0 +1,51 @@
+// PAPI-like hardware event catalogue.
+//
+// The paper reads Ivy Bridge offcore PMU events through HPX's PAPI
+// component to estimate memory bandwidth (§V-C):
+//   bandwidth = (ALL_DATA_RD + DEMAND_CODE_RD + DEMAND_RFO) * 64B / t
+// The container gives us no PMU, so these events are *modeled*: counts
+// are derived from work_annotation traffic reported by the benchmarks
+// (DESIGN.md substitution table). The event names, the counter paths
+// (/papi{locality#0/...}/EVENT) and the derivation path to bandwidth
+// are identical to the paper's.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace minihpx::papi {
+
+enum class event : std::uint8_t
+{
+    offcore_requests_all_data_rd = 0,    // demand+prefetch data reads
+    offcore_requests_demand_code_rd,     // instruction fetch misses
+    offcore_requests_demand_rfo,         // read-for-ownership (stores)
+    tot_ins,                             // PAPI_TOT_INS
+    tot_cyc,                             // PAPI_TOT_CYC
+    l3_tcm,                              // PAPI_L3_TCM (approx: data rd+rfo)
+    res_stl,                             // PAPI_RES_STL (memory stalls)
+    event_count_,                        // sentinel
+};
+
+inline constexpr std::size_t num_events =
+    static_cast<std::size_t>(event::event_count_);
+
+struct event_info
+{
+    event id;
+    char const* name;        // counter-path spelling (with ':')
+    char const* papi_name;   // native PAPI spelling
+    char const* description;
+};
+
+// Table of all modeled events, indexed by event id.
+event_info const& get_event_info(event e) noexcept;
+
+// Lookup by counter-path spelling ("OFFCORE_REQUESTS:ALL_DATA_RD").
+std::optional<event> find_event(std::string_view name) noexcept;
+
+// Cache line size used to convert bytes to offcore request counts.
+inline constexpr std::uint64_t cache_line_bytes = 64;
+
+}    // namespace minihpx::papi

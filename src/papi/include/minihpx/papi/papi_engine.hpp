@@ -1,0 +1,74 @@
+// Virtual PMU: per-worker hardware-event state fed by work annotations.
+//
+// install() hooks minihpx::set_work_sink; every annotate_work() from a
+// task increments the calling worker's event counts:
+//   data_rd_bytes / 64  -> OFFCORE_REQUESTS:ALL_DATA_RD
+//   rfo_bytes    / 64  -> OFFCORE_REQUESTS:DEMAND_RFO
+//   code_rd_bytes/ 64  -> OFFCORE_REQUESTS:DEMAND_CODE_RD
+//   instructions       -> PAPI_TOT_INS
+//   cpu_ns * GHz       -> PAPI_TOT_CYC
+// Counts accumulate monotonically; the counter framework's delta/reset
+// machinery provides per-sample readings.
+#pragma once
+
+#include <minihpx/papi/events.hpp>
+#include <minihpx/perf/registry.hpp>
+#include <minihpx/work.hpp>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace minihpx::papi {
+
+class papi_engine
+{
+public:
+    // One slot per worker plus one overflow slot for annotations from
+    // non-worker threads. `ghz` converts cpu_ns to cycles.
+    explicit papi_engine(unsigned num_workers, double ghz = 2.5);
+    ~papi_engine();
+
+    papi_engine(papi_engine const&) = delete;
+    papi_engine& operator=(papi_engine const&) = delete;
+
+    // Route minihpx::annotate_work into this engine (one engine at a
+    // time may be installed).
+    void install();
+    void uninstall();
+
+    // Account one annotation to worker `w` (npos -> overflow slot).
+    void record(std::uint32_t w, work_annotation const& work) noexcept;
+
+    std::uint64_t count(event e, std::uint32_t worker) const noexcept;
+    std::uint64_t total(event e) const noexcept;
+
+    unsigned num_workers() const noexcept
+    {
+        return static_cast<unsigned>(per_worker_.size() - 1);
+    }
+    double ghz() const noexcept { return ghz_; }
+
+    // Registers /papi{locality#0/worker-thread#N|total}/EVENT counter
+    // types (one per modeled event) against this engine.
+    void register_counters(perf::counter_registry& registry);
+    static void remove_counters(perf::counter_registry& registry);
+
+    // The engine annotate_work currently dispatches to (may be null).
+    static papi_engine* installed() noexcept;
+
+private:
+    static void sink(work_annotation const& work);
+
+    struct alignas(64) pmu_slot
+    {
+        std::array<std::atomic<std::uint64_t>, num_events> counts{};
+    };
+
+    std::vector<std::unique_ptr<pmu_slot>> per_worker_;    // [workers]+[1]
+    double ghz_;
+};
+
+}    // namespace minihpx::papi

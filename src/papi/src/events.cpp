@@ -1,0 +1,51 @@
+#include <minihpx/papi/events.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <array>
+
+namespace minihpx::papi {
+
+namespace {
+
+    constexpr std::array<event_info, num_events> event_table{{
+        {event::offcore_requests_all_data_rd, "OFFCORE_REQUESTS:ALL_DATA_RD",
+            "OFFCORE_REQUESTS:ALL_DATA_RD",
+            "off-core demand and prefetch data reads (cache lines)"},
+        {event::offcore_requests_demand_code_rd,
+            "OFFCORE_REQUESTS:DEMAND_CODE_RD",
+            "OFFCORE_REQUESTS:DEMAND_CODE_RD",
+            "off-core demand instruction fetches (cache lines)"},
+        {event::offcore_requests_demand_rfo, "OFFCORE_REQUESTS:DEMAND_RFO",
+            "OFFCORE_REQUESTS:DEMAND_RFO",
+            "off-core demand reads-for-ownership (cache lines)"},
+        {event::tot_ins, "PAPI_TOT_INS", "PAPI_TOT_INS",
+            "instructions retired"},
+        {event::tot_cyc, "PAPI_TOT_CYC", "PAPI_TOT_CYC",
+            "core cycles (cpu_ns * nominal GHz)"},
+        {event::l3_tcm, "PAPI_L3_TCM", "PAPI_L3_TCM",
+            "last-level cache misses (modeled as data rd + rfo lines)"},
+        {event::res_stl, "PAPI_RES_STL", "PAPI_RES_STL",
+            "resource-stall cycles attributable to memory traffic"},
+    }};
+
+}    // namespace
+
+event_info const& get_event_info(event e) noexcept
+{
+    auto const idx = static_cast<std::size_t>(e);
+    MINIHPX_ASSERT(idx < num_events);
+    return event_table[idx];
+}
+
+std::optional<event> find_event(std::string_view name) noexcept
+{
+    for (auto const& info : event_table)
+    {
+        if (name == info.name || name == info.papi_name)
+            return info.id;
+    }
+    return std::nullopt;
+}
+
+}    // namespace minihpx::papi

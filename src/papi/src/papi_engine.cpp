@@ -1,0 +1,161 @@
+#include <minihpx/papi/papi_engine.hpp>
+
+#include <minihpx/perf/basic_counters.hpp>
+#include <minihpx/runtime/scheduler.hpp>
+#include <minihpx/util/assert.hpp>
+
+#include <atomic>
+
+namespace minihpx::papi {
+
+namespace {
+
+    std::atomic<papi_engine*> installed_engine{nullptr};
+
+}    // namespace
+
+papi_engine::papi_engine(unsigned num_workers, double ghz)
+  : ghz_(ghz)
+{
+    per_worker_.reserve(num_workers + 1);
+    for (unsigned i = 0; i < num_workers + 1; ++i)
+        per_worker_.push_back(std::make_unique<pmu_slot>());
+}
+
+papi_engine::~papi_engine()
+{
+    uninstall();
+}
+
+void papi_engine::install()
+{
+    papi_engine* expected = nullptr;
+    bool const ok = installed_engine.compare_exchange_strong(expected, this);
+    MINIHPX_ASSERT_MSG(ok, "a papi_engine is already installed");
+    set_work_sink(&papi_engine::sink);
+}
+
+void papi_engine::uninstall()
+{
+    papi_engine* expected = this;
+    if (installed_engine.compare_exchange_strong(expected, nullptr))
+        set_work_sink(nullptr);
+}
+
+papi_engine* papi_engine::installed() noexcept
+{
+    return installed_engine.load(std::memory_order_acquire);
+}
+
+void papi_engine::sink(work_annotation const& work)
+{
+    if (papi_engine* engine = installed())
+        engine->record(scheduler::current_worker_id(), work);
+}
+
+void papi_engine::record(
+    std::uint32_t w, work_annotation const& work) noexcept
+{
+    std::size_t const slot = w < per_worker_.size() - 1 ?
+        w :
+        per_worker_.size() - 1;    // overflow slot for non-workers
+    auto& counts = per_worker_[slot]->counts;
+
+    auto add = [&counts](event e, std::uint64_t n) {
+        if (n)
+            counts[static_cast<std::size_t>(e)].fetch_add(
+                n, std::memory_order_relaxed);
+    };
+
+    std::uint64_t const rd_lines =
+        (work.data_rd_bytes + cache_line_bytes - 1) / cache_line_bytes;
+    std::uint64_t const rfo_lines =
+        (work.rfo_bytes + cache_line_bytes - 1) / cache_line_bytes;
+    std::uint64_t const code_lines =
+        (work.code_rd_bytes + cache_line_bytes - 1) / cache_line_bytes;
+
+    add(event::offcore_requests_all_data_rd, rd_lines);
+    add(event::offcore_requests_demand_rfo, rfo_lines);
+    add(event::offcore_requests_demand_code_rd, code_lines);
+    add(event::tot_ins, work.instructions);
+    add(event::tot_cyc,
+        static_cast<std::uint64_t>(static_cast<double>(work.cpu_ns) * ghz_));
+    add(event::l3_tcm, rd_lines + rfo_lines);
+    // Stall model: ~60 cycles per off-core line that missed LLC.
+    add(event::res_stl, (rd_lines + rfo_lines) * 60);
+}
+
+std::uint64_t papi_engine::count(event e, std::uint32_t worker) const noexcept
+{
+    if (worker >= per_worker_.size())
+        return 0;
+    return per_worker_[worker]
+        ->counts[static_cast<std::size_t>(e)]
+        .load(std::memory_order_relaxed);
+}
+
+std::uint64_t papi_engine::total(event e) const noexcept
+{
+    std::uint64_t sum = 0;
+    for (auto const& slot : per_worker_)
+        sum += slot->counts[static_cast<std::size_t>(e)].load(
+            std::memory_order_relaxed);
+    return sum;
+}
+
+void papi_engine::register_counters(perf::counter_registry& registry)
+{
+    for (std::size_t i = 0; i < num_events; ++i)
+    {
+        auto const e = static_cast<event>(i);
+        auto const& info = get_event_info(e);
+
+        perf::counter_registry::type_info t;
+        t.type_key = std::string("/papi/") + info.name;
+        t.kind = perf::counter_kind::monotonically_increasing;
+        t.helptext = info.description;
+        t.instance_count = [this] {
+            return static_cast<std::uint64_t>(num_workers());
+        };
+        t.create = [this, e](
+                       perf::counter_path const& path) -> perf::counter_ptr {
+            perf::value_source source;
+            if (path.instance == "worker-thread" && path.instance_index >= 0)
+            {
+                if (path.instance_index >=
+                    static_cast<std::int64_t>(num_workers()))
+                    return nullptr;
+                auto const idx =
+                    static_cast<std::uint32_t>(path.instance_index);
+                source = [this, e, idx] {
+                    return static_cast<double>(count(e, idx));
+                };
+            }
+            else if (path.instance == "total")
+            {
+                source = [this, e] {
+                    return static_cast<double>(total(e));
+                };
+            }
+            if (!source)
+                return nullptr;
+            perf::counter_info info_out;
+            info_out.full_name = path.full_name();
+            info_out.kind = perf::counter_kind::monotonically_increasing;
+            return std::make_shared<perf::delta_counter>(
+                std::move(info_out), std::move(source));
+        };
+        registry.register_type(std::move(t));
+    }
+}
+
+void papi_engine::remove_counters(perf::counter_registry& registry)
+{
+    for (std::size_t i = 0; i < num_events; ++i)
+    {
+        auto const& info = get_event_info(static_cast<event>(i));
+        registry.unregister_type(std::string("/papi/") + info.name);
+    }
+}
+
+}    // namespace minihpx::papi

@@ -1,0 +1,129 @@
+// async() with HPX launch policies.
+//
+// Table II of the paper: porting Inncabs is (almost) only the namespace
+// change std::async -> hpx::async. The std semantics are preserved;
+// `fork` is the HPX 0.9.11 addition the paper evaluates: continuation
+// stealing instead of (default) child stealing for strict fork/join.
+#pragma once
+
+#include <minihpx/future.hpp>
+#include <minihpx/runtime/scheduler.hpp>
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+namespace minihpx {
+
+enum class launch : std::uint8_t
+{
+    async = 1,       // new task, child-stealing order (parent continues)
+    deferred = 2,    // lazy; runs inline in the first waiter
+    fork = 4,        // new task runs first, parent continuation stealable
+    sync = 8,        // run inline immediately
+};
+
+namespace detail {
+
+    template <typename R, typename F>
+    void run_into_state(std::shared_ptr<shared_state<R>> const& state, F& fn)
+    {
+        try
+        {
+            if constexpr (std::is_void_v<R>)
+            {
+                fn();
+                state->set_value();
+            }
+            else
+            {
+                state->set_value(fn());
+            }
+        }
+        catch (...)
+        {
+            state->set_exception(std::current_exception());
+        }
+    }
+
+    // The scheduler the calling context should spawn into: the worker's
+    // own scheduler if on a worker, otherwise the global runtime's (set
+    // by the runtime singleton, see runtime.hpp).
+    scheduler& spawn_target();
+
+}    // namespace detail
+
+template <typename F, typename... Ts>
+auto async(launch policy, F&& f, Ts&&... ts)
+{
+    using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Ts>...>;
+
+    auto bound = [fn = std::forward<F>(f),
+                     args = std::make_tuple(std::forward<Ts>(ts)...)]() mutable
+        -> R { return std::apply(std::move(fn), std::move(args)); };
+
+    auto state = std::make_shared<detail::shared_state<R>>();
+
+    switch (policy)
+    {
+    case launch::sync:
+        detail::run_into_state(state, bound);
+        break;
+
+    case launch::deferred:
+        state->set_deferred([state, b = std::move(bound)]() mutable {
+            detail::run_into_state(state, b);
+        });
+        break;
+
+    case launch::fork:
+    {
+        scheduler& sched = detail::spawn_target();
+        sched.spawn(
+            [state, b = std::move(bound)]() mutable {
+                detail::run_into_state(state, b);
+            },
+            "async(fork)", threads::thread_priority::normal,
+            /*front=*/true);
+        // Continuation stealing: the child is at the hot end of our
+        // queue; step aside so it runs next while *we* (the parent
+        // continuation) become stealable at the back.
+        if (scheduler::current_task() &&
+            scheduler::current_scheduler() == &sched)
+        {
+            sched.yield_current(/*to_back=*/true);
+        }
+        break;
+    }
+
+    case launch::async:
+    default:
+    {
+        scheduler& sched = detail::spawn_target();
+        sched.spawn([state, b = std::move(bound)]() mutable {
+            detail::run_into_state(state, b);
+        });
+        break;
+    }
+    }
+    return future<R>(std::move(state));
+}
+
+template <typename F, typename... Ts,
+    typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, launch>>>
+auto async(F&& f, Ts&&... ts)
+{
+    return async(launch::async, std::forward<F>(f), std::forward<Ts>(ts)...);
+}
+
+// Fire-and-forget task (no future allocation).
+template <typename F>
+void apply(F&& f)
+{
+    detail::spawn_target().spawn(std::forward<F>(f), "apply");
+}
+
+}    // namespace minihpx

@@ -1,0 +1,498 @@
+// Futures with task-aware blocking.
+//
+// The crucial difference from std::future: calling get() inside a task
+// does not block the OS thread. The task suspends (its stackful context
+// parks off the worker) and the worker immediately executes other work;
+// set_value resumes it through the scheduler. Off-task callers (e.g.
+// main) fall back to an ad-hoc condition variable. This is the
+// mechanism behind Table II of the paper: the std::future -> hpx::future
+// port is a pure namespace change precisely because the semantics match.
+#pragma once
+
+#include <minihpx/runtime/scheduler.hpp>
+#include <minihpx/util/assert.hpp>
+#include <minihpx/util/spinlock.hpp>
+#include <minihpx/util/unique_function.hpp>
+
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace minihpx {
+
+namespace detail {
+
+    class shared_state_base
+    {
+    public:
+        virtual ~shared_state_base() = default;
+
+        bool is_ready() const
+        {
+            std::lock_guard lock(mutex_);
+            return ready_;
+        }
+
+        void set_exception(std::exception_ptr e)
+        {
+            std::vector<util::unique_function<void()>> callbacks;
+            {
+                std::lock_guard lock(mutex_);
+                MINIHPX_ASSERT_MSG(!ready_, "shared state satisfied twice");
+                exception_ = std::move(e);
+                ready_ = true;
+                callbacks.swap(callbacks_);
+            }
+            for (auto& cb : callbacks)
+                cb();
+        }
+
+        // Run `cb` when the state becomes ready; immediately if already.
+        template <typename Callback>
+        void when_ready(Callback&& cb)
+        {
+            {
+                std::unique_lock lock(mutex_);
+                if (!ready_)
+                {
+                    callbacks_.emplace_back(std::forward<Callback>(cb));
+                    return;
+                }
+            }
+            cb();
+        }
+
+        // Blocks (task-aware) until ready. Runs deferred work if this
+        // state was created by launch::deferred.
+        void wait()
+        {
+            run_deferred();
+
+            if (is_ready())
+                return;
+
+            scheduler* sched = scheduler::current_scheduler();
+            if (sched && scheduler::current_task())
+            {
+                wait_on_task(*sched);
+            }
+            else
+            {
+                wait_on_os_thread();
+            }
+        }
+
+        void rethrow_if_exception() const
+        {
+            if (exception_)
+                std::rethrow_exception(exception_);
+        }
+
+        // launch::deferred support: the thunk is run by the first waiter.
+        void set_deferred(util::unique_function<void()> thunk)
+        {
+            std::lock_guard lock(mutex_);
+            deferred_ = std::move(thunk);
+        }
+
+        bool has_deferred() const
+        {
+            std::lock_guard lock(mutex_);
+            return static_cast<bool>(deferred_);
+        }
+
+        void run_deferred()
+        {
+            util::unique_function<void()> thunk;
+            {
+                std::lock_guard lock(mutex_);
+                if (!deferred_)
+                    return;
+                thunk = std::move(deferred_);
+                deferred_.reset();
+            }
+            thunk();    // satisfies the state via set_value/set_exception
+        }
+
+    protected:
+        void mark_ready_locked_region()
+        {
+            std::vector<util::unique_function<void()>> callbacks;
+            {
+                std::lock_guard lock(mutex_);
+                MINIHPX_ASSERT_MSG(!ready_, "shared state satisfied twice");
+                ready_ = true;
+                callbacks.swap(callbacks_);
+            }
+            for (auto& cb : callbacks)
+                cb();
+        }
+
+        mutable util::spinlock mutex_;
+        bool ready_ = false;
+        std::exception_ptr exception_;
+        std::vector<util::unique_function<void()>> callbacks_;
+        util::unique_function<void()> deferred_;
+
+    private:
+        void wait_on_task(scheduler& sched)
+        {
+            while (!is_ready())
+            {
+                sched.suspend_current([this, &sched](
+                                          threads::thread_data* self) {
+                    bool run_now = false;
+                    {
+                        std::lock_guard lock(mutex_);
+                        if (ready_)
+                            run_now = true;
+                        else
+                            callbacks_.emplace_back([&sched, self] {
+                                sched.resume(self);
+                            });
+                    }
+                    if (run_now)
+                        sched.resume(self);    // handshake handles the race
+                });
+            }
+        }
+
+        void wait_on_os_thread()
+        {
+            struct os_waiter
+            {
+                std::mutex m;
+                std::condition_variable cv;
+                bool done = false;
+            };
+            auto waiter = std::make_shared<os_waiter>();
+            when_ready([waiter] {
+                {
+                    std::lock_guard lock(waiter->m);
+                    waiter->done = true;
+                }
+                waiter->cv.notify_one();
+            });
+            std::unique_lock lock(waiter->m);
+            waiter->cv.wait(lock, [&] { return waiter->done; });
+        }
+    };
+
+    template <typename T>
+    class shared_state final : public shared_state_base
+    {
+    public:
+        template <typename U>
+        void set_value(U&& value)
+        {
+            {
+                std::lock_guard lock(mutex_);
+                MINIHPX_ASSERT_MSG(
+                    !value_ && !ready_, "shared state satisfied twice");
+                value_.emplace(std::forward<U>(value));
+            }
+            mark_ready_locked_region();
+        }
+
+        // One-shot move-out (future::get).
+        T take_value()
+        {
+            rethrow_if_exception();
+            MINIHPX_ASSERT(value_.has_value());
+            T result = std::move(*value_);
+            value_.reset();
+            return result;
+        }
+
+        // Shared access (shared_future::get).
+        T const& ref_value() const
+        {
+            rethrow_if_exception();
+            MINIHPX_ASSERT(value_.has_value());
+            return *value_;
+        }
+
+    private:
+        std::optional<T> value_;
+    };
+
+    template <>
+    class shared_state<void> final : public shared_state_base
+    {
+    public:
+        void set_value() { mark_ready_locked_region(); }
+        void take_value()
+        {
+            rethrow_if_exception();
+        }
+        void ref_value() const
+        {
+            rethrow_if_exception();
+        }
+    };
+
+}    // namespace detail
+
+template <typename T>
+class shared_future;
+
+template <typename T>
+class future
+{
+public:
+    future() noexcept = default;
+    explicit future(std::shared_ptr<detail::shared_state<T>> state) noexcept
+      : state_(std::move(state))
+    {
+    }
+
+    future(future&&) noexcept = default;
+    future& operator=(future&&) noexcept = default;
+    future(future const&) = delete;
+    future& operator=(future const&) = delete;
+
+    bool valid() const noexcept { return static_cast<bool>(state_); }
+    bool is_ready() const
+    {
+        MINIHPX_ASSERT(valid());
+        return state_->is_ready();
+    }
+
+    void wait() const
+    {
+        MINIHPX_ASSERT(valid());
+        state_->wait();
+    }
+
+    T get()
+    {
+        MINIHPX_ASSERT(valid());
+        auto state = std::move(state_);
+        state->wait();
+        return state->take_value();
+    }
+
+    shared_future<T> share() noexcept;
+
+    // Attach a continuation; runs inline in the context that satisfies
+    // the state (or immediately if already ready). f receives the ready
+    // future by value.
+    template <typename F>
+    auto then(F&& f) -> future<std::invoke_result_t<F, future<T>>>;
+
+    std::shared_ptr<detail::shared_state<T>> const& state() const noexcept
+    {
+        return state_;
+    }
+
+private:
+    std::shared_ptr<detail::shared_state<T>> state_;
+};
+
+template <typename T>
+class shared_future
+{
+public:
+    shared_future() noexcept = default;
+    explicit shared_future(
+        std::shared_ptr<detail::shared_state<T>> state) noexcept
+      : state_(std::move(state))
+    {
+    }
+    shared_future(future<T>&& f) noexcept : state_(f.state()) {}
+
+    bool valid() const noexcept { return static_cast<bool>(state_); }
+    bool is_ready() const { return state_->is_ready(); }
+    void wait() const { state_->wait(); }
+
+    decltype(auto) get() const
+    {
+        state_->wait();
+        return state_->ref_value();
+    }
+
+private:
+    std::shared_ptr<detail::shared_state<T>> state_;
+};
+
+template <typename T>
+shared_future<T> future<T>::share() noexcept
+{
+    return shared_future<T>(std::move(state_));
+}
+
+template <typename T>
+class promise
+{
+public:
+    promise() : state_(std::make_shared<detail::shared_state<T>>()) {}
+
+    promise(promise&&) noexcept = default;
+    promise& operator=(promise&&) noexcept = default;
+    promise(promise const&) = delete;
+    promise& operator=(promise const&) = delete;
+
+    future<T> get_future()
+    {
+        MINIHPX_ASSERT_MSG(!future_taken_, "get_future called twice");
+        future_taken_ = true;
+        return future<T>(state_);
+    }
+
+    template <typename U = T>
+    void set_value(U&& value)
+    {
+        state_->set_value(std::forward<U>(value));
+    }
+
+    void set_exception(std::exception_ptr e)
+    {
+        state_->set_exception(std::move(e));
+    }
+
+    std::shared_ptr<detail::shared_state<T>> const& state() const noexcept
+    {
+        return state_;
+    }
+
+private:
+    std::shared_ptr<detail::shared_state<T>> state_;
+    bool future_taken_ = false;
+};
+
+template <>
+class promise<void>
+{
+public:
+    promise() : state_(std::make_shared<detail::shared_state<void>>()) {}
+
+    promise(promise&&) noexcept = default;
+    promise& operator=(promise&&) noexcept = default;
+
+    future<void> get_future()
+    {
+        MINIHPX_ASSERT_MSG(!future_taken_, "get_future called twice");
+        future_taken_ = true;
+        return future<void>(state_);
+    }
+
+    void set_value() { state_->set_value(); }
+    void set_exception(std::exception_ptr e)
+    {
+        state_->set_exception(std::move(e));
+    }
+
+    std::shared_ptr<detail::shared_state<void>> const& state() const noexcept
+    {
+        return state_;
+    }
+
+private:
+    std::shared_ptr<detail::shared_state<void>> state_;
+    bool future_taken_ = false;
+};
+
+template <typename T>
+template <typename F>
+auto future<T>::then(F&& f) -> future<std::invoke_result_t<F, future<T>>>
+{
+    using R = std::invoke_result_t<F, future<T>>;
+    MINIHPX_ASSERT(valid());
+    auto next = std::make_shared<detail::shared_state<R>>();
+    auto state = std::move(state_);
+    state->when_ready(
+        [state, next, fn = std::forward<F>(f)]() mutable {
+            try
+            {
+                if constexpr (std::is_void_v<R>)
+                {
+                    fn(future<T>(std::move(state)));
+                    next->set_value();
+                }
+                else
+                {
+                    next->set_value(fn(future<T>(std::move(state))));
+                }
+            }
+            catch (...)
+            {
+                next->set_exception(std::current_exception());
+            }
+        });
+    return future<R>(std::move(next));
+}
+
+// ------------------------------------------------------------- helpers
+
+template <typename T>
+future<std::decay_t<T>> make_ready_future(T&& value)
+{
+    auto state = std::make_shared<detail::shared_state<std::decay_t<T>>>();
+    state->set_value(std::forward<T>(value));
+    return future<std::decay_t<T>>(std::move(state));
+}
+
+inline future<void> make_ready_future()
+{
+    auto state = std::make_shared<detail::shared_state<void>>();
+    state->set_value();
+    return future<void>(std::move(state));
+}
+
+// Block (task-aware) until every future in [first, last) is ready.
+template <typename Iterator>
+void wait_all(Iterator first, Iterator last)
+{
+    for (; first != last; ++first)
+        first->wait();
+}
+
+template <typename Container>
+void wait_all(Container& futures)
+{
+    wait_all(futures.begin(), futures.end());
+}
+
+// when_all over a vector: ready when all inputs are; hands the inputs
+// back through the result so values/exceptions stay observable.
+template <typename T>
+future<std::vector<future<T>>> when_all(std::vector<future<T>>&& futures)
+{
+    struct all_state
+    {
+        std::atomic<std::size_t> remaining;
+        std::vector<future<T>> inputs;
+        std::shared_ptr<detail::shared_state<std::vector<future<T>>>> out;
+    };
+    auto out =
+        std::make_shared<detail::shared_state<std::vector<future<T>>>>();
+    if (futures.empty())
+    {
+        out->set_value(std::vector<future<T>>{});
+        return future<std::vector<future<T>>>(std::move(out));
+    }
+
+    auto shared = std::make_shared<all_state>();
+    shared->remaining.store(futures.size(), std::memory_order_relaxed);
+    shared->inputs = std::move(futures);
+    shared->out = out;
+
+    for (auto& f : shared->inputs)
+    {
+        f.state()->when_ready([shared] {
+            if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                1)
+            {
+                shared->out->set_value(std::move(shared->inputs));
+            }
+        });
+    }
+    return future<std::vector<future<T>>>(std::move(out));
+}
+
+}    // namespace minihpx

@@ -1,0 +1,18 @@
+// Umbrella header: the minihpx public API.
+//
+//   minihpx::runtime        -- RAII runtime (N workers)
+//   minihpx::async/future   -- task spawning, launch policies
+//   minihpx::mutex/...      -- task-aware synchronization
+//   minihpx::this_task      -- yield / ids / work annotations
+//
+// The performance-counter framework lives in <minihpx/perf/...>
+// (src/core); hardware-event simulation in <minihpx/papi/...>.
+#pragma once
+
+#include <minihpx/async.hpp>
+#include <minihpx/future.hpp>
+#include <minihpx/runtime/runtime.hpp>
+#include <minihpx/runtime/scheduler.hpp>
+#include <minihpx/sync.hpp>
+#include <minihpx/this_task.hpp>
+#include <minihpx/work.hpp>

@@ -1,0 +1,63 @@
+// Process-wide runtime singleton.
+//
+// Owns the scheduler and the configuration parsed from the HPX-style
+// command line (--mh:threads, --mh:stack-size, --mh:bind, plus the
+// counter options consumed by perf::session in src/core). Applications
+// normally use the RAII `runtime` directly, or `runtime::scoped` in
+// tests.
+#pragma once
+
+#include <minihpx/runtime/scheduler.hpp>
+#include <minihpx/util/cli.hpp>
+
+#include <memory>
+#include <string>
+
+namespace minihpx {
+
+struct runtime_config
+{
+    scheduler_config sched;
+
+    // Parse --mh:threads=N, --mh:stack-size=BYTES, --mh:bind,
+    // --mh:steal-seed=S. Unknown options are ignored (they may belong
+    // to the counter session or the application).
+    static runtime_config from_cli(util::cli_args const& args);
+};
+
+class runtime
+{
+public:
+    explicit runtime(runtime_config config = {});
+    ~runtime();
+
+    runtime(runtime const&) = delete;
+    runtime& operator=(runtime const&) = delete;
+
+    scheduler& get_scheduler() noexcept { return *scheduler_; }
+    runtime_config const& config() const noexcept { return config_; }
+
+    // Seconds since this runtime was constructed (feeds the
+    // /runtime{locality#0/total}/uptime counter).
+    double uptime_seconds() const noexcept;
+
+    // The active runtime of this process (nullptr if none).
+    static runtime* get_ptr() noexcept;
+    static runtime& get();
+
+private:
+    runtime_config config_;
+    std::unique_ptr<scheduler> scheduler_;
+    std::uint64_t start_ns_;
+};
+
+// Convenience: run `f` as the root task on a fresh runtime and wait for
+// it (the HPX hpx_main pattern). Returns f's result.
+template <typename F>
+auto run_on_runtime(runtime_config config, F&& f)
+{
+    runtime rt(std::move(config));
+    return async(std::forward<F>(f)).get();
+}
+
+}    // namespace minihpx

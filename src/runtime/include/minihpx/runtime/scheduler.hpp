@@ -1,0 +1,269 @@
+// Work-stealing scheduler for lightweight user-level tasks.
+//
+// Topology: N OS worker threads, one run queue each (owner LIFO /
+// thief FIFO, see thread_queue.hpp). Tasks are stackful contexts; a
+// blocked task suspends off the worker, which immediately picks up
+// other work — this is the mechanism that lets HPX-style runtimes
+// schedule millions of sub-µs tasks where thread-per-task std::async
+// collapses (paper §II, §VI).
+//
+// Instrumentation: every transition feeds per-worker relaxed counters,
+// which the performance-counter framework (src/core) exposes under the
+// /threads{locality#0/...}/... names used throughout the paper:
+//   time/average            <- exec_time_ns / tasks_executed
+//   time/average-overhead   <- sched_time_ns / tasks_executed
+//   time/cumulative[-overhead], count/cumulative, count/instantaneous/*,
+//   count/stolen, count/pending-misses, idle-rate, ...
+#pragma once
+
+#include <minihpx/threads/context.hpp>
+#include <minihpx/threads/stack.hpp>
+#include <minihpx/threads/thread_data.hpp>
+#include <minihpx/threads/thread_queue.hpp>
+#include <minihpx/util/cache_align.hpp>
+#include <minihpx/util/histogram.hpp>
+#include <minihpx/util/rng.hpp>
+#include <minihpx/util/spinlock.hpp>
+#include <minihpx/util/unique_function.hpp>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace minihpx {
+
+struct scheduler_config
+{
+    unsigned num_workers = 1;
+    std::size_t stack_size = threads::default_stack_size;
+    bool bind_workers = false;          // best-effort sched_setaffinity
+    std::uint64_t steal_seed = 0x5eed;  // victim-selection RNG seed
+    unsigned steal_rounds = 2;          // full sweeps before sleeping
+    unsigned sleep_us = 100;            // idle condvar timeout
+};
+
+class scheduler;
+
+namespace detail {
+
+    // Deferred action a task requests before switching back to its
+    // worker; executed by the worker *after* the switch, when the task's
+    // stack is no longer live (two-phase suspend).
+    enum class after_switch : std::uint8_t
+    {
+        none,
+        terminated,
+        suspended,
+        yielded_back,     // yield to the back of the queue (default)
+        yielded_front,    // yield to the front (run again immediately)
+    };
+
+    class worker
+    {
+    public:
+        worker(scheduler& sched, std::uint32_t id, std::uint64_t seed)
+          : sched_(sched)
+          , id_(id)
+          , rng_(seed)
+        {
+        }
+
+        void run();    // OS-thread main loop
+
+        std::uint32_t id() const noexcept { return id_; }
+        threads::thread_queue& queue() noexcept { return queue_; }
+        threads::thread_queue const& queue() const noexcept { return queue_; }
+
+        // ---- per-worker statistics (counter framework reads these) ----
+        struct stats
+        {
+            std::atomic<std::uint64_t> tasks_executed{0};
+            std::atomic<std::uint64_t> tasks_created{0};
+            std::atomic<std::uint64_t> exec_time_ns{0};
+            std::atomic<std::uint64_t> sched_time_ns{0};
+            std::atomic<std::uint64_t> idle_time_ns{0};
+            std::atomic<std::uint64_t> total_time_ns{0};
+            std::atomic<std::uint64_t> steal_attempts{0};
+            std::atomic<std::uint64_t> steals{0};
+            std::atomic<std::uint64_t> yields{0};
+            std::atomic<std::uint64_t> suspensions{0};
+            std::atomic<std::uint64_t> wakeups{0};
+        };
+
+        stats const& get_stats() const noexcept { return *stats_; }
+
+    private:
+        friend class minihpx::scheduler;
+
+        threads::thread_data* get_next_task();
+        void execute(threads::thread_data* task);
+        void process_after_switch(threads::thread_data* task);
+
+        scheduler& sched_;
+        std::uint32_t id_;
+        util::xoshiro256ss rng_;
+        threads::thread_queue queue_;
+        threads::execution_context sched_context_;
+
+        threads::thread_data* current_ = nullptr;
+        after_switch action_ = after_switch::none;
+
+        util::cache_aligned<stats> stats_;
+    };
+
+}    // namespace detail
+
+class scheduler
+{
+public:
+    explicit scheduler(scheduler_config config = {});
+    ~scheduler();
+
+    scheduler(scheduler const&) = delete;
+    scheduler& operator=(scheduler const&) = delete;
+
+    void start();
+    // Waits for all tasks to drain, then joins the workers.
+    void stop();
+    bool running() const noexcept
+    {
+        return state_.load(std::memory_order_acquire) == run_state::running;
+    }
+
+    scheduler_config const& config() const noexcept { return config_; }
+    unsigned num_workers() const noexcept
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    // ---- task management ---------------------------------------------
+    using task_function = threads::thread_data::task_function;
+
+    // Create + schedule. `front` puts the task at the hot end of the
+    // queue (used by launch::fork for continuation-stealing order).
+    threads::thread_id spawn(task_function fn,
+        char const* description = "<task>",
+        threads::thread_priority priority = threads::thread_priority::normal,
+        bool front = false);
+
+    // Re-schedule an existing task (resume path). Safe to call from any
+    // thread; honors the two-phase suspend handshake.
+    void resume(threads::thread_data* task);
+
+    // Called from *task context* only:
+    void yield_current(bool to_back = true);
+    // Suspends the current task. `publish` runs in the task's context
+    // immediately before the switch; use it to hand the thread_data* to
+    // a waker-visible structure. The actual state transition to
+    // `suspended` happens after the switch, on the worker side.
+    void suspend_current(util::unique_function<void(threads::thread_data*)>
+            publish = nullptr);
+
+    // Current task of the calling OS thread (nullptr off-worker).
+    static threads::thread_data* current_task() noexcept;
+    // Worker id of the calling OS thread, or npos_worker.
+    static constexpr std::uint32_t npos_worker = ~0u;
+    static std::uint32_t current_worker_id() noexcept;
+    // Scheduler the calling worker belongs to (nullptr off-worker).
+    static scheduler* current_scheduler() noexcept;
+
+    // ---- introspection (counter bindings) ------------------------------
+    std::uint64_t tasks_alive() const noexcept
+    {
+        return tasks_alive_.load(std::memory_order_acquire);
+    }
+    std::uint64_t tasks_created() const noexcept
+    {
+        return tasks_created_.load(std::memory_order_relaxed);
+    }
+
+    detail::worker const& get_worker(std::uint32_t i) const
+    {
+        return *workers_[i];
+    }
+
+    // Aggregate over all workers.
+    struct totals
+    {
+        std::uint64_t tasks_executed = 0;
+        std::uint64_t tasks_created = 0;
+        std::uint64_t exec_time_ns = 0;
+        std::uint64_t sched_time_ns = 0;
+        std::uint64_t idle_time_ns = 0;
+        std::uint64_t total_time_ns = 0;
+        std::uint64_t steals = 0;
+        std::uint64_t steal_attempts = 0;
+        std::uint64_t pending_misses = 0;
+        std::uint64_t stolen_from = 0;
+        std::int64_t queue_length = 0;
+        std::uint64_t suspensions = 0;
+        std::uint64_t yields = 0;
+    };
+    totals aggregate() const;
+
+    // Log2(ns) histogram of completed task durations.
+    util::log2_histogram<> const& duration_histogram() const noexcept
+    {
+        return duration_hist_;
+    }
+
+    // Count of tasks currently in a given state (instantaneous).
+    std::uint64_t instantaneous_count(threads::thread_state state) const;
+
+private:
+    friend class detail::worker;
+
+    static void task_entry(void* arg);
+    static std::uint64_t splitmix64_helper(std::uint64_t seed, unsigned i);
+
+    threads::thread_data* acquire_descriptor();
+    void recycle_descriptor(threads::thread_data* task);
+    void schedule_task(threads::thread_data* task, bool front);
+    void wake_one();
+    void wake_all();
+
+    enum class run_state : std::uint8_t
+    {
+        stopped,
+        running,
+        draining,
+    };
+
+    scheduler_config config_;
+    std::atomic<run_state> state_{run_state::stopped};
+
+    std::vector<std::unique_ptr<detail::worker>> workers_;
+    std::vector<std::thread> os_threads_;
+
+    threads::stack_pool stack_pool_;
+
+    // Descriptor freelist (intrusive via thread_data::next).
+    util::spinlock freelist_lock_;
+    threads::thread_data* freelist_ = nullptr;
+    std::vector<std::unique_ptr<threads::thread_data>> all_descriptors_;
+
+    std::atomic<std::uint64_t> next_thread_id_{1};
+    std::atomic<std::uint64_t> tasks_alive_{0};
+    std::atomic<std::uint64_t> tasks_created_{0};
+    std::atomic<std::uint32_t> round_robin_{0};
+
+    // Idle workers sleep here; any schedule() bumps the epoch.
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::atomic<std::uint64_t> sleep_epoch_{0};
+
+    util::log2_histogram<> duration_hist_;
+
+    // Instantaneous state census: incremented/decremented at transitions.
+    std::atomic<std::int64_t> count_pending_{0};
+    std::atomic<std::int64_t> count_active_{0};
+    std::atomic<std::int64_t> count_suspended_{0};
+    std::atomic<std::int64_t> count_staged_{0};
+};
+
+}    // namespace minihpx

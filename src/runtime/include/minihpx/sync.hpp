@@ -1,0 +1,208 @@
+// Task-aware synchronization primitives.
+//
+// minihpx::mutex parks the *task*, not the OS thread: a worker whose
+// task blocks on a lock immediately runs other tasks. Locking from a
+// non-task OS thread degrades to spin-yield (used by tests/main only).
+// Shapes mirror the std types so Inncabs ports stay namespace swaps
+// (paper Table II: std::mutex -> hpx::lcos::local::mutex).
+#pragma once
+
+#include <minihpx/async.hpp>
+#include <minihpx/runtime/scheduler.hpp>
+#include <minihpx/util/spinlock.hpp>
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace minihpx {
+
+namespace detail {
+
+    // Intrusive FIFO of suspended tasks (uses thread_data::next, which
+    // is otherwise unused while a task is suspended).
+    class task_wait_list
+    {
+    public:
+        void push(threads::thread_data* task) noexcept
+        {
+            task->next = nullptr;
+            if (tail_)
+                tail_->next = task;
+            else
+                head_ = task;
+            tail_ = task;
+        }
+
+        threads::thread_data* pop() noexcept
+        {
+            threads::thread_data* task = head_;
+            if (task)
+            {
+                head_ = task->next;
+                if (!head_)
+                    tail_ = nullptr;
+                task->next = nullptr;
+            }
+            return task;
+        }
+
+        bool empty() const noexcept { return head_ == nullptr; }
+
+    private:
+        threads::thread_data* head_ = nullptr;
+        threads::thread_data* tail_ = nullptr;
+    };
+
+}    // namespace detail
+
+class mutex
+{
+public:
+    mutex() = default;
+    mutex(mutex const&) = delete;
+    mutex& operator=(mutex const&) = delete;
+
+    void lock();
+    bool try_lock();
+    void unlock();
+
+private:
+    util::spinlock guard_;
+    bool locked_ = false;
+    detail::task_wait_list waiters_;
+};
+
+class condition_variable
+{
+public:
+    condition_variable() = default;
+    condition_variable(condition_variable const&) = delete;
+
+    // Only valid from task context with `lock` held.
+    void wait(std::unique_lock<mutex>& lock);
+
+    template <typename Pred>
+    void wait(std::unique_lock<mutex>& lock, Pred pred)
+    {
+        while (!pred())
+            wait(lock);
+    }
+
+    void notify_one();
+    void notify_all();
+
+private:
+    util::spinlock guard_;
+    detail::task_wait_list waiters_;
+};
+
+// Single-use countdown; wait() is task-aware.
+class latch
+{
+public:
+    explicit latch(std::ptrdiff_t count) : count_(count) {}
+    latch(latch const&) = delete;
+
+    void count_down(std::ptrdiff_t n = 1);
+    bool try_wait() const;
+    void wait();
+    void arrive_and_wait();
+
+private:
+    mutable util::spinlock guard_;
+    std::ptrdiff_t count_;
+    detail::task_wait_list waiters_;
+};
+
+// Cyclic barrier for a fixed party count.
+class barrier
+{
+public:
+    explicit barrier(std::ptrdiff_t parties) : parties_(parties), arrived_(0)
+    {
+    }
+    barrier(barrier const&) = delete;
+
+    void arrive_and_wait();
+
+private:
+    util::spinlock guard_;
+    std::ptrdiff_t parties_;
+    std::ptrdiff_t arrived_;
+    std::uint64_t generation_ = 0;
+    detail::task_wait_list waiters_;
+};
+
+class counting_semaphore
+{
+public:
+    explicit counting_semaphore(std::ptrdiff_t initial) : count_(initial) {}
+    counting_semaphore(counting_semaphore const&) = delete;
+
+    void acquire();
+    bool try_acquire();
+    void release(std::ptrdiff_t n = 1);
+
+private:
+    util::spinlock guard_;
+    std::ptrdiff_t count_;
+    detail::task_wait_list waiters_;
+};
+
+// hpx::thread lookalike: a joinable handle around a spawned task
+// (paper Table II: std::thread -> hpx::thread).
+class thread
+{
+public:
+    thread() noexcept = default;
+
+    template <typename F>
+    explicit thread(F&& f);
+
+    thread(thread&& other) noexcept = default;
+    thread& operator=(thread&& other) noexcept;
+    thread(thread const&) = delete;
+
+    ~thread();
+
+    bool joinable() const noexcept { return static_cast<bool>(done_); }
+    void join();
+    void detach() noexcept { done_.reset(); }
+
+private:
+    std::shared_ptr<detail::shared_state<void>> done_;
+};
+
+template <typename F>
+thread::thread(F&& f)
+  : done_(std::make_shared<detail::shared_state<void>>())
+{
+    detail::spawn_target().spawn(
+        [state = done_, fn = std::forward<F>(f)]() mutable {
+            detail::run_into_state(state, fn);
+        },
+        "thread");
+}
+
+inline thread& thread::operator=(thread&& other) noexcept
+{
+    MINIHPX_ASSERT_MSG(!joinable(), "assigning over a joinable thread");
+    done_ = std::move(other.done_);
+    return *this;
+}
+
+inline thread::~thread()
+{
+    MINIHPX_ASSERT_MSG(!joinable(), "destroying a joinable minihpx::thread");
+}
+
+inline void thread::join()
+{
+    MINIHPX_ASSERT(joinable());
+    auto state = std::move(done_);
+    state->wait();
+    state->rethrow_if_exception();
+}
+
+}    // namespace minihpx

@@ -1,0 +1,37 @@
+// Operations on the calling task (hpx::this_thread equivalents).
+#pragma once
+
+#include <minihpx/runtime/scheduler.hpp>
+#include <minihpx/work.hpp>
+
+namespace minihpx::this_task {
+
+// True when called from inside a minihpx task.
+inline bool in_task() noexcept
+{
+    return scheduler::current_task() != nullptr;
+}
+
+inline threads::thread_id get_id() noexcept
+{
+    threads::thread_data* task = scheduler::current_task();
+    return task ? task->id() : threads::invalid_thread_id;
+}
+
+// Reschedule the current task at the back of its queue.
+inline void yield()
+{
+    if (scheduler* sched = scheduler::current_scheduler();
+        sched && scheduler::current_task())
+    {
+        sched->yield_current();
+    }
+}
+
+// Worker (OS thread) currently executing this task.
+inline std::uint32_t worker_id() noexcept
+{
+    return scheduler::current_worker_id();
+}
+
+}    // namespace minihpx::this_task

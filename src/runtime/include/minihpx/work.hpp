@@ -1,0 +1,57 @@
+// Work annotations: the bridge between application code and the
+// (simulated) hardware-counter substrate.
+//
+// The paper reads Ivy Bridge offcore PMU events through PAPI. This
+// environment has no PMU access (DESIGN.md substitution table), so
+// benchmarks describe the traffic they generate — cycles retired,
+// off-core data reads, read-for-ownership (store-miss) traffic, demand
+// code reads — and the papi module turns those into the same
+// OFFCORE_REQUESTS:* counts the paper derives bandwidth from. The
+// simulator additionally uses cpu_ns/bytes to compute virtual task
+// durations under shared-bandwidth contention.
+//
+// In real-execution engines the annotations cost one function-pointer
+// check when no sink is installed.
+#pragma once
+
+#include <cstdint>
+
+namespace minihpx {
+
+struct work_annotation
+{
+    // Pure compute time of the annotated region at nominal frequency,
+    // excluding memory stalls (the cost model adds those).
+    std::uint64_t cpu_ns = 0;
+
+    // Off-core traffic in bytes (cache-line granularity is applied by
+    // the consumer): demand data reads, RFOs (stores missing cache),
+    // demand code reads.
+    std::uint64_t data_rd_bytes = 0;
+    std::uint64_t rfo_bytes = 0;
+    std::uint64_t code_rd_bytes = 0;
+
+    // Optional instruction count (feeds PAPI_TOT_INS).
+    std::uint64_t instructions = 0;
+
+    constexpr work_annotation& operator+=(work_annotation const& o) noexcept
+    {
+        cpu_ns += o.cpu_ns;
+        data_rd_bytes += o.data_rd_bytes;
+        rfo_bytes += o.rfo_bytes;
+        code_rd_bytes += o.code_rd_bytes;
+        instructions += o.instructions;
+        return *this;
+    }
+};
+
+using work_sink = void (*)(work_annotation const&);
+
+// Install/remove the process-wide sink (papi module or test fixture).
+// Passing nullptr uninstalls. Returns the previous sink.
+work_sink set_work_sink(work_sink sink) noexcept;
+
+// Report work performed by the calling task. No-op without a sink.
+void annotate_work(work_annotation const& w) noexcept;
+
+}    // namespace minihpx

@@ -1,0 +1,87 @@
+#include <minihpx/runtime/runtime.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace minihpx {
+
+namespace {
+
+    std::atomic<runtime*> global_runtime{nullptr};
+
+    std::uint64_t now_ns() noexcept
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+}    // namespace
+
+runtime_config runtime_config::from_cli(util::cli_args const& args)
+{
+    runtime_config config;
+    config.sched.num_workers = static_cast<unsigned>(args.int_or("mh:threads",
+        static_cast<std::int64_t>(std::thread::hardware_concurrency())));
+    if (config.sched.num_workers == 0)
+        config.sched.num_workers = 1;
+    config.sched.stack_size = static_cast<std::size_t>(
+        args.int_or("mh:stack-size",
+            static_cast<std::int64_t>(threads::default_stack_size)));
+    config.sched.bind_workers = args.flag("mh:bind");
+    config.sched.steal_seed =
+        static_cast<std::uint64_t>(args.int_or("mh:steal-seed", 0x5eed));
+    return config;
+}
+
+runtime::runtime(runtime_config config)
+  : config_(std::move(config))
+  , scheduler_(std::make_unique<scheduler>(config_.sched))
+  , start_ns_(now_ns())
+{
+    runtime* expected = nullptr;
+    bool const installed =
+        global_runtime.compare_exchange_strong(expected, this);
+    MINIHPX_ASSERT_MSG(installed, "only one minihpx::runtime per process");
+    scheduler_->start();
+}
+
+runtime::~runtime()
+{
+    scheduler_->stop();
+    global_runtime.store(nullptr, std::memory_order_release);
+}
+
+double runtime::uptime_seconds() const noexcept
+{
+    return static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+runtime* runtime::get_ptr() noexcept
+{
+    return global_runtime.load(std::memory_order_acquire);
+}
+
+runtime& runtime::get()
+{
+    runtime* rt = get_ptr();
+    MINIHPX_ASSERT_MSG(rt != nullptr, "no active minihpx::runtime");
+    return *rt;
+}
+
+namespace detail {
+
+    scheduler& spawn_target()
+    {
+        if (scheduler* sched = scheduler::current_scheduler())
+            return *sched;
+        return runtime::get().get_scheduler();
+    }
+
+}    // namespace detail
+
+}    // namespace minihpx

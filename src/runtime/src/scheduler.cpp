@@ -1,0 +1,482 @@
+#include <minihpx/runtime/scheduler.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <chrono>
+
+namespace minihpx {
+
+namespace {
+
+    thread_local detail::worker* tls_worker = nullptr;
+
+    std::uint64_t clock_ns() noexcept
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    void bind_to_core(unsigned core) noexcept
+    {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(core % std::thread::hardware_concurrency(), &set);
+        // Best-effort: failure (e.g. restricted container) is harmless.
+        (void) pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    }
+
+}    // namespace
+
+// ---------------------------------------------------------------- worker
+
+namespace detail {
+
+    void worker::run()
+    {
+        tls_worker = this;
+        if (sched_.config().bind_workers)
+            bind_to_core(id_);
+
+        std::uint64_t const started = clock_ns();
+        std::uint64_t loop_start = started;
+
+        for (;;)
+        {
+            threads::thread_data* task = get_next_task();
+            std::uint64_t const found = clock_ns();
+
+            if (task)
+            {
+                stats_->sched_time_ns.fetch_add(
+                    found - loop_start, std::memory_order_relaxed);
+                execute(task);
+            }
+            else
+            {
+                // Nothing runnable anywhere. Either we are draining and
+                // done, or we sleep until new work is scheduled.
+                if (sched_.state_.load(std::memory_order_acquire) !=
+                        scheduler::run_state::running &&
+                    sched_.tasks_alive() == 0)
+                {
+                    stats_->idle_time_ns.fetch_add(
+                        found - loop_start, std::memory_order_relaxed);
+                    break;
+                }
+
+                std::uint64_t const epoch =
+                    sched_.sleep_epoch_.load(std::memory_order_acquire);
+                if (queue_.length() == 0)
+                {
+                    std::unique_lock lock(sched_.sleep_mutex_);
+                    sched_.sleep_cv_.wait_for(lock,
+                        std::chrono::microseconds(sched_.config().sleep_us),
+                        [&] {
+                            return sched_.sleep_epoch_.load(
+                                       std::memory_order_acquire) != epoch ||
+                                sched_.state_.load(
+                                    std::memory_order_acquire) !=
+                                scheduler::run_state::running;
+                        });
+                    stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
+                }
+                stats_->idle_time_ns.fetch_add(
+                    clock_ns() - found, std::memory_order_relaxed);
+                stats_->idle_time_ns.fetch_add(
+                    found - loop_start, std::memory_order_relaxed);
+            }
+
+            loop_start = clock_ns();
+            stats_->total_time_ns.store(
+                loop_start - started, std::memory_order_relaxed);
+        }
+        stats_->total_time_ns.store(
+            clock_ns() - started, std::memory_order_relaxed);
+        tls_worker = nullptr;
+    }
+
+    threads::thread_data* worker::get_next_task()
+    {
+        if (threads::thread_data* task = queue_.pop())
+            return task;
+
+        unsigned const n = sched_.num_workers();
+        if (n <= 1)
+            return nullptr;
+
+        for (unsigned round = 0; round < sched_.config().steal_rounds; ++round)
+        {
+            // Random victims first (decorrelates thieves), then one
+            // deterministic sweep so a single busy victim is always found.
+            for (unsigned attempt = 0; attempt < n; ++attempt)
+            {
+                auto victim = static_cast<std::uint32_t>(rng_.below(n));
+                if (victim == id_)
+                    continue;
+                stats_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+                if (threads::thread_data* task =
+                        sched_.workers_[victim]->queue_.steal())
+                {
+                    stats_->steals.fetch_add(1, std::memory_order_relaxed);
+                    return task;
+                }
+            }
+            for (unsigned v = 0; v < n; ++v)
+            {
+                if (v == id_)
+                    continue;
+                stats_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+                if (threads::thread_data* task =
+                        sched_.workers_[v]->queue_.steal())
+                {
+                    stats_->steals.fetch_add(1, std::memory_order_relaxed);
+                    return task;
+                }
+            }
+            // New work may have landed locally while we were searching.
+            if (threads::thread_data* task = queue_.pop())
+                return task;
+        }
+        return nullptr;
+    }
+
+    void worker::execute(threads::thread_data* task)
+    {
+        MINIHPX_ASSERT(task->state() == threads::thread_state::pending);
+        sched_.count_pending_.fetch_sub(1, std::memory_order_relaxed);
+        sched_.count_active_.fetch_add(1, std::memory_order_relaxed);
+        task->set_state(threads::thread_state::active);
+
+        if (!task->context().valid())
+        {
+            if (!task->has_stack())
+                task->attach_stack(sched_.stack_pool_.acquire());
+            task->prepare_context(&scheduler::task_entry);
+        }
+
+        current_ = task;
+        action_ = after_switch::none;
+
+        std::uint64_t const t0 = clock_ns();
+        threads::execution_context::switch_to(
+            sched_context_, task->context());
+        std::uint64_t const t1 = clock_ns();
+
+        current_ = nullptr;
+        stats_->exec_time_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
+        task->add_exec_time(t1 - t0);
+
+        process_after_switch(task);
+        stats_->sched_time_ns.fetch_add(
+            clock_ns() - t1, std::memory_order_relaxed);
+    }
+
+    void worker::process_after_switch(threads::thread_data* task)
+    {
+        sched_.count_active_.fetch_sub(1, std::memory_order_relaxed);
+        switch (action_)
+        {
+        case after_switch::terminated:
+            task->set_state(threads::thread_state::terminated);
+            sched_.duration_hist_.add(task->exec_time_ns());
+            stats_->tasks_executed.fetch_add(1, std::memory_order_relaxed);
+            sched_.recycle_descriptor(task);
+            sched_.tasks_alive_.fetch_sub(1, std::memory_order_release);
+            break;
+
+        case after_switch::suspended:
+        {
+            stats_->suspensions.fetch_add(1, std::memory_order_relaxed);
+            sched_.count_suspended_.fetch_add(1, std::memory_order_relaxed);
+            task->set_state(threads::thread_state::suspended);
+            // A waker may have tried to resume while we were parking.
+            if (task->wakeup_pending.exchange(false,
+                    std::memory_order_acq_rel))
+            {
+                if (task->transition(threads::thread_state::suspended,
+                        threads::thread_state::pending))
+                {
+                    sched_.count_suspended_.fetch_sub(
+                        1, std::memory_order_relaxed);
+                    sched_.count_pending_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    sched_.schedule_task(task, false);
+                }
+            }
+            break;
+        }
+
+        case after_switch::yielded_back:
+        case after_switch::yielded_front:
+            stats_->yields.fetch_add(1, std::memory_order_relaxed);
+            sched_.count_pending_.fetch_add(1, std::memory_order_relaxed);
+            task->set_state(threads::thread_state::pending);
+            queue_.push(task, action_ == after_switch::yielded_front);
+            break;
+
+        case after_switch::none:
+            MINIHPX_ASSERT_MSG(
+                false, "task switched out without declaring an action");
+            break;
+        }
+        action_ = after_switch::none;
+    }
+
+}    // namespace detail
+
+// ------------------------------------------------------------- scheduler
+
+scheduler::scheduler(scheduler_config config)
+  : config_(config)
+  , stack_pool_(config.stack_size)
+{
+    if (config_.num_workers == 0)
+        config_.num_workers = 1;
+    for (unsigned i = 0; i < config_.num_workers; ++i)
+    {
+        std::uint64_t seed = config_.steal_seed;
+        workers_.push_back(std::make_unique<detail::worker>(
+            *this, i, splitmix64_helper(seed, i)));
+    }
+}
+
+std::uint64_t scheduler::splitmix64_helper(std::uint64_t seed, unsigned i)
+{
+    std::uint64_t s = seed + i * 0x9e3779b97f4a7c15ULL;
+    return util::splitmix64_next(s);
+}
+
+scheduler::~scheduler()
+{
+    if (state_.load(std::memory_order_acquire) != run_state::stopped)
+        stop();
+}
+
+void scheduler::start()
+{
+    MINIHPX_ASSERT(state_.load() == run_state::stopped);
+    state_.store(run_state::running, std::memory_order_release);
+    os_threads_.reserve(workers_.size());
+    for (auto& w : workers_)
+        os_threads_.emplace_back([worker = w.get()] { worker->run(); });
+}
+
+void scheduler::stop()
+{
+    run_state expected = run_state::running;
+    if (!state_.compare_exchange_strong(expected, run_state::draining))
+        return;
+    wake_all();
+    for (auto& t : os_threads_)
+        t.join();
+    os_threads_.clear();
+    state_.store(run_state::stopped, std::memory_order_release);
+}
+
+threads::thread_id scheduler::spawn(task_function fn,
+    char const* description, threads::thread_priority priority, bool front)
+{
+    MINIHPX_ASSERT_MSG(state_.load(std::memory_order_acquire) !=
+            run_state::stopped,
+        "spawn on a stopped scheduler");
+
+    threads::thread_data* task = acquire_descriptor();
+    threads::thread_id const id =
+        next_thread_id_.fetch_add(1, std::memory_order_relaxed);
+    task->init(id, std::move(fn), description, priority);
+
+    tasks_alive_.fetch_add(1, std::memory_order_acq_rel);
+    tasks_created_.fetch_add(1, std::memory_order_relaxed);
+    if (detail::worker* w = tls_worker; w && &w->sched_ == this)
+        w->stats_->tasks_created.fetch_add(1, std::memory_order_relaxed);
+
+    task->set_state(threads::thread_state::pending);
+    count_pending_.fetch_add(1, std::memory_order_relaxed);
+    schedule_task(task, front);
+    return id;
+}
+
+void scheduler::resume(threads::thread_data* task)
+{
+    // Two-phase handshake (see thread_data::wakeup_pending).
+    task->wakeup_pending.store(true, std::memory_order_release);
+    if (task->transition(threads::thread_state::suspended,
+            threads::thread_state::pending))
+    {
+        task->wakeup_pending.store(false, std::memory_order_release);
+        count_suspended_.fetch_sub(1, std::memory_order_relaxed);
+        count_pending_.fetch_add(1, std::memory_order_relaxed);
+        schedule_task(task, false);
+    }
+    // else: the task has not parked yet; the worker consumes the flag.
+}
+
+void scheduler::yield_current(bool to_back)
+{
+    detail::worker* w = tls_worker;
+    MINIHPX_ASSERT_MSG(w && w->current_, "yield outside of task context");
+    threads::thread_data* task = w->current_;
+    w->action_ = to_back ? detail::after_switch::yielded_back :
+                           detail::after_switch::yielded_front;
+    threads::execution_context::switch_to(
+        task->context(), w->sched_context_);
+}
+
+void scheduler::suspend_current(
+    util::unique_function<void(threads::thread_data*)> publish)
+{
+    detail::worker* w = tls_worker;
+    MINIHPX_ASSERT_MSG(w && w->current_, "suspend outside of task context");
+    threads::thread_data* task = w->current_;
+    if (publish)
+        publish(task);
+    w->action_ = detail::after_switch::suspended;
+    threads::execution_context::switch_to(
+        task->context(), w->sched_context_);
+    // Execution resumes here once another thread calls resume(task).
+}
+
+threads::thread_data* scheduler::current_task() noexcept
+{
+    detail::worker* w = tls_worker;
+    return w ? w->current_ : nullptr;
+}
+
+std::uint32_t scheduler::current_worker_id() noexcept
+{
+    detail::worker* w = tls_worker;
+    return w ? w->id() : npos_worker;
+}
+
+scheduler* scheduler::current_scheduler() noexcept
+{
+    detail::worker* w = tls_worker;
+    return w ? &w->sched_ : nullptr;
+}
+
+void scheduler::task_entry(void* arg)
+{
+    auto* task = static_cast<threads::thread_data*>(arg);
+    task->function()();
+    task->function().reset();    // release captured state eagerly
+
+    // The task may have migrated across workers while suspended; the
+    // worker to return to is whoever is running us *now*.
+    detail::worker* w = tls_worker;
+    MINIHPX_ASSERT(w && w->current_ == task);
+    w->action_ = detail::after_switch::terminated;
+    threads::execution_context::switch_to(
+        task->context(), w->sched_context_);
+    MINIHPX_UNREACHABLE();
+}
+
+threads::thread_data* scheduler::acquire_descriptor()
+{
+    {
+        std::lock_guard lock(freelist_lock_);
+        if (freelist_)
+        {
+            threads::thread_data* task = freelist_;
+            freelist_ = task->next;
+            return task;
+        }
+    }
+    auto owned = std::make_unique<threads::thread_data>();
+    threads::thread_data* task = owned.get();
+    {
+        std::lock_guard lock(freelist_lock_);
+        all_descriptors_.push_back(std::move(owned));
+    }
+    return task;
+}
+
+void scheduler::recycle_descriptor(threads::thread_data* task)
+{
+    // Stack stays attached: the next task reuses it without a pool
+    // round-trip (spawn stays allocation-free in steady state).
+    std::lock_guard lock(freelist_lock_);
+    task->next = freelist_;
+    freelist_ = task;
+}
+
+void scheduler::schedule_task(threads::thread_data* task, bool front)
+{
+    detail::worker* w = tls_worker;
+    if (w && &w->sched_ == this)
+    {
+        w->queue_.push(task, front);
+    }
+    else
+    {
+        auto const i = round_robin_.fetch_add(1, std::memory_order_relaxed) %
+            workers_.size();
+        workers_[i]->queue_.push(task, front);
+    }
+    wake_one();
+}
+
+void scheduler::wake_one()
+{
+    sleep_epoch_.fetch_add(1, std::memory_order_release);
+    sleep_cv_.notify_one();
+}
+
+void scheduler::wake_all()
+{
+    sleep_epoch_.fetch_add(1, std::memory_order_release);
+    sleep_cv_.notify_all();
+}
+
+scheduler::totals scheduler::aggregate() const
+{
+    totals t;
+    for (auto const& w : workers_)
+    {
+        auto const& s = w->get_stats();
+        t.tasks_executed += s.tasks_executed.load(std::memory_order_relaxed);
+        t.tasks_created += s.tasks_created.load(std::memory_order_relaxed);
+        t.exec_time_ns += s.exec_time_ns.load(std::memory_order_relaxed);
+        t.sched_time_ns += s.sched_time_ns.load(std::memory_order_relaxed);
+        t.idle_time_ns += s.idle_time_ns.load(std::memory_order_relaxed);
+        t.total_time_ns += s.total_time_ns.load(std::memory_order_relaxed);
+        t.steals += s.steals.load(std::memory_order_relaxed);
+        t.steal_attempts += s.steal_attempts.load(std::memory_order_relaxed);
+        t.suspensions += s.suspensions.load(std::memory_order_relaxed);
+        t.yields += s.yields.load(std::memory_order_relaxed);
+        auto const& q = w->queue();
+        t.pending_misses += q.misses();
+        t.stolen_from += q.stolen_from();
+        t.queue_length += q.length();
+    }
+    return t;
+}
+
+std::uint64_t scheduler::instantaneous_count(threads::thread_state state) const
+{
+    std::int64_t v = 0;
+    switch (state)
+    {
+    case threads::thread_state::pending:
+        v = count_pending_.load(std::memory_order_relaxed);
+        break;
+    case threads::thread_state::active:
+        v = count_active_.load(std::memory_order_relaxed);
+        break;
+    case threads::thread_state::suspended:
+        v = count_suspended_.load(std::memory_order_relaxed);
+        break;
+    case threads::thread_state::staged:
+        v = count_staged_.load(std::memory_order_relaxed);
+        break;
+    default:
+        break;
+    }
+    return v < 0 ? 0 : static_cast<std::uint64_t>(v);
+}
+
+}    // namespace minihpx

@@ -1,0 +1,280 @@
+#include <minihpx/sync.hpp>
+
+#include <mutex>
+
+namespace minihpx {
+
+namespace {
+
+    // Suspend the current task onto `waiters` guarded by `guard`,
+    // unless `abort_if` turns true once the guard is re-taken inside
+    // the publish step (in which case the task resumes itself).
+    template <typename AbortIf>
+    void park_on(util::spinlock& guard, detail::task_wait_list& waiters,
+        AbortIf abort_if)
+    {
+        scheduler* sched = scheduler::current_scheduler();
+        MINIHPX_ASSERT_MSG(sched && scheduler::current_task(),
+            "blocking primitive used outside task context");
+        sched->suspend_current(
+            [&guard, &waiters, &abort_if, sched](
+                threads::thread_data* self) {
+                std::lock_guard lock(guard);
+                if (abort_if())
+                {
+                    // Condition already satisfied; cancel the park by
+                    // resuming ourselves (handshake absorbs the race).
+                    sched->resume(self);
+                    return;
+                }
+                waiters.push(self);
+            });
+    }
+
+    void resume_task(threads::thread_data* task)
+    {
+        // Waiters always come from a scheduler's task context; resume
+        // through the current scheduler if the caller is a worker, else
+        // through the runtime default.
+        scheduler* sched = scheduler::current_scheduler();
+        if (!sched)
+            sched = &detail::spawn_target();
+        sched->resume(task);
+    }
+
+}    // namespace
+
+// ----------------------------------------------------------------- mutex
+
+void mutex::lock()
+{
+    if (!scheduler::current_task())
+    {
+        // Non-task path (main thread in tests): spin-yield.
+        for (;;)
+        {
+            {
+                std::lock_guard lock(guard_);
+                if (!locked_)
+                {
+                    locked_ = true;
+                    return;
+                }
+            }
+            std::this_thread::yield();
+        }
+    }
+
+    for (;;)
+    {
+        {
+            std::lock_guard lock(guard_);
+            if (!locked_)
+            {
+                locked_ = true;
+                return;
+            }
+        }
+        // Barging lock: parked tasks re-compete after wakeup.
+        park_on(guard_, waiters_, [this] { return !locked_; });
+    }
+}
+
+bool mutex::try_lock()
+{
+    std::lock_guard lock(guard_);
+    if (locked_)
+        return false;
+    locked_ = true;
+    return true;
+}
+
+void mutex::unlock()
+{
+    threads::thread_data* next = nullptr;
+    {
+        std::lock_guard lock(guard_);
+        MINIHPX_ASSERT_MSG(locked_, "unlock of unlocked mutex");
+        locked_ = false;
+        next = waiters_.pop();
+    }
+    if (next)
+        resume_task(next);
+}
+
+// ---------------------------------------------------- condition_variable
+
+void condition_variable::wait(std::unique_lock<mutex>& lock)
+{
+    MINIHPX_ASSERT_MSG(lock.owns_lock(), "cv::wait requires a held lock");
+    scheduler* sched = scheduler::current_scheduler();
+    MINIHPX_ASSERT_MSG(sched && scheduler::current_task(),
+        "condition_variable requires task context");
+
+    mutex* m = lock.mutex();
+    sched->suspend_current([this, m](threads::thread_data* self) {
+        {
+            std::lock_guard g(guard_);
+            waiters_.push(self);
+        }
+        // Enqueue first, then release: a notify between unlock and the
+        // switch finds us in the list and the wakeup handshake holds.
+        m->unlock();
+    });
+    lock.release();
+    lock = std::unique_lock<mutex>(*m);
+}
+
+void condition_variable::notify_one()
+{
+    threads::thread_data* task = nullptr;
+    {
+        std::lock_guard g(guard_);
+        task = waiters_.pop();
+    }
+    if (task)
+        resume_task(task);
+}
+
+void condition_variable::notify_all()
+{
+    detail::task_wait_list drained;
+    {
+        std::lock_guard g(guard_);
+        while (threads::thread_data* task = waiters_.pop())
+            drained.push(task);
+    }
+    while (threads::thread_data* task = drained.pop())
+        resume_task(task);
+}
+
+// ----------------------------------------------------------------- latch
+
+void latch::count_down(std::ptrdiff_t n)
+{
+    detail::task_wait_list drained;
+    {
+        std::lock_guard g(guard_);
+        MINIHPX_ASSERT(count_ >= n);
+        count_ -= n;
+        if (count_ > 0)
+            return;
+        while (threads::thread_data* task = waiters_.pop())
+            drained.push(task);
+    }
+    while (threads::thread_data* task = drained.pop())
+        resume_task(task);
+}
+
+bool latch::try_wait() const
+{
+    std::lock_guard g(guard_);
+    return count_ == 0;
+}
+
+void latch::wait()
+{
+    if (!scheduler::current_task())
+    {
+        while (!try_wait())
+            std::this_thread::yield();
+        return;
+    }
+    while (!try_wait())
+        park_on(guard_, waiters_, [this] { return count_ == 0; });
+}
+
+void latch::arrive_and_wait()
+{
+    count_down();
+    wait();
+}
+
+// --------------------------------------------------------------- barrier
+
+void barrier::arrive_and_wait()
+{
+    std::uint64_t my_generation;
+    bool last = false;
+    detail::task_wait_list drained;
+    {
+        std::lock_guard g(guard_);
+        my_generation = generation_;
+        if (++arrived_ == parties_)
+        {
+            arrived_ = 0;
+            ++generation_;
+            while (threads::thread_data* task = waiters_.pop())
+                drained.push(task);
+            last = true;
+        }
+    }
+    if (last)
+    {
+        while (threads::thread_data* task = drained.pop())
+            resume_task(task);
+        return;
+    }
+    while (true)
+    {
+        {
+            std::lock_guard g(guard_);
+            if (generation_ != my_generation)
+                return;
+        }
+        park_on(guard_, waiters_,
+            [this, my_generation] { return generation_ != my_generation; });
+    }
+}
+
+// ----------------------------------------------------- counting_semaphore
+
+void counting_semaphore::acquire()
+{
+    for (;;)
+    {
+        {
+            std::lock_guard g(guard_);
+            if (count_ > 0)
+            {
+                --count_;
+                return;
+            }
+        }
+        if (!scheduler::current_task())
+        {
+            std::this_thread::yield();
+            continue;
+        }
+        park_on(guard_, waiters_, [this] { return count_ > 0; });
+    }
+}
+
+bool counting_semaphore::try_acquire()
+{
+    std::lock_guard g(guard_);
+    if (count_ <= 0)
+        return false;
+    --count_;
+    return true;
+}
+
+void counting_semaphore::release(std::ptrdiff_t n)
+{
+    detail::task_wait_list drained;
+    {
+        std::lock_guard g(guard_);
+        count_ += n;
+        for (std::ptrdiff_t i = 0; i < n; ++i)
+        {
+            threads::thread_data* task = waiters_.pop();
+            if (!task)
+                break;
+            drained.push(task);
+        }
+    }
+    while (threads::thread_data* task = drained.pop())
+        resume_task(task);
+}
+
+}    // namespace minihpx

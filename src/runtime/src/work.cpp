@@ -1,0 +1,24 @@
+#include <minihpx/work.hpp>
+
+#include <atomic>
+
+namespace minihpx {
+
+namespace {
+
+    std::atomic<work_sink> global_sink{nullptr};
+
+}    // namespace
+
+work_sink set_work_sink(work_sink sink) noexcept
+{
+    return global_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void annotate_work(work_annotation const& w) noexcept
+{
+    if (work_sink sink = global_sink.load(std::memory_order_acquire))
+        sink(w);
+}
+
+}    // namespace minihpx

@@ -1,0 +1,191 @@
+// Engine facade over the simulator: the same static interface as the
+// real minihpx and std baselines, so every Inncabs benchmark compiles
+// unchanged against virtual time. Whether the simulated machine runs
+// the HPX-like or the thread-per-task scheduler is a property of the
+// simulator configuration, not of this type.
+#pragma once
+
+#include <minihpx/sim/simulator.hpp>
+#include <minihpx/util/assert.hpp>
+#include <minihpx/work.hpp>
+
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+namespace minihpx::sim {
+
+namespace detail {
+
+    template <typename T>
+    struct sim_state final : sim_state_base
+    {
+        std::optional<T> value;
+    };
+
+    template <>
+    struct sim_state<void> final : sim_state_base
+    {
+    };
+
+}    // namespace detail
+
+template <typename T>
+class sim_future
+{
+public:
+    sim_future() = default;
+    explicit sim_future(std::shared_ptr<detail::sim_state<T>> state)
+      : state_(std::move(state))
+    {
+    }
+
+    bool valid() const noexcept { return static_cast<bool>(state_); }
+    bool is_ready() const { return state_->ready; }
+
+    void wait()
+    {
+        run_deferred();
+        if (!state_->ready)
+            simulator::current()->wait_on(state_.get());
+    }
+
+    T get()
+    {
+        wait();
+        if constexpr (!std::is_void_v<T>)
+        {
+            MINIHPX_ASSERT(state_->value.has_value());
+            T result = std::move(*state_->value);
+            state_.reset();
+            return result;
+        }
+        else
+        {
+            state_.reset();
+        }
+    }
+
+private:
+    void run_deferred()
+    {
+        if (state_->has_deferred && state_->deferred)
+        {
+            auto thunk = std::move(state_->deferred);
+            state_->deferred.reset();
+            thunk();    // charges annotations to the *waiting* task
+            state_->ready = true;
+        }
+    }
+
+    std::shared_ptr<detail::sim_state<T>> state_;
+};
+
+class sim_mutex
+{
+public:
+    sim_mutex() : impl_(std::make_shared<detail::sim_mutex_impl>()) {}
+
+    void lock() { simulator::current()->lock(impl_.get()); }
+    void unlock() { simulator::current()->unlock(impl_.get()); }
+    bool try_lock()
+    {
+        if (impl_->locked)
+            return false;
+        impl_->locked = true;
+        return true;
+    }
+
+private:
+    std::shared_ptr<detail::sim_mutex_impl> impl_;
+};
+
+struct sim_engine
+{
+    template <typename T>
+    using future = sim_future<T>;
+    using mutex = sim_mutex;
+
+    enum class launch : std::uint8_t
+    {
+        async,
+        deferred,
+        fork,
+        sync,
+    };
+
+    template <typename F, typename... Ts>
+    static auto async(launch policy, F&& f, Ts&&... ts)
+    {
+        using R = std::invoke_result_t<std::decay_t<F>, std::decay_t<Ts>...>;
+        auto state = std::make_shared<detail::sim_state<R>>();
+
+        auto body = [state, fn = std::forward<F>(f),
+                        args = std::make_tuple(
+                            std::forward<Ts>(ts)...)]() mutable {
+            if constexpr (std::is_void_v<R>)
+                std::apply(std::move(fn), std::move(args));
+            else
+                state->value.emplace(
+                    std::apply(std::move(fn), std::move(args)));
+        };
+
+        switch (policy)
+        {
+        case launch::sync:
+            body();    // inline; annotations charge the current segment
+            state->ready = true;
+            break;
+
+        case launch::deferred:
+            state->has_deferred = true;
+            state->deferred = std::move(body);
+            break;
+
+        case launch::fork:
+        case launch::async:
+        {
+            simulator* sim = simulator::current();
+            MINIHPX_ASSERT_MSG(sim, "sim_engine used outside simulator");
+            // keepalive: the DES touches the raw state pointer until the
+            // notify interaction completes.
+            state->self_keepalive = state;
+            sim->spawn_task(
+                [state, b = std::move(body)]() mutable {
+                    b();
+                    simulator::current()->notify(state.get());
+                },
+                /*front=*/policy == launch::fork);
+            if (policy == launch::fork)
+                sim->yield();    // continuation-stealing order
+            break;
+        }
+        }
+        return sim_future<R>(std::move(state));
+    }
+
+    template <typename F, typename... Ts>
+    static auto async(F&& f, Ts&&... ts)
+    {
+        return async(
+            launch::async, std::forward<F>(f), std::forward<Ts>(ts)...);
+    }
+
+    static void annotate_work(work_annotation const& w) noexcept
+    {
+        if (simulator* sim = simulator::current())
+            sim->annotate(w);
+    }
+
+    static bool skip_compute() noexcept
+    {
+        simulator* sim = simulator::current();
+        return sim && sim->skip_compute();
+    }
+
+    static constexpr char const* name() noexcept { return "simulated"; }
+};
+
+}    // namespace minihpx::sim

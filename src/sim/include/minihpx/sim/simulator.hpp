@@ -1,0 +1,297 @@
+// Deterministic discrete-event cosimulator.
+//
+// Benchmarks execute their *real* code as stackful coroutines on one
+// host thread; only time is modeled. Every engine interaction (spawn,
+// future wait/notify, lock, yield, exit) is an event ordered by virtual
+// time; compute between interactions is charged from work annotations
+// through the cost model (compute + shared-bandwidth memory time + NUMA
+// + scheduler overheads). Two scheduler models are provided:
+//
+//   sched_model::hpx_like  - per-core queues, work stealing, lightweight
+//                            spawn/dispatch (the minihpx/HPX behavior)
+//   sched_model::std_like  - one OS thread per task, global run queue,
+//                            kernel-serialized spawn, per-thread memory
+//                            accounting with hard failure (the GCC
+//                            std::async behavior from paper §II)
+//
+// Determinism: single event loop, (time, sequence) ordered heap, seeded
+// victim selection. Same config + same benchmark -> identical report.
+#pragma once
+
+#include <minihpx/sim/machine.hpp>
+#include <minihpx/threads/context.hpp>
+#include <minihpx/threads/stack.hpp>
+#include <minihpx/util/rng.hpp>
+#include <minihpx/util/unique_function.hpp>
+#include <minihpx/work.hpp>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace minihpx::sim {
+
+enum class sched_model : std::uint8_t
+{
+    hpx_like,
+    std_like,
+};
+
+struct sim_config
+{
+    machine_desc machine = machine_desc::ivy_bridge_2s_20c();
+    sched_model model = sched_model::hpx_like;
+    unsigned cores = 1;    // cores in use (strong-scaling x axis)
+    std::uint64_t seed = 42;
+    std::size_t stack_bytes = 48 * 1024;
+    // Skip data-independent leaf kernels in benchmarks (they query
+    // this through the engine); virtual results are unaffected.
+    bool skip_compute = true;
+    // Safety valve against runaway benchmarks.
+    std::uint64_t max_tasks = 80'000'000;
+};
+
+// What a run produces; the units are virtual seconds.
+struct sim_report
+{
+    bool failed = false;
+    std::string failure_reason;
+
+    unsigned cores = 0;
+    double exec_time_s = 0.0;          // total virtual makespan
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t tasks_created = 0;
+    double task_time_s = 0.0;          // sum of task segment times
+    double sched_overhead_s = 0.0;     // spawn/dispatch/steal/wake/block
+    double idle_s = 0.0;               // cores idle while run active
+    std::uint64_t steals = 0;
+    std::uint64_t remote_steals = 0;
+    std::uint64_t suspensions = 0;
+    std::uint64_t peak_live_threads = 0;    // std model census
+
+    // Modeled PMU totals (cache lines / counts).
+    std::uint64_t offcore_data_rd = 0;
+    std::uint64_t offcore_rfo = 0;
+    std::uint64_t offcore_code_rd = 0;
+    std::uint64_t instructions = 0;
+
+    double avg_task_duration_us() const noexcept
+    {
+        return tasks_executed ?
+            task_time_s * 1e6 / static_cast<double>(tasks_executed) :
+            0.0;
+    }
+    double avg_task_overhead_us() const noexcept
+    {
+        return tasks_executed ?
+            sched_overhead_s * 1e6 / static_cast<double>(tasks_executed) :
+            0.0;
+    }
+    // Paper §V-C: offcore lines * 64 B / execution time.
+    double offcore_bandwidth_gbs() const noexcept
+    {
+        if (exec_time_s <= 0.0)
+            return 0.0;
+        double const bytes = 64.0 *
+            static_cast<double>(offcore_data_rd + offcore_rfo +
+                offcore_code_rd);
+        return bytes / exec_time_s / 1e9;
+    }
+};
+
+namespace detail {
+
+    struct sim_state_base;
+    class sim_mutex_impl;
+
+    enum class inter_kind : std::uint8_t
+    {
+        none,
+        spawn,         // create + enqueue a new task
+        wait,          // block on a not-ready shared state
+        notify,        // mark shared state ready, wake waiters
+        lock,          // acquire sim mutex
+        unlock,        // release sim mutex
+        yield,         // reschedule current task
+        task_end,      // current task finished
+    };
+
+    struct sim_task
+    {
+        std::uint64_t id = 0;
+        threads::execution_context ctx;
+        threads::stack stk;
+        util::unique_function<void()> fn;
+        bool started = false;
+        bool terminated = false;
+
+        // interaction exchange slot (task -> DES)
+        inter_kind inter = inter_kind::none;
+        sim_task* inter_task = nullptr;           // spawn payload
+        sim_state_base* inter_state = nullptr;    // wait/notify payload
+        sim_mutex_impl* inter_mutex = nullptr;    // lock/unlock payload
+        bool spawn_front = false;                 // fork policy
+
+        // compute accumulated since the last interaction boundary
+        work_annotation pending{};
+
+        // placement + contention snapshot (set at dispatch)
+        unsigned core = 0;
+        double mem_bw_factor = 1.0;    // multiplier on memory time
+        double load_factor = 1.0;      // std model run-queue sharing
+
+        std::uint64_t vt_exec_ns = 0;  // cumulative execution time
+        sim_task* next_waiter = nullptr;
+    };
+
+    // Type-erased future state; typed value lives in the engine layer.
+    struct sim_state_base
+    {
+        bool ready = false;
+        bool has_deferred = false;
+        util::unique_function<void()> deferred;
+        sim_task* waiters = nullptr;    // intrusive list via next_waiter
+        // Keeps the engine-layer state alive while the DES references
+        // it (shared_ptr aliasing handled by the engine).
+        std::shared_ptr<void> self_keepalive;
+
+        virtual ~sim_state_base() = default;
+    };
+
+    class sim_mutex_impl
+    {
+    public:
+        bool locked = false;
+        std::deque<sim_task*> waiters;
+    };
+
+}    // namespace detail
+
+class simulator
+{
+public:
+    explicit simulator(sim_config config);
+    ~simulator();
+
+    simulator(simulator const&) = delete;
+    simulator& operator=(simulator const&) = delete;
+
+    // Run `root` to completion (or failure); returns the report.
+    sim_report run(util::unique_function<void()> root);
+
+    sim_config const& config() const noexcept { return config_; }
+
+    // --- engine hooks (called from inside task coroutines) -------------
+    static simulator* current() noexcept;
+
+    void annotate(work_annotation const& w) noexcept;
+    detail::sim_task* spawn_task(
+        util::unique_function<void()> fn, bool front);
+    void wait_on(detail::sim_state_base* state);
+    void notify(detail::sim_state_base* state);
+    void lock(detail::sim_mutex_impl* mutex);
+    void unlock(detail::sim_mutex_impl* mutex);
+    void yield();
+    bool skip_compute() const noexcept { return config_.skip_compute; }
+
+    double now_seconds() const noexcept
+    {
+        return static_cast<double>(now_ns_) * 1e-9;
+    }
+
+private:
+    struct event
+    {
+        std::uint64_t t;
+        std::uint64_t seq;
+        std::uint8_t kind;    // event_kind
+        detail::sim_task* task;
+        unsigned core;
+        bool operator>(event const& other) const noexcept
+        {
+            return t != other.t ? t > other.t : seq > other.seq;
+        }
+    };
+
+    enum event_kind : std::uint8_t
+    {
+        ev_task_ready,
+        ev_dispatch,
+        ev_resume,
+        ev_apply,
+    };
+
+    // coroutine plumbing
+    static void task_entry(void* arg);
+    detail::inter_kind run_segment(detail::sim_task* task);
+    void interaction_request(detail::inter_kind kind);
+
+    // DES handlers
+    void push(std::uint64_t t, event_kind kind, detail::sim_task* task,
+        unsigned core = 0);
+    void handle_task_ready(detail::sim_task* task);
+    void handle_dispatch(unsigned core);
+    void handle_resume(detail::sim_task* task);
+    void handle_apply(detail::sim_task* task);
+    void finish_task(detail::sim_task* task);
+    void fail(std::string reason);
+
+    // cost model
+    std::uint64_t segment_cost_ns(detail::sim_task const& task) const;
+    double contention_factor() const noexcept;    // queue-lock pressure
+    void snapshot_contention(detail::sim_task& task) const;
+    void charge_overhead(std::uint64_t ns) noexcept
+    {
+        overhead_ns_ += ns;
+    }
+
+    // schedulers
+    void enqueue_hpx(detail::sim_task* task, unsigned origin, bool front);
+    detail::sim_task* pick_hpx(unsigned core, std::uint64_t& cost_ns);
+    void enqueue_std(detail::sim_task* task);
+    detail::sim_task* pick_std(unsigned core, std::uint64_t& cost_ns);
+    void core_becomes_idle(unsigned core);
+    void wake_idle_core(unsigned preferred_socket);
+
+    sim_config config_;
+    std::uint64_t now_ns_ = 0;
+    std::uint64_t seq_ = 0;
+    std::priority_queue<event, std::vector<event>, std::greater<event>>
+        events_;
+
+    threads::execution_context des_ctx_;
+    detail::sim_task* running_ = nullptr;    // task currently on host CPU
+    detail::inter_kind last_inter_ = detail::inter_kind::none;
+
+    // per-core state
+    struct core_state
+    {
+        detail::sim_task* busy = nullptr;
+        bool sleeping = true;
+        std::uint64_t idle_since = 0;
+        std::deque<detail::sim_task*> queue;    // hpx model
+    };
+    std::vector<core_state> cores_;
+    std::deque<detail::sim_task*> global_queue_;    // std model
+    std::uint64_t kernel_free_at_ = 0;              // serialized clone()
+
+    // task bookkeeping
+    std::vector<std::unique_ptr<detail::sim_task>> tasks_;
+    std::vector<std::unique_ptr<detail::sim_task>> task_freelist_;
+    threads::stack_pool stack_pool_;
+    std::uint64_t next_task_id_ = 1;
+    std::uint64_t live_started_ = 0;    // std model thread census
+    std::uint64_t tasks_alive_ = 0;
+
+    util::xoshiro256ss rng_;
+
+    sim_report report_;
+    std::uint64_t exec_ns_total_ = 0;
+    std::uint64_t overhead_ns_ = 0;
+    bool failed_ = false;
+};
+
+}    // namespace minihpx::sim

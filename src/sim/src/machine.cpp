@@ -1,0 +1,25 @@
+#include <minihpx/sim/machine.hpp>
+
+#include <sstream>
+
+namespace minihpx::sim {
+
+machine_desc machine_desc::ivy_bridge_2s_20c()
+{
+    return machine_desc{};    // defaults encode Table III
+}
+
+std::string machine_desc::describe() const
+{
+    std::ostringstream os;
+    os << "simulated node: " << sockets << " socket(s) x "
+       << cores_per_socket << " cores @ " << ghz << " GHz (Ivy Bridge model)\n"
+       << "  per-socket bandwidth " << socket_bw_gbps
+       << " GB/s, per-core peak " << core_bw_gbps
+       << " GB/s, NUMA penalty x" << numa_penalty << "\n"
+       << "  RAM " << (ram_bytes >> 30) << " GiB, std thread limit "
+       << std_thread_limit;
+    return os.str();
+}
+
+}    // namespace minihpx::sim

@@ -1,0 +1,711 @@
+#include <minihpx/sim/simulator.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace minihpx::sim {
+
+using detail::inter_kind;
+using detail::sim_task;
+
+namespace {
+
+    thread_local simulator* tls_sim = nullptr;
+
+    std::uint64_t to_lines(std::uint64_t bytes) noexcept
+    {
+        return (bytes + 63) / 64;
+    }
+
+}    // namespace
+
+simulator* simulator::current() noexcept
+{
+    return tls_sim;
+}
+
+simulator::simulator(sim_config config)
+  : config_(config)
+  , stack_pool_(config.stack_bytes)
+  , rng_(config.seed)
+{
+    MINIHPX_ASSERT(config_.cores >= 1);
+    MINIHPX_ASSERT(config_.cores <= config_.machine.total_cores());
+}
+
+simulator::~simulator() = default;
+
+// ------------------------------------------------------------ event loop
+
+sim_report simulator::run(util::unique_function<void()> root)
+{
+    MINIHPX_ASSERT_MSG(tls_sim == nullptr, "nested simulator runs");
+    tls_sim = this;
+
+    report_ = sim_report{};
+    report_.cores = config_.cores;
+    cores_.clear();
+    cores_.resize(config_.cores);
+    for (auto& c : cores_)
+    {
+        c.sleeping = true;
+        c.idle_since = 0;
+    }
+
+    // Inject the root task.
+    auto owned = std::make_unique<sim_task>();
+    sim_task* root_task = owned.get();
+    root_task->id = next_task_id_++;
+    root_task->fn = std::move(root);
+    tasks_.push_back(std::move(owned));
+    ++tasks_alive_;
+    ++report_.tasks_created;
+    if (config_.model == sched_model::std_like)
+    {
+        ++live_started_;
+        report_.peak_live_threads =
+            std::max<std::uint64_t>(report_.peak_live_threads, live_started_);
+        enqueue_std(root_task);
+    }
+    else
+    {
+        enqueue_hpx(root_task, 0, false);
+    }
+
+    while (!events_.empty() && !failed_)
+    {
+        event const ev = events_.top();
+        events_.pop();
+        MINIHPX_ASSERT(ev.t >= now_ns_);
+        now_ns_ = ev.t;
+        switch (ev.kind)
+        {
+        case ev_dispatch:
+            handle_dispatch(ev.core);
+            break;
+        case ev_resume:
+            handle_resume(ev.task);
+            break;
+        case ev_apply:
+            handle_apply(ev.task);
+            break;
+        default:
+            MINIHPX_UNREACHABLE();
+        }
+    }
+
+    if (!failed_ && tasks_alive_ != 0)
+        fail("deadlock: tasks alive but no events pending");
+
+    // Close out idle accounting for cores still asleep.
+    for (auto& c : cores_)
+    {
+        if (c.sleeping)
+            report_.idle_s +=
+                static_cast<double>(now_ns_ - c.idle_since) * 1e-9;
+    }
+
+    report_.failed = failed_;
+    report_.exec_time_s = static_cast<double>(now_ns_) * 1e-9;
+    report_.task_time_s = static_cast<double>(exec_ns_total_) * 1e-9;
+    report_.sched_overhead_s = static_cast<double>(overhead_ns_) * 1e-9;
+
+    // Reset mutable state so the simulator could be reused.
+    while (!events_.empty())
+        events_.pop();
+    tasks_.clear();
+    task_freelist_.clear();
+    global_queue_.clear();
+    kernel_free_at_ = 0;
+    now_ns_ = 0;
+    seq_ = 0;
+    tasks_alive_ = 0;
+    live_started_ = 0;
+    exec_ns_total_ = 0;
+    overhead_ns_ = 0;
+    failed_ = false;
+
+    tls_sim = nullptr;
+    return report_;
+}
+
+void simulator::push(
+    std::uint64_t t, event_kind kind, sim_task* task, unsigned core)
+{
+    events_.push(event{t, seq_++, kind, task, core});
+}
+
+void simulator::fail(std::string reason)
+{
+    failed_ = true;
+    report_.failure_reason = std::move(reason);
+}
+
+// ---------------------------------------------------------- cost model
+
+double simulator::contention_factor() const noexcept
+{
+    unsigned busy = 0;
+    for (auto const& c : cores_)
+        busy += c.busy != nullptr;
+    double factor = 1.0 + config_.machine.hpx_contention_coef *
+        static_cast<double>(busy > 0 ? busy - 1 : 0);
+    unsigned const per_socket = config_.machine.cores_per_socket;
+    if (busy > per_socket)
+        factor += config_.machine.hpx_cross_socket_coef *
+            static_cast<double>(busy - per_socket);
+    return factor;
+}
+
+void simulator::snapshot_contention(sim_task& task) const
+{
+    machine_desc const& m = config_.machine;
+
+    unsigned busy = 1;    // this task
+    for (auto const& c : cores_)
+        busy += (c.busy != nullptr && c.busy != &task);
+
+    // Shared-bandwidth model: every busy core is a potential streamer;
+    // the working set lives on socket 0 (first touch), so remote-socket
+    // tasks pay the NUMA penalty on top of their bandwidth share.
+    double bw_gbs = std::min(
+        m.core_bw_gbps, m.socket_bw_gbps / static_cast<double>(busy));
+    double ns_per_byte = 1.0 / bw_gbs;    // GB/s == bytes/ns
+    if (m.socket_of(task.core) != 0)
+        ns_per_byte *= m.numa_penalty;
+    task.mem_bw_factor = ns_per_byte;
+
+    if (config_.model == sched_model::std_like)
+    {
+        std::uint64_t const runnable = global_queue_.size() + busy;
+        task.load_factor = std::max(1.0,
+            static_cast<double>(runnable) /
+                static_cast<double>(config_.cores));
+    }
+    else
+    {
+        task.load_factor = 1.0;
+    }
+}
+
+std::uint64_t simulator::segment_cost_ns(sim_task const& task) const
+{
+    work_annotation const& w = task.pending;
+    double const mem_bytes = static_cast<double>(
+        w.data_rd_bytes + w.rfo_bytes + w.code_rd_bytes);
+    double cost = static_cast<double>(w.cpu_ns) +
+        mem_bytes * task.mem_bw_factor;
+    if (task.load_factor > 1.0)
+    {
+        // Oversubscribed kernel run queue: the DES already serializes
+        // the queue per core (throughput is conserved), so time-sharing
+        // shows up only as involuntary context switches per timeslice
+        // plus cache pollution from interleaved working sets.
+        double const slices =
+            std::floor(cost / config_.machine.std_timeslice_ns);
+        cost += slices * config_.machine.std_ctx_switch_ns;
+        cost *= 1.0 +
+            config_.machine.std_oversub_coef *
+                std::min(task.load_factor - 1.0, 10.0);
+    }
+    return static_cast<std::uint64_t>(cost);
+}
+
+// ---------------------------------------------------- scheduler models
+
+void simulator::enqueue_hpx(sim_task* task, unsigned origin, bool front)
+{
+    auto& q = cores_[origin % cores_.size()].queue;
+    if (front)
+        q.push_front(task);
+    else
+        q.push_back(task);
+    wake_idle_core(config_.machine.socket_of(origin));
+}
+
+sim_task* simulator::pick_hpx(unsigned core, std::uint64_t& cost_ns)
+{
+    machine_desc const& m = config_.machine;
+    double const contention = contention_factor();
+    auto& own = cores_[core].queue;
+    if (!own.empty())
+    {
+        sim_task* task = own.back();
+        own.pop_back();
+        cost_ns = static_cast<std::uint64_t>(
+            m.hpx_dispatch_ns * contention);
+        return task;
+    }
+    if (cores_.size() == 1)
+        return nullptr;
+
+    // Steal: random probes (deterministic RNG), then a sweep.
+    std::uint64_t cost = 0;
+    unsigned const n = static_cast<unsigned>(cores_.size());
+    for (unsigned attempt = 0; attempt < 2 * n; ++attempt)
+    {
+        auto const victim = static_cast<unsigned>(rng_.below(n));
+        if (victim == core)
+            continue;
+        auto& vq = cores_[victim].queue;
+        if (vq.empty())
+        {
+            cost += static_cast<std::uint64_t>(m.hpx_steal_attempt_ns);
+            continue;
+        }
+        sim_task* task = vq.front();
+        vq.pop_front();
+        bool const remote =
+            m.socket_of(victim) != m.socket_of(core);
+        cost += static_cast<std::uint64_t>(
+            (remote ? m.hpx_steal_remote_ns : m.hpx_steal_local_ns) *
+            contention);
+        ++report_.steals;
+        report_.remote_steals += remote;
+        cost_ns = cost;
+        return task;
+    }
+    for (unsigned v = 0; v < n; ++v)
+    {
+        if (v == core || cores_[v].queue.empty())
+            continue;
+        sim_task* task = cores_[v].queue.front();
+        cores_[v].queue.pop_front();
+        bool const remote = m.socket_of(v) != m.socket_of(core);
+        cost += static_cast<std::uint64_t>(
+            (remote ? m.hpx_steal_remote_ns : m.hpx_steal_local_ns) *
+            contention);
+        ++report_.steals;
+        report_.remote_steals += remote;
+        cost_ns = cost;
+        return task;
+    }
+    cost_ns = cost;
+    return nullptr;
+}
+
+void simulator::enqueue_std(sim_task* task)
+{
+    global_queue_.push_back(task);
+    wake_idle_core(0);
+}
+
+sim_task* simulator::pick_std(unsigned, std::uint64_t& cost_ns)
+{
+    if (global_queue_.empty())
+        return nullptr;
+    sim_task* task = global_queue_.front();
+    global_queue_.pop_front();
+    cost_ns =
+        static_cast<std::uint64_t>(config_.machine.std_ctx_switch_ns);
+    return task;
+}
+
+void simulator::core_becomes_idle(unsigned core)
+{
+    auto& c = cores_[core];
+    c.busy = nullptr;
+    c.sleeping = true;
+    c.idle_since = now_ns_;
+}
+
+void simulator::wake_idle_core(unsigned preferred_socket)
+{
+    // Same-socket sleeping core first, then any.
+    int chosen = -1;
+    for (unsigned i = 0; i < cores_.size(); ++i)
+    {
+        if (!cores_[i].sleeping)
+            continue;
+        if (config_.machine.socket_of(i) == preferred_socket)
+        {
+            chosen = static_cast<int>(i);
+            break;
+        }
+        if (chosen < 0)
+            chosen = static_cast<int>(i);
+    }
+    if (chosen < 0)
+        return;
+    auto& c = cores_[static_cast<unsigned>(chosen)];
+    c.sleeping = false;
+    report_.idle_s += static_cast<double>(now_ns_ - c.idle_since) * 1e-9;
+    std::uint64_t const wake_ns = static_cast<std::uint64_t>(
+        config_.model == sched_model::hpx_like ?
+            config_.machine.hpx_wake_ns :
+            config_.machine.std_wake_ns);
+    charge_overhead(wake_ns);
+    push(now_ns_ + wake_ns, ev_dispatch, nullptr,
+        static_cast<unsigned>(chosen));
+}
+
+// ------------------------------------------------------------- handlers
+
+void simulator::handle_dispatch(unsigned core)
+{
+    auto& c = cores_[core];
+    if (c.busy != nullptr)
+        return;    // stale wakeup; core already re-acquired work
+
+    std::uint64_t cost = 0;
+    sim_task* task = config_.model == sched_model::hpx_like ?
+        pick_hpx(core, cost) :
+        pick_std(core, cost);
+    charge_overhead(cost);
+
+    if (!task)
+    {
+        c.sleeping = true;
+        c.idle_since = now_ns_;
+        return;
+    }
+
+    c.sleeping = false;
+    c.busy = task;
+    task->core = core;
+    snapshot_contention(*task);
+
+    if (!task->started)
+    {
+        task->started = true;
+        if (!task->stk.valid())
+            task->stk = stack_pool_.acquire();
+        task->ctx.create(
+            task->stk.base(), task->stk.size(), &simulator::task_entry, task);
+    }
+    push(now_ns_ + cost, ev_resume, task, core);
+}
+
+void simulator::task_entry(void* arg)
+{
+    auto* task = static_cast<sim_task*>(arg);
+    simulator* self = tls_sim;
+    MINIHPX_ASSERT(self != nullptr);
+    task->fn();
+    task->fn.reset();
+    self->interaction_request(inter_kind::task_end);
+    MINIHPX_UNREACHABLE();
+}
+
+inter_kind simulator::run_segment(sim_task* task)
+{
+    running_ = task;
+    last_inter_ = inter_kind::none;
+    threads::execution_context::switch_to(des_ctx_, task->ctx);
+    running_ = nullptr;
+    return last_inter_;
+}
+
+void simulator::interaction_request(inter_kind kind)
+{
+    sim_task* task = running_;
+    MINIHPX_ASSERT_MSG(task != nullptr,
+        "sim engine call outside a simulated task");
+    task->inter = kind;
+    last_inter_ = kind;
+    threads::execution_context::switch_to(task->ctx, des_ctx_);
+    // resumed later by ev_resume
+}
+
+void simulator::handle_resume(sim_task* task)
+{
+    if (report_.tasks_created > config_.max_tasks)
+    {
+        fail("task budget exceeded (max_tasks)");
+        return;
+    }
+    inter_kind const inter = run_segment(task);
+    (void) inter;
+    std::uint64_t const cost = segment_cost_ns(*task);
+    task->pending = work_annotation{};
+    exec_ns_total_ += cost;
+    task->vt_exec_ns += cost;
+    push(now_ns_ + cost, ev_apply, task, task->core);
+}
+
+void simulator::handle_apply(sim_task* task)
+{
+    machine_desc const& m = config_.machine;
+    bool const hpx = config_.model == sched_model::hpx_like;
+    unsigned const core = task->core;
+    double const contention = hpx ? contention_factor() : 1.0;
+
+    switch (task->inter)
+    {
+    case inter_kind::spawn:
+    {
+        sim_task* child = task->inter_task;
+        task->inter_task = nullptr;
+        ++report_.tasks_created;
+
+        std::uint64_t resume_at;
+        if (hpx)
+        {
+            // The serialized slice models allocator/queue cache-line
+            // contention: a process-wide spawn-throughput ceiling. The
+            // slice lengthens once cores span both sockets (cross-socket
+            // cache-line transfers), which is what makes very fine
+            // benchmarks *degrade* past the socket boundary (Figs 11-12).
+            unsigned busy = 0;
+            for (auto const& c : cores_)
+                busy += c.busy != nullptr;
+            double serial = m.hpx_spawn_serial_ns;
+            if (busy > m.cores_per_socket)
+                serial *= 1.0 +
+                    m.hpx_cross_socket_coef *
+                        static_cast<double>(busy - m.cores_per_socket);
+            std::uint64_t const start = std::max(now_ns_, kernel_free_at_);
+            kernel_free_at_ = start + static_cast<std::uint64_t>(serial);
+            resume_at = kernel_free_at_ +
+                static_cast<std::uint64_t>(m.hpx_spawn_ns * contention);
+            charge_overhead(resume_at - now_ns_);
+            enqueue_hpx(child, core, task->spawn_front);
+        }
+        else
+        {
+            // Thread-per-task: commit memory, serialize through the
+            // kernel, fail past the limit (paper §II / Table I).
+            ++live_started_;
+            report_.peak_live_threads = std::max<std::uint64_t>(
+                report_.peak_live_threads, live_started_);
+            if (live_started_ > m.std_thread_limit ||
+                live_started_ * m.std_thread_mem_bytes > m.ram_bytes)
+            {
+                fail("resource exhaustion: " +
+                    std::to_string(live_started_) +
+                    " live pthreads (thread-per-task)");
+                return;
+            }
+            std::uint64_t const start =
+                std::max(now_ns_, kernel_free_at_);
+            kernel_free_at_ = start +
+                static_cast<std::uint64_t>(m.std_spawn_serial_ns);
+            resume_at = kernel_free_at_ +
+                static_cast<std::uint64_t>(m.std_spawn_ns);
+            charge_overhead(resume_at - now_ns_);
+            enqueue_std(child);
+        }
+        ++tasks_alive_;
+        push(resume_at, ev_resume, task, core);
+        break;
+    }
+
+    case inter_kind::wait:
+    {
+        detail::sim_state_base* state = task->inter_state;
+        task->inter_state = nullptr;
+        if (state->ready)
+        {
+            push(now_ns_, ev_resume, task, core);
+            break;
+        }
+        ++report_.suspensions;
+        task->next_waiter = state->waiters;
+        state->waiters = task;
+        std::uint64_t const cost = static_cast<std::uint64_t>(
+            hpx ? m.hpx_suspend_ns : m.std_block_ns);
+        charge_overhead(cost);
+        core_becomes_idle(core);
+        cores_[core].sleeping = false;    // it will dispatch, not sleep
+        push(now_ns_ + cost, ev_dispatch, nullptr, core);
+        break;
+    }
+
+    case inter_kind::notify:
+    {
+        detail::sim_state_base* state = task->inter_state;
+        task->inter_state = nullptr;
+        state->ready = true;
+        std::uint64_t wake_cost = 0;
+        while (sim_task* waiter = state->waiters)
+        {
+            state->waiters = waiter->next_waiter;
+            waiter->next_waiter = nullptr;
+            wake_cost += static_cast<std::uint64_t>(
+                hpx ? m.hpx_resume_ns : m.std_wake_ns);
+            if (hpx)
+                enqueue_hpx(waiter, core, false);
+            else
+                enqueue_std(waiter);
+        }
+        state->self_keepalive.reset();
+        charge_overhead(wake_cost);
+        push(now_ns_ + wake_cost, ev_resume, task, core);
+        break;
+    }
+
+    case inter_kind::lock:
+    {
+        detail::sim_mutex_impl* mutex = task->inter_mutex;
+        task->inter_mutex = nullptr;
+        if (!mutex->locked)
+        {
+            mutex->locked = true;
+            push(now_ns_ + 50, ev_resume, task, core);
+            break;
+        }
+        ++report_.suspensions;
+        mutex->waiters.push_back(task);
+        std::uint64_t const cost = static_cast<std::uint64_t>(
+            hpx ? m.hpx_suspend_ns : m.std_block_ns);
+        charge_overhead(cost);
+        core_becomes_idle(core);
+        cores_[core].sleeping = false;
+        push(now_ns_ + cost, ev_dispatch, nullptr, core);
+        break;
+    }
+
+    case inter_kind::unlock:
+    {
+        // Direct handoff: ownership transfers to the first waiter, so a
+        // resumed waiter always owns the lock (see simulator::lock).
+        detail::sim_mutex_impl* mutex = task->inter_mutex;
+        task->inter_mutex = nullptr;
+        std::uint64_t cost = 50;
+        if (!mutex->waiters.empty())
+        {
+            sim_task* waiter = mutex->waiters.front();
+            mutex->waiters.pop_front();
+            cost += static_cast<std::uint64_t>(
+                hpx ? m.hpx_resume_ns : m.std_wake_ns);
+            if (hpx)
+                enqueue_hpx(waiter, core, false);
+            else
+                enqueue_std(waiter);
+        }
+        else
+        {
+            mutex->locked = false;
+        }
+        charge_overhead(cost - 50);
+        push(now_ns_ + cost, ev_resume, task, core);
+        break;
+    }
+
+    case inter_kind::yield:
+    {
+        if (hpx)
+            enqueue_hpx(task, core, false);
+        else
+            enqueue_std(task);
+        core_becomes_idle(core);
+        cores_[core].sleeping = false;
+        push(now_ns_, ev_dispatch, nullptr, core);
+        break;
+    }
+
+    case inter_kind::task_end:
+        finish_task(task);
+        break;
+
+    case inter_kind::none:
+    default:
+        MINIHPX_UNREACHABLE();
+    }
+}
+
+void simulator::finish_task(sim_task* task)
+{
+    machine_desc const& m = config_.machine;
+    bool const hpx = config_.model == sched_model::hpx_like;
+    unsigned const core = task->core;
+
+    task->terminated = true;
+    ++report_.tasks_executed;
+    --tasks_alive_;
+    if (!hpx)
+        --live_started_;
+
+    std::uint64_t const cleanup = static_cast<std::uint64_t>(
+        hpx ? 120.0 : m.std_exit_ns);
+    charge_overhead(cleanup);
+
+    // Recycle stack; the descriptor is kept until run() tears down.
+    if (task->stk.valid())
+        stack_pool_.release(std::move(task->stk));
+
+    core_becomes_idle(core);
+    cores_[core].sleeping = false;
+    push(now_ns_ + cleanup, ev_dispatch, nullptr, core);
+}
+
+// --------------------------------------------------------- engine hooks
+
+void simulator::annotate(work_annotation const& w) noexcept
+{
+    sim_task* task = running_;
+    if (!task)
+        return;
+    task->pending += w;
+    report_.offcore_data_rd += to_lines(w.data_rd_bytes);
+    report_.offcore_rfo += to_lines(w.rfo_bytes);
+    report_.offcore_code_rd += to_lines(w.code_rd_bytes);
+    report_.instructions += w.instructions;
+}
+
+sim_task* simulator::spawn_task(util::unique_function<void()> fn, bool front)
+{
+    sim_task* current = running_;
+    MINIHPX_ASSERT_MSG(
+        current != nullptr, "sim spawn outside a simulated task");
+
+    std::unique_ptr<sim_task> owned;
+    if (!task_freelist_.empty())
+    {
+        owned = std::move(task_freelist_.back());
+        task_freelist_.pop_back();
+        *owned = sim_task{};
+    }
+    else
+    {
+        owned = std::make_unique<sim_task>();
+    }
+    sim_task* child = owned.get();
+    child->id = next_task_id_++;
+    child->fn = std::move(fn);
+    tasks_.push_back(std::move(owned));
+
+    current->inter_task = child;
+    current->spawn_front = front;
+    interaction_request(inter_kind::spawn);
+    return child;
+}
+
+void simulator::wait_on(detail::sim_state_base* state)
+{
+    while (!state->ready)
+    {
+        running_->inter_state = state;
+        interaction_request(inter_kind::wait);
+    }
+}
+
+void simulator::notify(detail::sim_state_base* state)
+{
+    running_->inter_state = state;
+    interaction_request(inter_kind::notify);
+}
+
+void simulator::lock(detail::sim_mutex_impl* mutex)
+{
+    running_->inter_mutex = mutex;
+    interaction_request(inter_kind::lock);
+    // Direct handoff protocol: when this returns we own the mutex —
+    // either the DES acquired it for us immediately, or a later unlock
+    // transferred ownership before re-enqueueing us.
+}
+
+void simulator::unlock(detail::sim_mutex_impl* mutex)
+{
+    running_->inter_mutex = mutex;
+    interaction_request(inter_kind::unlock);
+}
+
+void simulator::yield()
+{
+    interaction_request(inter_kind::yield);
+}
+
+}    // namespace minihpx::sim

@@ -1,0 +1,105 @@
+// User-level execution contexts (stackful coroutines).
+//
+// Two interchangeable implementations:
+//   - fcontext: custom x86-64 assembly switch (~tens of ns). Default on
+//     x86-64; this is what makes HPX-style 1 µs tasks viable.
+//   - ucontext_context: POSIX swapcontext fallback (makes a sigprocmask
+//     syscall per switch — an order of magnitude slower, kept both for
+//     portability and as the ablation baseline in bench/micro_runtime).
+//
+// Both model *asymmetric* switching: create() seeds a context that will
+// run entry(arg) on the supplied stack; switch_to(from, to) suspends the
+// current context into `from` and resumes `to`. The entry function must
+// never return — a task finishes by switching back to its scheduler.
+#pragma once
+
+#include <minihpx/util/assert.hpp>
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#define MINIHPX_HAVE_FCONTEXT 1
+#endif
+
+#include <ucontext.h>
+
+namespace minihpx::threads {
+
+using context_entry = void (*)(void*);
+
+#if defined(MINIHPX_HAVE_FCONTEXT)
+
+extern "C" void minihpx_switch_context(void** save_sp, void* target_sp);
+extern "C" void minihpx_context_trampoline();
+
+// Assembly-based context. A context is nothing but a saved stack
+// pointer; the six callee-saved registers live on the suspended stack.
+class fcontext
+{
+public:
+    fcontext() noexcept = default;
+
+    // Seed `stack` so the first resume enters entry(arg).
+    void create(void* stack_base, std::size_t stack_size, context_entry entry,
+                void* arg) noexcept
+    {
+        auto top = reinterpret_cast<std::uintptr_t>(stack_base) + stack_size;
+        top &= ~std::uintptr_t(15);    // 16-byte ABI alignment
+        auto* slots = reinterpret_cast<std::uintptr_t*>(top) - 7;
+        slots[0] = 0;                                               // r15
+        slots[1] = 0;                                               // r14
+        slots[2] = reinterpret_cast<std::uintptr_t>(entry);         // r13
+        slots[3] = reinterpret_cast<std::uintptr_t>(arg);           // r12
+        slots[4] = 0;                                               // rbx
+        slots[5] = 0;                                               // rbp
+        slots[6] =
+            reinterpret_cast<std::uintptr_t>(&minihpx_context_trampoline);
+        sp_ = slots;
+    }
+
+    // Suspend the running context into `from`, resume `to`.
+    static void switch_to(fcontext& from, fcontext& to) noexcept
+    {
+        MINIHPX_ASSERT(to.sp_ != nullptr);
+        minihpx_switch_context(&from.sp_, to.sp_);
+    }
+
+    bool valid() const noexcept { return sp_ != nullptr; }
+
+private:
+    void* sp_ = nullptr;
+};
+
+#endif    // MINIHPX_HAVE_FCONTEXT
+
+// POSIX ucontext fallback / ablation implementation.
+class ucontext_context
+{
+public:
+    ucontext_context() noexcept = default;
+
+    void create(void* stack_base, std::size_t stack_size, context_entry entry,
+                void* arg) noexcept;
+
+    static void switch_to(ucontext_context& from, ucontext_context& to) noexcept;
+
+    bool valid() const noexcept { return created_; }
+
+private:
+    static void entry_shim();
+
+    ucontext_t uc_{};
+    context_entry latched_entry_ = nullptr;
+    void* latched_arg_ = nullptr;
+    bool created_ = false;
+    bool started_ = false;
+};
+
+#if defined(MINIHPX_HAVE_FCONTEXT)
+using execution_context = fcontext;
+#else
+using execution_context = ucontext_context;
+#endif
+
+}    // namespace minihpx::threads

@@ -1,0 +1,124 @@
+// Task descriptor ("HPX thread").
+//
+// An HPX task is a lightweight user-level thread: a closure, a stack,
+// an execution context, a state machine, and the timing fields the
+// performance-counter framework reads. The scheduler owns the state
+// transitions:
+//
+//   staged -> pending -> active -> {pending | suspended | terminated}
+//                         ^             |
+//                         +-------------+   (set_thread_state / notify)
+//
+// The paper's /threads/time/average ("task duration") and
+// /threads/time/average-overhead ("task overhead") counters are fed by
+// exec_time_ns / overhead_time_ns accumulated here.
+#pragma once
+
+#include <minihpx/threads/context.hpp>
+#include <minihpx/threads/stack.hpp>
+#include <minihpx/util/unique_function.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace minihpx::threads {
+
+enum class thread_state : std::uint8_t
+{
+    unknown = 0,
+    staged,        // created, descriptor/stack not yet initialized
+    pending,       // runnable, sitting in a queue
+    active,        // executing on a worker
+    suspended,     // blocked (future/mutex/condvar)
+    terminated,    // finished; descriptor awaiting recycling
+};
+
+char const* to_string(thread_state state) noexcept;
+
+using thread_id = std::uint64_t;
+inline constexpr thread_id invalid_thread_id = 0;
+
+enum class thread_priority : std::uint8_t
+{
+    normal = 0,
+    high,          // continuations woken by future.set_value
+};
+
+class thread_data
+{
+public:
+    using task_function = util::unique_function<void()>;
+
+    thread_data() = default;
+    thread_data(thread_data const&) = delete;
+    thread_data& operator=(thread_data const&) = delete;
+
+    // (Re-)initialize a descriptor for a new task; reuses the existing
+    // stack if one is attached (descriptor recycling path).
+    void init(thread_id id, task_function fn, char const* description,
+              thread_priority priority);
+
+    thread_id id() const noexcept { return id_; }
+    char const* description() const noexcept { return description_; }
+    thread_priority priority() const noexcept { return priority_; }
+
+    thread_state state() const noexcept
+    {
+        return state_.load(std::memory_order_acquire);
+    }
+
+    void set_state(thread_state s) noexcept
+    {
+        state_.store(s, std::memory_order_release);
+    }
+
+    // CAS used where wakeups can race with suspension.
+    bool transition(thread_state expected, thread_state desired) noexcept
+    {
+        return state_.compare_exchange_strong(expected, desired,
+            std::memory_order_acq_rel, std::memory_order_acquire);
+    }
+
+    // --- execution (called by the scheduler only) ---------------------
+    task_function& function() noexcept { return function_; }
+    execution_context& context() noexcept { return context_; }
+
+    bool has_stack() const noexcept { return stack_.valid(); }
+    void attach_stack(stack&& s) noexcept { stack_ = std::move(s); }
+    stack detach_stack() noexcept { return std::move(stack_); }
+    stack const& get_stack() const noexcept { return stack_; }
+
+    void prepare_context(context_entry entry) noexcept
+    {
+        context_.create(stack_.base(), stack_.size(), entry, this);
+    }
+
+    // --- timing (read by the counter framework) -----------------------
+    void add_exec_time(std::uint64_t ns) noexcept { exec_time_ns_ += ns; }
+    std::uint64_t exec_time_ns() const noexcept { return exec_time_ns_; }
+
+    // Set by a waker that observed the task not yet parked (state still
+    // active); consumed by the scheduler when it parks the task. This is
+    // the standard two-phase suspend handshake: a task can only be
+    // published as suspended *after* it has switched off its stack.
+    std::atomic<bool> wakeup_pending{false};
+
+    // --- intrusive freelist/queue linkage ------------------------------
+    thread_data* next = nullptr;
+
+    // Worker that created the task (used for stolen-task accounting).
+    std::uint32_t origin_worker = 0;
+
+private:
+    thread_id id_ = invalid_thread_id;
+    std::atomic<thread_state> state_{thread_state::unknown};
+    thread_priority priority_ = thread_priority::normal;
+    char const* description_ = "<unknown>";
+    task_function function_;
+    execution_context context_;
+    stack stack_;
+    std::uint64_t exec_time_ns_ = 0;
+};
+
+}    // namespace minihpx::threads

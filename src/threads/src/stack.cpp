@@ -1,0 +1,132 @@
+#include <minihpx/threads/stack.hpp>
+#include <minihpx/util/assert.hpp>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace minihpx::threads {
+
+namespace {
+
+    std::size_t page_size() noexcept
+    {
+        static std::size_t const size =
+            static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+        return size;
+    }
+
+    std::size_t round_up_pages(std::size_t bytes) noexcept
+    {
+        std::size_t const ps = page_size();
+        return (bytes + ps - 1) / ps * ps;
+    }
+
+}    // namespace
+
+stack::stack(std::size_t usable_size)
+{
+    std::size_t const ps = page_size();
+    usable_size_ = round_up_pages(usable_size);
+    mapping_size_ = usable_size_ + ps;    // + guard page
+
+    void* mem = ::mmap(nullptr, mapping_size_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    MINIHPX_ASSERT_MSG(mem != MAP_FAILED,
+        "stack mmap failed (many live task stacks need a raised "
+        "vm.max_map_count, see README)");
+
+    // Guard page at the low end: overflow (growth past base) faults.
+    int const rc = ::mprotect(mem, ps, PROT_NONE);
+    MINIHPX_ASSERT_MSG(rc == 0,
+        "stack guard mprotect failed (each stack uses two mappings; "
+        "raise vm.max_map_count for >30k concurrent tasks, see README)");
+
+    mapping_ = mem;
+    usable_base_ = static_cast<char*>(mem) + ps;
+}
+
+stack::~stack()
+{
+    release();
+}
+
+stack::stack(stack&& other) noexcept
+  : mapping_(std::exchange(other.mapping_, nullptr))
+  , mapping_size_(std::exchange(other.mapping_size_, 0))
+  , usable_base_(std::exchange(other.usable_base_, nullptr))
+  , usable_size_(std::exchange(other.usable_size_, 0))
+{
+}
+
+stack& stack::operator=(stack&& other) noexcept
+{
+    if (this != &other)
+    {
+        release();
+        mapping_ = std::exchange(other.mapping_, nullptr);
+        mapping_size_ = std::exchange(other.mapping_size_, 0);
+        usable_base_ = std::exchange(other.usable_base_, nullptr);
+        usable_size_ = std::exchange(other.usable_size_, 0);
+    }
+    return *this;
+}
+
+void stack::release() noexcept
+{
+    if (mapping_)
+    {
+        ::munmap(mapping_, mapping_size_);
+        mapping_ = nullptr;
+        usable_base_ = nullptr;
+        mapping_size_ = usable_size_ = 0;
+    }
+}
+
+stack stack_pool::acquire()
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (!free_.empty())
+        {
+            stack s = std::move(free_.back());
+            free_.pop_back();
+            return s;
+        }
+        ++total_created_;
+    }
+    return stack(stack_size_);
+}
+
+void stack_pool::release(stack&& s)
+{
+    if (!s.valid())
+        return;
+    std::lock_guard lock(mutex_);
+    free_.push_back(std::move(s));
+}
+
+std::size_t stack_pool::cached() const
+{
+    std::lock_guard lock(mutex_);
+    return free_.size();
+}
+
+std::size_t stack_pool::total_created() const
+{
+    std::lock_guard lock(mutex_);
+    return total_created_;
+}
+
+void stack_pool::trim()
+{
+    std::vector<stack> doomed;
+    {
+        std::lock_guard lock(mutex_);
+        doomed.swap(free_);
+    }
+    // Destructors run outside the lock.
+}
+
+}    // namespace minihpx::threads

@@ -1,0 +1,39 @@
+#include <minihpx/threads/thread_data.hpp>
+
+namespace minihpx::threads {
+
+char const* to_string(thread_state state) noexcept
+{
+    switch (state)
+    {
+    case thread_state::unknown:
+        return "unknown";
+    case thread_state::staged:
+        return "staged";
+    case thread_state::pending:
+        return "pending";
+    case thread_state::active:
+        return "active";
+    case thread_state::suspended:
+        return "suspended";
+    case thread_state::terminated:
+        return "terminated";
+    }
+    return "invalid";
+}
+
+void thread_data::init(thread_id id, task_function fn,
+                       char const* description, thread_priority priority)
+{
+    id_ = id;
+    context_ = execution_context{};    // force fresh entry on first run
+    function_ = std::move(fn);
+    description_ = description ? description : "<unknown>";
+    priority_ = priority;
+    exec_time_ns_ = 0;
+    next = nullptr;
+    origin_worker = 0;
+    set_state(thread_state::staged);
+}
+
+}    // namespace minihpx::threads

@@ -1,0 +1,57 @@
+#include <minihpx/threads/context.hpp>
+
+namespace minihpx::threads {
+
+namespace {
+
+    // makecontext only passes int arguments portably; route the real
+    // (entry, arg) pair through thread-local slots instead. The slots
+    // are consumed synchronously by entry_shim on the very next switch
+    // into the new context, before any other create() can run on this
+    // OS thread, so a single pair per thread suffices.
+    thread_local context_entry pending_entry = nullptr;
+    thread_local void* pending_arg = nullptr;
+
+}    // namespace
+
+void ucontext_context::entry_shim()
+{
+    context_entry const entry = pending_entry;
+    void* const arg = pending_arg;
+    entry(arg);
+    MINIHPX_UNREACHABLE();    // entry must switch away, never return
+}
+
+void ucontext_context::create(void* stack_base, std::size_t stack_size,
+                              context_entry entry, void* arg) noexcept
+{
+    int const rc = getcontext(&uc_);
+    MINIHPX_ASSERT(rc == 0);
+    uc_.uc_stack.ss_sp = stack_base;
+    uc_.uc_stack.ss_size = stack_size;
+    uc_.uc_link = nullptr;
+    makecontext(&uc_, reinterpret_cast<void (*)()>(&entry_shim), 0);
+    created_ = true;
+    started_ = false;
+    // entry/arg are latched here and published into the thread-local
+    // slots at the *first* switch into this context — several contexts
+    // may be created before any of them runs.
+    latched_entry_ = entry;
+    latched_arg_ = arg;
+}
+
+void ucontext_context::switch_to(ucontext_context& from,
+                                 ucontext_context& to) noexcept
+{
+    if (!to.started_ && to.created_)
+    {
+        to.started_ = true;
+        pending_entry = to.latched_entry_;
+        pending_arg = to.latched_arg_;
+    }
+    from.created_ = true;
+    int const rc = swapcontext(&from.uc_, &to.uc_);
+    MINIHPX_ASSERT(rc == 0);
+}
+
+}    // namespace minihpx::threads

@@ -1,0 +1,93 @@
+// Analytic models of external measurement tools (paper §II, Table I).
+//
+// The paper attaches TAU and HPCToolkit to the std::async Inncabs runs
+// and observes crashes or 10^3-10^4 % overheads, because both tools
+// assume bounded OS-thread counts per process:
+//
+//   TAU-like:        per-thread measurement tables sized at program
+//                    launch (default 128 threads, configurable but
+//                    fixed at compile time). Thread-per-task execution
+//                    overflows the table (SegV) or, when sized up,
+//                    preallocates table memory per thread until the
+//                    allocator gives up (Abort); surviving runs pay a
+//                    large per-thread registration + instrumentation
+//                    cost.
+//   HPCToolkit-like: per-thread sample buffers and one trace file per
+//                    thread; thousands of short-lived threads exhaust
+//                    file descriptors / VM (crash) or accumulate
+//                    per-thread setup cost (enormous slowdowns).
+//
+// The models consume a simulated baseline run (sim_report of the
+// std-engine execution) and produce a Table I-shaped outcome. Numbers
+// are calibrated to the magnitudes reported in the paper (e.g. TAU on
+// Alignment: 971 ms -> ~113 s, ~11500 % overhead).
+#pragma once
+
+#include <minihpx/sim/simulator.hpp>
+
+#include <cstdint>
+#include <string>
+
+namespace minihpx::tools {
+
+enum class tool_kind : std::uint8_t
+{
+    none,
+    tau_like,
+    hpctoolkit_like,
+};
+
+char const* to_string(tool_kind kind) noexcept;
+
+struct tool_config
+{
+    // -- TAU-like ---------------------------------------------------------
+    std::uint64_t tau_thread_table = 64 * 1024;    // "even set to 64k"
+    std::uint64_t tau_table_bytes_per_thread = 1 << 20;
+    double tau_per_thread_register_ns = 8.0e6;     // ~8 ms/thread
+    double tau_per_task_event_ns = 2500;           // enter/exit pair
+
+    // -- HPCToolkit-like ---------------------------------------------------
+    std::uint64_t hpct_fd_limit = 4096;            // trace file per thread
+    std::uint64_t hpct_buffer_bytes_per_thread = 4 << 20;
+    double hpct_per_thread_init_ns = 3.0e6;        // buffers + file create
+    double hpct_sample_period_ns = 5.0e6;          // 200 Hz sampling
+    double hpct_per_sample_ns = 4000;              // unwind + record
+
+    std::uint64_t ram_bytes = 32ull << 30;
+    double timeout_s = 3600.0;                     // batch-system limit
+};
+
+struct tool_outcome
+{
+    enum class status : std::uint8_t
+    {
+        completed,
+        segv,       // hard crash (table overflow / resource fault)
+        aborted,    // allocation failure
+        timed_out,
+    };
+
+    status result = status::completed;
+    double time_s = 0.0;          // wall time with the tool attached
+    double overhead_pct = 0.0;    // vs. the baseline run
+    std::string detail;
+
+    bool crashed() const noexcept
+    {
+        return result == status::segv || result == status::aborted;
+    }
+
+    // Table I cell rendering: time in ms, or SegV/Abort/timeout.
+    std::string cell() const;
+};
+
+char const* to_string(tool_outcome::status status) noexcept;
+
+// Applies the tool model to a baseline (untooled) simulated run. The
+// thread-per-task engine creates one OS thread per task, so the
+// baseline's tasks_created is the tool-visible thread count.
+tool_outcome apply_tool(
+    tool_kind kind, tool_config const& config, sim::sim_report const& baseline);
+
+}    // namespace minihpx::tools

@@ -1,0 +1,136 @@
+#include <minihpx/tools/tool_model.hpp>
+
+#include <cstdio>
+
+namespace minihpx::tools {
+
+char const* to_string(tool_kind kind) noexcept
+{
+    switch (kind)
+    {
+    case tool_kind::none:
+        return "none";
+    case tool_kind::tau_like:
+        return "TAU-like";
+    case tool_kind::hpctoolkit_like:
+        return "HPCToolkit-like";
+    }
+    return "?";
+}
+
+char const* to_string(tool_outcome::status status) noexcept
+{
+    switch (status)
+    {
+    case tool_outcome::status::completed:
+        return "completed";
+    case tool_outcome::status::segv:
+        return "SegV";
+    case tool_outcome::status::aborted:
+        return "Abort";
+    case tool_outcome::status::timed_out:
+        return "timeout";
+    }
+    return "?";
+}
+
+std::string tool_outcome::cell() const
+{
+    if (result == status::completed)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f", time_s * 1e3);
+        return buf;
+    }
+    return to_string(result);
+}
+
+tool_outcome apply_tool(
+    tool_kind kind, tool_config const& config, sim::sim_report const& baseline)
+{
+    tool_outcome out;
+
+    if (baseline.failed)
+    {
+        // The untooled run already aborts (Table I rows "Abort"); the
+        // tool never gets to interfere.
+        out.result = tool_outcome::status::aborted;
+        out.detail = "baseline run failed: " + baseline.failure_reason;
+        return out;
+    }
+
+    std::uint64_t const threads = baseline.tasks_created;
+    double tool_time_s = baseline.exec_time_s;
+
+    switch (kind)
+    {
+    case tool_kind::none:
+        out.time_s = baseline.exec_time_s;
+        return out;
+
+    case tool_kind::tau_like:
+    {
+        if (threads > config.tau_thread_table)
+        {
+            out.result = tool_outcome::status::segv;
+            out.detail = "thread id " + std::to_string(threads) +
+                " exceeds the fixed per-process measurement table (" +
+                std::to_string(config.tau_thread_table) + ")";
+            return out;
+        }
+        if (threads * config.tau_table_bytes_per_thread > config.ram_bytes)
+        {
+            out.result = tool_outcome::status::aborted;
+            out.detail = "per-thread measurement tables exhaust memory";
+            return out;
+        }
+        // Registration is serialized inside the tool; instrumentation
+        // events add per task.
+        tool_time_s += static_cast<double>(threads) *
+            (config.tau_per_thread_register_ns +
+                config.tau_per_task_event_ns) *
+            1e-9;
+        break;
+    }
+
+    case tool_kind::hpctoolkit_like:
+    {
+        if (threads > config.hpct_fd_limit)
+        {
+            out.result = tool_outcome::status::segv;
+            out.detail = "one trace file per thread exceeds the fd limit (" +
+                std::to_string(config.hpct_fd_limit) + ")";
+            return out;
+        }
+        if (threads * config.hpct_buffer_bytes_per_thread > config.ram_bytes)
+        {
+            out.result = tool_outcome::status::aborted;
+            out.detail = "per-thread sample buffers exhaust memory";
+            return out;
+        }
+        tool_time_s += static_cast<double>(threads) *
+            config.hpct_per_thread_init_ns * 1e-9;
+        // Sampling overhead across all busy cores.
+        double const samples = tool_time_s /
+            (config.hpct_sample_period_ns * 1e-9) *
+            static_cast<double>(baseline.cores);
+        tool_time_s += samples * config.hpct_per_sample_ns * 1e-9;
+        break;
+    }
+    }
+
+    if (tool_time_s > config.timeout_s)
+    {
+        out.result = tool_outcome::status::timed_out;
+        out.detail = "exceeded the batch time limit";
+        return out;
+    }
+
+    out.time_s = tool_time_s;
+    out.overhead_pct = baseline.exec_time_s > 0 ?
+        (tool_time_s - baseline.exec_time_s) / baseline.exec_time_s * 100.0 :
+        0.0;
+    return out;
+}
+
+}    // namespace minihpx::tools

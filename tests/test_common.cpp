@@ -1,0 +1,257 @@
+// Tests for the shared utility layer: statistics, strings, CLI
+// parsing, the log2 histogram, PRNGs, and the spinlock.
+#include <minihpx/util/cli.hpp>
+#include <minihpx/util/histogram.hpp>
+#include <minihpx/util/rng.hpp>
+#include <minihpx/util/spinlock.hpp>
+#include <minihpx/util/stats.hpp>
+#include <minihpx/util/strings.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+using namespace minihpx::util;
+
+// ------------------------------------------------------------------ stats
+
+TEST(RunningStats, MeanVarianceMinMax)
+{
+    running_stats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential)
+{
+    running_stats a, b, all;
+    for (int i = 0; i < 50; ++i)
+    {
+        double const x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, EmptyAndReset)
+{
+    running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    s.add(5.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(SampleSet, MedianAndPercentiles)
+{
+    sample_set s;
+    for (double x : {9.0, 1.0, 8.0, 2.0, 7.0, 3.0, 6.0, 4.0, 5.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.median(), 5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST(SampleSet, EvenCountMedianInterpolates)
+{
+    sample_set s;
+    s.add(1.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.median(), 1.5);
+}
+
+TEST(SampleSet, SingleAndEmpty)
+{
+    sample_set s;
+    EXPECT_DOUBLE_EQ(s.median(), 0.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.median(), 3.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+// ----------------------------------------------------------------- strings
+
+TEST(Strings, Split)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+    EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("\t\n"), "");
+    EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, CaseInsensitiveEquals)
+{
+    EXPECT_TRUE(iequals("TrUe", "true"));
+    EXPECT_FALSE(iequals("true", "tru"));
+}
+
+TEST(Strings, Humanization)
+{
+    EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+    EXPECT_EQ(format_bytes_per_sec(2.5e9), "2.50 GB/s");
+    EXPECT_EQ(format_duration_ns(1250), "1.25 us");
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+// --------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesFormsAndPositionals)
+{
+    char const* argv[] = {"prog", "--a=1", "--b=2", "--flag", "pos1",
+        "--", "--pos2"};
+    cli_args args(7, argv);
+    EXPECT_EQ(args.int_or("a", 0), 1);
+    EXPECT_EQ(args.value_or("b", ""), "2");
+    EXPECT_TRUE(args.flag("flag"));
+    EXPECT_FALSE(args.flag("missing"));
+    ASSERT_EQ(args.positionals().size(), 2u);
+    EXPECT_EQ(args.positionals()[1], "--pos2");
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, RepeatableAndLastWins)
+{
+    char const* argv[] = {"p", "--k=1", "--k=2", "--k=3"};
+    cli_args args(4, argv);
+    EXPECT_EQ(args.value_or("k", ""), "3");
+    auto all = args.values("k");
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0], "1");
+}
+
+TEST(Cli, NumericParsing)
+{
+    char const* argv[] = {"p", "--i=0x10", "--d=2.5", "--neg=-7"};
+    cli_args args(4, argv);
+    EXPECT_EQ(args.int_or("i", 0), 16);
+    EXPECT_DOUBLE_EQ(args.double_or("d", 0), 2.5);
+    EXPECT_EQ(args.int_or("neg", 0), -7);
+    EXPECT_EQ(args.int_or("missing", 42), 42);
+}
+
+// --------------------------------------------------------------- histogram
+
+TEST(Histogram, BucketIndexing)
+{
+    using H = log2_histogram<64>;
+    EXPECT_EQ(H::bucket_index(0), 0u);
+    EXPECT_EQ(H::bucket_index(1), 0u);
+    EXPECT_EQ(H::bucket_index(2), 1u);
+    EXPECT_EQ(H::bucket_index(1024), 10u);
+    EXPECT_EQ(H::bucket_index(1025), 10u);
+    EXPECT_EQ(H::bucket_floor(10), 1024u);
+}
+
+TEST(Histogram, CountsAndMean)
+{
+    log2_histogram<> h;
+    h.add(100);
+    h.add(200);
+    h.add(300);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.sum(), 600u);
+    EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, ApproxQuantile)
+{
+    log2_histogram<> h;
+    for (int i = 0; i < 90; ++i)
+        h.add(1000);    // bucket floor 512
+    for (int i = 0; i < 10; ++i)
+        h.add(1 << 20);
+    EXPECT_EQ(h.approx_quantile(0.5), 512u);
+    EXPECT_EQ(h.approx_quantile(0.99), 1u << 20);
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    xoshiro256ss a(42), b(42), c(43);
+    EXPECT_EQ(a(), b());
+    EXPECT_NE(a(), c());
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    xoshiro256ss rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, Uniform01Range)
+{
+    xoshiro256ss rng(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i)
+    {
+        double const x = rng.uniform01();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------- spinlock
+
+TEST(Spinlock, MutualExclusionUnderThreads)
+{
+    spinlock lock;
+    long counter = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+    {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 20000; ++i)
+            {
+                std::lock_guard guard(lock);
+                ++counter;
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(counter, 80000);
+}
+
+TEST(Spinlock, TryLock)
+{
+    spinlock lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}

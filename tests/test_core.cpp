@@ -1,0 +1,657 @@
+// Tests for the performance-counter framework: name grammar, counter
+// implementations, derived counters, registry, active counters, and
+// the scheduler-backed thread counters.
+#include <minihpx/minihpx.hpp>
+#include <minihpx/perf/perf.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+using namespace minihpx;
+using namespace minihpx::perf;
+
+// ------------------------------------------------------------ name grammar
+
+TEST(CounterName, FullFormParses)
+{
+    auto p = parse_counter_name(
+        "/threads{locality#0/worker-thread#1}/count/cumulative");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->object, "threads");
+    EXPECT_EQ(p->parent_instance, "locality");
+    EXPECT_EQ(p->parent_index, 0);
+    EXPECT_EQ(p->instance, "worker-thread");
+    EXPECT_EQ(p->instance_index, 1);
+    EXPECT_FALSE(p->instance_wildcard);
+    EXPECT_EQ(p->counter, "count/cumulative");
+    EXPECT_TRUE(p->parameters.empty());
+}
+
+TEST(CounterName, DefaultsWithoutBraces)
+{
+    auto p = parse_counter_name("/threads/time/average");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->parent_instance, "locality");
+    EXPECT_EQ(p->parent_index, 0);
+    EXPECT_EQ(p->instance, "total");
+    EXPECT_EQ(p->instance_index, -1);
+    EXPECT_EQ(p->counter, "time/average");
+}
+
+TEST(CounterName, PapiColonNames)
+{
+    auto p = parse_counter_name(
+        "/papi{locality#0/total}/OFFCORE_REQUESTS:ALL_DATA_RD");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->object, "papi");
+    EXPECT_EQ(p->counter, "OFFCORE_REQUESTS:ALL_DATA_RD");
+}
+
+TEST(CounterName, WildcardInstance)
+{
+    auto p = parse_counter_name(
+        "/threads{locality#0/worker-thread#*}/time/average");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->instance_wildcard);
+}
+
+TEST(CounterName, ParametersVerbatim)
+{
+    auto p = parse_counter_name(
+        "/arithmetics/add@/threads{locality#0/total}/time/average,"
+        "/threads{locality#0/total}/time/average-overhead");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->object, "arithmetics");
+    EXPECT_EQ(p->counter, "add");
+    EXPECT_EQ(p->parameters,
+        "/threads{locality#0/total}/time/average,"
+        "/threads{locality#0/total}/time/average-overhead");
+}
+
+TEST(CounterName, TypeKey)
+{
+    auto p = parse_counter_name("/threads{locality#0/total}/time/average");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->type_key(), "/threads/time/average");
+}
+
+struct bad_name_case
+{
+    char const* name;
+};
+
+class BadCounterNames : public ::testing::TestWithParam<bad_name_case>
+{
+};
+
+TEST_P(BadCounterNames, Rejected)
+{
+    std::string error;
+    auto p = parse_counter_name(GetParam().name, &error);
+    EXPECT_FALSE(p.has_value()) << GetParam().name;
+    EXPECT_FALSE(error.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grammar, BadCounterNames,
+    ::testing::Values(bad_name_case{""}, bad_name_case{"threads/x"},
+        bad_name_case{"/"}, bad_name_case{"//x"},
+        bad_name_case{"/threads{locality#0/total/time/average"},
+        bad_name_case{"/threads{}/time/average"},
+        bad_name_case{"/threads{locality#abc/total}/x"},
+        bad_name_case{"/threads{locality#0/total}"},
+        bad_name_case{"/threads{locality#0/total}/"},
+        bad_name_case{"/threads{locality#0/worker-thread#}/x"},
+        bad_name_case{"/thr eads/x"},
+        bad_name_case{"/threads{locality#-2/total}/x"}));
+
+// Round-trip property: parse(full_name(parse(x))) == parse(x).
+class RoundTripNames : public ::testing::TestWithParam<char const*>
+{
+};
+
+TEST_P(RoundTripNames, ParseFormatParse)
+{
+    auto p1 = parse_counter_name(GetParam());
+    ASSERT_TRUE(p1.has_value());
+    auto p2 = parse_counter_name(p1->full_name());
+    ASSERT_TRUE(p2.has_value()) << p1->full_name();
+    EXPECT_EQ(*p1, *p2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grammar, RoundTripNames,
+    ::testing::Values("/threads/time/average",
+        "/threads{locality#0/total}/time/average",
+        "/threads{locality#0/worker-thread#7}/count/cumulative",
+        "/threads{locality#3/worker-thread#*}/idle-rate",
+        "/papi{locality#0/total}/OFFCORE_REQUESTS:DEMAND_RFO",
+        "/runtime/uptime",
+        "/statistics/average@/threads{locality#0/total}/idle-rate,32",
+        "/arithmetics/add@/a{locality#0/total}/x,/b{locality#0/total}/y"));
+
+// ---------------------------------------------------------- basic counters
+
+TEST(GaugeCounter, ReturnsCurrentValue)
+{
+    double v = 1.5;
+    gauge_counter g({.full_name = "/test/g"}, [&] { return v; });
+    EXPECT_DOUBLE_EQ(g.get_value().get(), 1.5);
+    v = 3.0;
+    EXPECT_DOUBLE_EQ(g.get_value().get(), 3.0);
+    EXPECT_EQ(g.get_value().count, 3);
+}
+
+TEST(DeltaCounter, ReportsSinceReset)
+{
+    double cumulative = 100.0;
+    delta_counter c({.full_name = "/test/d"}, [&] { return cumulative; });
+    EXPECT_DOUBLE_EQ(c.get_value().get(), 100.0);
+    cumulative = 150.0;
+    auto v = c.get_value(/*reset=*/true);
+    EXPECT_DOUBLE_EQ(v.get(), 150.0);
+    EXPECT_EQ(v.status, counter_status::new_data);
+    cumulative = 170.0;
+    EXPECT_DOUBLE_EQ(c.get_value().get(), 20.0);    // since reset
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.get_value().get(), 0.0);
+}
+
+TEST(RatioCounter, AverageOfDeltas)
+{
+    double sum = 0.0;
+    double count = 0.0;
+    ratio_counter c({.full_name = "/test/avg"}, [&] { return sum; },
+        [&] { return count; });
+    sum = 100.0;
+    count = 4.0;
+    EXPECT_DOUBLE_EQ(c.get_value(true).get(), 25.0);
+    // After reset only new work counts.
+    sum = 130.0;
+    count = 5.0;
+    EXPECT_DOUBLE_EQ(c.get_value().get(), 30.0);
+}
+
+TEST(RatioCounter, ZeroDenominatorInvalid)
+{
+    ratio_counter c({.full_name = "/test/avg"}, [] { return 1.0; },
+        [] { return 0.0; });
+    EXPECT_EQ(c.get_value().status, counter_status::invalid_data);
+}
+
+TEST(RatioCounter, ScaleApplies)
+{
+    ratio_counter c({.full_name = "/test/idle"}, [] { return 1.0; },
+        [] { return 4.0; }, 10000.0);
+    EXPECT_DOUBLE_EQ(c.get_value().get(), 2500.0);    // 25% in 0.01% units
+}
+
+TEST(ElapsedTimeCounter, GrowsAndResets)
+{
+    elapsed_time_counter c({.full_name = "/test/uptime"});
+    auto const v1 = c.get_value().get();
+    EXPECT_GE(v1, 0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    auto const v2 = c.get_value(true).get();
+    EXPECT_GT(v2, v1);
+    EXPECT_LT(c.get_value().get(), v2);
+}
+
+// -------------------------------------------------------- derived counters
+
+namespace {
+
+counter_ptr constant_counter(double v, char const* name = "/test/const")
+{
+    return std::make_shared<gauge_counter>(
+        counter_info{.full_name = name}, [v] { return v; });
+}
+
+}    // namespace
+
+TEST(ArithmeticCounter, AllOps)
+{
+    auto make = [](arithmetic_op op, std::vector<double> vals) {
+        std::vector<counter_ptr> in;
+        for (double v : vals)
+            in.push_back(constant_counter(v));
+        return arithmetic_counter({.full_name = "/t/a"}, op, std::move(in));
+    };
+    EXPECT_DOUBLE_EQ(
+        make(arithmetic_op::add, {1, 2, 3}).get_value().get(), 6.0);
+    EXPECT_DOUBLE_EQ(
+        make(arithmetic_op::subtract, {10, 3, 2}).get_value().get(), 5.0);
+    EXPECT_DOUBLE_EQ(
+        make(arithmetic_op::multiply, {2, 3, 4}).get_value().get(), 24.0);
+    EXPECT_DOUBLE_EQ(
+        make(arithmetic_op::divide, {100, 4}).get_value().get(), 25.0);
+    EXPECT_DOUBLE_EQ(
+        make(arithmetic_op::min, {5, 2, 9}).get_value().get(), 2.0);
+    EXPECT_DOUBLE_EQ(
+        make(arithmetic_op::max, {5, 2, 9}).get_value().get(), 9.0);
+    EXPECT_DOUBLE_EQ(
+        make(arithmetic_op::mean, {2, 4, 6}).get_value().get(), 4.0);
+}
+
+TEST(ArithmeticCounter, DivideByZeroInvalid)
+{
+    std::vector<counter_ptr> in{constant_counter(1), constant_counter(0)};
+    arithmetic_counter c(
+        {.full_name = "/t/a"}, arithmetic_op::divide, std::move(in));
+    EXPECT_EQ(c.get_value().status, counter_status::invalid_data);
+}
+
+TEST(StatisticsCounter, WindowedStats)
+{
+    double v = 0.0;
+    auto underlying = std::make_shared<gauge_counter>(
+        counter_info{.full_name = "/t/u"}, [&] { return v; });
+    statistics_counter avg(
+        {.full_name = "/t/s"}, statistic::average, underlying, 3);
+    for (double x : {1.0, 2.0, 3.0, 4.0})    // window keeps 2,3,4
+    {
+        v = x;
+        avg.sample();
+    }
+    EXPECT_DOUBLE_EQ(avg.get_value().get(), 3.0);
+
+    statistics_counter med(
+        {.full_name = "/t/m"}, statistic::median, underlying, 10);
+    for (double x : {5.0, 1.0, 9.0})
+    {
+        v = x;
+        med.sample();
+    }
+    EXPECT_DOUBLE_EQ(med.get_value().get(), 5.0);
+}
+
+TEST(StatisticsCounter, EmptyWindowInvalid)
+{
+    statistics_counter c({.full_name = "/t/s"}, statistic::min,
+        constant_counter(1), 4);
+    EXPECT_EQ(c.get_value().status, counter_status::invalid_data);
+}
+
+TEST(StatisticsCounter, ResetClearsWindow)
+{
+    statistics_counter c({.full_name = "/t/s"}, statistic::max,
+        constant_counter(7), 4);
+    c.sample();
+    EXPECT_TRUE(c.get_value().valid());
+    c.reset();
+    EXPECT_EQ(c.get_value().status, counter_status::invalid_data);
+}
+
+// ----------------------------------------------------------------- registry
+
+namespace {
+
+void add_test_gauge(counter_registry& registry, double* cell)
+{
+    counter_registry::type_info t;
+    t.type_key = "/test/value";
+    t.kind = counter_kind::raw;
+    t.create = [cell](counter_path const& path) -> counter_ptr {
+        return std::make_shared<gauge_counter>(
+            counter_info{.full_name = path.full_name()},
+            [cell] { return *cell; });
+    };
+    t.instance_count = [] { return std::uint64_t(3); };
+    registry.register_type(std::move(t));
+}
+
+}    // namespace
+
+TEST(Registry, CreateByName)
+{
+    double cell = 42.0;
+    counter_registry registry;
+    add_test_gauge(registry, &cell);
+    std::string error;
+    auto c = registry.create("/test{locality#0/total}/value", &error);
+    ASSERT_TRUE(c) << error;
+    EXPECT_DOUBLE_EQ(c->get_value().get(), 42.0);
+    EXPECT_EQ(
+        c->info().full_name, "/test{locality#0/total}/value");
+}
+
+TEST(Registry, UnknownTypeFails)
+{
+    counter_registry registry;
+    std::string error;
+    EXPECT_EQ(registry.create("/nope/value", &error), nullptr);
+    EXPECT_NE(error.find("unknown counter type"), std::string::npos);
+}
+
+TEST(Registry, WildcardExpansion)
+{
+    double cell = 0.0;
+    counter_registry registry;
+    add_test_gauge(registry, &cell);
+    auto p =
+        parse_counter_name("/test{locality#0/worker-thread#*}/value");
+    ASSERT_TRUE(p.has_value());
+    auto expanded = registry.expand(*p);
+    ASSERT_EQ(expanded.size(), 3u);
+    for (std::int64_t i = 0; i < 3; ++i)
+    {
+        EXPECT_EQ(expanded[static_cast<std::size_t>(i)].instance_index, i);
+        EXPECT_FALSE(expanded[static_cast<std::size_t>(i)].instance_wildcard);
+    }
+}
+
+TEST(Registry, NonWildcardExpandIsIdentity)
+{
+    counter_registry registry;
+    auto p = parse_counter_name("/x{locality#0/total}/y");
+    auto expanded = registry.expand(*p);
+    ASSERT_EQ(expanded.size(), 1u);
+    EXPECT_EQ(expanded[0], *p);
+}
+
+TEST(Registry, ArithmeticOverRegisteredCounters)
+{
+    double cell = 10.0;
+    counter_registry registry;
+    add_test_gauge(registry, &cell);
+    std::string error;
+    auto c = registry.create(
+        "/arithmetics/add@/test{locality#0/total}/value,"
+        "/test{locality#0/total}/value",
+        &error);
+    ASSERT_TRUE(c) << error;
+    EXPECT_DOUBLE_EQ(c->get_value().get(), 20.0);
+}
+
+TEST(Registry, StatisticsOverRegisteredCounter)
+{
+    double cell = 4.0;
+    counter_registry registry;
+    add_test_gauge(registry, &cell);
+    std::string error;
+    auto c = registry.create(
+        "/statistics/average@/test{locality#0/total}/value,8", &error);
+    ASSERT_TRUE(c) << error;
+    auto* stats = dynamic_cast<statistics_counter*>(c.get());
+    ASSERT_NE(stats, nullptr);
+    stats->sample();
+    cell = 8.0;
+    stats->sample();
+    EXPECT_DOUBLE_EQ(c->get_value().get(), 6.0);
+}
+
+TEST(Registry, ListAndContains)
+{
+    double cell = 0.0;
+    counter_registry registry;
+    add_test_gauge(registry, &cell);
+    EXPECT_TRUE(registry.contains("/test/value"));
+    EXPECT_TRUE(registry.contains("/arithmetics/add"));
+    EXPECT_FALSE(registry.contains("/test/other"));
+    auto types = registry.list();
+    EXPECT_GE(types.size(), 13u);    // 7 arithmetics + 5 statistics + 1
+    EXPECT_TRUE(registry.unregister_type("/test/value"));
+    EXPECT_FALSE(registry.contains("/test/value"));
+}
+
+// ------------------------------------------------------------ thread counters
+
+namespace {
+
+class ThreadCounterTest : public ::testing::Test
+{
+protected:
+    void SetUp() override
+    {
+        runtime_config config;
+        config.sched.num_workers = 2;
+        rt_ = std::make_unique<runtime>(config);
+        register_all_runtime_counters(registry_, *rt_);
+    }
+
+    void drain()
+    {
+        while (rt_->get_scheduler().tasks_alive() != 0)
+            std::this_thread::yield();
+    }
+
+    counter_registry registry_;
+    std::unique_ptr<runtime> rt_;
+};
+
+}    // namespace
+
+TEST_F(ThreadCounterTest, CumulativeCountsExecutedTasks)
+{
+    auto c = registry_.create("/threads{locality#0/total}/count/cumulative");
+    ASSERT_TRUE(c);
+    c->reset();
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 25; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    EXPECT_DOUBLE_EQ(c->get_value().get(), 25.0);
+}
+
+TEST_F(ThreadCounterTest, AverageDurationReflectsWork)
+{
+    auto c = registry_.create("/threads{locality#0/total}/time/average");
+    ASSERT_TRUE(c);
+    c->reset();
+    // One task with measurable busy-work.
+    async([] {
+        volatile double x = 1.0;
+        for (int i = 0; i < 2000000; ++i)
+            x = x * 1.0000001 + 0.5;
+    }).get();
+    drain();
+    auto const v = c->get_value();
+    ASSERT_TRUE(v.valid());
+    EXPECT_GT(v.get(), 100000.0);    // > 100 us of busy-work, in ns
+}
+
+TEST_F(ThreadCounterTest, OverheadCounterValid)
+{
+    auto avg_overhead = registry_.create(
+        "/threads{locality#0/total}/time/average-overhead");
+    auto cum_overhead = registry_.create(
+        "/threads{locality#0/total}/time/cumulative-overhead");
+    ASSERT_TRUE(avg_overhead && cum_overhead);
+    avg_overhead->reset();
+    cum_overhead->reset();
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 50; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    auto const avg = avg_overhead->get_value();
+    auto const cum = cum_overhead->get_value();
+    ASSERT_TRUE(avg.valid());
+    EXPECT_GT(avg.get(), 0.0);
+    EXPECT_LT(avg.get(), 1e8);    // sane: < 0.1 s per task
+    EXPECT_GT(cum.get(), 0.0);
+}
+
+TEST_F(ThreadCounterTest, PerWorkerWildcardInstances)
+{
+    auto p = parse_counter_name(
+        "/threads{locality#0/worker-thread#*}/count/cumulative");
+    ASSERT_TRUE(p.has_value());
+    auto expanded = registry_.expand(*p);
+    ASSERT_EQ(expanded.size(), 2u);    // two workers
+    std::vector<counter_ptr> per_worker;
+    for (auto const& path : expanded)
+    {
+        auto c = registry_.create(path);
+        ASSERT_TRUE(c);
+        c->reset();
+        per_worker.push_back(std::move(c));
+    }
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 40; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    double total = 0;
+    for (auto const& c : per_worker)
+        total += c->get_value().get();
+    EXPECT_DOUBLE_EQ(total, 40.0);
+}
+
+TEST_F(ThreadCounterTest, IdleRateWithinRange)
+{
+    auto c = registry_.create("/threads{locality#0/total}/idle-rate");
+    ASSERT_TRUE(c);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto const v = c->get_value();
+    if (v.valid())
+    {
+        EXPECT_GE(v.get(), 0.0);
+        EXPECT_LE(v.get(), 10000.0);    // 0.01% units
+    }
+}
+
+TEST_F(ThreadCounterTest, UptimeGrows)
+{
+    auto c = registry_.create("/runtime{locality#0/total}/uptime");
+    ASSERT_TRUE(c);
+    double const v1 = c->get_value().get();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_GT(c->get_value().get(), v1);
+}
+
+TEST_F(ThreadCounterTest, MemoryCountersPositive)
+{
+    auto rss = registry_.create("/runtime{locality#0/total}/memory/resident");
+    auto vsz = registry_.create("/runtime{locality#0/total}/memory/virtual");
+    ASSERT_TRUE(rss && vsz);
+    EXPECT_GT(rss->get_value().get(), 0.0);
+    EXPECT_GE(vsz->get_value().get(), rss->get_value().get());
+}
+
+TEST_F(ThreadCounterTest, EvaluateAndResetSemantics)
+{
+    // The paper's per-sample protocol: evaluate(reset=true) between
+    // samples must isolate each sample's counts.
+    auto c = registry_.create("/threads{locality#0/total}/count/cumulative");
+    ASSERT_TRUE(c);
+    c->reset();
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 10; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    EXPECT_DOUBLE_EQ(c->get_value(true).get(), 10.0);
+    fs.clear();
+    for (int i = 0; i < 7; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    EXPECT_DOUBLE_EQ(c->get_value(true).get(), 7.0);
+}
+
+// ----------------------------------------------------------- active counters
+
+TEST_F(ThreadCounterTest, ActiveCountersEvaluate)
+{
+    active_counters active(registry_,
+        {"/threads{locality#0/total}/count/cumulative",
+            "/threads{locality#0/worker-thread#*}/count/cumulative",
+            "/runtime{locality#0/total}/uptime"});
+    EXPECT_TRUE(active.errors().empty());
+    EXPECT_EQ(active.size(), 4u);    // 1 + 2 (expanded) + 1
+    active.reset();
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 12; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    auto evals = active.evaluate();
+    ASSERT_EQ(evals.size(), 4u);
+    EXPECT_DOUBLE_EQ(evals[0].value.get(), 12.0);
+    EXPECT_DOUBLE_EQ(
+        evals[1].value.get() + evals[2].value.get(), 12.0);
+}
+
+TEST_F(ThreadCounterTest, ActiveCountersRecordErrors)
+{
+    active_counters active(registry_, {"/nope/x", "not-a-name"});
+    EXPECT_EQ(active.size(), 0u);
+    EXPECT_EQ(active.errors().size(), 2u);
+}
+
+TEST_F(ThreadCounterTest, PrintTextFormat)
+{
+    active_counters active(
+        registry_, {"/threads{locality#0/total}/count/cumulative"});
+    std::ostringstream os;
+    active.print(os, /*csv=*/false, /*reset=*/false, "sample-1");
+    auto const text = os.str();
+    EXPECT_NE(text.find("# sample-1"), std::string::npos);
+    EXPECT_NE(
+        text.find("/threads{locality#0/total}/count/cumulative"),
+        std::string::npos);
+}
+
+TEST_F(ThreadCounterTest, PrintCsvFormat)
+{
+    active_counters active(
+        registry_, {"/threads{locality#0/total}/count/cumulative",
+                       "/runtime{locality#0/total}/uptime"});
+    std::ostringstream os;
+    active.print_csv_header(os);
+    active.print(os, /*csv=*/true, false, "s0");
+    auto const text = os.str();
+    EXPECT_NE(text.find("time[s],annotation,"), std::string::npos);
+    EXPECT_NE(text.find(",s0,"), std::string::npos);
+}
+
+TEST_F(ThreadCounterTest, SessionGlobalEvaluate)
+{
+    session_options options;
+    options.counter_names = {
+        "/threads{locality#0/total}/count/cumulative"};
+    options.destination = "/tmp/minihpx_test_counters.txt";
+    options.print_at_shutdown = false;
+    {
+        counter_session session(registry_, options);
+        EXPECT_EQ(counter_session::global(), &session);
+        async([] {}).get();
+        drain();
+        evaluate_active_counters(true, "phase-1");
+        reset_active_counters();
+    }
+    EXPECT_EQ(counter_session::global(), nullptr);
+    std::ifstream in("/tmp/minihpx_test_counters.txt");
+    std::string contents(std::istreambuf_iterator<char>(in), {});
+    EXPECT_NE(contents.find("phase-1"), std::string::npos);
+}
+
+TEST(SessionOptions, FromCli)
+{
+    char const* argv[] = {"prog", "--mh:print-counter=/threads/time/average",
+        "--mh:print-counter=/threads/idle-rate",
+        "--mh:print-counter-interval=50",
+        "--mh:print-counter-destination=out.csv",
+        "--mh:print-counter-format=csv", "--mh:list-counters"};
+    util::cli_args args(7, argv);
+    auto options = session_options::from_cli(args);
+    ASSERT_EQ(options.counter_names.size(), 2u);
+    EXPECT_EQ(options.counter_names[1], "/threads/idle-rate");
+    EXPECT_DOUBLE_EQ(options.interval_ms, 50.0);
+    EXPECT_EQ(options.destination, "out.csv");
+    EXPECT_TRUE(options.csv);
+    EXPECT_TRUE(options.list_counters);
+}
+
+TEST(SessionListing, ListsTypes)
+{
+    counter_registry registry;
+    std::ostringstream os;
+    counter_session::list_counter_types(registry, os);
+    EXPECT_NE(os.str().find("/arithmetics/add"), std::string::npos);
+    EXPECT_NE(os.str().find("/statistics/median"), std::string::npos);
+}

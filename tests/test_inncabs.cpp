@@ -1,0 +1,263 @@
+// Inncabs suite tests: every benchmark's parallel result equals its
+// serial reference on all three engines (real minihpx runtime, real
+// thread-per-task baseline, virtual-time simulator with compute on),
+// plus benchmark-specific known values and structural checks.
+#include <inncabs/harness.hpp>
+#include <inncabs/inncabs.hpp>
+
+#include <gtest/gtest.h>
+
+using namespace inncabs;
+namespace ms = minihpx::sim;
+
+namespace {
+
+double run_in_sim(benchmark_entry const& entry, input_scale scale,
+    ms::sim_report* report_out = nullptr, unsigned cores = 4)
+{
+    ms::sim_config config;
+    config.cores = cores;
+    config.skip_compute = false;    // full compute for correctness
+    ms::simulator sim(config);
+    double result = 0;
+    auto report = sim.run([&] { result = entry.run_sim_body(scale); });
+    EXPECT_FALSE(report.failed) << entry.name << ": "
+                                << report.failure_reason;
+    if (report_out)
+        *report_out = report;
+    return result;
+}
+
+class SuiteEquivalence : public ::testing::TestWithParam<char const*>
+{
+};
+
+}    // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteEquivalence,
+    ::testing::Values("alignment", "health", "sparselu", "fft", "fib",
+        "pyramids", "sort", "strassen", "floorplan", "nqueens", "qap",
+        "uts", "intersim", "round"),
+    [](auto const& info) { return std::string(info.param); });
+
+TEST_P(SuiteEquivalence, SimMatchesSerial)
+{
+    auto const* entry = find_benchmark(GetParam());
+    ASSERT_NE(entry, nullptr);
+    double const serial = entry->run_serial(input_scale::tiny);
+    double const sim = run_in_sim(*entry, input_scale::tiny);
+    EXPECT_NEAR(sim, serial, std::abs(serial) * 1e-9 + 1e-9);
+}
+
+TEST_P(SuiteEquivalence, MinihpxMatchesSerial)
+{
+    auto const* entry = find_benchmark(GetParam());
+    ASSERT_NE(entry, nullptr);
+    minihpx::runtime_config config;
+    config.sched.num_workers = 3;
+    minihpx::runtime rt(config);
+    double const serial = entry->run_serial(input_scale::tiny);
+    double const parallel = entry->run_minihpx(input_scale::tiny);
+    EXPECT_NEAR(parallel, serial, std::abs(serial) * 1e-9 + 1e-9);
+}
+
+TEST_P(SuiteEquivalence, StdBaselineMatchesSerial)
+{
+    auto const* entry = find_benchmark(GetParam());
+    ASSERT_NE(entry, nullptr);
+    double const serial = entry->run_serial(input_scale::tiny);
+    double const parallel = entry->run_std(input_scale::tiny);
+    EXPECT_NEAR(parallel, serial, std::abs(serial) * 1e-9 + 1e-9);
+}
+
+// -------------------------------------------------- benchmark specifics
+
+TEST(SuiteRegistry, FourteenBenchmarksInTableVOrder)
+{
+    ASSERT_EQ(suite().size(), 14u);
+    EXPECT_EQ(suite().front().name, "alignment");
+    EXPECT_EQ(suite().back().name, "round");
+    EXPECT_NE(find_benchmark("uts"), nullptr);
+    EXPECT_EQ(find_benchmark("nope"), nullptr);
+}
+
+TEST(Fib, KnownValues)
+{
+    using F = fib_bench<sim_engine>;
+    EXPECT_EQ(F::run_serial_n(10), 55u);
+    EXPECT_EQ(F::run_serial_n(20), 6765u);
+}
+
+TEST(NQueens, KnownCounts)
+{
+    using Q = nqueens_bench<sim_engine>;
+    typename Q::params p;
+    p.n = 6;
+    EXPECT_EQ(Q::run_serial(p), 4u);
+    p.n = 8;
+    EXPECT_EQ(Q::run_serial(p), 92u);
+}
+
+TEST(Sort, ProducesSortedData)
+{
+    using S = sort_bench<minihpx_engine>;
+    minihpx::runtime rt;
+    auto p = S::params::tiny();
+    auto data = S::make_input(p.n, p.seed);
+    std::vector<std::uint32_t> scratch(p.n);
+    S::sort_task(data.data(), scratch.data(), p.n, p.serial_cutoff);
+    EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(Floorplan, OptimumIndependentOfOrdering)
+{
+    // B&B converges to the optimum under any schedule; two different
+    // sim seeds (different steal interleavings) must agree.
+    auto const* entry = find_benchmark("floorplan");
+    ms::sim_config config;
+    config.cores = 8;
+    config.skip_compute = false;
+    double r1 = 0, r2 = 0;
+    {
+        ms::simulator sim(config);
+        sim.run([&] { r1 = entry->run_sim_body(input_scale::tiny); });
+    }
+    config.seed = 777;
+    {
+        ms::simulator sim(config);
+        sim.run([&] { r2 = entry->run_sim_body(input_scale::tiny); });
+    }
+    EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(Uts, TreeSizeStableAcrossEngines)
+{
+    using U = uts_bench<sim_engine>;
+    auto const p = U::params::tiny();
+    auto const serial = U::run_serial(p);
+    EXPECT_GT(serial, p.root_children);    // tree grew beyond the root
+}
+
+TEST(Health, TreeShape)
+{
+    using H = health_bench<sim_engine>;
+    auto root = H::make_tree(3, 2, 1);
+    ASSERT_EQ(root->children.size(), 2u);
+    ASSERT_EQ(root->children[0]->children.size(), 2u);
+    EXPECT_TRUE(root->children[0]->children[0]->children.empty());
+}
+
+TEST(Pyramids, GhostZoneMatchesGlobalSweeps)
+{
+    using P = pyramids_bench<sim_engine>;
+    // Direct check of block_task vs full-width sweeps on a small grid.
+    typename P::params p;
+    p.width = 128;
+    p.steps = 8;
+    p.base_steps = 8;
+    p.block = 32;
+
+    auto serial = P::run_serial(p);
+
+    // Manual parallel-equivalent (serial loop over block tasks).
+    auto a = P::make_grid(p.width);
+    std::vector<double> b(p.width);
+    for (std::size_t lo = 0; lo < p.width; lo += p.block)
+        P::block_task(
+            a, b, lo, std::min(p.width, lo + p.block), p.steps, p.width);
+    std::swap(a, b);
+    double sum = 0;
+    for (std::size_t i = 0; i < a.size(); i += a.size() / 101 + 1)
+        sum += a[i];
+    EXPECT_NEAR(sum, serial, 1e-12);
+}
+
+TEST(Intersim, ChecksumDeterministicAcrossCoreCounts)
+{
+    auto const* entry = find_benchmark("intersim");
+    double const r1 = run_in_sim(*entry, input_scale::tiny, nullptr, 1);
+    double const r8 = run_in_sim(*entry, input_scale::tiny, nullptr, 8);
+    EXPECT_DOUBLE_EQ(r1, r8);
+}
+
+TEST(Round, TokenCountExact)
+{
+    auto const* entry = find_benchmark("round");
+    double const result = run_in_sim(*entry, input_scale::tiny);
+    EXPECT_DOUBLE_EQ(result, 4.0 * 2.0);    // participants * laps (tiny)
+}
+
+TEST(SparseLU, DiagonalDominanceKeepsFactorsFinite)
+{
+    using L = sparselu_bench<sim_engine>;
+    auto const p = L::params::tiny();
+    double const checksum = L::run_serial(p);
+    EXPECT_TRUE(std::isfinite(checksum));
+    EXPECT_NE(checksum, 0.0);
+}
+
+TEST(Alignment, ScoreSymmetry)
+{
+    using A = alignment_bench<sim_engine>;
+    EXPECT_EQ(A::align_pair("ACDEFG", "ACDEFG"), 30);    // 6 matches x5
+    EXPECT_EQ(
+        A::align_pair("AAAA", "CCCC"), A::align_pair("CCCC", "AAAA"));
+}
+
+TEST(Qap, BoundNeverPrunesOptimum)
+{
+    using Q = qap_bench<sim_engine>;
+    // Exhaustive optimum (task_depth=-1 disables spawning in serial;
+    // compare against a brute-force permutation scan).
+    auto p = Q::params::tiny();
+    auto const inst = Q::make_instance(p);
+    std::vector<int> perm(static_cast<std::size_t>(p.n));
+    for (int i = 0; i < p.n; ++i)
+        perm[static_cast<std::size_t>(i)] = i;
+    int best = 1 << 30;
+    auto const n = static_cast<std::size_t>(p.n);
+    do
+    {
+        int cost = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                cost += inst.flow[i * n + j] *
+                    inst.dist[static_cast<std::size_t>(
+                                  perm[i]) * n +
+                        static_cast<std::size_t>(perm[j])];
+        best = std::min(best, cost);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(Q::run_serial(p), best);
+}
+
+// Grain-size sanity: at paper scale (in the simulator, compute skipped)
+// each benchmark's average task duration lands in its Table V class.
+TEST(TableV, GranularityClassesRoughlyMatch)
+{
+    struct expectation
+    {
+        char const* name;
+        double lo_us, hi_us;
+    };
+    // Generous bands around Table V (we check the *class*, not the
+    // exact number; full reproduction happens in bench/table5).
+    expectation const cases[] = {
+        {"fib", 0.3, 8.0},          // very fine
+        {"nqueens", 5.0, 80.0},     // fine
+        {"sort", 10.0, 200.0},      // fine/variable
+        {"strassen", 30.0, 300.0},  // fine
+    };
+    for (auto const& c : cases)
+    {
+        auto const* entry = find_benchmark(c.name);
+        ASSERT_NE(entry, nullptr);
+        ms::sim_config config;
+        config.cores = 1;
+        ms::simulator sim(config);
+        auto report =
+            sim.run([&] { entry->run_sim_body(input_scale::bench_default); });
+        ASSERT_FALSE(report.failed) << c.name;
+        EXPECT_GE(report.avg_task_duration_us(), c.lo_us) << c.name;
+        EXPECT_LE(report.avg_task_duration_us(), c.hi_us) << c.name;
+    }
+}

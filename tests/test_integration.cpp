@@ -1,0 +1,220 @@
+// Cross-module integration tests: the paper's qualitative claims, as
+// executable assertions over the same pipeline the bench harnesses use
+// (suite -> simulator -> counters/tool models), plus the real-runtime
+// counter session measuring a real Inncabs run.
+#include <inncabs/harness.hpp>
+#include <inncabs/inncabs.hpp>
+#include <minihpx/perf/perf.hpp>
+#include <minihpx/tools/tool_model.hpp>
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+using namespace inncabs;
+namespace ms = minihpx::sim;
+namespace mt = minihpx::tools;
+
+namespace {
+
+ms::sim_report sim_run(char const* name, ms::sched_model model,
+    unsigned cores, input_scale scale = input_scale::bench_default)
+{
+    auto const* entry = find_benchmark(name);
+    EXPECT_NE(entry, nullptr);
+    ms::sim_config config;
+    config.model = model;
+    config.cores = cores;
+    ms::simulator sim(config);
+    return sim.run([&] { entry->run_sim_body(scale); });
+}
+
+}    // namespace
+
+// Paper claim (Figs 1, Table V): coarse-grained benchmarks scale well
+// on BOTH runtimes.
+TEST(PaperShape, CoarseScalesOnBothRuntimes)
+{
+    // Paper-scale inputs: the claim is about the coarse (~1-3 ms)
+    // grain, which the reduced default inputs do not reach for
+    // sparselu (bs=32 -> ~125 us).
+    for (char const* name : {"alignment", "sparselu"})
+    {
+        auto const hpx1 =
+            sim_run(name, ms::sched_model::hpx_like, 1, input_scale::paper);
+        auto const hpx16 =
+            sim_run(name, ms::sched_model::hpx_like, 16, input_scale::paper);
+        auto const std16 =
+            sim_run(name, ms::sched_model::std_like, 16, input_scale::paper);
+        ASSERT_FALSE(hpx16.failed);
+        ASSERT_FALSE(std16.failed);
+        EXPECT_GT(hpx1.exec_time_s / hpx16.exec_time_s, 8.0) << name;
+        // std within ~1.5x of hpx for coarse grain.
+        EXPECT_LT(std16.exec_time_s, hpx16.exec_time_s * 1.5) << name;
+    }
+}
+
+// Paper claim (Figs 5-7): very fine grain makes std::async far slower.
+TEST(PaperShape, VeryFineStdFarSlower)
+{
+    for (char const* name : {"fib", "health"})
+    {
+        auto const hpx = sim_run(name, ms::sched_model::hpx_like, 8);
+        auto const stdr = sim_run(name, ms::sched_model::std_like, 8);
+        ASSERT_FALSE(hpx.failed) << name;
+        if (!stdr.failed)
+            EXPECT_GT(stdr.exec_time_s, 3.0 * hpx.exec_time_s) << name;
+    }
+}
+
+// Paper claim (§VI): std::async exhausts pthreads at paper scale for
+// the recursive very fine benchmarks; HPX-style tasks survive.
+TEST(PaperShape, PaperScaleStdFailsWhereHpxSurvives)
+{
+    for (char const* name : {"fib", "nqueens", "uts"})
+    {
+        auto const stdr = sim_run(
+            name, ms::sched_model::std_like, 20, input_scale::paper);
+        EXPECT_TRUE(stdr.failed) << name;
+        EXPECT_GE(stdr.peak_live_threads, 80000u) << name;
+        EXPECT_LE(stdr.peak_live_threads, 97000u) << name;
+    }
+    auto const hpx =
+        sim_run("fib", ms::sched_model::hpx_like, 20, input_scale::paper);
+    EXPECT_FALSE(hpx.failed);
+}
+
+// Paper claim (Fig 11/12): for very fine tasks the scheduling overhead
+// is a large fraction of task time (50-100%); for coarse tasks it is
+// negligible.
+TEST(PaperShape, OverheadFractionTracksGranularity)
+{
+    auto const fine = sim_run("fib", ms::sched_model::hpx_like, 4);
+    double const fine_ratio = fine.sched_overhead_s / fine.task_time_s;
+    EXPECT_GT(fine_ratio, 0.3);
+
+    auto const coarse = sim_run("alignment", ms::sched_model::hpx_like, 4);
+    double const coarse_ratio =
+        coarse.sched_overhead_s / coarse.task_time_s;
+    EXPECT_LT(coarse_ratio, 0.02);
+}
+
+// Paper claim (Fig 13/14 mechanism): bandwidth grows with cores and is
+// bounded by the socket ceiling.
+TEST(PaperShape, BandwidthGrowsAndSaturates)
+{
+    auto const bw1 =
+        sim_run("pyramids", ms::sched_model::hpx_like, 1)
+            .offcore_bandwidth_gbs();
+    auto const bw16 =
+        sim_run("pyramids", ms::sched_model::hpx_like, 16)
+            .offcore_bandwidth_gbs();
+    EXPECT_GT(bw16, bw1 * 1.5);
+    EXPECT_LT(bw16, 45.0);
+}
+
+// Table I pipeline: baseline -> tool models, end to end via the suite.
+TEST(PaperShape, ExternalToolsFailOrBurden)
+{
+    mt::tool_config config;
+    // strassen at paper scale: >64k tasks crash the TAU-like table.
+    auto const strassen = sim_run(
+        "strassen", ms::sched_model::std_like, 20, input_scale::paper);
+    ASSERT_FALSE(strassen.failed);
+    auto const tau = mt::apply_tool(mt::tool_kind::tau_like, config, strassen);
+    EXPECT_TRUE(tau.crashed() ||
+        tau.result == mt::tool_outcome::status::timed_out);
+
+    // round (512 tasks) completes under both tools but with huge cost.
+    auto const round = sim_run(
+        "round", ms::sched_model::std_like, 20, input_scale::paper);
+    ASSERT_FALSE(round.failed);
+    auto const hpct =
+        mt::apply_tool(mt::tool_kind::hpctoolkit_like, config, round);
+    ASSERT_EQ(hpct.result, mt::tool_outcome::status::completed);
+    EXPECT_GT(hpct.overhead_pct, 100.0);
+}
+
+// The intrinsic alternative: the same measurement on the real runtime
+// through a counter session, with the harness protocol, writing CSV.
+TEST(Intrinsic, SessionMeasuresRealInncabsRun)
+{
+    minihpx::runtime_config rc;
+    rc.sched.num_workers = 2;
+    minihpx::runtime rt(rc);
+
+    minihpx::perf::counter_registry registry;
+    minihpx::perf::register_all_runtime_counters(registry, rt);
+
+    char const* path = "/tmp/minihpx_integration_counters.csv";
+    {
+        minihpx::perf::session_options options;
+        options.counter_names = {
+            "/threads{locality#0/total}/count/cumulative",
+            "/threads{locality#0/total}/time/average",
+            "/threads{locality#0/total}/time/average-overhead",
+        };
+        options.csv = true;
+        options.destination = path;
+        options.print_at_shutdown = false;
+        minihpx::perf::counter_session session(registry, options);
+
+        auto const* entry = find_benchmark("sort");
+        ASSERT_NE(entry, nullptr);
+        auto const timing = run_samples("sort", 3,
+            [&] { (void) entry->run_minihpx(input_scale::tiny); });
+        EXPECT_EQ(timing.times_ms.size(), 3u);
+        EXPECT_GT(timing.median_ms(), 0.0);
+    }
+
+    std::ifstream in(path);
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_NE(header.find("/threads{locality#0/total}/count/cumulative"),
+        std::string::npos);
+    int rows = 0;
+    while (std::getline(in, row))
+        ++rows;
+    EXPECT_EQ(rows, 3);    // one evaluation per sample
+}
+
+// Determinism across the whole pipeline: identical virtual results on
+// repeated runs (the property every figure harness relies on).
+TEST(Pipeline, SuiteRunsAreDeterministic)
+{
+    for (char const* name : {"sort", "intersim", "uts"})
+    {
+        auto const a = sim_run(name, ms::sched_model::hpx_like, 8);
+        auto const b = sim_run(name, ms::sched_model::hpx_like, 8);
+        EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s) << name;
+        EXPECT_EQ(a.tasks_executed, b.tasks_executed) << name;
+        EXPECT_EQ(a.offcore_data_rd, b.offcore_data_rd) << name;
+    }
+}
+
+// fork (continuation stealing) must preserve results on the sim too.
+TEST(Pipeline, ForkPolicyEquivalence)
+{
+    ms::sim_config config;
+    config.cores = 4;
+    config.skip_compute = false;
+    ms::simulator sim(config);
+    std::uint64_t forked = 0;
+    auto report = sim.run([&] {
+        struct fibf
+        {
+            static std::uint64_t run(int n)
+            {
+                if (n < 2)
+                    return static_cast<std::uint64_t>(n);
+                auto left = sim_engine::async(
+                    sim_engine::launch::fork, [n] { return run(n - 1); });
+                auto const right = run(n - 2);
+                return left.get() + right;
+            }
+        };
+        forked = fibf::run(15);
+    });
+    EXPECT_FALSE(report.failed);
+    EXPECT_EQ(forked, 610u);
+}

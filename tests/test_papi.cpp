@@ -1,0 +1,148 @@
+// Tests for the simulated PAPI layer: event catalogue, the virtual PMU
+// fed by work annotations, and the /papi{...}/EVENT counter bindings.
+#include <minihpx/minihpx.hpp>
+#include <minihpx/papi/papi_engine.hpp>
+#include <minihpx/perf/perf.hpp>
+
+#include <gtest/gtest.h>
+
+using namespace minihpx;
+using namespace minihpx::papi;
+
+TEST(PapiEvents, CatalogueComplete)
+{
+    for (std::size_t i = 0; i < num_events; ++i)
+    {
+        auto const& info = get_event_info(static_cast<event>(i));
+        EXPECT_EQ(info.id, static_cast<event>(i));
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_NE(info.description, nullptr);
+    }
+}
+
+TEST(PapiEvents, LookupBySpelling)
+{
+    EXPECT_EQ(find_event("OFFCORE_REQUESTS:ALL_DATA_RD"),
+        event::offcore_requests_all_data_rd);
+    EXPECT_EQ(find_event("PAPI_TOT_INS"), event::tot_ins);
+    EXPECT_EQ(find_event("NOPE"), std::nullopt);
+}
+
+TEST(PapiEngine, RecordConvertsBytesToLines)
+{
+    papi_engine engine(2, 2.5);
+    engine.record(0,
+        {.cpu_ns = 1000,
+            .data_rd_bytes = 640,      // 10 lines
+            .rfo_bytes = 65,           // 2 lines (rounded up)
+            .code_rd_bytes = 64,       // 1 line
+            .instructions = 500});
+    EXPECT_EQ(engine.count(event::offcore_requests_all_data_rd, 0), 10u);
+    EXPECT_EQ(engine.count(event::offcore_requests_demand_rfo, 0), 2u);
+    EXPECT_EQ(engine.count(event::offcore_requests_demand_code_rd, 0), 1u);
+    EXPECT_EQ(engine.count(event::tot_ins, 0), 500u);
+    EXPECT_EQ(engine.count(event::tot_cyc, 0), 2500u);    // 1 us @ 2.5 GHz
+    EXPECT_EQ(engine.count(event::l3_tcm, 0), 12u);
+    EXPECT_EQ(engine.total(event::offcore_requests_all_data_rd), 10u);
+    EXPECT_EQ(engine.count(event::offcore_requests_all_data_rd, 1), 0u);
+}
+
+TEST(PapiEngine, OverflowSlotForNonWorkers)
+{
+    papi_engine engine(2);
+    engine.record(~0u, {.data_rd_bytes = 128});
+    EXPECT_EQ(engine.count(event::offcore_requests_all_data_rd, 0), 0u);
+    EXPECT_EQ(engine.count(event::offcore_requests_all_data_rd, 1), 0u);
+    EXPECT_EQ(engine.total(event::offcore_requests_all_data_rd), 2u);
+}
+
+TEST(PapiEngine, InstallRoutesAnnotations)
+{
+    papi_engine engine(1);
+    engine.install();
+    EXPECT_EQ(papi_engine::installed(), &engine);
+    annotate_work({.data_rd_bytes = 6400});
+    EXPECT_EQ(engine.total(event::offcore_requests_all_data_rd), 100u);
+    engine.uninstall();
+    EXPECT_EQ(papi_engine::installed(), nullptr);
+    annotate_work({.data_rd_bytes = 6400});
+    EXPECT_EQ(engine.total(event::offcore_requests_all_data_rd), 100u);
+}
+
+TEST(PapiEngine, TasksAttributeToWorkers)
+{
+    runtime_config config;
+    config.sched.num_workers = 2;
+    runtime rt(config);
+    papi_engine engine(2);
+    engine.install();
+
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 32; ++i)
+        fs.push_back(async([] {
+            annotate_work({.data_rd_bytes = 64, .instructions = 10});
+        }));
+    wait_all(fs);
+
+    EXPECT_EQ(engine.total(event::offcore_requests_all_data_rd), 32u);
+    EXPECT_EQ(engine.total(event::tot_ins), 320u);
+    engine.uninstall();
+}
+
+TEST(PapiCounters, RegisteredAndEvaluable)
+{
+    runtime_config config;
+    config.sched.num_workers = 2;
+    runtime rt(config);
+    papi_engine engine(2);
+    engine.install();
+    perf::counter_registry registry;
+    engine.register_counters(registry);
+
+    EXPECT_TRUE(registry.contains("/papi/OFFCORE_REQUESTS:ALL_DATA_RD"));
+    EXPECT_TRUE(registry.contains("/papi/PAPI_TOT_CYC"));
+
+    auto c = registry.create(
+        "/papi{locality#0/total}/OFFCORE_REQUESTS:ALL_DATA_RD");
+    ASSERT_TRUE(c);
+    c->reset();
+    async([] { annotate_work({.data_rd_bytes = 640}); }).get();
+    EXPECT_DOUBLE_EQ(c->get_value().get(), 10.0);
+
+    // The paper's bandwidth derivation: sum the three OFFCORE events
+    // through an arithmetic counter.
+    auto sum = registry.create(
+        "/arithmetics/add@"
+        "/papi{locality#0/total}/OFFCORE_REQUESTS:ALL_DATA_RD,"
+        "/papi{locality#0/total}/OFFCORE_REQUESTS:DEMAND_CODE_RD,"
+        "/papi{locality#0/total}/OFFCORE_REQUESTS:DEMAND_RFO");
+    ASSERT_TRUE(sum);
+    sum->reset();
+    async([] {
+        annotate_work({.data_rd_bytes = 640,
+            .rfo_bytes = 320,
+            .code_rd_bytes = 128});
+    }).get();
+    EXPECT_DOUBLE_EQ(sum->get_value().get(), 10.0 + 5.0 + 2.0);
+
+    papi_engine::remove_counters(registry);
+    EXPECT_FALSE(registry.contains("/papi/PAPI_TOT_CYC"));
+    engine.uninstall();
+}
+
+TEST(PapiCounters, PerWorkerWildcard)
+{
+    runtime_config config;
+    config.sched.num_workers = 3;
+    runtime rt(config);
+    papi_engine engine(3);
+    engine.install();
+    perf::counter_registry registry;
+    engine.register_counters(registry);
+
+    auto p = perf::parse_counter_name(
+        "/papi{locality#0/worker-thread#*}/PAPI_TOT_INS");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(registry.expand(*p).size(), 3u);
+    engine.uninstall();
+}

@@ -1,0 +1,262 @@
+// Property-style parameterized sweeps: invariants that must hold for
+// every (scheduler model × core count × benchmark) combination and for
+// generated counter-name corpora — the safety net under the figure
+// harnesses.
+#include <inncabs/harness.hpp>
+#include <inncabs/inncabs.hpp>
+#include <minihpx/perf/perf.hpp>
+#include <minihpx/sim/engine.hpp>
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace inncabs;
+namespace ms = minihpx::sim;
+namespace mp = minihpx::perf;
+
+// ------------------------------------------------- simulator invariants
+
+struct sim_case
+{
+    ms::sched_model model;
+    unsigned cores;
+};
+
+class SimInvariants : public ::testing::TestWithParam<sim_case>
+{
+protected:
+    // A mixed workload: fork/join tree + futures + a mutex.
+    static void workload()
+    {
+        ms::sim_mutex m;
+        long shared = 0;
+        std::vector<ms::sim_future<long>> fs;
+        for (int i = 0; i < 24; ++i)
+        {
+            fs.push_back(ms::sim_engine::async([&m, &shared, i] {
+                ms::sim_engine::annotate_work(
+                    {.cpu_ns = 4000 + 100ull * i,
+                        .data_rd_bytes = 2048,
+                        .rfo_bytes = 512});
+                m.lock();
+                ++shared;
+                m.unlock();
+                return static_cast<long>(i);
+            }));
+        }
+        long sum = 0;
+        for (auto& f : fs)
+            sum += f.get();
+        EXPECT_EQ(sum, 24 * 23 / 2);
+        EXPECT_EQ(shared, 24);
+    }
+
+    ms::sim_report run()
+    {
+        ms::sim_config config;
+        config.model = GetParam().model;
+        config.cores = GetParam().cores;
+        ms::simulator sim(config);
+        return sim.run([] { workload(); });
+    }
+};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimInvariants,
+    ::testing::Values(sim_case{ms::sched_model::hpx_like, 1},
+        sim_case{ms::sched_model::hpx_like, 2},
+        sim_case{ms::sched_model::hpx_like, 5},
+        sim_case{ms::sched_model::hpx_like, 10},
+        sim_case{ms::sched_model::hpx_like, 13},
+        sim_case{ms::sched_model::hpx_like, 20},
+        sim_case{ms::sched_model::std_like, 1},
+        sim_case{ms::sched_model::std_like, 4},
+        sim_case{ms::sched_model::std_like, 10},
+        sim_case{ms::sched_model::std_like, 20}),
+    [](auto const& info) {
+        return std::string(info.param.model == ms::sched_model::hpx_like ?
+                   "hpx" :
+                   "std") +
+            "_c" + std::to_string(info.param.cores);
+    });
+
+TEST_P(SimInvariants, WorkConservation)
+{
+    auto const r = run();
+    ASSERT_FALSE(r.failed);
+    // Every created task executed exactly once.
+    EXPECT_EQ(r.tasks_created, r.tasks_executed);
+    EXPECT_EQ(r.tasks_executed, 25u);    // 24 + root
+}
+
+TEST_P(SimInvariants, MakespanBounds)
+{
+    auto const r = run();
+    ASSERT_FALSE(r.failed);
+    // Makespan at least the critical work divided by cores, and never
+    // more than all work + all overhead serialized.
+    EXPECT_GE(r.exec_time_s + 1e-12,
+        r.task_time_s / static_cast<double>(r.cores));
+    EXPECT_LE(r.exec_time_s, r.task_time_s + r.sched_overhead_s + 1e-3);
+}
+
+TEST_P(SimInvariants, TaskTimeCoversAnnotations)
+{
+    auto const r = run();
+    ASSERT_FALSE(r.failed);
+    // Pure cpu annotations alone: 24 tasks x >=4 us.
+    EXPECT_GE(r.task_time_s, 24 * 4e-6);
+}
+
+TEST_P(SimInvariants, PmuTotalsExact)
+{
+    auto const r = run();
+    ASSERT_FALSE(r.failed);
+    EXPECT_EQ(r.offcore_data_rd, 24u * (2048 / 64));
+    EXPECT_EQ(r.offcore_rfo, 24u * (512 / 64));
+}
+
+TEST_P(SimInvariants, NoRemoteStealsWithinOneSocket)
+{
+    auto const r = run();
+    ASSERT_FALSE(r.failed);
+    if (GetParam().cores <= 10)
+        EXPECT_EQ(r.remote_steals, 0u);
+    EXPECT_LE(r.remote_steals, r.steals);
+}
+
+TEST_P(SimInvariants, RepeatIsIdentical)
+{
+    auto const a = run();
+    auto const b = run();
+    EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.suspensions, b.suspensions);
+}
+
+// ------------------------------------------- suite-wide sim equivalence
+
+// Every benchmark must produce its serial result under *any* core
+// count (schedule independence of results).
+class SuiteScheduleIndependence
+  : public ::testing::TestWithParam<std::tuple<char const*, unsigned>>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SuiteScheduleIndependence,
+    ::testing::Combine(
+        ::testing::Values("fib", "sort", "floorplan", "intersim", "health"),
+        ::testing::Values(1u, 3u, 12u)),
+    [](auto const& info) {
+        return std::string(std::get<0>(info.param)) + "_c" +
+            std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(SuiteScheduleIndependence, ResultMatchesSerial)
+{
+    auto const* entry = find_benchmark(std::get<0>(GetParam()));
+    ASSERT_NE(entry, nullptr);
+    ms::sim_config config;
+    config.cores = std::get<1>(GetParam());
+    config.skip_compute = false;
+    ms::simulator sim(config);
+    double result = 0;
+    auto report =
+        sim.run([&] { result = entry->run_sim_body(input_scale::tiny); });
+    ASSERT_FALSE(report.failed);
+    double const serial = entry->run_serial(input_scale::tiny);
+    EXPECT_NEAR(result, serial, std::abs(serial) * 1e-9 + 1e-9);
+}
+
+// --------------------------------------------- counter-name round trips
+
+// Generated corpus: every combination of instance forms and counter
+// shapes must round-trip through the grammar.
+class GeneratedNames
+  : public ::testing::TestWithParam<std::tuple<char const*, char const*>>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GeneratedNames,
+    ::testing::Combine(
+        ::testing::Values("", "{locality#0/total}", "{locality#2/total}",
+            "{locality#0/worker-thread#0}", "{locality#0/worker-thread#15}",
+            "{locality#1/worker-thread#*}", "{node#3/pool#7}"),
+        ::testing::Values("time/average", "count/cumulative",
+            "count/instantaneous/pending", "idle-rate",
+            "OFFCORE_REQUESTS:DEMAND_RFO", "a/b/c/d")),
+    [](auto const& info) {
+        std::string inst(std::get<0>(info.param));
+        std::string name(std::get<1>(info.param));
+        for (auto& s : {&inst, &name})
+            for (auto& c : *s)
+                if (!std::isalnum(static_cast<unsigned char>(c)))
+                    c = '_';
+        return inst.empty() ? "plain_" + name : inst + "_" + name;
+    });
+
+TEST_P(GeneratedNames, ParseFormatParseIsStable)
+{
+    std::string const name =
+        std::string("/obj") + std::get<0>(GetParam()) + "/" +
+        std::get<1>(GetParam());
+    std::string error;
+    auto p1 = mp::parse_counter_name(name, &error);
+    ASSERT_TRUE(p1.has_value()) << name << ": " << error;
+    auto p2 = mp::parse_counter_name(p1->full_name(), &error);
+    ASSERT_TRUE(p2.has_value()) << p1->full_name() << ": " << error;
+    EXPECT_EQ(*p1, *p2);
+    EXPECT_EQ(p1->full_name(), p2->full_name());
+}
+
+// ------------------------------------------- counter reset independence
+
+// Two counters over the same source must keep independent reset epochs
+// (the framework's core contract: instrumentation is never cleared).
+TEST(CounterEpochs, IndependentResets)
+{
+    double cumulative = 0.0;
+    auto make = [&] {
+        return mp::delta_counter(
+            mp::counter_info{.full_name = "/t/x"}, [&] { return cumulative; });
+    };
+    auto a = make();
+    auto b = make();
+    cumulative = 100;
+    EXPECT_DOUBLE_EQ(a.get_value(true).get(), 100.0);    // a resets
+    EXPECT_DOUBLE_EQ(b.get_value().get(), 100.0);        // b unaffected
+    cumulative = 150;
+    EXPECT_DOUBLE_EQ(a.get_value().get(), 50.0);
+    EXPECT_DOUBLE_EQ(b.get_value().get(), 150.0);
+}
+
+// Statistics counter window sweep: mean of a linear ramp over any
+// window w equals the mean of the last w samples.
+class StatsWindow : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, StatsWindow, ::testing::Values(1u, 2u, 5u, 16u, 64u));
+
+TEST_P(StatsWindow, RollingMeanOfRamp)
+{
+    std::size_t const w = GetParam();
+    double v = 0.0;
+    auto underlying = std::make_shared<mp::gauge_counter>(
+        mp::counter_info{.full_name = "/t/u"}, [&] { return v; });
+    mp::statistics_counter avg(
+        mp::counter_info{.full_name = "/t/s"}, mp::statistic::average,
+        underlying, w);
+    constexpr int total = 100;
+    for (int i = 1; i <= total; ++i)
+    {
+        v = static_cast<double>(i);
+        avg.sample();
+    }
+    // Mean of {total-w+1 .. total}.
+    double const lo = static_cast<double>(total) -
+        static_cast<double>(std::min<std::size_t>(w, total)) + 1.0;
+    double const expect = (lo + total) / 2.0;
+    EXPECT_DOUBLE_EQ(avg.get_value().get(), expect);
+}

@@ -1,0 +1,452 @@
+// Runtime semantics: async/future in all launch policies, suspension,
+// task-aware sync primitives, scheduler accounting invariants.
+#include <minihpx/minihpx.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+using namespace minihpx;
+
+namespace {
+
+// Fresh runtime per fixture; most tests use a few workers even on a
+// single-core host (correctness must not depend on real parallelism).
+class RuntimeTest : public ::testing::TestWithParam<unsigned>
+{
+protected:
+    void SetUp() override
+    {
+        runtime_config config;
+        config.sched.num_workers = GetParam();
+        rt_ = std::make_unique<runtime>(config);
+    }
+
+    void TearDown() override { rt_.reset(); }
+
+    std::unique_ptr<runtime> rt_;
+};
+
+// Accounting counters are finalized by the worker *after* set_value
+// unblocks the waiter; spin until the scheduler is quiescent before
+// asserting on them.
+void drain(scheduler& sched)
+{
+    while (sched.tasks_alive() != 0)
+        std::this_thread::yield();
+}
+
+}    // namespace
+
+INSTANTIATE_TEST_SUITE_P(Workers, RuntimeTest, ::testing::Values(1u, 2u, 4u),
+    [](auto const& info) { return "w" + std::to_string(info.param); });
+
+TEST_P(RuntimeTest, AsyncReturnsValue)
+{
+    auto f = async([] { return 21 * 2; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST_P(RuntimeTest, AsyncVoid)
+{
+    std::atomic<bool> ran{false};
+    auto f = async([&] { ran = true; });
+    f.get();
+    EXPECT_TRUE(ran);
+}
+
+TEST_P(RuntimeTest, AsyncForwardsArguments)
+{
+    auto f = async([](int a, std::string s) { return s.size() + a; }, 10,
+        std::string("abc"));
+    EXPECT_EQ(f.get(), 13u);
+}
+
+TEST_P(RuntimeTest, AsyncPropagatesException)
+{
+    auto f = async([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_P(RuntimeTest, DeferredRunsInWaiter)
+{
+    std::atomic<std::uint32_t> runner_worker{1234};
+    auto f = async(launch::deferred, [&] {
+        runner_worker = scheduler::current_worker_id();
+        return 5;
+    });
+    EXPECT_EQ(f.get(), 5);
+    // get() happened on the main thread => deferred ran off-worker.
+    EXPECT_EQ(runner_worker.load(), scheduler::npos_worker);
+}
+
+TEST_P(RuntimeTest, SyncPolicyRunsInline)
+{
+    bool ran = false;
+    auto f = async(launch::sync, [&] {
+        ran = true;
+        return 9;
+    });
+    EXPECT_TRUE(ran);    // before get()
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), 9);
+}
+
+TEST_P(RuntimeTest, ForkPolicyComputes)
+{
+    // fork from non-task context behaves like async; from task context
+    // it runs the child eagerly. Both must produce correct results.
+    auto outer = async([] {
+        auto c1 = async(launch::fork, [] { return 1; });
+        auto c2 = async(launch::fork, [] { return 2; });
+        return c1.get() + c2.get();
+    });
+    EXPECT_EQ(outer.get(), 3);
+}
+
+TEST_P(RuntimeTest, NestedAsyncTree)
+{
+    // Recursive fib exercises deep suspension chains.
+    struct fib
+    {
+        static int run(int n)
+        {
+            if (n < 2)
+                return n;
+            auto left = async([n] { return run(n - 1); });
+            int const right = run(n - 2);
+            return left.get() + right;
+        }
+    };
+    auto f = async([] { return fib::run(16); });
+    EXPECT_EQ(f.get(), 987);
+}
+
+TEST_P(RuntimeTest, ManySmallTasks)
+{
+    constexpr int n = 2000;
+    std::vector<future<int>> futures;
+    futures.reserve(n);
+    for (int i = 0; i < n; ++i)
+        futures.push_back(async([i] { return i; }));
+    long sum = 0;
+    for (auto& f : futures)
+        sum += f.get();
+    EXPECT_EQ(sum, static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST_P(RuntimeTest, WhenAllCollects)
+{
+    std::vector<future<int>> futures;
+    for (int i = 0; i < 50; ++i)
+        futures.push_back(async([i] { return i * i; }));
+    auto all = when_all(std::move(futures)).get();
+    long sum = 0;
+    for (auto& f : all)
+        sum += f.get();
+    long expect = 0;
+    for (int i = 0; i < 50; ++i)
+        expect += i * i;
+    EXPECT_EQ(sum, expect);
+}
+
+TEST_P(RuntimeTest, ThenContinuation)
+{
+    auto f = async([] { return 4; }).then([](future<int> g) {
+        return g.get() + 1;
+    });
+    EXPECT_EQ(f.get(), 5);
+}
+
+TEST_P(RuntimeTest, ThenChain)
+{
+    auto f = make_ready_future(1)
+                 .then([](future<int> g) { return g.get() * 2; })
+                 .then([](future<int> g) { return g.get() + 3; });
+    EXPECT_EQ(f.get(), 5);
+}
+
+TEST_P(RuntimeTest, SharedFutureMultipleGets)
+{
+    shared_future<int> sf = async([] { return 7; }).share();
+    EXPECT_EQ(sf.get(), 7);
+    EXPECT_EQ(sf.get(), 7);
+}
+
+TEST_P(RuntimeTest, MakeReadyFuture)
+{
+    auto f = make_ready_future(std::string("hi"));
+    EXPECT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), "hi");
+}
+
+TEST_P(RuntimeTest, PromiseSatisfiedFromOtherTask)
+{
+    promise<int> p;
+    auto f = p.get_future();
+    auto setter = async([&p] { p.set_value(77); });
+    EXPECT_EQ(f.get(), 77);
+    setter.get();
+}
+
+// -------------------------------------------------------- sync primitives
+
+TEST_P(RuntimeTest, MutexProtectsCounter)
+{
+    mutex m;
+    long counter = 0;
+    constexpr int tasks = 64, iters = 100;
+    std::vector<future<void>> futures;
+    for (int t = 0; t < tasks; ++t)
+    {
+        futures.push_back(async([&] {
+            for (int i = 0; i < iters; ++i)
+            {
+                std::lock_guard lock(m);
+                ++counter;
+            }
+        }));
+    }
+    wait_all(futures);
+    for (auto& f : futures)
+        f.get();
+    EXPECT_EQ(counter, static_cast<long>(tasks) * iters);
+}
+
+TEST_P(RuntimeTest, MutexTryLock)
+{
+    mutex m;
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_FALSE(m.try_lock());
+    m.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+}
+
+TEST_P(RuntimeTest, ConditionVariableHandsOff)
+{
+    mutex m;
+    condition_variable cv;
+    int stage = 0;
+
+    auto consumer = async([&] {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return stage == 1; });
+        stage = 2;
+        cv.notify_all();
+    });
+    auto producer = async([&] {
+        {
+            std::unique_lock lock(m);
+            stage = 1;
+        }
+        cv.notify_all();
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return stage == 2; });
+    });
+    consumer.get();
+    producer.get();
+    EXPECT_EQ(stage, 2);
+}
+
+TEST_P(RuntimeTest, LatchReleasesAllWaiters)
+{
+    latch done(3);
+    std::atomic<int> through{0};
+    std::vector<future<void>> waiters;
+    for (int i = 0; i < 4; ++i)
+    {
+        waiters.push_back(async([&] {
+            done.wait();
+            ++through;
+        }));
+    }
+    std::vector<future<void>> arrivers;
+    for (int i = 0; i < 3; ++i)
+        arrivers.push_back(async([&] { done.count_down(); }));
+    wait_all(waiters);
+    wait_all(arrivers);
+    EXPECT_EQ(through.load(), 4);
+    EXPECT_TRUE(done.try_wait());
+}
+
+TEST_P(RuntimeTest, BarrierRounds)
+{
+    constexpr int parties = 4, rounds = 5;
+    barrier bar(parties);
+    std::atomic<int> checksum{0};
+    std::vector<future<void>> futures;
+    for (int p = 0; p < parties; ++p)
+    {
+        futures.push_back(async([&] {
+            for (int r = 0; r < rounds; ++r)
+            {
+                checksum.fetch_add(1);
+                bar.arrive_and_wait();
+                // After the barrier every party of this round arrived.
+                EXPECT_GE(checksum.load(), (r + 1) * parties);
+            }
+        }));
+    }
+    wait_all(futures);
+    for (auto& f : futures)
+        f.get();
+    EXPECT_EQ(checksum.load(), parties * rounds);
+}
+
+TEST_P(RuntimeTest, SemaphoreLimitsConcurrency)
+{
+    counting_semaphore sem(2);
+    std::atomic<int> inside{0};
+    std::atomic<int> peak{0};
+    std::vector<future<void>> futures;
+    for (int i = 0; i < 16; ++i)
+    {
+        futures.push_back(async([&] {
+            sem.acquire();
+            int const now = ++inside;
+            int prev = peak.load();
+            while (prev < now && !peak.compare_exchange_weak(prev, now)) {}
+            this_task::yield();
+            --inside;
+            sem.release();
+        }));
+    }
+    wait_all(futures);
+    for (auto& f : futures)
+        f.get();
+    EXPECT_LE(peak.load(), 2);
+    EXPECT_GE(peak.load(), 1);
+}
+
+TEST_P(RuntimeTest, ThreadJoin)
+{
+    std::atomic<bool> ran{false};
+    thread t([&] { ran = true; });
+    t.join();
+    EXPECT_TRUE(ran);
+    EXPECT_FALSE(t.joinable());
+}
+
+// ------------------------------------------------------------ accounting
+
+TEST_P(RuntimeTest, SchedulerCountsTasks)
+{
+    auto& sched = rt_->get_scheduler();
+    auto const before = sched.aggregate();
+    constexpr int n = 100;
+    std::vector<future<void>> futures;
+    for (int i = 0; i < n; ++i)
+        futures.push_back(async([] {}));
+    wait_all(futures);
+    drain(sched);
+    // All spawned tasks terminated; executed grew by exactly n (the
+    // waiting happens on the main thread, not on a task).
+    auto const after = sched.aggregate();
+    EXPECT_EQ(after.tasks_executed - before.tasks_executed,
+        static_cast<std::uint64_t>(n));
+    EXPECT_EQ(sched.tasks_alive(), 0u);
+}
+
+TEST_P(RuntimeTest, ExecTimeAccumulates)
+{
+    auto& sched = rt_->get_scheduler();
+    auto const before = sched.aggregate();
+    async([] {
+        volatile double x = 1.0;
+        for (int i = 0; i < 200000; ++i)
+            x = x * 1.0000001 + 0.5;
+    }).get();
+    drain(sched);
+    auto const after = sched.aggregate();
+    EXPECT_GT(after.exec_time_ns, before.exec_time_ns);
+}
+
+TEST_P(RuntimeTest, DurationHistogramFills)
+{
+    auto& sched = rt_->get_scheduler();
+    auto const before = sched.duration_histogram().total();
+    std::vector<future<void>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(async([] {}));
+    wait_all(futures);
+    drain(sched);
+    EXPECT_GE(sched.duration_histogram().total(), before + 32);
+}
+
+TEST_P(RuntimeTest, TasksRunOnWorkers)
+{
+    std::set<std::uint32_t> seen;
+    mutex m;
+    std::vector<future<void>> futures;
+    for (int i = 0; i < 200; ++i)
+    {
+        futures.push_back(async([&] {
+            auto const id = scheduler::current_worker_id();
+            std::lock_guard lock(m);
+            seen.insert(id);
+        }));
+    }
+    wait_all(futures);
+    EXPECT_FALSE(seen.contains(scheduler::npos_worker));
+    EXPECT_GE(seen.size(), 1u);
+    EXPECT_LE(seen.size(), GetParam());
+}
+
+TEST_P(RuntimeTest, YieldReturnsToTask)
+{
+    auto f = async([] {
+        int x = 41;
+        this_task::yield();
+        return x + 1;
+    });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST_P(RuntimeTest, InTaskDetection)
+{
+    EXPECT_FALSE(this_task::in_task());
+    auto f = async([] { return this_task::in_task(); });
+    EXPECT_TRUE(f.get());
+}
+
+TEST(RuntimeConfig, FromCliParsesOptions)
+{
+    char const* argv[] = {"prog", "--mh:threads=3", "--mh:stack-size=131072",
+        "--mh:bind", "--mh:steal-seed=99"};
+    util::cli_args args(5, argv);
+    auto config = runtime_config::from_cli(args);
+    EXPECT_EQ(config.sched.num_workers, 3u);
+    EXPECT_EQ(config.sched.stack_size, 131072u);
+    EXPECT_TRUE(config.sched.bind_workers);
+    EXPECT_EQ(config.sched.steal_seed, 99u);
+}
+
+TEST(RuntimeSingleton, GetPtrReflectsLifetime)
+{
+    EXPECT_EQ(runtime::get_ptr(), nullptr);
+    {
+        runtime rt;
+        EXPECT_EQ(runtime::get_ptr(), &rt);
+    }
+    EXPECT_EQ(runtime::get_ptr(), nullptr);
+}
+
+TEST(WorkSink, DispatchesWhenInstalled)
+{
+    static thread_local std::uint64_t seen_cpu_ns;
+    seen_cpu_ns = 0;
+    auto prev = set_work_sink(
+        [](work_annotation const& w) { seen_cpu_ns += w.cpu_ns; });
+    EXPECT_EQ(prev, nullptr);
+    annotate_work({.cpu_ns = 123});
+    annotate_work({.cpu_ns = 7});
+    EXPECT_EQ(seen_cpu_ns, 130u);
+    set_work_sink(nullptr);
+    annotate_work({.cpu_ns = 1000});
+    EXPECT_EQ(seen_cpu_ns, 130u);
+}

@@ -1,0 +1,304 @@
+// Simulator tests: DES correctness, determinism, both scheduler
+// models, the cost model's qualitative properties (the mechanisms the
+// paper's figures rely on).
+#include <minihpx/sim/engine.hpp>
+#include <minihpx/sim/simulator.hpp>
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace minihpx;
+using namespace minihpx::sim;
+
+namespace {
+
+sim_config make_config(unsigned cores, sched_model model = sched_model::hpx_like)
+{
+    sim_config config;
+    config.cores = cores;
+    config.model = model;
+    return config;
+}
+
+// A balanced fork/join tree: 2^depth leaves, each `leaf_us` of compute
+// and `leaf_bytes` of off-core reads.
+void tree(int depth, std::uint64_t leaf_us, std::uint64_t leaf_bytes)
+{
+    if (depth == 0)
+    {
+        sim_engine::annotate_work({.cpu_ns = leaf_us * 1000,
+            .data_rd_bytes = leaf_bytes});
+        return;
+    }
+    auto left = sim_engine::async(
+        [=] { tree(depth - 1, leaf_us, leaf_bytes); });
+    tree(depth - 1, leaf_us, leaf_bytes);
+    left.get();
+}
+
+sim_report run_tree(sim_config config, int depth, std::uint64_t leaf_us,
+    std::uint64_t leaf_bytes = 0)
+{
+    simulator sim(config);
+    return sim.run([=] { tree(depth, leaf_us, leaf_bytes); });
+}
+
+}    // namespace
+
+TEST(Simulator, RootOnlyRun)
+{
+    simulator sim(make_config(1));
+    auto report = sim.run([] {
+        sim_engine::annotate_work({.cpu_ns = 1'000'000});
+    });
+    EXPECT_FALSE(report.failed);
+    EXPECT_EQ(report.tasks_executed, 1u);
+    EXPECT_GE(report.exec_time_s, 1e-3);
+    EXPECT_LT(report.exec_time_s, 2e-3);
+}
+
+TEST(Simulator, FutureValueRoundTrip)
+{
+    simulator sim(make_config(2));
+    int result = 0;
+    auto report = sim.run([&] {
+        auto f = sim_engine::async([] { return 6 * 7; });
+        result = f.get();
+    });
+    EXPECT_FALSE(report.failed);
+    EXPECT_EQ(result, 42);
+    EXPECT_EQ(report.tasks_executed, 2u);
+}
+
+TEST(Simulator, LaunchPolicies)
+{
+    simulator sim(make_config(2));
+    int sum = 0;
+    auto report = sim.run([&] {
+        auto a = sim_engine::async(
+            sim_engine::launch::async, [] { return 1; });
+        auto d = sim_engine::async(
+            sim_engine::launch::deferred, [] { return 2; });
+        auto s = sim_engine::async(
+            sim_engine::launch::sync, [] { return 4; });
+        auto f = sim_engine::async(
+            sim_engine::launch::fork, [] { return 8; });
+        sum = a.get() + d.get() + s.get() + f.get();
+    });
+    EXPECT_FALSE(report.failed);
+    EXPECT_EQ(sum, 15);
+}
+
+TEST(Simulator, TreeExecutesAllTasks)
+{
+    auto report = run_tree(make_config(4), 6, 50);
+    EXPECT_FALSE(report.failed);
+    // 2^6 = 64 leaves; spawned tasks = 63 internal asyncs? Each tree()
+    // spawns one child per level => tasks = 2^depth - 1 asyncs + root.
+    EXPECT_EQ(report.tasks_executed, 64u);
+    EXPECT_EQ(report.tasks_created, 64u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    auto r1 = run_tree(make_config(8), 8, 20, 4096);
+    auto r2 = run_tree(make_config(8), 8, 20, 4096);
+    EXPECT_DOUBLE_EQ(r1.exec_time_s, r2.exec_time_s);
+    EXPECT_EQ(r1.steals, r2.steals);
+    EXPECT_DOUBLE_EQ(r1.sched_overhead_s, r2.sched_overhead_s);
+    EXPECT_EQ(r1.offcore_data_rd, r2.offcore_data_rd);
+}
+
+TEST(Simulator, SeedChangesStealPattern)
+{
+    auto config = make_config(8);
+    auto r1 = run_tree(config, 8, 20);
+    config.seed = 999;
+    auto r2 = run_tree(config, 8, 20);
+    // Work conservation holds regardless of seed.
+    EXPECT_EQ(r1.tasks_executed, r2.tasks_executed);
+}
+
+TEST(Simulator, StrongScalingSpeedsUpCoarseTasks)
+{
+    // 256 x 1 ms tasks: near-linear speedup expected 1 -> 8 cores.
+    auto const t1 = run_tree(make_config(1), 8, 1000).exec_time_s;
+    auto const t4 = run_tree(make_config(4), 8, 1000).exec_time_s;
+    auto const t8 = run_tree(make_config(8), 8, 1000).exec_time_s;
+    EXPECT_GT(t1 / t4, 3.0);
+    EXPECT_GT(t1 / t8, 5.5);
+    EXPECT_LE(t1 / t8, 8.5);
+}
+
+TEST(Simulator, FineTasksScalePoorly)
+{
+    // 4096 x 1 us tasks: overhead-bound; speedup well below linear.
+    auto const t1 = run_tree(make_config(1), 12, 1).exec_time_s;
+    auto const t16 = run_tree(make_config(16), 12, 1).exec_time_s;
+    double const speedup = t1 / t16;
+    EXPECT_LT(speedup, 10.0);
+    EXPECT_GT(speedup, 0.5);
+}
+
+TEST(Simulator, StdModelSlowerForFineTasks)
+{
+    // Thread-per-task spawn (~16 us) dwarfs 1 us tasks.
+    auto const hpx =
+        run_tree(make_config(4, sched_model::hpx_like), 10, 1);
+    auto const std_like =
+        run_tree(make_config(4, sched_model::std_like), 10, 1);
+    ASSERT_FALSE(hpx.failed);
+    ASSERT_FALSE(std_like.failed);
+    EXPECT_GT(std_like.exec_time_s, 3.0 * hpx.exec_time_s);
+}
+
+TEST(Simulator, StdModelComparableForCoarseTasks)
+{
+    auto const hpx =
+        run_tree(make_config(8, sched_model::hpx_like), 6, 2000);
+    auto const std_like =
+        run_tree(make_config(8, sched_model::std_like), 6, 2000);
+    ASSERT_FALSE(std_like.failed);
+    // Coarse grain: the two runtimes are within ~50% of each other
+    // (paper Fig 1: Alignment/SparseLU/Round scale well for both).
+    EXPECT_LT(std_like.exec_time_s, 1.5 * hpx.exec_time_s);
+    EXPECT_GT(std_like.exec_time_s, 0.5 * hpx.exec_time_s);
+}
+
+TEST(Simulator, StdModelFailsOnThreadExplosion)
+{
+    // A wide shallow fan-out of blocked parents exceeding the pthread
+    // limit (Table I / §VI: Fib, Health, UTS, NQueens abort).
+    sim_config config = make_config(8, sched_model::std_like);
+    config.machine.std_thread_limit = 3000;
+    simulator sim(config);
+    auto report = sim.run([] { tree(13, 1, 0); });    // 8192 leaves
+    EXPECT_TRUE(report.failed);
+    EXPECT_NE(report.failure_reason.find("pthread"), std::string::npos);
+    EXPECT_GE(report.peak_live_threads, 3000u);
+}
+
+TEST(Simulator, HpxModelSurvivesSameWorkload)
+{
+    sim_config config = make_config(8, sched_model::hpx_like);
+    simulator sim(config);
+    auto report = sim.run([] { tree(13, 1, 0); });
+    EXPECT_FALSE(report.failed);
+    EXPECT_EQ(report.tasks_executed, 1u << 13);
+}
+
+TEST(Simulator, BandwidthSaturates)
+{
+    // Memory-bound tasks: per-core 7.5 GB/s until the 42 GB/s socket
+    // cap binds; bandwidth at 16 cores is below 16x single core.
+    auto const r1 = run_tree(make_config(1), 6, 0, 4 << 20);
+    auto const r16 = run_tree(make_config(16), 8, 0, 4 << 20);
+    double const bw1 = r1.offcore_bandwidth_gbs();
+    double const bw16 = r16.offcore_bandwidth_gbs();
+    EXPECT_GT(bw1, 3.0);
+    EXPECT_LT(bw1, 9.0);
+    EXPECT_GT(bw16, bw1);
+    EXPECT_LT(bw16, 46.0);    // never exceeds the socket cap by much
+}
+
+TEST(Simulator, TaskDurationInflatesWithCores)
+{
+    // Memory contention stretches individual task durations as cores
+    // are added (paper: "increase in task duration indicates execution
+    // is delayed due to contention for shared resources").
+    auto const r1 = run_tree(make_config(1), 8, 10, 1 << 20);
+    auto const r16 = run_tree(make_config(16), 8, 10, 1 << 20);
+    EXPECT_GT(r16.avg_task_duration_us(),
+        1.15 * r1.avg_task_duration_us());
+}
+
+TEST(Simulator, MutexSerializes)
+{
+    simulator sim(make_config(4));
+    int counter = 0;
+    auto report = sim.run([&] {
+        sim_mutex m;
+        std::vector<sim_future<void>> fs;
+        for (int i = 0; i < 32; ++i)
+        {
+            fs.push_back(sim_engine::async([&] {
+                m.lock();
+                sim_engine::annotate_work({.cpu_ns = 5000});
+                ++counter;
+                m.unlock();
+            }));
+        }
+        for (auto& f : fs)
+            f.get();
+    });
+    EXPECT_FALSE(report.failed);
+    EXPECT_EQ(counter, 32);
+    // 32 x 5 us of serialized critical sections bound the makespan.
+    EXPECT_GE(report.exec_time_s, 32 * 5e-6);
+}
+
+TEST(Simulator, YieldRoundRobins)
+{
+    simulator sim(make_config(1));
+    std::vector<int> order;
+    auto report = sim.run([&] {
+        auto a = sim_engine::async([&] {
+            order.push_back(1);
+            simulator::current()->yield();
+            order.push_back(3);
+        });
+        auto b = sim_engine::async([&] { order.push_back(2); });
+        a.get();
+        b.get();
+    });
+    EXPECT_FALSE(report.failed);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[2], 3);    // yielded task finishes last
+}
+
+TEST(Simulator, RemoteStealsAppearPastSocketBoundary)
+{
+    auto const r8 = run_tree(make_config(8), 10, 5);
+    auto const r16 = run_tree(make_config(16), 10, 5);
+    EXPECT_EQ(r8.remote_steals, 0u);    // 8 cores = one socket
+    EXPECT_GT(r16.steals, 0u);
+}
+
+TEST(Simulator, OverheadScalesWithTaskCount)
+{
+    auto const small = run_tree(make_config(2), 4, 10);    // 16 tasks
+    auto const large = run_tree(make_config(2), 8, 10);    // 256 tasks
+    EXPECT_GT(large.sched_overhead_s, small.sched_overhead_s * 8);
+}
+
+TEST(Simulator, TaskBudgetAborts)
+{
+    sim_config config = make_config(2);
+    config.max_tasks = 100;
+    simulator sim(config);
+    auto report = sim.run([] { tree(10, 1, 0); });
+    EXPECT_TRUE(report.failed);
+    EXPECT_NE(report.failure_reason.find("budget"), std::string::npos);
+}
+
+TEST(Simulator, SkipComputeFlagVisible)
+{
+    sim_config config = make_config(1);
+    config.skip_compute = false;
+    simulator sim(config);
+    bool skip = true;
+    sim.run([&] { skip = sim_engine::skip_compute(); });
+    EXPECT_FALSE(skip);
+}
+
+TEST(MachineDesc, TableIIIDefaults)
+{
+    auto const m = machine_desc::ivy_bridge_2s_20c();
+    EXPECT_EQ(m.total_cores(), 20u);
+    EXPECT_EQ(m.socket_of(9), 0u);
+    EXPECT_EQ(m.socket_of(10), 1u);
+    EXPECT_DOUBLE_EQ(m.ghz, 2.5);
+    EXPECT_NE(m.describe().find("2 socket(s) x 10 cores"),
+        std::string::npos);
+}

@@ -1,0 +1,335 @@
+// Unit tests for the user-level threading substrate: execution
+// contexts (both implementations), guarded stacks, the stack pool,
+// task descriptors, and the work-stealing queue.
+#include <minihpx/threads/context.hpp>
+#include <minihpx/threads/stack.hpp>
+#include <minihpx/threads/thread_data.hpp>
+#include <minihpx/threads/thread_queue.hpp>
+#include <minihpx/util/unique_function.hpp>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace mt = minihpx::threads;
+
+// ---------------------------------------------------------------- stacks
+
+TEST(Stack, AllocatesUsableMemory)
+{
+    mt::stack s(16 * 1024);
+    ASSERT_TRUE(s.valid());
+    EXPECT_GE(s.size(), 16u * 1024u);
+    // Touch the whole usable range; the guard page is below base().
+    std::memset(s.base(), 0xAB, s.size());
+}
+
+TEST(Stack, MoveTransfersOwnership)
+{
+    mt::stack a(8 * 1024);
+    void* base = a.base();
+    mt::stack b(std::move(a));
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(b.base(), base);
+}
+
+TEST(Stack, SizeRoundedToPages)
+{
+    mt::stack s(1);    // rounds up to one page
+    EXPECT_GE(s.size(), 4096u);
+    EXPECT_EQ(s.size() % 4096u, 0u);
+}
+
+TEST(StackPool, ReusesReleasedStacks)
+{
+    mt::stack_pool pool(16 * 1024);
+    mt::stack s1 = pool.acquire();
+    void* base = s1.base();
+    pool.release(std::move(s1));
+    EXPECT_EQ(pool.cached(), 1u);
+    mt::stack s2 = pool.acquire();
+    EXPECT_EQ(s2.base(), base);
+    EXPECT_EQ(pool.cached(), 0u);
+    EXPECT_EQ(pool.total_created(), 1u);
+}
+
+TEST(StackPool, TrimReleasesCache)
+{
+    mt::stack_pool pool(16 * 1024);
+    pool.release(pool.acquire());
+    pool.release(mt::stack(16 * 1024));
+    EXPECT_EQ(pool.cached(), 2u);
+    pool.trim();
+    EXPECT_EQ(pool.cached(), 0u);
+}
+
+// -------------------------------------------------------------- contexts
+
+// Generic ping-pong harness usable with any context implementation.
+template <typename Context>
+struct pingpong
+{
+    Context main_ctx;
+    Context task_ctx;
+    std::vector<int> trace;
+    mt::stack stk{64 * 1024};
+
+    static void entry(void* arg)
+    {
+        auto* self = static_cast<pingpong*>(arg);
+        self->trace.push_back(1);
+        Context::switch_to(self->task_ctx, self->main_ctx);
+        self->trace.push_back(3);
+        Context::switch_to(self->task_ctx, self->main_ctx);
+        // never reached
+    }
+
+    void run()
+    {
+        task_ctx.create(stk.base(), stk.size(), &entry, this);
+        trace.push_back(0);
+        Context::switch_to(main_ctx, task_ctx);
+        trace.push_back(2);
+        Context::switch_to(main_ctx, task_ctx);
+        trace.push_back(4);
+    }
+};
+
+template <typename T>
+class ContextImpl : public ::testing::Test
+{
+};
+
+#if defined(MINIHPX_HAVE_FCONTEXT)
+using context_impls = ::testing::Types<mt::fcontext, mt::ucontext_context>;
+#else
+using context_impls = ::testing::Types<mt::ucontext_context>;
+#endif
+TYPED_TEST_SUITE(ContextImpl, context_impls);
+
+TYPED_TEST(ContextImpl, PingPongOrdering)
+{
+    pingpong<TypeParam> p;
+    p.run();
+    EXPECT_EQ(p.trace, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TYPED_TEST(ContextImpl, LocalsSurviveSuspension)
+{
+    struct fixture
+    {
+        TypeParam main_ctx, task_ctx;
+        mt::stack stk{64 * 1024};
+        long observed = 0;
+
+        static void entry(void* arg)
+        {
+            auto* self = static_cast<fixture*>(arg);
+            // Locals with distinctive values must survive the switch.
+            long a = 0x1111, b = 0x2222, c = 0x3333;
+            TypeParam::switch_to(self->task_ctx, self->main_ctx);
+            self->observed = a + b + c;
+            TypeParam::switch_to(self->task_ctx, self->main_ctx);
+        }
+    } f;
+
+    f.task_ctx.create(f.stk.base(), f.stk.size(), &fixture::entry, &f);
+    TypeParam::switch_to(f.main_ctx, f.task_ctx);
+    TypeParam::switch_to(f.main_ctx, f.task_ctx);
+    EXPECT_EQ(f.observed, 0x1111 + 0x2222 + 0x3333);
+}
+
+TYPED_TEST(ContextImpl, DeepStackUseWorks)
+{
+    struct fixture
+    {
+        TypeParam main_ctx, task_ctx;
+        mt::stack stk{256 * 1024};
+        unsigned long sum = 0;
+
+        static unsigned long burn(int depth)
+        {
+            char pad[512];
+            pad[0] = static_cast<char>(depth);
+            if (depth == 0)
+                return static_cast<unsigned long>(pad[0]);
+            return burn(depth - 1) + static_cast<unsigned long>(depth);
+        }
+
+        static void entry(void* arg)
+        {
+            auto* self = static_cast<fixture*>(arg);
+            self->sum = burn(300);    // ~150 KiB of stack
+            TypeParam::switch_to(self->task_ctx, self->main_ctx);
+        }
+    } f;
+
+    f.task_ctx.create(f.stk.base(), f.stk.size(), &fixture::entry, &f);
+    TypeParam::switch_to(f.main_ctx, f.task_ctx);
+    EXPECT_EQ(f.sum, 300ul * 301ul / 2ul);
+}
+
+// ------------------------------------------------------------ descriptors
+
+TEST(ThreadData, InitSetsFields)
+{
+    mt::thread_data td;
+    bool ran = false;
+    td.init(42, [&] { ran = true; }, "mytask", mt::thread_priority::high);
+    EXPECT_EQ(td.id(), 42u);
+    EXPECT_STREQ(td.description(), "mytask");
+    EXPECT_EQ(td.priority(), mt::thread_priority::high);
+    EXPECT_EQ(td.state(), mt::thread_state::staged);
+    EXPECT_FALSE(td.context().valid());
+    td.function()();
+    EXPECT_TRUE(ran);
+}
+
+TEST(ThreadData, TransitionCAS)
+{
+    mt::thread_data td;
+    td.init(1, [] {}, "t", mt::thread_priority::normal);
+    EXPECT_TRUE(
+        td.transition(mt::thread_state::staged, mt::thread_state::pending));
+    EXPECT_FALSE(
+        td.transition(mt::thread_state::staged, mt::thread_state::active));
+    EXPECT_EQ(td.state(), mt::thread_state::pending);
+}
+
+TEST(ThreadData, ReinitResetsTiming)
+{
+    mt::thread_data td;
+    td.init(1, [] {}, "a", mt::thread_priority::normal);
+    td.add_exec_time(1000);
+    EXPECT_EQ(td.exec_time_ns(), 1000u);
+    td.init(2, [] {}, "b", mt::thread_priority::normal);
+    EXPECT_EQ(td.exec_time_ns(), 0u);
+}
+
+TEST(ThreadStateNames, AllDistinct)
+{
+    EXPECT_STREQ(to_string(mt::thread_state::pending), "pending");
+    EXPECT_STREQ(to_string(mt::thread_state::active), "active");
+    EXPECT_STREQ(to_string(mt::thread_state::suspended), "suspended");
+    EXPECT_STREQ(to_string(mt::thread_state::terminated), "terminated");
+    EXPECT_STREQ(to_string(mt::thread_state::staged), "staged");
+}
+
+// ---------------------------------------------------------------- queues
+
+TEST(ThreadQueue, LifoForOwnerFifoForThief)
+{
+    mt::thread_queue q;
+    mt::thread_data a, b, c;
+    q.push(&a);
+    q.push(&b);
+    q.push(&c);
+    EXPECT_EQ(q.length(), 3);
+    // Owner pops newest first.
+    EXPECT_EQ(q.pop(), &c);
+    // Thief steals oldest.
+    EXPECT_EQ(q.steal(), &a);
+    EXPECT_EQ(q.pop(), &b);
+    EXPECT_EQ(q.pop(), nullptr);
+    EXPECT_EQ(q.length(), 0);
+}
+
+TEST(ThreadQueue, PushFront)
+{
+    mt::thread_queue q;
+    mt::thread_data a, b;
+    q.push(&a);
+    q.push(&b, /*front=*/true);
+    EXPECT_EQ(q.steal(), &b);    // front
+    EXPECT_EQ(q.pop(), &a);
+}
+
+TEST(ThreadQueue, CountsAreConsistent)
+{
+    mt::thread_queue q;
+    mt::thread_data tasks[10];
+    for (auto& t : tasks)
+        q.push(&t);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_NE(q.pop(), nullptr);
+    for (int i = 0; i < 3; ++i)
+        ASSERT_NE(q.steal(), nullptr);
+    (void) q.pop();
+    (void) q.pop();
+    (void) q.pop();
+    EXPECT_EQ(q.pop(), nullptr);    // miss
+    EXPECT_EQ(q.enqueued(), 10u);
+    EXPECT_EQ(q.dequeued(), 7u);
+    EXPECT_EQ(q.stolen_from(), 3u);
+    EXPECT_EQ(q.misses(), 1u);
+    EXPECT_EQ(q.length(), 0);
+}
+
+// -------------------------------------------------------- unique_function
+
+TEST(UniqueFunction, InvokesInlineClosure)
+{
+    int hits = 0;
+    minihpx::util::unique_function<void()> f([&] { ++hits; });
+    ASSERT_TRUE(static_cast<bool>(f));
+    f();
+    f();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture)
+{
+    auto ptr = std::make_unique<int>(7);
+    minihpx::util::unique_function<int()> f(
+        [p = std::move(ptr)] { return *p; });
+    EXPECT_EQ(f(), 7);
+}
+
+TEST(UniqueFunction, LargeClosureHeapFallback)
+{
+    char big[256];
+    std::memset(big, 'x', sizeof(big));
+    big[255] = '\0';
+    minihpx::util::unique_function<std::size_t()> f(
+        [big] { return std::strlen(big); });
+    auto g = std::move(f);
+    EXPECT_FALSE(static_cast<bool>(f));
+    EXPECT_EQ(g(), 255u);
+}
+
+TEST(UniqueFunction, MoveAssignReleasesOld)
+{
+    auto counter = std::make_shared<int>(0);
+    struct bump_on_destroy
+    {
+        std::shared_ptr<int> c;
+        ~bump_on_destroy()
+        {
+            if (c)
+                ++*c;
+        }
+        bump_on_destroy(std::shared_ptr<int> c) : c(std::move(c)) {}
+        bump_on_destroy(bump_on_destroy&&) noexcept = default;
+        void operator()() {}
+    };
+    {
+        minihpx::util::unique_function<void()> f(
+            bump_on_destroy{counter});
+        minihpx::util::unique_function<void()> g([] {});
+        f = std::move(g);
+        EXPECT_EQ(*counter, 1);    // old target destroyed exactly once
+    }
+    EXPECT_EQ(*counter, 1);
+}
+
+TEST(UniqueFunction, ArgumentsAndReturn)
+{
+    minihpx::util::unique_function<int(int, int)> f(
+        [](int a, int b) { return a * 10 + b; });
+    EXPECT_EQ(f(3, 4), 34);
+}

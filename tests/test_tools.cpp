@@ -1,0 +1,156 @@
+// Tests for the external-tool models (Table I mechanisms) and the
+// std-baseline engine instrumentation.
+#include <inncabs/engine.hpp>
+#include <minihpx/tools/tool_model.hpp>
+
+#include <gtest/gtest.h>
+
+using namespace minihpx;
+using namespace minihpx::tools;
+
+namespace {
+
+sim::sim_report make_baseline(
+    std::uint64_t tasks, double time_s, unsigned cores = 20)
+{
+    sim::sim_report r;
+    r.tasks_created = tasks;
+    r.tasks_executed = tasks;
+    r.exec_time_s = time_s;
+    r.cores = cores;
+    return r;
+}
+
+}    // namespace
+
+TEST(TauModel, SmallThreadCountCompletesWithHugeOverhead)
+{
+    // Alignment-shaped: 4950 tasks, 0.971 s baseline (Table I row 1).
+    auto const outcome = apply_tool(
+        tool_kind::tau_like, tool_config{}, make_baseline(4950, 0.971));
+    ASSERT_EQ(outcome.result, tool_outcome::status::completed);
+    // Paper: ~113 s, 11516% overhead; we check the magnitude class.
+    EXPECT_GT(outcome.time_s, 20.0);
+    EXPECT_LT(outcome.time_s, 500.0);
+    EXPECT_GT(outcome.overhead_pct, 1000.0);
+}
+
+TEST(TauModel, TableOverflowSegfaults)
+{
+    // FFT-shaped: 294k tasks > 64k table.
+    auto const outcome = apply_tool(
+        tool_kind::tau_like, tool_config{}, make_baseline(294000, 48.4));
+    EXPECT_EQ(outcome.result, tool_outcome::status::segv);
+    EXPECT_NE(outcome.detail.find("measurement table"), std::string::npos);
+}
+
+TEST(TauModel, MemoryExhaustionAborts)
+{
+    tool_config config;
+    config.tau_thread_table = 1 << 20;
+    config.tau_table_bytes_per_thread = 1 << 20;
+    config.ram_bytes = 1ull << 30;    // 1 GiB: 60k x 1 MiB overflows
+    auto const outcome = apply_tool(
+        tool_kind::tau_like, config, make_baseline(60000, 1.0));
+    EXPECT_EQ(outcome.result, tool_outcome::status::aborted);
+}
+
+TEST(HpctModel, FdExhaustionCrashes)
+{
+    auto const outcome = apply_tool(tool_kind::hpctoolkit_like,
+        tool_config{}, make_baseline(112344, 2.148));
+    EXPECT_EQ(outcome.result, tool_outcome::status::segv);
+    EXPECT_NE(outcome.detail.find("fd limit"), std::string::npos);
+}
+
+TEST(HpctModel, SmallRunCompletesWithOverhead)
+{
+    // Round-shaped: 512 tasks, 0.155 s (paper: 5588 ms, 3505%).
+    auto const outcome = apply_tool(tool_kind::hpctoolkit_like,
+        tool_config{}, make_baseline(512, 0.155));
+    ASSERT_EQ(outcome.result, tool_outcome::status::completed);
+    EXPECT_GT(outcome.overhead_pct, 300.0);
+}
+
+TEST(ToolModel, FailedBaselinePropagatesAbort)
+{
+    sim::sim_report failed;
+    failed.failed = true;
+    failed.failure_reason = "resource exhaustion: 90000 live pthreads";
+    auto const outcome =
+        apply_tool(tool_kind::tau_like, tool_config{}, failed);
+    EXPECT_EQ(outcome.result, tool_outcome::status::aborted);
+}
+
+TEST(ToolModel, TimeoutDetected)
+{
+    tool_config config;
+    config.timeout_s = 10.0;
+    // 20k threads fit the table and memory, but 20k x 8 ms of
+    // registration blows the 10 s limit.
+    auto const outcome = apply_tool(
+        tool_kind::tau_like, config, make_baseline(20000, 5.0));
+    EXPECT_EQ(outcome.result, tool_outcome::status::timed_out);
+}
+
+TEST(ToolModel, NoneToolIsTransparent)
+{
+    auto const outcome = apply_tool(
+        tool_kind::none, tool_config{}, make_baseline(1000, 2.0));
+    EXPECT_EQ(outcome.result, tool_outcome::status::completed);
+    EXPECT_DOUBLE_EQ(outcome.time_s, 2.0);
+    EXPECT_DOUBLE_EQ(outcome.overhead_pct, 0.0);
+}
+
+TEST(ToolOutcome, CellRendering)
+{
+    tool_outcome ok;
+    ok.time_s = 1.5;
+    EXPECT_EQ(ok.cell(), "1500");
+    tool_outcome bad;
+    bad.result = tool_outcome::status::segv;
+    EXPECT_EQ(bad.cell(), "SegV");
+    EXPECT_TRUE(bad.crashed());
+    EXPECT_FALSE(ok.crashed());
+}
+
+// ------------------------------------------------------ std baseline engine
+
+TEST(StdEngine, CountsLaunchedTasks)
+{
+    auto& stats = baseline::get_std_engine_stats();
+    stats.reset();
+    std::vector<std::future<int>> fs;
+    for (int i = 0; i < 8; ++i)
+        fs.push_back(
+            inncabs::std_engine::async([i] { return i; }));
+    int sum = 0;
+    for (auto& f : fs)
+        sum += f.get();
+    EXPECT_EQ(sum, 28);
+    EXPECT_EQ(stats.tasks_launched.load(), 8u);
+    EXPECT_GE(stats.threads_live_peak.load(), 1);
+}
+
+TEST(StdEngine, DeferredAndSyncDontSpawnThreads)
+{
+    auto& stats = baseline::get_std_engine_stats();
+    stats.reset();
+    auto d = inncabs::std_engine::async(
+        inncabs::std_engine::launch::deferred, [] { return 1; });
+    auto s = inncabs::std_engine::async(
+        inncabs::std_engine::launch::sync, [] { return 2; });
+    EXPECT_EQ(d.get() + s.get(), 3);
+    EXPECT_EQ(stats.tasks_launched.load(), 0u);
+}
+
+TEST(StdEngine, LiveCensusReturnsToZero)
+{
+    auto& stats = baseline::get_std_engine_stats();
+    stats.reset();
+    inncabs::std_engine::async([] {}).get();
+    // get() joins the thread-per-task future; allow the guard to run.
+    for (int i = 0; i < 1000 && stats.threads_live.load() != 0; ++i)
+        std::this_thread::yield();
+    EXPECT_EQ(stats.threads_live.load(), 0);
+}
