@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_overhead.dir/counter_overhead.cpp.o"
+  "CMakeFiles/counter_overhead.dir/counter_overhead.cpp.o.d"
+  "counter_overhead"
+  "counter_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bandwidth.dir/fig_bandwidth.cpp.o"
+  "CMakeFiles/fig_bandwidth.dir/fig_bandwidth.cpp.o.d"
+  "fig_bandwidth"
+  "fig_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_overheads.dir/fig_overheads.cpp.o"
+  "CMakeFiles/fig_overheads.dir/fig_overheads.cpp.o.d"
+  "fig_overheads"
+  "fig_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

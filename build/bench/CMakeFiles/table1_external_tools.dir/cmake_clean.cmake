@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_external_tools.dir/table1_external_tools.cpp.o"
+  "CMakeFiles/table1_external_tools.dir/table1_external_tools.cpp.o.d"
+  "table1_external_tools"
+  "table1_external_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_external_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_classification.dir/table5_classification.cpp.o"
+  "CMakeFiles/table5_classification.dir/table5_classification.cpp.o.d"
+  "table5_classification"
+  "table5_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

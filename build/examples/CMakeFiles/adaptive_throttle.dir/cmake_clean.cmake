@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_throttle.dir/adaptive_throttle.cpp.o"
+  "CMakeFiles/adaptive_throttle.dir/adaptive_throttle.cpp.o.d"
+  "adaptive_throttle"
+  "adaptive_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_monitor.dir/counter_monitor.cpp.o"
+  "CMakeFiles/counter_monitor.dir/counter_monitor.cpp.o.d"
+  "counter_monitor"
+  "counter_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

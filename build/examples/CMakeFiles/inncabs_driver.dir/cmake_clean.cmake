@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inncabs_driver.dir/inncabs_driver.cpp.o"
+  "CMakeFiles/inncabs_driver.dir/inncabs_driver.cpp.o.d"
+  "inncabs_driver"
+  "inncabs_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inncabs_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

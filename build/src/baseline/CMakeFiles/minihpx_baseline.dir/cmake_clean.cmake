@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihpx_baseline.dir/src/std_engine.cpp.o"
+  "CMakeFiles/minihpx_baseline.dir/src/std_engine.cpp.o.d"
+  "libminihpx_baseline.a"
+  "libminihpx_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihpx_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihpx_common.dir/src/cli.cpp.o"
+  "CMakeFiles/minihpx_common.dir/src/cli.cpp.o.d"
+  "CMakeFiles/minihpx_common.dir/src/stats.cpp.o"
+  "CMakeFiles/minihpx_common.dir/src/stats.cpp.o.d"
+  "CMakeFiles/minihpx_common.dir/src/strings.cpp.o"
+  "CMakeFiles/minihpx_common.dir/src/strings.cpp.o.d"
+  "libminihpx_common.a"
+  "libminihpx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihpx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/active_counters.cpp" "src/core/CMakeFiles/minihpx_core.dir/src/active_counters.cpp.o" "gcc" "src/core/CMakeFiles/minihpx_core.dir/src/active_counters.cpp.o.d"
+  "/root/repo/src/core/src/basic_counters.cpp" "src/core/CMakeFiles/minihpx_core.dir/src/basic_counters.cpp.o" "gcc" "src/core/CMakeFiles/minihpx_core.dir/src/basic_counters.cpp.o.d"
+  "/root/repo/src/core/src/counter_name.cpp" "src/core/CMakeFiles/minihpx_core.dir/src/counter_name.cpp.o" "gcc" "src/core/CMakeFiles/minihpx_core.dir/src/counter_name.cpp.o.d"
+  "/root/repo/src/core/src/derived_counters.cpp" "src/core/CMakeFiles/minihpx_core.dir/src/derived_counters.cpp.o" "gcc" "src/core/CMakeFiles/minihpx_core.dir/src/derived_counters.cpp.o.d"
+  "/root/repo/src/core/src/registry.cpp" "src/core/CMakeFiles/minihpx_core.dir/src/registry.cpp.o" "gcc" "src/core/CMakeFiles/minihpx_core.dir/src/registry.cpp.o.d"
+  "/root/repo/src/core/src/thread_counters.cpp" "src/core/CMakeFiles/minihpx_core.dir/src/thread_counters.cpp.o" "gcc" "src/core/CMakeFiles/minihpx_core.dir/src/thread_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/minihpx_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/minihpx_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/minihpx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

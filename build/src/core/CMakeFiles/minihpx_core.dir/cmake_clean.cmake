@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihpx_core.dir/src/active_counters.cpp.o"
+  "CMakeFiles/minihpx_core.dir/src/active_counters.cpp.o.d"
+  "CMakeFiles/minihpx_core.dir/src/basic_counters.cpp.o"
+  "CMakeFiles/minihpx_core.dir/src/basic_counters.cpp.o.d"
+  "CMakeFiles/minihpx_core.dir/src/counter_name.cpp.o"
+  "CMakeFiles/minihpx_core.dir/src/counter_name.cpp.o.d"
+  "CMakeFiles/minihpx_core.dir/src/derived_counters.cpp.o"
+  "CMakeFiles/minihpx_core.dir/src/derived_counters.cpp.o.d"
+  "CMakeFiles/minihpx_core.dir/src/registry.cpp.o"
+  "CMakeFiles/minihpx_core.dir/src/registry.cpp.o.d"
+  "CMakeFiles/minihpx_core.dir/src/thread_counters.cpp.o"
+  "CMakeFiles/minihpx_core.dir/src/thread_counters.cpp.o.d"
+  "libminihpx_core.a"
+  "libminihpx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihpx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inncabs.dir/src/suite.cpp.o"
+  "CMakeFiles/inncabs.dir/src/suite.cpp.o.d"
+  "libinncabs.a"
+  "libinncabs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inncabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihpx_papi.dir/src/events.cpp.o"
+  "CMakeFiles/minihpx_papi.dir/src/events.cpp.o.d"
+  "CMakeFiles/minihpx_papi.dir/src/papi_engine.cpp.o"
+  "CMakeFiles/minihpx_papi.dir/src/papi_engine.cpp.o.d"
+  "libminihpx_papi.a"
+  "libminihpx_papi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihpx_papi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihpx_runtime.dir/src/runtime.cpp.o"
+  "CMakeFiles/minihpx_runtime.dir/src/runtime.cpp.o.d"
+  "CMakeFiles/minihpx_runtime.dir/src/scheduler.cpp.o"
+  "CMakeFiles/minihpx_runtime.dir/src/scheduler.cpp.o.d"
+  "CMakeFiles/minihpx_runtime.dir/src/sync.cpp.o"
+  "CMakeFiles/minihpx_runtime.dir/src/sync.cpp.o.d"
+  "CMakeFiles/minihpx_runtime.dir/src/work.cpp.o"
+  "CMakeFiles/minihpx_runtime.dir/src/work.cpp.o.d"
+  "libminihpx_runtime.a"
+  "libminihpx_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihpx_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihpx_sim.dir/src/machine.cpp.o"
+  "CMakeFiles/minihpx_sim.dir/src/machine.cpp.o.d"
+  "CMakeFiles/minihpx_sim.dir/src/simulator.cpp.o"
+  "CMakeFiles/minihpx_sim.dir/src/simulator.cpp.o.d"
+  "libminihpx_sim.a"
+  "libminihpx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihpx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  "ASM"
+  )
+# The set of files for implicit dependencies of each language:
+set(CMAKE_DEPENDS_CHECK_ASM
+  "/root/repo/src/threads/src/context_x86_64.S" "/root/repo/build/src/threads/CMakeFiles/minihpx_threads.dir/src/context_x86_64.S.o"
+  )
+set(CMAKE_ASM_COMPILER_ID "GNU")
+
+# The include file search paths:
+set(CMAKE_ASM_TARGET_INCLUDE_PATH
+  "/root/repo/src/threads/include"
+  "/root/repo/src/common/include"
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threads/src/stack.cpp" "src/threads/CMakeFiles/minihpx_threads.dir/src/stack.cpp.o" "gcc" "src/threads/CMakeFiles/minihpx_threads.dir/src/stack.cpp.o.d"
+  "/root/repo/src/threads/src/thread_data.cpp" "src/threads/CMakeFiles/minihpx_threads.dir/src/thread_data.cpp.o" "gcc" "src/threads/CMakeFiles/minihpx_threads.dir/src/thread_data.cpp.o.d"
+  "/root/repo/src/threads/src/ucontext_context.cpp" "src/threads/CMakeFiles/minihpx_threads.dir/src/ucontext_context.cpp.o" "gcc" "src/threads/CMakeFiles/minihpx_threads.dir/src/ucontext_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/minihpx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihpx_threads.dir/src/context_x86_64.S.o"
+  "CMakeFiles/minihpx_threads.dir/src/stack.cpp.o"
+  "CMakeFiles/minihpx_threads.dir/src/stack.cpp.o.d"
+  "CMakeFiles/minihpx_threads.dir/src/thread_data.cpp.o"
+  "CMakeFiles/minihpx_threads.dir/src/thread_data.cpp.o.d"
+  "CMakeFiles/minihpx_threads.dir/src/ucontext_context.cpp.o"
+  "CMakeFiles/minihpx_threads.dir/src/ucontext_context.cpp.o.d"
+  "libminihpx_threads.a"
+  "libminihpx_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/minihpx_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minihpx_tools.dir/src/tool_model.cpp.o"
+  "CMakeFiles/minihpx_tools.dir/src/tool_model.cpp.o.d"
+  "libminihpx_tools.a"
+  "libminihpx_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minihpx_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inncabs.dir/test_inncabs.cpp.o"
+  "CMakeFiles/test_inncabs.dir/test_inncabs.cpp.o.d"
+  "test_inncabs"
+  "test_inncabs.pdb"
+  "test_inncabs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inncabs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

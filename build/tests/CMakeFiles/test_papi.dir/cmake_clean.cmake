@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_papi.dir/test_papi.cpp.o"
+  "CMakeFiles/test_papi.dir/test_papi.cpp.o.d"
+  "test_papi"
+  "test_papi.pdb"
+  "test_papi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_papi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
