@@ -1,0 +1,91 @@
+# Sanitizer presets for minihpx.
+#
+#   cmake -B build-tsan -S . -DMINIHPX_SANITIZE=thread
+#   cmake -B build-asan -S . -DMINIHPX_SANITIZE=address
+#   cmake -B build-ubsan -S . -DMINIHPX_SANITIZE=undefined
+#   cmake -B build-aubsan -S . -DMINIHPX_SANITIZE=address,undefined
+#
+# Every target opts in by calling minihpx_target_sanitizers(<target>)
+# from its own CMakeLists.txt; the whole tree must be built with one
+# consistent setting (mixing instrumented and uninstrumented TUs of the
+# same library is undefined).
+#
+# thread/address force the annotated ucontext context-switch
+# implementation (MINIHPX_FORCE_UCONTEXT): the raw x86-64 assembly
+# switch only carries a stack pointer, so it cannot announce stack
+# bounds to the sanitizer fiber hooks. `undefined` keeps the fast asm
+# path — UBSan instruments compiler-generated code only and is
+# unaffected by stack switching.
+#
+# Suppression files live in suppressions/ (one per sanitizer, every
+# entry must carry a justification comment) and are exported through
+# MINIHPX_SANITIZER_TEST_ENV for tests/CMakeLists.txt to attach to each
+# test's environment.
+
+set(MINIHPX_SANITIZE "" CACHE STRING
+    "Sanitizer preset: empty, thread, address, undefined, or a comma list (address,undefined)")
+set_property(CACHE MINIHPX_SANITIZE PROPERTY STRINGS
+    "" "thread" "address" "undefined" "address,undefined")
+
+set(MINIHPX_SANITIZE_COMPILE_OPTIONS "")
+set(MINIHPX_SANITIZE_LINK_OPTIONS "")
+set(MINIHPX_SANITIZE_DEFINITIONS "")
+set(MINIHPX_SANITIZER_TEST_ENV "")
+
+if(MINIHPX_SANITIZE)
+  string(REPLACE "," ";" _minihpx_san_list "${MINIHPX_SANITIZE}")
+  set(_minihpx_supp_dir "${CMAKE_SOURCE_DIR}/suppressions")
+
+  foreach(_san IN LISTS _minihpx_san_list)
+    if(_san STREQUAL "thread")
+      list(APPEND MINIHPX_SANITIZE_COMPILE_OPTIONS -fsanitize=thread)
+      list(APPEND MINIHPX_SANITIZE_LINK_OPTIONS -fsanitize=thread)
+      list(APPEND MINIHPX_SANITIZE_DEFINITIONS MINIHPX_FORCE_UCONTEXT)
+      # halt_on_error: any unsuppressed race fails the test, not just
+      # the log. second_deadlock_stack: both stacks on lock reports.
+      list(APPEND MINIHPX_SANITIZER_TEST_ENV
+        "TSAN_OPTIONS=suppressions=${_minihpx_supp_dir}/tsan.supp:halt_on_error=1:second_deadlock_stack=1")
+    elseif(_san STREQUAL "address")
+      list(APPEND MINIHPX_SANITIZE_COMPILE_OPTIONS -fsanitize=address)
+      list(APPEND MINIHPX_SANITIZE_LINK_OPTIONS -fsanitize=address)
+      list(APPEND MINIHPX_SANITIZE_DEFINITIONS MINIHPX_FORCE_UCONTEXT)
+      list(APPEND MINIHPX_SANITIZER_TEST_ENV
+        "ASAN_OPTIONS=suppressions=${_minihpx_supp_dir}/asan.supp:detect_stack_use_after_return=0"
+        "LSAN_OPTIONS=suppressions=${_minihpx_supp_dir}/lsan.supp")
+    elseif(_san STREQUAL "undefined")
+      list(APPEND MINIHPX_SANITIZE_COMPILE_OPTIONS
+        -fsanitize=undefined -fno-sanitize-recover=undefined)
+      list(APPEND MINIHPX_SANITIZE_LINK_OPTIONS -fsanitize=undefined)
+      list(APPEND MINIHPX_SANITIZER_TEST_ENV
+        "UBSAN_OPTIONS=suppressions=${_minihpx_supp_dir}/ubsan.supp:print_stacktrace=1")
+    else()
+      message(FATAL_ERROR
+        "MINIHPX_SANITIZE: unknown sanitizer '${_san}' "
+        "(expected thread, address or undefined)")
+    endif()
+  endforeach()
+
+  if("thread" IN_LIST _minihpx_san_list AND
+     "address" IN_LIST _minihpx_san_list)
+    message(FATAL_ERROR "TSan and ASan cannot be combined in one build")
+  endif()
+
+  # Usable stacks in reports, and keep the debug assertions that the
+  # sanitizers' findings usually point at.
+  list(APPEND MINIHPX_SANITIZE_COMPILE_OPTIONS -fno-omit-frame-pointer -g)
+  list(REMOVE_DUPLICATES MINIHPX_SANITIZE_DEFINITIONS)
+endif()
+
+function(minihpx_target_sanitizers target)
+  if(MINIHPX_SANITIZE_COMPILE_OPTIONS)
+    target_compile_options(${target} PRIVATE
+      ${MINIHPX_SANITIZE_COMPILE_OPTIONS})
+    target_link_options(${target} PRIVATE ${MINIHPX_SANITIZE_LINK_OPTIONS})
+  endif()
+  if(MINIHPX_SANITIZE_DEFINITIONS)
+    # PUBLIC: MINIHPX_FORCE_UCONTEXT changes header-defined types
+    # (execution_context), so every consumer must see it too.
+    target_compile_definitions(${target} PUBLIC
+      ${MINIHPX_SANITIZE_DEFINITIONS})
+  endif()
+endfunction()

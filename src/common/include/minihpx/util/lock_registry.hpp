@@ -1,0 +1,165 @@
+// Debug-build lock-order (rank) checker.
+//
+// Deadlock cycles between the scheduler's internal locks are the
+// classic failure mode of a runtime that calls back into itself (a
+// future callback resuming a task takes the queue lock while a
+// sync-primitive guard is still held, etc.). Instead of hoping stress
+// tests hit the interleaving, every lock is assigned a *rank* and every
+// debug-build acquisition checks the invariant: a thread may only
+// acquire a lock of strictly higher rank than any lock it already
+// holds. Any cycle requires two threads acquiring two locks in opposite
+// orders, so rank-monotone acquisition makes deadlock between ranked
+// locks impossible by construction — and a violation aborts immediately
+// with the full held-lock chain, in the very first test run that
+// executes the bad nesting, no contention required.
+//
+// The canonical rank hierarchy (outermost first):
+//
+//   300  sync-primitive guards (minihpx::mutex/cv/latch/barrier/sem)
+//   350  future shared-state lock
+//   400  scheduler descriptor freelist
+//   500  per-worker thread_queue lock      (leaf: nothing nests inside)
+//
+// Rank 0 ("unranked") locks are tracked but exempt from order checks.
+// try_lock acquisitions are pushed on the chain but not checked: a
+// non-blocking acquisition cannot complete a deadlock cycle.
+//
+// Enabled automatically when NDEBUG is not defined, or explicitly with
+// -DMINIHPX_ENABLE_LOCK_RANKS. The registry API itself is always
+// compiled (tests drive it directly in release builds too); only the
+// automatic hooks inside util::spinlock are debug-gated.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(MINIHPX_ENABLE_LOCK_RANKS) || !defined(NDEBUG)
+#define MINIHPX_LOCK_RANKS 1
+#else
+#define MINIHPX_LOCK_RANKS 0
+#endif
+
+namespace minihpx::util {
+
+namespace lock_rank {
+
+    inline constexpr unsigned unranked = 0;
+    inline constexpr unsigned sync_guard = 300;
+    inline constexpr unsigned future_state = 350;
+    inline constexpr unsigned sched_freelist = 400;
+    inline constexpr unsigned thread_queue = 500;
+
+}    // namespace lock_rank
+
+class lock_registry
+{
+public:
+    static constexpr std::size_t max_depth = 16;
+
+    struct held_lock
+    {
+        void const* lock = nullptr;
+        unsigned rank = 0;
+        char const* name = nullptr;
+    };
+
+    // Blocking acquisition *about to happen*: check the rank invariant
+    // (before blocking, so a would-be deadlock reports instead of
+    // hanging), then push onto this thread's chain.
+    static void on_acquire(
+        void const* lock, unsigned rank, char const* name) noexcept
+    {
+        chain& c = tls_chain();
+        if (rank != lock_rank::unranked)
+        {
+            for (std::size_t i = 0; i < c.depth && i < max_depth; ++i)
+            {
+                held_lock const& h = c.entries[i];
+                if (h.rank != lock_rank::unranked && h.rank >= rank)
+                    report_inversion(c, lock, rank, name, h);
+            }
+        }
+        push(c, lock, rank, name);
+    }
+
+    // Successful try_lock: record only (cannot deadlock).
+    static void on_try_acquire(
+        void const* lock, unsigned rank, char const* name) noexcept
+    {
+        push(tls_chain(), lock, rank, name);
+    }
+
+    static void on_release(void const* lock) noexcept
+    {
+        chain& c = tls_chain();
+        // Scan top-down: releases are almost always LIFO, but
+        // unique_lock allows out-of-order unlock.
+        for (std::size_t i = c.depth; i-- > 0;)
+        {
+            if (i < max_depth && c.entries[i].lock == lock)
+            {
+                for (std::size_t j = i; j + 1 < c.depth && j + 1 < max_depth;
+                     ++j)
+                    c.entries[j] = c.entries[j + 1];
+                --c.depth;
+                return;
+            }
+        }
+        // Releasing a lock that was never registered (e.g. locked while
+        // the hooks were disabled) is ignored.
+    }
+
+    // Number of locks the calling thread currently holds (test hook).
+    static std::size_t held_count() noexcept { return tls_chain().depth; }
+
+private:
+    struct chain
+    {
+        held_lock entries[max_depth];
+        std::size_t depth = 0;
+    };
+
+    static chain& tls_chain() noexcept
+    {
+        thread_local chain c;
+        return c;
+    }
+
+    static void push(
+        chain& c, void const* lock, unsigned rank, char const* name) noexcept
+    {
+        if (c.depth < max_depth)
+            c.entries[c.depth] = {lock, rank, name};
+        ++c.depth;    // overflow beyond max_depth is counted, not stored
+    }
+
+    [[noreturn]] static void report_inversion(chain const& c,
+        void const* lock, unsigned rank, char const* name,
+        held_lock const& conflicting) noexcept
+    {
+        std::fprintf(stderr,
+            "minihpx: LOCK RANK INVERSION: acquiring '%s' (rank %u, %p) "
+            "while holding '%s' (rank %u, %p)\n",
+            name ? name : "<unnamed>", rank, lock,
+            conflicting.name ? conflicting.name : "<unnamed>",
+            conflicting.rank, conflicting.lock);
+        std::fprintf(stderr, "  held-lock chain of this thread (%zu):\n",
+            c.depth);
+        for (std::size_t i = 0; i < c.depth && i < max_depth; ++i)
+        {
+            std::fprintf(stderr, "    [%zu] rank %-4u %-24s %p\n", i,
+                c.entries[i].rank,
+                c.entries[i].name ? c.entries[i].name : "<unnamed>",
+                c.entries[i].lock);
+        }
+        std::fprintf(stderr,
+            "  attempted acquisition:\n    [.] rank %-4u %-24s %p\n", rank,
+            name ? name : "<unnamed>", lock);
+        std::fprintf(stderr,
+            "  ranks must strictly increase along any acquisition chain "
+            "(see util/lock_registry.hpp for the hierarchy)\n");
+        std::abort();
+    }
+};
+
+}    // namespace minihpx::util

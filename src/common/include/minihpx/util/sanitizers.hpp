@@ -1,0 +1,224 @@
+// Sanitizer integration for a stackful user-level-thread runtime.
+//
+// Stackful coroutines break both ASan and TSan out of the box:
+//
+//   * ASan tracks one (bottom, size) stack extent per OS thread. A
+//     swapcontext onto an mmap'd task stack makes every local variable
+//     look like a wild out-of-stack access, and the fake-stack machinery
+//     (detect_stack_use_after_return) corrupts outright. The fix is the
+//     documented fiber protocol: __sanitizer_start_switch_fiber before
+//     every switch (announcing the destination stack) and
+//     __sanitizer_finish_switch_fiber as the first action on the
+//     destination side.
+//
+//   * TSan tracks happens-before per OS thread. Two tasks multiplexed
+//     on one worker would share a thread id (masking real races between
+//     them), and a task migrating between workers after a suspend looks
+//     like an unsynchronized cross-thread access to its entire stack.
+//     The fix is the fiber API: one __tsan_create_fiber per task
+//     context plus __tsan_switch_to_fiber around every switch. A
+//     flags=0 switch also establishes synchronization between the two
+//     fibers, which is exactly the semantics of a cooperative switch
+//     (everything the scheduler did is visible to the task and vice
+//     versa).
+//
+// This header detects the active sanitizers and exposes the hooks as
+// no-op-when-disabled helpers so src/threads can instrument its switch
+// paths unconditionally. It also provides happens-before annotation
+// macros for documenting (and enforcing under TSan) the runtime's
+// publication protocols. See docs/SANITIZERS.md for the full design.
+#pragma once
+
+#include <cstddef>
+
+// ---------------------------------------------------------------- detection
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MINIHPX_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MINIHPX_ASAN 1
+#endif
+#endif
+#if !defined(MINIHPX_ASAN)
+#define MINIHPX_ASAN 0
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define MINIHPX_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MINIHPX_TSAN 1
+#endif
+#endif
+#if !defined(MINIHPX_TSAN)
+#define MINIHPX_TSAN 0
+#endif
+
+#if MINIHPX_ASAN
+#include <sanitizer/common_interface_defs.h>
+#include <pthread.h>
+#endif
+#if MINIHPX_TSAN
+#include <sanitizer/tsan_interface.h>
+#endif
+
+// ----------------------------------------------- happens-before annotations
+//
+// The runtime's publication protocols are all built on C++ atomics and
+// locks that TSan models natively; these annotations add an explicit,
+// greppable statement of each protocol and keep TSan correct even if an
+// implementation is later weakened (e.g. a lock replaced by a seqlock).
+// They compile to nothing outside TSan builds.
+
+#if MINIHPX_TSAN
+extern "C" {
+void AnnotateHappensBefore(char const* file, int line,
+    void const volatile* addr);
+void AnnotateHappensAfter(char const* file, int line,
+    void const volatile* addr);
+}
+#define MINIHPX_ANNOTATE_HAPPENS_BEFORE(addr)                                  \
+    AnnotateHappensBefore(__FILE__, __LINE__, (addr))
+#define MINIHPX_ANNOTATE_HAPPENS_AFTER(addr)                                   \
+    AnnotateHappensAfter(__FILE__, __LINE__, (addr))
+#else
+#define MINIHPX_ANNOTATE_HAPPENS_BEFORE(addr) ((void) 0)
+#define MINIHPX_ANNOTATE_HAPPENS_AFTER(addr) ((void) 0)
+#endif
+
+namespace minihpx::util::san {
+
+// Per-execution-context sanitizer bookkeeping. Embedded in
+// threads::ucontext_context; empty (and all helpers no-ops) in
+// non-sanitized builds.
+struct fiber_state
+{
+#if MINIHPX_ASAN
+    // Fake-stack handle saved by __sanitizer_start_switch_fiber when
+    // this context switches away; consumed by finish on resume.
+    void* fake_stack = nullptr;
+    void const* stack_bottom = nullptr;
+    std::size_t stack_size = 0;
+#endif
+#if MINIHPX_TSAN
+    void* tsan_fiber = nullptr;
+    // Fibers obtained from __tsan_create_fiber must be destroyed;
+    // native per-OS-thread fibers must not.
+    bool tsan_owned = false;
+#endif
+};
+
+// (Re)seed a context onto `stack` — called from create(). Recycled
+// contexts destroy their previous TSan fiber first via
+// notify_fiber_destroy.
+inline void notify_fiber_create([[maybe_unused]] fiber_state& f,
+    [[maybe_unused]] void* stack_base, [[maybe_unused]] std::size_t size,
+    [[maybe_unused]] char const* name)
+{
+#if MINIHPX_ASAN
+    f.stack_bottom = stack_base;
+    f.stack_size = size;
+    f.fake_stack = nullptr;
+#endif
+#if MINIHPX_TSAN
+    f.tsan_fiber = __tsan_create_fiber(0);
+    f.tsan_owned = true;
+    if (name)
+        __tsan_set_fiber_name(f.tsan_fiber, name);
+#endif
+}
+
+// Release TSan resources of a context that will never run again
+// (recycled or destroyed). Must not be called from the fiber itself.
+inline void notify_fiber_destroy([[maybe_unused]] fiber_state& f)
+{
+#if MINIHPX_TSAN
+    if (f.tsan_owned && f.tsan_fiber)
+    {
+        __tsan_destroy_fiber(f.tsan_fiber);
+        f.tsan_fiber = nullptr;
+        f.tsan_owned = false;
+    }
+#endif
+}
+
+// A context that was never create()d is a *native* context: it
+// represents the OS thread (a worker's scheduler loop) itself. Its
+// stack bounds and TSan fiber are captured lazily the first time it
+// switches away — which necessarily happens before it can ever be a
+// switch destination.
+inline void ensure_native_identity([[maybe_unused]] fiber_state& f)
+{
+#if MINIHPX_ASAN
+    if (f.stack_bottom == nullptr)
+    {
+        pthread_attr_t attr;
+        if (pthread_getattr_np(pthread_self(), &attr) == 0)
+        {
+            void* bottom = nullptr;
+            std::size_t size = 0;
+            if (pthread_attr_getstack(&attr, &bottom, &size) == 0)
+            {
+                f.stack_bottom = bottom;
+                f.stack_size = size;
+            }
+            pthread_attr_destroy(&attr);
+        }
+    }
+#endif
+#if MINIHPX_TSAN
+    if (f.tsan_fiber == nullptr)
+    {
+        f.tsan_fiber = __tsan_get_current_fiber();
+        f.tsan_owned = false;
+    }
+#endif
+}
+
+// Immediately before the real switch, on the outgoing context's stack.
+// `from_exiting` marks a context that will never be resumed (a
+// terminating task's final switch back to its scheduler): ASan then
+// releases the fiber's fake-stack frames instead of preserving them.
+inline void before_switch([[maybe_unused]] fiber_state& from,
+    [[maybe_unused]] fiber_state const& to,
+    [[maybe_unused]] bool from_exiting)
+{
+#if MINIHPX_ASAN
+    __sanitizer_start_switch_fiber(from_exiting ? nullptr : &from.fake_stack,
+        to.stack_bottom, to.stack_size);
+#endif
+#if MINIHPX_TSAN
+    // flags=0: the switch synchronizes the two fibers, matching the
+    // cooperative handoff semantics of the scheduler.
+    __tsan_switch_to_fiber(to.tsan_fiber, 0);
+#endif
+}
+
+// First action after the real switch returns, i.e. when `self` has been
+// resumed by some other context switching into it.
+inline void after_switch([[maybe_unused]] fiber_state& self)
+{
+#if MINIHPX_ASAN
+    __sanitizer_finish_switch_fiber(self.fake_stack, nullptr, nullptr);
+    self.fake_stack = nullptr;
+#endif
+}
+
+// First action of a brand-new fiber's entry function (there is no saved
+// fake stack to restore yet).
+inline void finish_first_entry()
+{
+#if MINIHPX_ASAN
+    __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
+}
+
+// True when a sanitizer that is incompatible with the raw assembly
+// context switch is active (the asm path cannot announce stack bounds).
+inline constexpr bool fiber_unsafe_sanitizer_active() noexcept
+{
+    return MINIHPX_ASAN != 0 || MINIHPX_TSAN != 0;
+}
+
+}    // namespace minihpx::util::san

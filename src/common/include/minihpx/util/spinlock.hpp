@@ -4,7 +4,19 @@
 // future shared state, where a std::mutex round-trip (futex syscall on
 // contention) would dominate the protected work. Satisfies the C++
 // Lockable requirements so it composes with std::lock_guard (CP.20).
+//
+// TSan note: the lock is exactly expressible in C++ atomics — the
+// acquire exchange / release store pair is the synchronization TSan
+// models natively, and the relaxed re-check load in the spin loop never
+// carries a happens-before edge (a winner always re-executes the
+// acquire exchange), so no annotations are required.
+//
+// Debug builds check lock-rank ordering on every blocking acquisition
+// (see util/lock_registry.hpp). Construct with a rank to participate;
+// default-constructed locks are tracked but exempt.
 #pragma once
+
+#include <minihpx/util/lock_registry.hpp>
 
 #include <atomic>
 #include <thread>
@@ -15,11 +27,26 @@ class spinlock
 {
 public:
     spinlock() noexcept = default;
+
+    // Ranked lock: debug builds enforce that ranks strictly increase
+    // along any thread's acquisition chain.
+    explicit spinlock([[maybe_unused]] unsigned rank,
+        [[maybe_unused]] char const* name = "spinlock") noexcept
+#if MINIHPX_LOCK_RANKS
+      : rank_(rank)
+      , name_(name)
+#endif
+    {
+    }
+
     spinlock(spinlock const&) = delete;
     spinlock& operator=(spinlock const&) = delete;
 
     void lock() noexcept
     {
+#if MINIHPX_LOCK_RANKS
+        lock_registry::on_acquire(this, rank_, name_);
+#endif
         int spins = 0;
         for (;;)
         {
@@ -43,16 +70,31 @@ public:
         }
     }
 
-    bool try_lock() noexcept
+    [[nodiscard]] bool try_lock() noexcept
     {
-        return !locked_.load(std::memory_order_relaxed) &&
-            !locked_.exchange(true, std::memory_order_acquire);
+        if (locked_.load(std::memory_order_relaxed) ||
+            locked_.exchange(true, std::memory_order_acquire))
+            return false;
+#if MINIHPX_LOCK_RANKS
+        lock_registry::on_try_acquire(this, rank_, name_);
+#endif
+        return true;
     }
 
-    void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+    void unlock() noexcept
+    {
+#if MINIHPX_LOCK_RANKS
+        lock_registry::on_release(this);
+#endif
+        locked_.store(false, std::memory_order_release);
+    }
 
 private:
     std::atomic<bool> locked_{false};
+#if MINIHPX_LOCK_RANKS
+    unsigned rank_ = lock_rank::unranked;
+    char const* name_ = "spinlock";
+#endif
 };
 
 }    // namespace minihpx::util

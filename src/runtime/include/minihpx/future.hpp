@@ -11,6 +11,8 @@
 
 #include <minihpx/runtime/scheduler.hpp>
 #include <minihpx/util/assert.hpp>
+#include <minihpx/util/lock_registry.hpp>
+#include <minihpx/util/sanitizers.hpp>
 #include <minihpx/util/spinlock.hpp>
 #include <minihpx/util/unique_function.hpp>
 
@@ -45,6 +47,10 @@ namespace detail {
                 std::lock_guard lock(mutex_);
                 MINIHPX_ASSERT_MSG(!ready_, "shared state satisfied twice");
                 exception_ = std::move(e);
+                // Handoff edge: the exception write is published to any
+                // waiter that observes ready_ (the state lock carries
+                // it; see mark_ready_locked_region for the value case).
+                MINIHPX_ANNOTATE_HAPPENS_BEFORE(this);
                 ready_ = true;
                 callbacks.swap(callbacks_);
             }
@@ -74,7 +80,10 @@ namespace detail {
             run_deferred();
 
             if (is_ready())
+            {
+                MINIHPX_ANNOTATE_HAPPENS_AFTER(this);
                 return;
+            }
 
             scheduler* sched = scheduler::current_scheduler();
             if (sched && scheduler::current_task())
@@ -85,6 +94,9 @@ namespace detail {
             {
                 wait_on_os_thread();
             }
+            // The producer's set_value/set_exception happened before
+            // any value/exception read that follows this wait.
+            MINIHPX_ANNOTATE_HAPPENS_AFTER(this);
         }
 
         void rethrow_if_exception() const
@@ -126,6 +138,11 @@ namespace detail {
             {
                 std::lock_guard lock(mutex_);
                 MINIHPX_ASSERT_MSG(!ready_, "shared state satisfied twice");
+                // Handoff edge: the value written by set_value (under
+                // this same lock) is released to every waiter that
+                // subsequently observes ready_ and to every queued
+                // callback (which runs after the unlock below).
+                MINIHPX_ANNOTATE_HAPPENS_BEFORE(this);
                 ready_ = true;
                 callbacks.swap(callbacks_);
             }
@@ -133,7 +150,8 @@ namespace detail {
                 cb();
         }
 
-        mutable util::spinlock mutex_;
+        mutable util::spinlock mutex_{
+            util::lock_rank::future_state, "future-shared-state"};
         bool ready_ = false;
         std::exception_ptr exception_;
         std::vector<util::unique_function<void()>> callbacks_;

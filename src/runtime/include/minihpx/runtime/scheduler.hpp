@@ -22,6 +22,7 @@
 #include <minihpx/threads/thread_queue.hpp>
 #include <minihpx/util/cache_align.hpp>
 #include <minihpx/util/histogram.hpp>
+#include <minihpx/util/lock_registry.hpp>
 #include <minihpx/util/rng.hpp>
 #include <minihpx/util/spinlock.hpp>
 #include <minihpx/util/unique_function.hpp>
@@ -243,7 +244,8 @@ private:
     threads::stack_pool stack_pool_;
 
     // Descriptor freelist (intrusive via thread_data::next).
-    util::spinlock freelist_lock_;
+    util::spinlock freelist_lock_{
+        util::lock_rank::sched_freelist, "scheduler-freelist"};
     threads::thread_data* freelist_ = nullptr;
     std::vector<std::unique_ptr<threads::thread_data>> all_descriptors_;
 

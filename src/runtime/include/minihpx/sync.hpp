@@ -9,6 +9,7 @@
 
 #include <minihpx/async.hpp>
 #include <minihpx/runtime/scheduler.hpp>
+#include <minihpx/util/lock_registry.hpp>
 #include <minihpx/util/spinlock.hpp>
 
 #include <cstdint>
@@ -68,7 +69,7 @@ public:
     void unlock();
 
 private:
-    util::spinlock guard_;
+    util::spinlock guard_{util::lock_rank::sync_guard, "minihpx::mutex"};
     bool locked_ = false;
     detail::task_wait_list waiters_;
 };
@@ -93,7 +94,8 @@ public:
     void notify_all();
 
 private:
-    util::spinlock guard_;
+    util::spinlock guard_{
+        util::lock_rank::sync_guard, "minihpx::condition_variable"};
     detail::task_wait_list waiters_;
 };
 
@@ -110,7 +112,8 @@ public:
     void arrive_and_wait();
 
 private:
-    mutable util::spinlock guard_;
+    mutable util::spinlock guard_{
+        util::lock_rank::sync_guard, "minihpx::latch"};
     std::ptrdiff_t count_;
     detail::task_wait_list waiters_;
 };
@@ -127,7 +130,7 @@ public:
     void arrive_and_wait();
 
 private:
-    util::spinlock guard_;
+    util::spinlock guard_{util::lock_rank::sync_guard, "minihpx::barrier"};
     std::ptrdiff_t parties_;
     std::ptrdiff_t arrived_;
     std::uint64_t generation_ = 0;
@@ -145,7 +148,8 @@ public:
     void release(std::ptrdiff_t n = 1);
 
 private:
-    util::spinlock guard_;
+    util::spinlock guard_{
+        util::lock_rank::sync_guard, "minihpx::counting_semaphore"};
     std::ptrdiff_t count_;
     detail::task_wait_list waiters_;
 };

@@ -370,7 +370,9 @@ void scheduler::task_entry(void* arg)
     detail::worker* w = tls_worker;
     MINIHPX_ASSERT(w && w->current_ == task);
     w->action_ = detail::after_switch::terminated;
-    threads::execution_context::switch_to(
+    // switch_final: this context never resumes — lets ASan release its
+    // fake-stack frames instead of holding them for a future resume.
+    threads::execution_context::switch_final(
         task->context(), w->sched_context_);
     MINIHPX_UNREACHABLE();
 }

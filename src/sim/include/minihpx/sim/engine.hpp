@@ -150,8 +150,10 @@ struct sim_engine
             simulator* sim = simulator::current();
             MINIHPX_ASSERT_MSG(sim, "sim_engine used outside simulator");
             // keepalive: the DES touches the raw state pointer until the
-            // notify interaction completes.
+            // notify interaction completes. Tracked so a failed run can
+            // break the cycle for tasks that never reach their notify.
             state->self_keepalive = state;
+            sim->track_state(state.get());
             sim->spawn_task(
                 [state, b = std::move(body)]() mutable {
                     b();

@@ -158,7 +158,31 @@ namespace detail {
         // it (shared_ptr aliasing handled by the engine).
         std::shared_ptr<void> self_keepalive;
 
-        virtual ~sim_state_base() = default;
+        // Intrusive membership in the simulator's live-state list.
+        // self_keepalive is a deliberate reference cycle broken at
+        // notify time; when a run fails (thread explosion, task
+        // budget) abandoned tasks never notify, so the simulator
+        // breaks the remaining cycles itself at end of run.
+        sim_state_base* live_prev = nullptr;
+        sim_state_base* live_next = nullptr;
+        sim_state_base** live_head = nullptr;
+
+        virtual ~sim_state_base() { unlink_live(); }
+
+        void unlink_live() noexcept
+        {
+            if (!live_head)
+                return;
+            if (live_prev)
+                live_prev->live_next = live_next;
+            else
+                *live_head = live_next;
+            if (live_next)
+                live_next->live_prev = live_prev;
+            live_prev = nullptr;
+            live_next = nullptr;
+            live_head = nullptr;
+        }
     };
 
     class sim_mutex_impl
@@ -192,6 +216,9 @@ public:
         util::unique_function<void()> fn, bool front);
     void wait_on(detail::sim_state_base* state);
     void notify(detail::sim_state_base* state);
+    // Record a state whose self_keepalive cycle the simulator must
+    // break if the run abandons it (engine calls this at spawn).
+    void track_state(detail::sim_state_base* state) noexcept;
     void lock(detail::sim_mutex_impl* mutex);
     void unlock(detail::sim_mutex_impl* mutex);
     void yield();
@@ -228,6 +255,13 @@ private:
     static void task_entry(void* arg);
     detail::inter_kind run_segment(detail::sim_task* task);
     void interaction_request(detail::inter_kind kind);
+    // Thrown into fibers resumed during end-of-run cleanup so their
+    // stacks unwind (releasing shared-state references held by locals)
+    // instead of being abandoned.
+    struct unwind_abandoned
+    {
+    };
+    void unwind_abandoned_tasks();
 
     // DES handlers
     void push(std::uint64_t t, event_kind kind, detail::sim_task* task,
@@ -279,6 +313,7 @@ private:
     std::uint64_t kernel_free_at_ = 0;              // serialized clone()
 
     // task bookkeeping
+    detail::sim_state_base* live_states_ = nullptr;
     std::vector<std::unique_ptr<detail::sim_task>> tasks_;
     std::vector<std::unique_ptr<detail::sim_task>> task_freelist_;
     threads::stack_pool stack_pool_;
@@ -292,6 +327,7 @@ private:
     std::uint64_t exec_ns_total_ = 0;
     std::uint64_t overhead_ns_ = 0;
     bool failed_ = false;
+    bool unwinding_ = false;
 };
 
 }    // namespace minihpx::sim

@@ -112,10 +112,27 @@ sim_report simulator::run(util::unique_function<void()> root)
     report_.task_time_s = static_cast<double>(exec_ns_total_) * 1e-9;
     report_.sched_overhead_s = static_cast<double>(overhead_ns_) * 1e-9;
 
+    // A failed (or deadlocked) run abandons suspended tasks. Unwind
+    // their fibers so stack-held shared-state references are released,
+    // then break the notify-time self-reference cycles of states whose
+    // producer never reached its notify.
+    unwind_abandoned_tasks();
+
     // Reset mutable state so the simulator could be reused.
     while (!events_.empty())
         events_.pop();
     tasks_.clear();
+    // The keepalives are moved out before any state is destroyed:
+    // releasing a state can drop references to other tracked states,
+    // which unlink themselves mid-walk otherwise.
+    {
+        std::vector<std::shared_ptr<void>> abandoned;
+        while (detail::sim_state_base* state = live_states_)
+        {
+            state->unlink_live();
+            abandoned.push_back(std::move(state->self_keepalive));
+        }
+    }
     task_freelist_.clear();
     global_queue_.clear();
     kernel_free_at_ = 0;
@@ -135,6 +152,35 @@ void simulator::push(
     std::uint64_t t, event_kind kind, sim_task* task, unsigned core)
 {
     events_.push(event{t, seq_++, kind, task, core});
+}
+
+void simulator::unwind_abandoned_tasks()
+{
+    unwinding_ = true;
+    for (std::size_t i = 0; i < tasks_.size(); ++i)
+    {
+        sim_task* task = tasks_[i].get();
+        if (!task->started || task->terminated)
+            continue;
+        // The fiber is suspended inside interaction_request; resuming
+        // it with unwinding_ set makes that call throw, the stack
+        // unwinds through the simulated task body's destructors, and
+        // task_entry switches straight back here.
+        running_ = task;
+        threads::execution_context::switch_to(des_ctx_, task->ctx);
+        running_ = nullptr;
+    }
+    unwinding_ = false;
+}
+
+void simulator::track_state(detail::sim_state_base* state) noexcept
+{
+    state->live_head = &live_states_;
+    state->live_prev = nullptr;
+    state->live_next = live_states_;
+    if (live_states_)
+        live_states_->live_prev = state;
+    live_states_ = state;
 }
 
 void simulator::fail(std::string reason)
@@ -383,8 +429,32 @@ void simulator::task_entry(void* arg)
     auto* task = static_cast<sim_task*>(arg);
     simulator* self = tls_sim;
     MINIHPX_ASSERT(self != nullptr);
-    task->fn();
+    try
+    {
+        // A task can be dispatched (fiber created) without its first
+        // ev_resume ever being processed if the run fails in between.
+        // The cleanup loop still resumes such a fiber; it must unwind
+        // immediately, not start executing the body mid-teardown.
+        if (self->unwinding_)
+            throw unwind_abandoned{};
+        task->fn();
+    }
+    catch (unwind_abandoned const&)
+    {
+        // End-of-run cleanup: the stack has unwound (locals released
+        // their shared-state references); hand control straight back
+        // to the cleanup loop.
+        task->fn.reset();
+        task->terminated = true;
+        threads::execution_context::switch_final(
+            task->ctx, self->des_ctx_);
+        MINIHPX_UNREACHABLE();
+    }
     task->fn.reset();
+    // Marked before the switch: if the run fails before the DES
+    // processes the task_end event, the cleanup loop must not resume
+    // this fiber — its locals are already destroyed.
+    task->terminated = true;
     self->interaction_request(inter_kind::task_end);
     MINIHPX_UNREACHABLE();
 }
@@ -406,7 +476,10 @@ void simulator::interaction_request(inter_kind kind)
     task->inter = kind;
     last_inter_ = kind;
     threads::execution_context::switch_to(task->ctx, des_ctx_);
-    // resumed later by ev_resume
+    // Resumed later by ev_resume — or by unwind_abandoned_tasks after
+    // a failed run, in which case the fiber must unwind, not continue.
+    if (unwinding_)
+        throw unwind_abandoned{};
 }
 
 void simulator::handle_resume(sim_task* task)

@@ -14,11 +14,19 @@
 #pragma once
 
 #include <minihpx/util/assert.hpp>
+#include <minihpx/util/sanitizers.hpp>
 
 #include <cstddef>
 #include <cstdint>
 
-#if defined(__x86_64__)
+// The assembly switch saves only a stack pointer, so it cannot announce
+// stack bounds to ASan/TSan fiber hooks; under those sanitizers the
+// (annotated) ucontext implementation is forced instead. The CMake
+// sanitizer presets additionally define MINIHPX_FORCE_UCONTEXT for
+// explicitness, but detection alone suffices — a plain
+// `-fsanitize=thread` build is safe too.
+#if defined(__x86_64__) && !defined(MINIHPX_FORCE_UCONTEXT) &&                 \
+    !MINIHPX_ASAN && !MINIHPX_TSAN
 #define MINIHPX_HAVE_FCONTEXT 1
 #endif
 
@@ -65,6 +73,15 @@ public:
         minihpx_switch_context(&from.sp_, to.sp_);
     }
 
+    // Final switch out of a context that will never be resumed (a
+    // terminating task). Identical to switch_to here; the sanitized
+    // ucontext implementation uses the distinction to release ASan
+    // fake-stack frames.
+    static void switch_final(fcontext& from, fcontext& to) noexcept
+    {
+        switch_to(from, to);
+    }
+
     bool valid() const noexcept { return sp_ != nullptr; }
 
 private:
@@ -73,27 +90,79 @@ private:
 
 #endif    // MINIHPX_HAVE_FCONTEXT
 
-// POSIX ucontext fallback / ablation implementation.
+// POSIX ucontext fallback / ablation implementation. Also the only
+// implementation usable under ASan/TSan: every switch is bracketed by
+// the sanitizer fiber hooks (see util/sanitizers.hpp).
 class ucontext_context
 {
 public:
     ucontext_context() noexcept = default;
+    ~ucontext_context() { util::san::notify_fiber_destroy(san_); }
+
+    ucontext_context(ucontext_context const&) = delete;
+    ucontext_context& operator=(ucontext_context const&) = delete;
+
+    // Moves transfer sanitizer-fiber ownership; only valid while the
+    // source context is not running (descriptor reset/recycling).
+    ucontext_context(ucontext_context&& other) noexcept
+      : uc_(other.uc_)
+      , latched_entry_(other.latched_entry_)
+      , latched_arg_(other.latched_arg_)
+      , created_(other.created_)
+      , started_(other.started_)
+      , san_(other.san_)
+    {
+        other.reset_moved_from();
+    }
+
+    ucontext_context& operator=(ucontext_context&& other) noexcept
+    {
+        if (this != &other)
+        {
+            util::san::notify_fiber_destroy(san_);
+            uc_ = other.uc_;
+            latched_entry_ = other.latched_entry_;
+            latched_arg_ = other.latched_arg_;
+            created_ = other.created_;
+            started_ = other.started_;
+            san_ = other.san_;
+            other.reset_moved_from();
+        }
+        return *this;
+    }
 
     void create(void* stack_base, std::size_t stack_size, context_entry entry,
                 void* arg) noexcept;
 
     static void switch_to(ucontext_context& from, ucontext_context& to) noexcept;
+    // Final switch out of a terminating context; lets ASan free the
+    // context's fake-stack frames instead of keeping them for a resume
+    // that will never come.
+    static void switch_final(
+        ucontext_context& from, ucontext_context& to) noexcept;
 
     bool valid() const noexcept { return created_; }
 
 private:
     static void entry_shim();
+    static void do_switch(ucontext_context& from, ucontext_context& to,
+        bool from_exiting) noexcept;
+
+    void reset_moved_from() noexcept
+    {
+        latched_entry_ = nullptr;
+        latched_arg_ = nullptr;
+        created_ = false;
+        started_ = false;
+        san_ = util::san::fiber_state{};
+    }
 
     ucontext_t uc_{};
     context_entry latched_entry_ = nullptr;
     void* latched_arg_ = nullptr;
     bool created_ = false;
     bool started_ = false;
+    util::san::fiber_state san_;
 };
 
 #if defined(MINIHPX_HAVE_FCONTEXT)

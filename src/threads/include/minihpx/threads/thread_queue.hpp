@@ -16,6 +16,8 @@
 
 #include <minihpx/threads/thread_data.hpp>
 #include <minihpx/util/cache_align.hpp>
+#include <minihpx/util/lock_registry.hpp>
+#include <minihpx/util/sanitizers.hpp>
 #include <minihpx/util/spinlock.hpp>
 
 #include <atomic>
@@ -35,6 +37,11 @@ public:
     // Owner side -------------------------------------------------------
     void push(thread_data* task, bool front = false)
     {
+        // Publication point: everything written into *task before this
+        // push (descriptor init, closure state) becomes visible to
+        // whichever worker pops or steals it. The queue lock carries
+        // the edge; the annotation states the protocol explicitly.
+        MINIHPX_ANNOTATE_HAPPENS_BEFORE(task);
         {
             std::lock_guard lock(mutex_);
             if (front)
@@ -58,6 +65,7 @@ public:
         thread_data* task = queue_.back();
         queue_.pop_back();
         lock.unlock();
+        MINIHPX_ANNOTATE_HAPPENS_AFTER(task);
         length_.fetch_sub(1, std::memory_order_relaxed);
         dequeued_.fetch_add(1, std::memory_order_relaxed);
         return task;
@@ -72,6 +80,9 @@ public:
         thread_data* task = queue_.front();
         queue_.pop_front();
         lock.unlock();
+        // Consume the push-side publication edge before the thief
+        // touches any descriptor field.
+        MINIHPX_ANNOTATE_HAPPENS_AFTER(task);
         length_.fetch_sub(1, std::memory_order_relaxed);
         stolen_.fetch_add(1, std::memory_order_relaxed);
         return task;
@@ -100,7 +111,8 @@ public:
     }
 
 private:
-    mutable util::spinlock mutex_;
+    mutable util::spinlock mutex_{
+        util::lock_rank::thread_queue, "thread_queue"};
     std::deque<thread_data*> queue_;
     std::atomic<std::int64_t> length_{0};
     std::atomic<std::uint64_t> enqueued_{0};

@@ -16,6 +16,10 @@ namespace {
 
 void ucontext_context::entry_shim()
 {
+    // Tell ASan the previous fiber's switch has completed before any
+    // local of the new fiber is touched (there is no saved fake stack
+    // on a first entry).
+    util::san::finish_first_entry();
     context_entry const entry = pending_entry;
     void* const arg = pending_arg;
     entry(arg);
@@ -25,6 +29,9 @@ void ucontext_context::entry_shim()
 void ucontext_context::create(void* stack_base, std::size_t stack_size,
                               context_entry entry, void* arg) noexcept
 {
+    // Recycled descriptor: the previous task's TSan fiber is dead.
+    util::san::notify_fiber_destroy(san_);
+
     int const rc = getcontext(&uc_);
     MINIHPX_ASSERT(rc == 0);
     uc_.uc_stack.ss_sp = stack_base;
@@ -38,10 +45,13 @@ void ucontext_context::create(void* stack_base, std::size_t stack_size,
     // may be created before any of them runs.
     latched_entry_ = entry;
     latched_arg_ = arg;
+
+    util::san::notify_fiber_create(san_, stack_base, stack_size,
+        "minihpx-task");
 }
 
-void ucontext_context::switch_to(ucontext_context& from,
-                                 ucontext_context& to) noexcept
+void ucontext_context::do_switch(ucontext_context& from, ucontext_context& to,
+    bool from_exiting) noexcept
 {
     if (!to.started_ && to.created_)
     {
@@ -50,8 +60,27 @@ void ucontext_context::switch_to(ucontext_context& from,
         pending_arg = to.latched_arg_;
     }
     from.created_ = true;
+    // A never-create()d `from` is the OS thread's own (scheduler-loop)
+    // context; capture its stack bounds / TSan fiber before the first
+    // switch away so later switches *into* it can be announced.
+    util::san::ensure_native_identity(from.san_);
+    util::san::before_switch(from.san_, to.san_, from_exiting);
     int const rc = swapcontext(&from.uc_, &to.uc_);
     MINIHPX_ASSERT(rc == 0);
+    // Resumed: some other context switched back into `from`.
+    util::san::after_switch(from.san_);
+}
+
+void ucontext_context::switch_to(ucontext_context& from,
+                                 ucontext_context& to) noexcept
+{
+    do_switch(from, to, /*from_exiting=*/false);
+}
+
+void ucontext_context::switch_final(ucontext_context& from,
+                                    ucontext_context& to) noexcept
+{
+    do_switch(from, to, /*from_exiting=*/true);
 }
 
 }    // namespace minihpx::threads

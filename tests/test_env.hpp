@@ -1,0 +1,24 @@
+// Environment gates shared by the test suite.
+#pragma once
+
+#include <minihpx/util/sanitizers.hpp>
+
+#include <gtest/gtest.h>
+
+// libtsan hard-caps the number of live threads — and every live task
+// context announced via __tsan_create_fiber counts — at 8128. The
+// paper-scale simulator workloads intentionally hold tens of thousands
+// of live suspended tasks, so under TSan the tool itself dies ("Thread
+// limit (8128 threads) exceeded") before any assertion runs. That is a
+// checker capacity limit, not a finding; the same workloads run under
+// ASan/UBSan and plain builds, and the TSan preset still covers the
+// runtime through every other test.
+#if MINIHPX_TSAN
+#define MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT()                                     \
+    GTEST_SKIP() << "workload exceeds libtsan's 8128 live-thread/fiber cap"
+#else
+#define MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT()                                     \
+    do                                                                         \
+    {                                                                          \
+    } while (0)
+#endif

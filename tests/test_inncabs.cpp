@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_env.hpp"
+
 using namespace inncabs;
 namespace ms = minihpx::sim;
 
@@ -234,6 +236,7 @@ TEST(Qap, BoundNeverPrunesOptimum)
 // each benchmark's average task duration lands in its Table V class.
 TEST(TableV, GranularityClassesRoughlyMatch)
 {
+    MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT();
     struct expectation
     {
         char const* name;

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_env.hpp"
+
 #include <fstream>
 
 using namespace inncabs;
@@ -35,6 +37,7 @@ ms::sim_report sim_run(char const* name, ms::sched_model model,
 // on BOTH runtimes.
 TEST(PaperShape, CoarseScalesOnBothRuntimes)
 {
+    MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT();
     // Paper-scale inputs: the claim is about the coarse (~1-3 ms)
     // grain, which the reduced default inputs do not reach for
     // sparselu (bs=32 -> ~125 us).
@@ -57,6 +60,7 @@ TEST(PaperShape, CoarseScalesOnBothRuntimes)
 // Paper claim (Figs 5-7): very fine grain makes std::async far slower.
 TEST(PaperShape, VeryFineStdFarSlower)
 {
+    MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT();
     for (char const* name : {"fib", "health"})
     {
         auto const hpx = sim_run(name, ms::sched_model::hpx_like, 8);
@@ -71,6 +75,23 @@ TEST(PaperShape, VeryFineStdFarSlower)
 // the recursive very fine benchmarks; HPX-style tasks survive.
 TEST(PaperShape, PaperScaleStdFailsWhereHpxSurvives)
 {
+    MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT();
+    // Environment gate: the std-like model really creates ~90k live
+    // thread stacks, and each guard-paged stack costs two VM mappings
+    // (stack.cpp mprotects the guard page). Below ~250k map slots the
+    // mmap/mprotect calls themselves fail — an artifact of the host
+    // limit, not the runtime behavior under test.
+    if (std::ifstream map_count("/proc/sys/vm/max_map_count");
+        map_count.is_open())
+    {
+        long max_maps = 0;
+        map_count >> max_maps;
+        if (max_maps > 0 && max_maps < 250000)
+            GTEST_SKIP() << "vm.max_map_count=" << max_maps
+                         << " cannot hold ~90k guard-paged stacks "
+                            "(needs ~250000)";
+    }
+
     for (char const* name : {"fib", "nqueens", "uts"})
     {
         auto const stdr = sim_run(
@@ -89,6 +110,7 @@ TEST(PaperShape, PaperScaleStdFailsWhereHpxSurvives)
 // negligible.
 TEST(PaperShape, OverheadFractionTracksGranularity)
 {
+    MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT();
     auto const fine = sim_run("fib", ms::sched_model::hpx_like, 4);
     double const fine_ratio = fine.sched_overhead_s / fine.task_time_s;
     EXPECT_GT(fine_ratio, 0.3);
@@ -116,6 +138,7 @@ TEST(PaperShape, BandwidthGrowsAndSaturates)
 // Table I pipeline: baseline -> tool models, end to end via the suite.
 TEST(PaperShape, ExternalToolsFailOrBurden)
 {
+    MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT();
     mt::tool_config config;
     // strassen at paper scale: >64k tasks crash the TAU-like table.
     auto const strassen = sim_run(

@@ -1,0 +1,169 @@
+// Lock-rank deadlock checker tests.
+//
+// The checker's contract: acquiring a lock whose rank is <= any rank
+// already held by the same thread is a potential deadlock cycle and
+// must abort immediately with the held-lock chain. The registry API is
+// always compiled, so the core negative tests run in every build type;
+// the spinlock-integrated hooks are additionally exercised when
+// MINIHPX_LOCK_RANKS is on (Debug, or -DMINIHPX_LOCK_RANKS=ON).
+#include <minihpx/minihpx.hpp>
+#include <minihpx/util/lock_registry.hpp>
+#include <minihpx/util/spinlock.hpp>
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+using minihpx::util::lock_registry;
+using minihpx::util::spinlock;
+namespace lock_rank = minihpx::util::lock_rank;
+
+namespace {
+
+TEST(LockRegistry, MonotoneChainIsAccepted)
+{
+    int a = 0, b = 0, c = 0;
+    lock_registry::on_acquire(&a, lock_rank::sync_guard, "outer");
+    lock_registry::on_acquire(&b, lock_rank::sched_freelist, "middle");
+    lock_registry::on_acquire(&c, lock_rank::thread_queue, "leaf");
+    EXPECT_EQ(lock_registry::held_count(), 3u);
+    lock_registry::on_release(&c);
+    lock_registry::on_release(&b);
+    lock_registry::on_release(&a);
+    EXPECT_EQ(lock_registry::held_count(), 0u);
+}
+
+TEST(LockRegistry, OutOfOrderReleaseIsAccepted)
+{
+    int a = 0, b = 0;
+    lock_registry::on_acquire(&a, lock_rank::sync_guard, "outer");
+    lock_registry::on_acquire(&b, lock_rank::thread_queue, "leaf");
+    lock_registry::on_release(&a);    // unique_lock-style early unlock
+    lock_registry::on_release(&b);
+    EXPECT_EQ(lock_registry::held_count(), 0u);
+}
+
+TEST(LockRegistry, UnrankedLocksAreExempt)
+{
+    int a = 0, b = 0, c = 0;
+    lock_registry::on_acquire(&a, lock_rank::thread_queue, "leaf");
+    // An unranked lock nests freely in both directions.
+    lock_registry::on_acquire(&b, lock_rank::unranked, "legacy");
+    lock_registry::on_acquire(&c, lock_rank::unranked, "legacy2");
+    lock_registry::on_release(&c);
+    lock_registry::on_release(&b);
+    lock_registry::on_release(&a);
+    EXPECT_EQ(lock_registry::held_count(), 0u);
+}
+
+TEST(LockRegistry, TryAcquireSkipsOrderCheck)
+{
+    int a = 0, b = 0;
+    lock_registry::on_acquire(&a, lock_rank::thread_queue, "leaf");
+    // A successful try_lock cannot complete a deadlock cycle, so a
+    // lower rank is recorded without aborting.
+    lock_registry::on_try_acquire(&b, lock_rank::sync_guard, "stolen");
+    lock_registry::on_release(&b);
+    lock_registry::on_release(&a);
+    EXPECT_EQ(lock_registry::held_count(), 0u);
+}
+
+// The required negative test: two locks acquired in inverted rank
+// order must abort with the lock chains in the report.
+TEST(LockRegistryDeathTest, InvertedOrderAborts)
+{
+    auto const invert = [] {
+        int queue_lock = 0;
+        int guard_lock = 0;
+        lock_registry::on_acquire(
+            &queue_lock, lock_rank::thread_queue, "thread_queue");
+        lock_registry::on_acquire(
+            &guard_lock, lock_rank::sync_guard, "minihpx::mutex");
+    };
+    EXPECT_DEATH(
+        invert(), "LOCK RANK INVERSION.*minihpx::mutex.*thread_queue");
+}
+
+TEST(LockRegistryDeathTest, EqualRankAborts)
+{
+    auto const same_rank_nest = [] {
+        int a = 0;
+        int b = 0;
+        lock_registry::on_acquire(&a, lock_rank::sync_guard, "guard-a");
+        lock_registry::on_acquire(&b, lock_rank::sync_guard, "guard-b");
+    };
+    EXPECT_DEATH(same_rank_nest(), "LOCK RANK INVERSION");
+}
+
+TEST(LockRegistryDeathTest, RecursiveAcquireAborts)
+{
+    auto const reacquire = [] {
+        int a = 0;
+        lock_registry::on_acquire(&a, lock_rank::sync_guard, "self");
+        lock_registry::on_acquire(&a, lock_rank::sync_guard, "self");
+    };
+    EXPECT_DEATH(reacquire(), "LOCK RANK INVERSION");
+}
+
+// Same inversion through the real spinlock hooks; active when the
+// debug checker is compiled in (Debug builds / -DMINIHPX_LOCK_RANKS=ON).
+TEST(LockRegistryDeathTest, RankedSpinlocksInvertedOrderAborts)
+{
+#if MINIHPX_LOCK_RANKS
+    auto const invert = [] {
+        spinlock inner(minihpx::util::lock_rank::thread_queue, "inner-queue");
+        spinlock outer(minihpx::util::lock_rank::sync_guard, "outer-guard");
+        std::lock_guard hold_inner(inner);
+        std::lock_guard hold_outer(outer);    // inversion: 300 under 500
+    };
+    EXPECT_DEATH(invert(), "LOCK RANK INVERSION.*outer-guard.*inner-queue");
+#else
+    GTEST_SKIP()
+        << "lock-rank spinlock hooks are compiled out (NDEBUG build "
+           "without MINIHPX_LOCK_RANKS=ON)";
+#endif
+}
+
+TEST(LockRegistry, RankedSpinlocksNormalNestingIsClean)
+{
+    spinlock outer(minihpx::util::lock_rank::sync_guard, "outer-guard");
+    spinlock inner(minihpx::util::lock_rank::thread_queue, "inner-queue");
+    {
+        std::lock_guard hold_outer(outer);
+        std::lock_guard hold_inner(inner);
+    }
+#if MINIHPX_LOCK_RANKS
+    EXPECT_EQ(lock_registry::held_count(), 0u);
+#endif
+}
+
+// End-to-end: the runtime's own documented hierarchy (sync guard ->
+// thread_queue on the resume-while-publishing path) never fires the
+// checker in a debug test run.
+TEST(LockRegistry, RuntimeHierarchyIsRankMonotone)
+{
+    minihpx::runtime_config config;
+    config.sched.num_workers = 2;
+    minihpx::runtime rt(config);
+
+    minihpx::mutex m;
+    minihpx::condition_variable cv;
+    bool flag = false;
+
+    auto waiter = minihpx::async([&] {
+        std::unique_lock lock(m);
+        cv.wait(lock, [&] { return flag; });
+    });
+    auto setter = minihpx::async([&] {
+        {
+            std::unique_lock lock(m);
+            flag = true;
+        }
+        cv.notify_one();
+    });
+    setter.get();
+    waiter.get();
+    SUCCEED();
+}
+
+}    // namespace

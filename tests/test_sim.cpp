@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_env.hpp"
+
 #include <vector>
 
 using namespace minihpx;
@@ -181,6 +183,7 @@ TEST(Simulator, StdModelFailsOnThreadExplosion)
 
 TEST(Simulator, HpxModelSurvivesSameWorkload)
 {
+    MINIHPX_SKIP_IF_TSAN_FIBER_LIMIT();
     sim_config config = make_config(8, sched_model::hpx_like);
     simulator sim(config);
     auto report = sim.run([] { tree(13, 1, 0); });

@@ -1,0 +1,259 @@
+// minihpx-lint-counters: validate performance-counter names offline.
+//
+// Counter names are stringly-typed at every boundary (command lines,
+// config files, docs, experiment scripts), so a typo like
+// "/threads/time/avarage" is only discovered at runtime when the
+// registry lookup fails mid-experiment. This tool front-loads that
+// check: it parses each name with the runtime's own grammar
+// (perf::parse_counter_name), verifies the canonical form round-trips
+// through the parser, and — when given a known-types manifest — checks
+// the /object/counter type key against the set the runtime actually
+// registers, recursing into /arithmetics and /statistics parameters.
+//
+// Usage:
+//   minihpx-lint-counters [--known-types FILE] [FILE...]
+//
+// Input files list one counter name per line; blank lines and lines
+// starting with '#' are skipped. With no FILE, names are read from
+// stdin. The known-types manifest lists one type key per line; a
+// trailing '*' makes it a prefix match (for dynamic families such as
+// "/papi/*"). Exit status: 0 clean, 1 lint errors, 2 usage/IO errors.
+#include <minihpx/perf/counter_name.hpp>
+
+#include <charconv>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+struct known_types
+{
+    std::vector<std::string> exact;
+    std::vector<std::string> prefixes;    // from "key/*" entries
+    bool loaded = false;
+
+    bool contains(std::string const& type_key) const
+    {
+        for (auto const& k : exact)
+            if (k == type_key)
+                return true;
+        for (auto const& p : prefixes)
+            if (type_key.size() > p.size() &&
+                type_key.compare(0, p.size(), p) == 0)
+                return true;
+        return false;
+    }
+};
+
+std::string_view trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() &&
+        (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+int g_errors = 0;
+
+void report(std::string const& where, std::string_view name,
+    std::string_view message)
+{
+    std::cerr << where << ": error: " << message << " in '" << name << "'\n";
+    ++g_errors;
+}
+
+// Validate one counter name (recursing into derived-counter params).
+void lint_name(std::string const& where, std::string_view name,
+    known_types const& types, int depth)
+{
+    if (depth > 4)
+    {
+        report(where, name, "derived counters nested too deeply");
+        return;
+    }
+
+    std::string error;
+    auto const path = minihpx::perf::parse_counter_name(name, &error);
+    if (!path)
+    {
+        report(where, name, error);
+        return;
+    }
+
+    // Grammar-drift check: the canonical spelling must parse back to
+    // the same path, or full_name()/parse_counter_name have diverged.
+    auto const canonical = path->full_name();
+    auto const reparsed = minihpx::perf::parse_counter_name(canonical);
+    if (!reparsed || !(*reparsed == *path))
+    {
+        report(where, name,
+            "canonical form '" + canonical + "' does not round-trip");
+        return;
+    }
+
+    if (!types.loaded)
+        return;
+
+    auto const key = path->type_key();
+    if (!types.contains(key))
+    {
+        report(where, name, "unknown counter type '" + key + "'");
+        return;
+    }
+
+    // /arithmetics/op@name1,name2,... and /statistics/stat@name[,window]
+    // embed further counter names in their parameters.
+    if (path->object == "arithmetics" || path->object == "statistics")
+    {
+        if (path->parameters.empty())
+        {
+            report(where, name,
+                "derived counter '" + key + "' requires '@' parameters");
+            return;
+        }
+        std::stringstream params(path->parameters);
+        std::string piece;
+        while (std::getline(params, piece, ','))
+        {
+            std::string_view const sub = trim(piece);
+            if (path->object == "statistics" && !sub.empty() &&
+                sub.front() != '/')
+            {
+                // A trailing non-name parameter must be a window size.
+                std::uint64_t window = 0;
+                auto const [ptr, ec] = std::from_chars(
+                    sub.data(), sub.data() + sub.size(), window);
+                if (ec != std::errc() || ptr != sub.data() + sub.size())
+                    report(where, name,
+                        "statistics parameter '" + std::string(sub) +
+                            "' is neither a counter name nor a window");
+                continue;
+            }
+            lint_name(where, sub, types, depth + 1);
+        }
+    }
+    else if (!path->parameters.empty())
+    {
+        report(where, name,
+            "counter type '" + key + "' does not take '@' parameters");
+    }
+}
+
+bool lint_stream(std::istream& in, std::string const& label,
+    known_types const& types)
+{
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line))
+    {
+        ++lineno;
+        std::string_view const name = trim(line);
+        if (name.empty() || name.front() == '#')
+            continue;
+        lint_name(label + ":" + std::to_string(lineno), name, types, 0);
+    }
+    return !in.bad();
+}
+
+bool load_known_types(std::string const& file, known_types& out)
+{
+    std::ifstream in(file);
+    if (!in)
+        return false;
+    std::string line;
+    while (std::getline(in, line))
+    {
+        std::string_view const entry = trim(line);
+        if (entry.empty() || entry.front() == '#')
+            continue;
+        if (entry.back() == '*')
+            out.prefixes.emplace_back(entry.substr(0, entry.size() - 1));
+        else
+            out.exact.emplace_back(entry);
+    }
+    out.loaded = true;
+    return true;
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    known_types types;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i)
+    {
+        std::string_view const arg = argv[i];
+        if (arg == "--known-types")
+        {
+            if (i + 1 >= argc)
+            {
+                std::cerr << "minihpx-lint-counters: --known-types "
+                             "requires a file argument\n";
+                return 2;
+            }
+            if (!load_known_types(argv[++i], types))
+            {
+                std::cerr << "minihpx-lint-counters: cannot read '"
+                          << argv[i] << "'\n";
+                return 2;
+            }
+        }
+        else if (arg == "--help" || arg == "-h")
+        {
+            std::cout
+                << "usage: minihpx-lint-counters [--known-types FILE] "
+                   "[FILE...]\n"
+                   "Validates performance-counter names (one per line; "
+                   "'#' comments)\nagainst the runtime's counter-name "
+                   "grammar and, optionally, the\nset of registered "
+                   "counter types.\n";
+            return 0;
+        }
+        else if (!arg.empty() && arg.front() == '-')
+        {
+            std::cerr << "minihpx-lint-counters: unknown option '" << arg
+                      << "'\n";
+            return 2;
+        }
+        else
+        {
+            files.emplace_back(arg);
+        }
+    }
+
+    if (files.empty())
+    {
+        if (!lint_stream(std::cin, "<stdin>", types))
+        {
+            std::cerr << "minihpx-lint-counters: read error on stdin\n";
+            return 2;
+        }
+    }
+    for (auto const& file : files)
+    {
+        std::ifstream in(file);
+        if (!in)
+        {
+            std::cerr << "minihpx-lint-counters: cannot read '" << file
+                      << "'\n";
+            return 2;
+        }
+        lint_stream(in, file, types);
+    }
+
+    if (g_errors != 0)
+    {
+        std::cerr << "minihpx-lint-counters: " << g_errors << " error"
+                  << (g_errors == 1 ? "" : "s") << "\n";
+        return 1;
+    }
+    return 0;
+}
