@@ -1,27 +1,31 @@
-// Periodic counter monitoring driven entirely by the command line —
-// the convenience layer described in paper §IV:
+// Live counter monitoring on the telemetry pipeline (paper §IV's
+// convenience layer, rebuilt on minihpx::telemetry):
 //
 //   $ ./counter_monitor \
 //       --mh:threads=4 \
 //       --mh:print-counter=/threads{locality#0/total}/count/cumulative \
-//       --mh:print-counter=/threads{locality#0/worker-thread#*}/count/cumulative \
-//       --mh:print-counter=/threads{locality#0/total}/idle-rate \
-//       --mh:print-counter-interval=100 \
-//       --mh:print-counter-format=csv \
-//       --mh:print-counter-destination=counters.csv
+//       "--mh:print-counter=/threads{locality#0/worker-thread#*}/count/cumulative" \
+//       --mh:telemetry-interval=100 \
+//       --mh:telemetry-destination=csv:counters.csv \
+//       --mh:telemetry-endpoint=9464 \
+//       --mh:telemetry-rollup=/threads{locality#0/total}/time/average
 //
+//   $ curl http://127.0.0.1:9464/metrics        # while it runs
 //   $ ./counter_monitor --mh:list-counters
 //
-// While the session samples in the background, the example runs a
-// steady stream of tasks of mixed granularity.
+// The sampler streams the selected counters into the CSV/JSONL sink
+// and (when --mh:telemetry-endpoint is given) serves the latest sample
+// in Prometheus text-exposition format. --mh:monitor-duration-ms sets
+// how long the example generates work (default 1000).
 #include <minihpx/minihpx.hpp>
 #include <minihpx/papi/papi_engine.hpp>
 #include <minihpx/perf/perf.hpp>
+#include <minihpx/telemetry/telemetry.hpp>
 
 #include <chrono>
 #include <cstdio>
 #include <iostream>
-#include <thread>
+#include <utility>
 #include <vector>
 
 using namespace minihpx;
@@ -37,12 +41,13 @@ int main(int argc, char** argv)
     papi_engine.register_counters(registry);
     papi_engine.install();
 
-    auto options = perf::session_options::from_cli(args);
-    if (options.list_counters)
+    if (args.flag("mh:list-counters"))
     {
         perf::counter_session::list_counter_types(registry, std::cout);
         return 0;
     }
+
+    auto options = telemetry::telemetry_options::from_cli(args);
     if (options.counter_names.empty())
     {
         // Sensible default set when none requested.
@@ -52,15 +57,20 @@ int main(int argc, char** argv)
             "/threads{locality#0/total}/idle-rate",
             "/papi{locality#0/total}/OFFCORE_REQUESTS:ALL_DATA_RD",
         };
-        if (options.interval_ms == 0.0)
-            options.interval_ms = 100.0;
     }
-    perf::counter_session session(registry, std::move(options));
+    if (options.destination.empty() && options.endpoint_port < 0)
+        options.destination = "csv:/dev/stdout";
 
-    // Generate work for ~1 second: bursts of fine tasks with annotated
-    // memory traffic, so both software and papi counters move.
-    auto const deadline =
-        std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    telemetry::session session(registry, std::move(options));
+    if (auto* endpoint = session.endpoint())
+        std::printf("telemetry endpoint: http://127.0.0.1:%u/metrics\n",
+            static_cast<unsigned>(endpoint->port()));
+
+    // Generate work: bursts of fine tasks with annotated memory
+    // traffic, so both software and papi counters move.
+    auto const duration =
+        std::chrono::milliseconds(args.int_or("mh:monitor-duration-ms", 1000));
+    auto const deadline = std::chrono::steady_clock::now() + duration;
     std::vector<double> buffer(1 << 16, 1.0);
     while (std::chrono::steady_clock::now() < deadline)
     {
@@ -80,6 +90,11 @@ int main(int argc, char** argv)
             f.get();
     }
 
-    std::printf("done; the session prints a final evaluation on exit.\n");
+    session.stop();
+    auto const& s = session.get_sampler();
+    std::printf("done: %llu samples, %llu flushed, %llu dropped.\n",
+        static_cast<unsigned long long>(s.samples()),
+        static_cast<unsigned long long>(s.flushed()),
+        static_cast<unsigned long long>(s.dropped()));
     return 0;
 }

@@ -10,9 +10,12 @@
 #include <inncabs/inncabs.hpp>
 #include <minihpx/papi/papi_engine.hpp>
 #include <minihpx/perf/perf.hpp>
+#include <minihpx/telemetry/telemetry.hpp>
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 using namespace minihpx;
 
@@ -26,6 +29,11 @@ inncabs::input_scale parse_scale(util::cli_args const& args)
     if (s == "paper")
         return inncabs::input_scale::paper;
     return inncabs::input_scale::bench_default;
+}
+
+bool telemetry_requested(telemetry::telemetry_options const& options)
+{
+    return !options.destination.empty() || options.endpoint_port >= 0;
 }
 
 }    // namespace
@@ -68,8 +76,44 @@ int main(int argc, char** argv)
                                              sim::sched_model::std_like;
         config.cores = static_cast<unsigned>(args.int_or("sim-cores", 20));
         sim::simulator simulator(config);
+
+        // --mh:telemetry-destination streams the simulator's progress
+        // counters on the *virtual* clock into the same record schema
+        // real runs produce (docs/TELEMETRY.md).
+        perf::counter_registry registry;
+        std::unique_ptr<telemetry::sim_sampler> sim_telemetry;
+        auto options = telemetry::telemetry_options::from_cli(args);
+        if (!options.destination.empty())
+        {
+            telemetry::register_sim_counters(registry, simulator);
+            telemetry::sampler_config sc;
+            sc.counter_names = options.counter_names;
+            if (sc.counter_names.empty())
+                sc.counter_names = {
+                    "/sim{locality#0/total}/count/tasks-executed",
+                    "/sim{locality#0/total}/count/tasks-alive",
+                    "/sim{locality#0/total}/time/task-cumulative",
+                    "/sim{locality#0/total}/time/overhead-cumulative",
+                };
+            sc.period_ns = static_cast<std::uint64_t>(
+                options.interval_ms * 1e6);    // virtual ms
+            sim_telemetry = std::make_unique<telemetry::sim_sampler>(
+                simulator, registry, std::move(sc));
+            if (options.destination.rfind("jsonl:", 0) == 0)
+                sim_telemetry->add_sink(std::make_shared<
+                    telemetry::jsonl_sink>(options.destination.substr(6)));
+            else if (options.destination.rfind("csv:", 0) == 0)
+                sim_telemetry->add_sink(std::make_shared<
+                    telemetry::csv_sink>(options.destination.substr(4)));
+            else
+                sim_telemetry->add_sink(std::make_shared<
+                    telemetry::csv_sink>(options.destination));
+        }
+
         auto const report =
             simulator.run([&] { result = entry->run_sim_body(scale); });
+        if (sim_telemetry)
+            sim_telemetry->finish();
         std::printf("%s on %s (%u simulated cores, scale=%s)\n",
             entry->name.c_str(), engine.c_str(), config.cores,
             args.value_or("scale", "default").c_str());
@@ -109,10 +153,33 @@ int main(int argc, char** argv)
         papi::papi_engine papi_engine(rt.get_scheduler().num_workers());
         papi_engine.register_counters(registry);
         papi_engine.install();
-        perf::counter_session session(
-            registry, perf::session_options::from_cli(args));
+
+        // --mh:telemetry-destination / --mh:telemetry-endpoint stream
+        // the selected counters through the telemetry pipeline while
+        // the benchmark runs (scrape with `curl .../metrics`); plain
+        // --mh:print-counter keeps the classic periodic-print session.
+        std::unique_ptr<telemetry::session> telemetry_session;
+        auto telemetry_options = telemetry::telemetry_options::from_cli(args);
+        if (telemetry_requested(telemetry_options))
+        {
+            telemetry_session = std::make_unique<telemetry::session>(
+                registry, std::move(telemetry_options));
+            if (auto* endpoint = telemetry_session->endpoint())
+            {
+                std::printf("telemetry endpoint: http://127.0.0.1:%u"
+                            "/metrics\n",
+                    static_cast<unsigned>(endpoint->port()));
+                std::fflush(stdout);
+            }
+        }
+        std::unique_ptr<perf::counter_session> session;
+        if (!telemetry_session)
+            session = std::make_unique<perf::counter_session>(
+                registry, perf::session_options::from_cli(args));
         timing = inncabs::run_samples(entry->name, samples,
             [&] { result = entry->run_minihpx(scale); });
+        if (telemetry_session)
+            telemetry_session->stop();
     }
     else
     {

@@ -79,6 +79,53 @@ public:
         return bucket_floor(Buckets - 1);
     }
 
+    // Interpolated quantile, q in [0,1]: like approx_quantile but the
+    // position inside the selected bucket is estimated linearly from
+    // the rank, so p50/p95/p99 rollups don't snap to powers of two.
+    // Error is bounded by the bucket width (a factor-of-2 band).
+    std::uint64_t quantile(double q) const noexcept
+    {
+        std::uint64_t const n = total();
+        if (n == 0)
+            return 0;
+        if (q < 0.0)
+            q = 0.0;
+        if (q > 1.0)
+            q = 1.0;
+        double const target = q * static_cast<double>(n - 1);
+        double seen = 0.0;
+        for (std::size_t i = 0; i < Buckets; ++i)
+        {
+            double const in_bucket = static_cast<double>(count(i));
+            if (in_bucket > 0.0 && seen + in_bucket > target)
+            {
+                double const lo = static_cast<double>(bucket_floor(i));
+                double const hi = i + 1 < Buckets ?
+                    static_cast<double>(bucket_floor(i + 1)) :
+                    lo * 2.0;
+                // Rank of the target within this bucket, samples
+                // assumed uniformly spread across [lo, hi).
+                double const within = (target - seen + 0.5) / in_bucket;
+                return static_cast<std::uint64_t>(lo + within * (hi - lo));
+            }
+            seen += in_bucket;
+        }
+        return bucket_floor(Buckets - 1);
+    }
+
+    // The three quantiles telemetry rollups stream (docs/TELEMETRY.md).
+    struct quantile_summary
+    {
+        std::uint64_t p50 = 0;
+        std::uint64_t p95 = 0;
+        std::uint64_t p99 = 0;
+    };
+
+    quantile_summary summary() const noexcept
+    {
+        return {quantile(0.50), quantile(0.95), quantile(0.99)};
+    }
+
     void reset() noexcept
     {
         for (auto& b : buckets_)

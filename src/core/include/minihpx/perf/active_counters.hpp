@@ -52,6 +52,13 @@ public:
     // counters are fed one sample first so they are never empty.
     std::vector<evaluation> evaluate(bool reset = false);
 
+    // Allocation-free variant for periodic samplers: writes size()
+    // values, in counters() order, into caller-provided storage. Names
+    // and units are fixed at construction (see counters()), so a
+    // sampler resolves them once and the steady-state path touches no
+    // heap.
+    void evaluate_into(counter_value* out, bool reset = false);
+
     void reset();
 
     // Pull one sample into every statistics counter (periodic sampler).
@@ -105,6 +112,14 @@ public:
     void evaluate(std::string_view annotation = {}, bool reset = false);
     void reset();
 
+    // Stop background sampling, print the final "shutdown" evaluation,
+    // and flush. Idempotent; evaluate() afterwards is a no-op. Runs
+    // automatically via runtime::at_shutdown *before* the runtime
+    // tears down its workers, so the sampler thread can never observe
+    // a half-destroyed scheduler (the final-sample race this fixes),
+    // and again from the destructor for sessions without a runtime.
+    void quiesce();
+
     static counter_session* global() noexcept;
 
     // Writes the list of registered counter types to os.
@@ -113,6 +128,7 @@ public:
 
 private:
     void sampler_loop();
+    void stop_sampler_thread();
 
     session_options options_;
     active_counters counters_;
@@ -125,6 +141,10 @@ private:
     std::condition_variable sampler_cv_;
     bool stop_sampler_ = false;
     std::thread sampler_;
+
+    std::atomic<bool> quiesced_{false};
+    void* hooked_runtime_ = nullptr;
+    std::uint64_t shutdown_token_ = 0;
 };
 
 // HPX-equivalent free functions acting on the global session (no-ops

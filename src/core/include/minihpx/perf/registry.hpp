@@ -56,6 +56,12 @@ public:
     // All registered types, sorted by key (for --mh:list-counters).
     std::vector<type_info> list() const;
 
+    // Bumped on every register/unregister. Discovery consumers (the
+    // telemetry sampler expands wildcards once at construction) can
+    // compare versions to detect that a re-expansion would see a
+    // different counter population.
+    std::uint64_t version() const noexcept;
+
     // The process-wide default registry.
     static counter_registry& instance();
 
@@ -67,6 +73,7 @@ private:
 
     mutable std::mutex mutex_;
     std::map<std::string, type_info> types_;
+    std::uint64_t version_ = 0;
 };
 
 }    // namespace minihpx::perf

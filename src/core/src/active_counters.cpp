@@ -1,6 +1,7 @@
 #include <minihpx/perf/active_counters.hpp>
 
 #include <minihpx/perf/derived_counters.hpp>
+#include <minihpx/runtime/runtime.hpp>
 #include <minihpx/util/assert.hpp>
 
 #include <chrono>
@@ -45,6 +46,13 @@ std::vector<active_counters::evaluation> active_counters::evaluate(bool reset)
             c->info().unit_of_measure, c->get_value(reset)});
     }
     return out;
+}
+
+void active_counters::evaluate_into(counter_value* out, bool reset)
+{
+    sample_statistics();
+    for (std::size_t i = 0; i < counters_.size(); ++i)
+        out[i] = counters_[i]->get_value(reset);
 }
 
 void active_counters::reset()
@@ -160,27 +168,55 @@ counter_session::counter_session(
 
     if (options_.interval_ms > 0.0 && !counters_.empty())
         sampler_ = std::thread([this] { sampler_loop(); });
+
+    // Sessions whose counters read live scheduler state must go quiet
+    // before the runtime tears down its workers; otherwise a final
+    // background sample can race worker destruction. The runtime runs
+    // shutdown hooks first thing in its destructor, newest first.
+    if (runtime* rt = runtime::get_ptr())
+    {
+        hooked_runtime_ = rt;
+        shutdown_token_ = rt->at_shutdown([this] { quiesce(); });
+    }
 }
 
 counter_session::~counter_session()
 {
-    if (sampler_.joinable())
-    {
-        {
-            std::lock_guard lock(sampler_mutex_);
-            stop_sampler_ = true;
-        }
-        sampler_cv_.notify_all();
-        sampler_.join();
-    }
-    if (options_.print_at_shutdown && !counters_.empty())
-        evaluate("shutdown");
+    quiesce();
+    if (hooked_runtime_ && runtime::get_ptr() == hooked_runtime_)
+        static_cast<runtime*>(hooked_runtime_)
+            ->remove_shutdown_hook(shutdown_token_);
     global_session.store(nullptr, std::memory_order_release);
+}
+
+void counter_session::quiesce()
+{
+    if (quiesced_.exchange(true))
+        return;
+    stop_sampler_thread();
+    if (options_.print_at_shutdown && !counters_.empty())
+    {
+        std::lock_guard lock(print_mutex_);
+        counters_.print(*out_, options_.csv, /*reset=*/false, "shutdown");
+    }
+    out_->flush();
+}
+
+void counter_session::stop_sampler_thread()
+{
+    if (!sampler_.joinable())
+        return;
+    {
+        std::lock_guard lock(sampler_mutex_);
+        stop_sampler_ = true;
+    }
+    sampler_cv_.notify_all();
+    sampler_.join();
 }
 
 void counter_session::evaluate(std::string_view annotation, bool reset)
 {
-    if (counters_.empty())
+    if (counters_.empty() || quiesced_.load(std::memory_order_acquire))
         return;
     std::lock_guard lock(print_mutex_);
     counters_.print(*out_, options_.csv, reset, annotation);

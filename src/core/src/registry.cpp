@@ -51,12 +51,22 @@ void counter_registry::register_type(type_info info)
     auto const [it, inserted] = types_.emplace(info.type_key, info);
     (void) it;
     MINIHPX_ASSERT_MSG(inserted, "duplicate counter type registration");
+    ++version_;
 }
 
 bool counter_registry::unregister_type(std::string const& type_key)
 {
     std::lock_guard lock(mutex_);
-    return types_.erase(type_key) > 0;
+    bool const erased = types_.erase(type_key) > 0;
+    if (erased)
+        ++version_;
+    return erased;
+}
+
+std::uint64_t counter_registry::version() const noexcept
+{
+    std::lock_guard lock(mutex_);
+    return version_;
 }
 
 bool counter_registry::contains(std::string const& type_key) const

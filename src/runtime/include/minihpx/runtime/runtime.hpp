@@ -10,8 +10,13 @@
 #include <minihpx/runtime/scheduler.hpp>
 #include <minihpx/util/cli.hpp>
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace minihpx {
 
@@ -45,10 +50,27 @@ public:
     static runtime* get_ptr() noexcept;
     static runtime& get();
 
+    // Shutdown hooks run at the *start* of ~runtime, newest first,
+    // before any worker teardown begins — the point where observers
+    // (counter sessions, telemetry samplers) must stop sampling
+    // scheduler state and flush. Returns a token for removal; hooks
+    // run on the thread destroying the runtime and must not spawn
+    // tasks. Observers that can outlive the runtime must deregister
+    // in their own destructor (remove is a no-op for already-run
+    // hooks).
+    std::uint64_t at_shutdown(std::function<void()> hook);
+    void remove_shutdown_hook(std::uint64_t token) noexcept;
+
 private:
+    void run_shutdown_hooks() noexcept;
+
     runtime_config config_;
     std::unique_ptr<scheduler> scheduler_;
     std::uint64_t start_ns_;
+
+    std::mutex hooks_mutex_;
+    std::vector<std::pair<std::uint64_t, std::function<void()>>> hooks_;
+    std::uint64_t next_hook_token_ = 1;
 };
 
 // Convenience: run `f` as the root task on a fresh runtime and wait for

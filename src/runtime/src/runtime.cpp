@@ -52,8 +52,43 @@ runtime::runtime(runtime_config config)
 
 runtime::~runtime()
 {
+    run_shutdown_hooks();
     scheduler_->stop();
     global_runtime.store(nullptr, std::memory_order_release);
+}
+
+std::uint64_t runtime::at_shutdown(std::function<void()> hook)
+{
+    std::lock_guard lock(hooks_mutex_);
+    std::uint64_t const token = next_hook_token_++;
+    hooks_.emplace_back(token, std::move(hook));
+    return token;
+}
+
+void runtime::remove_shutdown_hook(std::uint64_t token) noexcept
+{
+    std::lock_guard lock(hooks_mutex_);
+    for (auto it = hooks_.begin(); it != hooks_.end(); ++it)
+    {
+        if (it->first == token)
+        {
+            hooks_.erase(it);
+            return;
+        }
+    }
+}
+
+void runtime::run_shutdown_hooks() noexcept
+{
+    // Drain under the lock, run outside it: a hook may legitimately
+    // call remove_shutdown_hook (e.g. from a destructor it triggers).
+    std::vector<std::pair<std::uint64_t, std::function<void()>>> hooks;
+    {
+        std::lock_guard lock(hooks_mutex_);
+        hooks.swap(hooks_);
+    }
+    for (auto it = hooks.rbegin(); it != hooks.rend(); ++it)
+        it->second();
 }
 
 double runtime::uptime_seconds() const noexcept

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <string>
@@ -100,6 +101,24 @@ struct sim_report
                 offcore_code_rd);
         return bytes / exec_time_s / 1e9;
     }
+};
+
+// Mid-run progress snapshot: the cumulative sim_report quantities that
+// are well-defined *during* a run, readable from the sample hook. Time
+// quantities are virtual nanoseconds (sim_report converts to seconds
+// only at end of run).
+struct sim_progress
+{
+    std::uint64_t now_ns = 0;
+    std::uint64_t tasks_created = 0;
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t tasks_alive = 0;
+    std::uint64_t task_time_ns = 0;
+    std::uint64_t overhead_ns = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t remote_steals = 0;
+    std::uint64_t suspensions = 0;
+    std::uint64_t peak_live_threads = 0;
 };
 
 namespace detail {
@@ -229,6 +248,19 @@ public:
         return static_cast<double>(now_ns_) * 1e-9;
     }
 
+    // --- virtual-time sampling -----------------------------------------
+    // The hook fires from the DES loop at every virtual period_ns
+    // boundary the run crosses (with the boundary's timestamp, not the
+    // event's), before the crossing event is applied. It runs on the
+    // host thread between events, so it may read progress() and
+    // evaluate counters safely; it must not call engine hooks.
+    using sample_hook = std::function<void(std::uint64_t virtual_ns)>;
+    void set_sample_hook(std::uint64_t period_ns, sample_hook hook);
+    void clear_sample_hook();
+
+    // Cumulative progress as of the current virtual time.
+    sim_progress progress() const noexcept;
+
 private:
     struct event
     {
@@ -328,6 +360,10 @@ private:
     std::uint64_t overhead_ns_ = 0;
     bool failed_ = false;
     bool unwinding_ = false;
+
+    sample_hook sample_hook_;
+    std::uint64_t sample_period_ns_ = 0;
+    std::uint64_t next_sample_ns_ = 0;
 };
 
 }    // namespace minihpx::sim

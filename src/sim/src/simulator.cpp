@@ -74,11 +74,26 @@ sim_report simulator::run(util::unique_function<void()> root)
         enqueue_hpx(root_task, 0, false);
     }
 
+    next_sample_ns_ = sample_period_ns_;
+
     while (!events_.empty() && !failed_)
     {
         event const ev = events_.top();
         events_.pop();
         MINIHPX_ASSERT(ev.t >= now_ns_);
+        // Fire the sample hook for every virtual period boundary this
+        // event skips over, stamped with the boundary time — the state
+        // visible to the hook is exactly the state at that boundary
+        // (nothing changes between events).
+        if (sample_hook_)
+        {
+            while (next_sample_ns_ <= ev.t)
+            {
+                now_ns_ = next_sample_ns_;
+                sample_hook_(next_sample_ns_);
+                next_sample_ns_ += sample_period_ns_;
+            }
+        }
         now_ns_ = ev.t;
         switch (ev.kind)
         {
@@ -187,6 +202,39 @@ void simulator::fail(std::string reason)
 {
     failed_ = true;
     report_.failure_reason = std::move(reason);
+}
+
+// ------------------------------------------------- virtual-time sampling
+
+void simulator::set_sample_hook(std::uint64_t period_ns, sample_hook hook)
+{
+    MINIHPX_ASSERT_MSG(period_ns > 0, "sample period must be > 0");
+    sample_period_ns_ = period_ns;
+    next_sample_ns_ = now_ns_ + period_ns;
+    sample_hook_ = std::move(hook);
+}
+
+void simulator::clear_sample_hook()
+{
+    sample_hook_ = nullptr;
+    sample_period_ns_ = 0;
+    next_sample_ns_ = 0;
+}
+
+sim_progress simulator::progress() const noexcept
+{
+    sim_progress p;
+    p.now_ns = now_ns_;
+    p.tasks_created = report_.tasks_created;
+    p.tasks_executed = report_.tasks_executed;
+    p.tasks_alive = tasks_alive_;
+    p.task_time_ns = exec_ns_total_;
+    p.overhead_ns = overhead_ns_;
+    p.steals = report_.steals;
+    p.remote_steals = report_.remote_steals;
+    p.suspensions = report_.suspensions;
+    p.peak_live_threads = report_.peak_live_threads;
+    return p;
 }
 
 // ---------------------------------------------------------- cost model

@@ -1,0 +1,78 @@
+// Telemetry record schema: the one shape every sink understands.
+//
+// A sampler turns an active counter set into a *time series*: a fixed
+// schema (one column per counter, or per rollup quantile) plus a
+// stream of rows stamped with a timestamp and a sequence number. Real
+// runs stamp steady-clock nanoseconds; simulated runs stamp virtual
+// nanoseconds — the schema and row layout are identical, so any sink
+// consumes either (paper §IV's "same API for arbitrary system
+// information", extended from values to streams).
+#pragma once
+
+#include <minihpx/perf/counter.hpp>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace minihpx::telemetry {
+
+// One column of the series. For rollup counters the sampler emits
+// three columns ("<name>/p50", "/p95", "/p99") instead of the raw
+// stream.
+struct column
+{
+    std::string name;
+    std::string unit;
+    perf::counter_kind kind = perf::counter_kind::raw;
+};
+
+struct record_schema
+{
+    std::vector<column> columns;
+
+    std::size_t width() const noexcept { return columns.size(); }
+};
+
+// One sampled value. Invalid slots (counter reported invalid_data /
+// not_available) render as empty (CSV) or null (JSONL).
+struct slot
+{
+    double value = 0.0;
+    bool valid = false;
+};
+
+// Borrowed view of one row; points into ring storage (consume it
+// before returning from sink::consume) or into a sample_record.
+struct sample_view
+{
+    std::uint64_t t_ns = 0;    // real or virtual timestamp
+    std::uint64_t seq = 0;     // sample number; drops leave gaps
+    slot const* slots = nullptr;
+    std::size_t width = 0;
+};
+
+// Owned copy, for sinks that buffer rows beyond the consume() call
+// (subscription backpressure, latest-row cache for scraping).
+struct sample_record
+{
+    std::uint64_t t_ns = 0;
+    std::uint64_t seq = 0;
+    std::vector<slot> slots;
+
+    static sample_record copy_of(sample_view const& v)
+    {
+        sample_record r;
+        r.t_ns = v.t_ns;
+        r.seq = v.seq;
+        r.slots.assign(v.slots, v.slots + v.width);
+        return r;
+    }
+
+    sample_view view() const noexcept
+    {
+        return {t_ns, seq, slots.data(), slots.size()};
+    }
+};
+
+}    // namespace minihpx::telemetry

@@ -1,0 +1,118 @@
+// Preallocated SPSC ring of sample rows.
+//
+// The sample path must not perturb the run it measures (the paper's
+// ≲10% overhead budget, §V-C), so the ring is sized once and pushing
+// a row is: claim slot pointers, write width doubles, one release
+// store. No locks, no allocation, bounded memory. When the consumer
+// (flush thread / inline drain) lags a full lap behind, the new row is
+// *dropped and counted* — losing telemetry beats distorting it.
+#pragma once
+
+#include <minihpx/telemetry/record.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace minihpx::telemetry {
+
+class sample_ring
+{
+public:
+    sample_ring(std::size_t capacity, std::size_t width)
+      : capacity_(capacity == 0 ? 1 : capacity)
+      , width_(width)
+      , headers_(capacity_)
+      , slots_(capacity_ * (width == 0 ? 1 : width))
+    {
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+    std::size_t width() const noexcept { return width_; }
+
+    // Producer: claim the next row and stamp it. Returns the slot
+    // array to fill (width() entries), or nullptr when the ring is
+    // full (the row is counted as dropped). Must be followed by
+    // commit_push() when non-null.
+    slot* begin_push(std::uint64_t t_ns, std::uint64_t seq) noexcept
+    {
+        std::uint64_t const head = head_.load(std::memory_order_relaxed);
+        std::uint64_t const tail = tail_.load(std::memory_order_acquire);
+        if (head - tail >= capacity_)
+        {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return nullptr;
+        }
+        std::size_t const row = static_cast<std::size_t>(head % capacity_);
+        headers_[row].t_ns = t_ns;
+        headers_[row].seq = seq;
+        return &slots_[row * width_];
+    }
+
+    void commit_push() noexcept
+    {
+        pushed_.fetch_add(1, std::memory_order_relaxed);
+        head_.store(
+            head_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+    }
+
+    // Consumer: view the oldest row; pop() after use. The view stays
+    // valid until pop() (the producer cannot overwrite an unpopped
+    // row — it drops instead).
+    bool front(sample_view& out) const noexcept
+    {
+        std::uint64_t const tail = tail_.load(std::memory_order_relaxed);
+        if (tail == head_.load(std::memory_order_acquire))
+            return false;
+        std::size_t const row = static_cast<std::size_t>(tail % capacity_);
+        out.t_ns = headers_[row].t_ns;
+        out.seq = headers_[row].seq;
+        out.slots = &slots_[row * width_];
+        out.width = width_;
+        return true;
+    }
+
+    void pop() noexcept
+    {
+        tail_.store(
+            tail_.load(std::memory_order_relaxed) + 1,
+            std::memory_order_release);
+    }
+
+    std::size_t size() const noexcept
+    {
+        return static_cast<std::size_t>(
+            head_.load(std::memory_order_acquire) -
+            tail_.load(std::memory_order_acquire));
+    }
+
+    std::uint64_t pushed() const noexcept
+    {
+        return pushed_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t dropped() const noexcept
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+private:
+    struct header
+    {
+        std::uint64_t t_ns = 0;
+        std::uint64_t seq = 0;
+    };
+
+    std::size_t const capacity_;
+    std::size_t const width_;
+    std::vector<header> headers_;
+    std::vector<slot> slots_;
+
+    alignas(64) std::atomic<std::uint64_t> head_{0};    // next write
+    alignas(64) std::atomic<std::uint64_t> tail_{0};    // next read
+    std::atomic<std::uint64_t> pushed_{0};
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+}    // namespace minihpx::telemetry

@@ -1,0 +1,155 @@
+// The telemetry sampler: active counters -> time-series pipeline.
+//
+// Construction expands wildcard counter names through the registry
+// (discovery is pinned: the schema is fixed for the sampler's
+// lifetime), preallocates one ring row per sample and a scratch
+// evaluation buffer, so the steady-state sample path performs no
+// allocation. Two modes:
+//
+//   start()/stop()  real-time: a sample thread evaluates the set every
+//                   period_ns (absolute deadlines, no drift) and a
+//                   flush thread drains the ring into the sinks — file
+//                   IO and callbacks never run on the sample path.
+//   tick(t_ns)      manual/virtual time: the caller (e.g. the sim
+//                   bridge at virtual-time boundaries) samples and
+//                   drains inline. Same schema, same sinks.
+//
+// Counters listed in rollup_names stream util::log2_histogram-backed
+// p50/p95/p99 quantile columns instead of raw values: every tick feeds
+// the sampled value into the histogram and emits the current
+// quantiles, which is how high-rate series (task duration) stay
+// useful at low scrape rates.
+#pragma once
+
+#include <minihpx/perf/active_counters.hpp>
+#include <minihpx/perf/registry.hpp>
+#include <minihpx/telemetry/ring.hpp>
+#include <minihpx/telemetry/sink.hpp>
+#include <minihpx/util/histogram.hpp>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace minihpx::telemetry {
+
+struct sampler_config
+{
+    // Counter names to stream; wildcards expanded at construction.
+    std::vector<std::string> counter_names;
+    // Subset (also wildcard-able; added to the set if missing) whose
+    // raw column is replaced by p50/p95/p99 rollup columns.
+    std::vector<std::string> rollup_names;
+    std::uint64_t period_ns = 100'000'000;    // 100 ms
+    std::size_t ring_capacity = 1024;
+};
+
+class sampler
+{
+public:
+    sampler(perf::counter_registry& registry, sampler_config config);
+    ~sampler();
+
+    sampler(sampler const&) = delete;
+    sampler& operator=(sampler const&) = delete;
+
+    record_schema const& schema() const noexcept { return schema_; }
+    std::vector<std::string> const& errors() const noexcept
+    {
+        return errors_;
+    }
+    bool empty() const noexcept { return set_.empty(); }
+
+    // Sinks must be attached before start() / the first tick().
+    void add_sink(sink_ptr s);
+
+    // Real-time mode.
+    void start();
+    void stop();    // join threads, drain, close sinks; idempotent
+    bool running() const noexcept
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    // Manual / virtual-time mode: evaluate one sample stamped t_ns and
+    // drain it to the sinks inline. Not legal while running().
+    void tick(std::uint64_t t_ns);
+
+    // Pipeline stats (also exposed as /telemetry{...} counters).
+    std::uint64_t samples() const noexcept
+    {
+        return samples_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t dropped() const noexcept { return ring_->dropped(); }
+    std::uint64_t flushed() const noexcept
+    {
+        return flushed_.load(std::memory_order_relaxed);
+    }
+    std::size_t ring_occupancy() const noexcept { return ring_->size(); }
+    std::size_t ring_capacity() const noexcept { return ring_->capacity(); }
+
+    // Registry version at discovery time (schema is pinned to it).
+    std::uint64_t discovery_version() const noexcept
+    {
+        return discovery_version_;
+    }
+
+private:
+    void sample_once(std::uint64_t t_ns);
+    void flush_pending();
+    void open_sinks_once();
+    void close_sinks_once();
+    void sample_loop();
+    void flush_loop();
+
+    sampler_config config_;
+    perf::active_counters set_;
+    std::uint64_t discovery_version_;
+
+    // Column i reads counter source_counter_[i]; quantile_of_[i] is
+    // -1 for raw columns, else an index into the rollup quantiles.
+    record_schema schema_;
+    std::vector<std::size_t> source_counter_;
+    std::vector<int> quantile_of_;
+    std::vector<int> rollup_hist_of_counter_;    // -1: raw counter
+    std::vector<std::unique_ptr<util::log2_histogram<>>> rollup_hists_;
+    std::vector<std::string> errors_;
+
+    std::vector<perf::counter_value> scratch_;
+    std::unique_ptr<sample_ring> ring_;    // built once the width is known
+
+    std::vector<sink_ptr> sinks_;
+    bool sinks_open_ = false;
+    bool sinks_closed_ = false;
+
+    std::atomic<std::uint64_t> samples_{0};
+    std::atomic<std::uint64_t> flushed_{0};
+
+    std::atomic<bool> running_{false};
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+    bool stop_requested_ = false;
+
+    std::mutex flush_mutex_;
+    std::condition_variable flush_cv_;
+    bool flush_stop_ = false;
+
+    std::thread sample_thread_;
+    std::thread flush_thread_;
+};
+
+// Self-observability: registers /telemetry{locality#0/total}/...
+// counter types (sample/drop/flush counts, ring occupancy/capacity)
+// for `s` so one sampler's pipeline health can be monitored by
+// another — or scraped alongside the payload series. The sampler must
+// outlive the registration (remove_telemetry_counters or registry
+// destruction first).
+void register_telemetry_counters(perf::counter_registry& registry, sampler& s);
+void remove_telemetry_counters(perf::counter_registry& registry);
+
+}    // namespace minihpx::telemetry

@@ -1,0 +1,83 @@
+// Minimal TCP scrape endpoint: Prometheus-style text exposition.
+//
+// A sink that caches the most recent sample and serves it to anyone
+// who connects:
+//
+//   $ curl http://127.0.0.1:9317/metrics
+//   # HELP minihpx_counter Latest sampled value of a minihpx counter.
+//   # TYPE minihpx_counter gauge
+//   minihpx_counter{path="/threads{locality#0/total}/idle-rate",unit="0.01%"} 161
+//   ...
+//   minihpx_telemetry_samples_total 42
+//
+// One blocking accept thread, one connection at a time, HTTP/1.0,
+// connection closed after each response — deliberately the simplest
+// thing a scraper (curl, Prometheus) can talk to. Serving is fully
+// decoupled from sampling: a scrape touches only the cached row under
+// a mutex, never the counters, so a slow or hostile client cannot
+// perturb the measured run.
+#pragma once
+
+#include <minihpx/telemetry/sink.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace minihpx::telemetry {
+
+class scrape_endpoint final : public sink
+{
+public:
+    // Binds 127.0.0.1:port and starts serving immediately (before the
+    // first sample a scrape returns only the meta series). port 0
+    // binds an ephemeral port — read the actual one from port().
+    explicit scrape_endpoint(std::uint16_t port);
+    ~scrape_endpoint() override;
+
+    std::uint16_t port() const noexcept { return port_; }
+
+    // sink interface: cache schema / latest row.
+    void open(record_schema const& schema) override;
+    void consume(sample_view const& row) override;
+    void close() override;
+
+    // Optional sampler stats exposed as minihpx_telemetry_* series.
+    struct stats
+    {
+        std::uint64_t samples = 0;
+        std::uint64_t dropped = 0;
+        std::uint64_t flushed = 0;
+    };
+    void set_stats_source(std::function<stats()> source);
+
+    // The exposition document a GET /metrics returns right now.
+    std::string render() const;
+
+    std::uint64_t scrapes() const noexcept
+    {
+        return scrapes_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void serve_loop();
+    void stop_serving();
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::atomic<bool> stop_{false};
+    std::atomic<std::uint64_t> scrapes_{0};
+    std::thread server_;
+
+    mutable std::mutex mutex_;
+    record_schema schema_;
+    sample_record latest_;
+    bool have_schema_ = false;
+    bool have_row_ = false;
+    std::function<stats()> stats_source_;
+};
+
+}    // namespace minihpx::telemetry

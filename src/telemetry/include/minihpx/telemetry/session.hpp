@@ -1,0 +1,76 @@
+// Command-line-driven telemetry session: the convenience layer that
+// turns --mh: options into a running sampler with sinks attached.
+//
+//   --mh:print-counter=NAME                 (repeatable; wildcards ok)
+//   --mh:telemetry-interval=MS              (default 100; falls back to
+//                                            --mh:print-counter-interval)
+//   --mh:print-counter-destination=DEST     (see below; also
+//                                            --mh:telemetry-destination)
+//   --mh:telemetry-endpoint=PORT            (TCP /metrics scrape
+//                                            endpoint on 127.0.0.1;
+//                                            0 = ephemeral port)
+//   --mh:telemetry-rollup=NAME              (repeatable: stream
+//                                            p50/p95/p99 instead of raw)
+//   --mh:telemetry-ring=N                   (ring capacity, rows)
+//
+// DEST selects the sink: "csv:PATH", "jsonl:PATH", or a bare PATH
+// (CSV). The session registers a runtime::at_shutdown hook so sampling
+// stops and sinks flush *before* worker teardown, regardless of
+// whether the session or the runtime is destroyed first.
+#pragma once
+
+#include <minihpx/telemetry/sampler.hpp>
+#include <minihpx/telemetry/scrape_endpoint.hpp>
+#include <minihpx/util/cli.hpp>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace minihpx::telemetry {
+
+struct telemetry_options
+{
+    std::vector<std::string> counter_names;
+    std::vector<std::string> rollup_names;
+    double interval_ms = 100.0;
+    std::string destination;    // "", "csv:PATH", "jsonl:PATH", PATH
+    int endpoint_port = -1;     // <0: no scrape endpoint
+    std::size_t ring_capacity = 1024;
+    bool autostart = true;      // start sampling in the constructor
+
+    static telemetry_options from_cli(util::cli_args const& args);
+};
+
+class session
+{
+public:
+    session(perf::counter_registry& registry, telemetry_options options);
+    ~session();
+
+    session(session const&) = delete;
+    session& operator=(session const&) = delete;
+
+    sampler& get_sampler() noexcept { return sampler_; }
+    bool empty() const noexcept { return sampler_.empty(); }
+
+    // The scrape endpoint, if --mh:telemetry-endpoint was given.
+    scrape_endpoint* endpoint() noexcept { return endpoint_.get(); }
+
+    // Subscribe in-process before start (autostart=false path).
+    void subscribe(
+        subscription_sink::callback cb, std::size_t max_pending = 256);
+
+    void start();
+    void stop();    // quiesce: stop sampling, drain, flush, close
+
+private:
+    telemetry_options options_;
+    sampler sampler_;
+    std::shared_ptr<scrape_endpoint> endpoint_;
+    void* hooked_runtime_ = nullptr;
+    std::uint64_t shutdown_token_ = 0;
+};
+
+}    // namespace minihpx::telemetry

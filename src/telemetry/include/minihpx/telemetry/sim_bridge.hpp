@@ -1,0 +1,67 @@
+// Virtual-time telemetry for the discrete-event cosimulator.
+//
+// register_sim_counters() exposes a simulator's live progress as
+// ordinary /sim{locality#0/total}/... performance counters, so the
+// exact same sampler/sink pipeline that streams a real run can stream
+// a simulated one. sim_sampler couples a sampler to the simulator's
+// virtual clock: it installs a sample hook that fires at every virtual
+// period boundary the DES crosses and drives sampler::tick() with the
+// *virtual* timestamp — records carry virtual t_ns but use the same
+// schema, so CSV/JSONL output from real and simulated runs is directly
+// comparable.
+//
+// Counter types registered (all pull from simulator::progress()):
+//   /sim/time/virtual              current virtual time [ns]     (raw)
+//   /sim/time/task-cumulative      sum of task segment time [ns] (monotonic)
+//   /sim/time/overhead-cumulative  scheduler overhead [ns]       (monotonic)
+//   /sim/count/tasks-created                                     (monotonic)
+//   /sim/count/tasks-executed                                    (monotonic)
+//   /sim/count/tasks-alive                                       (raw)
+//   /sim/count/steals                                            (monotonic)
+//   /sim/count/suspensions                                       (monotonic)
+#pragma once
+
+#include <minihpx/perf/registry.hpp>
+#include <minihpx/sim/simulator.hpp>
+#include <minihpx/telemetry/sampler.hpp>
+
+#include <cstdint>
+
+namespace minihpx::telemetry {
+
+// The simulator must outlive the registration; pair with
+// remove_sim_counters (or registry destruction).
+void register_sim_counters(
+    perf::counter_registry& registry, sim::simulator& sim);
+void remove_sim_counters(perf::counter_registry& registry);
+
+// Samples a counter set on the simulator's *virtual* clock. Construct
+// before sim.run(); attach sinks before the run starts. The sampler
+// runs in manual mode (tick()) — never start() — so samples are
+// deterministic: same config + same benchmark -> identical record
+// stream.
+class sim_sampler
+{
+public:
+    sim_sampler(sim::simulator& sim, perf::counter_registry& registry,
+        sampler_config config);
+    ~sim_sampler();
+
+    sim_sampler(sim_sampler const&) = delete;
+    sim_sampler& operator=(sim_sampler const&) = delete;
+
+    sampler& get_sampler() noexcept { return sampler_; }
+    void add_sink(sink_ptr s) { sampler_.add_sink(std::move(s)); }
+
+    // Drain + close sinks (also done by the destructor). Call after
+    // sim.run() returns when the output file is read back in-process.
+    void finish();
+
+private:
+    sim::simulator& sim_;
+    std::uint64_t period_ns_;
+    sampler sampler_;
+    bool finished_ = false;
+};
+
+}    // namespace minihpx::telemetry

@@ -1,0 +1,119 @@
+// Pluggable telemetry sinks.
+//
+// A sink receives the schema once, then rows in order, always from one
+// thread at a time (the sampler's flush thread, or the caller in
+// manual/virtual-time mode). Sinks may block — they run off the sample
+// path; a slow sink costs ring capacity (dropped rows), never sampling
+// jitter. Implementations here: CSV file, JSON-lines file, and an
+// in-process subscription (callback with backpressure). The TCP scrape
+// endpoint lives in scrape_endpoint.hpp.
+#pragma once
+
+#include <minihpx/telemetry/record.hpp>
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace minihpx::telemetry {
+
+class sink
+{
+public:
+    virtual ~sink() = default;
+
+    // Called once, before the first consume().
+    virtual void open(record_schema const& schema) { (void) schema; }
+
+    // One row, oldest first. The view's storage is only valid for the
+    // duration of the call — copy (sample_record::copy_of) to keep it.
+    virtual void consume(sample_view const& row) = 0;
+
+    // Batch boundary: every row available at drain time has been
+    // consumed. Good point to flush buffered IO.
+    virtual void flush() {}
+
+    // Final call at sampler stop; no consume()/flush() afterwards.
+    virtual void close() {}
+};
+
+using sink_ptr = std::shared_ptr<sink>;
+
+// CSV file: "t_ns,seq,<col1>,<col2>,..." header, one row per sample,
+// invalid slots as empty fields.
+class csv_sink final : public sink
+{
+public:
+    explicit csv_sink(std::string path);
+    explicit csv_sink(std::ostream& os);    // borrowed stream (tests)
+    ~csv_sink() override;
+
+    void open(record_schema const& schema) override;
+    void consume(sample_view const& row) override;
+    void flush() override;
+
+private:
+    std::unique_ptr<std::ostream> owned_;
+    std::ostream* out_;
+};
+
+// JSON-lines file: first line is a schema object
+//   {"schema":{"columns":[{"name":...,"unit":...,"kind":...},...]}}
+// then one object per sample
+//   {"t_ns":N,"seq":N,"v":[1.5,null,...]}
+// with invalid slots as null.
+class jsonl_sink final : public sink
+{
+public:
+    explicit jsonl_sink(std::string path);
+    explicit jsonl_sink(std::ostream& os);
+    ~jsonl_sink() override;
+
+    void open(record_schema const& schema) override;
+    void consume(sample_view const& row) override;
+    void flush() override;
+
+private:
+    std::unique_ptr<std::ostream> owned_;
+    std::ostream* out_;
+};
+
+// In-process subscription: rows are delivered to a callback. Returning
+// false signals backpressure — the row is retained in a bounded
+// pending queue and redelivered (in order, ahead of newer rows) on the
+// next batch; when the queue overflows, the *oldest* pending row is
+// dropped and counted. The callback runs on the flush thread, so a
+// slow consumer never blocks sampling — it trades pending-queue (then
+// ring) capacity instead.
+class subscription_sink final : public sink
+{
+public:
+    using callback = std::function<bool(sample_view const&)>;
+
+    explicit subscription_sink(callback cb, std::size_t max_pending = 256);
+
+    void consume(sample_view const& row) override;
+    void flush() override;
+
+    std::uint64_t delivered() const noexcept { return delivered_; }
+    std::uint64_t dropped() const noexcept { return dropped_; }
+    std::size_t pending() const noexcept { return pending_.size(); }
+
+private:
+    bool deliver_pending();
+
+    callback callback_;
+    std::size_t max_pending_;
+    std::deque<sample_record> pending_;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+// JSON string escaping shared by the JSONL sink and the scrape
+// endpoint's label rendering.
+std::string json_escape(std::string_view s);
+
+}    // namespace minihpx::telemetry

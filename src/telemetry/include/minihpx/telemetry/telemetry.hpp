@@ -1,0 +1,19 @@
+// minihpx::telemetry — lock-light counter time-series pipeline.
+//
+// Umbrella header. The pipeline, front to back:
+//
+//   sampler          wildcard-expanded counter set -> preallocated ring
+//                    (record.hpp/ring.hpp), real-time or virtual-time
+//   sinks            CSV, JSON-lines, in-process subscription
+//   scrape_endpoint  Prometheus-style GET /metrics over TCP
+//   session          --mh: flag driven convenience wrapper
+//   sim_bridge       the same pipeline on the cosimulator's clock
+#pragma once
+
+#include <minihpx/telemetry/record.hpp>
+#include <minihpx/telemetry/ring.hpp>
+#include <minihpx/telemetry/sampler.hpp>
+#include <minihpx/telemetry/scrape_endpoint.hpp>
+#include <minihpx/telemetry/session.hpp>
+#include <minihpx/telemetry/sim_bridge.hpp>
+#include <minihpx/telemetry/sink.hpp>

@@ -1,0 +1,356 @@
+#include <minihpx/telemetry/sampler.hpp>
+
+#include <minihpx/perf/basic_counters.hpp>
+#include <minihpx/perf/counter_name.hpp>
+#include <minihpx/util/assert.hpp>
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+namespace minihpx::telemetry {
+
+namespace {
+
+    constexpr double rollup_quantiles[] = {0.50, 0.95, 0.99};
+    constexpr char const* rollup_suffixes[] = {"/p50", "/p95", "/p99"};
+    constexpr int num_rollup_quantiles = 3;
+
+    // Expand a (possibly wildcard) name list into concrete full names.
+    std::unordered_set<std::string> expand_full_names(
+        perf::counter_registry& registry,
+        std::vector<std::string> const& names,
+        std::vector<std::string>& errors)
+    {
+        std::unordered_set<std::string> out;
+        for (auto const& name : names)
+        {
+            std::string error;
+            auto parsed = perf::parse_counter_name(name, &error);
+            if (!parsed)
+            {
+                errors.push_back(name + ": " + error);
+                continue;
+            }
+            for (auto const& concrete : registry.expand(*parsed))
+                out.insert(concrete.full_name());
+        }
+        return out;
+    }
+
+    std::vector<std::string> merged_names(sampler_config const& config)
+    {
+        std::vector<std::string> names = config.counter_names;
+        for (auto const& r : config.rollup_names)
+        {
+            if (std::find(names.begin(), names.end(), r) == names.end())
+                names.push_back(r);
+        }
+        return names;
+    }
+
+}    // namespace
+
+sampler::sampler(perf::counter_registry& registry, sampler_config config)
+  : config_(std::move(config))
+  , set_(registry, merged_names(config_))
+  , discovery_version_(registry.version())
+  , scratch_(set_.size())
+{
+    errors_ = set_.errors();
+    auto const rollup_set =
+        expand_full_names(registry, config_.rollup_names, errors_);
+
+    auto const& counters = set_.counters();
+    rollup_hist_of_counter_.assign(counters.size(), -1);
+    for (std::size_t i = 0; i < counters.size(); ++i)
+    {
+        auto const& info = counters[i]->info();
+        if (rollup_set.count(info.full_name) != 0)
+        {
+            rollup_hist_of_counter_[i] =
+                static_cast<int>(rollup_hists_.size());
+            rollup_hists_.push_back(
+                std::make_unique<util::log2_histogram<>>());
+            for (int q = 0; q < num_rollup_quantiles; ++q)
+            {
+                schema_.columns.push_back(column{
+                    info.full_name + rollup_suffixes[q],
+                    info.unit_of_measure, perf::counter_kind::histogram});
+                source_counter_.push_back(i);
+                quantile_of_.push_back(q);
+            }
+        }
+        else
+        {
+            schema_.columns.push_back(column{
+                info.full_name, info.unit_of_measure, info.kind});
+            source_counter_.push_back(i);
+            quantile_of_.push_back(-1);
+        }
+    }
+
+    ring_ = std::make_unique<sample_ring>(
+        config_.ring_capacity, schema_.width());
+}
+
+sampler::~sampler()
+{
+    stop();
+}
+
+void sampler::add_sink(sink_ptr s)
+{
+    MINIHPX_ASSERT_MSG(!sinks_open_,
+        "telemetry sinks must be attached before sampling starts");
+    MINIHPX_ASSERT_MSG(s != nullptr, "null telemetry sink");
+    sinks_.push_back(std::move(s));
+}
+
+// ------------------------------------------------------------ sample path
+
+void sampler::sample_once(std::uint64_t t_ns)
+{
+    // No allocation from here to commit_push().
+    set_.evaluate_into(scratch_.data());
+
+    for (std::size_t i = 0; i < scratch_.size(); ++i)
+    {
+        int const h = rollup_hist_of_counter_[i];
+        if (h >= 0 && scratch_[i].valid())
+        {
+            double const v = scratch_[i].get();
+            rollup_hists_[static_cast<std::size_t>(h)]->add(
+                v <= 0.0 ? 0 : static_cast<std::uint64_t>(v));
+        }
+    }
+
+    std::uint64_t const seq =
+        samples_.fetch_add(1, std::memory_order_relaxed);
+    slot* row = ring_->begin_push(t_ns, seq);
+    if (!row)
+        return;    // consumer lagged a full lap; counted as dropped
+
+    for (std::size_t c = 0; c < schema_.width(); ++c)
+    {
+        int const q = quantile_of_[c];
+        if (q < 0)
+        {
+            auto const& v = scratch_[source_counter_[c]];
+            row[c].value = v.valid() ? v.get() : 0.0;
+            row[c].valid = v.valid();
+        }
+        else
+        {
+            auto const& hist = *rollup_hists_[static_cast<std::size_t>(
+                rollup_hist_of_counter_[source_counter_[c]])];
+            row[c].valid = hist.total() > 0;
+            row[c].value = static_cast<double>(
+                hist.quantile(rollup_quantiles[q]));
+        }
+    }
+    ring_->commit_push();
+}
+
+// ------------------------------------------------------------- drain path
+
+void sampler::open_sinks_once()
+{
+    if (sinks_open_)
+        return;
+    sinks_open_ = true;
+    for (auto const& s : sinks_)
+        s->open(schema_);
+}
+
+void sampler::close_sinks_once()
+{
+    if (sinks_closed_ || !sinks_open_)
+        return;
+    sinks_closed_ = true;
+    for (auto const& s : sinks_)
+    {
+        s->flush();
+        s->close();
+    }
+}
+
+void sampler::flush_pending()
+{
+    sample_view v;
+    bool any = false;
+    while (ring_->front(v))
+    {
+        for (auto const& s : sinks_)
+            s->consume(v);
+        ring_->pop();
+        flushed_.fetch_add(1, std::memory_order_relaxed);
+        any = true;
+    }
+    if (any)
+    {
+        for (auto const& s : sinks_)
+            s->flush();
+    }
+}
+
+// -------------------------------------------------------------- real time
+
+void sampler::start()
+{
+    MINIHPX_ASSERT_MSG(!running(), "sampler already running");
+    MINIHPX_ASSERT_MSG(config_.period_ns > 0, "sampler period must be > 0");
+    stop_requested_ = false;
+    flush_stop_ = false;
+    running_.store(true, std::memory_order_release);
+    flush_thread_ = std::thread([this] { flush_loop(); });
+    sample_thread_ = std::thread([this] { sample_loop(); });
+}
+
+void sampler::stop()
+{
+    if (sample_thread_.joinable())
+    {
+        {
+            std::lock_guard lock(stop_mutex_);
+            stop_requested_ = true;
+        }
+        stop_cv_.notify_all();
+        sample_thread_.join();
+    }
+    if (flush_thread_.joinable())
+    {
+        {
+            std::lock_guard lock(flush_mutex_);
+            flush_stop_ = true;
+        }
+        flush_cv_.notify_all();
+        flush_thread_.join();
+    }
+    running_.store(false, std::memory_order_release);
+    // Final drain + close happen on this thread — by the time stop()
+    // returns, every surviving row has reached every sink.
+    open_sinks_once();
+    flush_pending();
+    close_sinks_once();
+}
+
+void sampler::sample_loop()
+{
+    using clock = std::chrono::steady_clock;
+    auto const period = std::chrono::nanoseconds(config_.period_ns);
+    auto deadline = clock::now() + period;
+
+    std::unique_lock lock(stop_mutex_);
+    while (!stop_requested_)
+    {
+        if (stop_cv_.wait_until(
+                lock, deadline, [this] { return stop_requested_; }))
+            break;
+        lock.unlock();
+        sample_once(perf::counter_clock_ns());
+        flush_cv_.notify_one();
+        deadline += period;
+        // If sampling fell behind (debugger, suspended VM), skip the
+        // missed ticks instead of bursting to catch up.
+        auto const now = clock::now();
+        if (deadline < now)
+            deadline = now + period;
+        lock.lock();
+    }
+}
+
+void sampler::flush_loop()
+{
+    open_sinks_once();
+    std::unique_lock lock(flush_mutex_);
+    while (true)
+    {
+        flush_cv_.wait_for(lock, std::chrono::milliseconds(50),
+            [this] { return flush_stop_ || ring_->size() != 0; });
+        bool const stopping = flush_stop_;
+        lock.unlock();
+        flush_pending();
+        if (stopping)
+            return;
+        lock.lock();
+    }
+}
+
+// ---------------------------------------------------------- virtual time
+
+void sampler::tick(std::uint64_t t_ns)
+{
+    MINIHPX_ASSERT_MSG(
+        !running(), "tick() is for manual mode; the sampler is running");
+    open_sinks_once();
+    sample_once(t_ns);
+    flush_pending();
+}
+
+// ---------------------------------------------------------- self counters
+
+namespace {
+
+    char const* const telemetry_counter_keys[] = {
+        "/telemetry/count/samples",
+        "/telemetry/count/dropped",
+        "/telemetry/count/flushed",
+        "/telemetry/buffer/occupancy",
+        "/telemetry/buffer/capacity",
+    };
+
+    void register_gauge_type(perf::counter_registry& registry,
+        std::string key, perf::counter_kind kind, std::string help,
+        perf::value_source source)
+    {
+        perf::counter_registry::type_info t;
+        t.type_key = std::move(key);
+        t.kind = kind;
+        t.helptext = std::move(help);
+        t.create = [source = std::move(source), kind](
+                       perf::counter_path const& path) -> perf::counter_ptr {
+            perf::counter_info info;
+            info.full_name = path.full_name();
+            info.kind = kind;
+            if (kind == perf::counter_kind::monotonically_increasing)
+                return std::make_shared<perf::delta_counter>(
+                    std::move(info), source);
+            return std::make_shared<perf::gauge_counter>(
+                std::move(info), source);
+        };
+        registry.register_type(std::move(t));
+    }
+
+}    // namespace
+
+void register_telemetry_counters(perf::counter_registry& registry, sampler& s)
+{
+    using perf::counter_kind;
+    register_gauge_type(registry, "/telemetry/count/samples",
+        counter_kind::monotonically_increasing,
+        "samples taken by the telemetry sampler",
+        [&s] { return static_cast<double>(s.samples()); });
+    register_gauge_type(registry, "/telemetry/count/dropped",
+        counter_kind::monotonically_increasing,
+        "telemetry rows dropped on ring overflow",
+        [&s] { return static_cast<double>(s.dropped()); });
+    register_gauge_type(registry, "/telemetry/count/flushed",
+        counter_kind::monotonically_increasing,
+        "telemetry rows delivered to sinks",
+        [&s] { return static_cast<double>(s.flushed()); });
+    register_gauge_type(registry, "/telemetry/buffer/occupancy",
+        counter_kind::raw, "rows currently buffered in the sample ring",
+        [&s] { return static_cast<double>(s.ring_occupancy()); });
+    register_gauge_type(registry, "/telemetry/buffer/capacity",
+        counter_kind::raw, "sample ring capacity in rows",
+        [&s] { return static_cast<double>(s.ring_capacity()); });
+}
+
+void remove_telemetry_counters(perf::counter_registry& registry)
+{
+    for (char const* key : telemetry_counter_keys)
+        registry.unregister_type(key);
+}
+
+}    // namespace minihpx::telemetry

@@ -1,0 +1,230 @@
+#include <minihpx/telemetry/scrape_endpoint.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace minihpx::telemetry {
+
+namespace {
+
+    // Prometheus label values escape backslash, quote and newline.
+    std::string label_escape(std::string_view s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char const c : s)
+        {
+            if (c == '\\')
+                out += "\\\\";
+            else if (c == '"')
+                out += "\\\"";
+            else if (c == '\n')
+                out += "\\n";
+            else
+                out += c;
+        }
+        return out;
+    }
+
+    void write_all(int fd, std::string_view data)
+    {
+        std::size_t off = 0;
+        while (off < data.size())
+        {
+            ssize_t const n =
+                ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+            if (n <= 0)
+                return;
+            off += static_cast<std::size_t>(n);
+        }
+    }
+
+}    // namespace
+
+scrape_endpoint::scrape_endpoint(std::uint16_t port)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    MINIHPX_ASSERT_MSG(listen_fd_ >= 0, "scrape endpoint: socket() failed");
+
+    int const one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = ::htonl(INADDR_LOOPBACK);
+    addr.sin_port = ::htons(port);
+    int const bound = ::bind(listen_fd_,
+        reinterpret_cast<sockaddr const*>(&addr), sizeof(addr));
+    MINIHPX_ASSERT_MSG(bound == 0, "scrape endpoint: bind() failed");
+    MINIHPX_ASSERT_MSG(::listen(listen_fd_, 8) == 0,
+        "scrape endpoint: listen() failed");
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ::ntohs(addr.sin_port);
+
+    server_ = std::thread([this] { serve_loop(); });
+}
+
+scrape_endpoint::~scrape_endpoint()
+{
+    stop_serving();
+}
+
+void scrape_endpoint::close()
+{
+    stop_serving();
+}
+
+void scrape_endpoint::stop_serving()
+{
+    if (!server_.joinable())
+        return;
+    stop_.store(true, std::memory_order_release);
+    server_.join();
+    if (listen_fd_ >= 0)
+    {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void scrape_endpoint::open(record_schema const& schema)
+{
+    std::lock_guard lock(mutex_);
+    schema_ = schema;
+    have_schema_ = true;
+}
+
+void scrape_endpoint::consume(sample_view const& row)
+{
+    std::lock_guard lock(mutex_);
+    latest_ = sample_record::copy_of(row);
+    have_row_ = true;
+}
+
+void scrape_endpoint::set_stats_source(std::function<stats()> source)
+{
+    std::lock_guard lock(mutex_);
+    stats_source_ = std::move(source);
+}
+
+std::string scrape_endpoint::render() const
+{
+    std::ostringstream os;
+    os << "# HELP minihpx_counter Latest sampled value of a minihpx "
+          "performance counter.\n"
+          "# TYPE minihpx_counter gauge\n";
+
+    std::lock_guard lock(mutex_);
+    if (have_schema_ && have_row_)
+    {
+        std::size_t const n =
+            std::min(schema_.columns.size(), latest_.slots.size());
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            if (!latest_.slots[i].valid)
+                continue;
+            auto const& c = schema_.columns[i];
+            os << "minihpx_counter{path=\"" << label_escape(c.name) << '"';
+            if (!c.unit.empty())
+                os << ",unit=\"" << label_escape(c.unit) << '"';
+            os << "} ";
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.12g", latest_.slots[i].value);
+            os << buf << '\n';
+        }
+        os << "# HELP minihpx_sample_age_seq Sequence number of the "
+              "sample served above.\n"
+              "# TYPE minihpx_sample_age_seq gauge\n"
+              "minihpx_sample_age_seq "
+           << latest_.seq << '\n';
+    }
+
+    if (stats_source_)
+    {
+        stats const s = stats_source_();
+        os << "# HELP minihpx_telemetry_samples_total Samples taken by "
+              "the attached sampler.\n"
+              "# TYPE minihpx_telemetry_samples_total counter\n"
+              "minihpx_telemetry_samples_total "
+           << s.samples
+           << "\n"
+              "# HELP minihpx_telemetry_dropped_total Rows dropped on "
+              "ring overflow.\n"
+              "# TYPE minihpx_telemetry_dropped_total counter\n"
+              "minihpx_telemetry_dropped_total "
+           << s.dropped
+           << "\n"
+              "# HELP minihpx_telemetry_flushed_total Rows delivered "
+              "to sinks.\n"
+              "# TYPE minihpx_telemetry_flushed_total counter\n"
+              "minihpx_telemetry_flushed_total "
+           << s.flushed << '\n';
+    }
+
+    os << "# HELP minihpx_scrapes_total Scrapes served by this "
+          "endpoint.\n"
+          "# TYPE minihpx_scrapes_total counter\n"
+          "minihpx_scrapes_total "
+       << scrapes_.load(std::memory_order_relaxed) << '\n';
+    return os.str();
+}
+
+void scrape_endpoint::serve_loop()
+{
+    while (!stop_.load(std::memory_order_acquire))
+    {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        int const ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+        if (ready <= 0)
+            continue;
+
+        int const client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+
+        // Read whatever arrives first; we only dispatch on the request
+        // line, so one read of the initial chunk is enough for every
+        // real scraper.
+        char request[2048];
+        ssize_t const n = ::recv(client, request, sizeof(request) - 1, 0);
+        bool const is_get = n >= 3 && std::strncmp(request, "GET", 3) == 0;
+
+        if (is_get)
+        {
+            scrapes_.fetch_add(1, std::memory_order_relaxed);
+            std::string const body = render();
+            std::ostringstream head;
+            head << "HTTP/1.0 200 OK\r\n"
+                    "Content-Type: text/plain; version=0.0.4; "
+                    "charset=utf-8\r\n"
+                    "Content-Length: "
+                 << body.size()
+                 << "\r\n"
+                    "Connection: close\r\n\r\n";
+            write_all(client, head.str());
+            write_all(client, body);
+        }
+        else
+        {
+            write_all(client,
+                "HTTP/1.0 400 Bad Request\r\n"
+                "Content-Length: 0\r\nConnection: close\r\n\r\n");
+        }
+        ::close(client);
+    }
+}
+
+}    // namespace minihpx::telemetry

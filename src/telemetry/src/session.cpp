@@ -1,0 +1,118 @@
+#include <minihpx/telemetry/session.hpp>
+
+#include <minihpx/runtime/runtime.hpp>
+#include <minihpx/util/assert.hpp>
+
+#include <iostream>
+
+namespace minihpx::telemetry {
+
+namespace {
+
+    sampler_config make_sampler_config(telemetry_options const& options)
+    {
+        sampler_config config;
+        config.counter_names = options.counter_names;
+        config.rollup_names = options.rollup_names;
+        config.period_ns = options.interval_ms <= 0.0 ?
+            std::uint64_t(100'000'000) :
+            static_cast<std::uint64_t>(options.interval_ms * 1e6);
+        config.ring_capacity = options.ring_capacity;
+        return config;
+    }
+
+    bool has_prefix(std::string const& s, std::string_view prefix)
+    {
+        return s.size() > prefix.size() &&
+            s.compare(0, prefix.size(), prefix) == 0;
+    }
+
+}    // namespace
+
+telemetry_options telemetry_options::from_cli(util::cli_args const& args)
+{
+    telemetry_options options;
+    options.counter_names = args.values("mh:print-counter");
+    options.rollup_names = args.values("mh:telemetry-rollup");
+    options.interval_ms = args.double_or("mh:telemetry-interval",
+        args.double_or("mh:print-counter-interval", 100.0));
+    options.destination = args.value_or("mh:telemetry-destination",
+        args.value_or("mh:print-counter-destination", ""));
+    options.endpoint_port =
+        static_cast<int>(args.int_or("mh:telemetry-endpoint", -1));
+    options.ring_capacity = static_cast<std::size_t>(
+        args.int_or("mh:telemetry-ring", 1024));
+    return options;
+}
+
+session::session(perf::counter_registry& registry, telemetry_options options)
+  : options_(std::move(options))
+  , sampler_(registry, make_sampler_config(options_))
+{
+    for (auto const& error : sampler_.errors())
+        std::cerr << "minihpx: telemetry error: " << error << '\n';
+
+    if (!options_.destination.empty())
+    {
+        if (has_prefix(options_.destination, "jsonl:"))
+            sampler_.add_sink(std::make_shared<jsonl_sink>(
+                options_.destination.substr(6)));
+        else if (has_prefix(options_.destination, "csv:"))
+            sampler_.add_sink(
+                std::make_shared<csv_sink>(options_.destination.substr(4)));
+        else
+            sampler_.add_sink(
+                std::make_shared<csv_sink>(options_.destination));
+    }
+
+    if (options_.endpoint_port >= 0)
+    {
+        endpoint_ = std::make_shared<scrape_endpoint>(
+            static_cast<std::uint16_t>(options_.endpoint_port));
+        endpoint_->set_stats_source([this] {
+            return scrape_endpoint::stats{
+                sampler_.samples(), sampler_.dropped(), sampler_.flushed()};
+        });
+        sampler_.add_sink(endpoint_);
+    }
+
+    // Quiesce before the runtime tears down workers: the sampled
+    // counters read live scheduler state (same ordering contract as
+    // perf::counter_session).
+    if (runtime* rt = runtime::get_ptr())
+    {
+        hooked_runtime_ = rt;
+        shutdown_token_ = rt->at_shutdown([this] { stop(); });
+    }
+
+    if (options_.autostart && !sampler_.empty())
+        sampler_.start();
+}
+
+session::~session()
+{
+    stop();
+    if (hooked_runtime_ && runtime::get_ptr() == hooked_runtime_)
+        static_cast<runtime*>(hooked_runtime_)
+            ->remove_shutdown_hook(shutdown_token_);
+}
+
+void session::subscribe(
+    subscription_sink::callback cb, std::size_t max_pending)
+{
+    sampler_.add_sink(
+        std::make_shared<subscription_sink>(std::move(cb), max_pending));
+}
+
+void session::start()
+{
+    if (!sampler_.running() && !sampler_.empty())
+        sampler_.start();
+}
+
+void session::stop()
+{
+    sampler_.stop();
+}
+
+}    // namespace minihpx::telemetry

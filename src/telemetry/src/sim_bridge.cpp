@@ -1,0 +1,111 @@
+#include <minihpx/telemetry/sim_bridge.hpp>
+
+#include <minihpx/perf/basic_counters.hpp>
+
+#include <string>
+#include <utility>
+
+namespace minihpx::telemetry {
+
+namespace {
+
+    char const* const sim_counter_keys[] = {
+        "/sim/time/virtual",
+        "/sim/time/task-cumulative",
+        "/sim/time/overhead-cumulative",
+        "/sim/count/tasks-created",
+        "/sim/count/tasks-executed",
+        "/sim/count/tasks-alive",
+        "/sim/count/steals",
+        "/sim/count/suspensions",
+    };
+
+    void register_sim_type(perf::counter_registry& registry, std::string key,
+        perf::counter_kind kind, std::string unit, std::string help,
+        perf::value_source source)
+    {
+        perf::counter_registry::type_info t;
+        t.type_key = std::move(key);
+        t.kind = kind;
+        t.unit_of_measure = unit;
+        t.helptext = std::move(help);
+        t.create = [source = std::move(source), kind, unit](
+                       perf::counter_path const& path) -> perf::counter_ptr {
+            perf::counter_info info;
+            info.full_name = path.full_name();
+            info.kind = kind;
+            info.unit_of_measure = unit;
+            if (kind == perf::counter_kind::monotonically_increasing)
+                return std::make_shared<perf::delta_counter>(
+                    std::move(info), source);
+            return std::make_shared<perf::gauge_counter>(
+                std::move(info), source);
+        };
+        registry.register_type(std::move(t));
+    }
+
+}    // namespace
+
+void register_sim_counters(
+    perf::counter_registry& registry, sim::simulator& sim)
+{
+    using perf::counter_kind;
+    auto const mono = counter_kind::monotonically_increasing;
+
+    register_sim_type(registry, "/sim/time/virtual", counter_kind::raw,
+        "ns", "current virtual time of the simulator",
+        [&sim] { return static_cast<double>(sim.progress().now_ns); });
+    register_sim_type(registry, "/sim/time/task-cumulative", mono, "ns",
+        "cumulative virtual task segment time",
+        [&sim] { return static_cast<double>(sim.progress().task_time_ns); });
+    register_sim_type(registry, "/sim/time/overhead-cumulative", mono, "ns",
+        "cumulative virtual scheduler overhead",
+        [&sim] { return static_cast<double>(sim.progress().overhead_ns); });
+    register_sim_type(registry, "/sim/count/tasks-created", mono, "",
+        "tasks created since run start",
+        [&sim] { return static_cast<double>(sim.progress().tasks_created); });
+    register_sim_type(registry, "/sim/count/tasks-executed", mono, "",
+        "tasks retired since run start",
+        [&sim] { return static_cast<double>(sim.progress().tasks_executed); });
+    register_sim_type(registry, "/sim/count/tasks-alive", counter_kind::raw,
+        "", "tasks currently alive in the simulation",
+        [&sim] { return static_cast<double>(sim.progress().tasks_alive); });
+    register_sim_type(registry, "/sim/count/steals", mono, "",
+        "work-stealing operations since run start",
+        [&sim] { return static_cast<double>(sim.progress().steals); });
+    register_sim_type(registry, "/sim/count/suspensions", mono, "",
+        "task suspensions since run start",
+        [&sim] { return static_cast<double>(sim.progress().suspensions); });
+}
+
+void remove_sim_counters(perf::counter_registry& registry)
+{
+    for (char const* key : sim_counter_keys)
+        registry.unregister_type(key);
+}
+
+sim_sampler::sim_sampler(sim::simulator& sim,
+    perf::counter_registry& registry, sampler_config config)
+  : sim_(sim)
+  , period_ns_(config.period_ns)
+  , sampler_(registry, std::move(config))
+{
+    sim_.set_sample_hook(
+        period_ns_, [this](std::uint64_t t) { sampler_.tick(t); });
+}
+
+sim_sampler::~sim_sampler()
+{
+    finish();
+}
+
+void sim_sampler::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    sim_.clear_sample_hook();
+    sampler_.stop();    // no threads in manual mode: drain + close only
+}
+
+}    // namespace minihpx::telemetry

@@ -1,0 +1,198 @@
+#include <minihpx/telemetry/sink.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+namespace minihpx::telemetry {
+
+std::string json_escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char const c : s)
+    {
+        switch (c)
+        {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+            {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+                out += buf;
+            }
+            else
+            {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+    std::unique_ptr<std::ostream> open_file(std::string const& path)
+    {
+        auto file = std::make_unique<std::ofstream>(path);
+        MINIHPX_ASSERT_MSG(
+            file->is_open(), "telemetry sink: cannot open output file");
+        return file;
+    }
+
+}    // namespace
+
+// -------------------------------------------------------------------- csv
+
+csv_sink::csv_sink(std::string path)
+  : owned_(open_file(path))
+  , out_(owned_.get())
+{
+}
+
+csv_sink::csv_sink(std::ostream& os)
+  : out_(&os)
+{
+}
+
+csv_sink::~csv_sink() = default;
+
+void csv_sink::open(record_schema const& schema)
+{
+    *out_ << "t_ns,seq";
+    for (auto const& c : schema.columns)
+        *out_ << ',' << c.name;
+    *out_ << '\n';
+}
+
+void csv_sink::consume(sample_view const& row)
+{
+    *out_ << row.t_ns << ',' << row.seq;
+    for (std::size_t i = 0; i < row.width; ++i)
+    {
+        *out_ << ',';
+        if (row.slots[i].valid)
+            *out_ << std::setprecision(12) << row.slots[i].value;
+    }
+    *out_ << '\n';
+}
+
+void csv_sink::flush()
+{
+    out_->flush();
+}
+
+// ------------------------------------------------------------------ jsonl
+
+jsonl_sink::jsonl_sink(std::string path)
+  : owned_(open_file(path))
+  , out_(owned_.get())
+{
+}
+
+jsonl_sink::jsonl_sink(std::ostream& os)
+  : out_(&os)
+{
+}
+
+jsonl_sink::~jsonl_sink() = default;
+
+void jsonl_sink::open(record_schema const& schema)
+{
+    *out_ << "{\"schema\":{\"columns\":[";
+    for (std::size_t i = 0; i < schema.columns.size(); ++i)
+    {
+        auto const& c = schema.columns[i];
+        if (i != 0)
+            *out_ << ',';
+        *out_ << "{\"name\":\"" << json_escape(c.name) << "\",\"unit\":\""
+              << json_escape(c.unit) << "\",\"kind\":\""
+              << perf::to_string(c.kind) << "\"}";
+    }
+    *out_ << "]}}\n";
+}
+
+void jsonl_sink::consume(sample_view const& row)
+{
+    *out_ << "{\"t_ns\":" << row.t_ns << ",\"seq\":" << row.seq
+          << ",\"v\":[";
+    for (std::size_t i = 0; i < row.width; ++i)
+    {
+        if (i != 0)
+            *out_ << ',';
+        if (row.slots[i].valid)
+            *out_ << std::setprecision(12) << row.slots[i].value;
+        else
+            *out_ << "null";
+    }
+    *out_ << "]}\n";
+}
+
+void jsonl_sink::flush()
+{
+    out_->flush();
+}
+
+// ----------------------------------------------------------- subscription
+
+subscription_sink::subscription_sink(callback cb, std::size_t max_pending)
+  : callback_(std::move(cb))
+  , max_pending_(max_pending == 0 ? 1 : max_pending)
+{
+    MINIHPX_ASSERT_MSG(callback_, "subscription_sink needs a callback");
+}
+
+bool subscription_sink::deliver_pending()
+{
+    while (!pending_.empty())
+    {
+        if (!callback_(pending_.front().view()))
+            return false;
+        pending_.pop_front();
+        ++delivered_;
+    }
+    return true;
+}
+
+void subscription_sink::consume(sample_view const& row)
+{
+    // Pending rows go first so the subscriber always sees samples in
+    // order; only when the backlog clears is the new row offered.
+    if (deliver_pending() && callback_(row))
+    {
+        ++delivered_;
+        return;
+    }
+    if (pending_.size() >= max_pending_)
+    {
+        pending_.pop_front();
+        ++dropped_;
+    }
+    pending_.push_back(sample_record::copy_of(row));
+}
+
+void subscription_sink::flush()
+{
+    deliver_pending();
+}
+
+}    // namespace minihpx::telemetry

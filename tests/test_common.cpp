@@ -194,6 +194,64 @@ TEST(Histogram, ApproxQuantile)
     EXPECT_EQ(h.approx_quantile(0.99), 1u << 20);
 }
 
+TEST(Histogram, InterpolatedQuantileEmpty)
+{
+    log2_histogram<> h;
+    EXPECT_EQ(h.quantile(0.5), 0u);
+    EXPECT_EQ(h.summary().p99, 0u);
+}
+
+TEST(Histogram, InterpolatedQuantileUniform)
+{
+    // Uniform 1..1000: the true quantiles are known exactly; the
+    // interpolated estimate must land within the enclosing log2 bucket
+    // *and* much closer than the bucket floor alone would.
+    log2_histogram<> h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.add(v);
+    auto within = [](std::uint64_t est, double truth, double rel) {
+        EXPECT_GE(static_cast<double>(est), truth * (1.0 - rel));
+        EXPECT_LE(static_cast<double>(est), truth * (1.0 + rel));
+    };
+    within(h.quantile(0.50), 500.0, 0.15);
+    within(h.quantile(0.95), 950.0, 0.15);
+    within(h.quantile(0.99), 990.0, 0.15);
+    // Monotone in q.
+    EXPECT_LE(h.quantile(0.50), h.quantile(0.95));
+    EXPECT_LE(h.quantile(0.95), h.quantile(0.99));
+}
+
+TEST(Histogram, InterpolatedQuantileBimodal)
+{
+    // 90% fast ops at ~1us, 10% slow at ~1ms (the task-duration shape
+    // rollups exist for): p50 must sit in the fast mode, p95/p99 in
+    // the slow mode.
+    log2_histogram<> h;
+    for (int i = 0; i < 900; ++i)
+        h.add(1000);
+    for (int i = 0; i < 100; ++i)
+        h.add(1000000);
+    auto const s = h.summary();
+    EXPECT_GE(s.p50, 512u);
+    EXPECT_LT(s.p50, 2048u);
+    EXPECT_GE(s.p95, 524288u);    // within the 1e6 bucket [2^19, 2^20)
+    EXPECT_LT(s.p95, 2097152u);
+    EXPECT_GE(s.p99, s.p95);
+}
+
+TEST(Histogram, InterpolatedQuantileSingleValue)
+{
+    log2_histogram<> h;
+    for (int i = 0; i < 50; ++i)
+        h.add(777);
+    // Everything is in bucket [512,1024); every quantile must be too.
+    for (double q : {0.0, 0.5, 0.9, 1.0})
+    {
+        EXPECT_GE(h.quantile(q), 512u);
+        EXPECT_LT(h.quantile(q), 1024u);
+    }
+}
+
 // --------------------------------------------------------------------- rng
 
 TEST(Rng, DeterministicForSeed)

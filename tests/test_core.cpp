@@ -396,6 +396,27 @@ TEST(Registry, ListAndContains)
     EXPECT_FALSE(registry.contains("/test/value"));
 }
 
+TEST(Registry, VersionBumpsOnMutation)
+{
+    counter_registry registry;
+    auto const v0 = registry.version();
+    counter_registry::type_info t;
+    t.type_key = "/test/value";
+    t.create = [](counter_path const& path) -> counter_ptr {
+        return std::make_shared<gauge_counter>(
+            counter_info{path.full_name(), counter_kind::raw, "", ""},
+            [] { return 1.0; });
+    };
+    registry.register_type(std::move(t));
+    auto const v1 = registry.version();
+    EXPECT_GT(v1, v0);
+    EXPECT_EQ(registry.version(), v1);    // reads don't bump
+    registry.unregister_type("/test/value");
+    EXPECT_GT(registry.version(), v1);
+    registry.unregister_type("/test/value");    // absent: no bump
+    EXPECT_EQ(registry.version(), v1 + 1);
+}
+
 // ------------------------------------------------------------ thread counters
 
 namespace {
@@ -628,6 +649,95 @@ TEST_F(ThreadCounterTest, SessionGlobalEvaluate)
     std::ifstream in("/tmp/minihpx_test_counters.txt");
     std::string contents(std::istreambuf_iterator<char>(in), {});
     EXPECT_NE(contents.find("phase-1"), std::string::npos);
+}
+
+TEST_F(ThreadCounterTest, EvaluateIntoMatchesEvaluate)
+{
+    active_counters active(
+        registry_, {"/threads{locality#0/total}/count/cumulative",
+                       "/runtime{locality#0/total}/uptime"});
+    ASSERT_EQ(active.size(), 2u);
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 10; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    std::vector<counter_value> values(active.size());
+    active.evaluate_into(values.data());
+    auto const reference = active.evaluate();
+    ASSERT_EQ(reference.size(), 2u);
+    EXPECT_TRUE(values[0].valid());
+    // Counter 0 is cumulative task count: stable between the calls.
+    EXPECT_DOUBLE_EQ(values[0].get(), reference[0].value.get());
+}
+
+// Regression: a counter_session with background sampling used to race
+// runtime teardown — the sampler thread could evaluate scheduler-backed
+// counters while workers were being destroyed. The session now
+// quiesces (stop sampler, final flush) via runtime::at_shutdown before
+// worker teardown starts, even when the session outlives the runtime.
+TEST(SessionShutdownOrdering, SessionOutlivesRuntime)
+{
+    std::string const path = ::testing::TempDir() + "minihpx_shutdown.csv";
+    {
+        runtime_config config;
+        config.sched.num_workers = 2;
+        auto rt = std::make_unique<runtime>(config);
+        counter_registry registry;
+        register_all_runtime_counters(registry, *rt);
+
+        session_options options;
+        options.counter_names = {
+            "/threads{locality#0/total}/count/cumulative",
+            "/threads{locality#0/total}/idle-rate"};
+        options.interval_ms = 0.5;
+        options.destination = path;
+        options.csv = true;
+        counter_session session(registry, options);
+
+        std::vector<future<void>> fs;
+        for (int i = 0; i < 50; ++i)
+            fs.push_back(async([] {}));
+        wait_all(fs);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+        // Destroy the runtime *while the session still samples* (the
+        // bad order). The shutdown hook must stop the sampler and
+        // flush before worker teardown.
+        rt.reset();
+
+        // After quiesce the session must be inert, not crash.
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        session.evaluate("after-death");
+    }
+    std::ifstream in(path);
+    std::string const contents(std::istreambuf_iterator<char>(in), {});
+    EXPECT_NE(contents.find("shutdown"), std::string::npos);
+    EXPECT_EQ(contents.find("after-death"), std::string::npos);
+}
+
+TEST(SessionShutdownOrdering, NormalOrderStillPrintsOnce)
+{
+    std::string const path = ::testing::TempDir() + "minihpx_shutdown2.csv";
+    {
+        runtime_config config;
+        config.sched.num_workers = 2;
+        runtime rt(config);
+        counter_registry registry;
+        register_all_runtime_counters(registry, rt);
+        session_options options;
+        options.counter_names = {
+            "/threads{locality#0/total}/count/cumulative"};
+        options.destination = path;
+        options.csv = true;
+        counter_session session(registry, options);
+        async([] {}).get();
+    }    // session first, then runtime: the hook must deregister
+    std::ifstream in(path);
+    std::string const contents(std::istreambuf_iterator<char>(in), {});
+    std::size_t first = contents.find("shutdown");
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(contents.find("shutdown", first + 1), std::string::npos);
 }
 
 TEST(SessionOptions, FromCli)

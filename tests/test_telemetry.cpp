@@ -1,0 +1,742 @@
+// minihpx::telemetry tests: ring semantics, schema construction
+// (including rollup quantile columns), sink formats, subscription
+// backpressure, the TCP scrape endpoint, wildcard discovery stability
+// (real registry and under the sim engine), virtual-time sampling
+// determinism, and session/runtime shutdown ordering.
+#include <minihpx/minihpx.hpp>
+#include <minihpx/perf/perf.hpp>
+#include <minihpx/sim/engine.hpp>
+#include <minihpx/telemetry/telemetry.hpp>
+
+#include <gtest/gtest.h>
+
+#include "test_env.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace minihpx;
+using namespace minihpx::telemetry;
+
+namespace {
+
+// Registers a gauge-backed counter type reading `source`; instances >
+// 0 makes "worker-thread#*" expand to that many concrete counters.
+void register_test_gauge(perf::counter_registry& registry, std::string key,
+    perf::value_source source, std::uint64_t instances = 0,
+    perf::counter_kind kind = perf::counter_kind::raw)
+{
+    perf::counter_registry::type_info t;
+    t.type_key = std::move(key);
+    t.kind = kind;
+    t.create = [source, kind](
+                   perf::counter_path const& path) -> perf::counter_ptr {
+        perf::counter_info info;
+        info.full_name = path.full_name();
+        info.kind = kind;
+        return std::make_shared<perf::gauge_counter>(std::move(info), source);
+    };
+    if (instances > 0)
+        t.instance_count = [instances] { return instances; };
+    registry.register_type(std::move(t));
+}
+
+sample_record make_row(
+    std::uint64_t t_ns, std::uint64_t seq, std::vector<double> values)
+{
+    sample_record r;
+    r.t_ns = t_ns;
+    r.seq = seq;
+    for (double v : values)
+        r.slots.push_back(slot{v, true});
+    return r;
+}
+
+}    // namespace
+
+// -------------------------------------------------------------------- ring
+
+TEST(SampleRing, PushPopRoundTrip)
+{
+    sample_ring ring(4, 2);
+    for (std::uint64_t i = 0; i < 3; ++i)
+    {
+        slot* row = ring.begin_push(100 * i, i);
+        ASSERT_NE(row, nullptr);
+        row[0] = {static_cast<double>(i), true};
+        row[1] = {static_cast<double>(2 * i), true};
+        ring.commit_push();
+    }
+    EXPECT_EQ(ring.size(), 3u);
+
+    for (std::uint64_t i = 0; i < 3; ++i)
+    {
+        sample_view v;
+        ASSERT_TRUE(ring.front(v));
+        EXPECT_EQ(v.t_ns, 100 * i);
+        EXPECT_EQ(v.seq, i);
+        ASSERT_EQ(v.width, 2u);
+        EXPECT_DOUBLE_EQ(v.slots[1].value, static_cast<double>(2 * i));
+        ring.pop();
+    }
+    sample_view v;
+    EXPECT_FALSE(ring.front(v));
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SampleRing, OverflowDropsAndCounts)
+{
+    sample_ring ring(2, 1);
+    for (std::uint64_t i = 0; i < 2; ++i)
+    {
+        slot* row = ring.begin_push(i, i);
+        ASSERT_NE(row, nullptr);
+        ring.commit_push();
+    }
+    // Full: the next push is refused and counted, existing rows intact.
+    EXPECT_EQ(ring.begin_push(99, 99), nullptr);
+    EXPECT_EQ(ring.dropped(), 1u);
+    EXPECT_EQ(ring.size(), 2u);
+
+    sample_view v;
+    ASSERT_TRUE(ring.front(v));
+    EXPECT_EQ(v.seq, 0u);
+    ring.pop();
+    // Space again after the pop.
+    EXPECT_NE(ring.begin_push(3, 3), nullptr);
+    ring.commit_push();
+}
+
+TEST(SampleRing, WrapAroundKeepsOrder)
+{
+    sample_ring ring(3, 1);
+    std::uint64_t next_pop = 0;
+    for (std::uint64_t i = 0; i < 20; ++i)
+    {
+        slot* row = ring.begin_push(i, i);
+        ASSERT_NE(row, nullptr);
+        row[0] = {static_cast<double>(i), true};
+        ring.commit_push();
+        if (i % 2 == 1)    // drain two rows every other push
+        {
+            for (int k = 0; k < 2; ++k)
+            {
+                sample_view v;
+                ASSERT_TRUE(ring.front(v));
+                EXPECT_EQ(v.seq, next_pop++);
+                ring.pop();
+            }
+        }
+    }
+    EXPECT_EQ(ring.pushed(), 20u);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+// ------------------------------------------------------ sampler and schema
+
+TEST(Sampler, SchemaOneColumnPerCounter)
+{
+    perf::counter_registry registry;
+    double x = 1.0;
+    register_test_gauge(registry, "/test/x", [&] { return x; });
+    register_test_gauge(registry, "/test/y", [&] { return 2 * x; });
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#0/total}/x",
+        "/test{locality#0/total}/y"};
+    sampler s(registry, config);
+    ASSERT_TRUE(s.errors().empty());
+    ASSERT_EQ(s.schema().width(), 2u);
+    EXPECT_EQ(s.schema().columns[0].name, "/test{locality#0/total}/x");
+    EXPECT_EQ(s.schema().columns[1].name, "/test{locality#0/total}/y");
+}
+
+TEST(Sampler, RollupCounterEmitsQuantileTriple)
+{
+    perf::counter_registry registry;
+    double v = 0.0;
+    register_test_gauge(registry, "/test/lat", [&] { return v; });
+
+    sampler_config config;
+    config.rollup_names = {"/test{locality#0/total}/lat"};
+    sampler s(registry, config);
+    ASSERT_TRUE(s.errors().empty());
+    ASSERT_EQ(s.schema().width(), 3u);
+    EXPECT_EQ(s.schema().columns[0].name, "/test{locality#0/total}/lat/p50");
+    EXPECT_EQ(s.schema().columns[1].name, "/test{locality#0/total}/lat/p95");
+    EXPECT_EQ(s.schema().columns[2].name, "/test{locality#0/total}/lat/p99");
+
+    std::ostringstream csv;
+    s.add_sink(std::make_shared<csv_sink>(csv));
+    // Feed a known distribution: 1..100. p50 ~ 50, p99 ~ 99 (log2
+    // buckets: within a factor of 2).
+    for (int i = 1; i <= 100; ++i)
+    {
+        v = static_cast<double>(i);
+        s.tick(static_cast<std::uint64_t>(i) * 1000);
+    }
+    s.stop();
+
+    std::istringstream in(csv.str());
+    std::string line, last;
+    std::getline(in, line);
+    EXPECT_NE(line.find("/p50"), std::string::npos);
+    while (std::getline(in, line))
+        last = line;
+    double t, seq, p50, p95, p99;
+    char c;
+    std::istringstream row(last);
+    row >> t >> c >> seq >> c >> p50 >> c >> p95 >> c >> p99;
+    EXPECT_GE(p50, 25.0);
+    EXPECT_LE(p50, 100.0);
+    EXPECT_GE(p99, 50.0);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p50, p95);
+}
+
+TEST(Sampler, ManualTickStreamsToCsv)
+{
+    perf::counter_registry registry;
+    double x = 10.0;
+    register_test_gauge(registry, "/test/x", [&] { return x; });
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#0/total}/x"};
+    sampler s(registry, config);
+
+    std::ostringstream csv;
+    s.add_sink(std::make_shared<csv_sink>(csv));
+    s.tick(1000);
+    x = 20.0;
+    s.tick(2000);
+    s.stop();
+
+    EXPECT_EQ(csv.str(),
+        "t_ns,seq,/test{locality#0/total}/x\n"
+        "1000,0,10\n"
+        "2000,1,20\n");
+    EXPECT_EQ(s.samples(), 2u);
+    EXPECT_EQ(s.flushed(), 2u);
+    EXPECT_EQ(s.dropped(), 0u);
+}
+
+TEST(Sampler, JsonlSchemaLineAndRows)
+{
+    perf::counter_registry registry;
+    register_test_gauge(registry, "/test/x", [] { return 1.5; });
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#0/total}/x"};
+    sampler s(registry, config);
+
+    std::ostringstream jsonl;
+    s.add_sink(std::make_shared<jsonl_sink>(jsonl));
+    s.tick(5);
+    s.stop();
+
+    std::istringstream in(jsonl.str());
+    std::string schema_line, row_line;
+    ASSERT_TRUE(std::getline(in, schema_line));
+    ASSERT_TRUE(std::getline(in, row_line));
+    EXPECT_NE(schema_line.find("\"schema\""), std::string::npos);
+    EXPECT_NE(schema_line.find("\"/test{locality#0/total}/x\""),
+        std::string::npos);
+    EXPECT_EQ(row_line, "{\"t_ns\":5,\"seq\":0,\"v\":[1.5]}");
+}
+
+TEST(Sampler, RealTimeModeSamplesPeriodically)
+{
+    perf::counter_registry registry;
+    std::atomic<double> x{1.0};
+    register_test_gauge(registry, "/test/x", [&] { return x.load(); });
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#0/total}/x"};
+    config.period_ns = 500'000;    // 0.5 ms
+    sampler s(registry, config);
+
+    std::ostringstream csv;
+    s.add_sink(std::make_shared<csv_sink>(csv));
+    s.start();
+    EXPECT_TRUE(s.running());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    s.stop();
+    EXPECT_FALSE(s.running());
+
+    EXPECT_GE(s.samples(), 2u);
+    EXPECT_EQ(s.flushed() + s.dropped(), s.samples());
+    // Stop drains: every surviving row reached the sink.
+    std::istringstream in(csv.str());
+    std::string line;
+    std::getline(in, line);    // header
+    std::uint64_t rows = 0;
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_EQ(rows, s.flushed());
+}
+
+TEST(Sampler, UnknownCounterReportedNotFatal)
+{
+    perf::counter_registry registry;
+    sampler_config config;
+    config.counter_names = {"/nonexistent{locality#0/total}/x"};
+    sampler s(registry, config);
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.errors().empty());
+}
+
+// ------------------------------------------------------------ subscription
+
+TEST(SubscriptionSink, DeliversInOrder)
+{
+    std::vector<std::uint64_t> seen;
+    subscription_sink sink(
+        [&](sample_view const& v) {
+            seen.push_back(v.seq);
+            return true;
+        },
+        4);
+    for (std::uint64_t i = 0; i < 5; ++i)
+    {
+        auto r = make_row(i, i, {1.0});
+        sink.consume(r.view());
+    }
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(sink.delivered(), 5u);
+    EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(SubscriptionSink, BackpressureQueuesAndRedelivers)
+{
+    bool accept = false;
+    std::vector<std::uint64_t> seen;
+    subscription_sink sink(
+        [&](sample_view const& v) {
+            if (!accept)
+                return false;
+            seen.push_back(v.seq);
+            return true;
+        },
+        8);
+
+    for (std::uint64_t i = 0; i < 3; ++i)
+    {
+        auto r = make_row(i, i, {1.0});
+        sink.consume(r.view());
+    }
+    EXPECT_EQ(sink.pending(), 3u);
+    EXPECT_TRUE(seen.empty());
+
+    // Consumer recovers: pending rows are redelivered first, in order.
+    accept = true;
+    auto r = make_row(3, 3, {1.0});
+    sink.consume(r.view());
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+    EXPECT_EQ(sink.pending(), 0u);
+}
+
+TEST(SubscriptionSink, OverflowDropsOldest)
+{
+    bool accept = false;
+    std::vector<std::uint64_t> seen;
+    subscription_sink sink(
+        [&](sample_view const& v) {
+            if (!accept)
+                return false;
+            seen.push_back(v.seq);
+            return true;
+        },
+        2);
+    for (std::uint64_t i = 0; i < 5; ++i)
+    {
+        auto r = make_row(i, i, {1.0});
+        sink.consume(r.view());
+    }
+    EXPECT_EQ(sink.pending(), 2u);
+    EXPECT_EQ(sink.dropped(), 3u);
+
+    // Only the two newest rows survived the overflow.
+    accept = true;
+    sink.flush();
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{3, 4}));
+}
+
+// --------------------------------------------------------- scrape endpoint
+
+namespace {
+
+std::string http_get(std::uint16_t port, std::string const& request)
+{
+    int const fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)),
+        0);
+    EXPECT_GT(::send(fd, request.data(), request.size(), 0), 0);
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+}    // namespace
+
+TEST(ScrapeEndpoint, ServesLatestSampleAsTextExposition)
+{
+    scrape_endpoint endpoint(0);    // ephemeral port
+    ASSERT_GT(endpoint.port(), 0);
+
+    record_schema schema;
+    schema.columns.push_back(
+        {"/test{locality#0/total}/x", "ns", perf::counter_kind::raw});
+    endpoint.open(schema);
+    auto row = make_row(1000, 7, {42.5});
+    endpoint.consume(row.view());
+
+    std::string const response = http_get(endpoint.port(),
+        "GET /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(
+        response.find("Content-Type: text/plain; version=0.0.4"),
+        std::string::npos);
+    EXPECT_NE(response.find("minihpx_counter{path=\"/test{locality#0/"
+                            "total}/x\",unit=\"ns\"} 42.5"),
+        std::string::npos);
+    EXPECT_NE(
+        response.find("minihpx_sample_age_seq 7"), std::string::npos);
+    EXPECT_EQ(endpoint.scrapes(), 1u);
+}
+
+TEST(ScrapeEndpoint, BeforeFirstSampleServesMetaOnly)
+{
+    scrape_endpoint endpoint(0);
+    std::string const body = endpoint.render();
+    EXPECT_EQ(body.find("minihpx_counter{"), std::string::npos);
+    EXPECT_NE(body.find("minihpx_scrapes_total"), std::string::npos);
+}
+
+TEST(ScrapeEndpoint, RejectsNonGet)
+{
+    scrape_endpoint endpoint(0);
+    std::string const response = http_get(endpoint.port(),
+        "POST /metrics HTTP/1.0\r\n\r\n");
+    EXPECT_EQ(response.find("200 OK"), std::string::npos);
+}
+
+TEST(ScrapeEndpoint, StatsSourceRendered)
+{
+    scrape_endpoint endpoint(0);
+    endpoint.set_stats_source(
+        [] { return scrape_endpoint::stats{10, 2, 8}; });
+    std::string const body = endpoint.render();
+    EXPECT_NE(body.find("minihpx_telemetry_samples_total 10"),
+        std::string::npos);
+    EXPECT_NE(body.find("minihpx_telemetry_dropped_total 2"),
+        std::string::npos);
+    EXPECT_NE(body.find("minihpx_telemetry_flushed_total 8"),
+        std::string::npos);
+}
+
+// -------------------------------------------------- discovery stability
+
+TEST(Discovery, WildcardExpansionStableAcrossSamplers)
+{
+    perf::counter_registry registry;
+    register_test_gauge(
+        registry, "/test/x", [] { return 1.0; }, /*instances=*/3);
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#0/worker-thread#*}/x"};
+
+    sampler a(registry, config);
+    sampler b(registry, config);
+    ASSERT_EQ(a.schema().width(), 3u);
+    ASSERT_EQ(b.schema().width(), 3u);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(a.schema().columns[i].name, b.schema().columns[i].name);
+    EXPECT_EQ(a.discovery_version(), b.discovery_version());
+}
+
+TEST(Discovery, RegistryMutationChangesVersion)
+{
+    perf::counter_registry registry;
+    register_test_gauge(registry, "/test/x", [] { return 1.0; });
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#0/total}/x"};
+    sampler a(registry, config);
+
+    register_test_gauge(registry, "/test/late", [] { return 2.0; });
+    sampler b(registry, config);
+    // A consumer can detect that re-expansion might differ.
+    EXPECT_NE(a.discovery_version(), b.discovery_version());
+}
+
+TEST(Discovery, RuntimeCountersExpandPerWorker)
+{
+    runtime_config rc;
+    rc.sched.num_workers = 3;
+    runtime rt(rc);
+    perf::counter_registry registry;
+    perf::register_all_runtime_counters(registry, rt);
+
+    sampler_config config;
+    config.counter_names = {
+        "/threads{locality#0/worker-thread#*}/count/cumulative"};
+    sampler s(registry, config);
+    ASSERT_TRUE(s.errors().empty());
+    EXPECT_EQ(s.schema().width(), 3u);
+    for (std::size_t i = 0; i < s.schema().width(); ++i)
+        EXPECT_NE(s.schema().columns[i].name.find("worker-thread#"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- virtual-time (sim)
+
+TEST(SimTelemetry, VirtualTimeSamplingIsDeterministic)
+{
+    auto run_once = [] {
+        sim::sim_config config;
+        config.cores = 2;
+        sim::simulator sim(config);
+
+        perf::counter_registry registry;
+        register_sim_counters(registry, sim);
+
+        sampler_config sc;
+        sc.counter_names = {"/sim{locality#0/total}/time/virtual",
+            "/sim{locality#0/total}/count/tasks-executed",
+            "/sim{locality#0/total}/count/tasks-alive"};
+        sc.period_ns = 100'000;    // 0.1 ms virtual
+        sim_sampler ts(sim, registry, sc);
+
+        auto csv = std::make_shared<std::ostringstream>();
+        ts.add_sink(std::make_shared<csv_sink>(*csv));
+
+        auto report = sim.run([] {
+            for (int i = 0; i < 8; ++i)
+            {
+                auto f = sim::sim_engine::async([] {
+                    sim::sim_engine::annotate_work({.cpu_ns = 200'000});
+                });
+                f.get();
+            }
+        });
+        EXPECT_FALSE(report.failed);
+        ts.finish();
+        return csv->str();
+    };
+
+    std::string const first = run_once();
+    std::string const second = run_once();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);    // same config -> identical byte stream
+
+    // Rows are stamped with virtual boundary times: strict multiples
+    // of the period, strictly increasing.
+    std::istringstream in(first);
+    std::string line;
+    std::getline(in, line);    // header
+    std::uint64_t prev = 0;
+    std::size_t rows = 0;
+    while (std::getline(in, line))
+    {
+        std::uint64_t const t = std::stoull(line.substr(0, line.find(',')));
+        EXPECT_EQ(t % 100'000, 0u);
+        EXPECT_GT(t, prev);
+        prev = t;
+        ++rows;
+    }
+    EXPECT_GE(rows, 2u);
+}
+
+TEST(SimTelemetry, SameSchemaAsRealTimeSampling)
+{
+    sim::sim_config config;
+    config.cores = 1;
+    sim::simulator sim(config);
+    perf::counter_registry registry;
+    register_sim_counters(registry, sim);
+
+    sampler_config sc;
+    sc.counter_names = {"/sim{locality#0/total}/count/tasks-created"};
+    sim_sampler ts(sim, registry, sc);
+
+    // Virtual-time records use the exact record_schema every sink
+    // understands; CSV header shape matches the real-time pipeline.
+    std::ostringstream csv;
+    ts.add_sink(std::make_shared<csv_sink>(csv));
+    (void) sim.run(
+        [] { sim::sim_engine::annotate_work({.cpu_ns = 500'000}); });
+    ts.finish();
+
+    std::istringstream in(csv.str());
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header,
+        "t_ns,seq,/sim{locality#0/total}/count/tasks-created");
+}
+
+// ------------------------------------------------------- session plumbing
+
+TEST(TelemetrySession, OptionsFromCli)
+{
+    char const* argv[] = {"prog",
+        "--mh:print-counter=/threads{locality#0/total}/idle-rate",
+        "--mh:print-counter=/threads{locality#0/total}/time/average",
+        "--mh:telemetry-interval=2.5",
+        "--mh:telemetry-destination=jsonl:/tmp/out.jsonl",
+        "--mh:telemetry-endpoint=0", "--mh:telemetry-ring=64",
+        "--mh:telemetry-rollup=/threads{locality#0/total}/time/average"};
+    util::cli_args args(static_cast<int>(std::size(argv)), argv);
+    auto const options = telemetry_options::from_cli(args);
+    EXPECT_EQ(options.counter_names.size(), 2u);
+    EXPECT_EQ(options.rollup_names.size(), 1u);
+    EXPECT_DOUBLE_EQ(options.interval_ms, 2.5);
+    EXPECT_EQ(options.destination, "jsonl:/tmp/out.jsonl");
+    EXPECT_EQ(options.endpoint_port, 0);
+    EXPECT_EQ(options.ring_capacity, 64u);
+}
+
+TEST(TelemetrySession, SubscriptionReceivesSamples)
+{
+    perf::counter_registry registry;
+    register_test_gauge(registry, "/test/x", [] { return 3.0; });
+
+    telemetry_options options;
+    options.counter_names = {"/test{locality#0/total}/x"};
+    options.interval_ms = 0.5;
+    options.autostart = false;
+
+    session s(registry, options);
+    std::atomic<std::uint64_t> received{0};
+    s.subscribe([&](sample_view const& v) {
+        EXPECT_EQ(v.width, 1u);
+        received.fetch_add(1);
+        return true;
+    });
+    s.start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    s.stop();
+    EXPECT_GE(received.load(), 1u);
+}
+
+TEST(TelemetrySession, SelfCountersObserveThePipeline)
+{
+    perf::counter_registry registry;
+    register_test_gauge(registry, "/test/x", [] { return 1.0; });
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#0/total}/x"};
+    config.ring_capacity = 32;
+    sampler s(registry, config);
+    register_telemetry_counters(registry, s);
+
+    s.tick(1);
+    s.tick(2);
+
+    std::string error;
+    auto samples_counter = registry.create(
+        "/telemetry{locality#0/total}/count/samples", &error);
+    ASSERT_NE(samples_counter, nullptr) << error;
+    EXPECT_DOUBLE_EQ(samples_counter->get_value().get(), 2.0);
+
+    auto capacity_counter = registry.create(
+        "/telemetry{locality#0/total}/buffer/capacity", &error);
+    ASSERT_NE(capacity_counter, nullptr) << error;
+    EXPECT_DOUBLE_EQ(capacity_counter->get_value().get(), 32.0);
+
+    remove_telemetry_counters(registry);
+    EXPECT_EQ(
+        registry.create("/telemetry{locality#0/total}/count/samples"),
+        nullptr);
+    s.stop();
+}
+
+// Regression: telemetry sampling must quiesce before the runtime tears
+// down its workers, even when the session outlives the runtime — same
+// ordering contract as perf::counter_session, via runtime::at_shutdown.
+TEST(TelemetryShutdownOrdering, SessionOutlivesRuntime)
+{
+    std::string const path =
+        ::testing::TempDir() + "minihpx_telemetry_shutdown.csv";
+    {
+        runtime_config rc;
+        rc.sched.num_workers = 2;
+        auto rt = std::make_unique<runtime>(rc);
+        perf::counter_registry registry;
+        perf::register_all_runtime_counters(registry, *rt);
+
+        telemetry_options options;
+        options.counter_names = {
+            "/threads{locality#0/total}/count/cumulative",
+            "/threads{locality#0/total}/idle-rate"};
+        options.interval_ms = 0.5;
+        options.destination = "csv:" + path;
+        session s(registry, options);
+
+        std::vector<future<void>> fs;
+        for (int i = 0; i < 50; ++i)
+            fs.push_back(async([] {}));
+        wait_all(fs);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+        // Destroy the runtime while the sampler is live (the bad
+        // order). The shutdown hook must stop sampling and flush
+        // before worker teardown.
+        rt.reset();
+        EXPECT_FALSE(s.get_sampler().running());
+        std::uint64_t const samples_at_death = s.get_sampler().samples();
+        std::this_thread::sleep_for(std::chrono::milliseconds(3));
+        EXPECT_EQ(s.get_sampler().samples(), samples_at_death);
+    }
+    std::ifstream in(path);
+    std::string const contents(std::istreambuf_iterator<char>(in), {});
+    // Flushed on quiesce: header plus at least one row made it out.
+    EXPECT_NE(contents.find("t_ns,seq,"), std::string::npos);
+}
+
+TEST(TelemetryShutdownOrdering, NormalOrderDrainsEverything)
+{
+    runtime_config rc;
+    rc.sched.num_workers = 2;
+    runtime rt(rc);
+    perf::counter_registry registry;
+    perf::register_all_runtime_counters(registry, rt);
+
+    std::string const path =
+        ::testing::TempDir() + "minihpx_telemetry_normal.csv";
+    {
+        telemetry_options options;
+        options.counter_names = {
+            "/threads{locality#0/total}/count/cumulative"};
+        options.interval_ms = 0.5;
+        options.destination = "csv:" + path;
+        session s(registry, options);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::size_t rows = 0;
+    std::getline(in, line);
+    EXPECT_NE(line.find("count/cumulative"), std::string::npos);
+    while (std::getline(in, line))
+        ++rows;
+    EXPECT_GE(rows, 1u);
+}
