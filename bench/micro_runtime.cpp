@@ -63,11 +63,12 @@ BENCHMARK(BM_context_switch<mt::fcontext>)->Name("context_switch/fcontext");
 BENCHMARK(BM_context_switch<mt::ucontext_context>)
     ->Name("context_switch/ucontext");
 
-// ---- queue ops ----------------------------------------------------------
+// ---- queue ops (both policies: mutex deque vs Chase-Lev) ----------------
 
+template <mt::queue_policy Policy>
 static void BM_queue_push_pop(benchmark::State& state)
 {
-    mt::thread_queue q;
+    mt::thread_queue q(Policy);
     mt::thread_data td;
     for (auto _ : state)
     {
@@ -75,11 +76,15 @@ static void BM_queue_push_pop(benchmark::State& state)
         benchmark::DoNotOptimize(q.pop());
     }
 }
-BENCHMARK(BM_queue_push_pop);
+BENCHMARK(BM_queue_push_pop<mt::queue_policy::mutex_deque>)
+    ->Name("queue_push_pop/mutex");
+BENCHMARK(BM_queue_push_pop<mt::queue_policy::chase_lev>)
+    ->Name("queue_push_pop/chase-lev");
 
+template <mt::queue_policy Policy>
 static void BM_queue_steal(benchmark::State& state)
 {
-    mt::thread_queue q;
+    mt::thread_queue q(Policy);
     mt::thread_data td;
     for (auto _ : state)
     {
@@ -87,7 +92,28 @@ static void BM_queue_steal(benchmark::State& state)
         benchmark::DoNotOptimize(q.steal());
     }
 }
-BENCHMARK(BM_queue_steal);
+BENCHMARK(BM_queue_steal<mt::queue_policy::mutex_deque>)
+    ->Name("queue_steal/mutex");
+BENCHMARK(BM_queue_steal<mt::queue_policy::chase_lev>)
+    ->Name("queue_steal/chase-lev");
+
+template <mt::queue_policy Policy>
+static void BM_queue_inject_pop(benchmark::State& state)
+{
+    // Cross-thread submission path: inbox under chase-lev, plain
+    // locked push under the mutex policy.
+    mt::thread_queue q(Policy);
+    mt::thread_data td;
+    for (auto _ : state)
+    {
+        q.inject(&td);
+        benchmark::DoNotOptimize(q.pop());
+    }
+}
+BENCHMARK(BM_queue_inject_pop<mt::queue_policy::mutex_deque>)
+    ->Name("queue_inject_pop/mutex");
+BENCHMARK(BM_queue_inject_pop<mt::queue_policy::chase_lev>)
+    ->Name("queue_inject_pop/chase-lev");
 
 // ---- stack pool ----------------------------------------------------------
 
@@ -206,6 +232,37 @@ static void BM_counter_evaluate(benchmark::State& state)
         benchmark::DoNotOptimize(c->get_value(true));
 }
 BENCHMARK(BM_counter_evaluate);
+
+static void BM_counter_handle_evaluate(benchmark::State& state)
+{
+    // Resolve-once handle (satellite of the handle API redesign): the
+    // string parse/lookup happens here, outside the timed loop.
+    auto& fixture = global_rt();
+    minihpx::perf::counter_registry registry;
+    minihpx::perf::register_thread_counters(
+        registry, fixture.rt.get_scheduler());
+    auto h = registry.resolve("/threads{locality#0/total}/time/average");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(h.evaluate(true));
+}
+BENCHMARK(BM_counter_handle_evaluate);
+
+static void BM_counter_lookup_evaluate(benchmark::State& state)
+{
+    // What the telemetry sampler used to pay per sample: full string
+    // resolve on every evaluation. Compare against
+    // BM_counter_handle_evaluate.
+    auto& fixture = global_rt();
+    minihpx::perf::counter_registry registry;
+    minihpx::perf::register_thread_counters(
+        registry, fixture.rt.get_scheduler());
+    for (auto _ : state)
+    {
+        auto c = registry.create("/threads{locality#0/total}/time/average");
+        benchmark::DoNotOptimize(c->get_value(true));
+    }
+}
+BENCHMARK(BM_counter_lookup_evaluate);
 
 static void BM_work_annotation_no_sink(benchmark::State& state)
 {

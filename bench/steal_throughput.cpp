@@ -1,0 +1,153 @@
+// Steal-heavy scheduler throughput: the measured side of the queue
+// ablation (DESIGN.md choice #2, docs/SCHEDULER.md).
+//
+// A single producer task spawns N tiny tasks with launch::async, so
+// every task lands at the bottom of the producer's own queue and every
+// other worker makes progress only by stealing. Tasks/s under this
+// workload is dominated by queue-operation cost and steal contention —
+// exactly where the mutex deque and the Chase-Lev deque differ.
+//
+//   $ ./steal_throughput [--tasks=N] [--reps=R] [--workers=1,4,16]
+//                        [--json=BENCH_scheduler.json]
+//
+// The JSON report (CI smoke artifact) carries tasks/s per
+// {policy, workers} cell plus the 16-worker chase-lev/mutex speedup.
+#include <minihpx/minihpx.hpp>
+#include <minihpx/threads/queue_policy.hpp>
+#include <minihpx/util/cli.hpp>
+#include <minihpx/util/strings.hpp>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace minihpx;
+
+namespace {
+
+void tiny_task()
+{
+    // ~a few hundred ns of real work: enough that a task is not free,
+    // small enough that queue traffic dominates.
+    volatile double x = 1.0;
+    for (int i = 0; i < 64; ++i)
+        x = x * 1.0000001 + 0.5;
+}
+
+struct cell
+{
+    threads::queue_policy policy;
+    unsigned workers;
+    double tasks_per_s;
+};
+
+double run_once(
+    threads::queue_policy policy, unsigned workers, std::size_t tasks)
+{
+    runtime_config config;
+    config.sched.num_workers = workers;
+    config.sched.queue = policy;
+    runtime rt(config);
+
+    auto const t0 = std::chrono::steady_clock::now();
+    async([tasks] {
+        std::vector<future<void>> inflight;
+        inflight.reserve(tasks);
+        for (std::size_t i = 0; i < tasks; ++i)
+            inflight.push_back(async([] { tiny_task(); }));
+        wait_all(inflight);
+    }).get();
+    auto const dt = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - t0)
+                        .count();
+    return static_cast<double>(tasks) / dt;
+}
+
+double best_of(threads::queue_policy policy, unsigned workers,
+    std::size_t tasks, unsigned reps)
+{
+    double best = 0;
+    for (unsigned r = 0; r < reps; ++r)
+        best = std::max(best, run_once(policy, workers, tasks));
+    return best;
+}
+
+std::vector<unsigned> workers_from_cli(util::cli_args const& args)
+{
+    std::vector<unsigned> workers;
+    for (auto part : util::split(args.value_or("workers", "1,4,16"), ','))
+        workers.push_back(static_cast<unsigned>(
+            std::strtoul(std::string(part).c_str(), nullptr, 10)));
+    return workers;
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    util::cli_args args(argc, argv);
+    auto const tasks =
+        static_cast<std::size_t>(args.int_or("tasks", 20000));
+    auto const reps = static_cast<unsigned>(args.int_or("reps", 3));
+    auto const workers = workers_from_cli(args);
+
+    std::printf("steal_throughput: %zu tasks/run, best of %u reps, "
+                "single producer\n\n",
+        tasks, reps);
+    std::printf("%8s %12s %16s\n", "workers", "policy", "tasks/s");
+
+    std::vector<cell> cells;
+    for (unsigned n : workers)
+    {
+        for (auto policy : {threads::queue_policy::mutex_deque,
+                 threads::queue_policy::chase_lev})
+        {
+            double const rate = best_of(policy, n, tasks, reps);
+            cells.push_back({policy, n, rate});
+            std::printf("%8u %12s %16.0f\n", n,
+                threads::to_string(policy), rate);
+        }
+    }
+
+    // Speedup at the largest worker count (the acceptance number).
+    unsigned const top = *std::max_element(workers.begin(), workers.end());
+    double mutex_rate = 0, cl_rate = 0;
+    for (auto const& c : cells)
+    {
+        if (c.workers != top)
+            continue;
+        (c.policy == threads::queue_policy::chase_lev ? cl_rate :
+                                                        mutex_rate) =
+            c.tasks_per_s;
+    }
+    double const speedup = mutex_rate > 0 ? cl_rate / mutex_rate : 0;
+    std::printf("\nchase-lev vs mutex at %u workers: %.2fx\n", top, speedup);
+
+    if (auto path = args.value("json"))
+    {
+        std::FILE* f = std::fopen(path->c_str(), "w");
+        if (!f)
+        {
+            std::fprintf(stderr, "cannot open %s\n", path->c_str());
+            return 1;
+        }
+        std::fprintf(f,
+            "{\n  \"benchmark\": \"steal_throughput\",\n"
+            "  \"tasks\": %zu,\n  \"reps\": %u,\n  \"results\": [\n",
+            tasks, reps);
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            std::fprintf(f,
+                "    {\"policy\": \"%s\", \"workers\": %u, "
+                "\"tasks_per_s\": %.1f}%s\n",
+                threads::to_string(cells[i].policy), cells[i].workers,
+                cells[i].tasks_per_s, i + 1 < cells.size() ? "," : "");
+        std::fprintf(f,
+            "  ],\n  \"speedup_%uw\": %.3f\n}\n", top, speedup);
+        std::fclose(f);
+        std::printf("wrote %s\n", path->c_str());
+    }
+    return 0;
+}

@@ -34,8 +34,12 @@ int main(int argc, char** argv)
 
     perf::counter_registry registry;
     perf::register_all_runtime_counters(registry, rt);
-    auto idle_rate = registry.create("/threads{locality#0/total}/idle-rate");
-    auto queue_len = registry.create("/threadqueue{locality#0/total}/length");
+    // Resolve once, evaluate every policy round: counter_handle keeps
+    // the string parse/lookup out of the control loop.
+    perf::counter_handle idle_rate =
+        registry.resolve("/threads{locality#0/total}/idle-rate");
+    perf::counter_handle queue_len =
+        registry.resolve("/threadqueue{locality#0/total}/length");
 
     // Policy: keep idle-rate between 5% and 25% (counter reports in
     // 0.01% units) by adjusting the number of tasks in flight.
@@ -48,7 +52,7 @@ int main(int argc, char** argv)
     std::printf("%8s %12s %12s %10s\n", "round", "idle[%]", "queue", "window");
     for (int round = 0; round < rounds; ++round)
     {
-        idle_rate->reset();
+        idle_rate.reset();
         int launched = 0;
         std::vector<future<void>> inflight;
         while (launched < items_per_round)
@@ -64,9 +68,9 @@ int main(int argc, char** argv)
         }
         wait_all(inflight);
 
-        auto const idle = idle_rate->get_value(true);
+        auto const idle = idle_rate.evaluate(true);
         double const idle_pct = idle.valid() ? idle.get() / 100.0 : 0.0;
-        double const queued = queue_len->get_value().get();
+        double const queued = queue_len.evaluate().get();
 
         // The adaptation step.
         if (idle_pct > 25.0 && window < max_window)

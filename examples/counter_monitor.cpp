@@ -38,7 +38,13 @@ int main(int argc, char** argv)
     perf::counter_registry registry;
     perf::register_all_runtime_counters(registry, rt);
     papi::papi_engine papi_engine(rt.get_scheduler().num_workers());
-    papi_engine.register_counters(registry);
+    // --mh:late-papi: hold the PAPI registration back until the session
+    // is already sampling, demonstrating live rediscovery — the sampler
+    // notices the registry version bump and the /papi columns join the
+    // running stream (second CSV header / schema line mid-run).
+    bool const late_papi = args.flag("mh:late-papi");
+    if (!late_papi)
+        papi_engine.register_counters(registry);
     papi_engine.install();
 
     if (args.flag("mh:list-counters"))
@@ -65,6 +71,16 @@ int main(int argc, char** argv)
     if (auto* endpoint = session.endpoint())
         std::printf("telemetry endpoint: http://127.0.0.1:%u/metrics\n",
             static_cast<unsigned>(endpoint->port()));
+
+    if (late_papi)
+        papi_engine.register_counters(registry);
+
+    // Resolve-once handles for the final summary: no string lookups
+    // after this point (the sampler holds its own handles internally).
+    perf::counter_handle executed =
+        registry.resolve("/threads{locality#0/total}/count/cumulative");
+    perf::counter_handle stolen =
+        registry.resolve("/threads{locality#0/total}/count/stolen");
 
     // Generate work: bursts of fine tasks with annotated memory
     // traffic, so both software and papi counters move.
@@ -96,5 +112,8 @@ int main(int argc, char** argv)
         static_cast<unsigned long long>(s.samples()),
         static_cast<unsigned long long>(s.flushed()),
         static_cast<unsigned long long>(s.dropped()));
+    if (executed && stolen)
+        std::printf("tasks executed: %.0f (stolen: %.0f)\n",
+            executed.evaluate().get(), stolen.evaluate().get());
     return 0;
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <minihpx/perf/counter.hpp>
+#include <minihpx/perf/counter_handle.hpp>
 #include <minihpx/perf/registry.hpp>
 #include <minihpx/util/cli.hpp>
 
@@ -20,8 +21,10 @@
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 namespace minihpx::perf {
@@ -53,16 +56,33 @@ public:
     std::vector<evaluation> evaluate(bool reset = false);
 
     // Allocation-free variant for periodic samplers: writes size()
-    // values, in counters() order, into caller-provided storage. Names
-    // and units are fixed at construction (see counters()), so a
-    // sampler resolves them once and the steady-state path touches no
-    // heap.
-    void evaluate_into(counter_value* out, bool reset = false);
+    // values, in handles() order, into caller-provided storage (which
+    // must hold at least size() elements). Names and units are fixed at
+    // resolution time (see handles()), and every counter is a resolved
+    // counter_handle, so the steady-state path does no string parsing,
+    // no RTTI, and no heap work.
+    void evaluate_into(std::span<counter_value> out, bool reset = false);
+
+    // Old raw-pointer spelling; the span overload carries the bounds.
+    [[deprecated("pass a std::span<counter_value> instead")]]
+    void evaluate_into(counter_value* out, bool reset = false)
+    {
+        evaluate_into(std::span<counter_value>(out, size()), reset);
+    }
 
     void reset();
 
     // Pull one sample into every statistics counter (periodic sampler).
+    // O(statistics counters) via pre-resolved handles.
     void sample_statistics();
+
+    // Re-expand the construction names against the registry and resolve
+    // any instances that were not present before (late-registered
+    // counter types, grown wildcards). New handles are *appended* —
+    // existing indices keep their meaning, so samplers can grow their
+    // schemas in place. Returns the number of counters added. New
+    // failures are appended to errors(); repeats are deduplicated.
+    std::size_t refresh(counter_registry& registry);
 
     // Render evaluations; text is aligned "name,count,time[s],value"
     // lines (HPX console format), csv is one row per counter.
@@ -70,14 +90,28 @@ public:
         std::string_view annotation = {});
     void print_csv_header(std::ostream& os) const;
 
+    std::vector<counter_handle> const& handles() const noexcept
+    {
+        return handles_;
+    }
+
+    // Shared-ownership view in handles() order (kept for pre-handle
+    // callers; prefer handles()).
     std::vector<counter_ptr> const& counters() const noexcept
     {
         return counters_;
     }
 
 private:
-    std::vector<counter_ptr> counters_;
+    void resolve_names(counter_registry& registry,
+        std::vector<std::string> const& names, bool append_only);
+
+    std::vector<std::string> names_;    // as given, wildcards intact
+    std::vector<counter_handle> handles_;
+    std::vector<counter_ptr> counters_;    // mirrors handles_
+    std::unordered_set<std::string> resolved_full_names_;
     std::vector<std::string> errors_;
+    std::unordered_set<std::string> seen_errors_;
     std::uint64_t start_ns_;
 };
 

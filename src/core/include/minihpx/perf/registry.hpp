@@ -11,12 +11,16 @@
 #pragma once
 
 #include <minihpx/perf/counter.hpp>
+#include <minihpx/perf/counter_handle.hpp>
 #include <minihpx/perf/counter_name.hpp>
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace minihpx::perf {
@@ -50,17 +54,34 @@ public:
     counter_ptr create(counter_path const& path,
         std::string* error = nullptr) const;
 
+    // Resolve-once handles (counter_handle.hpp): parse + instantiate +
+    // downcast happen here; everything after is O(1). An empty handle +
+    // *error on failure. Hot paths should hold handles, not names.
+    counter_handle resolve(std::string_view name,
+        std::string* error = nullptr) const;
+    counter_handle resolve(counter_path const& path,
+        std::string* error = nullptr) const;
+
+    // Expand wildcards and resolve every concrete instance. Failures
+    // are skipped and appended to *errors as "name: reason" strings.
+    std::vector<counter_handle> resolve_all(std::string_view name,
+        std::vector<std::string>* errors = nullptr) const;
+
     // Expand a (possibly wildcard) name into concrete instance paths.
     std::vector<counter_path> expand(counter_path const& path) const;
 
     // All registered types, sorted by key (for --mh:list-counters).
     std::vector<type_info> list() const;
 
-    // Bumped on every register/unregister. Discovery consumers (the
-    // telemetry sampler expands wildcards once at construction) can
-    // compare versions to detect that a re-expansion would see a
-    // different counter population.
-    std::uint64_t version() const noexcept;
+    // Bumped on every register/unregister; lock-free to read, so
+    // periodic samplers can poll it per tick. The telemetry sampler
+    // expands wildcards at construction and re-expands whenever the
+    // version moves, which is how late-registered counters (e.g. a PAPI
+    // engine brought up mid-run) join an already-running session.
+    std::uint64_t version() const noexcept
+    {
+        return version_.load(std::memory_order_acquire);
+    }
 
     // The process-wide default registry.
     static counter_registry& instance();
@@ -73,7 +94,7 @@ private:
 
     mutable std::mutex mutex_;
     std::map<std::string, type_info> types_;
-    std::uint64_t version_ = 0;
+    std::atomic<std::uint64_t> version_{0};
 };
 
 }    // namespace minihpx::perf

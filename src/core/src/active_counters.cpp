@@ -13,61 +13,93 @@ namespace minihpx::perf {
 
 active_counters::active_counters(
     counter_registry& registry, std::vector<std::string> const& names)
-  : start_ns_(counter_clock_ns())
+  : names_(names)
+  , start_ns_(counter_clock_ns())
 {
+    resolve_names(registry, names_, /*append_only=*/false);
+}
+
+void active_counters::resolve_names(counter_registry& registry,
+    std::vector<std::string> const& names, bool append_only)
+{
+    auto record_error = [&](std::string text) {
+        // On refresh the same unresolvable names come around again;
+        // report each failure once.
+        if (!append_only || seen_errors_.insert(text).second)
+            errors_.push_back(std::move(text));
+        if (!append_only)
+            seen_errors_.insert(errors_.back());
+    };
+
     for (auto const& name : names)
     {
         std::string error;
         auto parsed = parse_counter_name(name, &error);
         if (!parsed)
         {
-            errors_.push_back(name + ": " + error);
+            record_error(name + ": " + error);
             continue;
         }
         for (auto const& concrete : registry.expand(*parsed))
         {
-            counter_ptr c = registry.create(concrete, &error);
-            if (c)
-                counters_.push_back(std::move(c));
+            std::string full = concrete.full_name();
+            if (append_only && resolved_full_names_.count(full))
+                continue;
+            counter_handle h = registry.resolve(concrete, &error);
+            if (h)
+            {
+                resolved_full_names_.insert(std::move(full));
+                counters_.push_back(h.get());
+                handles_.push_back(std::move(h));
+            }
             else
-                errors_.push_back(concrete.full_name() + ": " + error);
+            {
+                record_error(full + ": " + error);
+            }
         }
     }
+}
+
+std::size_t active_counters::refresh(counter_registry& registry)
+{
+    std::size_t const before = handles_.size();
+    resolve_names(registry, names_, /*append_only=*/true);
+    return handles_.size() - before;
 }
 
 std::vector<active_counters::evaluation> active_counters::evaluate(bool reset)
 {
     sample_statistics();
     std::vector<evaluation> out;
-    out.reserve(counters_.size());
-    for (auto const& c : counters_)
+    out.reserve(handles_.size());
+    for (auto const& h : handles_)
     {
-        out.push_back(evaluation{c->info().full_name,
-            c->info().unit_of_measure, c->get_value(reset)});
+        out.push_back(evaluation{
+            h.info().full_name, h.info().unit_of_measure, h.evaluate(reset)});
     }
     return out;
 }
 
-void active_counters::evaluate_into(counter_value* out, bool reset)
+void active_counters::evaluate_into(std::span<counter_value> out, bool reset)
 {
+    MINIHPX_ASSERT(out.size() >= handles_.size());
     sample_statistics();
-    for (std::size_t i = 0; i < counters_.size(); ++i)
-        out[i] = counters_[i]->get_value(reset);
+    for (std::size_t i = 0; i < handles_.size(); ++i)
+        out[i] = handles_[i].evaluate(reset);
 }
 
 void active_counters::reset()
 {
-    for (auto const& c : counters_)
-        c->reset();
+    for (auto const& h : handles_)
+        h.reset();
 }
 
 void active_counters::sample_statistics()
 {
-    for (auto const& c : counters_)
-    {
-        if (auto* stats = dynamic_cast<statistics_counter*>(c.get()))
-            stats->sample();
-    }
+    // Handles cached the statistics downcast at resolution; this is a
+    // plain loop of null checks, no RTTI.
+    for (auto const& h : handles_)
+        h.sample_statistics();
 }
 
 void active_counters::print(

@@ -51,7 +51,7 @@ void counter_registry::register_type(type_info info)
     auto const [it, inserted] = types_.emplace(info.type_key, info);
     (void) it;
     MINIHPX_ASSERT_MSG(inserted, "duplicate counter type registration");
-    ++version_;
+    version_.fetch_add(1, std::memory_order_release);
 }
 
 bool counter_registry::unregister_type(std::string const& type_key)
@@ -59,14 +59,8 @@ bool counter_registry::unregister_type(std::string const& type_key)
     std::lock_guard lock(mutex_);
     bool const erased = types_.erase(type_key) > 0;
     if (erased)
-        ++version_;
+        version_.fetch_add(1, std::memory_order_release);
     return erased;
-}
-
-std::uint64_t counter_registry::version() const noexcept
-{
-    std::lock_guard lock(mutex_);
-    return version_;
 }
 
 bool counter_registry::contains(std::string const& type_key) const
@@ -82,6 +76,40 @@ counter_ptr counter_registry::create(
     if (!path)
         return nullptr;
     return create(*path, error);
+}
+
+counter_handle counter_registry::resolve(
+    std::string_view name, std::string* error) const
+{
+    return counter_handle(create(name, error));
+}
+
+counter_handle counter_registry::resolve(
+    counter_path const& path, std::string* error) const
+{
+    return counter_handle(create(path, error));
+}
+
+std::vector<counter_handle> counter_registry::resolve_all(
+    std::string_view name, std::vector<std::string>* errors) const
+{
+    std::vector<counter_handle> handles;
+    std::string error;
+    auto parsed = parse_counter_name(name, &error);
+    if (!parsed)
+    {
+        if (errors)
+            errors->push_back(std::string(name) + ": " + error);
+        return handles;
+    }
+    for (auto const& concrete : expand(*parsed))
+    {
+        if (counter_handle h = resolve(concrete, &error))
+            handles.push_back(std::move(h));
+        else if (errors)
+            errors->push_back(concrete.full_name() + ": " + error);
+    }
+    return handles;
 }
 
 counter_ptr counter_registry::create(

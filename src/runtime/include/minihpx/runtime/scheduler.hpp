@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -42,10 +43,40 @@ struct scheduler_config
 {
     unsigned num_workers = 1;
     std::size_t stack_size = threads::default_stack_size;
-    bool bind_workers = false;          // best-effort sched_setaffinity
-    std::uint64_t steal_seed = 0x5eed;  // victim-selection RNG seed
-    unsigned steal_rounds = 2;          // full sweeps before sleeping
-    unsigned sleep_us = 100;            // idle condvar timeout
+    bool bind_workers = false;    // best-effort sched_setaffinity
+
+    // Run-queue implementation (--mh:queue-policy). chase_lev is the
+    // default; mutex_deque is kept for A/B ablation runs.
+    threads::queue_policy queue = threads::queue_policy::chase_lev;
+
+    // Work-stealing / idle knobs, validated as a unit (--mh:steal-*).
+    // Invalid combinations are rejected with a clear error at scheduler
+    // construction — never silently clamped.
+    struct steal_params
+    {
+        enum class park_policy : std::uint8_t
+        {
+            // Spin spin_iters times watching for work/wake, then block
+            // on the eventcount until an explicit wake. The default:
+            // no fixed polling latency, no idle CPU burn.
+            spin_park,
+            // Legacy behavior: block with a sleep_us timeout (polls).
+            // Useful as an ablation baseline and as a belt-and-braces
+            // mode when debugging wake-protocol changes.
+            timed,
+        };
+
+        std::uint64_t seed = 0x5eed;    // victim-selection RNG seed
+        unsigned rounds = 2;            // full sweeps before idling
+        unsigned batch = 8;             // max tasks taken per raid (>= 1)
+        unsigned spin_iters = 4000;     // spins before parking
+        unsigned sleep_us = 100;        // timeout for park == timed
+        park_policy park = park_policy::spin_park;
+
+        // nullopt when valid, otherwise a human-readable reason.
+        std::optional<std::string> validate() const;
+    };
+    steal_params steal;
 };
 
 class scheduler;
@@ -67,10 +98,12 @@ namespace detail {
     class worker
     {
     public:
-        worker(scheduler& sched, std::uint32_t id, std::uint64_t seed)
+        worker(scheduler& sched, std::uint32_t id, std::uint64_t seed,
+            threads::queue_policy policy)
           : sched_(sched)
           , id_(id)
           , rng_(seed)
+          , queue_(policy)
         {
         }
 
@@ -104,6 +137,9 @@ namespace detail {
         threads::thread_data* get_next_task();
         void execute(threads::thread_data* task);
         void process_after_switch(threads::thread_data* task);
+        // Spin-then-park: returns once woken, on local work, or on a
+        // state change. See docs/SCHEDULER.md.
+        void idle_wait();
 
         scheduler& sched_;
         std::uint32_t id_;
@@ -227,6 +263,10 @@ private:
     void schedule_task(threads::thread_data* task, bool front);
     void wake_one();
     void wake_all();
+    // Eventcount park: blocks until the epoch moves past `epoch0`, any
+    // queue is non-empty, or the scheduler leaves `running`.
+    void park_worker(detail::worker& w, std::uint64_t epoch0);
+    bool any_queue_nonempty() const noexcept;
 
     enum class run_state : std::uint8_t
     {
@@ -254,10 +294,17 @@ private:
     std::atomic<std::uint64_t> tasks_created_{0};
     std::atomic<std::uint32_t> round_robin_{0};
 
-    // Idle workers sleep here; any schedule() bumps the epoch.
+    // Eventcount for idle workers. A waiter captures the epoch, scans
+    // the queues, then parks with sleepers_ raised; any schedule() bumps
+    // the epoch (seq_cst) and only takes the mutex + notifies when
+    // sleepers_ is non-zero — so the wake fast path is one RMW and one
+    // load. The seq_cst total order over {epoch, sleepers_} closes the
+    // check-then-park / bump-then-check (Dekker) race; docs/SCHEDULER.md
+    // has the full argument.
     std::mutex sleep_mutex_;
     std::condition_variable sleep_cv_;
     std::atomic<std::uint64_t> sleep_epoch_{0};
+    std::atomic<std::uint32_t> sleepers_{0};
 
     util::log2_histogram<> duration_hist_;
 

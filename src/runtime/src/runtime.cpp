@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace minihpx {
@@ -33,8 +35,43 @@ runtime_config runtime_config::from_cli(util::cli_args const& args)
         args.int_or("mh:stack-size",
             static_cast<std::int64_t>(threads::default_stack_size)));
     config.sched.bind_workers = args.flag("mh:bind");
-    config.sched.steal_seed =
+
+    if (auto qp = args.value("mh:queue-policy"))
+    {
+        auto parsed = threads::parse_queue_policy(*qp);
+        if (!parsed)
+            throw std::runtime_error("minihpx: --mh:queue-policy=" +
+                std::string(*qp) + " — expected 'mutex' or 'chase-lev'");
+        config.sched.queue = *parsed;
+    }
+
+    auto& steal = config.sched.steal;
+    steal.seed =
         static_cast<std::uint64_t>(args.int_or("mh:steal-seed", 0x5eed));
+    steal.rounds = static_cast<unsigned>(
+        args.int_or("mh:steal-rounds", steal.rounds));
+    steal.batch = static_cast<unsigned>(
+        args.int_or("mh:steal-batch", steal.batch));
+    steal.spin_iters = static_cast<unsigned>(
+        args.int_or("mh:steal-spin", steal.spin_iters));
+    // --mh:sleep-us is the pre-steal_params spelling, kept as an alias.
+    steal.sleep_us = static_cast<unsigned>(args.int_or("mh:steal-sleep-us",
+        args.int_or("mh:sleep-us", steal.sleep_us)));
+    if (auto park = args.value("mh:steal-park"))
+    {
+        using park_policy = scheduler_config::steal_params::park_policy;
+        if (*park == "spin-park")
+            steal.park = park_policy::spin_park;
+        else if (*park == "timed")
+            steal.park = park_policy::timed;
+        else
+            throw std::runtime_error("minihpx: --mh:steal-park=" +
+                std::string(*park) + " — expected 'spin-park' or 'timed'");
+    }
+    // Surface bad values here, at the CLI boundary, rather than from
+    // deep inside scheduler construction.
+    if (auto err = steal.validate())
+        throw std::runtime_error("minihpx: " + *err);
     return config;
 }
 

@@ -6,6 +6,7 @@
 #include <sched.h>
 
 #include <chrono>
+#include <stdexcept>
 
 namespace minihpx {
 
@@ -59,7 +60,7 @@ namespace detail {
             else
             {
                 // Nothing runnable anywhere. Either we are draining and
-                // done, or we sleep until new work is scheduled.
+                // done, or we idle until new work is scheduled.
                 if (sched_.state_.load(std::memory_order_acquire) !=
                         scheduler::run_state::running &&
                     sched_.tasks_alive() == 0)
@@ -69,22 +70,8 @@ namespace detail {
                     break;
                 }
 
-                std::uint64_t const epoch =
-                    sched_.sleep_epoch_.load(std::memory_order_acquire);
-                if (queue_.length() == 0)
-                {
-                    std::unique_lock lock(sched_.sleep_mutex_);
-                    sched_.sleep_cv_.wait_for(lock,
-                        std::chrono::microseconds(sched_.config().sleep_us),
-                        [&] {
-                            return sched_.sleep_epoch_.load(
-                                       std::memory_order_acquire) != epoch ||
-                                sched_.state_.load(
-                                    std::memory_order_acquire) !=
-                                scheduler::run_state::running;
-                        });
-                    stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
-                }
+                idle_wait();
+
                 stats_->idle_time_ns.fetch_add(
                     clock_ns() - found, std::memory_order_relaxed);
                 stats_->idle_time_ns.fetch_add(
@@ -100,6 +87,54 @@ namespace detail {
         tls_worker = nullptr;
     }
 
+    void worker::idle_wait()
+    {
+        auto const& p = sched_.config().steal;
+
+        if (p.park == scheduler_config::steal_params::park_policy::timed ||
+            sched_.state_.load(std::memory_order_acquire) !=
+                scheduler::run_state::running)
+        {
+            // Legacy timed park — also used while draining, where the
+            // remaining tasks may all be suspended and no wake is
+            // guaranteed; a bounded poll beats a busy drain loop.
+            std::uint64_t const epoch =
+                sched_.sleep_epoch_.load(std::memory_order_acquire);
+            if (queue_.length() == 0)
+            {
+                std::unique_lock lock(sched_.sleep_mutex_);
+                sched_.sleep_cv_.wait_for(lock,
+                    std::chrono::microseconds(sched_.config().steal.sleep_us),
+                    [&] {
+                        return sched_.sleep_epoch_.load(
+                                   std::memory_order_acquire) != epoch ||
+                            sched_.state_.load(std::memory_order_acquire) !=
+                            scheduler::run_state::running;
+                    });
+                stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
+            }
+            return;
+        }
+
+        // Spin-then-park. Capture the epoch *before* spinning: a wake
+        // posted any time after this line flips the epoch comparison, so
+        // it can neither be missed by the spin nor by the park.
+        std::uint64_t const epoch0 =
+            sched_.sleep_epoch_.load(std::memory_order_seq_cst);
+        for (unsigned i = 0; i < p.spin_iters; ++i)
+        {
+            if (sched_.sleep_epoch_.load(std::memory_order_relaxed) !=
+                    epoch0 ||
+                queue_.length() != 0 ||
+                sched_.state_.load(std::memory_order_acquire) !=
+                    scheduler::run_state::running)
+                return;
+            if ((i & 63u) == 63u)
+                std::this_thread::yield();
+        }
+        sched_.park_worker(*this, epoch0);
+    }
+
     threads::thread_data* worker::get_next_task()
     {
         if (threads::thread_data* task = queue_.pop())
@@ -109,7 +144,22 @@ namespace detail {
         if (n <= 1)
             return nullptr;
 
-        for (unsigned round = 0; round < sched_.config().steal_rounds; ++round)
+        auto const& p = sched_.config().steal;
+        // One raid takes up to `batch` tasks: the first is returned, the
+        // surplus lands in our own queue (and is itself stealable, which
+        // diffuses a single hot queue across the pool in O(log n) raids).
+        auto raid = [&](std::uint32_t victim) -> threads::thread_data* {
+            stats_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+            unsigned stolen = 0;
+            threads::thread_data* task =
+                sched_.workers_[victim]->queue_.steal_into(
+                    queue_, p.batch, &stolen);
+            if (task)
+                stats_->steals.fetch_add(stolen, std::memory_order_relaxed);
+            return task;
+        };
+
+        for (unsigned round = 0; round < p.rounds; ++round)
         {
             // Random victims first (decorrelates thieves), then one
             // deterministic sweep so a single busy victim is always found.
@@ -118,25 +168,15 @@ namespace detail {
                 auto victim = static_cast<std::uint32_t>(rng_.below(n));
                 if (victim == id_)
                     continue;
-                stats_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
-                if (threads::thread_data* task =
-                        sched_.workers_[victim]->queue_.steal())
-                {
-                    stats_->steals.fetch_add(1, std::memory_order_relaxed);
+                if (threads::thread_data* task = raid(victim))
                     return task;
-                }
             }
             for (unsigned v = 0; v < n; ++v)
             {
                 if (v == id_)
                     continue;
-                stats_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
-                if (threads::thread_data* task =
-                        sched_.workers_[v]->queue_.steal())
-                {
-                    stats_->steals.fetch_add(1, std::memory_order_relaxed);
+                if (threads::thread_data* task = raid(v))
                     return task;
-                }
             }
             // New work may have landed locally while we were searching.
             if (threads::thread_data* task = queue_.pop())
@@ -231,17 +271,39 @@ namespace detail {
 
 // ------------------------------------------------------------- scheduler
 
+std::optional<std::string> scheduler_config::steal_params::validate() const
+{
+    if (rounds == 0)
+        return "steal-rounds must be >= 1 (a work-stealing worker that "
+               "never sweeps its victims cannot make progress)";
+    if (batch == 0)
+        return "steal-batch must be >= 1 (a raid takes at least the task "
+               "it returns)";
+    if (batch > 1u << 16)
+        return "steal-batch must be <= 65536";
+    if (spin_iters > 100'000'000u)
+        return "steal-spin must be <= 100000000 iterations";
+    if (park == park_policy::timed && sleep_us == 0)
+        return "steal-sleep-us must be >= 1 with the timed park policy "
+               "(a zero timeout degenerates to a busy loop)";
+    if (sleep_us > 60'000'000u)
+        return "steal-sleep-us must be <= 60000000 (60 s)";
+    return std::nullopt;
+}
+
 scheduler::scheduler(scheduler_config config)
   : config_(config)
   , stack_pool_(config.stack_size)
 {
+    if (auto err = config_.steal.validate())
+        throw std::invalid_argument("minihpx scheduler_config: " + *err);
     if (config_.num_workers == 0)
         config_.num_workers = 1;
     for (unsigned i = 0; i < config_.num_workers; ++i)
     {
-        std::uint64_t seed = config_.steal_seed;
+        std::uint64_t seed = config_.steal.seed;
         workers_.push_back(std::make_unique<detail::worker>(
-            *this, i, splitmix64_helper(seed, i)));
+            *this, i, splitmix64_helper(seed, i), config_.queue));
     }
 }
 
@@ -411,26 +473,71 @@ void scheduler::schedule_task(threads::thread_data* task, bool front)
     detail::worker* w = tls_worker;
     if (w && &w->sched_ == this)
     {
+        // Owner fast path: lock-free under chase_lev.
         w->queue_.push(task, front);
     }
     else
     {
+        // Cross-thread submission (main thread, foreign worker resume):
+        // inject() is the any-thread entry point of both policies.
         auto const i = round_robin_.fetch_add(1, std::memory_order_relaxed) %
             workers_.size();
-        workers_[i]->queue_.push(task, front);
+        workers_[i]->queue_.inject(task, front);
     }
     wake_one();
 }
 
+bool scheduler::any_queue_nonempty() const noexcept
+{
+    for (auto const& w : workers_)
+        if (w->queue().length() > 0)
+            return true;
+    return false;
+}
+
+void scheduler::park_worker(detail::worker& w, std::uint64_t epoch0)
+{
+    // Final scan *after* the epoch capture: work enqueued before the
+    // capture is found here; work enqueued after it bumps the epoch and
+    // trips the predicate. (The scan also covers tasks a mutex-policy
+    // steal missed to try_lock contention.)
+    if (any_queue_nonempty())
+        return;
+
+    std::unique_lock lock(sleep_mutex_);
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    sleep_cv_.wait(lock, [&] {
+        return sleep_epoch_.load(std::memory_order_seq_cst) != epoch0 ||
+            state_.load(std::memory_order_acquire) != run_state::running;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    lock.unlock();
+    w.stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
+}
+
 void scheduler::wake_one()
 {
-    sleep_epoch_.fetch_add(1, std::memory_order_release);
+    sleep_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) == 0)
+        return;    // fast path: nobody parked, the bump alone suffices
+    {
+        // Taking the mutex fences against a waiter between its predicate
+        // check and cv.wait(): either it is not yet inside the critical
+        // section (its predicate will see our bump), or it has released
+        // the mutex inside wait() and the notify reaches it.
+        std::lock_guard lock(sleep_mutex_);
+    }
     sleep_cv_.notify_one();
 }
 
 void scheduler::wake_all()
 {
-    sleep_epoch_.fetch_add(1, std::memory_order_release);
+    sleep_epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) == 0)
+        return;
+    {
+        std::lock_guard lock(sleep_mutex_);
+    }
     sleep_cv_.notify_all();
 }
 

@@ -20,6 +20,7 @@
 
 #include <minihpx/sim/machine.hpp>
 #include <minihpx/threads/context.hpp>
+#include <minihpx/threads/queue_policy.hpp>
 #include <minihpx/threads/stack.hpp>
 #include <minihpx/util/rng.hpp>
 #include <minihpx/util/unique_function.hpp>
@@ -53,6 +54,12 @@ struct sim_config
     bool skip_compute = true;
     // Safety valve against runaway benchmarks.
     std::uint64_t max_tasks = 80'000'000;
+    // Host run-queue ablation knob: recorded in the report for A/B
+    // bookkeeping, but deliberately *not* part of the cost model —
+    // steal/dispatch costs come from machine_desc, which stays the
+    // source of truth for paper figures. Virtual results are therefore
+    // identical across policies (pinned by test_sim / test_telemetry).
+    threads::queue_policy queue = threads::queue_policy::chase_lev;
 };
 
 // What a run produces; the units are virtual seconds.
@@ -62,6 +69,9 @@ struct sim_report
     std::string failure_reason;
 
     unsigned cores = 0;
+    // Which host queue policy the run was labeled with (bookkeeping
+    // only; no effect on the virtual numbers below).
+    threads::queue_policy queue = threads::queue_policy::chase_lev;
     double exec_time_s = 0.0;          // total virtual makespan
     std::uint64_t tasks_executed = 0;
     std::uint64_t tasks_created = 0;

@@ -46,6 +46,7 @@ sim_report simulator::run(util::unique_function<void()> root)
 
     report_ = sim_report{};
     report_.cores = config_.cores;
+    report_.queue = config_.queue;
     cores_.clear();
     cores_.resize(config_.cores);
     for (auto& c : cores_)

@@ -1,10 +1,15 @@
 // The telemetry sampler: active counters -> time-series pipeline.
 //
-// Construction expands wildcard counter names through the registry
-// (discovery is pinned: the schema is fixed for the sampler's
-// lifetime), preallocates one ring row per sample and a scratch
-// evaluation buffer, so the steady-state sample path performs no
-// allocation. Two modes:
+// Construction expands wildcard counter names through the registry and
+// preallocates one ring row per sample and a scratch evaluation
+// buffer, so the steady-state sample path performs no allocation.
+// Discovery is *live*: each sample first compares the registry version
+// against the one captured at the last expansion, and re-expands on a
+// mismatch — counters registered after the sampler started (a PAPI
+// engine brought up mid-run, a new subsystem) join the running
+// session. Schema growth is append-only (existing columns keep their
+// positions); sinks are told via sink::on_schema_change between the
+// last old-width row and the first new-width one. Two modes:
 //
 //   start()/stop()  real-time: a sample thread evaluates the set every
 //                   period_ns (absolute deadlines, no drift) and a
@@ -85,31 +90,37 @@ public:
     {
         return samples_.load(std::memory_order_relaxed);
     }
-    std::uint64_t dropped() const noexcept { return ring_->dropped(); }
+    std::uint64_t dropped() const;
     std::uint64_t flushed() const noexcept
     {
         return flushed_.load(std::memory_order_relaxed);
     }
-    std::size_t ring_occupancy() const noexcept { return ring_->size(); }
-    std::size_t ring_capacity() const noexcept { return ring_->capacity(); }
+    std::size_t ring_occupancy() const;
+    std::size_t ring_capacity() const;
 
-    // Registry version at discovery time (schema is pinned to it).
+    // Registry version at the last (re-)discovery. The sample path
+    // compares this against registry.version() and re-expands on any
+    // mismatch.
     std::uint64_t discovery_version() const noexcept
     {
-        return discovery_version_;
+        return discovery_version_.load(std::memory_order_acquire);
     }
 
 private:
     void sample_once(std::uint64_t t_ns);
+    void rediscover();
+    void append_columns_from(std::size_t first_counter);
     void flush_pending();
-    void open_sinks_once();
+    void flush_pending_locked();
+    void open_sinks_locked();
     void close_sinks_once();
     void sample_loop();
     void flush_loop();
 
     sampler_config config_;
+    perf::counter_registry& registry_;
     perf::active_counters set_;
-    std::uint64_t discovery_version_;
+    std::atomic<std::uint64_t> discovery_version_;
 
     // Column i reads counter source_counter_[i]; quantile_of_[i] is
     // -1 for raw columns, else an index into the rollup quantiles.
@@ -119,13 +130,19 @@ private:
     std::vector<int> rollup_hist_of_counter_;    // -1: raw counter
     std::vector<std::unique_ptr<util::log2_histogram<>>> rollup_hists_;
     std::vector<std::string> errors_;
+    std::size_t set_errors_seen_ = 0;
 
     std::vector<perf::counter_value> scratch_;
-    std::unique_ptr<sample_ring> ring_;    // built once the width is known
+    std::unique_ptr<sample_ring> ring_;    // swapped on schema growth
+    std::uint64_t dropped_baseline_ = 0;   // from retired rings
 
     std::vector<sink_ptr> sinks_;
     bool sinks_open_ = false;
     bool sinks_closed_ = false;
+
+    // Serializes the drain side (flush thread) against ring swaps on
+    // rediscovery (sample thread) and against the stats accessors.
+    mutable std::mutex pipeline_mutex_;
 
     std::atomic<std::uint64_t> samples_{0};
     std::atomic<std::uint64_t> flushed_{0};

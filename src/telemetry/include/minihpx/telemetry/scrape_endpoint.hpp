@@ -42,6 +42,7 @@ public:
 
     // sink interface: cache schema / latest row.
     void open(record_schema const& schema) override;
+    void on_schema_change(record_schema const& schema) override;
     void consume(sample_view const& row) override;
     void close() override;
 

@@ -28,6 +28,17 @@ public:
     // Called once, before the first consume().
     virtual void open(record_schema const& schema) { (void) schema; }
 
+    // The sampler rediscovered counters mid-run (registry version bump,
+    // e.g. a PAPI engine registered after start): the schema grew.
+    // Growth is append-only — existing columns keep their positions —
+    // and this is called between the last row of the old width and the
+    // first row of the new width. Default: ignore (rows carry their own
+    // width, so width-agnostic sinks need no action).
+    virtual void on_schema_change(record_schema const& schema)
+    {
+        (void) schema;
+    }
+
     // One row, oldest first. The view's storage is only valid for the
     // duration of the call — copy (sample_record::copy_of) to keep it.
     virtual void consume(sample_view const& row) = 0;
@@ -52,6 +63,9 @@ public:
     ~csv_sink() override;
 
     void open(record_schema const& schema) override;
+    // Re-emits the header line with the new column set; rows before it
+    // parse against the old header, rows after against the new one.
+    void on_schema_change(record_schema const& schema) override;
     void consume(sample_view const& row) override;
     void flush() override;
 
@@ -73,6 +87,8 @@ public:
     ~jsonl_sink() override;
 
     void open(record_schema const& schema) override;
+    // Emits a fresh {"schema":...} line describing the grown column set.
+    void on_schema_change(record_schema const& schema) override;
     void consume(sample_view const& row) override;
     void flush() override;
 

@@ -53,19 +53,35 @@ namespace {
 
 sampler::sampler(perf::counter_registry& registry, sampler_config config)
   : config_(std::move(config))
+  , registry_(registry)
   , set_(registry, merged_names(config_))
   , discovery_version_(registry.version())
   , scratch_(set_.size())
 {
     errors_ = set_.errors();
-    auto const rollup_set =
-        expand_full_names(registry, config_.rollup_names, errors_);
+    set_errors_seen_ = errors_.size();
+    append_columns_from(0);
+    ring_ = std::make_unique<sample_ring>(
+        config_.ring_capacity, schema_.width());
+}
 
-    auto const& counters = set_.counters();
-    rollup_hist_of_counter_.assign(counters.size(), -1);
-    for (std::size_t i = 0; i < counters.size(); ++i)
+// Build schema columns for counters [first_counter, set_.size()):
+// the whole set at construction, only the newly resolved tail on
+// rediscovery — existing columns never move.
+void sampler::append_columns_from(std::size_t first_counter)
+{
+    std::vector<std::string> rollup_errors;
+    auto const rollup_set =
+        expand_full_names(registry_, config_.rollup_names, rollup_errors);
+    if (first_counter == 0)
+        errors_.insert(
+            errors_.end(), rollup_errors.begin(), rollup_errors.end());
+
+    auto const& handles = set_.handles();
+    rollup_hist_of_counter_.resize(handles.size(), -1);
+    for (std::size_t i = first_counter; i < handles.size(); ++i)
     {
-        auto const& info = counters[i]->info();
+        auto const& info = handles[i].info();
         if (rollup_set.count(info.full_name) != 0)
         {
             rollup_hist_of_counter_[i] =
@@ -89,9 +105,40 @@ sampler::sampler(perf::counter_registry& registry, sampler_config config)
             quantile_of_.push_back(-1);
         }
     }
+}
 
+// Sample-thread only. Re-expand the configured names, grow the schema,
+// and swap in a wider ring.
+void sampler::rediscover()
+{
+    // Capture *before* expanding: a registration racing with this
+    // rediscovery bumps the version past `v` and triggers another pass
+    // on the next sample.
+    std::uint64_t const v = registry_.version();
+    std::size_t const before = set_.size();
+    std::size_t const added = set_.refresh(registry_);
+    // Mirror any *new* resolution failures (set_ errors are append-only).
+    auto const& set_errors = set_.errors();
+    for (std::size_t i = set_errors_seen_; i < set_errors.size(); ++i)
+        errors_.push_back(set_errors[i]);
+    set_errors_seen_ = set_errors.size();
+    discovery_version_.store(v, std::memory_order_release);
+    if (added == 0)
+        return;    // version bump didn't grow our selection
+
+    append_columns_from(before);
+    scratch_.resize(set_.size());
+
+    std::lock_guard lock(pipeline_mutex_);
+    open_sinks_locked();
+    // Everything sampled at the old width drains before the boundary
+    // marker; rows after this point are new-width.
+    flush_pending_locked();
+    dropped_baseline_ += ring_->dropped();
     ring_ = std::make_unique<sample_ring>(
         config_.ring_capacity, schema_.width());
+    for (auto const& s : sinks_)
+        s->on_schema_change(schema_);
 }
 
 sampler::~sampler()
@@ -111,8 +158,14 @@ void sampler::add_sink(sink_ptr s)
 
 void sampler::sample_once(std::uint64_t t_ns)
 {
+    // Live discovery: one lock-free version load per sample; the
+    // expensive re-expansion only runs when the registry changed.
+    if (registry_.version() !=
+        discovery_version_.load(std::memory_order_relaxed))
+        rediscover();
+
     // No allocation from here to commit_push().
-    set_.evaluate_into(scratch_.data());
+    set_.evaluate_into(scratch_);
 
     for (std::size_t i = 0; i < scratch_.size(); ++i)
     {
@@ -154,7 +207,7 @@ void sampler::sample_once(std::uint64_t t_ns)
 
 // ------------------------------------------------------------- drain path
 
-void sampler::open_sinks_once()
+void sampler::open_sinks_locked()
 {
     if (sinks_open_)
         return;
@@ -165,6 +218,7 @@ void sampler::open_sinks_once()
 
 void sampler::close_sinks_once()
 {
+    std::lock_guard lock(pipeline_mutex_);
     if (sinks_closed_ || !sinks_open_)
         return;
     sinks_closed_ = true;
@@ -176,6 +230,13 @@ void sampler::close_sinks_once()
 }
 
 void sampler::flush_pending()
+{
+    std::lock_guard lock(pipeline_mutex_);
+    open_sinks_locked();
+    flush_pending_locked();
+}
+
+void sampler::flush_pending_locked()
 {
     sample_view v;
     bool any = false;
@@ -192,6 +253,26 @@ void sampler::flush_pending()
         for (auto const& s : sinks_)
             s->flush();
     }
+}
+
+// ------------------------------------------------------- pipeline stats
+
+std::uint64_t sampler::dropped() const
+{
+    std::lock_guard lock(pipeline_mutex_);
+    return dropped_baseline_ + ring_->dropped();
+}
+
+std::size_t sampler::ring_occupancy() const
+{
+    std::lock_guard lock(pipeline_mutex_);
+    return ring_->size();
+}
+
+std::size_t sampler::ring_capacity() const
+{
+    std::lock_guard lock(pipeline_mutex_);
+    return ring_->capacity();
 }
 
 // -------------------------------------------------------------- real time
@@ -230,7 +311,6 @@ void sampler::stop()
     running_.store(false, std::memory_order_release);
     // Final drain + close happen on this thread — by the time stop()
     // returns, every surviving row has reached every sink.
-    open_sinks_once();
     flush_pending();
     close_sinks_once();
 }
@@ -262,12 +342,17 @@ void sampler::sample_loop()
 
 void sampler::flush_loop()
 {
-    open_sinks_once();
+    {
+        std::lock_guard lock(pipeline_mutex_);
+        open_sinks_locked();
+    }
     std::unique_lock lock(flush_mutex_);
     while (true)
     {
+        // ring_occupancy() (not ring_->size()): the ring pointer itself
+        // may be swapped by a rediscovery on the sample thread.
         flush_cv_.wait_for(lock, std::chrono::milliseconds(50),
-            [this] { return flush_stop_ || ring_->size() != 0; });
+            [this] { return flush_stop_ || ring_occupancy() != 0; });
         bool const stopping = flush_stop_;
         lock.unlock();
         flush_pending();
@@ -283,7 +368,6 @@ void sampler::tick(std::uint64_t t_ns)
 {
     MINIHPX_ASSERT_MSG(
         !running(), "tick() is for manual mode; the sampler is running");
-    open_sinks_once();
     sample_once(t_ns);
     flush_pending();
 }

@@ -105,6 +105,13 @@ void scrape_endpoint::open(record_schema const& schema)
     have_schema_ = true;
 }
 
+void scrape_endpoint::on_schema_change(record_schema const& schema)
+{
+    // render() already clamps to min(columns, row width), so the cached
+    // latest row (old width) stays servable until the next consume().
+    open(schema);
+}
+
 void scrape_endpoint::consume(sample_view const& row)
 {
     std::lock_guard lock(mutex_);

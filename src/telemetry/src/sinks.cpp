@@ -84,6 +84,14 @@ void csv_sink::open(record_schema const& schema)
     *out_ << '\n';
 }
 
+void csv_sink::on_schema_change(record_schema const& schema)
+{
+    // A second header line mid-stream: consumers that track the header
+    // re-key columns from here on; oblivious ones still parse rows by
+    // position, since growth is append-only.
+    open(schema);
+}
+
 void csv_sink::consume(sample_view const& row)
 {
     *out_ << row.t_ns << ',' << row.seq;
@@ -129,6 +137,11 @@ void jsonl_sink::open(record_schema const& schema)
               << perf::to_string(c.kind) << "\"}";
     }
     *out_ << "]}}\n";
+}
+
+void jsonl_sink::on_schema_change(record_schema const& schema)
+{
+    open(schema);
 }
 
 void jsonl_sink::consume(sample_view const& row)

@@ -1,0 +1,199 @@
+// Lock-free Chase-Lev work-stealing deque of thread_data pointers.
+//
+// Single owner pushes and pops at the *bottom* (LIFO, cache-warm child
+// first); any number of thieves CAS-claim the *top* (FIFO, oldest —
+// likely largest — subtree first). Backed by a dynamically growing
+// circular array; `top` increases monotonically, which is what makes
+// the top CAS ABA-free.
+//
+// The orderings follow the C11 formulation of Lê, Pop, Cohen &
+// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+// Models" (PPoPP'13), with two deliberate deviations, both explained in
+// docs/SCHEDULER.md:
+//
+//  1. The paper's standalone seq_cst *fences* are folded into seq_cst
+//     operations on `top`/`bottom`. ThreadSanitizer does not model
+//     `atomic_thread_fence`, so the fence-based version is correct on
+//     hardware but reports false races under TSan; the operation-based
+//     version is equivalent (slightly stronger) and TSan-clean.
+//  2. Every store to `bottom` is at least `release` (the paper relaxes
+//     the empty-pop restore). Thieves read `bottom` with seq_cst, so a
+//     thief that observes bottom > t synchronizes-with the owner store
+//     that published slot t — giving the happens-before edge that makes
+//     the stolen task's payload visible without extra annotations.
+//
+// Array slots are themselves atomic (relaxed): after a thief loads its
+// candidate but before its CAS, the owner may wrap around and overwrite
+// that slot. The stale value is discarded when the CAS fails, but the
+// racing accesses must still be data-race-free by the letter of the
+// memory model (and for TSan).
+//
+// Growth: the owner allocates a 2x array, copies [top, bottom), and
+// publishes it with a release store. Thieves may still hold the old
+// array; its live range [top, bottom) was copied, not moved, so their
+// reads stay valid. Retired arrays are kept on a chain and freed in the
+// destructor — a handful of pointers per growth, bounded by
+// log2(high-water mark) generations.
+#pragma once
+
+#include <minihpx/util/assert.hpp>
+#include <minihpx/util/cache_align.hpp>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace minihpx::threads {
+
+class thread_data;
+
+class chase_lev_deque
+{
+public:
+    static constexpr std::size_t default_capacity = 256;
+
+    explicit chase_lev_deque(std::size_t initial_capacity = default_capacity)
+    {
+        std::size_t cap = 8;
+        while (cap < initial_capacity)
+            cap *= 2;
+        array_.store(new ring(cap, nullptr), std::memory_order_relaxed);
+    }
+
+    ~chase_lev_deque()
+    {
+        ring* a = array_.load(std::memory_order_relaxed);
+        while (a)
+        {
+            ring* prev = a->retired;
+            delete a;
+            a = prev;
+        }
+    }
+
+    chase_lev_deque(chase_lev_deque const&) = delete;
+    chase_lev_deque& operator=(chase_lev_deque const&) = delete;
+
+    // Owner side --------------------------------------------------------
+    void push(thread_data* task)
+    {
+        std::int64_t const b = bottom_.load(std::memory_order_relaxed);
+        std::int64_t const t = top_.load(std::memory_order_acquire);
+        ring* a = array_.load(std::memory_order_relaxed);
+
+        if (b - t >= static_cast<std::int64_t>(a->capacity))
+            a = grow(a, t, b);
+
+        a->slot(b).store(task, std::memory_order_relaxed);
+        // Publication point: the release pairs with the thief's seq_cst
+        // load of bottom in steal().
+        bottom_.store(b + 1, std::memory_order_release);
+    }
+
+    thread_data* pop()
+    {
+        std::int64_t const b = bottom_.load(std::memory_order_relaxed) - 1;
+        ring* const a = array_.load(std::memory_order_relaxed);
+        // seq_cst store/load pair: the StoreLoad between our bottom
+        // decrement and the top read closes the owner-vs-thief race on
+        // the last element (the paper's interoperating fences).
+        bottom_.store(b, std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+
+        if (t < b)
+        {
+            // More than one element left: no thief can reach slot b.
+            return a->slot(b).load(std::memory_order_relaxed);
+        }
+        thread_data* task = nullptr;
+        if (t == b)
+        {
+            // Exactly one element: race the thieves for it via top.
+            task = a->slot(b).load(std::memory_order_relaxed);
+            if (!top_.compare_exchange_strong(t, t + 1,
+                    std::memory_order_seq_cst, std::memory_order_relaxed))
+                task = nullptr;    // a thief won
+        }
+        // Restore the canonical empty state bottom == top (== old b+1).
+        bottom_.store(b + 1, std::memory_order_release);
+        return task;
+    }
+
+    // Thief side --------------------------------------------------------
+    thread_data* steal()
+    {
+        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        std::int64_t const b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b)
+            return nullptr;    // observed empty
+
+        // Load the candidate *before* the CAS: once top moves past t the
+        // owner may recycle the slot, so a post-CAS read could see a
+        // newer task and hand it out twice.
+        ring* const a = array_.load(std::memory_order_acquire);
+        thread_data* task = a->slot(t).load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                std::memory_order_seq_cst, std::memory_order_relaxed))
+            return nullptr;    // lost the race; caller may retry
+        return task;
+    }
+
+    // Introspection (racy snapshot; exact only when quiescent) -----------
+    std::int64_t size() const noexcept
+    {
+        std::int64_t const b = bottom_.load(std::memory_order_relaxed);
+        std::int64_t const t = top_.load(std::memory_order_relaxed);
+        return b > t ? b - t : 0;
+    }
+
+    bool empty() const noexcept { return size() == 0; }
+
+    std::size_t capacity() const noexcept
+    {
+        return array_.load(std::memory_order_relaxed)->capacity;
+    }
+
+private:
+    struct ring
+    {
+        std::size_t const capacity;
+        std::size_t const mask;
+        ring* const retired;    // previous generation, kept alive
+        std::unique_ptr<std::atomic<thread_data*>[]> slots;
+
+        ring(std::size_t cap, ring* prev)
+          : capacity(cap)
+          , mask(cap - 1)
+          , retired(prev)
+          , slots(new std::atomic<thread_data*>[cap])
+        {
+            MINIHPX_ASSERT((cap & (cap - 1)) == 0);
+        }
+
+        std::atomic<thread_data*>& slot(std::int64_t i) noexcept
+        {
+            return slots[static_cast<std::size_t>(i) & mask];
+        }
+    };
+
+    // Owner-only: double the array, copying the live range.
+    ring* grow(ring* a, std::int64_t t, std::int64_t b)
+    {
+        ring* const bigger = new ring(a->capacity * 2, a);
+        for (std::int64_t i = t; i < b; ++i)
+        {
+            bigger->slot(i).store(
+                a->slot(i).load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+        }
+        array_.store(bigger, std::memory_order_release);
+        return bigger;
+    }
+
+    alignas(util::cache_line_size) std::atomic<std::int64_t> top_{0};
+    alignas(util::cache_line_size) std::atomic<std::int64_t> bottom_{0};
+    alignas(util::cache_line_size) std::atomic<ring*> array_{nullptr};
+};
+
+}    // namespace minihpx::threads

@@ -1,0 +1,48 @@
+// Run-queue implementation selector.
+//
+// Kept in its own header so layers that only need the knob (the
+// simulator's ablation config, the runtime CLI parser) do not pull in
+// the full queue implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace minihpx::threads {
+
+enum class queue_policy : std::uint8_t
+{
+    // Spinlock-guarded std::deque (the original design, DESIGN.md
+    // choice #2). Kept for A/B ablation runs.
+    mutex_deque,
+    // Lock-free Chase-Lev deque + MPSC inbox for cross-thread pushes
+    // (docs/SCHEDULER.md). The default.
+    chase_lev,
+};
+
+constexpr char const* to_string(queue_policy p) noexcept
+{
+    switch (p)
+    {
+    case queue_policy::mutex_deque:
+        return "mutex";
+    case queue_policy::chase_lev:
+        return "chase-lev";
+    }
+    return "?";
+}
+
+// Accepts the canonical names plus common spellings; nullopt on junk so
+// callers can produce their own error message.
+inline std::optional<queue_policy> parse_queue_policy(
+    std::string_view s) noexcept
+{
+    if (s == "mutex" || s == "mutex-deque" || s == "locked")
+        return queue_policy::mutex_deque;
+    if (s == "chase-lev" || s == "chase_lev" || s == "lockfree")
+        return queue_policy::chase_lev;
+    return std::nullopt;
+}
+
+}    // namespace minihpx::threads

@@ -1,19 +1,39 @@
 // Per-worker run queue with work stealing.
 //
-// Owner operates LIFO on the back (cache-warm child tasks first —
+// Owner operates LIFO on the hot end (cache-warm child tasks first —
 // "child stealing" depth-first execution order); thieves take FIFO from
-// the front (oldest, likely largest, subtree — the classic Cilk
-// heuristic). A mutex-protected deque is deliberately chosen over a
-// lock-free Chase-Lev deque: the critical sections are a few dozen ns,
-// the design is auditable, and the simulator models steal costs
-// independently, so the paper's figure shapes do not hinge on this
-// (DESIGN.md choice #2).
+// the cold end (oldest, likely largest, subtree — the classic Cilk
+// heuristic). Two interchangeable implementations sit behind
+// queue_policy (selected per scheduler via scheduler_config):
+//
+//   mutex_deque — spinlock-guarded std::deque. The original design:
+//     critical sections of a few dozen ns, trivially auditable. Kept
+//     for A/B ablation (bench/steal_throughput, bench/ablation_policies)
+//     and as the reference semantics for the counter tests.
+//
+//   chase_lev — lock-free Chase-Lev deque (chase_lev_deque.hpp) for the
+//     owner/thief fast paths, plus a small spinlock-guarded MPSC
+//     "inbox" for cross-thread submission (Chase-Lev push is owner-
+//     only; round-robin spawn from non-worker threads and resume() from
+//     foreign workers land in the inbox and are drained by the owner).
+//     See docs/SCHEDULER.md for the algorithm and memory orderings.
+//
+// One deliberate semantic divergence: `push(task, /*front=*/true)`.
+// The scheduler documents `front` as "the hot end — run next" (used by
+// launch::fork and yielded_front). The mutex deque historically put
+// front-pushes at the *steal* end; chase_lev puts them at the bottom so
+// the owner genuinely runs them next. Tests pinning placement are
+// policy-specific.
 //
 // The queue also keeps the instrumentation the thread-manager counters
 // expose: enqueue/dequeue cumulative counts, current length, steal
-// counts, and pending-queue misses.
+// counts, and pending-queue misses. Both policies feed the same relaxed
+// atomics at the same transition points, so every /threads{...} counter
+// keeps its meaning across policies.
 #pragma once
 
+#include <minihpx/threads/chase_lev_deque.hpp>
+#include <minihpx/threads/queue_policy.hpp>
 #include <minihpx/threads/thread_data.hpp>
 #include <minihpx/util/cache_align.hpp>
 #include <minihpx/util/lock_registry.hpp>
@@ -30,18 +50,36 @@ namespace minihpx::threads {
 class thread_queue
 {
 public:
-    thread_queue() = default;
+    explicit thread_queue(queue_policy policy = queue_policy::chase_lev)
+      : policy_(policy)
+    {
+    }
+
     thread_queue(thread_queue const&) = delete;
     thread_queue& operator=(thread_queue const&) = delete;
 
+    queue_policy policy() const noexcept { return policy_; }
+
     // Owner side -------------------------------------------------------
+
+    // Owner-only under chase_lev (the Chase-Lev bottom is single-
+    // writer); any thread under mutex_deque. Cross-thread callers must
+    // use inject().
     void push(thread_data* task, bool front = false)
     {
         // Publication point: everything written into *task before this
         // push (descriptor init, closure state) becomes visible to
-        // whichever worker pops or steals it. The queue lock carries
-        // the edge; the annotation states the protocol explicitly.
+        // whichever worker pops or steals it. The queue lock / the
+        // deque's release-store of bottom carries the edge; the
+        // annotation states the protocol explicitly.
         MINIHPX_ANNOTATE_HAPPENS_BEFORE(task);
+        if (policy_ == queue_policy::chase_lev)
+        {
+            // Both ends map to the bottom: front==true means "run
+            // next", and the owner pops the bottom first.
+            deque_.push(task);
+        }
+        else
         {
             std::lock_guard lock(mutex_);
             if (front)
@@ -53,18 +91,56 @@ public:
         enqueued_.fetch_add(1, std::memory_order_relaxed);
     }
 
+    // Cross-thread submission: safe from any thread under either
+    // policy. Under chase_lev the task lands in the inbox and is pulled
+    // in by the owner (or stolen); `front` keeps it hot across the
+    // drain. Same counter semantics as push().
+    void inject(thread_data* task, bool front = false)
+    {
+        if (policy_ != queue_policy::chase_lev)
+        {
+            push(task, front);
+            return;
+        }
+        MINIHPX_ANNOTATE_HAPPENS_BEFORE(task);
+        {
+            std::lock_guard lock(inbox_lock_);
+            if (front)
+                inbox_.push_front(task);
+            else
+                inbox_.push_back(task);
+        }
+        length_.fetch_add(1, std::memory_order_relaxed);
+        enqueued_.fetch_add(1, std::memory_order_relaxed);
+    }
+
     thread_data* pop()
     {
-        std::unique_lock lock(mutex_);
-        if (queue_.empty())
+        thread_data* task;
+        if (policy_ == queue_policy::chase_lev)
         {
-            lock.unlock();
+            task = deque_.pop();
+            if (!task && drain_inbox() != 0)
+                task = deque_.pop();
+        }
+        else
+        {
+            std::unique_lock lock(mutex_);
+            if (queue_.empty())
+            {
+                task = nullptr;
+            }
+            else
+            {
+                task = queue_.back();
+                queue_.pop_back();
+            }
+        }
+        if (!task)
+        {
             misses_.fetch_add(1, std::memory_order_relaxed);
             return nullptr;
         }
-        thread_data* task = queue_.back();
-        queue_.pop_back();
-        lock.unlock();
         MINIHPX_ANNOTATE_HAPPENS_AFTER(task);
         length_.fetch_sub(1, std::memory_order_relaxed);
         dequeued_.fetch_add(1, std::memory_order_relaxed);
@@ -72,20 +148,80 @@ public:
     }
 
     // Thief side --------------------------------------------------------
+
+    // Take one task from the cold end. Returns nullptr on empty *or*
+    // transient contention (mutex_deque try_lock failure, chase_lev CAS
+    // loss) — callers treat both as "try another victim". Contention
+    // does not count as a pending-queue miss; only an owner pop on an
+    // empty queue does.
     thread_data* steal()
     {
-        std::unique_lock lock(mutex_, std::try_to_lock);
-        if (!lock.owns_lock() || queue_.empty())
-            return nullptr;
-        thread_data* task = queue_.front();
-        queue_.pop_front();
-        lock.unlock();
+        thread_data* task;
+        if (policy_ == queue_policy::chase_lev)
+        {
+            task = deque_.steal();
+            if (!task)
+            {
+                // Deque empty: raid the inbox (oldest first, matching
+                // the cold-end convention).
+                std::unique_lock lock(inbox_lock_, std::try_to_lock);
+                if (!lock.owns_lock() || inbox_.empty())
+                    return nullptr;
+                task = inbox_.front();
+                inbox_.pop_front();
+            }
+        }
+        else
+        {
+            std::unique_lock lock(mutex_, std::try_to_lock);
+            if (!lock.owns_lock() || queue_.empty())
+                return nullptr;
+            task = queue_.front();
+            queue_.pop_front();
+        }
         // Consume the push-side publication edge before the thief
         // touches any descriptor field.
         MINIHPX_ANNOTATE_HAPPENS_AFTER(task);
         length_.fetch_sub(1, std::memory_order_relaxed);
         stolen_.fetch_add(1, std::memory_order_relaxed);
         return task;
+    }
+
+    // One batched raid: take up to max_tasks from this queue, capped at
+    // half its observed length (always at least one attempt). The first
+    // task is returned for immediate execution; the rest are pushed
+    // into `thief` — the caller must be thief's owner. Each element is
+    // claimed individually (a single CAS covering a range would race
+    // with owner pops of un-CASed slots), so a raid is exactly as safe
+    // as max_tasks calls to steal(). *stolen_out reports the total.
+    thread_data* steal_into(
+        thread_queue& thief, unsigned max_tasks, unsigned* stolen_out = nullptr)
+    {
+        if (stolen_out)
+            *stolen_out = 0;
+        if (max_tasks == 0)
+            return nullptr;
+
+        std::int64_t const len = length();
+        std::uint64_t budget = static_cast<std::uint64_t>(len > 1 ? (len + 1) / 2 : 1);
+        if (budget > max_tasks)
+            budget = max_tasks;
+
+        thread_data* first = steal();
+        if (!first)
+            return nullptr;
+        unsigned taken = 1;
+        while (taken < budget)
+        {
+            thread_data* task = steal();
+            if (!task)
+                break;
+            thief.push(task, false);
+            ++taken;
+        }
+        if (stolen_out)
+            *stolen_out = taken;
+        return first;
     }
 
     // Introspection ------------------------------------------------------
@@ -111,9 +247,33 @@ public:
     }
 
 private:
+    // Owner-only: move everything the inbox accumulated into the deque
+    // (FIFO, so inbox order matches what push() order would have been).
+    std::size_t drain_inbox()
+    {
+        std::lock_guard lock(inbox_lock_);
+        std::size_t const n = inbox_.size();
+        while (!inbox_.empty())
+        {
+            deque_.push(inbox_.front());
+            inbox_.pop_front();
+        }
+        return n;
+    }
+
+    queue_policy const policy_;
+
+    // chase_lev state.
+    chase_lev_deque deque_;
+    util::spinlock inbox_lock_{
+        util::lock_rank::thread_queue, "thread_queue-inbox"};
+    std::deque<thread_data*> inbox_;
+
+    // mutex_deque state.
     mutable util::spinlock mutex_{
         util::lock_rank::thread_queue, "thread_queue"};
     std::deque<thread_data*> queue_;
+
     std::atomic<std::int64_t> length_{0};
     std::atomic<std::uint64_t> enqueued_{0};
     std::atomic<std::uint64_t> dequeued_{0};

@@ -1,0 +1,344 @@
+// Randomized interleaving stress for the Chase-Lev deque and the
+// thread_queue built on it. Meaningful in every build; decisive under
+// -DMINIHPX_SANITIZE=thread (the C11-style orderings in
+// chase_lev_deque.hpp are exactly what TSan checks) and =address
+// (the growth path retires rings that thieves may still be reading).
+//
+// Every test uses the exactly-once invariant: tasks carry their index
+// as the descriptor id, and whoever obtains a task (owner pop or thief
+// steal) CAS-claims the matching flag. Duplicate hand-out, lost tasks,
+// and phantom tasks all trip an EXPECT. Iteration counts are sized so
+// the suite stays seconds-fast under TSan's ~10x slowdown.
+#include <minihpx/threads/chase_lev_deque.hpp>
+#include <minihpx/threads/thread_data.hpp>
+#include <minihpx/threads/thread_queue.hpp>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace mt = minihpx::threads;
+
+namespace {
+
+// A pool of inert descriptors (never executed — the deque only traffics
+// in pointers) with one claim flag per task, indexed by descriptor id.
+struct task_set
+{
+    std::vector<std::unique_ptr<mt::thread_data>> tasks;
+    std::vector<std::atomic<bool>> claimed;
+
+    explicit task_set(std::size_t n) : claimed(n)
+    {
+        tasks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            tasks.push_back(std::make_unique<mt::thread_data>());
+            tasks.back()->init(
+                i, [] {}, "stress", mt::thread_priority::normal);
+        }
+    }
+
+    mt::thread_data* operator[](std::size_t i) { return tasks[i].get(); }
+
+    // True the first time a task is handed out, false on any repeat.
+    bool claim(mt::thread_data* td)
+    {
+        bool expected = false;
+        return claimed[td->id()].compare_exchange_strong(
+            expected, true, std::memory_order_relaxed);
+    }
+
+    bool all_claimed() const
+    {
+        for (auto const& c : claimed)
+            if (!c.load(std::memory_order_relaxed))
+                return false;
+        return true;
+    }
+};
+
+}    // namespace
+
+// Owner pushes and pops while thieves hammer steal(): every task is
+// obtained exactly once, none invented, none lost.
+TEST(ChaseLevStress, ConcurrentStealPopExactlyOnce)
+{
+    constexpr int total = 20000;
+    constexpr int num_thieves = 3;
+
+    mt::chase_lev_deque deque;
+    task_set tasks(total);
+
+    std::atomic<bool> done{false};
+    std::atomic<int> obtained{0};
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < num_thieves; ++t)
+    {
+        thieves.emplace_back([&] {
+            while (!done.load(std::memory_order_acquire))
+            {
+                if (mt::thread_data* td = deque.steal())
+                {
+                    EXPECT_TRUE(tasks.claim(td));
+                    obtained.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+            // Final sweep: nothing the owner left behind may be lost.
+            while (mt::thread_data* td = deque.steal())
+            {
+                EXPECT_TRUE(tasks.claim(td));
+                obtained.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    // Owner: randomized push/pop mix, biased toward push so thieves
+    // stay fed; pops race steals on the last element.
+    std::mt19937 rng(0xC11);
+    int pushed = 0;
+    while (pushed < total)
+    {
+        if (rng() % 4 != 0)
+        {
+            deque.push(tasks[static_cast<std::size_t>(pushed++)]);
+        }
+        else if (mt::thread_data* td = deque.pop())
+        {
+            EXPECT_TRUE(tasks.claim(td));
+            obtained.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& t : thieves)
+        t.join();
+
+    // Owner drains whatever survived the thieves' final sweep.
+    while (mt::thread_data* td = deque.pop())
+    {
+        EXPECT_TRUE(tasks.claim(td));
+        obtained.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    EXPECT_EQ(obtained.load(), total);
+    EXPECT_TRUE(tasks.all_claimed());
+}
+
+// The empty/last-element race: one task at a time, owner pop vs one
+// thief steal. Exactly one side must win each round, never both.
+TEST(ChaseLevStress, LastElementRaceNeverDoublesOrLoses)
+{
+    constexpr int rounds = 30000;
+
+    mt::chase_lev_deque deque;
+    mt::thread_data task;
+    std::atomic<int> won_owner{0};
+    std::atomic<int> won_thief{0};
+    std::atomic<bool> done{false};
+    std::atomic<int> phase{0};    // 0: pushed, 1: thief banked it
+
+    std::thread thief([&] {
+        while (!done.load(std::memory_order_acquire))
+        {
+            if (mt::thread_data* td = deque.steal())
+            {
+                EXPECT_EQ(td, &task);
+                won_thief.fetch_add(1, std::memory_order_relaxed);
+                phase.store(1, std::memory_order_release);
+            }
+        }
+    });
+
+    for (int r = 0; r < rounds; ++r)
+    {
+        phase.store(0, std::memory_order_relaxed);
+        deque.push(&task);
+        if (mt::thread_data* td = deque.pop())
+        {
+            EXPECT_EQ(td, &task);
+            won_owner.fetch_add(1, std::memory_order_relaxed);
+        }
+        else
+        {
+            // Thief won; wait until it has banked the task so the next
+            // push can't be confused with this round's.
+            while (phase.load(std::memory_order_acquire) != 1)
+                std::this_thread::yield();
+        }
+    }
+    done.store(true, std::memory_order_release);
+    thief.join();
+
+    EXPECT_EQ(won_owner.load() + won_thief.load(), rounds);
+    EXPECT_TRUE(deque.empty());
+}
+
+// Growth under fire: the owner pushes far past the initial ring
+// capacity while thieves keep stealing from retiring arrays.
+TEST(ChaseLevStress, GrowthUnderConcurrentSteals)
+{
+    constexpr int total = 50000;    // many doublings from 256 slots
+    constexpr int num_thieves = 2;
+
+    mt::chase_lev_deque deque;
+    task_set tasks(total);
+
+    std::atomic<bool> done{false};
+    std::atomic<int> stolen{0};
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < num_thieves; ++t)
+    {
+        thieves.emplace_back([&, t] {
+            std::mt19937 rng(0xABBAu + static_cast<unsigned>(t));
+            while (!done.load(std::memory_order_acquire))
+            {
+                if (mt::thread_data* td = deque.steal())
+                {
+                    EXPECT_TRUE(tasks.claim(td));
+                    stolen.fetch_add(1, std::memory_order_relaxed);
+                }
+                // Occasionally back off so the queue depth (and thus
+                // the ring size) swings.
+                if (rng() % 64 == 0)
+                    std::this_thread::yield();
+            }
+        });
+    }
+
+    for (int i = 0; i < total; ++i)
+        deque.push(tasks[static_cast<std::size_t>(i)]);
+    EXPECT_GE(deque.capacity(), 256u);
+
+    // Drain the rest as the owner.
+    int popped = 0;
+    while (mt::thread_data* td = deque.pop())
+    {
+        EXPECT_TRUE(tasks.claim(td));
+        ++popped;
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& t : thieves)
+        t.join();
+
+    EXPECT_EQ(deque.pop(), nullptr);
+    EXPECT_EQ(popped + stolen.load(), total);
+    EXPECT_TRUE(tasks.all_claimed());
+}
+
+// Batched raids through thread_queue::steal_into while the victim's
+// owner pushes and pops: the half-queue cap plus per-element claiming
+// must never double-deliver.
+TEST(ChaseLevStress, BatchedRaidsExactlyOnce)
+{
+    constexpr int total = 20000;
+    constexpr int num_thieves = 2;
+    constexpr unsigned batch = 8;
+
+    mt::thread_queue victim(mt::queue_policy::chase_lev);
+    task_set tasks(total);
+
+    std::atomic<bool> done{false};
+    std::atomic<int> obtained{0};
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < num_thieves; ++t)
+    {
+        thieves.emplace_back([&] {
+            // Each thief owns its local queue, as in the scheduler.
+            mt::thread_queue local(mt::queue_policy::chase_lev);
+            auto bank = [&](mt::thread_data* td) {
+                EXPECT_TRUE(tasks.claim(td));
+                obtained.fetch_add(1, std::memory_order_relaxed);
+            };
+            auto drain_local = [&] {
+                while (mt::thread_data* td = local.pop())
+                    bank(td);
+            };
+            while (!done.load(std::memory_order_acquire))
+            {
+                unsigned taken = 0;
+                if (mt::thread_data* first =
+                        victim.steal_into(local, batch, &taken))
+                {
+                    bank(first);
+                    drain_local();
+                }
+            }
+            while (mt::thread_data* td = victim.steal())
+                bank(td);
+            drain_local();
+        });
+    }
+
+    std::mt19937 rng(0x5711);
+    int pushed = 0;
+    while (pushed < total)
+    {
+        if (rng() % 4 != 0)
+        {
+            victim.push(tasks[static_cast<std::size_t>(pushed++)]);
+        }
+        else if (mt::thread_data* td = victim.pop())
+        {
+            EXPECT_TRUE(tasks.claim(td));
+            obtained.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    done.store(true, std::memory_order_release);
+    for (auto& t : thieves)
+        t.join();
+    while (mt::thread_data* td = victim.pop())
+    {
+        EXPECT_TRUE(tasks.claim(td));
+        obtained.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    EXPECT_EQ(obtained.load(), total);
+    EXPECT_EQ(victim.length(), 0);
+    EXPECT_EQ(victim.enqueued(), victim.dequeued() + victim.stolen_from());
+}
+
+// inject() from many threads while the owner pops: the MPSC inbox path
+// delivers everything exactly once and the counters balance.
+TEST(ChaseLevStress, InjectFromManyThreads)
+{
+    constexpr int per_thread = 5000;
+    constexpr int num_injectors = 3;
+    constexpr int total = per_thread * num_injectors;
+
+    mt::thread_queue q(mt::queue_policy::chase_lev);
+    task_set tasks(total);
+
+    std::vector<std::thread> injectors;
+    for (int t = 0; t < num_injectors; ++t)
+    {
+        injectors.emplace_back([&, t] {
+            for (int i = 0; i < per_thread; ++i)
+                q.inject(
+                    tasks[static_cast<std::size_t>(t * per_thread + i)]);
+        });
+    }
+
+    int obtained = 0;
+    while (obtained < total)
+    {
+        if (mt::thread_data* td = q.pop())
+        {
+            EXPECT_TRUE(tasks.claim(td));
+            ++obtained;
+        }
+    }
+    for (auto& t : injectors)
+        t.join();
+
+    EXPECT_EQ(q.pop(), nullptr);
+    EXPECT_EQ(q.enqueued(), static_cast<std::uint64_t>(total));
+    EXPECT_EQ(q.dequeued(), static_cast<std::uint64_t>(total));
+}

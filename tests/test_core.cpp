@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <thread>
 
@@ -663,12 +664,109 @@ TEST_F(ThreadCounterTest, EvaluateIntoMatchesEvaluate)
     wait_all(fs);
     drain();
     std::vector<counter_value> values(active.size());
-    active.evaluate_into(values.data());
+    active.evaluate_into(std::span(values));
     auto const reference = active.evaluate();
     ASSERT_EQ(reference.size(), 2u);
     EXPECT_TRUE(values[0].valid());
     // Counter 0 is cumulative task count: stable between the calls.
     EXPECT_DOUBLE_EQ(values[0].get(), reference[0].value.get());
+}
+
+// --------------------------------------------------------- counter handles
+
+TEST_F(ThreadCounterTest, ResolveReturnsWorkingHandle)
+{
+    counter_handle h =
+        registry_.resolve("/threads{locality#0/total}/count/cumulative");
+    ASSERT_TRUE(h);
+    h.reset();
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 12; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    // Evaluate through the handle: no string parse, no registry lookup.
+    EXPECT_DOUBLE_EQ(h.evaluate().get(), 12.0);
+    EXPECT_EQ(h.info().full_name, "/threads{locality#0/total}/count/cumulative");
+}
+
+TEST_F(ThreadCounterTest, ResolveReportsUnknownCounter)
+{
+    std::string error;
+    counter_handle h = registry_.resolve("/no/such{thing}/counter", &error);
+    EXPECT_FALSE(h);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(ThreadCounterTest, ResolveAllExpandsWildcards)
+{
+    auto handles = registry_.resolve_all(
+        "/threads{locality#0/worker-thread#*}/count/cumulative");
+    ASSERT_EQ(handles.size(), 2u);    // two workers
+    for (auto const& h : handles)
+        EXPECT_TRUE(h);
+
+    std::vector<std::string> errors;
+    auto bad = registry_.resolve_all("/bogus{locality#0/total}/x", &errors);
+    EXPECT_TRUE(bad.empty());
+    EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST_F(ThreadCounterTest, HandleCachesStatisticsInterface)
+{
+    // A statistics-kind counter: sample_statistics() works through the
+    // cached interface pointer — no RTTI on the hot path.
+    counter_handle h = registry_.resolve(
+        "/statistics/average@/threads{locality#0/total}/count/cumulative,8");
+    ASSERT_TRUE(h);
+    EXPECT_TRUE(h.is_statistics());
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 8; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    h.sample_statistics();
+    h.sample_statistics();
+    EXPECT_TRUE(h.evaluate().valid());
+
+    // Raw counters report not-statistics and sample as a no-op.
+    counter_handle raw =
+        registry_.resolve("/threads{locality#0/total}/count/cumulative");
+    ASSERT_TRUE(raw);
+    EXPECT_FALSE(raw.is_statistics());
+    raw.sample_statistics();
+}
+
+TEST_F(ThreadCounterTest, ActiveCountersRefreshPicksUpLateCounters)
+{
+    // A set constructed before a counter type exists resolves what it
+    // can; refresh() after registration appends the newcomers without
+    // disturbing existing positions.
+    active_counters active(
+        registry_, {"/threads{locality#0/total}/count/cumulative",
+                       "/late{locality#0/total}/value"});
+    ASSERT_EQ(active.size(), 1u);
+    EXPECT_EQ(active.errors().size(), 1u);
+
+    counter_registry::type_info t;
+    t.type_key = "/late/value";
+    t.create = [](counter_path const& path) -> counter_ptr {
+        counter_info info;
+        info.full_name = path.full_name();
+        return std::make_shared<gauge_counter>(
+            std::move(info), [] { return 5.0; });
+    };
+    registry_.register_type(std::move(t));
+
+    EXPECT_EQ(active.refresh(registry_), 1u);
+    ASSERT_EQ(active.size(), 2u);
+    EXPECT_EQ(active.handles()[0].info().full_name,
+        "/threads{locality#0/total}/count/cumulative");
+    EXPECT_DOUBLE_EQ(active.handles()[1].evaluate().get(), 5.0);
+
+    // Idempotent: nothing new, nothing duplicated.
+    EXPECT_EQ(active.refresh(registry_), 0u);
+    EXPECT_EQ(active.size(), 2u);
 }
 
 // Regression: a counter_session with background sampling used to race

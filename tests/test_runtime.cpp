@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -352,6 +353,84 @@ TEST_P(RuntimeTest, SchedulerCountsTasks)
     EXPECT_EQ(sched.tasks_alive(), 0u);
 }
 
+// The /threads{...} counters must keep their meaning regardless of the
+// queue implementation: run the same workload under both policies and
+// assert the transition-point invariants.
+class QueuePolicyRuntime
+  : public ::testing::TestWithParam<threads::queue_policy>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(Policies, QueuePolicyRuntime,
+    ::testing::Values(
+        threads::queue_policy::mutex_deque, threads::queue_policy::chase_lev),
+    [](auto const& info) {
+        return info.param == threads::queue_policy::mutex_deque ?
+            "Mutex" :
+            "ChaseLev";
+    });
+
+TEST_P(QueuePolicyRuntime, CounterSemanticsMatchAcrossPolicies)
+{
+    runtime_config config;
+    config.sched.num_workers = 4;
+    config.sched.queue = GetParam();
+    runtime rt(config);
+    auto& sched = rt.get_scheduler();
+
+    constexpr int n = 500;
+    std::vector<future<void>> futures;
+    for (int i = 0; i < n; ++i)
+        futures.push_back(async([] {
+            volatile int x = 0;
+            for (int j = 0; j < 100; ++j)
+                x += j;
+        }));
+    wait_all(futures);
+    drain(sched);
+
+    auto const agg = sched.aggregate();
+    EXPECT_EQ(agg.tasks_executed, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(sched.tasks_alive(), 0u);
+
+    // Queue-level conservation: everything enqueued left through a
+    // dequeue or a steal, and nothing is pending.
+    std::uint64_t enq = 0, deq = 0, stolen = 0;
+    std::int64_t len = 0;
+    for (std::uint32_t w = 0; w < sched.num_workers(); ++w)
+    {
+        auto const& q = sched.get_worker(w).queue();
+        enq += q.enqueued();
+        deq += q.dequeued();
+        stolen += q.stolen_from();
+        len += q.length();
+    }
+    EXPECT_EQ(enq, deq + stolen);
+    EXPECT_EQ(len, 0);
+    EXPECT_GE(enq, static_cast<std::uint64_t>(n));
+}
+
+TEST_P(QueuePolicyRuntime, ForkPolicyAndNestedTreesComplete)
+{
+    runtime_config config;
+    config.sched.num_workers = 4;
+    config.sched.queue = GetParam();
+    runtime rt(config);
+
+    // Nested spawns exercise the owner-push path (launch::fork "run
+    // next" lands at the hot end under both policies).
+    std::function<int(int)> fib = [&](int k) -> int {
+        if (k < 2)
+            return k;
+        auto left =
+            async(launch::fork, [&fib, k] { return fib(k - 1); });
+        int const right = fib(k - 2);
+        return left.get() + right;
+    };
+    auto f = async([&] { return fib(12); });
+    EXPECT_EQ(f.get(), 144);
+}
+
 TEST_P(RuntimeTest, ExecTimeAccumulates)
 {
     auto& sched = rt_->get_scheduler();
@@ -423,7 +502,86 @@ TEST(RuntimeConfig, FromCliParsesOptions)
     EXPECT_EQ(config.sched.num_workers, 3u);
     EXPECT_EQ(config.sched.stack_size, 131072u);
     EXPECT_TRUE(config.sched.bind_workers);
-    EXPECT_EQ(config.sched.steal_seed, 99u);
+    EXPECT_EQ(config.sched.steal.seed, 99u);
+}
+
+TEST(RuntimeConfig, FromCliParsesStealParams)
+{
+    char const* argv[] = {"prog", "--mh:steal-rounds=5", "--mh:steal-batch=16",
+        "--mh:steal-spin=1000", "--mh:steal-sleep-us=250",
+        "--mh:steal-park=timed"};
+    util::cli_args args(6, argv);
+    auto config = runtime_config::from_cli(args);
+    EXPECT_EQ(config.sched.steal.rounds, 5u);
+    EXPECT_EQ(config.sched.steal.batch, 16u);
+    EXPECT_EQ(config.sched.steal.spin_iters, 1000u);
+    EXPECT_EQ(config.sched.steal.sleep_us, 250u);
+    EXPECT_EQ(config.sched.steal.park,
+        scheduler_config::steal_params::park_policy::timed);
+}
+
+TEST(RuntimeConfig, FromCliLegacySleepAlias)
+{
+    // --mh:sleep-us is the pre-steal_params spelling; still accepted.
+    char const* argv[] = {"prog", "--mh:sleep-us=75"};
+    util::cli_args args(2, argv);
+    auto config = runtime_config::from_cli(args);
+    EXPECT_EQ(config.sched.steal.sleep_us, 75u);
+}
+
+TEST(RuntimeConfig, FromCliParsesQueuePolicy)
+{
+    char const* argv_mutex[] = {"prog", "--mh:queue-policy=mutex"};
+    util::cli_args args_mutex(2, argv_mutex);
+    EXPECT_EQ(runtime_config::from_cli(args_mutex).sched.queue,
+        threads::queue_policy::mutex_deque);
+
+    char const* argv_cl[] = {"prog", "--mh:queue-policy=chase-lev"};
+    util::cli_args args_cl(2, argv_cl);
+    EXPECT_EQ(runtime_config::from_cli(args_cl).sched.queue,
+        threads::queue_policy::chase_lev);
+
+    char const* argv_bad[] = {"prog", "--mh:queue-policy=bogus"};
+    util::cli_args args_bad(2, argv_bad);
+    EXPECT_THROW(runtime_config::from_cli(args_bad), std::runtime_error);
+}
+
+TEST(RuntimeConfig, FromCliRejectsInvalidStealParams)
+{
+    char const* argv_batch[] = {"prog", "--mh:steal-batch=0"};
+    util::cli_args args_batch(2, argv_batch);
+    EXPECT_THROW(runtime_config::from_cli(args_batch), std::runtime_error);
+
+    char const* argv_rounds[] = {"prog", "--mh:steal-rounds=0"};
+    util::cli_args args_rounds(2, argv_rounds);
+    EXPECT_THROW(runtime_config::from_cli(args_rounds), std::runtime_error);
+
+    // timed park with a zero timeout would busy-spin the condvar.
+    char const* argv_sleep[] = {
+        "prog", "--mh:steal-park=timed", "--mh:steal-sleep-us=0"};
+    util::cli_args args_sleep(3, argv_sleep);
+    EXPECT_THROW(runtime_config::from_cli(args_sleep), std::runtime_error);
+
+    char const* argv_park[] = {"prog", "--mh:steal-park=nonsense"};
+    util::cli_args args_park(2, argv_park);
+    EXPECT_THROW(runtime_config::from_cli(args_park), std::runtime_error);
+}
+
+TEST(RuntimeConfig, SchedulerCtorValidatesStealParams)
+{
+    scheduler_config config;
+    config.num_workers = 1;
+    config.steal.batch = 0;
+    EXPECT_THROW(scheduler{config}, std::invalid_argument);
+
+    config.steal = {};
+    config.steal.rounds = 0;
+    EXPECT_THROW(scheduler{config}, std::invalid_argument);
+
+    config.steal = {};
+    config.steal.park = scheduler_config::steal_params::park_policy::timed;
+    config.steal.sleep_us = 0;
+    EXPECT_THROW(scheduler{config}, std::invalid_argument);
 }
 
 TEST(RuntimeSingleton, GetPtrReflectsLifetime)

@@ -112,6 +112,26 @@ TEST(Simulator, DeterministicAcrossRuns)
     EXPECT_EQ(r1.offcore_data_rd, r2.offcore_data_rd);
 }
 
+TEST(Simulator, QueuePolicyKnobIsBookkeepingOnly)
+{
+    // The knob is recorded in the report for provenance but must not
+    // enter the cost model: virtual results are identical across queue
+    // policies (machine_desc stays the source of truth for figures).
+    auto config = make_config(8);
+    config.queue = threads::queue_policy::mutex_deque;
+    auto r1 = run_tree(config, 8, 20, 4096);
+    config.queue = threads::queue_policy::chase_lev;
+    auto r2 = run_tree(config, 8, 20, 4096);
+
+    EXPECT_EQ(r1.queue, threads::queue_policy::mutex_deque);
+    EXPECT_EQ(r2.queue, threads::queue_policy::chase_lev);
+    EXPECT_DOUBLE_EQ(r1.exec_time_s, r2.exec_time_s);
+    EXPECT_EQ(r1.steals, r2.steals);
+    EXPECT_EQ(r1.tasks_executed, r2.tasks_executed);
+    EXPECT_DOUBLE_EQ(r1.sched_overhead_s, r2.sched_overhead_s);
+    EXPECT_EQ(r1.offcore_data_rd, r2.offcore_data_rd);
+}
+
 TEST(Simulator, SeedChangesStealPattern)
 {
     auto config = make_config(8);

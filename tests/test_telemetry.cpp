@@ -507,6 +507,72 @@ TEST(Discovery, RuntimeCountersExpandPerWorker)
             std::string::npos);
 }
 
+TEST(Discovery, LateRegisteredCounterJoinsRunningSession)
+{
+    // Regression: counters registered after the sampler started (a PAPI
+    // engine brought up mid-run) must join the stream. The sampler
+    // compares registry.version() per sample and re-expands on a bump;
+    // schema growth is append-only and sinks re-emit their header.
+    perf::counter_registry registry;
+    register_test_gauge(registry, "/test/x", [] { return 1.0; });
+
+    sampler_config config;
+    config.counter_names = {
+        "/test{locality#0/total}/x", "/late{locality#0/total}/y"};
+    std::ostringstream csv;   // must outlive the sampler: sinks flush on stop
+    sampler s(registry, config);
+
+    // /late/y is unknown at construction: one column, one error.
+    ASSERT_EQ(s.schema().width(), 1u);
+    ASSERT_EQ(s.errors().size(), 1u);
+    s.add_sink(std::make_shared<csv_sink>(csv));
+    s.tick(100);
+
+    // The missing counter type arrives (version bump)...
+    register_test_gauge(registry, "/late/y", [] { return 7.0; });
+    auto const before = s.discovery_version();
+    s.tick(200);
+    s.tick(300);
+
+    // ...and the next sample picked it up: new column appended, the
+    // existing column keeps its position.
+    EXPECT_NE(s.discovery_version(), before);
+    ASSERT_EQ(s.schema().width(), 2u);
+    EXPECT_EQ(s.schema().columns[0].name, "/test{locality#0/total}/x");
+    EXPECT_EQ(s.schema().columns[1].name, "/late{locality#0/total}/y");
+
+    // The CSV stream shows both schemas: old header, old-width row,
+    // new header, then new-width rows carrying the late counter.
+    std::istringstream in(csv.str());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_EQ(lines[0], "t_ns,seq,/test{locality#0/total}/x");
+    EXPECT_EQ(lines[1].substr(0, 4), "100,");
+    EXPECT_EQ(lines[2],
+        "t_ns,seq,/test{locality#0/total}/x,/late{locality#0/total}/y");
+    EXPECT_EQ(lines[3].substr(0, 4), "200,");
+    EXPECT_NE(lines[3].find(",7"), std::string::npos);
+    EXPECT_EQ(lines[4].substr(0, 4), "300,");
+}
+
+TEST(Discovery, NoRegistryChangeNoRediscovery)
+{
+    perf::counter_registry registry;
+    register_test_gauge(registry, "/test/x", [] { return 1.0; });
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#0/total}/x"};
+    sampler s(registry, config);
+    auto const v = s.discovery_version();
+    s.tick(100);
+    s.tick(200);
+    EXPECT_EQ(s.discovery_version(), v);
+    EXPECT_EQ(s.schema().width(), 1u);
+}
+
 // ----------------------------------------------------- virtual-time (sim)
 
 TEST(SimTelemetry, VirtualTimeSamplingIsDeterministic)
@@ -564,6 +630,51 @@ TEST(SimTelemetry, VirtualTimeSamplingIsDeterministic)
         ++rows;
     }
     EXPECT_GE(rows, 2u);
+}
+
+TEST(SimTelemetry, CsvByteIdenticalAcrossQueuePolicies)
+{
+    // The queue-policy knob is bookkeeping-only in the simulator: the
+    // steal-cost model (machine_desc) is the source of truth for paper
+    // figures, so the full telemetry byte stream must not change when
+    // the real runtime's deque implementation is swapped.
+    auto run_once = [](threads::queue_policy queue) {
+        sim::sim_config config;
+        config.cores = 2;
+        config.queue = queue;
+        sim::simulator sim(config);
+
+        perf::counter_registry registry;
+        register_sim_counters(registry, sim);
+
+        sampler_config sc;
+        sc.counter_names = {"/sim{locality#0/total}/time/virtual",
+            "/sim{locality#0/total}/count/tasks-executed"};
+        sc.period_ns = 100'000;
+        sim_sampler ts(sim, registry, sc);
+
+        auto csv = std::make_shared<std::ostringstream>();
+        ts.add_sink(std::make_shared<csv_sink>(*csv));
+
+        auto report = sim.run([] {
+            for (int i = 0; i < 8; ++i)
+            {
+                auto f = sim::sim_engine::async([] {
+                    sim::sim_engine::annotate_work({.cpu_ns = 200'000});
+                });
+                f.get();
+            }
+        });
+        EXPECT_FALSE(report.failed);
+        EXPECT_EQ(report.queue, queue);    // knob recorded in the report
+        ts.finish();
+        return csv->str();
+    };
+
+    std::string const with_mutex = run_once(threads::queue_policy::mutex_deque);
+    std::string const with_cl = run_once(threads::queue_policy::chase_lev);
+    EXPECT_FALSE(with_mutex.empty());
+    EXPECT_EQ(with_mutex, with_cl);
 }
 
 TEST(SimTelemetry, SameSchemaAsRealTimeSampling)

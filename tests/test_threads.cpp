@@ -222,9 +222,23 @@ TEST(ThreadStateNames, AllDistinct)
 
 // ---------------------------------------------------------------- queues
 
-TEST(ThreadQueue, LifoForOwnerFifoForThief)
+// Both policies must agree on everything except where push(front=true)
+// lands (see the policy-specific tests below).
+class ThreadQueuePolicy : public ::testing::TestWithParam<mt::queue_policy>
 {
-    mt::thread_queue q;
+};
+
+INSTANTIATE_TEST_SUITE_P(Policies, ThreadQueuePolicy,
+    ::testing::Values(
+        mt::queue_policy::mutex_deque, mt::queue_policy::chase_lev),
+    [](auto const& info) {
+        return info.param == mt::queue_policy::mutex_deque ? "Mutex" :
+                                                             "ChaseLev";
+    });
+
+TEST_P(ThreadQueuePolicy, LifoForOwnerFifoForThief)
+{
+    mt::thread_queue q(GetParam());
     mt::thread_data a, b, c;
     q.push(&a);
     q.push(&b);
@@ -239,19 +253,9 @@ TEST(ThreadQueue, LifoForOwnerFifoForThief)
     EXPECT_EQ(q.length(), 0);
 }
 
-TEST(ThreadQueue, PushFront)
+TEST_P(ThreadQueuePolicy, CountsAreConsistent)
 {
-    mt::thread_queue q;
-    mt::thread_data a, b;
-    q.push(&a);
-    q.push(&b, /*front=*/true);
-    EXPECT_EQ(q.steal(), &b);    // front
-    EXPECT_EQ(q.pop(), &a);
-}
-
-TEST(ThreadQueue, CountsAreConsistent)
-{
-    mt::thread_queue q;
+    mt::thread_queue q(GetParam());
     mt::thread_data tasks[10];
     for (auto& t : tasks)
         q.push(&t);
@@ -268,6 +272,119 @@ TEST(ThreadQueue, CountsAreConsistent)
     EXPECT_EQ(q.stolen_from(), 3u);
     EXPECT_EQ(q.misses(), 1u);
     EXPECT_EQ(q.length(), 0);
+}
+
+TEST_P(ThreadQueuePolicy, InjectMatchesPushOrdering)
+{
+    // Cross-thread submission must be order-equivalent to push():
+    // owner pops newest-first, thieves take oldest — whichever backing
+    // store (inbox vs locked deque) the policy routes it through.
+    mt::thread_queue q(GetParam());
+    mt::thread_data a, b, c;
+    q.inject(&a);
+    q.inject(&b);
+    q.inject(&c);
+    EXPECT_EQ(q.length(), 3);
+    EXPECT_EQ(q.steal(), &a);    // oldest
+    EXPECT_EQ(q.pop(), &c);      // newest
+    EXPECT_EQ(q.pop(), &b);
+    EXPECT_EQ(q.enqueued(), 3u);
+    EXPECT_EQ(q.dequeued(), 2u);
+    EXPECT_EQ(q.stolen_from(), 1u);
+}
+
+TEST_P(ThreadQueuePolicy, StealIntoTakesHalf)
+{
+    mt::thread_queue victim(GetParam());
+    mt::thread_queue thief(GetParam());
+    mt::thread_data tasks[8];
+    for (auto& t : tasks)
+        victim.push(&t);
+
+    unsigned taken = 0;
+    mt::thread_data* first = victim.steal_into(thief, 8, &taken);
+    ASSERT_NE(first, nullptr);
+    // A raid takes at most half of the victim (rounded up), first
+    // element returned for immediate execution, rest parked in the
+    // thief's queue.
+    EXPECT_EQ(taken, 4u);
+    EXPECT_EQ(thief.length(), 3);
+    EXPECT_EQ(victim.length(), 4);
+    EXPECT_EQ(victim.stolen_from(), 4u);
+    EXPECT_EQ(thief.enqueued(), 3u);
+}
+
+TEST_P(ThreadQueuePolicy, StealIntoRespectsMaxTasks)
+{
+    mt::thread_queue victim(GetParam());
+    mt::thread_queue thief(GetParam());
+    mt::thread_data tasks[16];
+    for (auto& t : tasks)
+        victim.push(&t);
+
+    unsigned taken = 0;
+    ASSERT_NE(victim.steal_into(thief, 2, &taken), nullptr);
+    EXPECT_EQ(taken, 2u);
+    EXPECT_EQ(victim.length(), 14);
+
+    // Single-element victim: the raid degrades to a plain steal.
+    mt::thread_queue small(GetParam());
+    mt::thread_data lone;
+    small.push(&lone);
+    taken = 0;
+    EXPECT_EQ(small.steal_into(thief, 8, &taken), &lone);
+    EXPECT_EQ(taken, 1u);
+}
+
+TEST_P(ThreadQueuePolicy, StealIntoEmptyVictim)
+{
+    mt::thread_queue victim(GetParam());
+    mt::thread_queue thief(GetParam());
+    unsigned taken = 123;
+    EXPECT_EQ(victim.steal_into(thief, 8, &taken), nullptr);
+    EXPECT_EQ(taken, 0u);
+}
+
+TEST(ThreadQueue, PushFrontMutexGoesToStealEnd)
+{
+    // Legacy mutex semantics: front=true lands at the steal end.
+    mt::thread_queue q(mt::queue_policy::mutex_deque);
+    mt::thread_data a, b;
+    q.push(&a);
+    q.push(&b, /*front=*/true);
+    EXPECT_EQ(q.steal(), &b);    // front
+    EXPECT_EQ(q.pop(), &a);
+}
+
+TEST(ThreadQueue, PushFrontChaseLevRunsNext)
+{
+    // Chase-Lev is owner-push-only at the bottom: front=true means
+    // "run next" (the launch::fork intent), so the owner pops it first
+    // and a thief would get the oldest task instead.
+    mt::thread_queue q(mt::queue_policy::chase_lev);
+    mt::thread_data a, b;
+    q.push(&a);
+    q.push(&b, /*front=*/true);
+    EXPECT_EQ(q.pop(), &b);
+    EXPECT_EQ(q.steal(), &a);
+}
+
+TEST(ThreadQueue, ChaseLevGrowsPastInitialCapacity)
+{
+    mt::thread_queue q(mt::queue_policy::chase_lev);
+    constexpr int n = 3000;    // well past the 256-slot initial ring
+    std::vector<std::unique_ptr<mt::thread_data>> tasks;
+    tasks.reserve(n);
+    for (int i = 0; i < n; ++i)
+    {
+        tasks.push_back(std::make_unique<mt::thread_data>());
+        q.push(tasks.back().get());
+    }
+    EXPECT_EQ(q.length(), n);
+    // FIFO from the steal end across every growth boundary.
+    for (int i = 0; i < n; ++i)
+        ASSERT_EQ(q.steal(), tasks[static_cast<std::size_t>(i)].get());
+    EXPECT_EQ(q.steal(), nullptr);
 }
 
 // -------------------------------------------------------- unique_function
