@@ -11,6 +11,7 @@
 #include <minihpx/papi/papi_engine.hpp>
 #include <minihpx/perf/perf.hpp>
 #include <minihpx/telemetry/telemetry.hpp>
+#include <minihpx/trace/trace.hpp>
 
 #include <cstdio>
 #include <memory>
@@ -110,10 +111,24 @@ int main(int argc, char** argv)
                     telemetry::csv_sink>(options.destination));
         }
 
+        // --mh:trace records the simulated schedule itself: virtual
+        // timestamps, byte-deterministic across runs (docs/TRACING.md).
+        auto trace_options = trace::trace_options::from_cli(args);
+        std::unique_ptr<trace::sim_session> sim_trace;
+        if (trace_options.enabled)
+            sim_trace = std::make_unique<trace::sim_session>(
+                simulator, trace_options);
+
         auto const report =
             simulator.run([&] { result = entry->run_sim_body(scale); });
         if (sim_telemetry)
             sim_telemetry->finish();
+        if (sim_trace)
+        {
+            sim_trace->finish();
+            std::printf("trace written to %s\n",
+                trace_options.destination.c_str());
+        }
         std::printf("%s on %s (%u simulated cores, scale=%s)\n",
             entry->name.c_str(), engine.c_str(), config.cores,
             args.value_or("scale", "default").c_str());
@@ -176,10 +191,29 @@ int main(int argc, char** argv)
         if (!telemetry_session)
             session = std::make_unique<perf::counter_session>(
                 registry, perf::session_options::from_cli(args));
+
+        // --mh:trace records per-task events (spawn/steal/begin/end/...)
+        // for offline analysis with `minihpx-trace` (docs/TRACING.md).
+        auto trace_options = trace::trace_options::from_cli(args);
+        std::unique_ptr<trace::session> trace_session;
+        if (trace_options.enabled)
+            trace_session = std::make_unique<trace::session>(
+                registry, trace_options);
+
         timing = inncabs::run_samples(entry->name, samples,
             [&] { result = entry->run_minihpx(scale); });
         if (telemetry_session)
             telemetry_session->stop();
+        if (trace_session)
+        {
+            trace_session->stop();
+            std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                trace_options.destination.c_str(),
+                static_cast<unsigned long long>(
+                    trace_session->events_recorded()),
+                static_cast<unsigned long long>(
+                    trace_session->events_dropped()));
+        }
     }
     else
     {

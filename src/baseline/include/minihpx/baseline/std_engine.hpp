@@ -125,6 +125,9 @@ struct std_engine
         minihpx::annotate_work(w);
     }
 
+    // No tracer observes thread-per-task execution; labels vanish.
+    static void trace_label(char const*) noexcept {}
+
     static bool skip_compute() noexcept { return false; }
     static constexpr char const* name() noexcept { return "std-c++11"; }
 };

@@ -18,6 +18,7 @@
 //   300  sync-primitive guards (minihpx::mutex/cv/latch/barrier/sem)
 //   350  future shared-state lock
 //   400  scheduler descriptor freelist
+//   450  trace recorder external lane     (emitted under rank-350 wakes)
 //   500  per-worker thread_queue lock      (leaf: nothing nests inside)
 //
 // Rank 0 ("unranked") locks are tracked but exempt from order checks.
@@ -47,6 +48,7 @@ namespace lock_rank {
     inline constexpr unsigned sync_guard = 300;
     inline constexpr unsigned future_state = 350;
     inline constexpr unsigned sched_freelist = 400;
+    inline constexpr unsigned trace_external = 450;
     inline constexpr unsigned thread_queue = 500;
 
 }    // namespace lock_rank

@@ -1,0 +1,125 @@
+// Preallocated single-producer/single-consumer ring of POD entries.
+//
+// Generalizes the protocol of telemetry::sample_ring (which carries
+// variable-width sample rows) to a fixed entry type: the producer side
+// is one relaxed head load, a slot write and a release store — the
+// consumer's tail is read only when the ring *looks* full (producer-
+// local tail cache), so steady-state pushes touch no shared-written
+// cache line and pay no atomic RMW. When the consumer lags a full lap
+// behind, the new entry is *dropped and counted* rather than blocking
+// or overwriting: observers must never distort the run they observe
+// (the paper's ≲10% overhead budget).
+//
+// Used by the trace recorder (src/runtime include tree) for per-worker
+// event lanes; any fixed-record producer/consumer pair can reuse it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace minihpx::util {
+
+template <typename T>
+class spsc_ring
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+        "spsc_ring entries are published with a plain release store; "
+        "the type must be trivially copyable");
+
+public:
+    explicit spsc_ring(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity)
+      , slots_(capacity_)
+    {
+    }
+
+    std::size_t capacity() const noexcept { return capacity_; }
+
+    // Producer: true when the entry was enqueued; false (counted as a
+    // drop) when the ring is full.
+    bool push(T const& value) noexcept
+    {
+        std::uint64_t const head = head_.load(std::memory_order_relaxed);
+        if (head - tail_cache_ >= capacity_)
+        {
+            tail_cache_ = tail_.load(std::memory_order_acquire);
+            if (head - tail_cache_ >= capacity_)
+            {
+                dropped_.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
+        }
+        slots_[static_cast<std::size_t>(head % capacity_)] = value;
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    // Producer: would a push drop right now?
+    bool full() const noexcept
+    {
+        return head_.load(std::memory_order_relaxed) -
+            tail_.load(std::memory_order_acquire) >=
+            capacity_;
+    }
+
+    // Consumer: false when empty.
+    bool pop(T& out) noexcept
+    {
+        std::uint64_t const tail = tail_.load(std::memory_order_relaxed);
+        if (tail == head_.load(std::memory_order_acquire))
+            return false;
+        out = slots_[static_cast<std::size_t>(tail % capacity_)];
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    // Consumer: pop every currently-visible entry with one head/tail
+    // synchronization for the whole batch instead of one per entry.
+    // Returns the number consumed.
+    template <typename F>
+    std::size_t pop_all(F&& fn)
+    {
+        std::uint64_t const tail = tail_.load(std::memory_order_relaxed);
+        std::uint64_t const head = head_.load(std::memory_order_acquire);
+        for (std::uint64_t i = tail; i != head; ++i)
+            fn(std::as_const(
+                slots_[static_cast<std::size_t>(i % capacity_)]));
+        if (head != tail)
+            tail_.store(head, std::memory_order_release);
+        return static_cast<std::size_t>(head - tail);
+    }
+
+    std::size_t size() const noexcept
+    {
+        return static_cast<std::size_t>(
+            head_.load(std::memory_order_acquire) -
+            tail_.load(std::memory_order_acquire));
+    }
+
+    // Total successful pushes (the head never advances on a drop).
+    std::uint64_t pushed() const noexcept
+    {
+        return head_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t dropped() const noexcept
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::size_t const capacity_;
+    std::vector<T> slots_;
+
+    alignas(64) std::atomic<std::uint64_t> head_{0};    // next write
+    // Producer-local snapshot of tail_; refreshed only on apparent
+    // overflow, so pushes avoid the consumer-written cache line.
+    alignas(64) std::uint64_t tail_cache_ = 0;
+    alignas(64) std::atomic<std::uint64_t> tail_{0};    // next read
+    std::atomic<std::uint64_t> dropped_{0};
+};
+
+}    // namespace minihpx::util

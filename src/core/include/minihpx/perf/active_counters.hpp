@@ -63,13 +63,6 @@ public:
     // no RTTI, and no heap work.
     void evaluate_into(std::span<counter_value> out, bool reset = false);
 
-    // Old raw-pointer spelling; the span overload carries the bounds.
-    [[deprecated("pass a std::span<counter_value> instead")]]
-    void evaluate_into(counter_value* out, bool reset = false)
-    {
-        evaluate_into(std::span<counter_value>(out, size()), reset);
-    }
-
     void reset();
 
     // Pull one sample into every statistics counter (periodic sampler).

@@ -7,6 +7,7 @@
 //   E::launch                  {async, deferred, fork, sync}
 //   E::async([policy,] f, xs...) -> future<R>
 //   E::annotate_work(w)        cost-model + PMU feed
+//   E::trace_label(lit)        label the running task in a trace
 //   E::skip_compute()          sim may skip data-independent kernels
 //   E::name()
 //
@@ -73,6 +74,14 @@ struct minihpx_engine
     static void annotate_work(minihpx::work_annotation const& w) noexcept
     {
         minihpx::annotate_work(w);
+    }
+
+    // Label the running task for trace analysis (no-op unless a
+    // trace::session is active). `label` must be a string literal /
+    // static storage — the recorder stores the pointer, not a copy.
+    static void trace_label(char const* label) noexcept
+    {
+        minihpx::this_task::annotate(label);
     }
 
     static bool skip_compute() noexcept { return false; }

@@ -41,6 +41,7 @@ struct fib_bench
 
     static std::uint64_t run_task(int n, std::uint64_t body_ns)
     {
+        E::trace_label("fib");
         E::annotate_work({.cpu_ns = body_ns, .instructions = 120});
         if (n < 2)
             return static_cast<std::uint64_t>(n);

@@ -73,6 +73,7 @@ struct sort_bench
     {
         if (n <= cutoff)
         {
+            E::trace_label("sort-leaf");
             annotate_leaf(n);
             if (!E::skip_compute())
                 std::sort(data, data + n);
@@ -85,6 +86,7 @@ struct sort_bench
         sort_task(data + half, scratch + half, n - half, cutoff);
         left.get();
 
+        E::trace_label("sort-merge");
         annotate_merge(n);
         if (!E::skip_compute())
         {

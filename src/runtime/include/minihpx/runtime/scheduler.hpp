@@ -39,6 +39,10 @@
 
 namespace minihpx {
 
+namespace trace {
+    class recorder;
+}
+
 struct scheduler_config
 {
     unsigned num_workers = 1;
@@ -136,7 +140,8 @@ namespace detail {
 
         threads::thread_data* get_next_task();
         void execute(threads::thread_data* task);
-        void process_after_switch(threads::thread_data* task);
+        void process_after_switch(
+            threads::thread_data* task, std::uint64_t t_ns);
         // Spin-then-park: returns once woken, on local work, or on a
         // state change. See docs/SCHEDULER.md.
         void idle_wait();
@@ -200,6 +205,22 @@ public:
     // `suspended` happens after the switch, on the worker side.
     void suspend_current(util::unique_function<void(threads::thread_data*)>
             publish = nullptr);
+
+    // ---- tracing -------------------------------------------------------
+    // Install (or, with nullptr, remove) the event recorder the workers
+    // emit into. The shared_ptr of a replaced recorder is *retired*, not
+    // released: a worker may be mid-emit through the raw fast-path
+    // pointer, so the memory stays alive until stop() has joined the
+    // workers. trace::session owns the usual call site.
+    void set_tracer(std::shared_ptr<trace::recorder> tracer);
+    trace::recorder* tracer() const noexcept
+    {
+        return tracer_.load(std::memory_order_acquire);
+    }
+    // Attach a label event to the calling task (this_task::annotate).
+    // `label` must point to storage outliving the trace session —
+    // string literals in practice; sinks intern it at drain time.
+    static void annotate_current(char const* label) noexcept;
 
     // Current task of the calling OS thread (nullptr off-worker).
     static threads::thread_data* current_task() noexcept;
@@ -288,6 +309,13 @@ private:
         util::lock_rank::sched_freelist, "scheduler-freelist"};
     threads::thread_data* freelist_ = nullptr;
     std::vector<std::unique_ptr<threads::thread_data>> all_descriptors_;
+
+    // Emit fast path reads tracer_; the owning/retired pointers keep
+    // the recorder alive across uninstall (see set_tracer).
+    std::atomic<trace::recorder*> tracer_{nullptr};
+    std::mutex tracer_mutex_;
+    std::shared_ptr<trace::recorder> tracer_owner_;
+    std::vector<std::shared_ptr<trace::recorder>> retired_tracers_;
 
     std::atomic<std::uint64_t> next_thread_id_{1};
     std::atomic<std::uint64_t> tasks_alive_{0};

@@ -18,6 +18,24 @@ inline threads::thread_id get_id() noexcept
     return task ? task->id() : threads::invalid_thread_id;
 }
 
+// Id of the task that spawned the calling task (invalid_thread_id for
+// root tasks and when called off-task) — the parent edge of the
+// dynamic task graph the tracer records.
+inline threads::thread_id parent_id() noexcept
+{
+    threads::thread_data* task = scheduler::current_task();
+    return task ? task->parent_id() : threads::invalid_thread_id;
+}
+
+// Attach a human-readable label to the calling task in the active
+// trace session (no-op when tracing is off or called off-task).
+// `label` must outlive the session — pass a string literal. The
+// critical-path report and Chrome/Perfetto timeline show it.
+inline void annotate(char const* label) noexcept
+{
+    scheduler::annotate_current(label);
+}
+
 // Reschedule the current task at the back of its queue.
 inline void yield()
 {

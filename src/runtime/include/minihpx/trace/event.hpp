@@ -1,0 +1,89 @@
+// Per-task trace event model.
+//
+// One 32-byte POD per scheduling transition: who (task id), where
+// (worker/core), when (steady-clock ns for the real runtime, virtual
+// ns under minihpx::sim), what (kind) plus one kind-dependent payload
+// word. Together the events of a run encode the *dynamic task graph*:
+// spawn carries the parent edge, resume carries the causal wake edge
+// (which task's notify made this one runnable), begin/end/suspend
+// delimit the execution slices. The analysis layer (src/trace)
+// reconstructs work, span/critical path and what-if projections from
+// exactly this stream — nothing else is recorded.
+//
+// This header lives in the runtime's include tree (not src/trace)
+// because the scheduler hot paths emit events directly; the high-level
+// session/sink/analysis machinery layers on top in src/trace.
+#pragma once
+
+#include <cstdint>
+
+namespace minihpx::trace {
+
+enum class event_kind : std::uint16_t
+{
+    // aux = parent task id (0 for roots). Emitted where the task is
+    // created, before it can run anywhere.
+    spawn = 0,
+    // Task starts (or continues after suspend/yield) on worker `worker`.
+    begin = 1,
+    // Task finished. Closes the last execution slice.
+    end = 2,
+    // Task blocked (future wait / mutex); slice closed.
+    suspend = 3,
+    // Task made runnable again; aux = id of the task whose notify woke
+    // it (0 when the waker is unknown, e.g. an off-runtime thread).
+    resume = 4,
+    // Task moved queues by a raid; aux = victim worker id, worker = the
+    // thief. Timing only — not a graph edge.
+    steal = 5,
+    // Cooperative yield; slice closed, task re-queued.
+    yield = 6,
+    // User annotation (this_task::annotate / sim_engine::trace_label).
+    // In memory aux holds the `char const*` of a static string; sinks
+    // intern it to a string-table id at write time.
+    label = 7,
+};
+
+inline constexpr std::uint32_t kind_bit(event_kind k) noexcept
+{
+    return 1u << static_cast<std::uint16_t>(k);
+}
+
+// What gets recorded (--mh:trace-detail). `tasks` is the graph skeleton
+// (parents + lifetimes), `sched` adds the scheduling transitions the
+// span/critical-path analysis needs, `verbose` adds yields.
+enum class detail_level : std::uint8_t
+{
+    tasks = 0,
+    sched = 1,      // default
+    verbose = 2,
+};
+
+inline constexpr std::uint32_t kind_mask(detail_level d) noexcept
+{
+    std::uint32_t mask = kind_bit(event_kind::spawn) |
+        kind_bit(event_kind::begin) | kind_bit(event_kind::end) |
+        kind_bit(event_kind::label);
+    if (d >= detail_level::sched)
+        mask |= kind_bit(event_kind::suspend) |
+            kind_bit(event_kind::resume) | kind_bit(event_kind::steal);
+    if (d >= detail_level::verbose)
+        mask |= kind_bit(event_kind::yield);
+    return mask;
+}
+
+struct event
+{
+    std::uint64_t t_ns = 0;     // steady-clock or sim virtual time
+    std::uint64_t task = 0;     // thread_id / sim task id
+    std::uint64_t aux = 0;      // kind-dependent (see event_kind)
+    std::uint32_t worker = 0;   // worker/core id; ~0u = off-worker
+    std::uint16_t kind = 0;     // event_kind
+    std::uint16_t reserved = 0;
+};
+
+static_assert(sizeof(event) == 32, "event is sized for ring slots");
+
+inline constexpr std::uint32_t external_worker = ~0u;
+
+}    // namespace minihpx::trace

@@ -1,0 +1,156 @@
+// Hot-path trace event recorder.
+//
+// One SPSC event lane per worker (producer = that worker's OS thread,
+// consumer = the session's drain thread) plus one spinlock-guarded
+// *external* lane for off-worker emitters (the main thread spawning
+// the root task, a foreign thread fulfilling a promise). Emitting is:
+// one mask test, one slot write, one release store — no allocation, no
+// shared-cache-line traffic between workers. A full lane *drops and
+// counts* (exposed as /trace{...}/events/dropped) instead of blocking:
+// the tracer must stay inside the paper's ≲10% observation budget.
+//
+// Lifetime: the scheduler holds a shared_ptr and publishes a raw
+// pointer for the emit fast path; replaced recorders are retired, not
+// freed, until the workers have joined (scheduler::set_tracer). The
+// simulator runs on one host thread and uses a plain pointer.
+#pragma once
+
+#include <minihpx/trace/event.hpp>
+#include <minihpx/util/lock_registry.hpp>
+#include <minihpx/util/spinlock.hpp>
+#include <minihpx/util/spsc_ring.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace minihpx::trace {
+
+class recorder
+{
+public:
+    // `worker_lanes` producers with dedicated lanes; one extra shared
+    // lane is appended for emit_external().
+    recorder(std::uint32_t worker_lanes, std::size_t lane_capacity,
+        detail_level detail)
+      : detail_(detail)
+      , mask_(kind_mask(detail))
+      , worker_lanes_(worker_lanes)
+    {
+        lanes_.reserve(worker_lanes + 1u);
+        for (std::uint32_t i = 0; i < worker_lanes + 1u; ++i)
+            lanes_.push_back(std::make_unique<lane>(lane_capacity));
+    }
+
+    recorder(recorder const&) = delete;
+    recorder& operator=(recorder const&) = delete;
+
+    detail_level detail() const noexcept { return detail_; }
+    bool wants(event_kind k) const noexcept
+    {
+        return (mask_ & kind_bit(k)) != 0;
+    }
+
+    std::uint32_t worker_lanes() const noexcept { return worker_lanes_; }
+    std::uint32_t lanes() const noexcept
+    {
+        return static_cast<std::uint32_t>(lanes_.size());
+    }
+
+    // Producer side. `lane` must be < worker_lanes() and owned by the
+    // calling thread (the per-worker SPSC contract).
+    void emit(std::uint32_t lane_index, event const& e) noexcept
+    {
+        if (!(mask_ & kind_bit(static_cast<event_kind>(e.kind))))
+            return;
+        push(*lanes_[lane_index], e);
+    }
+
+    // Any-thread emit; serialized internally on the external lane and
+    // stamped with the sentinel worker id.
+    void emit_external(event const& e) noexcept
+    {
+        if (!(mask_ & kind_bit(static_cast<event_kind>(e.kind))))
+            return;
+        event stamped = e;
+        stamped.worker = external_worker;
+        std::lock_guard lock(external_lock_);
+        push(*lanes_[worker_lanes_], stamped);
+    }
+
+    // Single-threaded deployments (the simulator) install a handler
+    // that drains inline instead of dropping; it fires *before* the
+    // push that would drop. Must not be used while multi-threaded
+    // producers are live.
+    void set_overflow_handler(std::function<void()> handler)
+    {
+        overflow_ = std::move(handler);
+    }
+
+    // Consumer side: pop every currently-visible event of one lane in
+    // one batch (single head/tail synchronization).
+    template <typename F>
+    std::size_t drain(std::uint32_t lane_index, F&& fn)
+    {
+        return lanes_[lane_index]->ring.pop_all(std::forward<F>(fn));
+    }
+
+    // ---- aggregates (feed the /trace{...} counters) -------------------
+    std::uint64_t events_recorded() const noexcept
+    {
+        std::uint64_t total = 0;
+        for (auto const& l : lanes_)
+            total += l->ring.pushed();
+        return total;
+    }
+
+    std::uint64_t events_dropped() const noexcept
+    {
+        std::uint64_t total = 0;
+        for (auto const& l : lanes_)
+            total += l->ring.dropped();
+        return total;
+    }
+
+    std::uint64_t tasks_spawned() const noexcept
+    {
+        std::uint64_t total = 0;
+        for (auto const& l : lanes_)
+            total += l->spawned.load(std::memory_order_relaxed);
+        return total;
+    }
+
+private:
+    struct lane
+    {
+        explicit lane(std::size_t capacity)
+          : ring(capacity)
+        {
+        }
+        util::spsc_ring<event> ring;
+        std::atomic<std::uint64_t> spawned{0};
+    };
+
+    void push(lane& l, event const& e) noexcept
+    {
+        if (static_cast<event_kind>(e.kind) == event_kind::spawn)
+            l.spawned.fetch_add(1, std::memory_order_relaxed);
+        if (overflow_ && l.ring.full())
+            overflow_();
+        (void) l.ring.push(e);    // a false return was counted as a drop
+    }
+
+    detail_level const detail_;
+    std::uint32_t const mask_;
+    std::uint32_t const worker_lanes_;
+    std::vector<std::unique_ptr<lane>> lanes_;
+    util::spinlock external_lock_{
+        util::lock_rank::trace_external, "trace-external-lane"};
+    std::function<void()> overflow_;
+};
+
+}    // namespace minihpx::trace

@@ -1,5 +1,6 @@
 #include <minihpx/runtime/scheduler.hpp>
 
+#include <minihpx/trace/recorder.hpp>
 #include <minihpx/util/assert.hpp>
 
 #include <pthread.h>
@@ -20,6 +21,18 @@ namespace {
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now().time_since_epoch())
                 .count());
+    }
+
+    trace::event trace_ev(std::uint64_t t, trace::event_kind kind,
+        std::uint64_t task, std::uint64_t aux, std::uint32_t worker) noexcept
+    {
+        trace::event e;
+        e.t_ns = t;
+        e.task = task;
+        e.aux = aux;
+        e.worker = worker;
+        e.kind = static_cast<std::uint16_t>(kind);
+        return e;
     }
 
     void bind_to_core(unsigned core) noexcept
@@ -155,7 +168,16 @@ namespace detail {
                 sched_.workers_[victim]->queue_.steal_into(
                     queue_, p.batch, &stolen);
             if (task)
+            {
                 stats_->steals.fetch_add(stolen, std::memory_order_relaxed);
+                // Only the task we are about to run gets a steal event;
+                // batch surplus re-queued locally is covered by the
+                // begin events of whoever eventually runs it.
+                if (trace::recorder* tr = sched_.tracer())
+                    tr->emit(id_,
+                        trace_ev(clock_ns(), trace::event_kind::steal,
+                            task->id(), victim, id_));
+            }
             return task;
         };
 
@@ -203,6 +225,9 @@ namespace detail {
         action_ = after_switch::none;
 
         std::uint64_t const t0 = clock_ns();
+        if (trace::recorder* tr = sched_.tracer())
+            tr->emit(id_,
+                trace_ev(t0, trace::event_kind::begin, task->id(), 0, id_));
         threads::execution_context::switch_to(
             sched_context_, task->context());
         std::uint64_t const t1 = clock_ns();
@@ -211,13 +236,15 @@ namespace detail {
         stats_->exec_time_ns.fetch_add(t1 - t0, std::memory_order_relaxed);
         task->add_exec_time(t1 - t0);
 
-        process_after_switch(task);
+        process_after_switch(task, t1);
         stats_->sched_time_ns.fetch_add(
             clock_ns() - t1, std::memory_order_relaxed);
     }
 
-    void worker::process_after_switch(threads::thread_data* task)
+    void worker::process_after_switch(
+        threads::thread_data* task, std::uint64_t t_ns)
     {
+        trace::recorder* const tr = sched_.tracer();
         sched_.count_active_.fetch_sub(1, std::memory_order_relaxed);
         switch (action_)
         {
@@ -225,6 +252,10 @@ namespace detail {
             task->set_state(threads::thread_state::terminated);
             sched_.duration_hist_.add(task->exec_time_ns());
             stats_->tasks_executed.fetch_add(1, std::memory_order_relaxed);
+            if (tr)
+                tr->emit(id_,
+                    trace_ev(t_ns, trace::event_kind::end, task->id(), 0,
+                        id_));
             sched_.recycle_descriptor(task);
             sched_.tasks_alive_.fetch_sub(1, std::memory_order_release);
             break;
@@ -233,6 +264,10 @@ namespace detail {
         {
             stats_->suspensions.fetch_add(1, std::memory_order_relaxed);
             sched_.count_suspended_.fetch_add(1, std::memory_order_relaxed);
+            if (tr)
+                tr->emit(id_,
+                    trace_ev(t_ns, trace::event_kind::suspend, task->id(),
+                        0, id_));
             task->set_state(threads::thread_state::suspended);
             // A waker may have tried to resume while we were parking.
             if (task->wakeup_pending.exchange(false,
@@ -245,6 +280,13 @@ namespace detail {
                         1, std::memory_order_relaxed);
                     sched_.count_pending_.fetch_add(
                         1, std::memory_order_relaxed);
+                    // The waker lost the handshake race before the park
+                    // completed, so its resume emitted no event; record
+                    // the wake here (waker unknown by then: aux = 0).
+                    if (tr)
+                        tr->emit(id_,
+                            trace_ev(t_ns, trace::event_kind::resume,
+                                task->id(), 0, id_));
                     sched_.schedule_task(task, false);
                 }
             }
@@ -255,6 +297,10 @@ namespace detail {
         case after_switch::yielded_front:
             stats_->yields.fetch_add(1, std::memory_order_relaxed);
             sched_.count_pending_.fetch_add(1, std::memory_order_relaxed);
+            if (tr)
+                tr->emit(id_,
+                    trace_ev(t_ns, trace::event_kind::yield, task->id(), 0,
+                        id_));
             task->set_state(threads::thread_state::pending);
             queue_.push(task, action_ == after_switch::yielded_front);
             break;
@@ -338,6 +384,40 @@ void scheduler::stop()
         t.join();
     os_threads_.clear();
     state_.store(run_state::stopped, std::memory_order_release);
+    // No worker can be mid-emit any more: retired recorders (and an
+    // installed one — nobody is left to emit into it) can go.
+    std::lock_guard lock(tracer_mutex_);
+    retired_tracers_.clear();
+}
+
+void scheduler::set_tracer(std::shared_ptr<trace::recorder> tracer)
+{
+    MINIHPX_ASSERT_MSG(!tracer ||
+            tracer->worker_lanes() >= num_workers(),
+        "trace recorder needs a lane per worker");
+    std::lock_guard lock(tracer_mutex_);
+    tracer_.store(tracer.get(), std::memory_order_release);
+    if (tracer_owner_)
+    {
+        // A worker may still be emitting through the old raw pointer;
+        // park the ownership until stop() has joined the workers.
+        retired_tracers_.push_back(std::move(tracer_owner_));
+    }
+    tracer_owner_ = std::move(tracer);
+}
+
+void scheduler::annotate_current(char const* label) noexcept
+{
+    detail::worker* const w = tls_worker;
+    if (!w || !w->current_ || !label)
+        return;
+    if (trace::recorder* tr = w->sched_.tracer())
+        tr->emit(w->id(),
+            trace_ev(clock_ns(), trace::event_kind::label,
+                w->current_->id(),
+                static_cast<std::uint64_t>(
+                    reinterpret_cast<std::uintptr_t>(label)),
+                w->id()));
 }
 
 threads::thread_id scheduler::spawn(task_function fn,
@@ -347,15 +427,34 @@ threads::thread_id scheduler::spawn(task_function fn,
             run_state::stopped,
         "spawn on a stopped scheduler");
 
+    detail::worker* const w =
+        tls_worker && &tls_worker->sched_ == this ? tls_worker : nullptr;
+    threads::thread_id parent = threads::invalid_thread_id;
+    if (w && w->current_)
+        parent = w->current_->id();
+
     threads::thread_data* task = acquire_descriptor();
     threads::thread_id const id =
         next_thread_id_.fetch_add(1, std::memory_order_relaxed);
-    task->init(id, std::move(fn), description, priority);
+    task->init(id, std::move(fn), description, priority, parent);
 
     tasks_alive_.fetch_add(1, std::memory_order_acq_rel);
     tasks_created_.fetch_add(1, std::memory_order_relaxed);
-    if (detail::worker* w = tls_worker; w && &w->sched_ == this)
+    if (w)
         w->stats_->tasks_created.fetch_add(1, std::memory_order_relaxed);
+
+    // Emitted before the task is published to a queue, so the spawn
+    // always precedes the task's first begin in any merged stream.
+    if (trace::recorder* tr = tracer())
+    {
+        trace::event const e = trace_ev(clock_ns(),
+            trace::event_kind::spawn, id, parent,
+            w ? w->id() : trace::external_worker);
+        if (w)
+            tr->emit(w->id(), e);
+        else
+            tr->emit_external(e);
+    }
 
     task->set_state(threads::thread_state::pending);
     count_pending_.fetch_add(1, std::memory_order_relaxed);
@@ -373,6 +472,25 @@ void scheduler::resume(threads::thread_data* task)
         task->wakeup_pending.store(false, std::memory_order_release);
         count_suspended_.fetch_sub(1, std::memory_order_relaxed);
         count_pending_.fetch_add(1, std::memory_order_relaxed);
+        // The causal wake edge: whoever is running here made `task`
+        // runnable (future notify, mutex handoff). aux = waker task id
+        // when the wake comes from inside this scheduler.
+        if (trace::recorder* tr = tracer())
+        {
+            detail::worker* const w =
+                tls_worker && &tls_worker->sched_ == this ? tls_worker :
+                                                            nullptr;
+            std::uint64_t const waker =
+                w && w->current_ ? w->current_->id() :
+                                   threads::invalid_thread_id;
+            trace::event const e = trace_ev(clock_ns(),
+                trace::event_kind::resume, task->id(), waker,
+                w ? w->id() : trace::external_worker);
+            if (w)
+                tr->emit(w->id(), e);
+            else
+                tr->emit_external(e);
+        }
         schedule_task(task, false);
     }
     // else: the task has not parked yet; the worker consumes the flag.

@@ -181,6 +181,15 @@ struct sim_engine
             sim->annotate(w);
     }
 
+    // Label the calling simulated task in the active trace recorder
+    // (the sim-engine counterpart of this_task::annotate). `label`
+    // must be a string literal / static storage.
+    static void trace_label(char const* label) noexcept
+    {
+        if (simulator* sim = simulator::current())
+            sim->annotate_label(label);
+    }
+
     static bool skip_compute() noexcept
     {
         simulator* sim = simulator::current();

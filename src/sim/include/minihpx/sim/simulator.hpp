@@ -34,6 +34,10 @@
 #include <string>
 #include <vector>
 
+namespace minihpx::trace {
+    class recorder;
+}
+
 namespace minihpx::sim {
 
 enum class sched_model : std::uint8_t
@@ -151,6 +155,7 @@ namespace detail {
     struct sim_task
     {
         std::uint64_t id = 0;
+        std::uint64_t parent = 0;    // spawning task (0 for the root)
         threads::execution_context ctx;
         threads::stack stk;
         util::unique_function<void()> fn;
@@ -252,6 +257,8 @@ public:
     void unlock(detail::sim_mutex_impl* mutex);
     void yield();
     bool skip_compute() const noexcept { return config_.skip_compute; }
+    // Emit a trace label event for the running task (engine trace_label).
+    void annotate_label(char const* label) noexcept;
 
     double now_seconds() const noexcept
     {
@@ -270,6 +277,16 @@ public:
 
     // Cumulative progress as of the current virtual time.
     sim_progress progress() const noexcept;
+
+    // --- virtual-clock tracing -----------------------------------------
+    // The simulator emits the same event stream as the real scheduler,
+    // stamped with *virtual* time, into lane 0 of `tr` (one host
+    // thread; the DES event order is deterministic, so with an inline
+    // overflow drain the recorded stream is byte-for-byte reproducible
+    // across runs). Caller owns the recorder and must clear it before
+    // destroying it. See trace::sim_session.
+    void set_tracer(trace::recorder* tr) noexcept { tracer_ = tr; }
+    trace::recorder* tracer() const noexcept { return tracer_; }
 
 private:
     struct event
@@ -374,6 +391,8 @@ private:
     sample_hook sample_hook_;
     std::uint64_t sample_period_ns_ = 0;
     std::uint64_t next_sample_ns_ = 0;
+
+    trace::recorder* tracer_ = nullptr;
 };
 
 }    // namespace minihpx::sim

@@ -1,5 +1,6 @@
 #include <minihpx/sim/simulator.hpp>
 
+#include <minihpx/trace/recorder.hpp>
 #include <minihpx/util/assert.hpp>
 
 #include <algorithm>
@@ -17,6 +18,23 @@ namespace {
     std::uint64_t to_lines(std::uint64_t bytes) noexcept
     {
         return (bytes + 63) / 64;
+    }
+
+    // All sim trace events go through lane 0: one host thread produces
+    // them in deterministic DES order, which is what makes the recorded
+    // stream byte-reproducible.
+    void temit(trace::recorder* tr, std::uint64_t t, trace::event_kind kind,
+        std::uint64_t task, std::uint64_t aux, unsigned core) noexcept
+    {
+        if (!tr)
+            return;
+        trace::event e;
+        e.t_ns = t;
+        e.task = task;
+        e.aux = aux;
+        e.worker = core;
+        e.kind = static_cast<std::uint16_t>(kind);
+        tr->emit(0, e);
     }
 
 }    // namespace
@@ -63,6 +81,7 @@ sim_report simulator::run(util::unique_function<void()> root)
     tasks_.push_back(std::move(owned));
     ++tasks_alive_;
     ++report_.tasks_created;
+    temit(tracer_, now_ns_, trace::event_kind::spawn, root_task->id, 0, 0);
     if (config_.model == sched_model::std_like)
     {
         ++live_started_;
@@ -359,6 +378,8 @@ sim_task* simulator::pick_hpx(unsigned core, std::uint64_t& cost_ns)
             contention);
         ++report_.steals;
         report_.remote_steals += remote;
+        temit(tracer_, now_ns_, trace::event_kind::steal, task->id, victim,
+            core);
         cost_ns = cost;
         return task;
     }
@@ -374,6 +395,7 @@ sim_task* simulator::pick_hpx(unsigned core, std::uint64_t& cost_ns)
             contention);
         ++report_.steals;
         report_.remote_steals += remote;
+        temit(tracer_, now_ns_, trace::event_kind::steal, task->id, v, core);
         cost_ns = cost;
         return task;
     }
@@ -470,6 +492,10 @@ void simulator::handle_dispatch(unsigned core)
         task->ctx.create(
             task->stk.base(), task->stk.size(), &simulator::task_entry, task);
     }
+    // The task owns the core from resume time on: its next execution
+    // slice starts at now + dispatch cost.
+    temit(tracer_, now_ns_ + cost, trace::event_kind::begin, task->id, 0,
+        core);
     push(now_ns_ + cost, ev_resume, task, core);
 }
 
@@ -561,6 +587,8 @@ void simulator::handle_apply(sim_task* task)
         sim_task* child = task->inter_task;
         task->inter_task = nullptr;
         ++report_.tasks_created;
+        temit(tracer_, now_ns_, trace::event_kind::spawn, child->id,
+            child->parent, core);
 
         std::uint64_t resume_at;
         if (hpx)
@@ -624,6 +652,8 @@ void simulator::handle_apply(sim_task* task)
             break;
         }
         ++report_.suspensions;
+        temit(tracer_, now_ns_, trace::event_kind::suspend, task->id, 0,
+            core);
         task->next_waiter = state->waiters;
         state->waiters = task;
         std::uint64_t const cost = static_cast<std::uint64_t>(
@@ -647,6 +677,10 @@ void simulator::handle_apply(sim_task* task)
             waiter->next_waiter = nullptr;
             wake_cost += static_cast<std::uint64_t>(
                 hpx ? m.hpx_resume_ns : m.std_wake_ns);
+            // Causal wake edge: the notifying task made the waiter
+            // runnable (aux = waker id, as in scheduler::resume).
+            temit(tracer_, now_ns_, trace::event_kind::resume, waiter->id,
+                task->id, core);
             if (hpx)
                 enqueue_hpx(waiter, core, false);
             else
@@ -669,6 +703,8 @@ void simulator::handle_apply(sim_task* task)
             break;
         }
         ++report_.suspensions;
+        temit(tracer_, now_ns_, trace::event_kind::suspend, task->id, 0,
+            core);
         mutex->waiters.push_back(task);
         std::uint64_t const cost = static_cast<std::uint64_t>(
             hpx ? m.hpx_suspend_ns : m.std_block_ns);
@@ -692,6 +728,8 @@ void simulator::handle_apply(sim_task* task)
             mutex->waiters.pop_front();
             cost += static_cast<std::uint64_t>(
                 hpx ? m.hpx_resume_ns : m.std_wake_ns);
+            temit(tracer_, now_ns_, trace::event_kind::resume, waiter->id,
+                task->id, core);
             if (hpx)
                 enqueue_hpx(waiter, core, false);
             else
@@ -708,6 +746,7 @@ void simulator::handle_apply(sim_task* task)
 
     case inter_kind::yield:
     {
+        temit(tracer_, now_ns_, trace::event_kind::yield, task->id, 0, core);
         if (hpx)
             enqueue_hpx(task, core, false);
         else
@@ -737,6 +776,7 @@ void simulator::finish_task(sim_task* task)
     task->terminated = true;
     ++report_.tasks_executed;
     --tasks_alive_;
+    temit(tracer_, now_ns_, trace::event_kind::end, task->id, 0, core);
     if (!hpx)
         --live_started_;
 
@@ -754,6 +794,16 @@ void simulator::finish_task(sim_task* task)
 }
 
 // --------------------------------------------------------- engine hooks
+
+void simulator::annotate_label(char const* label) noexcept
+{
+    sim_task* task = running_;
+    if (!task || !label)
+        return;
+    temit(tracer_, now_ns_, trace::event_kind::label, task->id,
+        static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(label)),
+        task->core);
+}
 
 void simulator::annotate(work_annotation const& w) noexcept
 {
@@ -786,6 +836,7 @@ sim_task* simulator::spawn_task(util::unique_function<void()> fn, bool front)
     }
     sim_task* child = owned.get();
     child->id = next_task_id_++;
+    child->parent = current->id;
     child->fn = std::move(fn);
     tasks_.push_back(std::move(owned));
 

@@ -55,11 +55,16 @@ public:
     thread_data& operator=(thread_data const&) = delete;
 
     // (Re-)initialize a descriptor for a new task; reuses the existing
-    // stack if one is attached (descriptor recycling path).
+    // stack if one is attached (descriptor recycling path). `parent` is
+    // the id of the spawning task (invalid_thread_id for roots) — the
+    // static edge of the dynamic task graph (this_task::parent_id,
+    // trace spawn events).
     void init(thread_id id, task_function fn, char const* description,
-              thread_priority priority);
+              thread_priority priority,
+              thread_id parent = invalid_thread_id);
 
     thread_id id() const noexcept { return id_; }
+    thread_id parent_id() const noexcept { return parent_id_; }
     char const* description() const noexcept { return description_; }
     thread_priority priority() const noexcept { return priority_; }
 
@@ -112,6 +117,7 @@ public:
 
 private:
     thread_id id_ = invalid_thread_id;
+    thread_id parent_id_ = invalid_thread_id;
     std::atomic<thread_state> state_{thread_state::unknown};
     thread_priority priority_ = thread_priority::normal;
     char const* description_ = "<unknown>";

@@ -23,9 +23,11 @@ char const* to_string(thread_state state) noexcept
 }
 
 void thread_data::init(thread_id id, task_function fn,
-                       char const* description, thread_priority priority)
+                       char const* description, thread_priority priority,
+                       thread_id parent)
 {
     id_ = id;
+    parent_id_ = parent;
     context_ = execution_context{};    // force fresh entry on first run
     function_ = std::move(fn);
     description_ = description ? description : "<unknown>";

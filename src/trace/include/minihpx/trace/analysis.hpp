@@ -1,0 +1,91 @@
+// Offline trace analysis: dynamic task graph metrics.
+//
+// From the event stream alone (spawn parent edges, resume wake edges,
+// begin/suspend/end execution slices) this computes the TASKPROF-style
+// quantities:
+//
+//   work        total execution time across all tasks (T_1)
+//   span        the longest dependency-ordered chain of execution
+//               (T_inf, the critical path) — computed by longest-path
+//               over the DAG in one time-ordered sweep: every task
+//               carries the length of the longest chain ending at its
+//               current instant; spawn hands the parent's chain to the
+//               child, a wake hands the waker's chain to the woken
+//   parallelism work / span: the ceiling on useful workers
+//   critical path  the task chain realizing the span, reported with
+//               user annotate() labels
+//   utilization per-worker busy fraction over time bins
+//   what-if     rerun the same sweep with matching tasks' slice times
+//               scaled by 1/K; predicted makespan = max(span',
+//               work'/P) (Brent's bound) — "if tasks matching X were
+//               K× faster, the run would take …"
+//
+// Input traces need detail >= sched (the default): without suspend /
+// resume events, blocked time is indistinguishable from execution.
+#pragma once
+
+#include <minihpx/trace/format.hpp>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minihpx::trace {
+
+struct critical_step
+{
+    std::uint64_t task = 0;
+    std::uint64_t parent = 0;
+    std::string label;            // "" when never annotated
+    std::uint64_t exec_ns = 0;    // total execution of this task
+};
+
+struct analysis_result
+{
+    std::uint64_t events = 0;
+    std::uint64_t tasks = 0;          // distinct task ids seen
+    std::uint64_t tasks_ended = 0;
+    std::uint64_t workers = 0;        // distinct workers with slices
+    std::uint64_t steals = 0;
+
+    std::uint64_t t_first_ns = 0;     // first / last event timestamps
+    std::uint64_t t_last_ns = 0;
+    std::uint64_t makespan_ns = 0;    // t_last - t_first
+
+    std::uint64_t work_ns = 0;
+    std::uint64_t span_ns = 0;
+    double parallelism = 0.0;         // work / span
+
+    // Root-first chain of tasks realizing the span.
+    std::vector<critical_step> critical_path;
+
+    // Busy fraction per worker over the whole run, plus a binned
+    // timeline (utilization[worker][bin], bins of bin_ns).
+    std::vector<double> worker_busy;
+    std::vector<std::vector<double>> utilization;
+    std::uint64_t bin_ns = 0;
+};
+
+analysis_result analyze(trace_data const& data, unsigned util_bins = 20);
+
+struct whatif_result
+{
+    double speedup_factor = 1.0;            // the K that was applied
+    std::uint64_t matched_tasks = 0;
+    std::uint64_t matched_exec_ns = 0;
+    unsigned workers = 0;                   // the P used in the bound
+
+    std::uint64_t baseline_makespan_ns = 0;   // max(span,  work /P)
+    std::uint64_t projected_makespan_ns = 0;  // max(span', work'/P)
+    double projected_speedup = 0.0;           // baseline / projected
+};
+
+// Tasks match when their label contains `label_substr` (labels come
+// from this_task::annotate / sim_engine::trace_label). `workers` = 0
+// uses the worker count observed in the trace.
+whatif_result project_whatif(trace_data const& data,
+    std::string_view label_substr, double speedup_factor,
+    unsigned workers = 0);
+
+}    // namespace minihpx::trace

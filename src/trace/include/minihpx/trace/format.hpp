@@ -1,0 +1,81 @@
+// The .mhtrace binary format and its in-memory representation.
+//
+// Layout (all integers little-endian):
+//
+//   magic   8 bytes  "MHTRACE1"
+//   clock   u8       0 = steady (real runtime), 1 = virtual (sim)
+//   records ...      until EOF:
+//     tag u8 == 1: event   u16 kind, u32 worker, u64 t_ns, u64 task,
+//                          u64 aux
+//     tag u8 == 2: string  u32 id, u32 len, len bytes (UTF-8)
+//
+// Label events carry a `char const*` in aux while in memory; the
+// writer interns each distinct pointer into the string table (a def
+// record precedes first use) and rewrites aux to the table id, so the
+// file is self-contained and — given a deterministic event stream, as
+// under minihpx::sim — byte-for-byte reproducible.
+#pragma once
+
+#include <minihpx/trace/event.hpp>
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace minihpx::trace {
+
+enum class clock_kind : std::uint8_t
+{
+    steady = 0,     // std::chrono::steady_clock nanoseconds
+    virtual_ = 1,   // sim virtual nanoseconds
+};
+
+// A fully-loaded trace: label events' aux indexes `strings` (index 0
+// is reserved for "no label"). This is the analysis layer's input.
+struct trace_data
+{
+    clock_kind clock = clock_kind::steady;
+    std::vector<event> events;
+    std::vector<std::string> strings{std::string{}};
+
+    char const* label(std::uint64_t id) const noexcept
+    {
+        return id < strings.size() ? strings[id].c_str() : "";
+    }
+};
+
+class mhtrace_writer
+{
+public:
+    mhtrace_writer(std::ostream& out, clock_kind clock);
+    ~mhtrace_writer();    // flushes
+
+    // Streams one event; label aux (a char const*) is interned.
+    // Records accumulate in an internal buffer (one ostream write per
+    // ~64 KiB, not per event) — call flush() before reading the
+    // stream back.
+    void write(event const& e);
+    void flush();
+
+    std::uint64_t events_written() const noexcept { return events_; }
+
+private:
+    std::uint32_t intern(std::uint64_t pointer_aux);
+
+    std::ostream& out_;
+    std::vector<char> buf_;
+    std::unordered_map<std::uint64_t, std::uint32_t> interned_;
+    std::uint32_t next_string_id_ = 1;
+    std::uint64_t events_ = 0;
+};
+
+// Parse a complete .mhtrace stream. Returns false (with *error set,
+// when non-null) on malformed input; a truncated final record is an
+// error, a clean EOF between records is success.
+bool load_mhtrace(std::istream& in, trace_data& out, std::string* error);
+bool load_mhtrace_file(
+    std::string const& path, trace_data& out, std::string* error);
+
+}    // namespace minihpx::trace

@@ -1,0 +1,158 @@
+// Command-line-driven trace session: turns --mh: options into an
+// installed recorder with sinks attached.
+//
+//   --mh:trace                       enable tracing
+//   --mh:trace-destination=DEST      "mhtrace:PATH", "chrome:PATH", or
+//                                    a bare PATH (.json/.chrome ->
+//                                    Chrome JSON, else .mhtrace);
+//                                    default trace.mhtrace
+//   --mh:trace-detail=LEVEL          tasks | sched (default) | verbose
+//   --mh:trace-ring=N                events per worker lane
+//
+// The real-runtime `session` installs a recorder into the active
+// runtime's scheduler, drains the per-worker lanes on a background
+// thread, and registers the tracer's self-observation counters:
+//
+//   /trace{locality#0/total}/tasks/spawned
+//   /trace{locality#0/total}/events/recorded
+//   /trace{locality#0/total}/events/dropped
+//   /trace{locality#0/total}/overhead-pct
+//
+// A runtime::at_shutdown hook quiesces the session (uninstall, final
+// drain, flush) before worker teardown — same contract as
+// telemetry::session. `sim_session` is the single-threaded simulator
+// variant: one lane, virtual timestamps, inline overflow drain, and a
+// byte-deterministic event stream.
+#pragma once
+
+#include <minihpx/perf/registry.hpp>
+#include <minihpx/trace/recorder.hpp>
+#include <minihpx/trace/sinks.hpp>
+#include <minihpx/util/cli.hpp>
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace minihpx {
+    class scheduler;
+}
+
+namespace minihpx::sim {
+    class simulator;
+}
+
+namespace minihpx::trace {
+
+struct trace_options
+{
+    bool enabled = false;
+    std::string destination = "trace.mhtrace";
+    detail_level detail = detail_level::sched;
+    std::size_t ring_capacity = 1u << 15;    // events per lane
+    double drain_interval_ms = 2.0;
+    bool autostart = true;
+
+    static trace_options from_cli(util::cli_args const& args);
+};
+
+// DEST -> sink ("" -> nullptr). Shared by session, sim_session and the
+// driver; reports unwritable paths through `error`.
+std::shared_ptr<trace_sink> make_destination_sink(
+    std::string const& destination, clock_kind clock, std::string* error);
+
+// "tasks" | "sched" | "verbose" -> detail_level; anything else warns on
+// stderr and falls back to the default (sched).
+detail_level parse_detail_or_default(std::string const& text);
+
+class session
+{
+public:
+    session(perf::counter_registry& registry, trace_options options);
+    ~session();
+
+    session(session const&) = delete;
+    session& operator=(session const&) = delete;
+
+    // False when tracing is disabled or no runtime was active.
+    bool active() const noexcept { return recorder_ != nullptr; }
+    recorder* get_recorder() noexcept { return recorder_.get(); }
+
+    // Attach sinks before start() (autostart=false path) or from the
+    // constructor via options.destination.
+    void add_sink(std::shared_ptr<trace_sink> sink);
+    void subscribe(subscription_sink::callback cb);
+
+    void start();
+    void stop();    // uninstall, final drain, flush, close
+
+    // ---- self-observation (the /trace{...} counters) ------------------
+    std::uint64_t events_recorded() const noexcept;
+    std::uint64_t events_dropped() const noexcept;
+    std::uint64_t tasks_spawned() const noexcept;
+    // 100 * events * calibrated per-event cost / total worker time.
+    double overhead_pct() const noexcept;
+
+private:
+    void drain_loop();
+    void drain_all();
+    void register_counters();
+    void unregister_counters();
+
+    trace_options options_;
+    perf::counter_registry& registry_;
+    scheduler* sched_ = nullptr;
+    std::shared_ptr<recorder> recorder_;
+    double per_event_ns_ = 0.0;
+
+    std::mutex sinks_mutex_;
+    std::vector<std::shared_ptr<trace_sink>> sinks_;
+
+    std::thread drain_thread_;
+    std::mutex drain_mutex_;
+    std::condition_variable drain_cv_;
+    bool drain_stop_ = false;
+    bool running_ = false;
+    bool stopped_ = false;
+    bool counters_registered_ = false;
+
+    void* hooked_runtime_ = nullptr;
+    std::uint64_t shutdown_token_ = 0;
+};
+
+// Simulator-side session: lane 0 only (one host thread), virtual
+// timestamps, and an overflow handler that drains inline instead of
+// dropping — so the recorded stream is complete and deterministic.
+class sim_session
+{
+public:
+    sim_session(sim::simulator& sim, trace_options options);
+    ~sim_session();
+
+    sim_session(sim_session const&) = delete;
+    sim_session& operator=(sim_session const&) = delete;
+
+    bool active() const noexcept { return recorder_ != nullptr; }
+    recorder* get_recorder() noexcept { return recorder_.get(); }
+
+    void add_sink(std::shared_ptr<trace_sink> sink);
+    void subscribe(subscription_sink::callback cb);
+
+    // Drain the lane and flush/close the sinks; uninstalls the tracer.
+    // Idempotent; also run by the destructor.
+    void finish();
+
+private:
+    void drain();
+
+    sim::simulator& sim_;
+    std::unique_ptr<recorder> recorder_;
+    std::vector<std::shared_ptr<trace_sink>> sinks_;
+    bool finished_ = false;
+};
+
+}    // namespace minihpx::trace

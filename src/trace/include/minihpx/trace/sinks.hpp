@@ -1,0 +1,104 @@
+// Trace event sinks: where a session's drained events go.
+//
+// Sinks consume *in-memory* events (label aux still holds the static
+// `char const*`); each sink interns strings the way its format needs.
+// consume() runs on the session's drain thread (or the sim host
+// thread) — never on a scheduler hot path — so buffered stream I/O is
+// fine here.
+#pragma once
+
+#include <minihpx/trace/event.hpp>
+#include <minihpx/trace/format.hpp>
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace minihpx::trace {
+
+class trace_sink
+{
+public:
+    virtual ~trace_sink() = default;
+    virtual void consume(event const& e) = 0;
+    virtual void close() {}
+};
+
+// Streams the binary .mhtrace format to a file.
+class mhtrace_file_sink : public trace_sink
+{
+public:
+    mhtrace_file_sink(std::string path, clock_kind clock);
+
+    bool ok() const noexcept { return static_cast<bool>(out_); }
+    void consume(event const& e) override;
+    void close() override;
+
+private:
+    std::ofstream out_;
+    std::unique_ptr<mhtrace_writer> writer_;
+};
+
+// Streams Chrome trace_event JSON (open in Perfetto or
+// chrome://tracing): one B/E duration pair per execution slice on
+// tid = worker, instant events for spawn/steal/wake, labels applied
+// to slice names once seen.
+class chrome_sink : public trace_sink
+{
+public:
+    explicit chrome_sink(std::string path);
+
+    bool ok() const noexcept { return static_cast<bool>(out_); }
+    void consume(event const& e) override;
+    void close() override;
+
+private:
+    void begin_slice(std::uint32_t worker, event const& e);
+    void end_slice(std::uint32_t worker, std::uint64_t t_ns);
+
+    std::ofstream out_;
+    bool closed_ = false;
+    // tid -> task id of the currently open slice (0 = none).
+    std::unordered_map<std::uint32_t, std::uint64_t> open_;
+    // task -> last label seen (static storage).
+    std::unordered_map<std::uint64_t, char const*> labels_;
+};
+
+// In-process subscription: a callback per event, on the drain thread.
+class subscription_sink : public trace_sink
+{
+public:
+    using callback = std::function<void(event const&)>;
+
+    explicit subscription_sink(callback cb)
+      : callback_(std::move(cb))
+    {
+    }
+
+    void consume(event const& e) override { callback_(e); }
+
+private:
+    callback callback_;
+};
+
+// Accumulates a trace_data in memory (interning labels) — the bridge
+// from a live session to the analysis layer without touching disk.
+class memory_sink : public trace_sink
+{
+public:
+    explicit memory_sink(clock_kind clock) { data_.clock = clock; }
+
+    void consume(event const& e) override;
+
+    trace_data const& data() const noexcept { return data_; }
+    trace_data take() noexcept { return std::move(data_); }
+
+private:
+    trace_data data_;
+    std::unordered_map<std::uint64_t, std::uint64_t> interned_;
+};
+
+}    // namespace minihpx::trace

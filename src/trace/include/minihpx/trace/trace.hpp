@@ -1,0 +1,17 @@
+// Umbrella header for minihpx::trace.
+//
+//   #include <minihpx/trace/trace.hpp>
+//
+//   auto opts = minihpx::trace::trace_options::from_cli(args);
+//   minihpx::trace::session trace(registry, opts);
+//
+// See docs/TRACING.md for the event model, file formats and the
+// offline analysis (critical path, parallelism, what-if projection).
+#pragma once
+
+#include <minihpx/trace/analysis.hpp>
+#include <minihpx/trace/event.hpp>
+#include <minihpx/trace/format.hpp>
+#include <minihpx/trace/recorder.hpp>
+#include <minihpx/trace/session.hpp>
+#include <minihpx/trace/sinks.hpp>

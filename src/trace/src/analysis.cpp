@@ -1,0 +1,356 @@
+#include <minihpx/trace/analysis.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace minihpx::trace {
+
+namespace {
+
+    struct task_state
+    {
+        double path = 0.0;           // longest chain ending at this task now
+        std::int64_t node = -1;      // chain node for `path` (see chain_node)
+        std::uint64_t parent = 0;
+        std::uint64_t last_t = 0;  // slice start / last charge point
+        bool running = false;
+        bool ended = false;
+        std::uint64_t exec_ns = 0;     // unscaled execution total
+        double scaled_exec = 0.0;      // scaled execution total
+        std::uint64_t label_id = 0;    // last label (trace_data string id)
+        double scale = 1.0;            // what-if factor (1 = unchanged)
+    };
+
+    struct slice
+    {
+        std::uint32_t worker;
+        std::uint64_t begin_ns;
+        std::uint64_t end_ns;
+    };
+
+    // One entry per chain-extending edge (spawn, wake). A task can sit
+    // on the critical path more than once — a parent runs before the
+    // spawn and again after the join — so the chain is a list of
+    // *visits*, not a per-task predecessor pointer.
+    struct chain_node
+    {
+        std::uint64_t task;
+        std::int64_t pred;    // index into sweep_result::nodes, -1 = root
+    };
+
+    struct sweep_result
+    {
+        std::unordered_map<std::uint64_t, task_state> tasks;
+        std::vector<chain_node> nodes;
+        std::vector<slice> slices;
+        std::uint64_t steals = 0;
+        std::uint64_t t_first = 0;
+        std::uint64_t t_last = 0;
+        double span = 0.0;
+        std::int64_t span_node = -1;    // argmax chain endpoint
+        double work_scaled = 0.0;
+        std::uint64_t work_ns = 0;
+    };
+
+    // Slices are opened by begin in push order; a close event finds the
+    // most recent open slice of its worker (a worker runs one task at a
+    // time, so this is the matching one).
+    void close_slice(
+        std::vector<slice>& slices, std::uint32_t worker, std::uint64_t t)
+    {
+        for (auto it = slices.rbegin(); it != slices.rend(); ++it)
+        {
+            if (it->worker != worker)
+                continue;
+            if (it->end_ns == it->begin_ns)
+                it->end_ns = t;
+            return;    // most recent slice of this worker decides
+        }
+    }
+
+    // One time-ordered pass over the events, maintaining per-task
+    // longest-chain lengths. `rescale` assigns each task's slice-time
+    // factor the moment its label becomes known (what-if); the default
+    // pass keeps every factor at 1.
+    template <typename Rescale>
+    sweep_result sweep(trace_data const& data, Rescale&& rescale)
+    {
+        // Stable sort by timestamp: ties keep file order, which is the
+        // causal emission order (exact under the sim's single lane).
+        std::vector<std::uint32_t> order(data.events.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+                return data.events[a].t_ns < data.events[b].t_ns;
+            });
+
+        sweep_result r;
+        if (!data.events.empty())
+        {
+            r.t_first = data.events[order.front()].t_ns;
+            r.t_last = data.events[order.back()].t_ns;
+        }
+
+        auto charge = [&](task_state& ts, std::uint64_t t) {
+            if (!ts.running || t <= ts.last_t)
+                return;
+            std::uint64_t const d = t - ts.last_t;
+            ts.exec_ns += d;
+            ts.scaled_exec += static_cast<double>(d) * ts.scale;
+            ts.path += static_cast<double>(d) * ts.scale;
+            ts.last_t = t;
+        };
+
+        // Current chain node of a task, materializing one lazily for
+        // tasks first seen as edge sources (the root, truncated traces).
+        auto node_of = [&](task_state& ts, std::uint64_t id) {
+            if (ts.node < 0)
+            {
+                ts.node = static_cast<std::int64_t>(r.nodes.size());
+                r.nodes.push_back({id, -1});
+            }
+            return ts.node;
+        };
+
+        auto track_span = [&](task_state& ts, std::uint64_t id) {
+            if (ts.path > r.span)
+            {
+                r.span = ts.path;
+                r.span_node = node_of(ts, id);
+            }
+        };
+
+        for (std::uint32_t idx : order)
+        {
+            event const& e = data.events[idx];
+            task_state& ts = r.tasks[e.task];
+            switch (static_cast<event_kind>(e.kind))
+            {
+            case event_kind::spawn:
+            {
+                ts.parent = e.aux;
+                if (e.aux != 0)
+                {
+                    // note: operator[] may rehash; re-fetch ts after.
+                    task_state& parent = r.tasks[e.aux];
+                    charge(parent, e.t_ns);
+                    std::int64_t const pn = node_of(parent, e.aux);
+                    task_state& child = r.tasks[e.task];
+                    child.path = parent.path;
+                    child.node = static_cast<std::int64_t>(r.nodes.size());
+                    r.nodes.push_back({e.task, pn});
+                }
+                break;
+            }
+
+            case event_kind::begin:
+                ts.running = true;
+                ts.last_t = e.t_ns;
+                r.slices.push_back(
+                    {e.worker, e.t_ns, e.t_ns});    // end patched below
+                break;
+
+            case event_kind::end:
+                charge(ts, e.t_ns);
+                ts.running = false;
+                ts.ended = true;
+                close_slice(r.slices, e.worker, e.t_ns);
+                track_span(ts, e.task);
+                break;
+
+            case event_kind::suspend:
+            case event_kind::yield:
+                charge(ts, e.t_ns);
+                ts.running = false;
+                close_slice(r.slices, e.worker, e.t_ns);
+                track_span(ts, e.task);
+                break;
+
+            case event_kind::resume:
+            {
+                if (e.aux != 0)
+                {
+                    task_state& waker = r.tasks[e.aux];
+                    charge(waker, e.t_ns);
+                    std::int64_t const wn = node_of(waker, e.aux);
+                    task_state& woken = r.tasks[e.task];
+                    if (waker.path > woken.path)
+                    {
+                        woken.path = waker.path;
+                        woken.node =
+                            static_cast<std::int64_t>(r.nodes.size());
+                        r.nodes.push_back({e.task, wn});
+                    }
+                }
+                break;
+            }
+
+            case event_kind::steal:
+                ++r.steals;
+                break;
+
+            case event_kind::label:
+                charge(ts, e.t_ns);
+                ts.label_id = e.aux;
+                ts.scale = rescale(data, ts.label_id);
+                break;
+            }
+        }
+
+        for (auto& [id, ts] : r.tasks)
+        {
+            // Truncated traces: tasks still running at the last event
+            // contribute what they executed so far.
+            charge(ts, r.t_last);
+            track_span(ts, id);
+            r.work_ns += ts.exec_ns;
+            r.work_scaled += ts.scaled_exec;
+        }
+        return r;
+    }
+
+}    // namespace
+
+analysis_result analyze(trace_data const& data, unsigned util_bins)
+{
+    analysis_result out;
+    sweep_result r =
+        sweep(data, [](trace_data const&, std::uint64_t) { return 1.0; });
+
+    out.events = data.events.size();
+    out.tasks = r.tasks.size();
+    out.steals = r.steals;
+    out.t_first_ns = r.t_first;
+    out.t_last_ns = r.t_last;
+    out.makespan_ns = r.t_last - r.t_first;
+    out.work_ns = r.work_ns;
+    out.span_ns = static_cast<std::uint64_t>(r.span);
+    out.parallelism = out.span_ns ?
+        static_cast<double>(out.work_ns) /
+            static_cast<double>(out.span_ns) :
+        0.0;
+    for (auto const& [id, ts] : r.tasks)
+        out.tasks_ended += ts.ended;
+
+    // Critical path: walk chain nodes back from the span endpoint
+    // (pred indexes are strictly decreasing, so this terminates). A
+    // task appears once per visit — e.g. before a spawn and again
+    // after the join — with consecutive repeats collapsed.
+    for (std::int64_t cursor = r.span_node; cursor >= 0;
+        cursor = r.nodes[static_cast<std::size_t>(cursor)].pred)
+    {
+        std::uint64_t const task =
+            r.nodes[static_cast<std::size_t>(cursor)].task;
+        if (!out.critical_path.empty() &&
+            out.critical_path.back().task == task)
+            continue;
+        auto const it = r.tasks.find(task);
+        if (it == r.tasks.end())
+            break;
+        critical_step step;
+        step.task = task;
+        step.parent = it->second.parent;
+        step.label = data.label(it->second.label_id);
+        step.exec_ns = it->second.exec_ns;
+        out.critical_path.push_back(std::move(step));
+    }
+    std::reverse(out.critical_path.begin(), out.critical_path.end());
+
+    // Per-worker utilization.
+    std::uint32_t max_worker = 0;
+    for (auto const& s : r.slices)
+        if (s.worker != external_worker)
+            max_worker = std::max(max_worker, s.worker);
+    if (!r.slices.empty() && out.makespan_ns > 0)
+    {
+        std::size_t const n = static_cast<std::size_t>(max_worker) + 1;
+        out.worker_busy.assign(n, 0.0);
+        if (util_bins == 0)
+            util_bins = 1;
+        out.bin_ns = (out.makespan_ns + util_bins - 1) / util_bins;
+        out.utilization.assign(n, std::vector<double>(util_bins, 0.0));
+        for (auto const& s : r.slices)
+        {
+            if (s.worker == external_worker || s.end_ns <= s.begin_ns)
+                continue;
+            out.worker_busy[s.worker] +=
+                static_cast<double>(s.end_ns - s.begin_ns);
+            // Spread the slice over the bins it covers.
+            std::uint64_t lo = s.begin_ns - out.t_first_ns;
+            std::uint64_t const hi = s.end_ns - out.t_first_ns;
+            while (lo < hi)
+            {
+                std::uint64_t const bin = lo / out.bin_ns;
+                std::uint64_t const bin_end =
+                    std::min(hi, (bin + 1) * out.bin_ns);
+                if (bin < util_bins)
+                    out.utilization[s.worker][bin] +=
+                        static_cast<double>(bin_end - lo) /
+                        static_cast<double>(out.bin_ns);
+                lo = bin_end;
+            }
+        }
+        for (double& busy : out.worker_busy)
+            busy /= static_cast<double>(out.makespan_ns);
+        out.workers = n;
+    }
+    return out;
+}
+
+whatif_result project_whatif(trace_data const& data,
+    std::string_view label_substr, double speedup_factor, unsigned workers)
+{
+    whatif_result out;
+    out.speedup_factor = speedup_factor <= 0.0 ? 1.0 : speedup_factor;
+
+    sweep_result base =
+        sweep(data, [](trace_data const&, std::uint64_t) { return 1.0; });
+
+    double const factor = 1.0 / out.speedup_factor;
+    auto matches = [&](trace_data const& d, std::uint64_t label_id) {
+        if (label_id == 0 || label_id >= d.strings.size())
+            return false;
+        return d.strings[label_id].find(label_substr) != std::string::npos;
+    };
+    sweep_result what =
+        sweep(data, [&](trace_data const& d, std::uint64_t label_id) {
+            return matches(d, label_id) ? factor : 1.0;
+        });
+
+    for (auto const& [id, ts] : what.tasks)
+    {
+        if (ts.scale != 1.0)
+        {
+            ++out.matched_tasks;
+            out.matched_exec_ns += ts.exec_ns;
+        }
+    }
+
+    if (workers == 0)
+    {
+        std::unordered_set<std::uint32_t> seen;
+        for (auto const& s : base.slices)
+            if (s.worker != external_worker)
+                seen.insert(s.worker);
+        workers = seen.empty() ? 1u : static_cast<unsigned>(seen.size());
+    }
+    out.workers = workers;
+
+    auto brent = [&](double span, double work) {
+        return static_cast<std::uint64_t>(
+            std::max(span, work / static_cast<double>(workers)));
+    };
+    out.baseline_makespan_ns =
+        brent(base.span, static_cast<double>(base.work_ns));
+    out.projected_makespan_ns = brent(what.span, what.work_scaled);
+    out.projected_speedup = out.projected_makespan_ns ?
+        static_cast<double>(out.baseline_makespan_ns) /
+            static_cast<double>(out.projected_makespan_ns) :
+        0.0;
+    return out;
+}
+
+}    // namespace minihpx::trace

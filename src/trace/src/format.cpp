@@ -1,0 +1,186 @@
+#include <minihpx/trace/format.hpp>
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace minihpx::trace {
+
+namespace {
+
+    constexpr char magic[8] = {'M', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
+    constexpr std::uint8_t tag_event = 1;
+    constexpr std::uint8_t tag_string = 2;
+
+    template <typename T>
+    char* put_le(char* p, T v)
+    {
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            *p++ = static_cast<char>((v >> (8 * i)) & 0xff);
+        return p;
+    }
+
+    bool get_u8(std::istream& in, std::uint8_t& v)
+    {
+        int const c = in.get();
+        if (c == std::char_traits<char>::eof())
+            return false;
+        v = static_cast<std::uint8_t>(c);
+        return true;
+    }
+
+    template <typename T>
+    bool get_le(std::istream& in, T& v)
+    {
+        unsigned char bytes[sizeof(T)];
+        if (!in.read(reinterpret_cast<char*>(bytes), sizeof(T)))
+            return false;
+        v = 0;
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            v |= static_cast<T>(bytes[i]) << (8 * i);
+        return true;
+    }
+
+    bool set_error(std::string* error, char const* message)
+    {
+        if (error)
+            *error = message;
+        return false;
+    }
+
+}    // namespace
+
+namespace {
+    // Flush threshold: one ostream write per this many bytes instead
+    // of per record (the drain thread often shares a core with the
+    // workers, so per-record stream overhead is run overhead).
+    constexpr std::size_t writer_buffer_bytes = 64 * 1024;
+}    // namespace
+
+mhtrace_writer::mhtrace_writer(std::ostream& out, clock_kind clock)
+  : out_(out)
+{
+    buf_.reserve(writer_buffer_bytes + 64);
+    buf_.insert(buf_.end(), magic, magic + sizeof(magic));
+    buf_.push_back(static_cast<char>(clock));
+}
+
+mhtrace_writer::~mhtrace_writer()
+{
+    flush();
+}
+
+void mhtrace_writer::flush()
+{
+    if (!buf_.empty())
+    {
+        out_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+        buf_.clear();
+    }
+}
+
+std::uint32_t mhtrace_writer::intern(std::uint64_t pointer_aux)
+{
+    if (pointer_aux == 0)
+        return 0;
+    auto const [it, inserted] =
+        interned_.try_emplace(pointer_aux, next_string_id_);
+    if (inserted)
+    {
+        ++next_string_id_;
+        char const* s = reinterpret_cast<char const*>(
+            static_cast<std::uintptr_t>(pointer_aux));
+        auto const len =
+            static_cast<std::uint32_t>(std::strlen(s));
+        buf_.push_back(static_cast<char>(tag_string));
+        char rec[sizeof(it->second) + sizeof(len)];
+        char* p = put_le(rec, it->second);
+        p = put_le(p, len);
+        buf_.insert(buf_.end(), rec, rec + (p - rec));
+        buf_.insert(buf_.end(), s, s + len);
+    }
+    return it->second;
+}
+
+void mhtrace_writer::write(event const& e)
+{
+    std::uint64_t aux = e.aux;
+    if (static_cast<event_kind>(e.kind) == event_kind::label)
+        aux = intern(e.aux);
+    // One buffered write per event: the drain thread shares a core
+    // with the workers on small machines, so per-event stream overhead
+    // is wall-clock overhead.
+    char rec[1 + sizeof(e.kind) + sizeof(e.worker) + sizeof(e.t_ns) +
+        sizeof(e.task) + sizeof(aux)];
+    char* p = rec;
+    *p++ = static_cast<char>(tag_event);
+    p = put_le(p, e.kind);
+    p = put_le(p, e.worker);
+    p = put_le(p, e.t_ns);
+    p = put_le(p, e.task);
+    p = put_le(p, aux);
+    buf_.insert(buf_.end(), rec, rec + (p - rec));
+    if (buf_.size() >= writer_buffer_bytes)
+        flush();
+    ++events_;
+}
+
+bool load_mhtrace(std::istream& in, trace_data& out, std::string* error)
+{
+    char header[sizeof(magic)];
+    if (!in.read(header, sizeof(header)) ||
+        std::memcmp(header, magic, sizeof(magic)) != 0)
+        return set_error(error, "not an .mhtrace file (bad magic)");
+    std::uint8_t clock = 0;
+    if (!get_u8(in, clock) || clock > 1)
+        return set_error(error, "unsupported clock kind");
+    out.clock = static_cast<clock_kind>(clock);
+    out.events.clear();
+    out.strings.assign(1, std::string{});
+
+    std::uint8_t tag = 0;
+    while (get_u8(in, tag))
+    {
+        if (tag == tag_event)
+        {
+            event e;
+            if (!get_le(in, e.kind) || !get_le(in, e.worker) ||
+                !get_le(in, e.t_ns) || !get_le(in, e.task) ||
+                !get_le(in, e.aux))
+                return set_error(error, "truncated event record");
+            out.events.push_back(e);
+        }
+        else if (tag == tag_string)
+        {
+            std::uint32_t id = 0;
+            std::uint32_t len = 0;
+            if (!get_le(in, id) || !get_le(in, len))
+                return set_error(error, "truncated string record");
+            if (len > (1u << 20))
+                return set_error(error, "string record too long");
+            std::string s(len, '\0');
+            if (len != 0 && !in.read(s.data(), len))
+                return set_error(error, "truncated string record");
+            if (id >= out.strings.size())
+                out.strings.resize(id + 1);
+            out.strings[id] = std::move(s);
+        }
+        else
+        {
+            return set_error(error, "unknown record tag");
+        }
+    }
+    return true;
+}
+
+bool load_mhtrace_file(
+    std::string const& path, trace_data& out, std::string* error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return set_error(error, "cannot open trace file");
+    return load_mhtrace(in, out, error);
+}
+
+}    // namespace minihpx::trace

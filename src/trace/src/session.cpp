@@ -1,0 +1,399 @@
+#include <minihpx/trace/session.hpp>
+
+#include <minihpx/perf/basic_counters.hpp>
+#include <minihpx/runtime/runtime.hpp>
+#include <minihpx/runtime/scheduler.hpp>
+#include <minihpx/sim/simulator.hpp>
+
+#include <chrono>
+#include <iostream>
+#include <utility>
+
+namespace minihpx::trace {
+
+namespace {
+
+    char const* const trace_counter_keys[] = {
+        "/trace/tasks/spawned",
+        "/trace/events/recorded",
+        "/trace/events/dropped",
+        "/trace/overhead-pct",
+    };
+
+    void register_trace_type(perf::counter_registry& registry,
+        std::string key, perf::counter_kind kind, std::string unit,
+        std::string help, perf::value_source source)
+    {
+        perf::counter_registry::type_info t;
+        t.type_key = std::move(key);
+        t.kind = kind;
+        t.unit_of_measure = unit;
+        t.helptext = std::move(help);
+        t.create = [source = std::move(source), kind, unit](
+                       perf::counter_path const& path) -> perf::counter_ptr {
+            perf::counter_info info;
+            info.full_name = path.full_name();
+            info.kind = kind;
+            info.unit_of_measure = unit;
+            if (kind == perf::counter_kind::monotonically_increasing)
+                return std::make_shared<perf::delta_counter>(
+                    std::move(info), source);
+            return std::make_shared<perf::gauge_counter>(
+                std::move(info), source);
+        };
+        registry.register_type(std::move(t));
+    }
+
+    bool has_prefix(std::string const& s, std::string_view prefix)
+    {
+        return s.size() > prefix.size() &&
+            s.compare(0, prefix.size(), prefix) == 0;
+    }
+
+    bool has_suffix(std::string const& s, std::string_view suffix)
+    {
+        return s.size() >= suffix.size() &&
+            s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+    }
+
+    // Measure the amortized cost of one hot-path emit so overhead-pct
+    // can relate event volume to worker time without any timing on the
+    // real hot path.
+    double calibrate_per_event_ns()
+    {
+        // One full producer+consumer round trip per event, including
+        // the timestamp read the real emit sites pay, drained in the
+        // same batch size a healthy session uses — without the drain
+        // half the ring saturates and the loop only measures the
+        // drop path.
+        constexpr std::size_t n = 16384;
+        constexpr std::size_t batch = 1024;
+        recorder probe(1, batch, detail_level::verbose);
+        event e{};
+        e.kind = static_cast<std::uint16_t>(event_kind::begin);
+        auto const t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i != n; ++i)
+        {
+            e.t_ns = static_cast<std::uint64_t>(
+                std::chrono::steady_clock::now()
+                    .time_since_epoch()
+                    .count());
+            probe.emit(0, e);
+            if (i % batch == batch - 1)
+                probe.drain(0, [](event const&) {});
+        }
+        auto const t1 = std::chrono::steady_clock::now();
+        return static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       t1 - t0)
+                       .count()) /
+            static_cast<double>(n);
+    }
+
+}    // namespace
+
+detail_level parse_detail_or_default(std::string const& text)
+{
+    if (text == "tasks")
+        return detail_level::tasks;
+    if (text == "verbose")
+        return detail_level::verbose;
+    if (!text.empty() && text != "sched")
+        std::cerr << "minihpx: unknown --mh:trace-detail '" << text
+                  << "', using 'sched'\n";
+    return detail_level::sched;
+}
+
+trace_options trace_options::from_cli(util::cli_args const& args)
+{
+    trace_options options;
+    options.enabled = args.flag("mh:trace");
+    options.destination =
+        args.value_or("mh:trace-destination", options.destination);
+    options.detail =
+        parse_detail_or_default(args.value_or("mh:trace-detail", "sched"));
+    options.ring_capacity = static_cast<std::size_t>(args.int_or(
+        "mh:trace-ring", static_cast<std::int64_t>(options.ring_capacity)));
+    return options;
+}
+
+std::shared_ptr<trace_sink> make_destination_sink(
+    std::string const& destination, clock_kind clock, std::string* error)
+{
+    if (destination.empty())
+        return nullptr;
+
+    std::string path = destination;
+    bool chrome = false;
+    if (has_prefix(destination, "mhtrace:"))
+        path = destination.substr(8);
+    else if (has_prefix(destination, "chrome:"))
+    {
+        path = destination.substr(7);
+        chrome = true;
+    }
+    else if (has_suffix(destination, ".json") ||
+        has_suffix(destination, ".chrome"))
+        chrome = true;
+
+    if (chrome)
+    {
+        auto sink = std::make_shared<chrome_sink>(path);
+        if (!sink->ok() && error)
+            *error = "cannot open trace destination '" + path + "'";
+        return sink->ok() ? sink : nullptr;
+    }
+    auto sink = std::make_shared<mhtrace_file_sink>(path, clock);
+    if (!sink->ok() && error)
+        *error = "cannot open trace destination '" + path + "'";
+    return sink->ok() ? sink : nullptr;
+}
+
+// -------------------------------------------------------------- session
+
+session::session(perf::counter_registry& registry, trace_options options)
+  : options_(std::move(options))
+  , registry_(registry)
+{
+    if (!options_.enabled)
+        return;
+
+    runtime* rt = runtime::get_ptr();
+    if (!rt)
+    {
+        std::cerr << "minihpx: trace: no active runtime, tracing disabled\n";
+        return;
+    }
+    sched_ = &rt->get_scheduler();
+
+    per_event_ns_ = calibrate_per_event_ns();
+    recorder_ = std::make_shared<recorder>(
+        sched_->num_workers(), options_.ring_capacity, options_.detail);
+
+    std::string error;
+    if (auto sink = make_destination_sink(
+            options_.destination, clock_kind::steady, &error))
+        sinks_.push_back(std::move(sink));
+    if (!error.empty())
+        std::cerr << "minihpx: trace: " << error << '\n';
+
+    register_counters();
+
+    // Quiesce before the runtime tears down workers: uninstall the
+    // recorder, drain what remains, flush the sinks.
+    hooked_runtime_ = rt;
+    shutdown_token_ = rt->at_shutdown([this] { stop(); });
+
+    if (options_.autostart)
+        start();
+}
+
+session::~session()
+{
+    stop();
+    if (hooked_runtime_ && runtime::get_ptr() == hooked_runtime_)
+        static_cast<runtime*>(hooked_runtime_)
+            ->remove_shutdown_hook(shutdown_token_);
+}
+
+void session::add_sink(std::shared_ptr<trace_sink> sink)
+{
+    if (!sink)
+        return;
+    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    sinks_.push_back(std::move(sink));
+}
+
+void session::subscribe(subscription_sink::callback cb)
+{
+    add_sink(std::make_shared<subscription_sink>(std::move(cb)));
+}
+
+void session::start()
+{
+    if (!recorder_ || running_ || stopped_)
+        return;
+    running_ = true;
+    sched_->set_tracer(recorder_);
+    drain_thread_ = std::thread([this] { drain_loop(); });
+}
+
+void session::stop()
+{
+    if (!recorder_ || stopped_)
+        return;
+    stopped_ = true;
+
+    if (running_)
+    {
+        // Uninstall first: workers stop emitting, then one final drain
+        // collects everything already published.
+        sched_->set_tracer(nullptr);
+        {
+            std::lock_guard<std::mutex> lock(drain_mutex_);
+            drain_stop_ = true;
+        }
+        drain_cv_.notify_all();
+        if (drain_thread_.joinable())
+            drain_thread_.join();
+        drain_all();
+        running_ = false;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(sinks_mutex_);
+        for (auto const& sink : sinks_)
+            sink->close();
+    }
+    unregister_counters();
+}
+
+void session::drain_loop()
+{
+    auto const interval =
+        std::chrono::duration<double, std::milli>(options_.drain_interval_ms);
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    while (!drain_stop_)
+    {
+        drain_cv_.wait_for(lock, interval);
+        if (drain_stop_)
+            break;
+        lock.unlock();
+        drain_all();
+        lock.lock();
+    }
+}
+
+void session::drain_all()
+{
+    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    for (std::uint32_t lane = 0; lane != recorder_->lanes(); ++lane)
+    {
+        recorder_->drain(lane, [&](event const& e) {
+            for (auto const& sink : sinks_)
+                sink->consume(e);
+        });
+    }
+}
+
+std::uint64_t session::events_recorded() const noexcept
+{
+    return recorder_ ? recorder_->events_recorded() : 0;
+}
+
+std::uint64_t session::events_dropped() const noexcept
+{
+    return recorder_ ? recorder_->events_dropped() : 0;
+}
+
+std::uint64_t session::tasks_spawned() const noexcept
+{
+    return recorder_ ? recorder_->tasks_spawned() : 0;
+}
+
+double session::overhead_pct() const noexcept
+{
+    if (!recorder_ || !sched_)
+        return 0.0;
+    std::uint64_t const total = sched_->aggregate().total_time_ns;
+    if (total == 0)
+        return 0.0;
+    return 100.0 *
+        (static_cast<double>(recorder_->events_recorded()) * per_event_ns_) /
+        static_cast<double>(total);
+}
+
+void session::register_counters()
+{
+    using perf::counter_kind;
+    auto const mono = counter_kind::monotonically_increasing;
+
+    register_trace_type(registry_, "/trace/tasks/spawned", mono, "",
+        "tasks whose spawn event the tracer recorded",
+        [this] { return static_cast<double>(tasks_spawned()); });
+    register_trace_type(registry_, "/trace/events/recorded", mono, "",
+        "trace events accepted into the per-worker rings",
+        [this] { return static_cast<double>(events_recorded()); });
+    register_trace_type(registry_, "/trace/events/dropped", mono, "",
+        "trace events dropped because a ring was full",
+        [this] { return static_cast<double>(events_dropped()); });
+    register_trace_type(registry_, "/trace/overhead-pct", counter_kind::raw,
+        "%", "estimated tracing overhead relative to total worker time",
+        [this] { return overhead_pct(); });
+    counters_registered_ = true;
+}
+
+void session::unregister_counters()
+{
+    if (!counters_registered_)
+        return;
+    counters_registered_ = false;
+    for (char const* key : trace_counter_keys)
+        registry_.unregister_type(key);
+}
+
+// ---------------------------------------------------------- sim_session
+
+sim_session::sim_session(sim::simulator& sim, trace_options options)
+  : sim_(sim)
+{
+    if (!options.enabled)
+        return;
+
+    recorder_ = std::make_unique<recorder>(
+        1, options.ring_capacity, options.detail);
+    // The simulator runs on one host thread, so a would-drop push can
+    // simply drain inline: the stream stays complete *and* the drain
+    // points are a deterministic function of the event sequence, which
+    // keeps .mhtrace output byte-reproducible across runs.
+    recorder_->set_overflow_handler([this] { drain(); });
+
+    std::string error;
+    if (auto sink = make_destination_sink(
+            options.destination, clock_kind::virtual_, &error))
+        sinks_.push_back(std::move(sink));
+    if (!error.empty())
+        std::cerr << "minihpx: trace: " << error << '\n';
+
+    sim_.set_tracer(recorder_.get());
+}
+
+sim_session::~sim_session()
+{
+    finish();
+}
+
+void sim_session::add_sink(std::shared_ptr<trace_sink> sink)
+{
+    if (sink)
+        sinks_.push_back(std::move(sink));
+}
+
+void sim_session::subscribe(subscription_sink::callback cb)
+{
+    add_sink(std::make_shared<subscription_sink>(std::move(cb)));
+}
+
+void sim_session::finish()
+{
+    if (finished_ || !recorder_)
+        return;
+    finished_ = true;
+    sim_.set_tracer(nullptr);
+    drain();
+    for (auto const& sink : sinks_)
+        sink->close();
+}
+
+void sim_session::drain()
+{
+    for (std::uint32_t lane = 0; lane != recorder_->lanes(); ++lane)
+    {
+        recorder_->drain(lane, [&](event const& e) {
+            for (auto const& sink : sinks_)
+                sink->consume(e);
+        });
+    }
+}
+
+}    // namespace minihpx::trace

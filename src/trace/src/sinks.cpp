@@ -1,0 +1,165 @@
+#include <minihpx/trace/sinks.hpp>
+
+#include <minihpx/telemetry/sink.hpp>    // telemetry::json_escape
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace minihpx::trace {
+
+// --------------------------------------------------- mhtrace_file_sink
+
+mhtrace_file_sink::mhtrace_file_sink(std::string path, clock_kind clock)
+  : out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (out_)
+        writer_ = std::make_unique<mhtrace_writer>(out_, clock);
+}
+
+void mhtrace_file_sink::consume(event const& e)
+{
+    if (writer_)
+        writer_->write(e);
+}
+
+void mhtrace_file_sink::close()
+{
+    writer_.reset();    // flushes buffered records
+    if (out_.is_open())
+        out_.close();
+}
+
+// --------------------------------------------------------- chrome_sink
+
+namespace {
+
+    // Microsecond timestamps with ns precision (the trace_event unit).
+    std::string chrome_ts(std::uint64_t t_ns)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", t_ns / 1000,
+            static_cast<unsigned>(t_ns % 1000));
+        return buf;
+    }
+
+    std::string worker_tid(std::uint32_t worker)
+    {
+        return worker == external_worker ? std::string("9999") :
+                                           std::to_string(worker);
+    }
+
+}    // namespace
+
+chrome_sink::chrome_sink(std::string path)
+  : out_(path, std::ios::trunc)
+{
+    if (out_)
+        out_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+             << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+                "\"args\":{\"name\":\"minihpx\"}}";
+}
+
+void chrome_sink::begin_slice(std::uint32_t worker, event const& e)
+{
+    auto const it = labels_.find(e.task);
+    std::string name = it != labels_.end() ?
+        telemetry::json_escape(it->second) :
+        "task#" + std::to_string(e.task);
+    out_ << ",\n{\"name\":\"" << name << "\",\"ph\":\"B\",\"pid\":0,\"tid\":"
+         << worker_tid(worker) << ",\"ts\":" << chrome_ts(e.t_ns)
+         << ",\"args\":{\"task\":" << e.task << "}}";
+    open_[worker] = e.task;
+}
+
+void chrome_sink::end_slice(std::uint32_t worker, std::uint64_t t_ns)
+{
+    auto const it = open_.find(worker);
+    if (it == open_.end() || it->second == 0)
+        return;
+    out_ << ",\n{\"ph\":\"E\",\"pid\":0,\"tid\":" << worker_tid(worker)
+         << ",\"ts\":" << chrome_ts(t_ns) << "}";
+    it->second = 0;
+}
+
+void chrome_sink::consume(event const& e)
+{
+    if (!out_ || closed_)
+        return;
+    switch (static_cast<event_kind>(e.kind))
+    {
+    case event_kind::begin:
+        // A lost end (detail filtering, drops) leaves a slice open on
+        // this tid; close it at the new slice's start so B/E stay
+        // balanced per thread.
+        end_slice(e.worker, e.t_ns);
+        begin_slice(e.worker, e);
+        break;
+
+    case event_kind::end:
+    case event_kind::suspend:
+    case event_kind::yield:
+        end_slice(e.worker, e.t_ns);
+        break;
+
+    case event_kind::spawn:
+        out_ << ",\n{\"name\":\"spawn\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                "\"tid\":"
+             << worker_tid(e.worker) << ",\"ts\":" << chrome_ts(e.t_ns)
+             << ",\"args\":{\"task\":" << e.task << ",\"parent\":" << e.aux
+             << "}}";
+        break;
+
+    case event_kind::steal:
+        out_ << ",\n{\"name\":\"steal\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                "\"tid\":"
+             << worker_tid(e.worker) << ",\"ts\":" << chrome_ts(e.t_ns)
+             << ",\"args\":{\"task\":" << e.task << ",\"victim\":" << e.aux
+             << "}}";
+        break;
+
+    case event_kind::resume:
+        out_ << ",\n{\"name\":\"wake\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,"
+                "\"tid\":"
+             << worker_tid(e.worker) << ",\"ts\":" << chrome_ts(e.t_ns)
+             << ",\"args\":{\"task\":" << e.task << ",\"waker\":" << e.aux
+             << "}}";
+        break;
+
+    case event_kind::label:
+    {
+        char const* label = reinterpret_cast<char const*>(
+            static_cast<std::uintptr_t>(e.aux));
+        if (label)
+            labels_[e.task] = label;
+        break;
+    }
+    }
+}
+
+void chrome_sink::close()
+{
+    if (!out_ || closed_)
+        return;
+    closed_ = true;
+    out_ << "\n]}\n";
+    out_.close();
+}
+
+// --------------------------------------------------------- memory_sink
+
+void memory_sink::consume(event const& e)
+{
+    event copy = e;
+    if (static_cast<event_kind>(e.kind) == event_kind::label && e.aux != 0)
+    {
+        auto const [it, inserted] =
+            interned_.try_emplace(e.aux, data_.strings.size());
+        if (inserted)
+            data_.strings.emplace_back(reinterpret_cast<char const*>(
+                static_cast<std::uintptr_t>(e.aux)));
+        copy.aux = it->second;
+    }
+    data_.events.push_back(copy);
+}
+
+}    // namespace minihpx::trace

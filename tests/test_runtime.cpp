@@ -493,6 +493,55 @@ TEST_P(RuntimeTest, InTaskDetection)
     EXPECT_TRUE(f.get());
 }
 
+TEST_P(RuntimeTest, ThisTaskIdentityInsideTask)
+{
+    EXPECT_EQ(this_task::get_id(), threads::invalid_thread_id);
+    EXPECT_EQ(this_task::worker_id(), scheduler::npos_worker);
+
+    auto f = async([] {
+        EXPECT_NE(this_task::get_id(), threads::invalid_thread_id);
+        EXPECT_NE(this_task::worker_id(), scheduler::npos_worker);
+        // Identity is stable across a yield (even if the task migrates
+        // to a different worker, its id does not change).
+        auto const id = this_task::get_id();
+        this_task::yield();
+        EXPECT_EQ(this_task::get_id(), id);
+        return id;
+    });
+    EXPECT_NE(f.get(), threads::invalid_thread_id);
+}
+
+TEST_P(RuntimeTest, ParentIdLinksSpawnTree)
+{
+    // Spawned from the main (non-task) thread: no parent.
+    EXPECT_EQ(this_task::parent_id(), threads::invalid_thread_id);
+    auto root = async([] {
+        EXPECT_EQ(this_task::parent_id(), threads::invalid_thread_id);
+        auto const my_id = this_task::get_id();
+        auto child = async([my_id] {
+            // The child's parent edge is the task that called async().
+            EXPECT_EQ(this_task::parent_id(), my_id);
+            auto grandchild =
+                async([] { return this_task::parent_id(); });
+            EXPECT_EQ(grandchild.get(), this_task::get_id());
+            return true;
+        });
+        return child.get();
+    });
+    EXPECT_TRUE(root.get());
+}
+
+TEST_P(RuntimeTest, AnnotateOffTraceIsNoOp)
+{
+    // With no trace session installed, annotate must be safe anywhere.
+    this_task::annotate("off-task");
+    auto f = async([] {
+        this_task::annotate("in-task");
+        return 1;
+    });
+    EXPECT_EQ(f.get(), 1);
+}
+
 TEST(RuntimeConfig, FromCliParsesOptions)
 {
     char const* argv[] = {"prog", "--mh:threads=3", "--mh:stack-size=131072",

@@ -1,0 +1,584 @@
+// minihpx::trace tests: ring/recorder mechanics, the binary format,
+// live recording on the real runtime, deterministic sim traces, and
+// the analysis layer (critical path, what-if) against hand-checkable
+// DAGs scheduled by the simulator.
+#include <minihpx/minihpx.hpp>
+#include <minihpx/perf/perf.hpp>
+#include <minihpx/sim/engine.hpp>
+#include <minihpx/sim/simulator.hpp>
+#include <minihpx/this_task.hpp>
+#include <minihpx/trace/trace.hpp>
+#include <minihpx/util/spsc_ring.hpp>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace minihpx;
+
+namespace {
+
+trace::event make_event(trace::event_kind kind, std::uint64_t t,
+    std::uint64_t task, std::uint64_t aux = 0, std::uint32_t worker = 0)
+{
+    trace::event e{};
+    e.t_ns = t;
+    e.task = task;
+    e.aux = aux;
+    e.worker = worker;
+    e.kind = static_cast<std::uint16_t>(kind);
+    return e;
+}
+
+std::vector<trace::event> drain_lane(trace::recorder& r, std::uint32_t lane)
+{
+    std::vector<trace::event> out;
+    r.drain(lane, [&](trace::event const& e) { out.push_back(e); });
+    return out;
+}
+
+}    // namespace
+
+// ---------------------------------------------------------------- ring
+
+TEST(SpscRing, FifoOrderAndCounts)
+{
+    util::spsc_ring<int> ring(4);
+    EXPECT_TRUE(ring.push(1));
+    EXPECT_TRUE(ring.push(2));
+    EXPECT_TRUE(ring.push(3));
+    EXPECT_EQ(ring.size(), 3u);
+
+    int v = 0;
+    EXPECT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 3);
+    EXPECT_FALSE(ring.pop(v));
+    EXPECT_EQ(ring.pushed(), 3u);
+    EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SpscRing, DropsAndCountsWhenFull)
+{
+    util::spsc_ring<int> ring(2);
+    EXPECT_TRUE(ring.push(1));
+    EXPECT_TRUE(ring.push(2));
+    EXPECT_TRUE(ring.full());
+    EXPECT_FALSE(ring.push(3));    // dropped, not overwritten
+    EXPECT_EQ(ring.dropped(), 1u);
+
+    int v = 0;
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(ring.push(4));    // slot freed
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 2);
+    ASSERT_TRUE(ring.pop(v));
+    EXPECT_EQ(v, 4);
+}
+
+// ------------------------------------------------------------ recorder
+
+TEST(Recorder, EmitDrainRoundTrip)
+{
+    trace::recorder rec(2, 64, trace::detail_level::verbose);
+    EXPECT_EQ(rec.worker_lanes(), 2u);
+    EXPECT_EQ(rec.lanes(), 3u);    // + external lane
+
+    rec.emit(0, make_event(trace::event_kind::spawn, 10, 1));
+    rec.emit(0, make_event(trace::event_kind::begin, 20, 1));
+    rec.emit(1, make_event(trace::event_kind::steal, 15, 1, 0, 1));
+    rec.emit_external(make_event(trace::event_kind::resume, 30, 1, 0));
+
+    auto const lane0 = drain_lane(rec, 0);
+    ASSERT_EQ(lane0.size(), 2u);
+    EXPECT_EQ(lane0[0].kind,
+        static_cast<std::uint16_t>(trace::event_kind::spawn));
+    EXPECT_EQ(lane0[1].t_ns, 20u);
+    EXPECT_EQ(drain_lane(rec, 1).size(), 1u);
+
+    auto const ext = drain_lane(rec, 2);
+    ASSERT_EQ(ext.size(), 1u);
+    EXPECT_EQ(ext[0].worker, trace::external_worker);
+
+    EXPECT_EQ(rec.events_recorded(), 4u);
+    EXPECT_EQ(rec.events_dropped(), 0u);
+    EXPECT_EQ(rec.tasks_spawned(), 1u);
+}
+
+TEST(Recorder, DetailMaskFilters)
+{
+    // tasks detail keeps the task lifecycle, drops scheduler noise.
+    trace::recorder rec(1, 64, trace::detail_level::tasks);
+    EXPECT_TRUE(rec.wants(trace::event_kind::spawn));
+    EXPECT_TRUE(rec.wants(trace::event_kind::begin));
+    EXPECT_TRUE(rec.wants(trace::event_kind::end));
+    EXPECT_TRUE(rec.wants(trace::event_kind::label));
+    EXPECT_FALSE(rec.wants(trace::event_kind::steal));
+    EXPECT_FALSE(rec.wants(trace::event_kind::yield));
+
+    rec.emit(0, make_event(trace::event_kind::begin, 1, 1));
+    rec.emit(0, make_event(trace::event_kind::steal, 2, 1));
+    rec.emit(0, make_event(trace::event_kind::yield, 3, 1));
+    EXPECT_EQ(drain_lane(rec, 0).size(), 1u);
+
+    // sched (the default) adds suspend/resume/steal but not yield.
+    trace::recorder sched(1, 64, trace::detail_level::sched);
+    EXPECT_TRUE(sched.wants(trace::event_kind::steal));
+    EXPECT_TRUE(sched.wants(trace::event_kind::suspend));
+    EXPECT_FALSE(sched.wants(trace::event_kind::yield));
+}
+
+TEST(Recorder, DropCountingWhenLaneFull)
+{
+    trace::recorder rec(1, 4, trace::detail_level::verbose);
+    for (int i = 0; i < 10; ++i)
+        rec.emit(0, make_event(trace::event_kind::begin, i, 1));
+    EXPECT_EQ(rec.events_recorded(), 4u);
+    EXPECT_EQ(rec.events_dropped(), 6u);
+}
+
+TEST(Recorder, OverflowHandlerPreemptsDrop)
+{
+    trace::recorder rec(1, 4, trace::detail_level::verbose);
+    std::vector<trace::event> spill;
+    rec.set_overflow_handler([&] {
+        rec.drain(0, [&](trace::event const& e) { spill.push_back(e); });
+    });
+    for (int i = 0; i < 100; ++i)
+        rec.emit(0, make_event(trace::event_kind::begin, i, 1));
+    rec.drain(0, [&](trace::event const& e) { spill.push_back(e); });
+    EXPECT_EQ(spill.size(), 100u);
+    EXPECT_EQ(rec.events_dropped(), 0u);
+}
+
+// ------------------------------------------------------ binary format
+
+TEST(Format, MhtraceRoundTrip)
+{
+    static char const label_a[] = "alpha";
+    static char const label_b[] = "beta";
+
+    std::vector<trace::event> events = {
+        make_event(trace::event_kind::spawn, 100, 1, 0, 0),
+        make_event(trace::event_kind::begin, 200, 1, 0, 0),
+        make_event(trace::event_kind::label, 210, 1,
+            reinterpret_cast<std::uintptr_t>(label_a), 0),
+        make_event(trace::event_kind::spawn, 300, 2, 1, 0),
+        make_event(trace::event_kind::label, 310, 2,
+            reinterpret_cast<std::uintptr_t>(label_b), 1),
+        make_event(trace::event_kind::label, 320, 1,
+            reinterpret_cast<std::uintptr_t>(label_a), 0),    // re-interned
+        make_event(trace::event_kind::end, 400, 1, 0, 0),
+    };
+
+    std::ostringstream out;
+    {
+        trace::mhtrace_writer writer(out, trace::clock_kind::virtual_);
+        for (auto const& e : events)
+            writer.write(e);
+        EXPECT_EQ(writer.events_written(), events.size());
+    }
+
+    std::istringstream in(out.str());
+    trace::trace_data data;
+    std::string error;
+    ASSERT_TRUE(trace::load_mhtrace(in, data, &error)) << error;
+    EXPECT_EQ(data.clock, trace::clock_kind::virtual_);
+    ASSERT_EQ(data.events.size(), events.size());
+
+    for (std::size_t i = 0; i < events.size(); ++i)
+    {
+        EXPECT_EQ(data.events[i].t_ns, events[i].t_ns);
+        EXPECT_EQ(data.events[i].kind, events[i].kind);
+        EXPECT_EQ(data.events[i].task, events[i].task);
+        EXPECT_EQ(data.events[i].worker, events[i].worker);
+    }
+    // Labels were interned: same pointer -> same string id.
+    EXPECT_STREQ(data.label(data.events[2].aux), "alpha");
+    EXPECT_STREQ(data.label(data.events[4].aux), "beta");
+    EXPECT_EQ(data.events[2].aux, data.events[5].aux);
+    // Non-label aux passes through untouched.
+    EXPECT_EQ(data.events[3].aux, 1u);
+}
+
+TEST(Format, LoaderRejectsGarbage)
+{
+    trace::trace_data data;
+    std::string error;
+
+    std::istringstream bad_magic("NOTTRACE rest");
+    EXPECT_FALSE(trace::load_mhtrace(bad_magic, data, &error));
+    EXPECT_FALSE(error.empty());
+
+    std::ostringstream out;
+    trace::mhtrace_writer writer(out, trace::clock_kind::steady);
+    writer.write(make_event(trace::event_kind::begin, 1, 1));
+    writer.flush();
+    std::string bytes = out.str();
+    bytes.resize(bytes.size() - 3);    // truncate mid-record
+    std::istringstream truncated(bytes);
+    EXPECT_FALSE(trace::load_mhtrace(truncated, data, &error));
+}
+
+// ----------------------------------------------- sinks (chrome, memory)
+
+TEST(Sinks, ChromeJsonShapeAndBalance)
+{
+    static char const label[] = "worker-task";
+    std::string const path = ::testing::TempDir() + "trace_chrome.json";
+    {
+        trace::chrome_sink sink(path);
+        ASSERT_TRUE(sink.ok());
+        sink.consume(make_event(trace::event_kind::spawn, 500, 7, 0, 0));
+        sink.consume(make_event(trace::event_kind::label, 900, 7,
+            reinterpret_cast<std::uintptr_t>(label), 1));
+        sink.consume(make_event(trace::event_kind::begin, 1000, 7, 0, 1));
+        sink.consume(make_event(trace::event_kind::suspend, 2500, 7, 0, 1));
+        sink.consume(make_event(trace::event_kind::resume, 3000, 7, 9, 0));
+        sink.consume(make_event(trace::event_kind::begin, 3500, 7, 0, 0));
+        sink.consume(make_event(trace::event_kind::end, 4000, 7, 0, 0));
+        sink.close();
+    }
+
+    std::ifstream in(path);
+    std::string const text((std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(text.find("\"worker-task\""), std::string::npos);
+
+    auto count = [&](char const* needle) {
+        std::size_t n = 0;
+        for (std::size_t pos = 0;
+            (pos = text.find(needle, pos)) != std::string::npos; ++pos)
+            ++n;
+        return n;
+    };
+    // Two slices -> balanced B/E pairs; spawn + resume instants.
+    EXPECT_EQ(count("\"ph\":\"B\""), 2u);
+    EXPECT_EQ(count("\"ph\":\"E\""), 2u);
+    EXPECT_EQ(count("\"ph\":\"i\""), 2u);
+    // 1000 ns -> "1.000" microseconds.
+    EXPECT_NE(text.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(Sinks, MemorySinkInternsLabels)
+{
+    static char const label[] = "interned";
+    trace::memory_sink sink(trace::clock_kind::steady);
+    sink.consume(make_event(trace::event_kind::label, 1, 1,
+        reinterpret_cast<std::uintptr_t>(label)));
+    sink.consume(make_event(trace::event_kind::label, 2, 2,
+        reinterpret_cast<std::uintptr_t>(label)));
+    auto const& data = sink.data();
+    ASSERT_EQ(data.events.size(), 2u);
+    EXPECT_EQ(data.events[0].aux, data.events[1].aux);
+    EXPECT_STREQ(data.label(data.events[0].aux), "interned");
+}
+
+// ----------------------------------------------- live runtime recording
+
+namespace {
+
+int traced_fib(int n)
+{
+    if (n < 2)
+        return n;
+    this_task::annotate("fib");
+    auto left = async([n] { return traced_fib(n - 1); });
+    int const right = traced_fib(n - 2);
+    return left.get() + right;
+}
+
+}    // namespace
+
+TEST(LiveTrace, RecordsConsistentTaskGraph)
+{
+    runtime_config config;
+    config.sched.num_workers = 2;
+    runtime rt(config);
+
+    perf::counter_registry registry;
+    trace::trace_options options;
+    options.enabled = true;
+    options.destination = "";    // memory sink only
+    options.detail = trace::detail_level::sched;
+    options.autostart = false;
+    trace::session session(registry, options);
+    ASSERT_TRUE(session.active());
+
+    auto memory = std::make_shared<trace::memory_sink>(
+        trace::clock_kind::steady);
+    session.add_sink(memory);
+    session.start();
+
+    EXPECT_EQ(async([] { return traced_fib(12); }).get(), 144);
+    session.stop();
+
+    EXPECT_EQ(session.events_dropped(), 0u);
+    EXPECT_GT(session.tasks_spawned(), 100u);
+
+    auto const& data = memory->data();
+    trace::analysis_result const r = trace::analyze(data);
+    EXPECT_EQ(r.events, data.events.size());
+    EXPECT_GT(r.tasks, 100u);
+    EXPECT_GT(r.work_ns, 0u);
+    EXPECT_GT(r.span_ns, 0u);
+    EXPECT_GE(r.work_ns, r.span_ns);
+    EXPECT_GE(r.parallelism, 1.0);
+    EXPECT_FALSE(r.critical_path.empty());
+
+    // Every spawn's parent is itself a traced task (the one root task
+    // spawned from the main thread excepted), and every begin/end
+    // belongs to a spawned task: the graph is closed.
+    std::set<std::uint64_t> spawned;
+    for (auto const& e : data.events)
+        if (static_cast<trace::event_kind>(e.kind) ==
+            trace::event_kind::spawn)
+            spawned.insert(e.task);
+    std::size_t external_spawns = 0;
+    for (auto const& e : data.events)
+    {
+        auto const kind = static_cast<trace::event_kind>(e.kind);
+        if (kind == trace::event_kind::spawn && e.aux != 0)
+            EXPECT_TRUE(spawned.count(e.aux)) << "orphan parent " << e.aux;
+        if (kind == trace::event_kind::spawn && e.aux == 0)
+            ++external_spawns;
+        if (kind == trace::event_kind::begin ||
+            kind == trace::event_kind::end)
+            EXPECT_TRUE(spawned.count(e.task)) << "unspawned task";
+    }
+    EXPECT_GE(external_spawns, 1u);    // the async() from this thread
+
+    // The fib labels made it through to the critical path machinery.
+    bool labelled = false;
+    for (auto const& s : data.strings)
+        labelled |= s == "fib";
+    EXPECT_TRUE(labelled);
+}
+
+TEST(LiveTrace, CountersRegisteredAndSane)
+{
+    runtime_config config;
+    config.sched.num_workers = 2;
+    runtime rt(config);
+
+    perf::counter_registry registry;
+    trace::trace_options options;
+    options.enabled = true;
+    options.destination = "";
+    trace::session session(registry, options);
+    ASSERT_TRUE(session.active());
+
+    EXPECT_EQ(async([] { return traced_fib(10); }).get(), 55);
+
+    perf::active_counters counters(registry,
+        {"/trace{locality#0/total}/tasks/spawned",
+            "/trace{locality#0/total}/events/recorded",
+            "/trace{locality#0/total}/events/dropped",
+            "/trace{locality#0/total}/overhead-pct"});
+    ASSERT_TRUE(counters.errors().empty())
+        << counters.errors().front();
+    ASSERT_EQ(counters.size(), 4u);
+
+    auto const values = counters.evaluate();
+    EXPECT_GT(values[0].value.get(), 0.0);    // tasks spawned
+    EXPECT_GT(values[1].value.get(), 0.0);    // events recorded
+    EXPECT_EQ(values[2].value.get(), 0.0);    // no drops
+    EXPECT_GE(values[3].value.get(), 0.0);    // overhead estimate
+    EXPECT_LT(values[3].value.get(), 100.0);
+
+    session.stop();
+    // stop() unregisters the /trace types.
+    perf::active_counters after(
+        registry, {"/trace{locality#0/total}/tasks/spawned"});
+    EXPECT_FALSE(after.errors().empty());
+}
+
+// --------------------------------------------------------- sim tracing
+
+namespace {
+
+// slow chain: 3 dependent 300 us tasks; fast sibling: one 50 us task.
+// The critical path must run through the slow chain, and the span must
+// match the work of that chain (the sim schedules it exactly).
+void chain_dag()
+{
+    auto slow = sim::sim_engine::async([] {
+        sim::sim_engine::trace_label("slow");
+        sim::sim_engine::annotate_work({.cpu_ns = 300'000});
+        auto inner = sim::sim_engine::async([] {
+            sim::sim_engine::trace_label("slow");
+            sim::sim_engine::annotate_work({.cpu_ns = 300'000});
+            auto leaf = sim::sim_engine::async([] {
+                sim::sim_engine::trace_label("slow");
+                sim::sim_engine::annotate_work({.cpu_ns = 300'000});
+            });
+            leaf.get();
+        });
+        inner.get();
+    });
+    auto fast = sim::sim_engine::async([] {
+        sim::sim_engine::trace_label("fast");
+        sim::sim_engine::annotate_work({.cpu_ns = 50'000});
+    });
+    fast.get();
+    slow.get();
+}
+
+trace::trace_data record_sim(std::function<void()> const& body,
+    unsigned cores, std::uint64_t hot_ns = 0)
+{
+    sim::sim_config config;
+    config.cores = cores;
+    sim::simulator sim(config);
+
+    trace::trace_options options;
+    options.enabled = true;
+    options.destination = "";
+    options.ring_capacity = 256;    // force inline overflow drains
+    trace::sim_session session(sim, options);
+    auto memory = std::make_shared<trace::memory_sink>(
+        trace::clock_kind::virtual_);
+    session.add_sink(memory);
+
+    (void) hot_ns;
+    auto const report = sim.run(body);
+    EXPECT_FALSE(report.failed) << report.failure_reason;
+    session.finish();
+    EXPECT_EQ(session.get_recorder()->events_dropped(), 0u);
+    return memory->take();
+}
+
+std::string serialize(trace::trace_data const& data)
+{
+    std::ostringstream out;
+    trace::mhtrace_writer writer(out, data.clock);
+    for (auto e : data.events)
+    {
+        // memory_sink interned label pointers to string ids; map back
+        // to stable pointers so the writer can re-intern them.
+        if (static_cast<trace::event_kind>(e.kind) ==
+                trace::event_kind::label &&
+            e.aux < data.strings.size())
+            e.aux = reinterpret_cast<std::uintptr_t>(
+                data.strings[e.aux].c_str());
+        writer.write(e);
+    }
+    writer.flush();
+    return out.str();
+}
+
+}    // namespace
+
+TEST(SimTrace, ByteDeterministicAcrossRuns)
+{
+    auto const a = record_sim(chain_dag, 4);
+    auto const b = record_sim(chain_dag, 4);
+    ASSERT_EQ(a.events.size(), b.events.size());
+    EXPECT_EQ(std::memcmp(a.events.data(), b.events.data(),
+                  a.events.size() * sizeof(trace::event)),
+        0);
+    EXPECT_EQ(serialize(a), serialize(b));
+}
+
+TEST(SimTrace, CriticalPathMatchesHandCheckableDag)
+{
+    trace::trace_data const data = record_sim(chain_dag, 4);
+    trace::analysis_result const r = trace::analyze(data);
+
+    // 5 tasks: root, 3 slow, 1 fast — all retired.
+    EXPECT_EQ(r.tasks, 5u);
+    EXPECT_EQ(r.tasks_ended, 5u);
+
+    // The slow chain is strictly sequential, so the span must cover
+    // its 3 x 300 us of work (plus small sim overheads) and the
+    // makespan must match the span: with 4 cores the chain *is* the
+    // schedule.
+    EXPECT_GE(r.span_ns, 900'000u);
+    EXPECT_LT(r.span_ns, 1'100'000u);
+    EXPECT_GE(r.makespan_ns, r.span_ns);
+    EXPECT_LT(static_cast<double>(r.makespan_ns),
+        1.15 * static_cast<double>(r.span_ns));
+
+    // Work = 3*300 + 50 us + root overhead.
+    EXPECT_GE(r.work_ns, 950'000u);
+    EXPECT_LT(r.work_ns, 1'200'000u);
+
+    // The reported chain runs through all three slow tasks, and never
+    // through the fast sibling.
+    std::size_t slow_steps = 0;
+    for (auto const& step : r.critical_path)
+    {
+        EXPECT_NE(step.label, "fast");
+        slow_steps += step.label == "slow";
+    }
+    EXPECT_EQ(slow_steps, 3u);
+}
+
+TEST(SimTrace, WhatIfProjectionMatchesRerun)
+{
+    // Same DAG, but the slow chain's cost is a parameter: the what-if
+    // projection from the 300 us trace must predict the 150 us rerun.
+    auto dag_with = [](std::uint64_t slow_ns) {
+        return [slow_ns] {
+            auto slow = sim::sim_engine::async([slow_ns] {
+                sim::sim_engine::trace_label("slow");
+                sim::sim_engine::annotate_work({.cpu_ns = slow_ns});
+                auto inner = sim::sim_engine::async([slow_ns] {
+                    sim::sim_engine::trace_label("slow");
+                    sim::sim_engine::annotate_work({.cpu_ns = slow_ns});
+                    auto leaf = sim::sim_engine::async([slow_ns] {
+                        sim::sim_engine::trace_label("slow");
+                        sim::sim_engine::annotate_work({.cpu_ns = slow_ns});
+                    });
+                    leaf.get();
+                });
+                inner.get();
+            });
+            auto fast = sim::sim_engine::async([] {
+                sim::sim_engine::trace_label("fast");
+                sim::sim_engine::annotate_work({.cpu_ns = 50'000});
+            });
+            fast.get();
+            slow.get();
+        };
+    };
+
+    trace::trace_data const base = record_sim(dag_with(300'000), 4);
+    trace::whatif_result const w =
+        trace::project_whatif(base, "slow", 2.0);
+    EXPECT_EQ(w.matched_tasks, 3u);
+    EXPECT_GT(w.projected_speedup, 1.0);
+
+    trace::trace_data const rerun = record_sim(dag_with(150'000), 4);
+    trace::analysis_result const actual = trace::analyze(rerun);
+
+    // Both the projection and the rerun are span-dominated; they agree
+    // within tolerance (the projection cannot rescale the sim's fixed
+    // per-task overheads, hence the slack).
+    double const projected =
+        static_cast<double>(w.projected_makespan_ns);
+    double const observed = static_cast<double>(actual.makespan_ns);
+    EXPECT_GT(projected, 0.8 * observed);
+    EXPECT_LT(projected, 1.2 * observed);
+}
+
+TEST(SimTrace, AnalysisRequiresNoFileSystem)
+{
+    // memory-only round trip: record, analyze, project — no disk.
+    trace::trace_data const data = record_sim(chain_dag, 2);
+    EXPECT_GT(trace::analyze(data).events, 0u);
+    EXPECT_GE(trace::project_whatif(data, "slow", 4.0).matched_tasks, 3u);
+}

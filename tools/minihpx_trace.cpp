@@ -1,0 +1,201 @@
+// minihpx-trace: offline analysis of .mhtrace files.
+//
+//   minihpx-trace summary FILE [--bins=N]
+//       work / span / parallelism, worker utilization, critical path
+//   minihpx-trace chrome FILE --out=OUT.json
+//       convert to Chrome trace_event JSON (Perfetto, chrome://tracing)
+//   minihpx-trace whatif FILE --match=LABEL --speedup=K [--workers=P]
+//       project the makespan if tasks whose annotate() label contains
+//       LABEL ran K× faster (Brent bound over the recorded DAG)
+//
+// Exit status: 0 on success, 1 on usage errors or unreadable input.
+#include <minihpx/trace/analysis.hpp>
+#include <minihpx/trace/format.hpp>
+#include <minihpx/trace/sinks.hpp>
+#include <minihpx/util/cli.hpp>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+using namespace minihpx;
+
+namespace {
+
+void print_ns(char const* label, std::uint64_t ns)
+{
+    if (ns >= 10'000'000)
+        std::printf("  %-22s %12.3f ms\n", label,
+            static_cast<double>(ns) / 1e6);
+    else
+        std::printf("  %-22s %12llu ns\n", label,
+            static_cast<unsigned long long>(ns));
+}
+
+int cmd_summary(trace::trace_data const& data, util::cli_args const& args)
+{
+    unsigned const bins =
+        static_cast<unsigned>(args.int_or("bins", 20));
+    trace::analysis_result const r = trace::analyze(data, bins);
+
+    std::printf("clock: %s\n",
+        data.clock == trace::clock_kind::virtual_ ? "virtual (sim)" :
+                                                    "steady");
+    std::printf("  %-22s %12llu\n", "events",
+        static_cast<unsigned long long>(r.events));
+    std::printf("  %-22s %12llu (%llu ended)\n", "tasks",
+        static_cast<unsigned long long>(r.tasks),
+        static_cast<unsigned long long>(r.tasks_ended));
+    std::printf("  %-22s %12llu\n", "steals",
+        static_cast<unsigned long long>(r.steals));
+    print_ns("makespan", r.makespan_ns);
+    print_ns("work (T1)", r.work_ns);
+    print_ns("span (Tinf)", r.span_ns);
+    std::printf("  %-22s %12.2f\n", "parallelism (T1/Tinf)", r.parallelism);
+
+    if (!r.worker_busy.empty())
+    {
+        std::printf("\nworker utilization (busy fraction, %u bins of ",
+            bins);
+        if (r.bin_ns >= 10'000'000)
+            std::printf("%.3f ms):\n", static_cast<double>(r.bin_ns) / 1e6);
+        else
+            std::printf("%llu ns):\n",
+                static_cast<unsigned long long>(r.bin_ns));
+        for (std::size_t w = 0; w < r.worker_busy.size(); ++w)
+        {
+            std::printf("  worker %-3zu %5.1f%%  |", w,
+                100.0 * r.worker_busy[w]);
+            for (double const u : r.utilization[w])
+            {
+                // 0..8 -> ' ', light..full block approximated in ASCII
+                static char const levels[] = " .:-=+*#@";
+                int idx = static_cast<int>(u * 8.0 + 0.5);
+                if (idx < 0)
+                    idx = 0;
+                if (idx > 8)
+                    idx = 8;
+                std::fputc(levels[idx], stdout);
+            }
+            std::printf("|\n");
+        }
+    }
+
+    if (!r.critical_path.empty())
+    {
+        std::printf("\ncritical path (%zu tasks, root first):\n",
+            r.critical_path.size());
+        for (auto const& step : r.critical_path)
+        {
+            std::printf("  task#%-8llu exec %10.3f ms",
+                static_cast<unsigned long long>(step.task),
+                static_cast<double>(step.exec_ns) / 1e6);
+            if (!step.label.empty())
+                std::printf("  [%s]", step.label.c_str());
+            std::printf("\n");
+        }
+    }
+    return 0;
+}
+
+int cmd_chrome(trace::trace_data const& data, util::cli_args const& args)
+{
+    std::string const out = args.value_or("out", "");
+    if (out.empty())
+    {
+        std::fprintf(stderr, "minihpx-trace: chrome needs --out=OUT.json\n");
+        return 1;
+    }
+    trace::chrome_sink sink(out);
+    if (!sink.ok())
+    {
+        std::fprintf(
+            stderr, "minihpx-trace: cannot open '%s'\n", out.c_str());
+        return 1;
+    }
+    for (trace::event e : data.events)
+    {
+        // In a loaded trace the label aux is a string-table index; the
+        // live sink expects a character pointer, so point it back into
+        // the (stable) loaded table.
+        if (static_cast<trace::event_kind>(e.kind) ==
+                trace::event_kind::label &&
+            e.aux < data.strings.size())
+            e.aux = static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(
+                    data.strings[e.aux].c_str()));
+        sink.consume(e);
+    }
+    sink.close();
+    std::printf("wrote %s (%zu events)\n", out.c_str(), data.events.size());
+    return 0;
+}
+
+int cmd_whatif(trace::trace_data const& data, util::cli_args const& args)
+{
+    std::string const match = args.value_or("match", "");
+    double const speedup = args.double_or("speedup", 2.0);
+    unsigned const workers =
+        static_cast<unsigned>(args.int_or("workers", 0));
+    if (match.empty())
+    {
+        std::fprintf(stderr, "minihpx-trace: whatif needs --match=LABEL\n");
+        return 1;
+    }
+
+    trace::whatif_result const w =
+        trace::project_whatif(data, match, speedup, workers);
+    std::printf("what-if: tasks labelled *%s* run %.2fx faster on %u "
+                "workers\n\n",
+        match.c_str(), w.speedup_factor, w.workers);
+    std::printf("  %-22s %12llu (%.3f ms execution)\n", "matched tasks",
+        static_cast<unsigned long long>(w.matched_tasks),
+        static_cast<double>(w.matched_exec_ns) / 1e6);
+    print_ns("baseline makespan", w.baseline_makespan_ns);
+    print_ns("projected makespan", w.projected_makespan_ns);
+    std::printf("  %-22s %12.3fx\n", "projected speedup",
+        w.projected_speedup);
+    if (w.matched_tasks == 0)
+        std::printf("\n(no task labels contain '%s' — annotate tasks with "
+                    "minihpx::this_task::annotate)\n",
+            match.c_str());
+    return 0;
+}
+
+int usage()
+{
+    std::fprintf(stderr,
+        "usage: minihpx-trace summary FILE [--bins=N]\n"
+        "       minihpx-trace chrome  FILE --out=OUT.json\n"
+        "       minihpx-trace whatif  FILE --match=LABEL --speedup=K "
+        "[--workers=P]\n");
+    return 1;
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    util::cli_args const args(argc, argv);
+    if (args.positionals().size() < 2)
+        return usage();
+    std::string const& command = args.positionals()[0];
+    std::string const& file = args.positionals()[1];
+
+    trace::trace_data data;
+    std::string error;
+    if (!trace::load_mhtrace_file(file, data, &error))
+    {
+        std::fprintf(
+            stderr, "minihpx-trace: %s: %s\n", file.c_str(), error.c_str());
+        return 1;
+    }
+
+    if (command == "summary")
+        return cmd_summary(data, args);
+    if (command == "chrome")
+        return cmd_chrome(data, args);
+    if (command == "whatif")
+        return cmd_whatif(data, args);
+    return usage();
+}
