@@ -77,8 +77,10 @@ double best_of(threads::queue_policy policy, unsigned workers,
 
 std::vector<unsigned> workers_from_cli(util::cli_args const& args)
 {
+    // split() returns views into its argument: keep the string alive.
+    std::string const spec = args.value_or("workers", "1,4,16");
     std::vector<unsigned> workers;
-    for (auto part : util::split(args.value_or("workers", "1,4,16"), ','))
+    for (auto part : util::split(spec, ','))
         workers.push_back(static_cast<unsigned>(
             std::strtoul(std::string(part).c_str(), nullptr, 10)));
     return workers;

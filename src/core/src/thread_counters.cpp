@@ -1,5 +1,6 @@
 #include <minihpx/perf/thread_counters.hpp>
 
+#include <minihpx/detail/frame_pool.hpp>
 #include <minihpx/perf/basic_counters.hpp>
 
 #include <fstream>
@@ -141,6 +142,7 @@ namespace {
         "/threads/count/instantaneous/pending",
         "/threads/count/instantaneous/active",
         "/threads/count/instantaneous/suspended",
+        "/threads/count/objects",
         "/threads/time/median",
         "/threadqueue/length",
     };
@@ -149,6 +151,8 @@ namespace {
         "/runtime/uptime",
         "/runtime/memory/resident",
         "/runtime/memory/virtual",
+        "/runtime/memory/frame-recycle-hits",
+        "/runtime/memory/allocations",
         "/runtime/count/tasks-alive",
     };
 
@@ -262,6 +266,46 @@ void register_thread_counters(counter_registry& registry, scheduler& sched)
         registry.register_type(std::move(t));
     }
 
+    // Descriptor objects: per-worker value is that worker's cached
+    // (recyclable) descriptors; total is every descriptor the scheduler
+    // has created and not yet destroyed, cached or in use.
+    {
+        counter_registry::type_info t;
+        t.type_key = "/threads/count/objects";
+        t.kind = counter_kind::raw;
+        t.helptext =
+            "thread descriptor objects (per-worker: cached for reuse; "
+            "total: alive in the scheduler)";
+        t.instance_count = [&sched] {
+            return static_cast<std::uint64_t>(sched.num_workers());
+        };
+        t.create = [&sched](counter_path const& path) -> counter_ptr {
+            value_source source;
+            if (path.instance == "worker-thread" && path.instance_index >= 0 &&
+                path.instance_index <
+                    static_cast<std::int64_t>(sched.num_workers()))
+            {
+                auto const idx = static_cast<unsigned>(path.instance_index);
+                source = [&sched, idx] {
+                    return static_cast<double>(
+                        sched.get_worker(idx).cached_descriptors());
+                };
+            }
+            else if (path.instance == "total")
+            {
+                source = [&sched] {
+                    return static_cast<double>(sched.descriptors_alive());
+                };
+            }
+            if (!source)
+                return nullptr;
+            return std::make_shared<gauge_counter>(
+                make_info(path, counter_kind::raw, "", ""),
+                std::move(source));
+        };
+        registry.register_type(std::move(t));
+    }
+
     register_gauge(registry, "/threads/count/instantaneous/pending", "",
         "tasks currently runnable", [&sched] {
             return static_cast<double>(
@@ -314,6 +358,36 @@ void register_runtime_counters(counter_registry& registry, runtime& rt)
     register_gauge(registry, "/runtime/count/tasks-alive", "",
         "tasks created and not yet terminated", [&rt] {
             return static_cast<double>(rt.get_scheduler().tasks_alive());
+        });
+
+    // Spawn fast-path memory counters. Both are monotonic sums over the
+    // process, so they register as delta counters with a single source
+    // shared by every instance.
+    auto register_runtime_delta = [&registry](std::string key,
+                                      std::string help, value_source source) {
+        counter_registry::type_info t;
+        t.type_key = std::move(key);
+        t.kind = counter_kind::monotonically_increasing;
+        t.helptext = std::move(help);
+        t.create = [source = std::move(source),
+                       kind = t.kind](counter_path const& path) -> counter_ptr {
+            return std::make_shared<delta_counter>(
+                make_info(path, kind, "", ""), source);
+        };
+        registry.register_type(std::move(t));
+    };
+
+    register_runtime_delta("/runtime/memory/frame-recycle-hits",
+        "task-frame allocations served from the recycling pool",
+        [] {
+            return static_cast<double>(detail::frame_pool_totals().cache_hits);
+        });
+    register_runtime_delta("/runtime/memory/allocations",
+        "heap allocations on the spawn path (task frames + descriptors)",
+        [&rt] {
+            return static_cast<double>(
+                detail::frame_pool_totals().allocations +
+                rt.get_scheduler().descriptors_created());
         });
 }
 

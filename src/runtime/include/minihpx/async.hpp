@@ -4,6 +4,16 @@
 // change std::async -> hpx::async. The std semantics are preserved;
 // `fork` is the HPX 0.9.11 addition the paper evaluates: continuation
 // stealing instead of (default) child stealing for strict fork/join.
+//
+// Fast path: the default spawn path places result slot, readiness
+// machinery and the bound closure in ONE pooled block (task_frame),
+// and the scheduler thunk captures a single 8-byte intrusive pointer,
+// which fits unique_function's inline buffer. With warm frame and
+// descriptor caches a spawn/run/complete cycle performs zero heap
+// allocations. The pre-pool behavior (heap shared state + closure
+// spilled by the capture, locked descriptor freelist) is preserved for
+// one release behind scheduler_config::spawn = spawn_path::legacy
+// (--mh:spawn-path=legacy) as the A/B baseline for bench/spawn_latency.
 #pragma once
 
 #include <minihpx/future.hpp>
@@ -12,6 +22,7 @@
 #include <exception>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <tuple>
 #include <type_traits>
 #include <utility>
@@ -29,30 +40,62 @@ enum class launch : std::uint8_t
 namespace detail {
 
     template <typename R, typename F>
-    void run_into_state(std::shared_ptr<shared_state<R>> const& state, F& fn)
+    void run_into_state(shared_state<R>& state, F& fn)
     {
         try
         {
             if constexpr (std::is_void_v<R>)
             {
                 fn();
-                state->set_value();
+                state.set_value();
             }
             else
             {
-                state->set_value(fn());
+                state.set_value(fn());
             }
         }
         catch (...)
         {
-            state->set_exception(std::current_exception());
+            state.set_exception(std::current_exception());
         }
     }
+
+    // Single-block task frame: shared_state<R> (refcount, readiness,
+    // result slot, continuation hook) plus the bound closure, co-located
+    // in one pooled allocation sized at compile time.
+    template <typename R, typename F>
+    class task_frame final : public shared_state<R>
+    {
+    public:
+        explicit task_frame(F&& fn) : fn_(std::move(fn)) {}
+
+        void run() noexcept
+        {
+            run_into_state<R>(*this, *fn_);
+            fn_.reset();    // release captured state eagerly
+        }
+
+    private:
+        void dispose() noexcept override
+        {
+            void* mem = this;
+            this->~task_frame();
+            frame_deallocate(mem, sizeof(task_frame));
+        }
+
+        void run_deferred_body() override { run(); }
+
+        std::optional<F> fn_;
+    };
 
     // The scheduler the calling context should spawn into: the worker's
     // own scheduler if on a worker, otherwise the global runtime's (set
     // by the runtime singleton, see runtime.hpp).
     scheduler& spawn_target();
+
+    // Same lookup, null when no runtime exists (sync/deferred work
+    // without one, but still honor the spawn-path knob when they can).
+    scheduler* spawn_target_ptr() noexcept;
 
 }    // namespace detail
 
@@ -64,52 +107,74 @@ auto async(launch policy, F&& f, Ts&&... ts)
     auto bound = [fn = std::forward<F>(f),
                      args = std::make_tuple(std::forward<Ts>(ts)...)]() mutable
         -> R { return std::apply(std::move(fn), std::move(args)); };
+    using B = decltype(bound);
 
-    auto state = std::make_shared<detail::shared_state<R>>();
-
-    switch (policy)
-    {
-    case launch::sync:
-        detail::run_into_state(state, bound);
-        break;
-
-    case launch::deferred:
-        state->set_deferred([state, b = std::move(bound)]() mutable {
-            detail::run_into_state(state, b);
-        });
-        break;
-
-    case launch::fork:
+    if (policy == launch::async || policy == launch::fork)
     {
         scheduler& sched = detail::spawn_target();
-        sched.spawn(
-            [state, b = std::move(bound)]() mutable {
-                detail::run_into_state(state, b);
-            },
-            "async(fork)", threads::thread_priority::normal,
-            /*front=*/true);
-        // Continuation stealing: the child is at the hot end of our
-        // queue; step aside so it runs next while *we* (the parent
-        // continuation) become stealable at the back.
-        if (scheduler::current_task() &&
-            scheduler::current_scheduler() == &sched)
+        bool const front = policy == launch::fork;
+        char const* const name = front ? "async(fork)" : "async";
+        future<R> result;
+
+        if (sched.config().spawn == scheduler_config::spawn_path::legacy)
         {
-            sched.yield_current(/*to_back=*/true);
+            // A/B baseline: heap state, closure spilled by the capture
+            // when it outgrows the thunk's inline buffer.
+            detail::state_ptr<detail::shared_state<R>> state(
+                new detail::shared_state<R>());
+            sched.spawn(
+                [state, b = std::move(bound)]() mutable {
+                    detail::run_into_state<R>(*state, b);
+                },
+                name, threads::thread_priority::normal, front);
+            result = future<R>(std::move(state));
         }
-        break;
+        else
+        {
+            auto frame =
+                detail::make_pooled_frame<detail::task_frame<R, B>>(
+                    std::move(bound));
+            sched.spawn([p = frame]() mutable { p->run(); }, name,
+                threads::thread_priority::normal, front);
+            result = future<R>(std::move(frame));
+        }
+
+        if (front)
+        {
+            // Continuation stealing: the child is at the hot end of our
+            // queue; step aside so it runs next while *we* (the parent
+            // continuation) become stealable at the back.
+            if (scheduler::current_task() &&
+                scheduler::current_scheduler() == &sched)
+            {
+                sched.yield_current(/*to_back=*/true);
+            }
+        }
+        return result;
     }
 
-    case launch::async:
-    default:
+    // sync / deferred run outside the scheduler. sync honors the legacy
+    // A/B baseline (heap state, as before the frame pool); deferred is
+    // single-block either way — it needs the frame's closure slot.
+    if (policy == launch::sync)
     {
-        scheduler& sched = detail::spawn_target();
-        sched.spawn([state, b = std::move(bound)]() mutable {
-            detail::run_into_state(state, b);
-        });
-        break;
+        if (scheduler* sched = detail::spawn_target_ptr(); sched &&
+            sched->config().spawn == scheduler_config::spawn_path::legacy)
+        {
+            detail::state_ptr<detail::shared_state<R>> state(
+                new detail::shared_state<R>());
+            detail::run_into_state<R>(*state, bound);
+            return future<R>(std::move(state));
+        }
+        auto frame = detail::make_pooled_frame<detail::task_frame<R, B>>(
+            std::move(bound));
+        frame->run();
+        return future<R>(std::move(frame));
     }
-    }
-    return future<R>(std::move(state));
+    auto frame = detail::make_pooled_frame<detail::task_frame<R, B>>(
+        std::move(bound));
+    frame->set_deferred();
+    return future<R>(std::move(frame));
 }
 
 template <typename F, typename... Ts,

@@ -1,0 +1,49 @@
+// Pooled storage for task frames and future shared states.
+//
+// The spawn fast path must not touch the global allocator: a
+// minihpx::async() at Table V granularity (~1 µs of work) would spend
+// a visible fraction of its budget inside malloc, and every worker
+// would contend on the same arena. Frames are therefore carved from a
+// size-classed pool with per-thread caches: allocation pops from the
+// calling thread's cache, falls back to a batch refill from a global
+// list, and only then touches ::operator new. Deallocation pushes to
+// the local cache and batch-spills surplus to the global list, whose
+// high-water trim keeps memory bounded when producers and consumers
+// are different threads.
+//
+// The pool feeds the paper-style object counters
+// /runtime{locality#0/total}/memory/frame-recycle-hits and
+// /runtime{locality#0/total}/memory/allocations (thread_counters.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace minihpx::detail {
+
+// Aggregated over all thread caches (live and exited) + global pool.
+struct frame_pool_stats
+{
+    std::uint64_t cache_hits = 0;      // blocks served without malloc
+    std::uint64_t allocations = 0;     // ::operator new calls
+    std::uint64_t deallocations = 0;   // ::operator delete calls
+    std::uint64_t recycles = 0;        // blocks returned to a cache
+    std::uint64_t cached_blocks = 0;   // blocks currently pooled
+};
+
+// Storage for a frame of `bytes` bytes, aligned for max_align_t.
+// Never returns nullptr (throws std::bad_alloc on exhaustion).
+void* frame_allocate(std::size_t bytes);
+
+// Return a block obtained from frame_allocate. `bytes` must be the
+// size passed to the matching allocate (frames know their dynamic
+// type, so the size is statically available at every release site).
+void frame_deallocate(void* p, std::size_t bytes) noexcept;
+
+frame_pool_stats frame_pool_totals() noexcept;
+
+// Drop every block cached by the calling thread and the global pool
+// back to the OS. Caches refill lazily afterwards.
+void frame_pool_trim() noexcept;
+
+}    // namespace minihpx::detail

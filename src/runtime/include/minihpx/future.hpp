@@ -7,8 +7,19 @@
 // main) fall back to an ad-hoc condition variable. This is the
 // mechanism behind Table II of the paper: the std::future -> hpx::future
 // port is a pure namespace change precisely because the semantics match.
+//
+// Allocation model: shared states carry an intrusive refcount and live
+// in pooled frame storage (detail/frame_pool.hpp), handled through
+// detail::state_ptr — an 8-byte intrusive smart pointer. async() derives
+// task_frame<R, F> from shared_state<R> so result slot, continuation
+// hook and bound closure share one recycled block; a steady-state
+// spawn/run/complete cycle performs zero heap allocations
+// (bench/spawn_latency asserts this). The first continuation is stored
+// in an inline slot, so a single waiter — by far the common case —
+// never grows a vector.
 #pragma once
 
+#include <minihpx/detail/frame_pool.hpp>
 #include <minihpx/runtime/scheduler.hpp>
 #include <minihpx/util/assert.hpp>
 #include <minihpx/util/lock_registry.hpp>
@@ -29,10 +40,109 @@ namespace minihpx {
 
 namespace detail {
 
+    // Intrusive smart pointer over shared_state_base descendants. The
+    // explicit raw-pointer constructor *adopts* the creator reference
+    // (states are born with refcount 1); copies add_ref, destruction
+    // releases. 8 bytes, so closures capturing one stay inside
+    // unique_function's inline buffer.
+    template <typename T>
+    class state_ptr
+    {
+    public:
+        state_ptr() noexcept = default;
+        state_ptr(std::nullptr_t) noexcept {}
+
+        // Adopting: takes over the initial (or an already-counted)
+        // reference without bumping the refcount.
+        explicit state_ptr(T* adopted) noexcept : p_(adopted) {}
+
+        state_ptr(state_ptr const& other) noexcept : p_(other.p_)
+        {
+            if (p_)
+                p_->add_ref();
+        }
+
+        state_ptr(state_ptr&& other) noexcept
+          : p_(std::exchange(other.p_, nullptr))
+        {
+        }
+
+        // Converting copy/move (derived frame -> base state).
+        template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+        state_ptr(state_ptr<U> const& other) noexcept : p_(other.get())
+        {
+            if (p_)
+                p_->add_ref();
+        }
+
+        template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+        state_ptr(state_ptr<U>&& other) noexcept : p_(other.detach())
+        {
+        }
+
+        state_ptr& operator=(state_ptr const& other) noexcept
+        {
+            state_ptr(other).swap(*this);
+            return *this;
+        }
+
+        state_ptr& operator=(state_ptr&& other) noexcept
+        {
+            state_ptr(std::move(other)).swap(*this);
+            return *this;
+        }
+
+        ~state_ptr() { reset(); }
+
+        void reset() noexcept
+        {
+            if (T* p = std::exchange(p_, nullptr))
+                p->release();
+        }
+
+        void swap(state_ptr& other) noexcept { std::swap(p_, other.p_); }
+
+        // Hand the reference over to the caller (no release).
+        T* detach() noexcept { return std::exchange(p_, nullptr); }
+
+        T* get() const noexcept { return p_; }
+        T& operator*() const noexcept { return *p_; }
+        T* operator->() const noexcept { return p_; }
+        explicit operator bool() const noexcept { return p_ != nullptr; }
+
+        friend bool operator==(
+            state_ptr const& a, state_ptr const& b) noexcept
+        {
+            return a.p_ == b.p_;
+        }
+
+    private:
+        T* p_ = nullptr;
+    };
+
     class shared_state_base
     {
     public:
+        shared_state_base() = default;
+        shared_state_base(shared_state_base const&) = delete;
+        shared_state_base& operator=(shared_state_base const&) = delete;
         virtual ~shared_state_base() = default;
+
+        // ---- intrusive lifetime ---------------------------------------
+        void add_ref() noexcept
+        {
+            refs_.fetch_add(1, std::memory_order_relaxed);
+        }
+
+        void release() noexcept
+        {
+            // acq_rel: the last releaser must observe every write made
+            // by threads that dropped their reference earlier.
+            if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                dispose();
+        }
 
         bool is_ready() const
         {
@@ -42,20 +152,12 @@ namespace detail {
 
         void set_exception(std::exception_ptr e)
         {
-            std::vector<util::unique_function<void()>> callbacks;
             {
                 std::lock_guard lock(mutex_);
                 MINIHPX_ASSERT_MSG(!ready_, "shared state satisfied twice");
                 exception_ = std::move(e);
-                // Handoff edge: the exception write is published to any
-                // waiter that observes ready_ (the state lock carries
-                // it; see mark_ready_locked_region for the value case).
-                MINIHPX_ANNOTATE_HAPPENS_BEFORE(this);
-                ready_ = true;
-                callbacks.swap(callbacks_);
             }
-            for (auto& cb : callbacks)
-                cb();
+            mark_ready_locked_region();
         }
 
         // Run `cb` when the state becomes ready; immediately if already.
@@ -66,7 +168,14 @@ namespace detail {
                 std::unique_lock lock(mutex_);
                 if (!ready_)
                 {
-                    callbacks_.emplace_back(std::forward<Callback>(cb));
+                    // Inline slot for the first continuation: one
+                    // waiter per future is the overwhelmingly common
+                    // case and must not allocate.
+                    if (!callback_)
+                        callback_ = std::forward<Callback>(cb);
+                    else
+                        overflow_callbacks_.emplace_back(
+                            std::forward<Callback>(cb));
                     return;
                 }
             }
@@ -105,36 +214,46 @@ namespace detail {
                 std::rethrow_exception(exception_);
         }
 
-        // launch::deferred support: the thunk is run by the first waiter.
-        void set_deferred(util::unique_function<void()> thunk)
+        // launch::deferred support: the first waiter runs
+        // run_deferred_body (overridden by task_frame) inline. The
+        // state holds no self-referencing thunk, so a deferred future
+        // dropped unwaited releases its frame normally.
+        void set_deferred()
         {
             std::lock_guard lock(mutex_);
-            deferred_ = std::move(thunk);
+            deferred_ = true;
         }
 
         bool has_deferred() const
         {
             std::lock_guard lock(mutex_);
-            return static_cast<bool>(deferred_);
+            return deferred_;
         }
 
         void run_deferred()
         {
-            util::unique_function<void()> thunk;
             {
                 std::lock_guard lock(mutex_);
                 if (!deferred_)
                     return;
-                thunk = std::move(deferred_);
-                deferred_.reset();
+                deferred_ = false;
             }
-            thunk();    // satisfies the state via set_value/set_exception
+            run_deferred_body();    // satisfies the state
         }
 
     protected:
+        // Frames override this to return their block to the pool; a
+        // plain heap state (the --mh:spawn-path=legacy A/B baseline)
+        // uses the default.
+        virtual void dispose() noexcept { delete this; }
+
+        // launch::deferred body; only meaningful on task frames.
+        virtual void run_deferred_body() {}
+
         void mark_ready_locked_region()
         {
-            std::vector<util::unique_function<void()>> callbacks;
+            util::unique_function<void()> first;
+            std::vector<util::unique_function<void()>> rest;
             {
                 std::lock_guard lock(mutex_);
                 MINIHPX_ASSERT_MSG(!ready_, "shared state satisfied twice");
@@ -144,20 +263,26 @@ namespace detail {
                 // callback (which runs after the unlock below).
                 MINIHPX_ANNOTATE_HAPPENS_BEFORE(this);
                 ready_ = true;
-                callbacks.swap(callbacks_);
+                first = std::move(callback_);
+                rest.swap(overflow_callbacks_);
             }
-            for (auto& cb : callbacks)
+            if (first)
+                first();
+            for (auto& cb : rest)
                 cb();
         }
 
         mutable util::spinlock mutex_{
             util::lock_rank::future_state, "future-shared-state"};
         bool ready_ = false;
+        bool deferred_ = false;
         std::exception_ptr exception_;
-        std::vector<util::unique_function<void()>> callbacks_;
-        util::unique_function<void()> deferred_;
+        util::unique_function<void()> callback_;
+        std::vector<util::unique_function<void()>> overflow_callbacks_;
 
     private:
+        std::atomic<std::uint32_t> refs_{1};
+
         void wait_on_task(scheduler& sched)
         {
             while (!is_ready())
@@ -168,11 +293,19 @@ namespace detail {
                     {
                         std::lock_guard lock(mutex_);
                         if (ready_)
+                        {
                             run_now = true;
+                        }
                         else
-                            callbacks_.emplace_back([&sched, self] {
+                        {
+                            auto resume_cb = [&sched, self] {
                                 sched.resume(self);
-                            });
+                            };
+                            if (!callback_)
+                                callback_ = resume_cb;
+                            else
+                                overflow_callbacks_.emplace_back(resume_cb);
+                        }
                     }
                     if (run_now)
                         sched.resume(self);    // handshake handles the race
@@ -182,27 +315,29 @@ namespace detail {
 
         void wait_on_os_thread()
         {
+            // Stack-resident: the waiter cannot return before `done`
+            // flips, and the notifying callback touches the waiter only
+            // under its mutex — notify_one is issued before the lock is
+            // released, so the waiter cannot destroy `w` mid-notify.
             struct os_waiter
             {
                 std::mutex m;
                 std::condition_variable cv;
                 bool done = false;
             };
-            auto waiter = std::make_shared<os_waiter>();
-            when_ready([waiter] {
-                {
-                    std::lock_guard lock(waiter->m);
-                    waiter->done = true;
-                }
-                waiter->cv.notify_one();
+            os_waiter w;
+            when_ready([&w] {
+                std::lock_guard lock(w.m);
+                w.done = true;
+                w.cv.notify_one();
             });
-            std::unique_lock lock(waiter->m);
-            waiter->cv.wait(lock, [&] { return waiter->done; });
+            std::unique_lock lock(w.m);
+            w.cv.wait(lock, [&] { return w.done; });
         }
     };
 
     template <typename T>
-    class shared_state final : public shared_state_base
+    class shared_state : public shared_state_base
     {
     public:
         template <typename U>
@@ -240,7 +375,7 @@ namespace detail {
     };
 
     template <>
-    class shared_state<void> final : public shared_state_base
+    class shared_state<void> : public shared_state_base
     {
     public:
         void set_value() { mark_ready_locked_region(); }
@@ -254,6 +389,46 @@ namespace detail {
         }
     };
 
+    // Build a pooled frame of concrete type `Frame`, returning the
+    // adopting pointer. Frames must override dispose() to return
+    // exactly sizeof(Frame) bytes (see pooled_state / task_frame).
+    template <typename Frame, typename... Args>
+    state_ptr<Frame> make_pooled_frame(Args&&... args)
+    {
+        void* mem = frame_allocate(sizeof(Frame));
+        Frame* frame;
+        try
+        {
+            frame = ::new (mem) Frame(std::forward<Args>(args)...);
+        }
+        catch (...)
+        {
+            frame_deallocate(mem, sizeof(Frame));
+            throw;
+        }
+        return state_ptr<Frame>(frame);
+    }
+
+    // Plain shared state in pooled storage (promise, make_ready_future,
+    // when_all results).
+    template <typename T>
+    class pooled_state final : public shared_state<T>
+    {
+    private:
+        void dispose() noexcept override
+        {
+            void* mem = this;
+            this->~pooled_state();
+            frame_deallocate(mem, sizeof(pooled_state));
+        }
+    };
+
+    template <typename T>
+    state_ptr<shared_state<T>> make_state()
+    {
+        return make_pooled_frame<pooled_state<T>>();
+    }
+
 }    // namespace detail
 
 template <typename T>
@@ -264,7 +439,7 @@ class future
 {
 public:
     future() noexcept = default;
-    explicit future(std::shared_ptr<detail::shared_state<T>> state) noexcept
+    explicit future(detail::state_ptr<detail::shared_state<T>> state) noexcept
       : state_(std::move(state))
     {
     }
@@ -303,13 +478,13 @@ public:
     template <typename F>
     auto then(F&& f) -> future<std::invoke_result_t<F, future<T>>>;
 
-    std::shared_ptr<detail::shared_state<T>> const& state() const noexcept
+    detail::state_ptr<detail::shared_state<T>> const& state() const noexcept
     {
         return state_;
     }
 
 private:
-    std::shared_ptr<detail::shared_state<T>> state_;
+    detail::state_ptr<detail::shared_state<T>> state_;
 };
 
 template <typename T>
@@ -318,11 +493,16 @@ class shared_future
 public:
     shared_future() noexcept = default;
     explicit shared_future(
-        std::shared_ptr<detail::shared_state<T>> state) noexcept
+        detail::state_ptr<detail::shared_state<T>> state) noexcept
       : state_(std::move(state))
     {
     }
     shared_future(future<T>&& f) noexcept : state_(f.state()) {}
+
+    shared_future(shared_future const&) = default;
+    shared_future& operator=(shared_future const&) = default;
+    shared_future(shared_future&&) noexcept = default;
+    shared_future& operator=(shared_future&&) noexcept = default;
 
     bool valid() const noexcept { return static_cast<bool>(state_); }
     bool is_ready() const { return state_->is_ready(); }
@@ -335,7 +515,7 @@ public:
     }
 
 private:
-    std::shared_ptr<detail::shared_state<T>> state_;
+    detail::state_ptr<detail::shared_state<T>> state_;
 };
 
 template <typename T>
@@ -348,7 +528,7 @@ template <typename T>
 class promise
 {
 public:
-    promise() : state_(std::make_shared<detail::shared_state<T>>()) {}
+    promise() : state_(detail::make_state<T>()) {}
 
     promise(promise&&) noexcept = default;
     promise& operator=(promise&&) noexcept = default;
@@ -373,13 +553,13 @@ public:
         state_->set_exception(std::move(e));
     }
 
-    std::shared_ptr<detail::shared_state<T>> const& state() const noexcept
+    detail::state_ptr<detail::shared_state<T>> const& state() const noexcept
     {
         return state_;
     }
 
 private:
-    std::shared_ptr<detail::shared_state<T>> state_;
+    detail::state_ptr<detail::shared_state<T>> state_;
     bool future_taken_ = false;
 };
 
@@ -387,7 +567,7 @@ template <>
 class promise<void>
 {
 public:
-    promise() : state_(std::make_shared<detail::shared_state<void>>()) {}
+    promise() : state_(detail::make_state<void>()) {}
 
     promise(promise&&) noexcept = default;
     promise& operator=(promise&&) noexcept = default;
@@ -405,13 +585,14 @@ public:
         state_->set_exception(std::move(e));
     }
 
-    std::shared_ptr<detail::shared_state<void>> const& state() const noexcept
+    detail::state_ptr<detail::shared_state<void>> const& state()
+        const noexcept
     {
         return state_;
     }
 
 private:
-    std::shared_ptr<detail::shared_state<void>> state_;
+    detail::state_ptr<detail::shared_state<void>> state_;
     bool future_taken_ = false;
 };
 
@@ -421,10 +602,11 @@ auto future<T>::then(F&& f) -> future<std::invoke_result_t<F, future<T>>>
 {
     using R = std::invoke_result_t<F, future<T>>;
     MINIHPX_ASSERT(valid());
-    auto next = std::make_shared<detail::shared_state<R>>();
+    auto next = detail::make_state<R>();
     auto state = std::move(state_);
-    state->when_ready(
-        [state, next, fn = std::forward<F>(f)]() mutable {
+    auto* raw = state.get();
+    raw->when_ready(
+        [state = std::move(state), next, fn = std::forward<F>(f)]() mutable {
             try
             {
                 if constexpr (std::is_void_v<R>)
@@ -450,14 +632,14 @@ auto future<T>::then(F&& f) -> future<std::invoke_result_t<F, future<T>>>
 template <typename T>
 future<std::decay_t<T>> make_ready_future(T&& value)
 {
-    auto state = std::make_shared<detail::shared_state<std::decay_t<T>>>();
+    auto state = detail::make_state<std::decay_t<T>>();
     state->set_value(std::forward<T>(value));
     return future<std::decay_t<T>>(std::move(state));
 }
 
 inline future<void> make_ready_future()
 {
-    auto state = std::make_shared<detail::shared_state<void>>();
+    auto state = detail::make_state<void>();
     state->set_value();
     return future<void>(std::move(state));
 }
@@ -485,10 +667,9 @@ future<std::vector<future<T>>> when_all(std::vector<future<T>>&& futures)
     {
         std::atomic<std::size_t> remaining;
         std::vector<future<T>> inputs;
-        std::shared_ptr<detail::shared_state<std::vector<future<T>>>> out;
+        detail::state_ptr<detail::shared_state<std::vector<future<T>>>> out;
     };
-    auto out =
-        std::make_shared<detail::shared_state<std::vector<future<T>>>>();
+    auto out = detail::make_state<std::vector<future<T>>>();
     if (futures.empty())
     {
         out->set_value(std::vector<future<T>>{});

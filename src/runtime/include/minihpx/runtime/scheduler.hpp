@@ -53,6 +53,34 @@ struct scheduler_config
     // default; mutex_deque is kept for A/B ablation runs.
     threads::queue_policy queue = threads::queue_policy::chase_lev;
 
+    // Spawn fast path (--mh:spawn-path). pooled_frame is the default:
+    // single-block task frames from the frame pool, per-worker
+    // descriptor caches. legacy reproduces the pre-pool behavior (heap
+    // shared state per async(), every descriptor acquire/recycle
+    // through the locked global freelist) and is kept for one release
+    // as the bench/spawn_latency A/B baseline.
+    enum class spawn_path : std::uint8_t
+    {
+        pooled_frame,
+        legacy,
+    };
+    spawn_path spawn = spawn_path::pooled_frame;
+
+    // Descriptor-cache geometry, validated as a unit. Worker-local
+    // freelists keep acquire/recycle off freelist_lock_ on the owner
+    // path; the global list is trimmed past global_capacity so spawn
+    // bursts do not pin memory forever (mirrors stack_pool::trim).
+    struct cache_params
+    {
+        unsigned worker_capacity = 64;     // cached descriptors per worker
+        unsigned refill_batch = 16;        // taken per global-list visit
+        unsigned global_capacity = 1024;   // high water before trimming
+
+        // nullopt when valid, otherwise a human-readable reason.
+        std::optional<std::string> validate() const;
+    };
+    cache_params descriptor_cache;
+
     // Work-stealing / idle knobs, validated as a unit (--mh:steal-*).
     // Invalid combinations are rejected with a clear error at scheduler
     // construction — never silently clamped.
@@ -131,9 +159,19 @@ namespace detail {
             std::atomic<std::uint64_t> yields{0};
             std::atomic<std::uint64_t> suspensions{0};
             std::atomic<std::uint64_t> wakeups{0};
+            // Descriptors acquired from this worker's local cache
+            // (no freelist_lock_ round-trip).
+            std::atomic<std::uint64_t> descriptor_hits{0};
         };
 
         stats const& get_stats() const noexcept { return *stats_; }
+
+        // Descriptors currently parked in this worker's local cache
+        // (feeds /threads{...worker-thread#N}/count/objects).
+        std::uint64_t cached_descriptors() const noexcept
+        {
+            return cache_count_.load(std::memory_order_relaxed);
+        }
 
     private:
         friend class minihpx::scheduler;
@@ -154,6 +192,12 @@ namespace detail {
 
         threads::thread_data* current_ = nullptr;
         after_switch action_ = after_switch::none;
+
+        // Worker-local descriptor cache (intrusive via thread_data::next).
+        // Owner-only mutation; the count is atomic so counter threads
+        // can read it without a lock.
+        threads::thread_data* cache_head_ = nullptr;
+        std::atomic<std::uint32_t> cache_count_{0};
 
         util::cache_aligned<stats> stats_;
     };
@@ -240,6 +284,28 @@ public:
         return tasks_created_.load(std::memory_order_relaxed);
     }
 
+    // ---- descriptor accounting (object counters, tests) ----------------
+    // Task descriptors ever heap-allocated / freed by the trim.
+    std::uint64_t descriptors_created() const noexcept
+    {
+        return descriptors_created_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t descriptors_destroyed() const noexcept
+    {
+        return descriptors_destroyed_.load(std::memory_order_relaxed);
+    }
+    // Descriptor objects currently alive (in flight or cached); the
+    // /threads{locality#0/total}/count/objects reading.
+    std::uint64_t descriptors_alive() const noexcept
+    {
+        return descriptors_created() - descriptors_destroyed();
+    }
+    // Descriptors parked in the global freelist (excludes worker caches).
+    std::uint64_t descriptors_cached_global() const noexcept
+    {
+        return freelist_count_.load(std::memory_order_relaxed);
+    }
+
     detail::worker const& get_worker(std::uint32_t i) const
     {
         return *workers_[i];
@@ -304,11 +370,18 @@ private:
 
     threads::stack_pool stack_pool_;
 
-    // Descriptor freelist (intrusive via thread_data::next).
+    // Global descriptor freelist (intrusive via thread_data::next).
+    // Touched only when a worker cache over/underflows (batched), from
+    // off-worker spawns, and by the high-water trim; the owner path is
+    // the worker-local cache. Descriptors are owned by these lists:
+    // the destructor frees whatever remains in them (all tasks have
+    // drained by then — stop() joins only after tasks_alive_ is 0).
     util::spinlock freelist_lock_{
         util::lock_rank::sched_freelist, "scheduler-freelist"};
     threads::thread_data* freelist_ = nullptr;
-    std::vector<std::unique_ptr<threads::thread_data>> all_descriptors_;
+    std::atomic<std::uint32_t> freelist_count_{0};
+    std::atomic<std::uint64_t> descriptors_created_{0};
+    std::atomic<std::uint64_t> descriptors_destroyed_{0};
 
     // Emit fast path reads tracer_; the owning/retired pointers keep
     // the recorder alive across uninstall (see set_tracer).
@@ -320,7 +393,6 @@ private:
     std::atomic<std::uint64_t> next_thread_id_{1};
     std::atomic<std::uint64_t> tasks_alive_{0};
     std::atomic<std::uint64_t> tasks_created_{0};
-    std::atomic<std::uint32_t> round_robin_{0};
 
     // Eventcount for idle workers. A waiter captures the epoch, scans
     // the queues, then parks with sleepers_ raised; any schedule() bumps

@@ -175,16 +175,16 @@ public:
     void detach() noexcept { done_.reset(); }
 
 private:
-    std::shared_ptr<detail::shared_state<void>> done_;
+    detail::state_ptr<detail::shared_state<void>> done_;
 };
 
 template <typename F>
 thread::thread(F&& f)
-  : done_(std::make_shared<detail::shared_state<void>>())
+  : done_(detail::make_state<void>())
 {
     detail::spawn_target().spawn(
         [state = done_, fn = std::forward<F>(f)]() mutable {
-            detail::run_into_state(state, fn);
+            detail::run_into_state<void>(*state, fn);
         },
         "thread");
 }

@@ -1,0 +1,344 @@
+#include <minihpx/detail/frame_pool.hpp>
+
+#include <minihpx/util/assert.hpp>
+#include <minihpx/util/spinlock.hpp>
+
+#include <atomic>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace minihpx::detail {
+
+namespace {
+
+    // Size classes cover every state/frame the runtime itself creates;
+    // larger closures fall through to the global allocator (counted as
+    // allocations, so the spawn-latency gate would catch a regression
+    // that pushes the common frames past the largest class).
+    constexpr std::size_t class_sizes[] = {64, 128, 256, 512, 1024};
+    constexpr unsigned num_classes =
+        sizeof(class_sizes) / sizeof(class_sizes[0]);
+    constexpr unsigned oversize = ~0u;
+
+    // Cache geometry. A thread keeps at most local_capacity blocks per
+    // class and moves them in `batch` chunks, so the global lock is
+    // touched once per batch even under full producer/consumer
+    // asymmetry (allocating thread != releasing thread).
+    constexpr unsigned local_capacity = 64;
+    constexpr unsigned batch = 16;
+    // Global high water per class; surplus beyond it is freed.
+    constexpr unsigned global_capacity = 4096;
+
+    unsigned class_for(std::size_t bytes) noexcept
+    {
+        for (unsigned c = 0; c < num_classes; ++c)
+            if (bytes <= class_sizes[c])
+                return c;
+        return oversize;
+    }
+
+    // Freed blocks double as freelist nodes.
+    struct node
+    {
+        node* next;
+    };
+
+    struct cache_counters
+    {
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> allocations{0};
+        std::atomic<std::uint64_t> deallocations{0};
+        std::atomic<std::uint64_t> recycles{0};
+        std::atomic<std::uint64_t> cached{0};
+    };
+
+    struct thread_cache;
+
+    // The global pool is created on first use and intentionally never
+    // destroyed: frames can be released after static destruction has
+    // begun (a future held past runtime teardown), and the cached
+    // blocks stay reachable through this pointer, so leak checkers
+    // treat them as live.
+    struct global_pool
+    {
+        util::spinlock lock;
+        node* free[num_classes] = {};
+        unsigned count[num_classes] = {};
+
+        // Counters of threads that have exited (merged by ~thread_cache)
+        // plus blocks parked in the global lists.
+        cache_counters retired;
+
+        std::mutex caches_mutex;
+        std::vector<thread_cache*> caches;
+    };
+
+    global_pool& pool()
+    {
+        static global_pool* const g = new global_pool;
+        return *g;
+    }
+
+    struct thread_cache
+    {
+        node* free[num_classes] = {};
+        unsigned count[num_classes] = {};
+        cache_counters counters;
+
+        thread_cache()
+        {
+            auto& g = pool();
+            std::lock_guard lock(g.caches_mutex);
+            g.caches.push_back(this);
+        }
+
+        ~thread_cache()
+        {
+            auto& g = pool();
+            // Spill every block, then merge the counters so totals stay
+            // monotonic after this thread is gone.
+            {
+                std::lock_guard lock(g.lock);
+                for (unsigned c = 0; c < num_classes; ++c)
+                {
+                    while (free[c])
+                    {
+                        node* n = free[c];
+                        free[c] = n->next;
+                        n->next = g.free[c];
+                        g.free[c] = n;
+                        ++g.count[c];
+                    }
+                    count[c] = 0;
+                }
+            }
+            auto merge = [](std::atomic<std::uint64_t>& dst,
+                             std::atomic<std::uint64_t> const& src) {
+                dst.fetch_add(src.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+            };
+            merge(g.retired.hits, counters.hits);
+            merge(g.retired.allocations, counters.allocations);
+            merge(g.retired.deallocations, counters.deallocations);
+            merge(g.retired.recycles, counters.recycles);
+            {
+                std::lock_guard lock(g.caches_mutex);
+                std::erase(g.caches, this);
+            }
+        }
+
+        void bump(std::atomic<std::uint64_t>& c) noexcept
+        {
+            // Owner-only write; counter readers load relaxed.
+            c.store(
+                c.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+        }
+
+        void* allocate(unsigned cls)
+        {
+            if (node* n = free[cls])
+            {
+                free[cls] = n->next;
+                --count[cls];
+                bump(counters.hits);
+                counters.cached.store(counters.cached.load(
+                                          std::memory_order_relaxed) -
+                        1,
+                    std::memory_order_relaxed);
+                return n;
+            }
+
+            // Batch refill: one lock round-trip amortized over `batch`
+            // subsequent allocations.
+            auto& g = pool();
+            unsigned taken = 0;
+            {
+                std::lock_guard lock(g.lock);
+                while (g.free[cls] && taken < batch)
+                {
+                    node* n = g.free[cls];
+                    g.free[cls] = n->next;
+                    n->next = free[cls];
+                    free[cls] = n;
+                    ++taken;
+                }
+                g.count[cls] -= taken;
+            }
+            if (taken)
+            {
+                count[cls] += taken;
+                counters.cached.store(counters.cached.load(
+                                          std::memory_order_relaxed) +
+                        taken,
+                    std::memory_order_relaxed);
+                return allocate(cls);    // cache is non-empty now
+            }
+
+            bump(counters.allocations);
+            return ::operator new(class_sizes[cls]);
+        }
+
+        void deallocate(void* p, unsigned cls) noexcept
+        {
+            auto* n = static_cast<node*>(p);
+            n->next = free[cls];
+            free[cls] = n;
+            bump(counters.recycles);
+            counters.cached.store(
+                counters.cached.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+            if (++count[cls] <= local_capacity)
+                return;
+
+            // Spill a batch; trim the global list past its high water.
+            node* chain = nullptr;
+            for (unsigned i = 0; i < batch; ++i)
+            {
+                node* s = free[cls];
+                free[cls] = s->next;
+                s->next = chain;
+                chain = s;
+            }
+            count[cls] -= batch;
+            counters.cached.store(counters.cached.load(
+                                      std::memory_order_relaxed) -
+                    batch,
+                std::memory_order_relaxed);
+
+            auto& g = pool();
+            node* surplus = nullptr;
+            unsigned freed = 0;
+            {
+                std::lock_guard lock(g.lock);
+                while (chain)
+                {
+                    node* s = chain;
+                    chain = s->next;
+                    s->next = g.free[cls];
+                    g.free[cls] = s;
+                    ++g.count[cls];
+                }
+                while (g.count[cls] > global_capacity)
+                {
+                    node* s = g.free[cls];
+                    g.free[cls] = s->next;
+                    s->next = surplus;
+                    surplus = s;
+                    --g.count[cls];
+                    ++freed;
+                }
+            }
+            while (surplus)
+            {
+                node* s = surplus;
+                surplus = s->next;
+                ::operator delete(s);
+            }
+            counters.deallocations.store(
+                counters.deallocations.load(std::memory_order_relaxed) +
+                    freed,
+                std::memory_order_relaxed);
+        }
+    };
+
+    thread_local thread_cache tls_cache;
+
+}    // namespace
+
+void* frame_allocate(std::size_t bytes)
+{
+    unsigned const cls = class_for(bytes);
+    if (cls == oversize)
+    {
+        tls_cache.bump(tls_cache.counters.allocations);
+        return ::operator new(bytes);
+    }
+    return tls_cache.allocate(cls);
+}
+
+void frame_deallocate(void* p, std::size_t bytes) noexcept
+{
+    unsigned const cls = class_for(bytes);
+    if (cls == oversize)
+    {
+        tls_cache.bump(tls_cache.counters.deallocations);
+        ::operator delete(p);
+        return;
+    }
+    tls_cache.deallocate(p, cls);
+}
+
+frame_pool_stats frame_pool_totals() noexcept
+{
+    auto& g = pool();
+    frame_pool_stats total;
+    auto add = [&total](cache_counters const& c) {
+        total.cache_hits += c.hits.load(std::memory_order_relaxed);
+        total.allocations += c.allocations.load(std::memory_order_relaxed);
+        total.deallocations +=
+            c.deallocations.load(std::memory_order_relaxed);
+        total.recycles += c.recycles.load(std::memory_order_relaxed);
+        total.cached_blocks += c.cached.load(std::memory_order_relaxed);
+    };
+    add(g.retired);
+    {
+        std::lock_guard lock(g.caches_mutex);
+        for (thread_cache const* c : g.caches)
+            add(c->counters);
+    }
+    {
+        std::lock_guard lock(g.lock);
+        for (unsigned c = 0; c < num_classes; ++c)
+            total.cached_blocks += g.count[c];
+    }
+    return total;
+}
+
+void frame_pool_trim() noexcept
+{
+    auto& g = pool();
+    auto& t = tls_cache;
+    node* doomed = nullptr;
+    unsigned freed = 0;
+    for (unsigned c = 0; c < num_classes; ++c)
+    {
+        while (t.free[c])
+        {
+            node* n = t.free[c];
+            t.free[c] = n->next;
+            n->next = doomed;
+            doomed = n;
+            ++freed;
+        }
+        t.count[c] = 0;
+    }
+    t.counters.cached.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard lock(g.lock);
+        for (unsigned c = 0; c < num_classes; ++c)
+        {
+            while (g.free[c])
+            {
+                node* n = g.free[c];
+                g.free[c] = n->next;
+                n->next = doomed;
+                doomed = n;
+                ++freed;
+            }
+            g.count[c] = 0;
+        }
+    }
+    while (doomed)
+    {
+        node* n = doomed;
+        doomed = n->next;
+        ::operator delete(n);
+    }
+    t.counters.deallocations.store(
+        t.counters.deallocations.load(std::memory_order_relaxed) + freed,
+        std::memory_order_relaxed);
+}
+
+}    // namespace minihpx::detail

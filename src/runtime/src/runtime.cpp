@@ -68,9 +68,30 @@ runtime_config runtime_config::from_cli(util::cli_args const& args)
             throw std::runtime_error("minihpx: --mh:steal-park=" +
                 std::string(*park) + " — expected 'spin-park' or 'timed'");
     }
+    if (auto sp = args.value("mh:spawn-path"))
+    {
+        if (*sp == "pooled" || *sp == "pooled-frame")
+            config.sched.spawn = scheduler_config::spawn_path::pooled_frame;
+        else if (*sp == "legacy")
+            config.sched.spawn = scheduler_config::spawn_path::legacy;
+        else
+            throw std::runtime_error("minihpx: --mh:spawn-path=" +
+                std::string(*sp) + " — expected 'pooled' or 'legacy'");
+    }
+
+    auto& cache = config.sched.descriptor_cache;
+    cache.worker_capacity = static_cast<unsigned>(
+        args.int_or("mh:descriptor-cache", cache.worker_capacity));
+    cache.refill_batch = static_cast<unsigned>(
+        args.int_or("mh:descriptor-refill", cache.refill_batch));
+    cache.global_capacity = static_cast<unsigned>(
+        args.int_or("mh:descriptor-global", cache.global_capacity));
+
     // Surface bad values here, at the CLI boundary, rather than from
     // deep inside scheduler construction.
     if (auto err = steal.validate())
+        throw std::runtime_error("minihpx: " + *err);
+    if (auto err = cache.validate())
         throw std::runtime_error("minihpx: " + *err);
     return config;
 }
@@ -152,6 +173,15 @@ namespace detail {
         if (scheduler* sched = scheduler::current_scheduler())
             return *sched;
         return runtime::get().get_scheduler();
+    }
+
+    scheduler* spawn_target_ptr() noexcept
+    {
+        if (scheduler* sched = scheduler::current_scheduler())
+            return sched;
+        if (runtime* rt = runtime::get_ptr())
+            return &rt->get_scheduler();
+        return nullptr;
     }
 
 }    // namespace detail

@@ -337,11 +337,33 @@ std::optional<std::string> scheduler_config::steal_params::validate() const
     return std::nullopt;
 }
 
+std::optional<std::string> scheduler_config::cache_params::validate() const
+{
+    if (worker_capacity == 0)
+        return "descriptor-cache must be >= 1 (a worker cache that can "
+               "hold nothing forces every recycle through the global "
+               "lock)";
+    if (refill_batch == 0)
+        return "descriptor-refill must be >= 1 (a refill takes at least "
+               "the descriptor it returns)";
+    if (refill_batch > worker_capacity)
+        return "descriptor-refill must be <= descriptor-cache (a refill "
+               "larger than the cache would immediately spill back)";
+    if (global_capacity < refill_batch)
+        return "descriptor-global must be >= descriptor-refill (the trim "
+               "would race every batch refill)";
+    if (worker_capacity > 1u << 20)
+        return "descriptor-cache must be <= 1048576";
+    return std::nullopt;
+}
+
 scheduler::scheduler(scheduler_config config)
   : config_(config)
   , stack_pool_(config.stack_size)
 {
     if (auto err = config_.steal.validate())
+        throw std::invalid_argument("minihpx scheduler_config: " + *err);
+    if (auto err = config_.descriptor_cache.validate())
         throw std::invalid_argument("minihpx scheduler_config: " + *err);
     if (config_.num_workers == 0)
         config_.num_workers = 1;
@@ -363,6 +385,27 @@ scheduler::~scheduler()
 {
     if (state_.load(std::memory_order_acquire) != run_state::stopped)
         stop();
+    // All tasks have drained (stop() joins only once tasks_alive_ is
+    // zero), so every descriptor sits in the global freelist or a
+    // worker-local cache. Workers are joined: no locks needed.
+    auto free_chain = [this](threads::thread_data* head) {
+        while (head)
+        {
+            threads::thread_data* next = head->next;
+            delete head;
+            descriptors_destroyed_.fetch_add(1, std::memory_order_relaxed);
+            head = next;
+        }
+    };
+    free_chain(freelist_);
+    freelist_ = nullptr;
+    freelist_count_.store(0, std::memory_order_relaxed);
+    for (auto& w : workers_)
+    {
+        free_chain(w->cache_head_);
+        w->cache_head_ = nullptr;
+        w->cache_count_.store(0, std::memory_order_relaxed);
+    }
 }
 
 void scheduler::start()
@@ -559,31 +602,148 @@ void scheduler::task_entry(void* arg)
 
 threads::thread_data* scheduler::acquire_descriptor()
 {
+    detail::worker* const w =
+        tls_worker && &tls_worker->sched_ == this &&
+            config_.spawn != scheduler_config::spawn_path::legacy ?
+        tls_worker :
+        nullptr;
+
+    // Owner fast path: pop the worker-local cache, no lock.
+    if (w && w->cache_head_)
+    {
+        threads::thread_data* task = w->cache_head_;
+        w->cache_head_ = task->next;
+        w->cache_count_.store(
+            w->cache_count_.load(std::memory_order_relaxed) - 1,
+            std::memory_order_relaxed);
+        w->stats_->descriptor_hits.fetch_add(1, std::memory_order_relaxed);
+        return task;
+    }
+
+    // Batch refill: one freelist_lock_ round-trip buys refill_batch
+    // local acquisitions (same amortization as the Chase-Lev steal
+    // batching for run queues).
+    unsigned const want = w ? config_.descriptor_cache.refill_batch : 1;
+    threads::thread_data* chain = nullptr;
+    unsigned taken = 0;
     {
         std::lock_guard lock(freelist_lock_);
-        if (freelist_)
+        while (freelist_ && taken < want)
         {
             threads::thread_data* task = freelist_;
             freelist_ = task->next;
-            return task;
+            task->next = chain;
+            chain = task;
+            ++taken;
         }
+        if (taken)
+            freelist_count_.fetch_sub(taken, std::memory_order_relaxed);
     }
-    auto owned = std::make_unique<threads::thread_data>();
-    threads::thread_data* task = owned.get();
+    if (chain)
     {
-        std::lock_guard lock(freelist_lock_);
-        all_descriptors_.push_back(std::move(owned));
+        threads::thread_data* task = chain;
+        chain = chain->next;
+        if (w && chain)
+        {
+            // Surplus of the batch lands in the local cache.
+            threads::thread_data* tail = chain;
+            while (tail->next)
+                tail = tail->next;
+            tail->next = w->cache_head_;
+            w->cache_head_ = chain;
+            w->cache_count_.store(
+                w->cache_count_.load(std::memory_order_relaxed) +
+                    (taken - 1),
+                std::memory_order_relaxed);
+        }
+        return task;
     }
-    return task;
+
+    descriptors_created_.fetch_add(1, std::memory_order_relaxed);
+    return new threads::thread_data();
 }
 
 void scheduler::recycle_descriptor(threads::thread_data* task)
 {
     // Stack stays attached: the next task reuses it without a pool
     // round-trip (spawn stays allocation-free in steady state).
-    std::lock_guard lock(freelist_lock_);
-    task->next = freelist_;
-    freelist_ = task;
+    detail::worker* const w =
+        tls_worker && &tls_worker->sched_ == this &&
+            config_.spawn != scheduler_config::spawn_path::legacy ?
+        tls_worker :
+        nullptr;
+    auto const& cp = config_.descriptor_cache;
+
+    threads::thread_data* spill_chain = nullptr;
+    unsigned spill = 0;
+    if (w)
+    {
+        // Owner fast path: push the local cache, no lock.
+        task->next = w->cache_head_;
+        w->cache_head_ = task;
+        std::uint32_t const count =
+            w->cache_count_.load(std::memory_order_relaxed) + 1;
+        w->cache_count_.store(count, std::memory_order_relaxed);
+        if (count <= cp.worker_capacity)
+            return;
+
+        // Over capacity: spill half in one batch so a pure consumer
+        // (running tasks spawned elsewhere) hands descriptors back to
+        // the producers instead of hoarding them.
+        spill = cp.worker_capacity / 2 + 1;
+        for (unsigned i = 0; i < spill; ++i)
+        {
+            threads::thread_data* s = w->cache_head_;
+            w->cache_head_ = s->next;
+            s->next = spill_chain;
+            spill_chain = s;
+        }
+        w->cache_count_.store(count - spill, std::memory_order_relaxed);
+    }
+    else
+    {
+        task->next = nullptr;
+        spill_chain = task;
+        spill = 1;
+    }
+
+    // Push the batch globally; trim past the high water so spawn
+    // bursts do not pin descriptor (and attached stack) memory forever.
+    threads::thread_data* doomed = nullptr;
+    unsigned freed = 0;
+    {
+        std::lock_guard lock(freelist_lock_);
+        while (spill_chain)
+        {
+            threads::thread_data* s = spill_chain;
+            spill_chain = s->next;
+            s->next = freelist_;
+            freelist_ = s;
+        }
+        std::uint32_t count =
+            freelist_count_.load(std::memory_order_relaxed) + spill;
+        while (count > cp.global_capacity)
+        {
+            threads::thread_data* s = freelist_;
+            freelist_ = s->next;
+            s->next = doomed;
+            doomed = s;
+            --count;
+            ++freed;
+        }
+        freelist_count_.store(count, std::memory_order_relaxed);
+    }
+    if (freed)
+    {
+        // Deleting unmaps the attached stacks — done outside the lock.
+        while (doomed)
+        {
+            threads::thread_data* s = doomed;
+            doomed = s->next;
+            delete s;
+        }
+        descriptors_destroyed_.fetch_add(freed, std::memory_order_relaxed);
+    }
 }
 
 void scheduler::schedule_task(threads::thread_data* task, bool front)
@@ -598,9 +758,26 @@ void scheduler::schedule_task(threads::thread_data* task, bool front)
     {
         // Cross-thread submission (main thread, foreign worker resume):
         // inject() is the any-thread entry point of both policies.
-        auto const i = round_robin_.fetch_add(1, std::memory_order_relaxed) %
-            workers_.size();
-        workers_[i]->queue_.inject(task, front);
+        // Power-of-two-choices on a thread-local stream replaces the
+        // old process-wide round_robin_ fetch_add, which made every
+        // injecting thread bounce one hot cache line.
+        auto const n = static_cast<std::uint32_t>(workers_.size());
+        std::uint32_t target = 0;
+        if (n > 1)
+        {
+            thread_local std::uint64_t stream = 0;
+            if (stream == 0)
+                stream = 0x9e3779b97f4a7c15ULL ^
+                    reinterpret_cast<std::uintptr_t>(&stream);
+            std::uint64_t const r = util::splitmix64_next(stream);
+            auto const a = static_cast<std::uint32_t>(r % n);
+            auto const b = static_cast<std::uint32_t>((r >> 32) % n);
+            target = workers_[a]->queue().length() <=
+                    workers_[b]->queue().length() ?
+                a :
+                b;
+        }
+        workers_[target]->queue_.inject(task, front);
     }
     wake_one();
 }

@@ -554,6 +554,63 @@ TEST_F(ThreadCounterTest, MemoryCountersPositive)
     EXPECT_GE(vsz->get_value().get(), rss->get_value().get());
 }
 
+TEST_F(ThreadCounterTest, ObjectCountsQueryable)
+{
+    // Total: descriptors alive in the scheduler (cached or running).
+    auto total = registry_.create("/threads{locality#0/total}/count/objects");
+    ASSERT_TRUE(total);
+    std::vector<future<void>> fs;
+    for (int i = 0; i < 32; ++i)
+        fs.push_back(async([] {}));
+    wait_all(fs);
+    drain();
+    auto const v = total->get_value();
+    ASSERT_TRUE(v.valid());
+    EXPECT_GT(v.get(), 0.0);
+
+    // Per-worker: that worker's recycle cache; never exceeds the total.
+    auto p =
+        parse_counter_name("/threads{locality#0/worker-thread#*}/count/objects");
+    ASSERT_TRUE(p.has_value());
+    auto expanded = registry_.expand(*p);
+    ASSERT_EQ(expanded.size(), 2u);
+    double cached = 0;
+    for (auto const& path : expanded)
+    {
+        auto c = registry_.create(path);
+        ASSERT_TRUE(c);
+        cached += c->get_value().get();
+    }
+    EXPECT_LE(cached, total->get_value().get());
+}
+
+TEST_F(ThreadCounterTest, SpawnMemoryCountersTrackFramePool)
+{
+    auto hits = registry_.create(
+        "/runtime{locality#0/total}/memory/frame-recycle-hits");
+    auto allocs =
+        registry_.create("/runtime{locality#0/total}/memory/allocations");
+    ASSERT_TRUE(hits && allocs);
+    hits->reset();
+    allocs->reset();
+    // Churn from inside a producer task so frames and descriptors flow
+    // between worker caches (spawner and recycler are both workers).
+    constexpr int iterations = 512;
+    async([] {
+        for (int i = 0; i < iterations; ++i)
+            async([] {}).get();
+    }).get();
+    drain();
+    auto const h = hits->get_value();
+    auto const a = allocs->get_value();
+    ASSERT_TRUE(h.valid());
+    ASSERT_TRUE(a.valid());
+    EXPECT_GT(h.get(), 0.0);
+    EXPECT_GE(a.get(), 0.0);
+    // Recycling must dominate: far fewer fresh allocations than spawns.
+    EXPECT_LT(a.get(), static_cast<double>(iterations));
+}
+
 TEST_F(ThreadCounterTest, EvaluateAndResetSemantics)
 {
     // The paper's per-sample protocol: evaluate(reset=true) between

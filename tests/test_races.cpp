@@ -210,4 +210,48 @@ TEST(FutureRaces, SharedFutureFanOut)
     }
 }
 
+// Frame and descriptor recycling under cross-worker churn: blocks are
+// allocated on one thread's cache and released on another's, flowing
+// through the global pool in batches. An ABA or ordering bug in the
+// freelists shows up as a torn frame (wrong value delivered) or as a
+// TSan report on the recycled memory. OS threads join the churn so the
+// off-worker acquire/release paths race the worker caches too.
+TEST(PoolRaces, FrameAndDescriptorChurnAcrossCaches)
+{
+    runtime_config config;
+    config.sched.num_workers = 4;
+    config.sched.descriptor_cache.worker_capacity = 8;
+    config.sched.descriptor_cache.refill_batch = 4;
+    config.sched.descriptor_cache.global_capacity = 16;
+    runtime rt(config);
+
+    constexpr int os_threads_n = 3;
+    constexpr int rounds = 30;
+    constexpr int burst = 24;
+
+    std::vector<std::thread> os_threads;
+    os_threads.reserve(os_threads_n);
+    for (int t = 0; t < os_threads_n; ++t)
+    {
+        os_threads.emplace_back([t] {
+            for (int r = 0; r < rounds; ++r)
+            {
+                std::vector<future<int>> fs;
+                fs.reserve(burst);
+                for (int i = 0; i < burst; ++i)
+                    fs.push_back(async([t, r, i] { return t + r + i; }));
+                int expected = 0, got = 0;
+                for (int i = 0; i < burst; ++i)
+                {
+                    expected += t + r + i;
+                    got += fs[static_cast<std::size_t>(i)].get();
+                }
+                EXPECT_EQ(got, expected);
+            }
+        });
+    }
+    for (auto& t : os_threads)
+        t.join();
+}
+
 }    // namespace

@@ -17,6 +17,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -505,6 +506,48 @@ TEST(Discovery, RuntimeCountersExpandPerWorker)
     for (std::size_t i = 0; i < s.schema().width(); ++i)
         EXPECT_NE(s.schema().columns[i].name.find("worker-thread#"),
             std::string::npos);
+}
+
+TEST(Discovery, ObjectAndPoolCountersSampleThroughPipeline)
+{
+    runtime_config rc;
+    rc.sched.num_workers = 2;
+    runtime rt(rc);
+    perf::counter_registry registry;
+    perf::register_all_runtime_counters(registry, rt);
+
+    sampler_config config;
+    config.counter_names = {
+        "/threads{locality#0/worker-thread#*}/count/objects",
+        "/threads{locality#0/total}/count/objects",
+        "/runtime{locality#0/total}/memory/frame-recycle-hits",
+        "/runtime{locality#0/total}/memory/allocations"};
+    sampler s(registry, config);
+    ASSERT_TRUE(s.errors().empty());
+    // Wildcard expands per worker; the three scalars add one column each.
+    EXPECT_EQ(s.schema().width(), 5u);
+
+    for (int i = 0; i < 16; ++i)
+        minihpx::async([] {}).get();
+    while (rt.get_scheduler().tasks_alive() != 0)
+        std::this_thread::yield();
+
+    std::ostringstream csv;
+    s.add_sink(std::make_shared<csv_sink>(csv));
+    s.tick(100);
+    s.stop();
+
+    std::istringstream in(csv.str());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_NE(header.find("/threads{locality#0/total}/count/objects"),
+        std::string::npos);
+    EXPECT_NE(
+        header.find("/runtime{locality#0/total}/memory/frame-recycle-hits"),
+        std::string::npos);
+    ASSERT_TRUE(std::getline(in, row));
+    // t_ns, seq, then 5 counter columns.
+    EXPECT_EQ(std::count(row.begin(), row.end(), ','), 6);
 }
 
 TEST(Discovery, LateRegisteredCounterJoinsRunningSession)
