@@ -1,0 +1,84 @@
+// Atomics policy: the seam that makes the lock-free core checkable.
+//
+// Every hand-rolled concurrent structure in the runtime (Chase-Lev
+// deque, SPSC rings, the eventcount, the frame-pool free list, the
+// spinlock) is a template over an `Atomics` policy supplying the
+// synchronization vocabulary it uses:
+//
+//   Policy::atomic<T>            std::atomic surface (load/store/RMW
+//                                with explicit memory_order arguments)
+//   Policy::nonatomic<T>         plain data published only via atomics;
+//                                a transparent cell in production, a
+//                                race-checked location under the model
+//                                checker (minihpx::mc)
+//   Policy::mutex                BasicLockable + condition-variable
+//   Policy::condition_variable   companion for blocking primitives
+//   Policy::thread_fence(order)  std::atomic_thread_fence
+//   Policy::pause()              spin-loop backoff hint; under mc this
+//                                is a fairness yield, which is what
+//                                keeps spin loops explorable
+//   Policy::yield()              std::this_thread::yield
+//
+// The production instantiation below compiles to exactly the code the
+// structures contained before the seam was introduced: `atomic` IS
+// std::atomic, `nonatomic` is a plain struct around T with trivial
+// inline accessors, and the fence/pause/yield helpers are the same
+// intrinsics, so bench/steal_throughput and bench/spawn_latency gate
+// that the refactor stays free. The checking instantiation lives in
+// src/mc (minihpx::mc::model_atomics_policy) and replaces every one of
+// these with an exhaustively scheduled, weak-memory-modeled double.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace minihpx::util {
+
+// Plain storage for data whose cross-thread visibility is carried by
+// *other* (atomic) operations — ring slots, lock-protected fields. The
+// accessors make the publication protocol explicit at each use site so
+// the model checker can substitute a race-checked cell; here they are
+// trivially inlined unannotated loads/stores.
+template <typename T>
+struct plain_cell
+{
+    T value{};
+
+    plain_cell() = default;
+    explicit plain_cell(T v) : value(v) {}
+
+    T load() const noexcept { return value; }
+    void store(T v) noexcept { value = v; }
+    T& ref() noexcept { return value; }
+    T const& ref() const noexcept { return value; }
+};
+
+struct std_atomics_policy
+{
+    template <typename T>
+    using atomic = std::atomic<T>;
+
+    template <typename T>
+    using nonatomic = plain_cell<T>;
+
+    using mutex = std::mutex;
+    using condition_variable = std::condition_variable;
+
+    static void thread_fence(std::memory_order order) noexcept
+    {
+        std::atomic_thread_fence(order);
+    }
+
+    static void pause() noexcept
+    {
+#if defined(__x86_64__)
+        __builtin_ia32_pause();
+#endif
+    }
+
+    static void yield() { std::this_thread::yield(); }
+};
+
+}    // namespace minihpx::util

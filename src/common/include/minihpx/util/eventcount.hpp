@@ -1,0 +1,156 @@
+// Spin-then-park eventcount: the scheduler's idle/wake protocol,
+// extracted so it is one reusable, model-checkable primitive.
+//
+// Protocol (docs/SCHEDULER.md has the full argument):
+//
+//   waiter:  epoch0 = prepare()            seq_cst epoch load
+//            ... scan for work ...
+//            park(epoch0, cancel)          mutex + sleepers_++ + cv wait
+//                                          until epoch != epoch0 or
+//                                          cancel()
+//   waker:   notify_one()/notify_all()     seq_cst epoch bump, then
+//                                          notify only when sleepers_
+//                                          is non-zero
+//
+// Correctness rests on the seq_cst total order over {epoch_, sleepers_}
+// closing the check-then-park / bump-then-check (Dekker) race: the
+// waiter's sleepers_ increment and epoch re-read in the wait predicate
+// order against the waker's epoch bump and sleepers_ read, so either
+// the waker sees a sleeper (and notifies under the mutex) or the waiter
+// sees the moved epoch (and never blocks). Additionally, a waiter whose
+// prepare() reads a bumped epoch synchronizes-with that bump (seq_cst
+// store/load act as release/acquire), so the work published before the
+// bump is visible to the waiter's scan — that is what makes "scan then
+// park" lossless even though the scan itself reads relaxed state.
+//
+// The template is instantiated over the atomics policy
+// (atomics_policy.hpp): util::eventcount is the production std::atomic/
+// std::mutex/std::condition_variable form; minihpx::mc instantiates
+// model shims and exhaustively checks the lost-wakeup litmus (and
+// proves the notify_bump_relaxed mutant deadlocks).
+#pragma once
+
+#include <minihpx/util/atomics_policy.hpp>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <type_traits>
+
+namespace minihpx::util {
+
+namespace eventcount_mutation {
+
+    inline constexpr unsigned none = 0;
+    // notify_*(): epoch bump seq_cst -> relaxed. Breaks the Dekker pair
+    // — a parking waiter can read the stale epoch while the waker reads
+    // stale sleepers_ == 0, and the wakeup is lost (mc finds the
+    // deadlock).
+    inline constexpr unsigned notify_bump_relaxed = 1;
+
+}    // namespace eventcount_mutation
+
+template <typename Policy = std_atomics_policy,
+    unsigned Mutant = eventcount_mutation::none>
+class basic_eventcount
+{
+    // Only the production policy is noexcept (model fibers unwind via
+    // an exception through these calls).
+    static constexpr bool production =
+        std::is_same_v<Policy, std_atomics_policy>;
+
+    static constexpr std::memory_order notify_bump_order =
+        Mutant == eventcount_mutation::notify_bump_relaxed ?
+        std::memory_order_relaxed :
+        std::memory_order_seq_cst;
+
+public:
+    // Capture the epoch *before* scanning for work: a wake posted any
+    // time afterwards flips the epoch comparison, so it can neither be
+    // missed by the scan nor by the park.
+    std::uint64_t prepare() const noexcept(production)
+    {
+        return epoch_.load(std::memory_order_seq_cst);
+    }
+
+    // Spin-loop re-check; relaxed suffices there because a moved epoch
+    // only short-circuits the (always-safe) park.
+    std::uint64_t epoch(std::memory_order order =
+                            std::memory_order_seq_cst) const
+        noexcept(production)
+    {
+        return epoch_.load(order);
+    }
+
+    // Block until the epoch moves past epoch0 or cancel() holds.
+    // cancel is evaluated under the internal mutex (like a cv
+    // predicate) and must not block.
+    template <typename Cancel>
+    void park(std::uint64_t epoch0, Cancel&& cancel)
+    {
+        std::unique_lock<typename Policy::mutex> lock(mutex_);
+        // seq_cst: must be totally ordered against the waker's epoch
+        // bump (see file comment).
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        cv_.wait(lock, [&] {
+            return epoch_.load(std::memory_order_seq_cst) != epoch0 ||
+                cancel();
+        });
+        // relaxed: only the waker's seq_cst read of a *raised* count
+        // matters; lowering it races nothing (worst case is one
+        // spurious notify under the mutex).
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    // Timed wait (legacy polling mode). Deliberately does not raise
+    // sleepers_: timed waiters wake on their own timeout, and the
+    // notify fast path stays one RMW + one load for everyone else.
+    template <typename Rep, typename Period, typename Cancel>
+    void park_for(std::uint64_t epoch0,
+        std::chrono::duration<Rep, Period> timeout, Cancel&& cancel)
+    {
+        std::unique_lock<typename Policy::mutex> lock(mutex_);
+        cv_.wait_for(lock, timeout, [&] {
+            return epoch_.load(std::memory_order_seq_cst) != epoch0 ||
+                cancel();
+        });
+    }
+
+    void notify_one()
+    {
+        epoch_.fetch_add(1, notify_bump_order);
+        if (sleepers_.load(std::memory_order_seq_cst) == 0)
+            return;    // fast path: nobody parked, the bump alone suffices
+        {
+            // Taking the mutex fences against a waiter between its
+            // predicate check and cv.wait(): either it is not yet inside
+            // the critical section (its predicate will see our bump), or
+            // it has released the mutex inside wait() and the notify
+            // reaches it.
+            std::lock_guard<typename Policy::mutex> lock(mutex_);
+        }
+        cv_.notify_one();
+    }
+
+    void notify_all()
+    {
+        epoch_.fetch_add(1, notify_bump_order);
+        if (sleepers_.load(std::memory_order_seq_cst) == 0)
+            return;
+        {
+            std::lock_guard<typename Policy::mutex> lock(mutex_);
+        }
+        cv_.notify_all();
+    }
+
+private:
+    typename Policy::mutex mutex_;
+    typename Policy::condition_variable cv_;
+    typename Policy::template atomic<std::uint64_t> epoch_{0};
+    typename Policy::template atomic<std::uint32_t> sleepers_{0};
+};
+
+using eventcount = basic_eventcount<>;
+
+}    // namespace minihpx::util

@@ -1,0 +1,86 @@
+// Intrusive reference count for pooled frames and shared states.
+//
+// Extracted from future.hpp's shared_state_base so the protocol is one
+// reusable, model-checkable primitive: minihpx::mc instantiates it over
+// model atomics and exhaustively checks that the final releaser — on
+// every schedule — observes all writes made by threads that dropped
+// their reference earlier, and that no count movement can resurrect a
+// disposed object (tests/test_mc.cpp frame-refcount litmus; the
+// release_relaxed mutant plants the classic stale-read-in-dispose bug
+// and mc reports the data race).
+//
+// Memory orders:
+//   add_ref   relaxed  taking a new reference requires an existing one,
+//                      whose visibility was established when it was
+//                      handed over; the count itself carries no data.
+//   release   acq_rel  release: publishes this thread's writes to the
+//                      object before the count drops; acquire: the
+//                      thread that takes the count to zero observes
+//                      every such publication before dispose() runs.
+#pragma once
+
+#include <minihpx/util/atomics_policy.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace minihpx::util {
+
+namespace refcount_mutation {
+
+    inline constexpr unsigned none = 0;
+    // release(): fetch_sub acq_rel -> relaxed. The disposing thread can
+    // then read the object's payload without a happens-before edge from
+    // the other releasers' writes.
+    inline constexpr unsigned release_relaxed = 1;
+
+}    // namespace refcount_mutation
+
+template <typename Policy = std_atomics_policy,
+    unsigned Mutant = refcount_mutation::none>
+class basic_refcount
+{
+    // Only the production policy is noexcept (model fibers unwind via
+    // an exception through these calls).
+    static constexpr bool production =
+        std::is_same_v<Policy, std_atomics_policy>;
+
+    static constexpr std::memory_order release_order =
+        Mutant == refcount_mutation::release_relaxed ?
+        std::memory_order_relaxed :
+        std::memory_order_acq_rel;
+
+public:
+    // Objects are born with the creator's reference.
+    basic_refcount() noexcept = default;
+
+    void add_ref() noexcept(production)
+    {
+        refs_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Drop one reference; invokes dispose() exactly once, on the
+    // thread whose decrement hits zero.
+    template <typename Dispose>
+    void release(Dispose&& dispose)
+    {
+        if (refs_.fetch_sub(1, release_order) == 1)
+            dispose();
+    }
+
+    // Racy snapshot (tests, object counters).
+    std::uint32_t count(std::memory_order order =
+                            std::memory_order_relaxed) const
+        noexcept(production)
+    {
+        return refs_.load(order);
+    }
+
+private:
+    typename Policy::template atomic<std::uint32_t> refs_{1};
+};
+
+using refcount = basic_refcount<>;
+
+}    // namespace minihpx::util

@@ -5,6 +5,14 @@
 // contention) would dominate the protected work. Satisfies the C++
 // Lockable requirements so it composes with std::lock_guard (CP.20).
 //
+// The lock is a template over the atomics policy (atomics_policy.hpp):
+// util::spinlock is the production instantiation and compiles to
+// exactly the pre-template code; minihpx::mc instantiates the same
+// algorithm over model atomics and exhaustively checks the protocol
+// (mutual exclusion, release→acquire publication of guarded data) —
+// see tests/test_mc.cpp's spinlock litmus and its unlock-relaxed
+// mutant.
+//
 // TSan note: the lock is exactly expressible in C++ atomics — the
 // acquire exchange / release store pair is the synchronization TSan
 // models natively, and the relaxed re-check load in the spin loop never
@@ -13,24 +21,53 @@
 //
 // Debug builds check lock-rank ordering on every blocking acquisition
 // (see util/lock_registry.hpp). Construct with a rank to participate;
-// default-constructed locks are tracked but exempt.
+// default-constructed locks are tracked but exempt. The registry hooks
+// are thread_local-based and only engage for the production policy —
+// model threads are fibers multiplexed on one OS thread, so under mc
+// the chain bookkeeping would be meaningless.
 #pragma once
 
+#include <minihpx/util/atomics_policy.hpp>
 #include <minihpx/util/lock_registry.hpp>
+#include <minihpx/util/thread_annotations.hpp>
 
 #include <atomic>
-#include <thread>
+#include <type_traits>
 
 namespace minihpx::util {
 
-class spinlock
+namespace spinlock_mutation {
+
+    inline constexpr unsigned none = 0;
+    // unlock(): store release -> relaxed. The next acquirer can then
+    // read guarded data from before the previous critical section —
+    // mc reports the data race on the protected location.
+    inline constexpr unsigned unlock_relaxed = 1;
+
+}    // namespace spinlock_mutation
+
+template <typename Policy = std_atomics_policy,
+    unsigned Mutant = spinlock_mutation::none>
+class MINIHPX_CAPABILITY("mutex") basic_spinlock
 {
+    // Production policy: registry hooks engage and operations stay
+    // noexcept. The model policy parks fibers inside these operations
+    // and unwinds them with an exception at execution end, so the
+    // model instantiation must be allowed to throw.
+    static constexpr bool instrumented =
+        std::is_same_v<Policy, std_atomics_policy>;
+
+    static constexpr std::memory_order unlock_order =
+        Mutant == spinlock_mutation::unlock_relaxed ?
+        std::memory_order_relaxed :
+        std::memory_order_release;
+
 public:
-    spinlock() noexcept = default;
+    basic_spinlock() noexcept = default;
 
     // Ranked lock: debug builds enforce that ranks strictly increase
     // along any thread's acquisition chain.
-    explicit spinlock([[maybe_unused]] unsigned rank,
+    explicit basic_spinlock([[maybe_unused]] unsigned rank,
         [[maybe_unused]] char const* name = "spinlock") noexcept
 #if MINIHPX_LOCK_RANKS
       : rank_(rank)
@@ -39,62 +76,93 @@ public:
     {
     }
 
-    spinlock(spinlock const&) = delete;
-    spinlock& operator=(spinlock const&) = delete;
+    basic_spinlock(basic_spinlock const&) = delete;
+    basic_spinlock& operator=(basic_spinlock const&) = delete;
 
-    void lock() noexcept
+    void lock() noexcept(instrumented) MINIHPX_ACQUIRE()
     {
 #if MINIHPX_LOCK_RANKS
-        lock_registry::on_acquire(this, rank_, name_);
+        if constexpr (instrumented)
+            lock_registry::on_acquire(this, rank_, name_);
 #endif
         int spins = 0;
         for (;;)
         {
+            // acquire: pairs with unlock()'s release store — everything
+            // the previous holder wrote is visible once we own the lock.
             if (!locked_.exchange(true, std::memory_order_acquire))
                 return;
             // Test loop: spin on a plain load to keep the line shared.
+            // relaxed is enough — a winner always re-executes the
+            // acquire exchange, so the loop load never publishes.
             while (locked_.load(std::memory_order_relaxed))
             {
                 if (++spins < 64)
                 {
-#if defined(__x86_64__)
-                    __builtin_ia32_pause();
-#endif
+                    Policy::pause();
                 }
                 else
                 {
-                    std::this_thread::yield();
+                    Policy::yield();
                     spins = 0;
                 }
             }
         }
     }
 
-    [[nodiscard]] bool try_lock() noexcept
+    [[nodiscard]] bool try_lock() noexcept(instrumented)
+        MINIHPX_TRY_ACQUIRE(true)
     {
         if (locked_.load(std::memory_order_relaxed) ||
             locked_.exchange(true, std::memory_order_acquire))
             return false;
 #if MINIHPX_LOCK_RANKS
-        lock_registry::on_try_acquire(this, rank_, name_);
+        if constexpr (instrumented)
+            lock_registry::on_try_acquire(this, rank_, name_);
 #endif
         return true;
     }
 
-    void unlock() noexcept
+    void unlock() noexcept(instrumented) MINIHPX_RELEASE()
     {
 #if MINIHPX_LOCK_RANKS
-        lock_registry::on_release(this);
+        if constexpr (instrumented)
+            lock_registry::on_release(this);
 #endif
-        locked_.store(false, std::memory_order_release);
+        // release: publishes the critical section to the next acquire.
+        locked_.store(false, unlock_order);
     }
 
 private:
-    std::atomic<bool> locked_{false};
+    typename Policy::template atomic<bool> locked_{false};
 #if MINIHPX_LOCK_RANKS
     unsigned rank_ = lock_rank::unranked;
     char const* name_ = "spinlock";
 #endif
+};
+
+using spinlock = basic_spinlock<>;
+
+// RAII guard that clang's thread-safety analysis can see through:
+// libstdc++'s std::lock_guard has no scoped-capability annotation, so
+// members GUARDED_BY an annotated lock are guarded through this instead.
+// Identical codegen to std::lock_guard.
+template <typename Mutex>
+class MINIHPX_SCOPED_CAPABILITY annotated_lock_guard
+{
+public:
+    explicit annotated_lock_guard(Mutex& m) MINIHPX_ACQUIRE(m) : mutex_(m)
+    {
+        mutex_.lock();
+    }
+
+    ~annotated_lock_guard() MINIHPX_RELEASE() { mutex_.unlock(); }
+
+    annotated_lock_guard(annotated_lock_guard const&) = delete;
+    annotated_lock_guard& operator=(annotated_lock_guard const&) = delete;
+
+private:
+    Mutex& mutex_;
 };
 
 }    // namespace minihpx::util

@@ -10,9 +10,40 @@
 // or overwriting: observers must never distort the run they observe
 // (the paper's ≲10% overhead budget).
 //
+// Memory-order audit (each ordering is also exhaustively checked by
+// the minihpx::mc SPSC litmus tests, including wraparound at the
+// capacity boundary — see tests/test_mc.cpp):
+//
+//   head_ store (push)    release  publishes the slot write; pairs with
+//                                  the consumer's acquire head load. The
+//                                  push_publish_relaxed mutant weakens
+//                                  it and mc reports the slot data race.
+//   head_ load (pop)      acquire  consumes that edge before the slot
+//                                  read.
+//   tail_ store (pop)     release  returns the slot to the producer;
+//                                  pairs with the producer's acquire
+//                                  tail load on the full-check path. The
+//                                  pop_release_relaxed mutant weakens it
+//                                  and mc reports the overwrite race.
+//   tail_ load (push)     acquire  consumes that edge before reusing a
+//                                  lapped slot.
+//   head_/tail_ (own side) relaxed single-writer counters: each side is
+//                                  the only writer of its own index, so
+//                                  its own reads need no ordering.
+//   dropped_              relaxed  statistics only; never synchronizes.
+//
+// The ring is a template over the atomics policy (atomics_policy.hpp):
+// the default instantiation is production std::atomic code, while
+// minihpx::mc instantiates model atomics and explores every schedule
+// and weak-memory behavior. Slots are Policy::nonatomic cells — plain
+// storage in production, race-checked locations under mc (the data
+// race IS the bug each mutant plants).
+//
 // Used by the trace recorder (src/runtime include tree) for per-worker
 // event lanes; any fixed-record producer/consumer pair can reuse it.
 #pragma once
+
+#include <minihpx/util/atomics_policy.hpp>
 
 #include <atomic>
 #include <cstdint>
@@ -22,12 +53,42 @@
 
 namespace minihpx::util {
 
-template <typename T>
+// Compile-time-gated fence-weakening mutants for the mc mutation-
+// validation suite (tests/test_mc_mutations): each named constant
+// weakens exactly one ordering; 0 is the production instantiation.
+namespace spsc_mutation {
+
+    inline constexpr unsigned none = 0;
+    // push(): head_ publication store release -> relaxed. The consumer
+    // can then observe the advanced head before the slot write.
+    inline constexpr unsigned push_publish_relaxed = 1;
+    // pop(): tail_ release store -> relaxed. The producer can then lap
+    // into a slot the consumer is still reading.
+    inline constexpr unsigned pop_release_relaxed = 2;
+
+}    // namespace spsc_mutation
+
+template <typename T, typename Policy = std_atomics_policy,
+    unsigned Mutant = spsc_mutation::none>
 class spsc_ring
 {
     static_assert(std::is_trivially_copyable_v<T>,
         "spsc_ring entries are published with a plain release store; "
         "the type must be trivially copyable");
+
+    // Model instantiations park/unwind inside these operations via an
+    // exception; only the production policy is noexcept.
+    static constexpr bool production =
+        std::is_same_v<Policy, std_atomics_policy>;
+
+    static constexpr std::memory_order push_publish_order =
+        Mutant == spsc_mutation::push_publish_relaxed ?
+        std::memory_order_relaxed :
+        std::memory_order_release;
+    static constexpr std::memory_order pop_release_order =
+        Mutant == spsc_mutation::pop_release_relaxed ?
+        std::memory_order_relaxed :
+        std::memory_order_release;
 
 public:
     explicit spsc_ring(std::size_t capacity)
@@ -40,7 +101,7 @@ public:
 
     // Producer: true when the entry was enqueued; false (counted as a
     // drop) when the ring is full.
-    bool push(T const& value) noexcept
+    bool push(T const& value) noexcept(production)
     {
         std::uint64_t const head = head_.load(std::memory_order_relaxed);
         if (head - tail_cache_ >= capacity_)
@@ -52,13 +113,13 @@ public:
                 return false;
             }
         }
-        slots_[static_cast<std::size_t>(head % capacity_)] = value;
-        head_.store(head + 1, std::memory_order_release);
+        slots_[static_cast<std::size_t>(head % capacity_)].store(value);
+        head_.store(head + 1, push_publish_order);
         return true;
     }
 
     // Producer: would a push drop right now?
-    bool full() const noexcept
+    bool full() const noexcept(production)
     {
         return head_.load(std::memory_order_relaxed) -
             tail_.load(std::memory_order_acquire) >=
@@ -66,13 +127,13 @@ public:
     }
 
     // Consumer: false when empty.
-    bool pop(T& out) noexcept
+    bool pop(T& out) noexcept(production)
     {
         std::uint64_t const tail = tail_.load(std::memory_order_relaxed);
         if (tail == head_.load(std::memory_order_acquire))
             return false;
-        out = slots_[static_cast<std::size_t>(tail % capacity_)];
-        tail_.store(tail + 1, std::memory_order_release);
+        out = slots_[static_cast<std::size_t>(tail % capacity_)].load();
+        tail_.store(tail + 1, pop_release_order);
         return true;
     }
 
@@ -86,13 +147,13 @@ public:
         std::uint64_t const head = head_.load(std::memory_order_acquire);
         for (std::uint64_t i = tail; i != head; ++i)
             fn(std::as_const(
-                slots_[static_cast<std::size_t>(i % capacity_)]));
+                slots_[static_cast<std::size_t>(i % capacity_)].ref()));
         if (head != tail)
-            tail_.store(head, std::memory_order_release);
+            tail_.store(head, pop_release_order);
         return static_cast<std::size_t>(head - tail);
     }
 
-    std::size_t size() const noexcept
+    std::size_t size() const noexcept(production)
     {
         return static_cast<std::size_t>(
             head_.load(std::memory_order_acquire) -
@@ -100,26 +161,28 @@ public:
     }
 
     // Total successful pushes (the head never advances on a drop).
-    std::uint64_t pushed() const noexcept
+    std::uint64_t pushed() const noexcept(production)
     {
         return head_.load(std::memory_order_relaxed);
     }
 
-    std::uint64_t dropped() const noexcept
+    std::uint64_t dropped() const noexcept(production)
     {
         return dropped_.load(std::memory_order_relaxed);
     }
 
 private:
     std::size_t const capacity_;
-    std::vector<T> slots_;
+    std::vector<typename Policy::template nonatomic<T>> slots_;
 
-    alignas(64) std::atomic<std::uint64_t> head_{0};    // next write
+    alignas(64) typename Policy::template atomic<std::uint64_t> head_{
+        0};    // next write
     // Producer-local snapshot of tail_; refreshed only on apparent
     // overflow, so pushes avoid the consumer-written cache line.
     alignas(64) std::uint64_t tail_cache_ = 0;
-    alignas(64) std::atomic<std::uint64_t> tail_{0};    // next read
-    std::atomic<std::uint64_t> dropped_{0};
+    alignas(64) typename Policy::template atomic<std::uint64_t> tail_{
+        0};    // next read
+    typename Policy::template atomic<std::uint64_t> dropped_{0};
 };
 
 }    // namespace minihpx::util

@@ -1,0 +1,56 @@
+// Clang thread-safety-analysis annotation shim.
+//
+// -Wthread-safety is a compile-time lock-discipline checker: members
+// declared MINIHPX_GUARDED_BY(lock) may only be touched while `lock` is
+// held, functions declared MINIHPX_REQUIRES(lock) may only be called
+// with it held, and MINIHPX_ACQUIRE/RELEASE document (and enforce) the
+// lock functions themselves. The CI thread-safety job builds Debug with
+// clang and -Werror=thread-safety, so a new unguarded access to an
+// annotated member is a build break, not a TSan coin flip.
+//
+// Under GCC (and any compiler without the capability attributes) every
+// macro expands to nothing. The runtime's own RAII guard for annotated
+// locks is util::annotated_lock_guard (spinlock.hpp): libstdc++'s
+// std::lock_guard carries no scoped-capability annotation, so guarding
+// through it would leave the analysis blind to the acquisition.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MINIHPX_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MINIHPX_THREAD_ANNOTATION(x)    // no-op
+#endif
+
+// Type is a lock (a "capability" in clang's vocabulary).
+#define MINIHPX_CAPABILITY(x) MINIHPX_THREAD_ANNOTATION(capability(x))
+
+// RAII type that acquires on construction / releases on destruction.
+#define MINIHPX_SCOPED_CAPABILITY MINIHPX_THREAD_ANNOTATION(scoped_lockable)
+
+// Member may only be accessed while holding the named lock(s).
+#define MINIHPX_GUARDED_BY(x) MINIHPX_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer target (not the pointer itself) is guarded.
+#define MINIHPX_PT_GUARDED_BY(x) MINIHPX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function requires the lock(s) held on entry (and exit).
+#define MINIHPX_REQUIRES(...) \
+    MINIHPX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function acquires/releases the lock(s).
+#define MINIHPX_ACQUIRE(...) \
+    MINIHPX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MINIHPX_RELEASE(...) \
+    MINIHPX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MINIHPX_TRY_ACQUIRE(...) \
+    MINIHPX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called with the lock held (deadlock guard).
+#define MINIHPX_EXCLUDES(...) \
+    MINIHPX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Escape hatch for protocols the static analysis cannot express
+// (try_to_lock loops, lock handoff across functions). Every use site
+// carries a comment saying why.
+#define MINIHPX_NO_THREAD_SAFETY_ANALYSIS \
+    MINIHPX_THREAD_ANNOTATION(no_thread_safety_analysis)

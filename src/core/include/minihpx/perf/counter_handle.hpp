@@ -1,0 +1,71 @@
+// Resolve-once counter handle: the O(1) hot-path view of a counter.
+//
+// counter_registry::resolve() pays the full cost exactly once — name
+// parse, type lookup, instance construction, and the statistics-kind
+// downcast — and returns a handle that caches the results. Everything
+// afterwards (evaluate, reset, sample_statistics) is a virtual call on
+// cached pointers: no string parsing, no registry lock, no RTTI. Hot
+// paths (the telemetry sampler, adaptive policies, benchmark loops)
+// hold handles; names appear only at configuration boundaries.
+//
+// A handle shares ownership of the counter instance, so it stays valid
+// after the registry's type is unregistered or other handles are gone.
+#pragma once
+
+#include <minihpx/perf/counter.hpp>
+#include <minihpx/perf/counter_value.hpp>
+#include <minihpx/perf/derived_counters.hpp>
+
+#include <utility>
+
+namespace minihpx::perf {
+
+class counter_handle
+{
+public:
+    counter_handle() noexcept = default;
+
+    // Built by counter_registry::resolve(); the statistics interface is
+    // downcast-cached here so sample_statistics() never touches RTTI.
+    explicit counter_handle(counter_ptr counter) noexcept
+      : counter_(std::move(counter))
+      , statistics_(dynamic_cast<statistics_counter*>(counter_.get()))
+    {
+    }
+
+    explicit operator bool() const noexcept { return counter_ != nullptr; }
+
+    // Evaluate through the cached instance pointer; optionally snapshot
+    // the underlying sources in the same step (evaluate-and-reset, the
+    // per-sample pattern the paper's harness uses).
+    counter_value evaluate(bool reset = false) const
+    {
+        return counter_->get_value(reset);
+    }
+
+    // Reset the *counter* (snapshot its sources); the handle itself
+    // stays resolved and usable.
+    void reset() const { counter_->reset(); }
+
+    counter_info const& info() const noexcept { return counter_->info(); }
+
+    // Statistics-kind counters need periodic sample() pulls to fill
+    // their rolling window; for every other kind this is a null check
+    // and nothing else.
+    bool is_statistics() const noexcept { return statistics_ != nullptr; }
+
+    void sample_statistics() const
+    {
+        if (statistics_)
+            statistics_->sample();
+    }
+
+    // Shared-ownership escape hatch for pre-handle interfaces.
+    counter_ptr const& get() const noexcept { return counter_; }
+
+private:
+    counter_ptr counter_;
+    statistics_counter* statistics_ = nullptr;
+};
+
+}    // namespace minihpx::perf

@@ -1,0 +1,283 @@
+// Typed model-side atomics: the mc instantiation of the atomics policy
+// (util/atomics_policy.hpp). Each wrapper forwards to the type-erased
+// 64-bit locations in engine.hpp, so the same primitive templates
+// (chase_lev_deque, spsc_ring, eventcount, refcount, spinlock) compile
+// unchanged over either policy:
+//
+//   production:  Policy = util::std_atomics_policy  → std::atomic
+//   model:       Policy = mc::model_atomics_policy  → these wrappers
+//
+// Values are memcpy'd to/from 64 bits (static_assert'd fit), which
+// covers every type the checked code stores atomically: integers,
+// bools, and pointers.
+#pragma once
+
+#include <minihpx/mc/engine.hpp>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace minihpx::mc {
+
+namespace detail {
+
+    inline bool is_acquire(std::memory_order mo) noexcept
+    {
+        return mo == std::memory_order_acquire ||
+            mo == std::memory_order_consume ||
+            mo == std::memory_order_acq_rel ||
+            mo == std::memory_order_seq_cst;
+    }
+
+    inline bool is_release(std::memory_order mo) noexcept
+    {
+        return mo == std::memory_order_release ||
+            mo == std::memory_order_acq_rel ||
+            mo == std::memory_order_seq_cst;
+    }
+
+    // C++23 semantics: failure order of the one-order CAS overloads.
+    inline std::memory_order cas_failure_order(std::memory_order mo) noexcept
+    {
+        switch (mo)
+        {
+        case std::memory_order_acq_rel:
+            return std::memory_order_acquire;
+        case std::memory_order_release:
+            return std::memory_order_relaxed;
+        default:
+            return mo;
+        }
+    }
+
+}    // namespace detail
+
+// Standalone fence, modeled as at most acq_rel (see the engine header
+// comment): an acquire fence claims the release clocks of earlier
+// relaxed loads, a release fence lets later relaxed stores publish the
+// thread's current clock.
+inline void atomic_fence(std::memory_order mo)
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::fence, nullptr, true});
+    int const tid = e.cur_tid();
+    if (detail::is_acquire(mo))
+        e.hb(tid).join(e.acq_pending(tid));
+    if (detail::is_release(mo))
+        e.fence_rel(tid).join(e.hb(tid));
+}
+
+template <typename T>
+class atomic
+{
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+        "model atomics erase values to 64 bits");
+
+public:
+    atomic() noexcept = default;    // zero-initialized, like the uses here
+
+    atomic(T v) { loc_.init(to_u64(v)); }
+
+    atomic(atomic const&) = delete;
+    atomic& operator=(atomic const&) = delete;
+
+    T load(std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return from_u64(loc_.load(mo));
+    }
+
+    // The checked primitives call load() through `const` objects
+    // (introspection accessors); the model state mutates anyway.
+    T load(std::memory_order mo = std::memory_order_seq_cst) const
+    {
+        return from_u64(const_cast<atomic_location&>(loc_).load(mo));
+    }
+
+    void store(T v, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        loc_.store(to_u64(v), mo);
+    }
+
+    T exchange(T v, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return from_u64(loc_.rmw(
+            [](std::uint64_t, std::uint64_t nv) { return nv; }, to_u64(v),
+            mo));
+    }
+
+    T fetch_add(T v, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return from_u64(loc_.rmw(
+            [](std::uint64_t a, std::uint64_t b) {
+                return to_u64(static_cast<T>(from_u64(a) + from_u64(b)));
+            },
+            to_u64(v), mo));
+    }
+
+    T fetch_sub(T v, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return from_u64(loc_.rmw(
+            [](std::uint64_t a, std::uint64_t b) {
+                return to_u64(static_cast<T>(from_u64(a) - from_u64(b)));
+            },
+            to_u64(v), mo));
+    }
+
+    bool compare_exchange_strong(T& expected, T desired,
+        std::memory_order success, std::memory_order failure)
+    {
+        std::uint64_t e = to_u64(expected);
+        bool const ok = loc_.cas(e, to_u64(desired), success, failure);
+        expected = from_u64(e);
+        return ok;
+    }
+
+    bool compare_exchange_strong(T& expected, T desired,
+        std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return compare_exchange_strong(
+            expected, desired, mo, detail::cas_failure_order(mo));
+    }
+
+    // The model never fails spuriously; weak == strong (the checked
+    // code always retries in a loop, so this loses no behaviors).
+    bool compare_exchange_weak(T& expected, T desired,
+        std::memory_order success, std::memory_order failure)
+    {
+        return compare_exchange_strong(expected, desired, success, failure);
+    }
+
+    bool compare_exchange_weak(T& expected, T desired,
+        std::memory_order mo = std::memory_order_seq_cst)
+    {
+        return compare_exchange_strong(expected, desired, mo);
+    }
+
+private:
+    static std::uint64_t to_u64(T v) noexcept
+    {
+        std::uint64_t r = 0;
+        std::memcpy(&r, &v, sizeof(T));
+        return r;
+    }
+
+    static T from_u64(std::uint64_t r) noexcept
+    {
+        T v;
+        std::memcpy(&v, &r, sizeof(T));
+        return v;
+    }
+
+    atomic_location loc_;
+};
+
+// Race-checked plain cell: the model counterpart of util::plain_cell.
+// Every access is checked against the happens-before clocks; an
+// unordered access pair fails the execution with a data-race report.
+template <typename T>
+class nonatomic
+{
+public:
+    nonatomic() = default;
+
+    void store(T const& v)
+    {
+        loc_.on_write();
+        value_ = v;
+    }
+
+    T load() const
+    {
+        loc_.on_read();
+        return value_;
+    }
+
+    T& ref()
+    {
+        loc_.on_read();
+        return value_;
+    }
+
+    T const& ref() const
+    {
+        loc_.on_read();
+        return value_;
+    }
+
+private:
+    mutable nonatomic_location loc_;
+    T value_{};
+};
+
+// BasicLockable + Lockable shim over the engine's mutex model (works
+// with std::lock_guard / std::unique_lock).
+class mutex_shim
+{
+public:
+    void lock() { state_.lock(); }
+    bool try_lock() { return state_.try_lock(); }
+    void unlock() { state_.unlock(); }
+
+    mutex_state& state() noexcept { return state_; }
+
+private:
+    mutex_state state_;
+};
+
+// Condition-variable shim. Predicate waits map to the engine's
+// spurious-wakeup-free cv; timed waits are modeled as "the timeout
+// fires immediately after one reschedule" — the legal behavior that
+// stresses the caller's retry logic hardest.
+class condvar_shim
+{
+public:
+    template <typename Lock, typename Pred>
+    void wait(Lock& lock, Pred pred)
+    {
+        while (!pred())
+            state_.wait(lock.mutex()->state());
+    }
+
+    template <typename Lock, typename Rep, typename Period, typename Pred>
+    bool wait_for(
+        Lock& lock, std::chrono::duration<Rep, Period> const&, Pred pred)
+    {
+        if (pred())
+            return true;
+        mutex_shim* m = lock.mutex();
+        m->unlock();
+        yield();
+        m->lock();
+        return pred();
+    }
+
+    void notify_one() { state_.notify_one(); }
+    void notify_all() { state_.notify_all(); }
+
+private:
+    condvar_state state_;
+};
+
+// The policy handed to the primitive templates under test.
+struct model_atomics_policy
+{
+    template <typename T>
+    using atomic = mc::atomic<T>;
+    template <typename T>
+    using nonatomic = mc::nonatomic<T>;
+    using mutex = mutex_shim;
+    using condition_variable = condvar_shim;
+
+    static void thread_fence(std::memory_order mo) { atomic_fence(mo); }
+
+    // Spin-loop relaxation points become voluntary model reschedules,
+    // which both bounds spin exploration and models "the other thread
+    // eventually runs".
+    static void pause() { mc::yield(); }
+    static void yield() { mc::yield(); }
+};
+
+}    // namespace minihpx::mc

@@ -1,0 +1,455 @@
+// minihpx::mc — deterministic stateless model checker for the
+// lock-free core.
+//
+// A Relacy/CDSChecker-style harness, dependency-free and built on the
+// runtime's own fibers (threads/context.hpp): model "threads" are
+// cooperative fibers multiplexed on ONE OS thread, every visible
+// operation (atomic access, fence, mutex/condvar op, yield) is a
+// scheduling point, and the engine owns the scheduler — so it can
+// enumerate interleavings exhaustively and replay any of them
+// byte-for-byte from a recorded decision string.
+//
+// Exploration is depth-first over a decision stack. Two decision kinds
+// interleave on the stack:
+//
+//   sched  which runnable thread performs its announced next operation
+//          (CHESS-style preemption bounding: switching away from a
+//          runnable thread costs one unit of the configurable budget;
+//          resuming after a block or a voluntary yield is free)
+//   value  which store a (non-RMW) atomic load observes, under the
+//          operational weak-memory model below
+//
+// Pruning: sleep sets (Godefroid's DPOR-lite). After a choice `t` at a
+// scheduling node is fully explored, t is put to sleep at that node;
+// sleeping threads are skipped until an operation *dependent* with
+// their announced one executes (same location with a write involved,
+// same mutex/condvar, or a conservative always-dependent class). If
+// every candidate at a node is asleep, the execution prefix is
+// provably redundant and is pruned.
+//
+// Weak memory: each atomic location keeps its full modification order
+// (append order = interleaving order, a legal MO since operations
+// execute atomically at scheduling points) as a store history with
+// vector clocks. A load may read any store that is not already
+// happens-before-superseded for the loading thread, subject to:
+//   - per-thread read coherence (never read mo-backwards),
+//   - RMW atomicity (RMWs read the mo-latest store),
+//   - release/acquire clock transfer, with release-fence upgrading of
+//     relaxed stores and RMW release-sequence continuation,
+//   - SC restriction: a seq_cst load reads at or after the mo-position
+//     of the last seq_cst store to that location in execution order —
+//     deliberately with NO global hb-join from the SC order, so weak
+//     mutants remain observable (the execution order itself is the SC
+//     total order S).
+// Deliberate simplifications, documented here and in
+// docs/MODEL_CHECKING.md: standalone seq_cst fences are modeled as
+// acq_rel only (none of the checked code uses them — the Chase-Lev
+// port folds fences into operations precisely for TSan), a failed CAS
+// reads the mo-latest store, and condition variables have no spurious
+// wakeups (so a lost wakeup reliably surfaces as a deadlock).
+//
+// Failure modes detected: MC_CHECK violations, data races on
+// mc::nonatomic cells (precise vector-clock happens-before), deadlock
+// (every live thread blocked — the lost-wakeup detector), and
+// step-bound livelock truncation (reported, never silently dropped).
+#pragma once
+
+#include <minihpx/threads/context.hpp>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace minihpx::mc {
+
+// Fibers are cheap but vector clocks are O(max_threads) on every op;
+// litmus tests use 2-4 threads.
+inline constexpr int max_threads = 8;
+
+// ---------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------
+class vclock
+{
+public:
+    std::uint32_t operator[](int tid) const noexcept
+    {
+        return c_[static_cast<unsigned>(tid)];
+    }
+
+    void tick(int tid) noexcept { ++c_[static_cast<unsigned>(tid)]; }
+
+    void set(int tid, std::uint32_t v) noexcept
+    {
+        c_[static_cast<unsigned>(tid)] = v;
+    }
+
+    void join(vclock const& other) noexcept
+    {
+        for (int i = 0; i < max_threads; ++i)
+            if (other.c_[i] > c_[i])
+                c_[i] = other.c_[i];
+    }
+
+    // this ⊑ other (every component covered)?
+    bool leq(vclock const& other) const noexcept
+    {
+        for (int i = 0; i < max_threads; ++i)
+            if (c_[i] > other.c_[i])
+                return false;
+        return true;
+    }
+
+    void clear() noexcept { c_.fill(0); }
+
+private:
+    std::array<std::uint32_t, max_threads> c_{};
+};
+
+// ---------------------------------------------------------------------
+// Visible operations
+// ---------------------------------------------------------------------
+enum class op_kind : std::uint8_t
+{
+    start,         // thread's first scheduling (enter the fiber)
+    atomic_load,
+    atomic_store,
+    atomic_rmw,
+    fence,
+    mutex_lock,    // enabled only while the mutex is free
+    mutex_try,
+    mutex_unlock,
+    cv_wait,
+    cv_notify,
+    yield,         // voluntary; forces a switch when others can run
+    spawn,
+    join,          // enabled only once the target finished
+};
+
+struct op
+{
+    op_kind kind = op_kind::start;
+    void const* object = nullptr;
+    bool write = false;
+};
+
+// Thrown to unwind a fiber's stack when an execution ends early
+// (failure, prune, truncation); caught by the fiber entry wrapper.
+struct abort_execution
+{
+};
+
+// ---------------------------------------------------------------------
+// check() interface
+// ---------------------------------------------------------------------
+struct options
+{
+    // CHESS preemption budget. ~0u means unbounded (full DFS).
+    unsigned preemption_bound = 2;
+    // Stop after this many executions (0 = no cap). When the cap is
+    // hit, result.complete is false.
+    std::uint64_t max_executions = 0;
+    // Per-execution visible-op bound; spin livelocks truncate here.
+    std::uint64_t max_steps = 20000;
+    // false restricts every load to the mo-latest store (SC memory) —
+    // useful to separate ordering bugs from interleaving bugs.
+    bool weak_memory = true;
+    // Non-empty: replay exactly this decision string (as recorded in
+    // result::schedule) instead of exploring.
+    std::string replay;
+};
+
+struct result
+{
+    bool ok = true;
+    // True when the bounded space was fully enumerated (no execution
+    // or step cap hit). A failing run reports complete = false.
+    bool complete = true;
+    std::uint64_t executions = 0;
+    std::uint64_t truncated = 0;    // executions cut by max_steps
+    std::size_t max_depth = 0;      // deepest decision stack
+    std::string error;              // empty when ok
+    std::string schedule;           // failing decision string (replayable)
+};
+
+// Run `body` under the model scheduler and explore. `body` executes on
+// model thread 0; it may spawn mc::thread instances and must join them.
+result check(options const& opts, std::function<void()> body);
+
+// ---------------------------------------------------------------------
+// Model-side primitives (used inside check() bodies)
+// ---------------------------------------------------------------------
+class engine;
+
+class thread
+{
+public:
+    explicit thread(std::function<void()> fn);
+    thread(thread const&) = delete;
+    thread& operator=(thread const&) = delete;
+    ~thread();
+
+    void join();
+
+private:
+    int tid_ = -1;
+    bool joined_ = false;
+};
+
+// Voluntary reschedule point (Policy::pause/yield in spin loops).
+void yield();
+
+// Report a litmus invariant violation; unwinds the current execution.
+[[noreturn]] void fail(std::string message);
+
+#define MC_CHECK(expr)                                                         \
+    do                                                                         \
+    {                                                                          \
+        if (!(expr))                                                           \
+            ::minihpx::mc::fail("MC_CHECK failed: " #expr " (" __FILE__ ")");  \
+    } while (false)
+
+// ---------------------------------------------------------------------
+// Modelled memory locations (value-type-erased to 64 bits; the typed
+// wrappers in atomic.hpp do the bit conversion)
+// ---------------------------------------------------------------------
+struct store_record
+{
+    std::uint64_t value = 0;
+    int writer = -1;                // -1: initialization store
+    std::uint32_t writer_ts = 0;    // writer clock component at store
+    vclock release;                 // transferred to acquiring readers
+    bool sc = false;
+};
+
+class atomic_location
+{
+public:
+    atomic_location() = default;
+    explicit atomic_location(std::uint64_t initial) { init(initial); }
+
+    atomic_location(atomic_location const&) = delete;
+    atomic_location& operator=(atomic_location const&) = delete;
+
+    void init(std::uint64_t initial);
+
+    std::uint64_t load(std::memory_order mo);
+    void store(std::uint64_t v, std::memory_order mo);
+    // RMW: new = f(old, operand); returns old. RMWs read the mo-latest
+    // store (atomicity) and continue its release sequence.
+    std::uint64_t rmw(std::uint64_t (*f)(std::uint64_t, std::uint64_t),
+        std::uint64_t operand, std::memory_order mo);
+    bool cas(std::uint64_t& expected, std::uint64_t desired,
+        std::memory_order success, std::memory_order failure);
+
+private:
+    void ensure_init();
+    std::uint64_t read_value(std::memory_order mo, bool rmw);
+    void push_store(std::uint64_t v, std::memory_order mo, bool rmw,
+        vclock const* rmw_read_release);
+
+    std::vector<store_record> history_;
+    std::array<int, max_threads> last_read_{};    // per-thread mo floor
+    // Bounded staleness (the operational form of C++'s eventual-
+    // visibility guarantee): after two consecutive stale choices a
+    // thread's next load reads the mo-latest store deterministically.
+    // Keeps spin loops from branching exponentially; every checked
+    // invariant needs at most one stale observation to break.
+    std::array<std::uint8_t, max_threads> stale_streak_{};
+    int last_sc_ = -1;                            // mo index of last SC store
+    std::uint64_t init_value_ = 0;
+    bool initialized_ = false;
+};
+
+// Plain (non-atomic) cell with precise happens-before race detection.
+class nonatomic_location
+{
+public:
+    void on_read();
+    void on_write();
+
+private:
+    int writer_ = -1;
+    std::uint32_t writer_ts_ = 0;
+    vclock reads_;
+};
+
+// Mutex modeled at the scheduler level: lock is a visible op enabled
+// only while free; unlock/lock transfer happens-before.
+class mutex_state
+{
+public:
+    mutex_state() = default;
+    mutex_state(mutex_state const&) = delete;
+    mutex_state& operator=(mutex_state const&) = delete;
+
+    void lock();
+    bool try_lock();
+    void unlock();
+
+    bool held() const noexcept { return held_; }
+
+private:
+    friend class engine;
+    friend class condvar_state;
+
+    // Effects without announcement (cv wait path, engine internals).
+    void lock_effect(int tid);
+    void unlock_effect();
+
+    bool held_ = false;
+    int owner_ = -1;
+    vclock release_;
+};
+
+// Condition variable with NO spurious wakeups: a waiter sleeps until
+// notified, so a protocol that can lose a wakeup deadlocks — which is
+// exactly what the lost-wakeup litmus asserts on. notify_one wakes the
+// oldest waiter (deterministic FIFO).
+class condvar_state
+{
+public:
+    condvar_state() = default;
+    condvar_state(condvar_state const&) = delete;
+    condvar_state& operator=(condvar_state const&) = delete;
+
+    void wait(mutex_state& m);
+    void notify_one();
+    void notify_all();
+
+private:
+    friend class engine;
+    std::vector<int> waiters_;
+};
+
+// ---------------------------------------------------------------------
+// Engine (one instance per check(); primitives reach it via current())
+// ---------------------------------------------------------------------
+class engine
+{
+public:
+    static engine* current() noexcept;
+
+    // Announce the next visible op of the calling fiber and park until
+    // the scheduler picks this thread to execute it. On resume the
+    // caller performs the op's effect atomically (no other thread runs
+    // until its next announcement).
+    void announce(op o);
+
+    // Value decision (load with several readable stores). Returns the
+    // chosen index in [0, n). n == 1 short-circuits without a node.
+    int choose(int n);
+
+    [[noreturn]] void fail_current(std::string message);
+
+    // ---- state the modelled locations operate on ----
+    int cur_tid() const noexcept { return cur_; }
+    // True while fibers unwind at execution end: primitives called
+    // from destructors during the unwind degrade to inert effects
+    // (no parking, no decisions, no race checks).
+    bool aborting() const noexcept { return aborting_; }
+    // Inert mode: the execution is over (failure recorded or fibers
+    // unwinding) — primitives must not park, branch, or re-fail.
+    // Covers destructors running while fail_current()'s exception is
+    // still propagating, before the engine regains control.
+    bool inert() const noexcept { return aborting_ || failed_; }
+    vclock& hb(int tid) noexcept;
+    vclock& fence_rel(int tid) noexcept;
+    vclock& acq_pending(int tid) noexcept;
+    bool weak_memory() const noexcept { return opts_.weak_memory; }
+
+    // cv-wait protocol (called by condvar_state/mutex shims)
+    void block_on_cv(condvar_state& cv, mutex_state& m);
+    void notify_waiters(condvar_state& cv, bool all);
+
+    int spawn_thread(std::function<void()> fn);
+    void join_thread(int tid);
+
+private:
+    friend result check(options const&, std::function<void()>);
+    friend class thread;
+    friend void yield();
+
+    struct thread_rec
+    {
+        int tid = -1;
+        std::function<void()> body;
+        threads::execution_context ctx;
+        enum class st : std::uint8_t
+        {
+            ready,         // has an announced (maybe disabled) op
+            blocked_cv,    // parked in cv wait, not yet notified
+            finished,
+        };
+        st status = st::ready;
+        op announced;
+        bool started = false;
+        bool yielded = false;    // set by yield; forces a switch once
+        vclock hb;
+        vclock fence_rel;
+        vclock acq_pending;
+        mutex_state* cv_mutex = nullptr;    // reacquire target after notify
+    };
+
+    struct decision
+    {
+        bool sched = true;
+        std::vector<int> opts;    // sched: tids; value: candidate indices
+        std::size_t pos = 0;
+        std::uint32_t sleep = 0;    // sched only: explored/skipped tids
+    };
+
+    engine(options opts, std::function<void()> body);
+    ~engine();
+
+    result explore();
+    // One execution following/extending the decision stack. Returns
+    // false when the stack is exhausted (exploration done).
+    void run_execution();
+    bool backtrack();
+    void reset_execution();
+    void unwind_all();
+
+    int pick_thread();
+    bool op_enabled(thread_rec const& t) const;
+    static bool dependent(op const& a, op const& b);
+    std::string encode_stack() const;
+    void parse_replay(std::string const& s);
+
+    void switch_to_fiber(thread_rec& t);
+    void switch_to_engine();
+    static void fiber_entry(void* arg);
+
+    options opts_;
+    std::function<void()> body_;
+    result res_;
+
+    std::vector<thread_rec> threads_;
+    std::vector<void*> stacks_;
+    threads::execution_context engine_ctx_;
+
+    std::vector<decision> stack_;
+    std::size_t cursor_ = 0;
+    std::uint32_t cur_sleep_ = 0;    // propagated along the execution
+
+    // Replay mode: forced decisions decoded from options::replay.
+    std::vector<std::pair<char, int>> forced_;
+    std::size_t forced_cursor_ = 0;
+    bool replay_mode_ = false;
+
+    int cur_ = -1;          // thread currently executing (or -1: engine)
+    int last_ = -1;         // thread that executed the previous op
+    unsigned preemptions_ = 0;
+    std::uint64_t steps_ = 0;
+    bool aborting_ = false;
+    bool failed_ = false;
+    bool pruned_ = false;
+    bool truncated_ = false;
+    std::string failure_;
+};
+
+}    // namespace minihpx::mc

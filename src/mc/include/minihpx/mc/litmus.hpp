@@ -1,0 +1,42 @@
+// The model-checked litmus suite: each case wires one lock-free
+// primitive (instantiated over mc::model_atomics_policy) into a small
+// concurrent scenario and asserts its contract across EVERY schedule
+// and weak-memory behavior the engine enumerates.
+//
+// Cases come in pairs: the production instantiation (must pass) and
+// fence-weakening mutants (compile-time Mutant parameter of the same
+// template; the checker MUST report a bug — mutation validation that
+// the harness actually has teeth). `expect_fail` distinguishes them;
+// the minihpx-mc tool and the ctest registrations assert both
+// directions.
+#pragma once
+
+#include <minihpx/mc/engine.hpp>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace minihpx::mc {
+
+struct litmus_case
+{
+    std::string name;
+    std::string description;
+    options opts;             // per-case bound/step defaults
+    bool expect_fail = false; // mutant: checker must find the bug
+    std::function<void()> body;
+};
+
+// The registry (stable order; names are unique).
+std::vector<litmus_case> const& litmus_suite();
+
+// nullptr when unknown.
+litmus_case const* find_litmus(std::string const& name);
+
+// Run one case; returns true when the outcome matches expectation
+// (pass for production cases, failure detected for mutants). `out`
+// receives the raw engine result.
+bool run_litmus(litmus_case const& c, result& out);
+
+}    // namespace minihpx::mc

@@ -1,0 +1,935 @@
+#include <minihpx/mc/engine.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace minihpx::mc {
+
+namespace {
+
+    engine* g_engine = nullptr;
+
+    // Litmus bodies are shallow; 256 KiB covers gtest/ostream detours.
+    constexpr std::size_t fiber_stack_size = 256 * 1024;
+
+    bool order_is_acquire(std::memory_order mo) noexcept
+    {
+        return mo == std::memory_order_acquire ||
+            mo == std::memory_order_consume ||
+            mo == std::memory_order_acq_rel ||
+            mo == std::memory_order_seq_cst;
+    }
+
+    bool order_is_release(std::memory_order mo) noexcept
+    {
+        return mo == std::memory_order_release ||
+            mo == std::memory_order_acq_rel ||
+            mo == std::memory_order_seq_cst;
+    }
+
+    char const* kind_name(op_kind k) noexcept
+    {
+        switch (k)
+        {
+        case op_kind::start:
+            return "start";
+        case op_kind::atomic_load:
+            return "atomic-load";
+        case op_kind::atomic_store:
+            return "atomic-store";
+        case op_kind::atomic_rmw:
+            return "atomic-rmw";
+        case op_kind::fence:
+            return "fence";
+        case op_kind::mutex_lock:
+            return "mutex-lock";
+        case op_kind::mutex_try:
+            return "mutex-try-lock";
+        case op_kind::mutex_unlock:
+            return "mutex-unlock";
+        case op_kind::cv_wait:
+            return "cv-wait";
+        case op_kind::cv_notify:
+            return "cv-notify";
+        case op_kind::yield:
+            return "yield";
+        case op_kind::spawn:
+            return "spawn";
+        case op_kind::join:
+            return "join";
+        }
+        return "?";
+    }
+
+}    // namespace
+
+// ---------------------------------------------------------------------
+// engine lifecycle
+// ---------------------------------------------------------------------
+engine* engine::current() noexcept
+{
+    return g_engine;
+}
+
+engine::engine(options opts, std::function<void()> body)
+  : opts_(std::move(opts))
+  , body_(std::move(body))
+{
+    MINIHPX_ASSERT_MSG(g_engine == nullptr, "mc::check() does not nest");
+    g_engine = this;
+}
+
+engine::~engine()
+{
+    for (void* s : stacks_)
+        std::free(s);
+    g_engine = nullptr;
+}
+
+result check(options const& opts, std::function<void()> body)
+{
+    engine e(opts, std::move(body));
+    return e.explore();
+}
+
+result engine::explore()
+{
+    if (!opts_.replay.empty())
+    {
+        replay_mode_ = true;
+        parse_replay(opts_.replay);
+    }
+    for (;;)
+    {
+        run_execution();
+        ++res_.executions;
+        if (stack_.size() > res_.max_depth)
+            res_.max_depth = stack_.size();
+        if (truncated_)
+        {
+            ++res_.truncated;
+            res_.complete = false;
+        }
+        if (failed_)
+        {
+            res_.ok = false;
+            res_.complete = false;
+            res_.error = failure_;
+            res_.schedule = replay_mode_ ? opts_.replay : encode_stack();
+            return res_;
+        }
+        if (replay_mode_)
+            return res_;
+        if (opts_.max_executions && res_.executions >= opts_.max_executions)
+        {
+            res_.complete = false;
+            return res_;
+        }
+        if (!backtrack())
+            return res_;
+    }
+}
+
+void engine::reset_execution()
+{
+    threads_.clear();
+    threads_.reserve(max_threads);    // spawn hands out interior pointers
+    cursor_ = 0;
+    cur_sleep_ = 0;
+    forced_cursor_ = 0;
+    cur_ = -1;
+    last_ = -1;
+    preemptions_ = 0;
+    steps_ = 0;
+    aborting_ = false;
+    failed_ = false;
+    pruned_ = false;
+    truncated_ = false;
+    failure_.clear();
+}
+
+void engine::run_execution()
+{
+    reset_execution();
+
+    // Model thread 0 runs the check() body.
+    {
+        thread_rec& t = threads_.emplace_back();
+        t.tid = 0;
+        t.body = body_;
+        if (stacks_.empty())
+            stacks_.push_back(std::malloc(fiber_stack_size));
+        t.ctx.create(stacks_[0], fiber_stack_size, &engine::fiber_entry, &t);
+    }
+
+    for (;;)
+    {
+        int const tid = pick_thread();
+        if (tid < 0)
+            break;
+        thread_rec& t = threads_[static_cast<unsigned>(tid)];
+        ++steps_;
+        t.hb.tick(tid);
+        last_ = tid;
+        switch_to_fiber(t);
+        if (failed_)
+            break;
+    }
+    unwind_all();
+}
+
+// ---------------------------------------------------------------------
+// scheduling
+// ---------------------------------------------------------------------
+bool engine::op_enabled(thread_rec const& t) const
+{
+    switch (t.announced.kind)
+    {
+    case op_kind::mutex_lock:
+        return !static_cast<mutex_state const*>(t.announced.object)->held();
+    case op_kind::join:
+        return static_cast<thread_rec const*>(t.announced.object)->status ==
+            thread_rec::st::finished;
+    default:
+        return true;
+    }
+}
+
+bool engine::dependent(op const& a, op const& b)
+{
+    auto conservative = [](op_kind k) {
+        return k == op_kind::spawn || k == op_kind::join ||
+            k == op_kind::start || k == op_kind::fence;
+    };
+    if (conservative(a.kind) || conservative(b.kind))
+        return true;
+    if (a.kind == op_kind::yield || b.kind == op_kind::yield)
+        return false;
+    if (a.object != b.object)
+        return false;
+    return a.write || b.write;    // two loads of one location commute
+}
+
+int engine::pick_thread()
+{
+    if (steps_ >= opts_.max_steps)
+    {
+        truncated_ = true;
+        return -1;
+    }
+
+    bool any_alive = false;
+    std::vector<int> enabled;
+    for (thread_rec const& t : threads_)
+    {
+        if (t.status == thread_rec::st::finished)
+            continue;
+        any_alive = true;
+        if (t.status == thread_rec::st::ready && op_enabled(t))
+            enabled.push_back(t.tid);
+    }
+    if (!any_alive)
+        return -1;    // execution complete
+    if (enabled.empty())
+    {
+        // Every live thread is blocked: a real deadlock of the modeled
+        // protocol (this is how a lost wakeup manifests).
+        std::ostringstream os;
+        os << "deadlock:";
+        for (thread_rec const& t : threads_)
+        {
+            if (t.status == thread_rec::st::finished)
+                continue;
+            os << " [t" << t.tid << " "
+               << (t.status == thread_rec::st::blocked_cv ?
+                          "cv-wait" :
+                          kind_name(t.announced.kind))
+               << "]";
+        }
+        failed_ = true;
+        failure_ = os.str();
+        return -1;
+    }
+
+    // Would leaving `last_` cost a preemption? (Blocked or yielded
+    // threads hand the core over voluntarily.)
+    bool const last_runnable = last_ >= 0 &&
+        std::find(enabled.begin(), enabled.end(), last_) != enabled.end();
+    bool const switching_costs =
+        last_runnable && !threads_[static_cast<unsigned>(last_)].yielded;
+
+    // A yield forces one switch when anyone else can run.
+    if (last_runnable && threads_[static_cast<unsigned>(last_)].yielded)
+    {
+        if (enabled.size() > 1)
+            std::erase(enabled, last_);
+        threads_[static_cast<unsigned>(last_)].yielded = false;
+    }
+
+    if (switching_costs && opts_.preemption_bound != ~0u &&
+        preemptions_ >= opts_.preemption_bound)
+        enabled.assign(1, last_);
+
+    // Sleep-set filter (skipped in replay mode: a replay follows one
+    // recorded path and must not prune it).
+    std::vector<int> cands;
+    for (int tid : enabled)
+        if (replay_mode_ || !(cur_sleep_ >> tid & 1u))
+            cands.push_back(tid);
+    if (cands.empty())
+    {
+        // Everything runnable is asleep: this prefix only leads to
+        // interleavings already covered — prune.
+        pruned_ = true;
+        return -1;
+    }
+
+    // Deterministic option order: continuing with `last_` first keeps
+    // the default path preemption-free.
+    std::sort(cands.begin(), cands.end());
+    if (auto it = std::find(cands.begin(), cands.end(), last_);
+        it != cands.end())
+        std::rotate(cands.begin(), it, it + 1);
+
+    int chosen;
+    if (cands.size() == 1)
+    {
+        chosen = cands[0];
+    }
+    else if (replay_mode_)
+    {
+        if (forced_cursor_ >= forced_.size() ||
+            forced_[forced_cursor_].first != 's')
+        {
+            failed_ = true;
+            failure_ = "replay mismatch: expected a scheduling decision";
+            return -1;
+        }
+        chosen = forced_[forced_cursor_++].second;
+        if (std::find(cands.begin(), cands.end(), chosen) == cands.end())
+        {
+            failed_ = true;
+            failure_ = "replay mismatch: thread not schedulable here";
+            return -1;
+        }
+    }
+    else if (cursor_ < stack_.size())
+    {
+        decision& d = stack_[cursor_++];
+        MINIHPX_ASSERT(d.sched);
+        cur_sleep_ = d.sleep;    // node sleep may have grown since
+        chosen = d.opts[d.pos];
+    }
+    else
+    {
+        decision d;
+        d.sched = true;
+        d.opts = cands;
+        d.pos = 0;
+        d.sleep = cur_sleep_;
+        stack_.push_back(std::move(d));
+        ++cursor_;
+        chosen = cands[0];
+    }
+
+    if (switching_costs && chosen != last_)
+        ++preemptions_;
+
+    // Propagate the sleep set across the op about to execute: threads
+    // stay asleep only while everything executed is independent of
+    // their announced op.
+    op const& o = threads_[static_cast<unsigned>(chosen)].announced;
+    std::uint32_t next_sleep = 0;
+    for (int tid = 0; tid < static_cast<int>(threads_.size()); ++tid)
+    {
+        if (tid == chosen || !(cur_sleep_ >> tid & 1u))
+            continue;
+        if (!dependent(threads_[static_cast<unsigned>(tid)].announced, o))
+            next_sleep |= 1u << tid;
+    }
+    cur_sleep_ = next_sleep;
+
+    return chosen;
+}
+
+// ---------------------------------------------------------------------
+// decision stack
+// ---------------------------------------------------------------------
+int engine::choose(int n)
+{
+    if (n <= 1 || inert())
+        return 0;    // inert: index 0 is the mo-latest candidate
+    if (replay_mode_)
+    {
+        if (forced_cursor_ >= forced_.size() ||
+            forced_[forced_cursor_].first != 'v')
+            fail_current("replay mismatch: expected a value decision");
+        int const v = forced_[forced_cursor_++].second;
+        if (v < 0 || v >= n)
+            fail_current("replay mismatch: value choice out of range");
+        return v;
+    }
+    if (cursor_ < stack_.size())
+    {
+        decision& d = stack_[cursor_++];
+        MINIHPX_ASSERT(!d.sched);
+        return d.opts[d.pos];
+    }
+    decision d;
+    d.sched = false;
+    d.opts.resize(static_cast<unsigned>(n));
+    for (int i = 0; i < n; ++i)
+        d.opts[static_cast<unsigned>(i)] = i;
+    d.pos = 0;
+    stack_.push_back(std::move(d));
+    ++cursor_;
+    return 0;
+}
+
+bool engine::backtrack()
+{
+    while (!stack_.empty())
+    {
+        decision& d = stack_.back();
+        if (d.sched)
+        {
+            d.sleep |= 1u << d.opts[d.pos];
+            ++d.pos;
+            while (d.pos < d.opts.size() &&
+                (d.sleep >> d.opts[d.pos] & 1u))
+                ++d.pos;
+            if (d.pos < d.opts.size())
+                return true;
+        }
+        else
+        {
+            ++d.pos;
+            if (d.pos < d.opts.size())
+                return true;
+        }
+        stack_.pop_back();
+    }
+    return false;
+}
+
+std::string engine::encode_stack() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (decision const& d : stack_)
+    {
+        if (!first)
+            os << ',';
+        first = false;
+        os << (d.sched ? 's' : 'v') << d.opts[d.pos];
+    }
+    return os.str();
+}
+
+void engine::parse_replay(std::string const& s)
+{
+    forced_.clear();
+    std::size_t i = 0;
+    while (i < s.size())
+    {
+        char const kind = s[i++];
+        int v = 0;
+        bool any = false;
+        while (i < s.size() && s[i] >= '0' && s[i] <= '9')
+        {
+            v = v * 10 + (s[i++] - '0');
+            any = true;
+        }
+        if ((kind != 's' && kind != 'v') || !any)
+        {
+            failed_ = true;
+            failure_ = "malformed replay schedule string";
+            return;
+        }
+        forced_.emplace_back(kind, v);
+        if (i < s.size() && s[i] == ',')
+            ++i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// fibers
+// ---------------------------------------------------------------------
+void engine::switch_to_fiber(thread_rec& t)
+{
+    cur_ = t.tid;
+    if (!t.started)
+        t.started = true;
+    threads::execution_context::switch_to(engine_ctx_, t.ctx);
+    cur_ = -1;
+}
+
+void engine::switch_to_engine()
+{
+    thread_rec& t = threads_[static_cast<unsigned>(cur_)];
+    threads::execution_context::switch_to(t.ctx, engine_ctx_);
+}
+
+void engine::fiber_entry(void* arg)
+{
+    auto* t = static_cast<thread_rec*>(arg);
+    engine& e = *g_engine;
+    try
+    {
+        t->body();
+    }
+    catch (abort_execution const&)
+    {
+    }
+    t->status = thread_rec::st::finished;
+    threads::execution_context::switch_final(t->ctx, e.engine_ctx_);
+    MINIHPX_ASSERT_MSG(false, "finished model fiber resumed");
+}
+
+void engine::unwind_all()
+{
+    aborting_ = true;
+    for (thread_rec& t : threads_)
+    {
+        if (t.status == thread_rec::st::finished)
+            continue;
+        if (!t.started)
+        {
+            t.status = thread_rec::st::finished;
+            continue;
+        }
+        // Resuming in abort mode makes the park point throw
+        // abort_execution, unwinding the fiber's stack (destructors
+        // run — the harness stays ASan-clean).
+        cur_ = t.tid;
+        threads::execution_context::switch_to(engine_ctx_, t.ctx);
+        cur_ = -1;
+        MINIHPX_ASSERT(t.status == thread_rec::st::finished);
+    }
+    aborting_ = false;
+}
+
+// ---------------------------------------------------------------------
+// primitive entry points
+// ---------------------------------------------------------------------
+void engine::announce(op o)
+{
+    MINIHPX_ASSERT_MSG(cur_ >= 0,
+        "mc primitives may only be used inside a check() body");
+    if (inert())
+        return;    // unwinding/failed: execute the effect silently
+    thread_rec& t = threads_[static_cast<unsigned>(cur_)];
+    t.announced = o;
+    switch_to_engine();
+    if (aborting_)
+        throw abort_execution{};
+}
+
+[[noreturn]] void engine::fail_current(std::string message)
+{
+    if (!failed_)
+    {
+        failed_ = true;
+        failure_ = std::move(message);
+    }
+    throw abort_execution{};
+}
+
+vclock& engine::hb(int tid) noexcept
+{
+    return threads_[static_cast<unsigned>(tid)].hb;
+}
+
+vclock& engine::fence_rel(int tid) noexcept
+{
+    return threads_[static_cast<unsigned>(tid)].fence_rel;
+}
+
+vclock& engine::acq_pending(int tid) noexcept
+{
+    return threads_[static_cast<unsigned>(tid)].acq_pending;
+}
+
+int engine::spawn_thread(std::function<void()> fn)
+{
+    announce({op_kind::spawn, nullptr, true});
+    int const parent = cur_;
+    int const tid = static_cast<int>(threads_.size());
+    if (tid >= max_threads)
+        fail_current("too many model threads (max 8)");
+    thread_rec& t = threads_.emplace_back();
+    t.tid = tid;
+    t.body = std::move(fn);
+    t.hb = threads_[static_cast<unsigned>(parent)].hb;    // spawn edge
+    while (stacks_.size() <= static_cast<unsigned>(tid))
+        stacks_.push_back(std::malloc(fiber_stack_size));
+    t.ctx.create(stacks_[static_cast<unsigned>(tid)], fiber_stack_size,
+        &engine::fiber_entry, &t);
+    return tid;
+}
+
+void engine::join_thread(int tid)
+{
+    announce(
+        {op_kind::join, &threads_[static_cast<unsigned>(tid)], false});
+    // Enabled only once the target finished; its final clock is the
+    // join edge.
+    threads_[static_cast<unsigned>(cur_)].hb.join(
+        threads_[static_cast<unsigned>(tid)].hb);
+}
+
+void engine::block_on_cv(condvar_state& cv, mutex_state& m)
+{
+    thread_rec& t = threads_[static_cast<unsigned>(cur_)];
+    t.status = thread_rec::st::blocked_cv;
+    t.cv_mutex = &m;
+    cv.waiters_.push_back(cur_);
+    switch_to_engine();
+    if (aborting_)
+        throw abort_execution{};
+    // Resumed: a notify re-announced us as mutex_lock and the scheduler
+    // picked us with the mutex free. The caller performs lock_effect.
+}
+
+void engine::notify_waiters(condvar_state& cv, bool all)
+{
+    while (!cv.waiters_.empty())
+    {
+        int const tid = cv.waiters_.front();
+        cv.waiters_.erase(cv.waiters_.begin());
+        thread_rec& t = threads_[static_cast<unsigned>(tid)];
+        t.status = thread_rec::st::ready;
+        // No happens-before from the notify itself (matches C++);
+        // ordering flows through the mutex reacquisition.
+        t.announced = {op_kind::mutex_lock, t.cv_mutex, true};
+        if (!all)
+            break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// public helpers
+// ---------------------------------------------------------------------
+thread::thread(std::function<void()> fn)
+{
+    tid_ = engine::current()->spawn_thread(std::move(fn));
+}
+
+void thread::join()
+{
+    engine::current()->join_thread(tid_);
+    joined_ = true;
+}
+
+thread::~thread() = default;    // unjoined threads run to execution end
+
+void yield()
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::yield, nullptr, false});
+    e.threads_[static_cast<unsigned>(e.cur_)].yielded = true;
+}
+
+void fail(std::string message)
+{
+    engine::current()->fail_current(std::move(message));
+}
+
+// ---------------------------------------------------------------------
+// atomic_location
+// ---------------------------------------------------------------------
+namespace {
+
+    bool store_known(store_record const& s, vclock const& hb) noexcept
+    {
+        return s.writer < 0 || hb[s.writer] >= s.writer_ts;
+    }
+
+}    // namespace
+
+void atomic_location::init(std::uint64_t initial)
+{
+    init_value_ = initial;
+    if (engine* e = engine::current(); e && e->cur_tid() >= 0)
+        ensure_init();
+}
+
+void atomic_location::ensure_init()
+{
+    if (initialized_)
+        return;
+    initialized_ = true;
+    store_record rec;
+    rec.value = init_value_;
+    if (engine* e = engine::current(); e && e->cur_tid() >= 0)
+    {
+        // Treat initialization as a store by the constructing thread:
+        // visible to everyone the object is published to (spawn/join/
+        // release edges), racy to read otherwise — same as C++.
+        int const tid = e->cur_tid();
+        rec.writer = tid;
+        rec.writer_ts = e->hb(tid)[tid];
+        rec.release = e->hb(tid);
+    }
+    history_.push_back(std::move(rec));
+    last_read_.fill(0);
+}
+
+std::uint64_t atomic_location::read_value(std::memory_order mo, bool rmw)
+{
+    engine& e = *engine::current();
+    int const tid = e.cur_tid();
+    vclock const& hb = e.hb(tid);
+    int const n = static_cast<int>(history_.size());
+
+    int chosen;
+    if (rmw || !e.weak_memory())
+    {
+        // RMWs are atomic: they read the latest store in modification
+        // order (and so does everything under weak_memory == false).
+        chosen = n - 1;
+    }
+    else
+    {
+        // Per-thread coherence floor: never read mo-backwards.
+        int floor = last_read_[static_cast<unsigned>(tid)];
+        // SC restriction: an SC load reads at or after the last SC
+        // store to this location in the execution (= SC) order. No
+        // global hb strengthening — that would hide relaxed-mutant
+        // bugs behind spurious edges.
+        if (mo == std::memory_order_seq_cst && last_sc_ > floor)
+            floor = last_sc_;
+        // Newest first; stop at the newest store this thread already
+        // knows happened-before — anything older is stale for it.
+        std::vector<int> cand;
+        for (int i = n - 1; i >= floor; --i)
+        {
+            cand.push_back(i);
+            if (store_known(history_[static_cast<unsigned>(i)], hb))
+                break;
+        }
+        if (stale_streak_[static_cast<unsigned>(tid)] >= 2)
+            chosen = n - 1;    // bounded staleness: force eventual visibility
+        else
+            chosen = cand[static_cast<unsigned>(
+                e.choose(static_cast<int>(cand.size())))];
+    }
+
+    if (chosen == n - 1)
+        stale_streak_[static_cast<unsigned>(tid)] = 0;
+    else
+        ++stale_streak_[static_cast<unsigned>(tid)];
+
+    last_read_[static_cast<unsigned>(tid)] = chosen;
+    store_record const& s = history_[static_cast<unsigned>(chosen)];
+    if (order_is_acquire(mo))
+        e.hb(tid).join(s.release);
+    else
+        e.acq_pending(tid).join(s.release);    // claimed by acquire fence
+    return s.value;
+}
+
+void atomic_location::push_store(std::uint64_t v, std::memory_order mo,
+    bool rmw, vclock const* rmw_read_release)
+{
+    engine& e = *engine::current();
+    int const tid = e.cur_tid();
+    store_record rec;
+    rec.value = v;
+    rec.writer = tid;
+    rec.writer_ts = e.hb(tid)[tid];
+    // Release clock: a release store carries the thread's full clock; a
+    // relaxed store carries only what the last release *fence*
+    // published. An RMW additionally continues the release sequence of
+    // the store it read.
+    rec.release = order_is_release(mo) ? e.hb(tid) : e.fence_rel(tid);
+    if (rmw && rmw_read_release)
+        rec.release.join(*rmw_read_release);
+    rec.sc = mo == std::memory_order_seq_cst;
+    if (rec.sc)
+        last_sc_ = static_cast<int>(history_.size());
+    history_.push_back(std::move(rec));
+    last_read_[static_cast<unsigned>(tid)] =
+        static_cast<int>(history_.size()) - 1;
+    stale_streak_[static_cast<unsigned>(tid)] = 0;
+}
+
+std::uint64_t atomic_location::load(std::memory_order mo)
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::atomic_load, this, false});
+    ensure_init();
+    return read_value(mo, false);
+}
+
+void atomic_location::store(std::uint64_t v, std::memory_order mo)
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::atomic_store, this, true});
+    ensure_init();
+    push_store(v, mo, false, nullptr);
+}
+
+std::uint64_t atomic_location::rmw(
+    std::uint64_t (*f)(std::uint64_t, std::uint64_t), std::uint64_t operand,
+    std::memory_order mo)
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::atomic_rmw, this, true});
+    ensure_init();
+    int const tid = e.cur_tid();
+    std::uint64_t const old = read_value(mo, true);
+    vclock const prev_release = history_.back().release;
+    (void) tid;
+    push_store(f(old, operand), mo, true, &prev_release);
+    return old;
+}
+
+bool atomic_location::cas(std::uint64_t& expected, std::uint64_t desired,
+    std::memory_order success, std::memory_order failure)
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::atomic_rmw, this, true});
+    ensure_init();
+    std::uint64_t const latest = history_.back().value;
+    if (latest == expected)
+    {
+        std::uint64_t const old = read_value(success, true);
+        MINIHPX_ASSERT(old == expected);
+        vclock const prev_release = history_.back().release;
+        push_store(desired, success, true, &prev_release);
+        return true;
+    }
+    // Failed CAS: modeled as a load of the mo-latest store with the
+    // failure ordering (slightly stronger than C++, which lets a failed
+    // CAS read older values; none of the checked protocols depend on
+    // failed-CAS staleness).
+    expected = read_value(failure, true);
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// nonatomic_location (precise happens-before race detection)
+// ---------------------------------------------------------------------
+void nonatomic_location::on_read()
+{
+    engine* e = engine::current();
+    if (!e || e->cur_tid() < 0 || e->inert())
+        return;
+    int const tid = e->cur_tid();
+    vclock& hb = e->hb(tid);
+    hb.tick(tid);    // give this access its own epoch
+    if (writer_ >= 0 && hb[writer_] < writer_ts_)
+        e->fail_current("data race: non-atomic read is concurrent with a "
+                        "non-atomic write (no happens-before edge)");
+    reads_.set(tid, hb[tid]);
+}
+
+void nonatomic_location::on_write()
+{
+    engine* e = engine::current();
+    if (!e || e->cur_tid() < 0 || e->inert())
+        return;
+    int const tid = e->cur_tid();
+    vclock& hb = e->hb(tid);
+    hb.tick(tid);
+    if (writer_ >= 0 && hb[writer_] < writer_ts_)
+        e->fail_current("data race: non-atomic write is concurrent with a "
+                        "previous non-atomic write");
+    if (!reads_.leq(hb))
+        e->fail_current("data race: non-atomic write is concurrent with a "
+                        "previous non-atomic read");
+    writer_ = tid;
+    writer_ts_ = hb[tid];
+}
+
+// ---------------------------------------------------------------------
+// mutex_state / condvar_state
+// ---------------------------------------------------------------------
+void mutex_state::lock()
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::mutex_lock, this, true});
+    if (e.inert())
+        return;    // unwind: acquisition is a no-op (unlock matches)
+    lock_effect(e.cur_tid());    // scheduler guarantees !held_
+}
+
+bool mutex_state::try_lock()
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::mutex_try, this, true});
+    if (e.inert() || held_)
+        return false;
+    lock_effect(e.cur_tid());
+    return true;
+}
+
+void mutex_state::unlock()
+{
+    engine& e = *engine::current();
+    if (e.inert())
+    {
+        // Guard destructors during unwind: release only if this fiber
+        // actually completed the acquisition.
+        if (held_ && owner_ == e.cur_tid())
+            unlock_effect();
+        return;
+    }
+    MINIHPX_ASSERT_MSG(held_ && owner_ == e.cur_tid(),
+        "model mutex unlocked by non-owner");
+    e.announce({op_kind::mutex_unlock, this, true});
+    unlock_effect();
+}
+
+void mutex_state::lock_effect(int tid)
+{
+    MINIHPX_ASSERT(!held_);
+    held_ = true;
+    owner_ = tid;
+    engine::current()->hb(tid).join(release_);
+}
+
+void mutex_state::unlock_effect()
+{
+    engine& e = *engine::current();
+    release_.join(e.hb(e.cur_tid()));
+    held_ = false;
+    owner_ = -1;
+}
+
+void condvar_state::wait(mutex_state& m)
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::cv_wait, this, true});
+    if (e.inert())
+        return;
+    // Atomically (no other thread runs mid-op): release the mutex and
+    // park. No spurious wakeups — see the class comment.
+    m.unlock_effect();
+    e.block_on_cv(*this, m);
+    // Resumed holding the scheduling slot for the reacquisition op.
+    m.lock_effect(e.cur_tid());
+}
+
+void condvar_state::notify_one()
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::cv_notify, this, true});
+    if (!e.inert())
+        e.notify_waiters(*this, false);
+}
+
+void condvar_state::notify_all()
+{
+    engine& e = *engine::current();
+    e.announce({op_kind::cv_notify, this, true});
+    if (!e.inert())
+        e.notify_waiters(*this, true);
+}
+
+}    // namespace minihpx::mc

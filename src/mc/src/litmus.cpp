@@ -1,0 +1,295 @@
+#include <minihpx/mc/atomic.hpp>
+#include <minihpx/mc/litmus.hpp>
+
+#include <minihpx/threads/chase_lev_deque.hpp>
+#include <minihpx/util/eventcount.hpp>
+#include <minihpx/util/refcount.hpp>
+#include <minihpx/util/spinlock.hpp>
+#include <minihpx/util/spsc_ring.hpp>
+
+#include <cstdint>
+#include <optional>
+
+namespace minihpx::mc {
+
+namespace {
+
+    // -----------------------------------------------------------------
+    // spinlock: mutual exclusion + release->acquire publication
+    // -----------------------------------------------------------------
+    template <unsigned Mutant>
+    void spinlock_body()
+    {
+        util::basic_spinlock<model_atomics_policy, Mutant> lock;
+        nonatomic<int> counter;
+        counter.store(0);
+        auto work = [&] {
+            lock.lock();
+            counter.store(counter.load() + 1);
+            lock.unlock();
+        };
+        thread t1(work);
+        thread t2(work);
+        t1.join();
+        t2.join();
+        MC_CHECK(counter.load() == 2);
+    }
+
+    // -----------------------------------------------------------------
+    // SPSC ring: FIFO order, drop accounting, wraparound at capacity
+    // (capacity 2, four pushes => every slot is reused)
+    // -----------------------------------------------------------------
+    template <unsigned Mutant>
+    void spsc_body()
+    {
+        util::spsc_ring<int, model_atomics_policy, Mutant> ring(2);
+        unsigned pushed_ok = 0;
+        int popped[8];
+        int npop = 0;
+        thread producer([&] {
+            for (int v = 1; v <= 4; ++v)
+                if (ring.push(v))
+                    ++pushed_ok;
+        });
+        thread consumer([&] {
+            for (int i = 0; i < 6; ++i)
+            {
+                int v;
+                if (ring.pop(v))
+                    popped[npop++] = v;
+                else
+                    yield();
+            }
+        });
+        producer.join();
+        consumer.join();
+        // Drain what the consumer's bounded attempts left behind (the
+        // consumer thread has joined; main is the sole consumer now).
+        int v;
+        while (ring.pop(v))
+            popped[npop++] = v;
+
+        // Every successful push is eventually popped, drops are
+        // counted, and values come out strictly in push order.
+        MC_CHECK(pushed_ok + ring.dropped() == 4);
+        MC_CHECK(static_cast<unsigned>(npop) == pushed_ok);
+        for (int i = 1; i < npop; ++i)
+            MC_CHECK(popped[i - 1] < popped[i]);
+    }
+
+    // -----------------------------------------------------------------
+    // Chase-Lev: every pushed element claimed exactly once between the
+    // owner's pops and the thieves' steals
+    // -----------------------------------------------------------------
+    template <unsigned Mutant>
+    void chase_lev_run(
+        std::size_t capacity, int items, int thieves, int attempts)
+    {
+        threads::basic_chase_lev_deque<int, model_atomics_policy, Mutant>
+            dq(capacity);
+        bool claimed[8] = {};
+        auto claim = [&](int v) {
+            MC_CHECK(v >= 1 && v <= items);
+            MC_CHECK(!claimed[v]);    // duplicate pop/steal
+            claimed[v] = true;
+        };
+
+        int stolen[2][4];
+        int nsteal[2] = {};
+        std::optional<thread> th[2];
+        for (int t = 0; t < thieves; ++t)
+            th[t].emplace([&, t] {
+                for (int i = 0; i < attempts; ++i)
+                {
+                    int v = dq.steal();
+                    if (v != 0)
+                        stolen[t][nsteal[t]++] = v;
+                }
+            });
+
+        for (int v = 1; v <= items; ++v)
+            dq.push(v);
+        while (int v = dq.pop())
+            claim(v);
+
+        for (int t = 0; t < thieves; ++t)
+            th[t]->join();
+        for (int t = 0; t < thieves; ++t)
+            for (int i = 0; i < nsteal[t]; ++i)
+                claim(stolen[t][i]);
+        // Anything not claimed yet must still be in the deque (a thief
+        // lost its CAS and left the element) — nothing may be lost.
+        while (int v = dq.pop())
+            claim(v);
+        for (int v = 1; v <= items; ++v)
+            MC_CHECK(claimed[v]);
+    }
+
+    template <unsigned Mutant>
+    void chase_lev_2t_body()
+    {
+        chase_lev_run<Mutant>(4, 3, 1, 2);
+    }
+
+    void chase_lev_3t_body()
+    {
+        chase_lev_run<threads::chase_lev_mutation::none>(4, 3, 2, 1);
+    }
+
+    void chase_lev_grow_body()
+    {
+        // Capacity 2, four pushes: the ring grows mid-protocol while a
+        // thief races the owner — no element may be lost across the
+        // array swap.
+        chase_lev_run<threads::chase_lev_mutation::none>(2, 4, 1, 2);
+    }
+
+    // -----------------------------------------------------------------
+    // eventcount: no lost wakeups (a lost wakeup deadlocks the model —
+    // the condvar has no spurious wakeups) and the bump publishes the
+    // work written before it
+    // -----------------------------------------------------------------
+    template <unsigned Mutant>
+    void eventcount_body()
+    {
+        util::basic_eventcount<model_atomics_policy, Mutant> ec;
+        atomic<int> flag{0};
+        thread waiter([&] {
+            std::uint64_t const epoch0 = ec.prepare();
+            if (flag.load(std::memory_order_relaxed) != 0)
+                return;    // scan saw the work
+            ec.park(epoch0, [] { return false; });
+            // prepare()/park() must guarantee the flag store is visible
+            // once we are through — even though this load is relaxed.
+            MC_CHECK(flag.load(std::memory_order_relaxed) == 1);
+        });
+        flag.store(1, std::memory_order_relaxed);
+        ec.notify_one();
+        waiter.join();
+    }
+
+    // -----------------------------------------------------------------
+    // refcount: dispose runs exactly once, strictly after every other
+    // releaser's payload access (no use-after-free)
+    // -----------------------------------------------------------------
+    template <unsigned Mutant>
+    void refcount_body()
+    {
+        util::basic_refcount<model_atomics_policy, Mutant> refs;
+        nonatomic<int> payload;
+        payload.store(7);
+        int disposed = 0;
+        auto dispose = [&] {
+            // The "free": unordered with another releaser's read this
+            // write is a use-after-free, reported as a data race.
+            payload.store(-1);
+            ++disposed;
+        };
+        refs.add_ref();
+        refs.add_ref();
+        auto user = [&] {
+            MC_CHECK(payload.load() == 7);
+            refs.release(dispose);
+        };
+        thread t1(user);
+        thread t2(user);
+        refs.release(dispose);    // drop the creator's reference
+        t1.join();
+        t2.join();
+        MC_CHECK(disposed == 1);
+        MC_CHECK(payload.load() == -1);
+    }
+
+    options default_opts()
+    {
+        options o;
+        o.preemption_bound = 2;
+        return o;
+    }
+
+    std::vector<litmus_case> build_suite()
+    {
+        namespace clm = threads::chase_lev_mutation;
+        options const o = default_opts();
+        std::vector<litmus_case> s;
+
+        s.push_back({"spinlock_mutex",
+            "TATAS spinlock: mutual exclusion and critical-section "
+            "publication",
+            o, false, &spinlock_body<util::spinlock_mutation::none>});
+        s.push_back({"spinlock_mutex.unlock_relaxed",
+            "mutant: unlock store relaxed — guarded data race", o, true,
+            &spinlock_body<util::spinlock_mutation::unlock_relaxed>});
+
+        s.push_back({"spsc_fifo",
+            "SPSC ring at capacity 2: FIFO, drop accounting, wraparound",
+            o, false, &spsc_body<util::spsc_mutation::none>});
+        s.push_back({"spsc_fifo.push_publish_relaxed",
+            "mutant: head publication relaxed — slot read race", o, true,
+            &spsc_body<util::spsc_mutation::push_publish_relaxed>});
+        s.push_back({"spsc_fifo.pop_release_relaxed",
+            "mutant: tail release relaxed — slot reuse race", o, true,
+            &spsc_body<util::spsc_mutation::pop_release_relaxed>});
+
+        s.push_back({"chase_lev_2t",
+            "Chase-Lev owner + 1 thief: exactly-once pop/steal", o, false,
+            &chase_lev_2t_body<clm::none>});
+        s.push_back({"chase_lev_2t.pop_bottom_relaxed",
+            "mutant: pop bottom store relaxed — duplicate claim", o, true,
+            &chase_lev_2t_body<clm::pop_bottom_relaxed>});
+        s.push_back({"chase_lev_2t.pop_top_relaxed",
+            "mutant: pop top load relaxed — duplicate claim", o, true,
+            &chase_lev_2t_body<clm::pop_top_relaxed>});
+        s.push_back({"chase_lev_2t.steal_bottom_relaxed",
+            "mutant: steal bottom load relaxed — stale slot", o, true,
+            &chase_lev_2t_body<clm::steal_bottom_relaxed>});
+
+        s.push_back({"chase_lev_3t",
+            "Chase-Lev owner + 2 thieves: exactly-once across 3 threads",
+            o, false, &chase_lev_3t_body});
+        s.push_back({"chase_lev_grow",
+            "Chase-Lev growth: no element lost across the array swap", o,
+            false, &chase_lev_grow_body});
+
+        s.push_back({"eventcount_wakeup",
+            "spin-then-park eventcount: no lost wakeup (Dekker pair)", o,
+            false, &eventcount_body<util::eventcount_mutation::none>});
+        s.push_back({"eventcount_wakeup.notify_bump_relaxed",
+            "mutant: epoch bump relaxed — lost wakeup deadlock", o, true,
+            &eventcount_body<
+                util::eventcount_mutation::notify_bump_relaxed>});
+
+        s.push_back({"refcount_dispose",
+            "intrusive refcount: dispose exactly once, after all reads",
+            o, false, &refcount_body<util::refcount_mutation::none>});
+        s.push_back({"refcount_dispose.release_relaxed",
+            "mutant: release decrement relaxed — use-after-free race", o,
+            true,
+            &refcount_body<util::refcount_mutation::release_relaxed>});
+
+        return s;
+    }
+
+}    // namespace
+
+std::vector<litmus_case> const& litmus_suite()
+{
+    static std::vector<litmus_case> const suite = build_suite();
+    return suite;
+}
+
+litmus_case const* find_litmus(std::string const& name)
+{
+    for (litmus_case const& c : litmus_suite())
+        if (c.name == name)
+            return &c;
+    return nullptr;
+}
+
+bool run_litmus(litmus_case const& c, result& out)
+{
+    out = check(c.opts, c.body);
+    return c.expect_fail ? !out.ok : out.ok;
+}
+
+}    // namespace minihpx::mc

@@ -1,0 +1,161 @@
+// Intrusive free lists for recycled fixed-size blocks.
+//
+// Extracted from frame_pool.cpp so the transfer protocol — worker-local
+// LIFO caches spilling/refilling a spinlock-guarded global list in
+// batches — is a reusable, model-checkable primitive:
+//
+//   free_list          unsynchronized intrusive LIFO over the blocks
+//                      themselves (a freed block doubles as its own
+//                      link node). Used for the thread-local caches,
+//                      where only the owner ever touches the list.
+//   shared_free_list   the same list behind a basic_spinlock<Policy>,
+//                      with batched splice-in/splice-out so one lock
+//                      round-trip moves `batch` blocks. minihpx::mc
+//                      instantiates it over model atomics and checks
+//                      that concurrent spill/refill never loses or
+//                      duplicates a block (tests/test_mc.cpp), and that
+//                      the spinlock's unlock_relaxed mutant surfaces as
+//                      a race on the list head.
+//
+// Blocks handed to these lists must be at least sizeof(void*) and
+// suitably aligned — the caller's size classes guarantee that.
+#pragma once
+
+#include <minihpx/util/atomics_policy.hpp>
+#include <minihpx/util/spinlock.hpp>
+
+#include <cstddef>
+
+namespace minihpx::detail {
+
+// Unsynchronized intrusive LIFO; the owner provides all exclusion.
+class free_list
+{
+public:
+    struct node
+    {
+        node* next;
+    };
+
+    bool empty() const noexcept { return head_ == nullptr; }
+    std::size_t size() const noexcept { return size_; }
+
+    void push(void* block) noexcept
+    {
+        auto* n = static_cast<node*>(block);
+        n->next = head_;
+        head_ = n;
+        ++size_;
+    }
+
+    void* pop() noexcept
+    {
+        node* n = head_;
+        if (n)
+        {
+            head_ = n->next;
+            --size_;
+        }
+        return n;
+    }
+
+    // Detach the whole chain (e.g. to free it outside a lock). The
+    // caller walks it via next_of().
+    node* drain() noexcept
+    {
+        node* chain = head_;
+        head_ = nullptr;
+        size_ = 0;
+        return chain;
+    }
+
+    static node* next_of(node* n) noexcept { return n->next; }
+
+private:
+    node* head_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+// Spinlock-guarded free list with batched transfer. All methods are
+// thread-safe; the batch operations take the lock once per call.
+template <typename Policy = util::std_atomics_policy,
+    unsigned LockMutant = util::spinlock_mutation::none>
+class shared_free_list
+{
+public:
+    shared_free_list() noexcept = default;
+
+    explicit shared_free_list(unsigned rank, char const* name) noexcept
+      : lock_(rank, name)
+    {
+    }
+
+    std::size_t size() const noexcept
+    {
+        std::lock_guard lock(lock_);
+        return list_.size();
+    }
+
+    void push(void* block) noexcept
+    {
+        std::lock_guard lock(lock_);
+        list_.push(block);
+    }
+
+    void* pop() noexcept
+    {
+        std::lock_guard lock(lock_);
+        return list_.pop();
+    }
+
+    // Move up to `max_take` blocks into `dst`; returns the number moved.
+    std::size_t refill(free_list& dst, std::size_t max_take) noexcept
+    {
+        std::lock_guard lock(lock_);
+        std::size_t taken = 0;
+        while (taken < max_take)
+        {
+            void* block = list_.pop();
+            if (!block)
+                break;
+            dst.push(block);
+            ++taken;
+        }
+        return taken;
+    }
+
+    // Splice a caller-built chain in, then detach whatever exceeds
+    // `high_water` as a chain the caller frees outside the lock.
+    free_list::node* spill(
+        free_list::node* chain, std::size_t high_water) noexcept
+    {
+        std::lock_guard lock(lock_);
+        while (chain)
+        {
+            free_list::node* n = chain;
+            chain = free_list::next_of(n);
+            list_.push(n);
+        }
+        free_list::node* surplus = nullptr;
+        while (list_.size() > high_water)
+        {
+            auto* n = static_cast<free_list::node*>(list_.pop());
+            n->next = surplus;
+            surplus = n;
+        }
+        return surplus;
+    }
+
+    // Detach everything (trim path); freed by the caller.
+    free_list::node* drain() noexcept
+    {
+        std::lock_guard lock(lock_);
+        return list_.drain();
+    }
+
+private:
+    mutable util::basic_spinlock<Policy, LockMutant> lock_;
+    free_list list_;
+};
+
+}    // namespace minihpx::detail

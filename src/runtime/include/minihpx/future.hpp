@@ -23,6 +23,7 @@
 #include <minihpx/runtime/scheduler.hpp>
 #include <minihpx/util/assert.hpp>
 #include <minihpx/util/lock_registry.hpp>
+#include <minihpx/util/refcount.hpp>
 #include <minihpx/util/sanitizers.hpp>
 #include <minihpx/util/spinlock.hpp>
 #include <minihpx/util/unique_function.hpp>
@@ -131,17 +132,13 @@ namespace detail {
         virtual ~shared_state_base() = default;
 
         // ---- intrusive lifetime ---------------------------------------
-        void add_ref() noexcept
-        {
-            refs_.fetch_add(1, std::memory_order_relaxed);
-        }
+        // The count protocol (orders, zero-detection) lives in
+        // util::basic_refcount, where minihpx::mc checks it.
+        void add_ref() noexcept { refs_.add_ref(); }
 
         void release() noexcept
         {
-            // acq_rel: the last releaser must observe every write made
-            // by threads that dropped their reference earlier.
-            if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1)
-                dispose();
+            refs_.release([this]() noexcept { dispose(); });
         }
 
         bool is_ready() const
@@ -281,7 +278,7 @@ namespace detail {
         std::vector<util::unique_function<void()>> overflow_callbacks_;
 
     private:
-        std::atomic<std::uint32_t> refs_{1};
+        util::refcount refs_;    // born with the creator's reference
 
         void wait_on_task(scheduler& sched)
         {

@@ -21,10 +21,12 @@
 #include <minihpx/threads/thread_data.hpp>
 #include <minihpx/threads/thread_queue.hpp>
 #include <minihpx/util/cache_align.hpp>
+#include <minihpx/util/eventcount.hpp>
 #include <minihpx/util/histogram.hpp>
 #include <minihpx/util/lock_registry.hpp>
 #include <minihpx/util/rng.hpp>
 #include <minihpx/util/spinlock.hpp>
+#include <minihpx/util/thread_annotations.hpp>
 #include <minihpx/util/unique_function.hpp>
 
 #include <atomic>
@@ -378,7 +380,8 @@ private:
     // drained by then — stop() joins only after tasks_alive_ is 0).
     util::spinlock freelist_lock_{
         util::lock_rank::sched_freelist, "scheduler-freelist"};
-    threads::thread_data* freelist_ = nullptr;
+    threads::thread_data* freelist_ MINIHPX_GUARDED_BY(
+        freelist_lock_) = nullptr;
     std::atomic<std::uint32_t> freelist_count_{0};
     std::atomic<std::uint64_t> descriptors_created_{0};
     std::atomic<std::uint64_t> descriptors_destroyed_{0};
@@ -394,17 +397,14 @@ private:
     std::atomic<std::uint64_t> tasks_alive_{0};
     std::atomic<std::uint64_t> tasks_created_{0};
 
-    // Eventcount for idle workers. A waiter captures the epoch, scans
-    // the queues, then parks with sleepers_ raised; any schedule() bumps
-    // the epoch (seq_cst) and only takes the mutex + notifies when
-    // sleepers_ is non-zero — so the wake fast path is one RMW and one
-    // load. The seq_cst total order over {epoch, sleepers_} closes the
-    // check-then-park / bump-then-check (Dekker) race; docs/SCHEDULER.md
-    // has the full argument.
-    std::mutex sleep_mutex_;
-    std::condition_variable sleep_cv_;
-    std::atomic<std::uint64_t> sleep_epoch_{0};
-    std::atomic<std::uint32_t> sleepers_{0};
+    // Eventcount for idle workers (util/eventcount.hpp): a waiter
+    // captures the epoch, scans the queues, then parks; any schedule()
+    // bumps the epoch and only notifies when someone is parked, so the
+    // wake fast path is one RMW and one load. The Dekker argument lives
+    // with the primitive (and is model-checked by the minihpx::mc
+    // lost-wakeup litmus); docs/SCHEDULER.md has the scheduler-level
+    // story.
+    util::eventcount sleep_ec_;
 
     util::log2_histogram<> duration_hist_;
 

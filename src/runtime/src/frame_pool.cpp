@@ -1,9 +1,10 @@
 #include <minihpx/detail/frame_pool.hpp>
 
+#include <minihpx/detail/free_list.hpp>
 #include <minihpx/util/assert.hpp>
-#include <minihpx/util/spinlock.hpp>
 
 #include <atomic>
+#include <cstddef>
 #include <mutex>
 #include <new>
 #include <vector>
@@ -38,12 +39,6 @@ namespace {
         return oversize;
     }
 
-    // Freed blocks double as freelist nodes.
-    struct node
-    {
-        node* next;
-    };
-
     struct cache_counters
     {
         std::atomic<std::uint64_t> hits{0};
@@ -62,9 +57,9 @@ namespace {
     // treat them as live.
     struct global_pool
     {
-        util::spinlock lock;
-        node* free[num_classes] = {};
-        unsigned count[num_classes] = {};
+        // One spinlock-guarded list per class (detail/free_list.hpp);
+        // batched transfers keep it off the steady-state path.
+        shared_free_list<> lists[num_classes];
 
         // Counters of threads that have exited (merged by ~thread_cache)
         // plus blocks parked in the global lists.
@@ -80,10 +75,20 @@ namespace {
         return *g;
     }
 
+    void free_chain(free_list::node* chain, unsigned& freed) noexcept
+    {
+        while (chain)
+        {
+            free_list::node* n = chain;
+            chain = free_list::next_of(n);
+            ::operator delete(n);
+            ++freed;
+        }
+    }
+
     struct thread_cache
     {
-        node* free[num_classes] = {};
-        unsigned count[num_classes] = {};
+        free_list free[num_classes];
         cache_counters counters;
 
         thread_cache()
@@ -96,21 +101,16 @@ namespace {
         ~thread_cache()
         {
             auto& g = pool();
-            // Spill every block, then merge the counters so totals stay
-            // monotonic after this thread is gone.
+            // Spill every block (no trim: teardown must not free blocks
+            // other threads may still recycle), then merge the counters
+            // so totals stay monotonic after this thread is gone.
+            for (unsigned c = 0; c < num_classes; ++c)
             {
-                std::lock_guard lock(g.lock);
-                for (unsigned c = 0; c < num_classes; ++c)
+                if (free_list::node* chain = free[c].drain())
                 {
-                    while (free[c])
-                    {
-                        node* n = free[c];
-                        free[c] = n->next;
-                        n->next = g.free[c];
-                        g.free[c] = n;
-                        ++g.count[c];
-                    }
-                    count[c] = 0;
+                    free_list::node* surplus =
+                        g.lists[c].spill(chain, ~std::size_t(0));
+                    MINIHPX_ASSERT(surplus == nullptr);
                 }
             }
             auto merge = [](std::atomic<std::uint64_t>& dst,
@@ -136,43 +136,30 @@ namespace {
                 std::memory_order_relaxed);
         }
 
+        void adjust_cached(std::int64_t delta) noexcept
+        {
+            counters.cached.store(
+                counters.cached.load(std::memory_order_relaxed) +
+                    static_cast<std::uint64_t>(delta),
+                std::memory_order_relaxed);
+        }
+
         void* allocate(unsigned cls)
         {
-            if (node* n = free[cls])
+            if (void* p = free[cls].pop())
             {
-                free[cls] = n->next;
-                --count[cls];
                 bump(counters.hits);
-                counters.cached.store(counters.cached.load(
-                                          std::memory_order_relaxed) -
-                        1,
-                    std::memory_order_relaxed);
-                return n;
+                adjust_cached(-1);
+                return p;
             }
 
             // Batch refill: one lock round-trip amortized over `batch`
             // subsequent allocations.
             auto& g = pool();
-            unsigned taken = 0;
-            {
-                std::lock_guard lock(g.lock);
-                while (g.free[cls] && taken < batch)
-                {
-                    node* n = g.free[cls];
-                    g.free[cls] = n->next;
-                    n->next = free[cls];
-                    free[cls] = n;
-                    ++taken;
-                }
-                g.count[cls] -= taken;
-            }
+            std::size_t const taken = g.lists[cls].refill(free[cls], batch);
             if (taken)
             {
-                count[cls] += taken;
-                counters.cached.store(counters.cached.load(
-                                          std::memory_order_relaxed) +
-                        taken,
-                    std::memory_order_relaxed);
+                adjust_cached(static_cast<std::int64_t>(taken));
                 return allocate(cls);    // cache is non-empty now
             }
 
@@ -182,60 +169,27 @@ namespace {
 
         void deallocate(void* p, unsigned cls) noexcept
         {
-            auto* n = static_cast<node*>(p);
-            n->next = free[cls];
-            free[cls] = n;
+            free[cls].push(p);
             bump(counters.recycles);
-            counters.cached.store(
-                counters.cached.load(std::memory_order_relaxed) + 1,
-                std::memory_order_relaxed);
-            if (++count[cls] <= local_capacity)
+            adjust_cached(1);
+            if (free[cls].size() <= local_capacity)
                 return;
 
             // Spill a batch; trim the global list past its high water.
-            node* chain = nullptr;
+            free_list::node* chain = nullptr;
             for (unsigned i = 0; i < batch; ++i)
             {
-                node* s = free[cls];
-                free[cls] = s->next;
+                auto* s = static_cast<free_list::node*>(free[cls].pop());
                 s->next = chain;
                 chain = s;
             }
-            count[cls] -= batch;
-            counters.cached.store(counters.cached.load(
-                                      std::memory_order_relaxed) -
-                    batch,
-                std::memory_order_relaxed);
+            adjust_cached(-static_cast<std::int64_t>(batch));
 
             auto& g = pool();
-            node* surplus = nullptr;
+            free_list::node* surplus =
+                g.lists[cls].spill(chain, global_capacity);
             unsigned freed = 0;
-            {
-                std::lock_guard lock(g.lock);
-                while (chain)
-                {
-                    node* s = chain;
-                    chain = s->next;
-                    s->next = g.free[cls];
-                    g.free[cls] = s;
-                    ++g.count[cls];
-                }
-                while (g.count[cls] > global_capacity)
-                {
-                    node* s = g.free[cls];
-                    g.free[cls] = s->next;
-                    s->next = surplus;
-                    surplus = s;
-                    --g.count[cls];
-                    ++freed;
-                }
-            }
-            while (surplus)
-            {
-                node* s = surplus;
-                surplus = s->next;
-                ::operator delete(s);
-            }
+            free_chain(surplus, freed);
             counters.deallocations.store(
                 counters.deallocations.load(std::memory_order_relaxed) +
                     freed,
@@ -288,11 +242,8 @@ frame_pool_stats frame_pool_totals() noexcept
         for (thread_cache const* c : g.caches)
             add(c->counters);
     }
-    {
-        std::lock_guard lock(g.lock);
-        for (unsigned c = 0; c < num_classes; ++c)
-            total.cached_blocks += g.count[c];
-    }
+    for (unsigned c = 0; c < num_classes; ++c)
+        total.cached_blocks += g.lists[c].size();
     return total;
 }
 
@@ -300,42 +251,13 @@ void frame_pool_trim() noexcept
 {
     auto& g = pool();
     auto& t = tls_cache;
-    node* doomed = nullptr;
     unsigned freed = 0;
     for (unsigned c = 0; c < num_classes; ++c)
     {
-        while (t.free[c])
-        {
-            node* n = t.free[c];
-            t.free[c] = n->next;
-            n->next = doomed;
-            doomed = n;
-            ++freed;
-        }
-        t.count[c] = 0;
+        free_chain(t.free[c].drain(), freed);
+        free_chain(g.lists[c].drain(), freed);
     }
     t.counters.cached.store(0, std::memory_order_relaxed);
-    {
-        std::lock_guard lock(g.lock);
-        for (unsigned c = 0; c < num_classes; ++c)
-        {
-            while (g.free[c])
-            {
-                node* n = g.free[c];
-                g.free[c] = n->next;
-                n->next = doomed;
-                doomed = n;
-                ++freed;
-            }
-            g.count[c] = 0;
-        }
-    }
-    while (doomed)
-    {
-        node* n = doomed;
-        doomed = n->next;
-        ::operator delete(n);
-    }
     t.counters.deallocations.store(
         t.counters.deallocations.load(std::memory_order_relaxed) + freed,
         std::memory_order_relaxed);

@@ -112,16 +112,13 @@ namespace detail {
             // remaining tasks may all be suspended and no wake is
             // guaranteed; a bounded poll beats a busy drain loop.
             std::uint64_t const epoch =
-                sched_.sleep_epoch_.load(std::memory_order_acquire);
+                sched_.sleep_ec_.epoch(std::memory_order_acquire);
             if (queue_.length() == 0)
             {
-                std::unique_lock lock(sched_.sleep_mutex_);
-                sched_.sleep_cv_.wait_for(lock,
+                sched_.sleep_ec_.park_for(epoch,
                     std::chrono::microseconds(sched_.config().steal.sleep_us),
                     [&] {
-                        return sched_.sleep_epoch_.load(
-                                   std::memory_order_acquire) != epoch ||
-                            sched_.state_.load(std::memory_order_acquire) !=
+                        return sched_.state_.load(std::memory_order_acquire) !=
                             scheduler::run_state::running;
                     });
                 stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
@@ -132,11 +129,10 @@ namespace detail {
         // Spin-then-park. Capture the epoch *before* spinning: a wake
         // posted any time after this line flips the epoch comparison, so
         // it can neither be missed by the spin nor by the park.
-        std::uint64_t const epoch0 =
-            sched_.sleep_epoch_.load(std::memory_order_seq_cst);
+        std::uint64_t const epoch0 = sched_.sleep_ec_.prepare();
         for (unsigned i = 0; i < p.spin_iters; ++i)
         {
-            if (sched_.sleep_epoch_.load(std::memory_order_relaxed) !=
+            if (sched_.sleep_ec_.epoch(std::memory_order_relaxed) !=
                     epoch0 ||
                 queue_.length() != 0 ||
                 sched_.state_.load(std::memory_order_acquire) !=
@@ -397,8 +393,13 @@ scheduler::~scheduler()
             head = next;
         }
     };
-    free_chain(freelist_);
-    freelist_ = nullptr;
+    {
+        // The lock is uncontended here (workers joined); taken so the
+        // thread-safety analysis sees the freelist_ access guarded.
+        util::annotated_lock_guard lock(freelist_lock_);
+        free_chain(freelist_);
+        freelist_ = nullptr;
+    }
     freelist_count_.store(0, std::memory_order_relaxed);
     for (auto& w : workers_)
     {
@@ -627,7 +628,7 @@ threads::thread_data* scheduler::acquire_descriptor()
     threads::thread_data* chain = nullptr;
     unsigned taken = 0;
     {
-        std::lock_guard lock(freelist_lock_);
+        util::annotated_lock_guard lock(freelist_lock_);
         while (freelist_ && taken < want)
         {
             threads::thread_data* task = freelist_;
@@ -712,7 +713,7 @@ void scheduler::recycle_descriptor(threads::thread_data* task)
     threads::thread_data* doomed = nullptr;
     unsigned freed = 0;
     {
-        std::lock_guard lock(freelist_lock_);
+        util::annotated_lock_guard lock(freelist_lock_);
         while (spill_chain)
         {
             threads::thread_data* s = spill_chain;
@@ -799,41 +800,20 @@ void scheduler::park_worker(detail::worker& w, std::uint64_t epoch0)
     if (any_queue_nonempty())
         return;
 
-    std::unique_lock lock(sleep_mutex_);
-    sleepers_.fetch_add(1, std::memory_order_seq_cst);
-    sleep_cv_.wait(lock, [&] {
-        return sleep_epoch_.load(std::memory_order_seq_cst) != epoch0 ||
-            state_.load(std::memory_order_acquire) != run_state::running;
+    sleep_ec_.park(epoch0, [&] {
+        return state_.load(std::memory_order_acquire) != run_state::running;
     });
-    sleepers_.fetch_sub(1, std::memory_order_relaxed);
-    lock.unlock();
     w.stats_->wakeups.fetch_add(1, std::memory_order_relaxed);
 }
 
 void scheduler::wake_one()
 {
-    sleep_epoch_.fetch_add(1, std::memory_order_seq_cst);
-    if (sleepers_.load(std::memory_order_seq_cst) == 0)
-        return;    // fast path: nobody parked, the bump alone suffices
-    {
-        // Taking the mutex fences against a waiter between its predicate
-        // check and cv.wait(): either it is not yet inside the critical
-        // section (its predicate will see our bump), or it has released
-        // the mutex inside wait() and the notify reaches it.
-        std::lock_guard lock(sleep_mutex_);
-    }
-    sleep_cv_.notify_one();
+    sleep_ec_.notify_one();
 }
 
 void scheduler::wake_all()
 {
-    sleep_epoch_.fetch_add(1, std::memory_order_seq_cst);
-    if (sleepers_.load(std::memory_order_seq_cst) == 0)
-        return;
-    {
-        std::lock_guard lock(sleep_mutex_);
-    }
-    sleep_cv_.notify_all();
+    sleep_ec_.notify_all();
 }
 
 scheduler::totals scheduler::aggregate() const

@@ -1,4 +1,4 @@
-// Lock-free Chase-Lev work-stealing deque of thread_data pointers.
+// Lock-free Chase-Lev work-stealing deque.
 //
 // Single owner pushes and pops at the *bottom* (LIFO, cache-warm child
 // first); any number of thieves CAS-claim the *top* (FIFO, oldest —
@@ -34,34 +34,97 @@
 // reads stay valid. Retired arrays are kept on a chain and freed in the
 // destructor — a handful of pointers per growth, bounded by
 // log2(high-water mark) generations.
+//
+// The deque is a template over the element type and the atomics policy
+// (util/atomics_policy.hpp). threads::chase_lev_deque — the production
+// instantiation over thread_data* and std::atomic — compiles to exactly
+// the pre-template code (bench/steal_throughput gates it). minihpx::mc
+// instantiates the same algorithm over model atomics and exhaustively
+// checks exactly-once pop/steal delivery, including across growth, for
+// every schedule and weak-memory behavior within the bound — and the
+// chase_lev_mutation constants below plant one-ordering-weaker mutants
+// that the mutation-validation suite proves the checker catches.
 #pragma once
 
 #include <minihpx/util/assert.hpp>
+#include <minihpx/util/atomics_policy.hpp>
 #include <minihpx/util/cache_align.hpp>
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 
 namespace minihpx::threads {
 
 class thread_data;
 
-class chase_lev_deque
+// Compile-time-gated fence-weakening mutants (tests/test_mc_mutations).
+// Each weakens exactly one of the orderings the PPoPP'13 proof needs;
+// 0 is the production instantiation.
+namespace chase_lev_mutation {
+
+    inline constexpr unsigned none = 0;
+    // pop(): the bottom decrement store seq_cst -> relaxed — removes
+    // the owner half of the interoperating StoreLoad fence (the paper's
+    // fence in take()). A thief can then observe the stale bottom and
+    // steal the element the owner already took.
+    inline constexpr unsigned pop_bottom_relaxed = 1;
+    // pop(): the top load seq_cst -> relaxed — the owner can then act
+    // on a stale top and hand out slot `b` uncontended while a thief
+    // CAS-claims the same slot.
+    inline constexpr unsigned pop_top_relaxed = 2;
+    // steal(): the bottom load seq_cst -> relaxed — drops the
+    // synchronizes-with edge on the owner's publication store, so the
+    // thief can read a stale (previous-lap) slot value.
+    inline constexpr unsigned steal_bottom_relaxed = 3;
+
+}    // namespace chase_lev_mutation
+
+template <typename T, typename Policy = util::std_atomics_policy,
+    unsigned Mutant = chase_lev_mutation::none>
+class basic_chase_lev_deque
 {
+    static_assert(std::is_trivially_copyable_v<T>,
+        "deque slots are republished during growth with relaxed "
+        "copies; elements must be trivially copyable (pointers)");
+
+    // Only the production policy is noexcept (model fibers unwind via
+    // an exception through these calls).
+    static constexpr bool production =
+        std::is_same_v<Policy, util::std_atomics_policy>;
+
+    static constexpr std::memory_order pop_bottom_order =
+        Mutant == chase_lev_mutation::pop_bottom_relaxed ?
+        std::memory_order_relaxed :
+        std::memory_order_seq_cst;
+    static constexpr std::memory_order pop_top_order =
+        Mutant == chase_lev_mutation::pop_top_relaxed ?
+        std::memory_order_relaxed :
+        std::memory_order_seq_cst;
+    static constexpr std::memory_order steal_bottom_order =
+        Mutant == chase_lev_mutation::steal_bottom_relaxed ?
+        std::memory_order_relaxed :
+        std::memory_order_seq_cst;
+
 public:
     static constexpr std::size_t default_capacity = 256;
 
-    explicit chase_lev_deque(std::size_t initial_capacity = default_capacity)
+    explicit basic_chase_lev_deque(
+        std::size_t initial_capacity = default_capacity)
     {
-        std::size_t cap = 8;
+        // Minimum of 2 keeps the growth path reachable with a handful
+        // of elements — the mc growth litmus exercises it directly.
+        std::size_t cap = 2;
         while (cap < initial_capacity)
             cap *= 2;
+        // relaxed: the deque is published to other threads by whatever
+        // handed them the reference; construction is single-threaded.
         array_.store(new ring(cap, nullptr), std::memory_order_relaxed);
     }
 
-    ~chase_lev_deque()
+    ~basic_chase_lev_deque()
     {
         ring* a = array_.load(std::memory_order_relaxed);
         while (a)
@@ -72,84 +135,120 @@ public:
         }
     }
 
-    chase_lev_deque(chase_lev_deque const&) = delete;
-    chase_lev_deque& operator=(chase_lev_deque const&) = delete;
+    basic_chase_lev_deque(basic_chase_lev_deque const&) = delete;
+    basic_chase_lev_deque& operator=(basic_chase_lev_deque const&) = delete;
 
     // Owner side --------------------------------------------------------
-    void push(thread_data* task)
+    void push(T task)
     {
+        // relaxed: bottom is owner-written only; we read our own last
+        // store.
         std::int64_t const b = bottom_.load(std::memory_order_relaxed);
+        // acquire: pairs with a pop-CAS-losing thief's... nothing,
+        // actually — top only moves forward, and a stale (smaller) top
+        // here merely over-estimates the size and forces an early grow.
+        // acquire is kept so the grow copy below cannot read slots the
+        // claiming thief has not yet vacated on paper; it costs nothing
+        // on x86 and matches the PPoPP'13 formulation.
         std::int64_t const t = top_.load(std::memory_order_acquire);
+        // relaxed: array_ is owner-written; we read our own last store.
         ring* a = array_.load(std::memory_order_relaxed);
 
         if (b - t >= static_cast<std::int64_t>(a->capacity))
             a = grow(a, t, b);
 
+        // relaxed: the slot write is published by the release store of
+        // bottom below, never on its own.
         a->slot(b).store(task, std::memory_order_relaxed);
         // Publication point: the release pairs with the thief's seq_cst
         // load of bottom in steal().
         bottom_.store(b + 1, std::memory_order_release);
     }
 
-    thread_data* pop()
+    T pop()
     {
+        // relaxed: owner-written, own last store (see push).
         std::int64_t const b = bottom_.load(std::memory_order_relaxed) - 1;
         ring* const a = array_.load(std::memory_order_relaxed);
         // seq_cst store/load pair: the StoreLoad between our bottom
         // decrement and the top read closes the owner-vs-thief race on
         // the last element (the paper's interoperating fences).
-        bottom_.store(b, std::memory_order_seq_cst);
-        std::int64_t t = top_.load(std::memory_order_seq_cst);
+        bottom_.store(b, pop_bottom_order);
+        std::int64_t t = top_.load(pop_top_order);
 
         if (t < b)
         {
             // More than one element left: no thief can reach slot b.
+            // relaxed: only this owner ever wrote slot b since top < b.
             return a->slot(b).load(std::memory_order_relaxed);
         }
-        thread_data* task = nullptr;
+        T task{};
         if (t == b)
         {
             // Exactly one element: race the thieves for it via top.
             task = a->slot(b).load(std::memory_order_relaxed);
+            // seq_cst on success: totally ordered against the thieves'
+            // CASes on the same cell. relaxed on failure: losing means
+            // a thief took the element; we return empty and touch no
+            // data that needs the edge.
             if (!top_.compare_exchange_strong(t, t + 1,
                     std::memory_order_seq_cst, std::memory_order_relaxed))
-                task = nullptr;    // a thief won
+                task = T{};    // a thief won
         }
         // Restore the canonical empty state bottom == top (== old b+1).
+        // release (deviation 2 above): keeps every bottom store a
+        // publication point so thieves never need to reason about which
+        // store they paired with.
         bottom_.store(b + 1, std::memory_order_release);
         return task;
     }
 
     // Thief side --------------------------------------------------------
-    thread_data* steal()
+    T steal()
     {
+        // seq_cst: ordered against the owner's bottom store in pop();
+        // the thief must read top before bottom (the paper's read
+        // order) or the emptiness check is unsound.
         std::int64_t t = top_.load(std::memory_order_seq_cst);
-        std::int64_t const b = bottom_.load(std::memory_order_seq_cst);
+        // seq_cst: the Dekker partner of pop()'s bottom store, and the
+        // acquire half of push()'s release publication of slot t.
+        std::int64_t const b = bottom_.load(steal_bottom_order);
         if (t >= b)
-            return nullptr;    // observed empty
+            return T{};    // observed empty
 
         // Load the candidate *before* the CAS: once top moves past t the
         // owner may recycle the slot, so a post-CAS read could see a
         // newer task and hand it out twice.
+        // acquire on array_: pairs with grow()'s release publication of
+        // the copied ring, so slot(t) of a just-published array is
+        // fully initialized.
         ring* const a = array_.load(std::memory_order_acquire);
-        thread_data* task = a->slot(t).load(std::memory_order_relaxed);
+        // relaxed: freshness of the value is guaranteed by the acquire
+        // edge on bottom (slot t was written before bottom advanced
+        // past t); the CAS below discards the read when we lose.
+        T task = a->slot(t).load(std::memory_order_relaxed);
+        // seq_cst on success: claims the cell in the global order all
+        // contenders agree on. relaxed on failure: the reload of top is
+        // advisory — the caller treats a loss as "try another victim".
         if (!top_.compare_exchange_strong(t, t + 1,
                 std::memory_order_seq_cst, std::memory_order_relaxed))
-            return nullptr;    // lost the race; caller may retry
+            return T{};    // lost the race; caller may retry
         return task;
     }
 
     // Introspection (racy snapshot; exact only when quiescent) -----------
-    std::int64_t size() const noexcept
+    std::int64_t size() const noexcept(production)
     {
+        // relaxed: advisory reading (victim selection, stats); any
+        // torn-in-time snapshot is acceptable by contract.
         std::int64_t const b = bottom_.load(std::memory_order_relaxed);
         std::int64_t const t = top_.load(std::memory_order_relaxed);
         return b > t ? b - t : 0;
     }
 
-    bool empty() const noexcept { return size() == 0; }
+    bool empty() const noexcept(production) { return size() == 0; }
 
-    std::size_t capacity() const noexcept
+    std::size_t capacity() const noexcept(production)
     {
         return array_.load(std::memory_order_relaxed)->capacity;
     }
@@ -160,18 +259,18 @@ private:
         std::size_t const capacity;
         std::size_t const mask;
         ring* const retired;    // previous generation, kept alive
-        std::unique_ptr<std::atomic<thread_data*>[]> slots;
+        std::unique_ptr<typename Policy::template atomic<T>[]> slots;
 
         ring(std::size_t cap, ring* prev)
           : capacity(cap)
           , mask(cap - 1)
           , retired(prev)
-          , slots(new std::atomic<thread_data*>[cap])
+          , slots(new typename Policy::template atomic<T>[cap])
         {
             MINIHPX_ASSERT((cap & (cap - 1)) == 0);
         }
 
-        std::atomic<thread_data*>& slot(std::int64_t i) noexcept
+        typename Policy::template atomic<T>& slot(std::int64_t i) noexcept
         {
             return slots[static_cast<std::size_t>(i) & mask];
         }
@@ -183,17 +282,28 @@ private:
         ring* const bigger = new ring(a->capacity * 2, a);
         for (std::int64_t i = t; i < b; ++i)
         {
+            // relaxed copies: only the owner writes slots in [t, b) and
+            // only the owner grows; the release store of array_ below
+            // publishes the lot.
             bigger->slot(i).store(
                 a->slot(i).load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
         }
+        // release: pairs with the thief's acquire array_ load.
         array_.store(bigger, std::memory_order_release);
         return bigger;
     }
 
-    alignas(util::cache_line_size) std::atomic<std::int64_t> top_{0};
-    alignas(util::cache_line_size) std::atomic<std::int64_t> bottom_{0};
-    alignas(util::cache_line_size) std::atomic<ring*> array_{nullptr};
+    alignas(util::cache_line_size)
+        typename Policy::template atomic<std::int64_t> top_{0};
+    alignas(util::cache_line_size)
+        typename Policy::template atomic<std::int64_t> bottom_{0};
+    alignas(util::cache_line_size)
+        typename Policy::template atomic<ring*> array_{nullptr};
 };
+
+// Production instantiation: the scheduler's run-queue element type over
+// std::atomic.
+using chase_lev_deque = basic_chase_lev_deque<thread_data*>;
 
 }    // namespace minihpx::threads

@@ -39,6 +39,7 @@
 #include <minihpx/util/lock_registry.hpp>
 #include <minihpx/util/sanitizers.hpp>
 #include <minihpx/util/spinlock.hpp>
+#include <minihpx/util/thread_annotations.hpp>
 
 #include <atomic>
 #include <cstdint>
@@ -81,7 +82,7 @@ public:
         }
         else
         {
-            std::lock_guard lock(mutex_);
+            util::annotated_lock_guard lock(mutex_);
             if (front)
                 queue_.push_front(task);
             else
@@ -104,7 +105,7 @@ public:
         }
         MINIHPX_ANNOTATE_HAPPENS_BEFORE(task);
         {
-            std::lock_guard lock(inbox_lock_);
+            util::annotated_lock_guard lock(inbox_lock_);
             if (front)
                 inbox_.push_front(task);
             else
@@ -125,7 +126,7 @@ public:
         }
         else
         {
-            std::unique_lock lock(mutex_);
+            util::annotated_lock_guard lock(mutex_);
             if (queue_.empty())
             {
                 task = nullptr;
@@ -154,7 +155,11 @@ public:
     // loss) — callers treat both as "try another victim". Contention
     // does not count as a pending-queue miss; only an owner pop on an
     // empty queue does.
-    thread_data* steal()
+    //
+    // Analysis opt-out: the try_to_lock/owns_lock dance has no
+    // scoped-capability shape clang's thread-safety analysis can follow;
+    // both guarded containers are still only touched with the lock held.
+    thread_data* steal() MINIHPX_NO_THREAD_SAFETY_ANALYSIS
     {
         thread_data* task;
         if (policy_ == queue_policy::chase_lev)
@@ -251,7 +256,7 @@ private:
     // (FIFO, so inbox order matches what push() order would have been).
     std::size_t drain_inbox()
     {
-        std::lock_guard lock(inbox_lock_);
+        util::annotated_lock_guard lock(inbox_lock_);
         std::size_t const n = inbox_.size();
         while (!inbox_.empty())
         {
@@ -267,12 +272,12 @@ private:
     chase_lev_deque deque_;
     util::spinlock inbox_lock_{
         util::lock_rank::thread_queue, "thread_queue-inbox"};
-    std::deque<thread_data*> inbox_;
+    std::deque<thread_data*> inbox_ MINIHPX_GUARDED_BY(inbox_lock_);
 
     // mutex_deque state.
     mutable util::spinlock mutex_{
         util::lock_rank::thread_queue, "thread_queue"};
-    std::deque<thread_data*> queue_;
+    std::deque<thread_data*> queue_ MINIHPX_GUARDED_BY(mutex_);
 
     std::atomic<std::int64_t> length_{0};
     std::atomic<std::uint64_t> enqueued_{0};

@@ -1,0 +1,379 @@
+// Tests for minihpx::mc, the exhaustive interleaving model checker.
+//
+// Three layers:
+//   1. Engine semantics: classic two-thread litmus shapes (store
+//      buffering, message passing) run directly on mc::atomic must
+//      exhibit exactly the outcome sets the C++ memory model allows —
+//      including the relaxed behaviors a naive
+//      sequentially-consistent-interleaving checker cannot produce.
+//   2. Detection machinery: data races on nonatomic cells, deadlocks,
+//      and MC_CHECK failures are reported, and a reported failure's
+//      schedule replays to the same failure deterministically.
+//   3. The shipped litmus registry: every production case passes and
+//      every fence-weakening mutant is detected (mutation validation —
+//      proof the checker has teeth, not just green lights).
+#include <minihpx/mc/atomic.hpp>
+#include <minihpx/mc/engine.hpp>
+#include <minihpx/mc/litmus.hpp>
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <utility>
+
+namespace mc = minihpx::mc;
+
+namespace {
+
+mc::options bounded(int preemptions = 2)
+{
+    mc::options o;
+    o.preemption_bound = preemptions;
+    return o;
+}
+
+// ---------------------------------------------------------------------
+// 1. Engine semantics
+// ---------------------------------------------------------------------
+
+// Store buffering (SB): with relaxed operations both threads may read
+// the other's flag as 0 — a weak-memory outcome impossible under plain
+// interleaving of the statements. The checker must enumerate it.
+TEST(McEngine, StoreBufferingExhibitsRelaxedOutcome)
+{
+    std::set<std::pair<int, int>> outcomes;
+    mc::result res = mc::check(bounded(), [&] {
+        mc::atomic<int> x{0};
+        mc::atomic<int> y{0};
+        int r1 = -1;
+        int r2 = -1;
+        mc::thread t1([&] {
+            x.store(1, std::memory_order_relaxed);
+            r1 = y.load(std::memory_order_relaxed);
+        });
+        mc::thread t2([&] {
+            y.store(1, std::memory_order_relaxed);
+            r2 = x.load(std::memory_order_relaxed);
+        });
+        t1.join();
+        t2.join();
+        outcomes.insert({r1, r2});
+    });
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.complete);
+    // All four outcomes are allowed; {0,0} is the weak one.
+    EXPECT_TRUE(outcomes.count({0, 0}));
+    EXPECT_TRUE(outcomes.count({1, 1}));
+    EXPECT_TRUE(outcomes.count({0, 1}));
+    EXPECT_TRUE(outcomes.count({1, 0}));
+}
+
+// With seq_cst operations the {0,0} outcome is forbidden: the checker
+// must NOT report it even while exploring weak memory elsewhere.
+TEST(McEngine, StoreBufferingSeqCstForbidsBothZero)
+{
+    std::set<std::pair<int, int>> outcomes;
+    mc::result res = mc::check(bounded(), [&] {
+        mc::atomic<int> x{0};
+        mc::atomic<int> y{0};
+        int r1 = -1;
+        int r2 = -1;
+        mc::thread t1([&] {
+            x.store(1, std::memory_order_seq_cst);
+            r1 = y.load(std::memory_order_seq_cst);
+        });
+        mc::thread t2([&] {
+            y.store(1, std::memory_order_seq_cst);
+            r2 = x.load(std::memory_order_seq_cst);
+        });
+        t1.join();
+        t2.join();
+        outcomes.insert({r1, r2});
+    });
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_FALSE(outcomes.count({0, 0}));
+    EXPECT_TRUE(outcomes.count({1, 1}));
+}
+
+// Message passing (MP) with a release/acquire flag: once the consumer
+// sees the flag it must see the payload, on every schedule.
+TEST(McEngine, MessagePassingReleaseAcquireHolds)
+{
+    mc::result res = mc::check(bounded(), [] {
+        mc::atomic<int> data{0};
+        mc::atomic<int> flag{0};
+        mc::thread producer([&] {
+            data.store(42, std::memory_order_relaxed);
+            flag.store(1, std::memory_order_release);
+        });
+        mc::thread consumer([&] {
+            if (flag.load(std::memory_order_acquire) == 1)
+                MC_CHECK(data.load(std::memory_order_relaxed) == 42);
+        });
+        producer.join();
+        consumer.join();
+    });
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.complete);
+}
+
+// MP with a relaxed flag store: the stale-payload behavior exists and
+// the checker must find it (this is exactly the shape of every fence
+// mutant in the suite).
+TEST(McEngine, MessagePassingRelaxedFlagIsCaught)
+{
+    mc::result res = mc::check(bounded(), [] {
+        mc::atomic<int> data{0};
+        mc::atomic<int> flag{0};
+        mc::thread producer([&] {
+            data.store(42, std::memory_order_relaxed);
+            flag.store(1, std::memory_order_relaxed);    // bug
+        });
+        mc::thread consumer([&] {
+            if (flag.load(std::memory_order_acquire) == 1)
+                MC_CHECK(data.load(std::memory_order_relaxed) == 42);
+        });
+        producer.join();
+        consumer.join();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.schedule.empty());
+    EXPECT_NE(res.error.find("MC_CHECK"), std::string::npos) << res.error;
+}
+
+// Release/acquire *fences* restore the MP guarantee with relaxed ops.
+TEST(McEngine, MessagePassingViaFencesHolds)
+{
+    mc::result res = mc::check(bounded(), [] {
+        mc::atomic<int> data{0};
+        mc::atomic<int> flag{0};
+        mc::thread producer([&] {
+            data.store(42, std::memory_order_relaxed);
+            mc::atomic_fence(std::memory_order_release);
+            flag.store(1, std::memory_order_relaxed);
+        });
+        mc::thread consumer([&] {
+            if (flag.load(std::memory_order_relaxed) == 1)
+            {
+                mc::atomic_fence(std::memory_order_acquire);
+                MC_CHECK(data.load(std::memory_order_relaxed) == 42);
+            }
+        });
+        producer.join();
+        consumer.join();
+    });
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+// RMWs continue release sequences: a relaxed fetch_add between the
+// release store and the acquire load must not break the edge.
+TEST(McEngine, RmwContinuesReleaseSequence)
+{
+    mc::result res = mc::check(bounded(), [] {
+        mc::atomic<int> data{0};
+        mc::atomic<int> flag{0};
+        mc::thread producer([&] {
+            data.store(7, std::memory_order_relaxed);
+            flag.store(1, std::memory_order_release);
+        });
+        mc::thread bumper([&] {
+            flag.fetch_add(1, std::memory_order_relaxed);
+        });
+        mc::thread consumer([&] {
+            if (flag.load(std::memory_order_acquire) == 2)
+                MC_CHECK(data.load(std::memory_order_relaxed) == 7);
+        });
+        producer.join();
+        bumper.join();
+        consumer.join();
+    });
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+// ---------------------------------------------------------------------
+// 2. Detection machinery
+// ---------------------------------------------------------------------
+
+TEST(McDetect, UnsynchronizedNonatomicWriteIsADataRace)
+{
+    mc::result res = mc::check(bounded(), [] {
+        mc::nonatomic<int> cell;
+        cell.store(0);
+        mc::thread t1([&] { cell.store(1); });
+        mc::thread t2([&] { cell.store(2); });
+        t1.join();
+        t2.join();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("race"), std::string::npos) << res.error;
+}
+
+TEST(McDetect, MutexGuardedWritesAreNotARace)
+{
+    mc::result res = mc::check(bounded(), [] {
+        mc::mutex_shim m;
+        mc::nonatomic<int> cell;
+        cell.store(0);
+        auto work = [&] {
+            m.lock();
+            cell.store(cell.load() + 1);
+            m.unlock();
+        };
+        mc::thread t1(work);
+        mc::thread t2(work);
+        t1.join();
+        t2.join();
+        MC_CHECK(cell.load() == 2);
+    });
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(McDetect, LockOrderInversionDeadlocks)
+{
+    mc::result res = mc::check(bounded(), [] {
+        mc::mutex_shim a;
+        mc::mutex_shim b;
+        mc::thread t1([&] {
+            a.lock();
+            b.lock();
+            b.unlock();
+            a.unlock();
+        });
+        mc::thread t2([&] {
+            b.lock();
+            a.lock();
+            a.unlock();
+            b.unlock();
+        });
+        t1.join();
+        t2.join();
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_NE(res.error.find("deadlock"), std::string::npos) << res.error;
+}
+
+// A reported failure must replay: re-running with the recorded
+// schedule reproduces the same failure in a single execution.
+TEST(McDetect, FailingScheduleReplaysDeterministically)
+{
+    auto body = [] {
+        mc::atomic<int> data{0};
+        mc::atomic<int> flag{0};
+        mc::thread producer([&] {
+            data.store(42, std::memory_order_relaxed);
+            flag.store(1, std::memory_order_relaxed);    // bug
+        });
+        mc::thread consumer([&] {
+            if (flag.load(std::memory_order_acquire) == 1)
+                MC_CHECK(data.load(std::memory_order_relaxed) == 42);
+        });
+        producer.join();
+        consumer.join();
+    };
+    mc::result first = mc::check(bounded(), body);
+    ASSERT_FALSE(first.ok);
+    ASSERT_FALSE(first.schedule.empty());
+
+    mc::options replay = bounded();
+    replay.replay = first.schedule;
+    mc::result second = mc::check(replay, body);
+    EXPECT_FALSE(second.ok);
+    EXPECT_EQ(second.executions, 1u);
+    EXPECT_EQ(second.error, first.error);
+}
+
+// The preemption bound is honored as a coverage dial: bound 0 explores
+// only cooperative (run-to-block) schedules, which hides the MP bug;
+// bound >= 1 finds it.
+TEST(McDetect, PreemptionBoundControlsCoverage)
+{
+    auto body = [] {
+        // seq_cst everywhere: no weak-memory value choices, so the only
+        // way to refute the claim below is a *preemptive* switch to the
+        // reader between spawn and the parent's store.
+        mc::atomic<int> flag{0};
+        int seen = -1;
+        mc::thread reader(
+            [&] { seen = flag.load(std::memory_order_seq_cst); });
+        flag.store(1, std::memory_order_seq_cst);
+        reader.join();
+        MC_CHECK(seen == 1);
+    };
+    mc::result tight = mc::check(bounded(0), body);
+    mc::result loose = mc::check(bounded(2), body);
+    EXPECT_TRUE(tight.ok) << tight.error;
+    EXPECT_FALSE(loose.ok);
+}
+
+// ---------------------------------------------------------------------
+// 3. The shipped litmus registry (mutation validation included)
+// ---------------------------------------------------------------------
+
+TEST(McLitmus, RegistryNamesAreUniqueAndFindable)
+{
+    std::set<std::string> names;
+    for (mc::litmus_case const& c : mc::litmus_suite())
+    {
+        EXPECT_TRUE(names.insert(c.name).second)
+            << "duplicate litmus name " << c.name;
+        EXPECT_EQ(mc::find_litmus(c.name), &c);
+    }
+    EXPECT_EQ(mc::find_litmus("no_such_case"), nullptr);
+    // The ISSUE's four protocol families are all present.
+    EXPECT_NE(mc::find_litmus("chase_lev_3t"), nullptr);
+    EXPECT_NE(mc::find_litmus("spsc_fifo"), nullptr);
+    EXPECT_NE(mc::find_litmus("eventcount_wakeup"), nullptr);
+    EXPECT_NE(mc::find_litmus("refcount_dispose"), nullptr);
+}
+
+TEST(McLitmus, EveryProductionCasePassesExhaustively)
+{
+    for (mc::litmus_case const& c : mc::litmus_suite())
+    {
+        if (c.expect_fail)
+            continue;
+        mc::result res;
+        EXPECT_TRUE(mc::run_litmus(c, res))
+            << c.name << ": " << res.error
+            << " schedule=" << res.schedule;
+        EXPECT_TRUE(res.complete)
+            << c.name << " was truncated, not exhaustively checked";
+        EXPECT_GT(res.executions, 1u) << c.name;
+    }
+}
+
+TEST(McLitmus, EveryFenceMutantIsDetected)
+{
+    for (mc::litmus_case const& c : mc::litmus_suite())
+    {
+        if (!c.expect_fail)
+            continue;
+        mc::result res;
+        EXPECT_TRUE(mc::run_litmus(c, res))
+            << c.name << ": mutant survived (" << res.executions
+            << " executions, complete=" << res.complete << ")";
+        EXPECT_FALSE(res.error.empty()) << c.name;
+    }
+}
+
+// Mutant failures replay through the public litmus entry points — the
+// workflow the CI artifact upload and docs/MODEL_CHECKING.md describe.
+TEST(McLitmus, MutantScheduleReplaysThroughRegistry)
+{
+    mc::litmus_case const* c =
+        mc::find_litmus("chase_lev_2t.pop_bottom_relaxed");
+    ASSERT_NE(c, nullptr);
+    mc::result first;
+    ASSERT_TRUE(mc::run_litmus(*c, first));
+    ASSERT_FALSE(first.schedule.empty());
+
+    mc::litmus_case replay = *c;
+    replay.opts.replay = first.schedule;
+    mc::result second;
+    EXPECT_TRUE(mc::run_litmus(replay, second));
+    EXPECT_EQ(second.executions, 1u);
+    EXPECT_EQ(second.error, first.error);
+}
+
+}    // namespace

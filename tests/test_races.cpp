@@ -10,10 +10,13 @@
 // ~10x TSan slowdown.
 #include <minihpx/minihpx.hpp>
 #include <minihpx/threads/thread_queue.hpp>
+#include <minihpx/util/eventcount.hpp>
+#include <minihpx/util/spsc_ring.hpp>
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -252,6 +255,110 @@ TEST(PoolRaces, FrameAndDescriptorChurnAcrossCaches)
     }
     for (auto& t : os_threads)
         t.join();
+}
+
+// Stress twin of the mc `eventcount_wakeup` litmus (tests/test_mc.cpp
+// checks the same protocol exhaustively on the model policy): waiters
+// run the scan / prepare / re-scan / park sequence at full speed while
+// the producer races publish-then-notify against them. A lost wakeup —
+// the Dekker race the seq_cst epoch bump closes — strands a waiter in
+// park() and hangs the test; TSan additionally checks the park/notify
+// mutex-and-cv protocol on every interleaving reached.
+TEST(EventcountRaces, PublishNotifyNeverLosesAWakeup)
+{
+    constexpr std::uint64_t rounds = 1000;
+    constexpr int waiters_n = 2;
+
+    util::eventcount ec;
+    std::atomic<std::uint64_t> published{0};
+    // Non-atomic payload published before the bump: receivers read it
+    // after waking, giving TSan a plain access to validate against the
+    // eventcount's happens-before edges.
+    std::vector<std::uint64_t> payload(rounds, 0);
+
+    std::vector<std::thread> waiters;
+    waiters.reserve(waiters_n);
+    std::atomic<std::uint64_t> sum{0};
+    for (int w = 0; w < waiters_n; ++w)
+    {
+        waiters.emplace_back([&] {
+            for (std::uint64_t round = 1; round <= rounds; ++round)
+            {
+                while (published.load(std::memory_order_acquire) < round)
+                {
+                    std::uint64_t const epoch0 = ec.prepare();
+                    if (published.load(std::memory_order_acquire) >= round)
+                        break;    // re-scan saw it; skip the park
+                    ec.park(epoch0, [&] {
+                        return published.load(
+                                   std::memory_order_acquire) >= round;
+                    });
+                }
+                sum.fetch_add(
+                    payload[round - 1], std::memory_order_relaxed);
+            }
+        });
+    }
+
+    for (std::uint64_t round = 1; round <= rounds; ++round)
+    {
+        payload[round - 1] = round;
+        published.store(round, std::memory_order_release);
+        ec.notify_all();
+    }
+    for (auto& t : waiters)
+        t.join();
+    EXPECT_EQ(sum.load(), waiters_n * rounds * (rounds + 1) / 2);
+}
+
+// Stress twin of the mc `spsc_fifo` litmus: a capacity-2 ring forces a
+// wraparound every other push, so the producer's slot writes reuse
+// cells the consumer has just vacated. The tail release edge (mutated
+// by spsc_mutation::pop_release_relaxed in the model suite) is what
+// keeps that reuse race-free — under TSan every slot access is a plain
+// (non-atomic) memory access checked against it.
+TEST(SpscRaces, WraparoundAtCapacityKeepsFifoAndCounts)
+{
+    constexpr std::uint64_t pushes = 20000;
+
+    util::spsc_ring<std::uint64_t> ring(2);
+    std::atomic<bool> done{false};
+    std::uint64_t accepted = 0;
+
+    std::thread consumer([&] {
+        std::uint64_t popped = 0;
+        std::uint64_t last = 0;
+        for (;;)
+        {
+            std::uint64_t v;
+            if (ring.pop(v))
+            {
+                ++popped;
+                EXPECT_LT(last, v);    // strict FIFO, no torn slot
+                last = v;
+            }
+            else if (done.load(std::memory_order_acquire))
+            {
+                if (!ring.pop(v))
+                    break;
+                ++popped;
+                EXPECT_LT(last, v);
+                last = v;
+            }
+            else
+            {
+                std::this_thread::yield();
+            }
+        }
+        // Every accepted entry came out; drops are accounted, not lost.
+        EXPECT_EQ(popped + ring.dropped(), pushes);
+    });
+
+    for (std::uint64_t v = 1; v <= pushes; ++v)
+        accepted += ring.push(v) ? 1 : 0;
+    done.store(true, std::memory_order_release);
+    consumer.join();
+    EXPECT_EQ(accepted + ring.dropped(), pushes);
 }
 
 }    // namespace

@@ -1,0 +1,159 @@
+// minihpx-mc — run the model-checked litmus suite from the command
+// line.
+//
+//   minihpx-mc list                    show all litmus cases
+//   minihpx-mc run [names...]          run named cases (default: all)
+//     --production-only | --mutants-only
+//                                      filter by expectation (ctest
+//                                      registers the suite as two jobs)
+//     --preemption-bound N             override the CHESS budget
+//     --max-steps N                    override the per-execution cap
+//     --sc                             sequentially-consistent memory
+//                                      (interleavings only)
+//     --replay SCHEDULE                replay one recorded decision
+//                                      string (requires exactly one
+//                                      case name); prints the failure
+//
+// Exit code 0 when every selected case matches its expectation
+// (production cases verify, mutants are detected), 1 otherwise, 2 on
+// usage errors. A failing production case prints its replayable
+// schedule — CI uploads it as the repro artifact.
+#include <minihpx/mc/litmus.hpp>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+    int usage()
+    {
+        std::fprintf(stderr,
+            "usage: minihpx-mc list\n"
+            "       minihpx-mc run [names...] [--production-only|"
+            "--mutants-only]\n"
+            "                  [--preemption-bound N] [--max-steps N] "
+            "[--sc]\n"
+            "       minihpx-mc run NAME --replay SCHEDULE\n");
+        return 2;
+    }
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace minihpx::mc;
+
+    if (argc < 2)
+        return usage();
+    std::string const cmd = argv[1];
+
+    if (cmd == "list")
+    {
+        for (litmus_case const& c : litmus_suite())
+            std::printf("%-40s %s%s\n", c.name.c_str(),
+                c.expect_fail ? "[mutant] " : "", c.description.c_str());
+        return 0;
+    }
+    if (cmd != "run")
+        return usage();
+
+    std::vector<std::string> names;
+    bool production_only = false;
+    bool mutants_only = false;
+    bool have_bound = false, have_steps = false, sc = false;
+    unsigned bound = 0;
+    std::uint64_t steps = 0;
+    std::string replay;
+
+    for (int i = 2; i < argc; ++i)
+    {
+        std::string const a = argv[i];
+        if (a == "--production-only")
+            production_only = true;
+        else if (a == "--mutants-only")
+            mutants_only = true;
+        else if (a == "--sc")
+            sc = true;
+        else if (a == "--preemption-bound" && i + 1 < argc)
+        {
+            bound = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+            have_bound = true;
+        }
+        else if (a == "--max-steps" && i + 1 < argc)
+        {
+            steps = std::strtoull(argv[++i], nullptr, 10);
+            have_steps = true;
+        }
+        else if (a == "--replay" && i + 1 < argc)
+            replay = argv[++i];
+        else if (!a.empty() && a[0] == '-')
+            return usage();
+        else
+            names.push_back(a);
+    }
+    if (!replay.empty() && names.size() != 1)
+        return usage();
+
+    std::vector<litmus_case const*> selected;
+    if (names.empty())
+    {
+        for (litmus_case const& c : litmus_suite())
+            selected.push_back(&c);
+    }
+    else
+    {
+        for (std::string const& n : names)
+        {
+            litmus_case const* c = find_litmus(n);
+            if (!c)
+            {
+                std::fprintf(stderr, "unknown litmus case: %s\n", n.c_str());
+                return 2;
+            }
+            selected.push_back(c);
+        }
+    }
+
+    int mismatches = 0;
+    for (litmus_case const* c : selected)
+    {
+        if (production_only && c->expect_fail)
+            continue;
+        if (mutants_only && !c->expect_fail)
+            continue;
+
+        litmus_case run = *c;
+        if (have_bound)
+            run.opts.preemption_bound = bound;
+        if (have_steps)
+            run.opts.max_steps = steps;
+        run.opts.weak_memory = !sc;
+        run.opts.replay = replay;
+
+        result r;
+        bool const matched = run_litmus(run, r);
+        std::printf("%-40s %-9s executions=%llu depth=%zu%s%s\n",
+            run.name.c_str(),
+            matched ? (run.expect_fail ? "DETECTED" : "PASS") :
+                      (run.expect_fail ? "MISSED" : "FAIL"),
+            static_cast<unsigned long long>(r.executions), r.max_depth,
+            r.truncated ? " (truncated)" : "",
+            r.complete ? "" : " (incomplete)");
+        if (!r.ok)
+        {
+            std::printf("    error:    %s\n", r.error.c_str());
+            std::printf("    schedule: %s\n", r.schedule.c_str());
+            if (!matched)
+                std::printf("    replay:   minihpx-mc run %s --replay "
+                            "'%s'\n",
+                    run.name.c_str(), r.schedule.c_str());
+        }
+        if (!matched)
+            ++mismatches;
+    }
+    return mismatches == 0 ? 0 : 1;
+}
