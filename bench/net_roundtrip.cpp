@@ -1,0 +1,198 @@
+// Remote-invocation round-trip cost across the three transports the
+// runtime ships: in-process loopback (pure marshal + dispatch cost),
+// real TCP over localhost sockets, and the deterministic simulator
+// fabric (virtual nanoseconds from sim::net_model — the numbers a
+// distributed what-if experiment would reason with). Also measures raw
+// archive serialization throughput, the floor under all of them.
+//
+//   $ ./net_roundtrip [--reps=R] [--payloads=0,1024,65536]
+//                     [--json=BENCH_net.json]
+//
+// Loopback and TCP rows are wall-clock ns per invoke->result cycle;
+// sim rows are virtual ns (model output, byte-deterministic).
+#include <minihpx/net/net.hpp>
+#include <minihpx/util/cli.hpp>
+#include <minihpx/util/strings.hpp>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace minihpx;
+
+namespace {
+
+std::vector<std::uint8_t> echo(std::vector<std::uint8_t> payload)
+{
+    return payload;
+}
+
+struct row
+{
+    std::string transport;
+    std::size_t payload_bytes = 0;
+    double ns_per_roundtrip = 0.0;
+    bool virtual_time = false;
+};
+
+double now_ns()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::vector<std::uint8_t> make_payload(std::size_t size)
+{
+    std::vector<std::uint8_t> payload(size);
+    for (std::size_t i = 0; i < size; ++i)
+        payload[i] = static_cast<std::uint8_t>(i * 131);
+    return payload;
+}
+
+double time_roundtrips(
+    net::locality& loc, std::uint32_t dest, std::size_t size, unsigned reps)
+{
+    auto const payload = make_payload(size);
+    // Warmup: connection buffers, action lookup, pending-map nodes.
+    for (unsigned i = 0; i < 8; ++i)
+        net::async<std::vector<std::uint8_t>>(
+            loc, dest, "bench/echo", payload)
+            .get();
+    double const t0 = now_ns();
+    for (unsigned i = 0; i < reps; ++i)
+        net::async<std::vector<std::uint8_t>>(
+            loc, dest, "bench/echo", payload)
+            .get();
+    return (now_ns() - t0) / reps;
+}
+
+double serialize_throughput_bytes_per_s(unsigned reps)
+{
+    auto const payload = make_payload(1 << 20);
+    double bytes = 0.0;
+    double const t0 = now_ns();
+    for (unsigned i = 0; i < reps; ++i)
+    {
+        net::output_archive out;
+        net::save(out, payload);
+        auto wire = out.take();
+        net::input_archive in(wire);
+        auto back = net::load<std::vector<std::uint8_t>>(in);
+        if (back.size() != payload.size())
+            std::abort();
+        bytes += 2.0 * static_cast<double>(wire.size());
+    }
+    return bytes / ((now_ns() - t0) * 1e-9);
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    util::cli_args const args(argc, argv);
+    unsigned const reps =
+        static_cast<unsigned>(args.int_or("reps", 400));
+    std::vector<std::size_t> payloads;
+    for (auto part :
+        util::split(args.value_or("payloads", "0,1024,65536"), ','))
+        payloads.push_back(static_cast<std::size_t>(
+            std::strtoull(std::string(part).c_str(), nullptr, 10)));
+
+    net::register_action("bench/echo", &echo);
+    std::vector<row> rows;
+
+    // ---- loopback: dest == self, no transport ---------------------------
+    {
+        net::net_config config;
+        config.id = 0;
+        config.num_localities = 1;
+        config.heartbeat_interval_ms = 0;
+        net::locality loc(config);
+        for (std::size_t size : payloads)
+            rows.push_back(
+                {"loopback", size, time_roundtrips(loc, 0, size, reps)});
+        loc.stop();
+    }
+
+    // ---- tcp: two localities over localhost sockets ---------------------
+    {
+        perf::counter_registry reg0, reg1;
+        net::net_config c0, c1;
+        c0.id = 0;
+        c0.num_localities = 2;
+        c0.registry = &reg0;
+        c0.inline_handlers = true;
+        c1 = c0;
+        c1.id = 1;
+        c1.registry = &reg1;
+        net::locality loc0(c0), loc1(c1);
+        net::tcp_mesh mesh0(loc0), mesh1(loc1);
+        std::vector<std::uint16_t> const ports = {
+            mesh0.listen(0), mesh1.listen(0)};
+        mesh1.connect(ports);
+        mesh0.connect(ports);
+        for (std::size_t size : payloads)
+            rows.push_back(
+                {"tcp", size, time_roundtrips(loc0, 1, size, reps)});
+        loc0.stop();
+        loc1.stop();
+    }
+
+    // ---- sim: virtual ns from the network model -------------------------
+    {
+        for (std::size_t size : payloads)
+        {
+            net::sim_fabric fabric(2);
+            auto const payload = make_payload(size);
+            std::uint64_t const t0 = fabric.now_ns();
+            auto f = net::async<std::vector<std::uint8_t>>(
+                fabric.at(0), 1, "bench/echo", payload);
+            fabric.run();
+            f.get();
+            rows.push_back({"sim-virtual", size,
+                static_cast<double>(fabric.now_ns() - t0), true});
+        }
+    }
+
+    double const ser_bps = serialize_throughput_bytes_per_s(64);
+
+    std::printf("%-12s %12s %18s\n", "transport", "payload_B",
+        "ns/roundtrip");
+    for (auto const& r : rows)
+        std::printf("%-12s %12zu %18.1f%s\n", r.transport.c_str(),
+            r.payload_bytes, r.ns_per_roundtrip,
+            r.virtual_time ? "  (virtual)" : "");
+    std::printf("serialize: %.1f MB/s\n", ser_bps / 1e6);
+
+    if (auto path = args.value("json"))
+    {
+        std::FILE* f = std::fopen(path->c_str(), "w");
+        if (!f)
+        {
+            std::fprintf(stderr, "cannot open %s\n", path->c_str());
+            return 1;
+        }
+        std::fprintf(f,
+            "{\n  \"benchmark\": \"net_roundtrip\",\n"
+            "  \"reps\": %u,\n  \"results\": [\n",
+            reps);
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            std::fprintf(f,
+                "    {\"transport\": \"%s\", \"payload_bytes\": %zu, "
+                "\"ns_per_roundtrip\": %.1f, \"virtual\": %s}%s\n",
+                rows[i].transport.c_str(), rows[i].payload_bytes,
+                rows[i].ns_per_roundtrip,
+                rows[i].virtual_time ? "true" : "false",
+                i + 1 == rows.size() ? "" : ",");
+        std::fprintf(f,
+            "  ],\n  \"serialize_bytes_per_s\": %.1f\n}\n", ser_bps);
+        std::fclose(f);
+        std::printf("wrote %s\n", path->c_str());
+    }
+    return 0;
+}

@@ -8,9 +8,12 @@
 //   /papi{locality#0/total}/OFFCORE_REQUESTS:ALL_DATA_RD
 //   /arithmetics/add@/threads{locality#0/total}/time/average,...
 //
-// Omitted instance braces default to {locality#0/total}. The instance
-// index may be '*' (wildcard), expanded by the registry into one
-// counter per existing instance.
+// Omitted instance braces default to {locality#H/total} where H is
+// this_locality() — 0 in a single-node process, the node's id once a
+// net::locality has claimed one. Both indices may be '*' (wildcard):
+// the instance wildcard expands to one counter per existing instance
+// (worker threads), the parent wildcard to one per known locality —
+// across the network when a counter federation is installed.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +28,7 @@ struct counter_path
     std::string object;                      // "threads", "papi", ...
     std::string parent_instance = "locality";
     std::int64_t parent_index = 0;
+    bool parent_wildcard = false;            // locality#*
     std::string instance = "total";          // "total" | "worker-thread" ...
     std::int64_t instance_index = -1;        // -1: no index given
     bool instance_wildcard = false;          // instance#*
@@ -44,5 +48,23 @@ struct counter_path
 // non-null) on malformed input.
 std::optional<counter_path> parse_counter_name(
     std::string_view name, std::string* error = nullptr);
+
+// ---- locality identity --------------------------------------------------
+//
+// The id this process's counters are tagged with. Every counter name
+// parsed without explicit instance braces lands on this locality, and
+// the registry treats any other id as remote. Single-node processes
+// never touch it (id 0, the paper's locality#0); minihpx::net claims an
+// id per process at startup, before any counters are resolved.
+std::uint32_t this_locality() noexcept;
+void set_this_locality(std::uint32_t id) noexcept;
+
+// The one place "locality#N" is spelled. Code assembling counter names
+// must use these instead of hardcoding "locality#0" so names carry real
+// locality ids on multi-node runs.
+std::string locality_prefix(std::uint32_t id);
+// "{locality#N/instance}" — the full brace group for name formatting.
+std::string locality_instance(
+    std::uint32_t id, std::string_view instance = "total");
 
 }    // namespace minihpx::perf

@@ -25,6 +25,32 @@
 
 namespace minihpx::perf {
 
+// Federation seam: how a counter registry reaches counters that live on
+// *other* localities. minihpx::net installs one per registry; without a
+// provider the registry is single-node and any non-local locality id in
+// a counter name is an error. Implementations must outlive their
+// registration (clear the provider first).
+class locality_provider
+{
+public:
+    virtual ~locality_provider() = default;
+
+    // Localities reachable right now, including the local one.
+    virtual std::vector<std::uint32_t> known_localities() const = 0;
+
+    // Expand an instance wildcard (`worker-thread#*`) on the path's
+    // home locality — only that registry knows its own worker count.
+    // The path's locality is concrete and remote. Unreachable peers
+    // yield an empty vector.
+    virtual std::vector<counter_path> expand_remote(
+        counter_path const& path) = 0;
+
+    // Build a counter whose evaluations are served by the path's home
+    // locality (a network proxy). nullptr + *error on failure.
+    virtual counter_ptr create_remote(
+        counter_path const& path, std::string* error) = 0;
+};
+
 class counter_registry
 {
 public:
@@ -83,6 +109,34 @@ public:
         return version_.load(std::memory_order_acquire);
     }
 
+    // ---- multi-locality federation -----------------------------------
+    // The locality whose counters this registry serves locally. Follows
+    // the process-wide this_locality() unless overridden — in-process
+    // multi-locality setups (tests, --mode=threads) give each locality
+    // its own registry with its own id.
+    std::uint32_t local_locality() const noexcept
+    {
+        return local_locality_.load(std::memory_order_relaxed);
+    }
+    void set_local_locality(std::uint32_t id) noexcept
+    {
+        local_locality_.store(id, std::memory_order_relaxed);
+    }
+
+    // Install (nullptr: remove) the federation provider. With one
+    // installed, expand() fans `locality#*` out across
+    // known_localities() and create() routes non-local locality ids to
+    // create_remote(). Bumps version() so running samplers re-expand.
+    void set_locality_provider(locality_provider* provider);
+    locality_provider* get_locality_provider() const;
+
+    // A locality joined or died: bump version() so wildcard consumers
+    // (telemetry sampler, active_counters::refresh) re-expand.
+    void notify_topology_change() noexcept
+    {
+        version_.fetch_add(1, std::memory_order_release);
+    }
+
     // The process-wide default registry.
     static counter_registry& instance();
 
@@ -95,6 +149,8 @@ private:
     mutable std::mutex mutex_;
     std::map<std::string, type_info> types_;
     std::atomic<std::uint64_t> version_{0};
+    std::atomic<std::uint32_t> local_locality_;
+    std::atomic<locality_provider*> provider_{nullptr};
 };
 
 }    // namespace minihpx::perf

@@ -1,9 +1,36 @@
 #include <minihpx/perf/counter_name.hpp>
 
+#include <atomic>
 #include <cctype>
 #include <charconv>
 
 namespace minihpx::perf {
+
+namespace {
+
+    std::atomic<std::uint32_t> this_locality_id{0};
+
+}    // namespace
+
+std::uint32_t this_locality() noexcept
+{
+    return this_locality_id.load(std::memory_order_relaxed);
+}
+
+void set_this_locality(std::uint32_t id) noexcept
+{
+    this_locality_id.store(id, std::memory_order_relaxed);
+}
+
+std::string locality_prefix(std::uint32_t id)
+{
+    return "locality#" + std::to_string(id);
+}
+
+std::string locality_instance(std::uint32_t id, std::string_view instance)
+{
+    return "{" + locality_prefix(id) + "/" + std::string(instance) + "}";
+}
 
 namespace {
 
@@ -71,8 +98,14 @@ std::string counter_path::type_key() const
 
 std::string counter_path::full_name() const
 {
-    std::string out = "/" + object + "{" + parent_instance + "#" +
-        std::to_string(parent_index) + "/" + instance;
+    std::string parent;
+    if (parent_wildcard)
+        parent = parent_instance + "#*";
+    else if (parent_instance == "locality")
+        parent = locality_prefix(static_cast<std::uint32_t>(parent_index));
+    else
+        parent = parent_instance + "#" + std::to_string(parent_index);
+    std::string out = "/" + object + "{" + parent + "/" + instance;
     if (instance_wildcard)
         out += "#*";
     else if (instance_index >= 0)
@@ -87,6 +120,9 @@ std::optional<counter_path> parse_counter_name(
     std::string_view name, std::string* error)
 {
     counter_path path;
+    // Names without explicit braces belong to the locality this process
+    // runs as (0 until minihpx::net claims an id).
+    path.parent_index = static_cast<std::int64_t>(this_locality());
 
     if (name.empty() || name.front() != '/')
     {
@@ -129,9 +165,12 @@ std::optional<counter_path> parse_counter_name(
         auto const slash = inst.find('/');
         std::string_view const parent =
             slash == std::string_view::npos ? inst : inst.substr(0, slash);
+        // Explicit braces: the parent element replaces the local-locality
+        // default entirely (including an omitted index -> 0).
+        path.parent_index = 0;
         if (!parse_instance_element(
                 parent, path.parent_instance, path.parent_index,
-                /*wildcard=*/nullptr, error))
+                &path.parent_wildcard, error))
             return std::nullopt;
         if (slash != std::string_view::npos)
         {

@@ -20,6 +20,7 @@ namespace {
 }    // namespace
 
 counter_registry::counter_registry()
+  : local_locality_(this_locality())
 {
     // Derived types are synthesized in create(); registering stub
     // entries here makes them visible to list()/contains().
@@ -115,15 +116,37 @@ std::vector<counter_handle> counter_registry::resolve_all(
 counter_ptr counter_registry::create(
     counter_path const& path, std::string* error) const
 {
-    if (path.instance_wildcard)
+    if (path.instance_wildcard || path.parent_wildcard)
     {
         set_error(error, "wildcard instance; expand() the name first");
         return nullptr;
     }
+    // Derived counters are location-transparent: the combinator itself
+    // is synthesized locally and each @parameter routes on its own
+    // locality id (so add@/threads{locality#*/...} aggregates across
+    // the network once the wildcard is expanded below).
     if (path.object == "arithmetics")
         return create_arithmetic(path, error);
     if (path.object == "statistics")
         return create_statistics(path, error);
+
+    // Counters homed on another locality are served by its registry,
+    // through the federation proxy.
+    if (path.parent_instance == "locality" &&
+        path.parent_index !=
+            static_cast<std::int64_t>(local_locality()))
+    {
+        if (locality_provider* provider = get_locality_provider())
+            return provider->create_remote(path, error);
+        set_error(error,
+            "counter is homed on " +
+                locality_prefix(
+                    static_cast<std::uint32_t>(path.parent_index)) +
+                " but this process is " +
+                locality_prefix(local_locality()) +
+                " and no counter federation is active");
+        return nullptr;
+    }
 
     type_info entry;
     {
@@ -164,10 +187,27 @@ counter_ptr counter_registry::create_arithmetic(
     std::vector<counter_ptr> inputs;
     for (auto part : util::split(path.parameters, ','))
     {
-        counter_ptr input = create(util::trim(part), error);
-        if (!input)
+        // Each parameter may itself be a wildcard (worker-thread#*,
+        // locality#*): expand it so one aggregate spans every matching
+        // instance — across localities under a federation.
+        auto parsed = parse_counter_name(util::trim(part), error);
+        if (!parsed)
             return nullptr;
-        inputs.push_back(std::move(input));
+        auto const concrete = expand(*parsed);
+        if (concrete.empty())
+        {
+            set_error(error,
+                "wildcard parameter matches no instances: " +
+                    parsed->full_name());
+            return nullptr;
+        }
+        for (auto const& sub : concrete)
+        {
+            counter_ptr input = create(sub, error);
+            if (!input)
+                return nullptr;
+            inputs.push_back(std::move(input));
+        }
     }
     counter_info info;
     info.full_name = path.full_name();
@@ -224,8 +264,41 @@ counter_ptr counter_registry::create_statistics(
 std::vector<counter_path> counter_registry::expand(
     counter_path const& path) const
 {
+    // locality#* fans out first: one concrete-locality path per known
+    // locality, each then expanded for its instance wildcard (locally
+    // or by the peer's own registry).
+    if (path.parent_wildcard)
+    {
+        std::vector<std::uint32_t> localities;
+        if (locality_provider* provider = get_locality_provider())
+            localities = provider->known_localities();
+        if (localities.empty())
+            localities.push_back(local_locality());
+        std::vector<counter_path> out;
+        for (std::uint32_t loc : localities)
+        {
+            counter_path sub = path;
+            sub.parent_wildcard = false;
+            sub.parent_index = static_cast<std::int64_t>(loc);
+            auto expanded = expand(sub);
+            out.insert(out.end(), std::make_move_iterator(expanded.begin()),
+                std::make_move_iterator(expanded.end()));
+        }
+        return out;
+    }
+
     if (!path.instance_wildcard)
         return {path};
+
+    // Instance wildcards on a remote locality expand against *its*
+    // registry — only the peer knows how many workers it runs.
+    if (path.parent_instance == "locality" &&
+        path.parent_index != static_cast<std::int64_t>(local_locality()))
+    {
+        if (locality_provider* provider = get_locality_provider())
+            return provider->expand_remote(path);
+        return {};
+    }
 
     std::uint64_t count = 0;
     {
@@ -243,6 +316,18 @@ std::vector<counter_path> counter_registry::expand(
         out.push_back(std::move(concrete));
     }
     return out;
+}
+
+void counter_registry::set_locality_provider(locality_provider* provider)
+{
+    provider_.store(provider, std::memory_order_release);
+    // Installed/removed federation changes what wildcards expand to.
+    version_.fetch_add(1, std::memory_order_release);
+}
+
+locality_provider* counter_registry::get_locality_provider() const
+{
+    return provider_.load(std::memory_order_acquire);
 }
 
 std::vector<counter_registry::type_info> counter_registry::list() const

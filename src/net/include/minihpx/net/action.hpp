@@ -1,0 +1,293 @@
+// Action registry: named remote entry points.
+//
+// An action is a callable registered under a string name; the wire
+// carries fnv1a64(name) so both sides agree on ids without a handshake
+// (see wire.hpp). Registration deduces the argument tuple from the
+// callable's signature, so marshalling is invisible at the call site:
+//
+//   std::uint64_t fib_leaf(std::uint32_t n);
+//   net::register_action("app/fib-leaf", &fib_leaf);
+//   ...
+//   future<std::uint64_t> r =
+//       net::async<std::uint64_t>(loc, /*dest=*/1, "app/fib-leaf", 30u);
+//
+// Handlers may return a plain value (computed before the reply is
+// sent) or a future<R> (the reply is sent by a continuation when the
+// future becomes ready). The future form is what makes nested remote
+// calls safe: a distributed-fib handler issues its own net::async and
+// returns immediately instead of blocking the thread that is carrying
+// replies.
+//
+// register_action() adds to a process-global table; each net::locality
+// snapshots that table at construction so in-process multi-locality
+// runs (threads mode, sim fabric) dispatch against per-locality state
+// captured at bind time. Register every action before constructing
+// localities.
+#pragma once
+
+#include <minihpx/net/serialize.hpp>
+#include <minihpx/net/wire.hpp>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace minihpx {
+    template <typename T>
+    class future;
+}
+
+namespace minihpx::net {
+
+// One-shot reply channel handed to a running action. Exactly one of
+// send_value/send_error must be called (the dispatch wrapper below
+// guarantees this for registered handlers).
+class result_sender
+{
+public:
+    using value_fn = std::function<void(std::vector<std::uint8_t>)>;
+    using error_fn = std::function<void(std::string)>;
+
+    result_sender() = default;
+    result_sender(value_fn on_value, error_fn on_error)
+      : on_value_(std::move(on_value))
+      , on_error_(std::move(on_error))
+    {
+    }
+
+    void send_value(std::vector<std::uint8_t> bytes)
+    {
+        if (value_fn fn = std::exchange(on_value_, nullptr))
+        {
+            on_error_ = nullptr;
+            fn(std::move(bytes));
+        }
+    }
+
+    void send_error(std::string what)
+    {
+        if (error_fn fn = std::exchange(on_error_, nullptr))
+        {
+            on_value_ = nullptr;
+            fn(std::move(what));
+        }
+    }
+
+    bool pending() const noexcept
+    {
+        return static_cast<bool>(on_value_) || static_cast<bool>(on_error_);
+    }
+
+private:
+    value_fn on_value_;
+    error_fn on_error_;
+};
+
+// Type-erased handler: decode arguments from the archive, run, reply.
+using action_handler =
+    std::function<void(input_archive&, result_sender)>;
+
+namespace detail {
+
+    template <typename T>
+    struct is_future : std::false_type
+    {
+    };
+    template <typename T>
+    struct is_future<minihpx::future<T>> : std::true_type
+    {
+        using value_type = T;
+    };
+
+    // Signature introspection for free functions, function pointers,
+    // and functors/lambdas (via operator()).
+    template <typename F>
+    struct action_traits : action_traits<decltype(&F::operator())>
+    {
+    };
+    template <typename R, typename... Args>
+    struct action_traits<R (*)(Args...)>
+    {
+        using result_type = R;
+        using args_tuple = std::tuple<std::decay_t<Args>...>;
+    };
+    template <typename R, typename... Args>
+    struct action_traits<R(Args...)> : action_traits<R (*)(Args...)>
+    {
+    };
+    template <typename C, typename R, typename... Args>
+    struct action_traits<R (C::*)(Args...)> : action_traits<R (*)(Args...)>
+    {
+    };
+    template <typename C, typename R, typename... Args>
+    struct action_traits<R (C::*)(Args...) const>
+      : action_traits<R (*)(Args...)>
+    {
+    };
+
+    template <typename F>
+    action_handler make_action_handler(F fn);
+
+}    // namespace detail
+
+// Name -> handler table, keyed by the fnv1a64 wire id. Copyable so a
+// locality can snapshot the global table; thread-safe for concurrent
+// add/find (dispatch happens on reader threads while tests register).
+class action_registry
+{
+public:
+    struct entry
+    {
+        std::string name;
+        action_handler handler;
+    };
+
+    action_registry() = default;
+    action_registry(action_registry const& other) : table_(other.snapshot())
+    {
+    }
+    action_registry& operator=(action_registry const&) = delete;
+
+    // Register `fn` under `name`. Throws std::invalid_argument on a
+    // duplicate name or (astronomically unlikely) an fnv1a64 collision
+    // between distinct names — silently dispatching the wrong handler
+    // would be far worse than failing registration.
+    template <typename F>
+    void add(std::string name, F fn)
+    {
+        add_erased(std::move(name),
+            detail::make_action_handler(std::move(fn)));
+    }
+
+    void add_erased(std::string name, action_handler handler);
+
+    // nullptr when the id is unknown; the returned entry stays valid
+    // for the registry's lifetime (entries are never removed).
+    entry const* find(std::uint64_t id) const;
+
+    bool contains(std::string_view name) const
+    {
+        return find(fnv1a64(name)) != nullptr;
+    }
+
+    std::vector<std::string> names() const;
+    std::size_t size() const;
+
+    // The process-global table that register_action() fills and every
+    // locality snapshots at construction.
+    static action_registry& global();
+
+private:
+    std::map<std::uint64_t, std::shared_ptr<entry>> snapshot() const;
+
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, std::shared_ptr<entry>> table_;
+};
+
+// Register on the process-global table (the common case).
+template <typename F>
+void register_action(std::string name, F fn)
+{
+    action_registry::global().add(std::move(name), std::move(fn));
+}
+
+// ---- handler adapter ----------------------------------------------------
+
+namespace detail {
+
+    template <typename R>
+    void reply_with_value(result_sender& reply, R&& value)
+    {
+        output_archive out;
+        save(out, std::forward<R>(value));
+        reply.send_value(out.take());
+    }
+
+    template <typename F>
+    action_handler make_action_handler(F fn)
+    {
+        using traits = action_traits<std::decay_t<F>>;
+        using args_tuple = typename traits::args_tuple;
+        using result_type = typename traits::result_type;
+
+        return [fn = std::move(fn)](
+                   input_archive& ar, result_sender reply) mutable {
+            args_tuple args;
+            try
+            {
+                args = load<args_tuple>(ar);
+            }
+            catch (std::exception const& e)
+            {
+                reply.send_error(
+                    std::string("argument decode failed: ") + e.what());
+                return;
+            }
+
+            try
+            {
+                if constexpr (is_future<result_type>::value)
+                {
+                    using value_type =
+                        typename is_future<result_type>::value_type;
+                    // Deferred reply: don't block this thread (it may
+                    // be the one that delivers our nested replies) —
+                    // ship the result from the ready-continuation.
+                    auto deferred =
+                        std::make_shared<result_sender>(std::move(reply));
+                    std::apply(fn, std::move(args))
+                        .then([deferred](minihpx::future<value_type> ready) {
+                            try
+                            {
+                                if constexpr (std::is_void_v<value_type>)
+                                {
+                                    ready.get();
+                                    deferred->send_value({});
+                                }
+                                else
+                                {
+                                    reply_with_value(*deferred, ready.get());
+                                }
+                            }
+                            catch (std::exception const& e)
+                            {
+                                deferred->send_error(e.what());
+                            }
+                            catch (...)
+                            {
+                                deferred->send_error(
+                                    "unknown exception in action");
+                            }
+                        });
+                }
+                else if constexpr (std::is_void_v<result_type>)
+                {
+                    std::apply(fn, std::move(args));
+                    reply.send_value({});
+                }
+                else
+                {
+                    reply_with_value(reply, std::apply(fn, std::move(args)));
+                }
+            }
+            catch (std::exception const& e)
+            {
+                reply.send_error(e.what());
+            }
+            catch (...)
+            {
+                reply.send_error("unknown exception in action");
+            }
+        };
+    }
+
+}    // namespace detail
+
+}    // namespace minihpx::net

@@ -1,0 +1,74 @@
+// Distributed fibonacci: the canonical cross-locality workload.
+//
+// The classic task-parallel fib benchmark (paper §V) with one twist:
+// above `threshold`, the fib(n-1) branch is shipped to the next
+// locality round-robin while fib(n-2) recurses locally, so every
+// locality both issues and serves remote spawns. Below the threshold
+// the subtree is computed inline (the usual grain-size control).
+//
+// Everything composes through futures — the action handler returns a
+// future and never blocks, so the same code runs on the TCP mesh (with
+// a runtime) and single-threaded on the sim fabric.
+//
+// register_distributed_fib() must run before localities are
+// constructed (the action table is snapshotted at construction).
+#pragma once
+
+#include <minihpx/future.hpp>
+#include <minihpx/net/action.hpp>
+#include <minihpx/net/locality.hpp>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace minihpx::net {
+
+inline constexpr char const* distributed_fib_action =
+    "minihpx/examples/distributed-fib";
+
+inline std::uint64_t fib_sequential(std::uint32_t n) noexcept
+{
+    if (n < 2)
+        return n;
+    std::uint64_t a = 0, b = 1;
+    for (std::uint32_t i = 2; i <= n; ++i)
+    {
+        std::uint64_t const next = a + b;
+        a = b;
+        b = next;
+    }
+    return b;
+}
+
+inline future<std::uint64_t> distributed_fib(
+    locality& loc, std::uint32_t n, std::uint32_t threshold)
+{
+    if (n < 2 || n < threshold || loc.num_localities() < 2)
+        return make_ready_future(fib_sequential(n));
+
+    std::uint32_t const dest = (loc.id() + 1) % loc.num_localities();
+    std::vector<future<std::uint64_t>> branches;
+    branches.reserve(2);
+    branches.push_back(loc.async<std::uint64_t>(
+        dest, distributed_fib_action, n - 1, threshold));
+    branches.push_back(distributed_fib(loc, n - 2, threshold));
+
+    return when_all(std::move(branches))
+        .then([](future<std::vector<future<std::uint64_t>>> ready) {
+            std::vector<future<std::uint64_t>> parts = ready.get();
+            return parts[0].get() + parts[1].get();
+        });
+}
+
+inline void register_distributed_fib()
+{
+    if (action_registry::global().contains(distributed_fib_action))
+        return;
+    register_action(distributed_fib_action,
+        [](std::uint32_t n, std::uint32_t threshold) {
+            return distributed_fib(*locality::current(), n, threshold);
+        });
+}
+
+}    // namespace minihpx::net

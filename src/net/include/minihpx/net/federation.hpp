@@ -1,0 +1,115 @@
+// Cross-locality counter federation.
+//
+// counter_federation plugs a net::locality into its counter registry's
+// locality_provider seam (perf/registry.hpp), making remote counters
+// indistinguishable from local ones:
+//
+//   - expand: `locality#*` wildcards fan out across alive localities;
+//     instance wildcards on a remote locality ("locality#1/
+//     worker-thread#*") are expanded by *that* locality's registry.
+//   - create: a counter name homed on another locality resolves to a
+//     transparent proxy whose get_value() is a remote evaluate call.
+//   - topology: peers joining or dying bump the registry version, so
+//     the telemetry sampler and active_counters::refresh re-expand
+//     wildcards mid-session exactly as they do for late-registered
+//     local types.
+//
+// The mechanism is three service actions riding the normal invoke
+// machinery (no dedicated message types): expand, describe, evaluate.
+// Every locality both serves them (against its own registry) and calls
+// them (through the provider interface). Consumers — telemetry
+// sampler, Prometheus scrape, --mh:print-counter, minihpx-lint-counters
+// — need no changes; a federated name is just a name.
+//
+// Failure semantics: an unreachable peer yields status not_available
+// from proxy evaluations and vanishes from wildcard expansion after
+// the next topology bump; it is never an exception on the sampling
+// path.
+#pragma once
+
+#include <minihpx/net/locality.hpp>
+#include <minihpx/perf/counter_handle.hpp>
+#include <minihpx/perf/registry.hpp>
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace minihpx::net {
+
+// (time_ns, count, value, scaling, status) — counter_value on the wire.
+using wire_counter_value =
+    std::tuple<std::uint64_t, std::int64_t, double, double, std::uint8_t>;
+
+// (full_name, kind, unit, helptext) — counter_info on the wire.
+using wire_counter_info =
+    std::tuple<std::string, std::uint8_t, std::string, std::string>;
+
+// Service action names (every locality serves these).
+inline constexpr char const* action_counter_expand =
+    "minihpx/counters/expand";
+inline constexpr char const* action_counter_describe =
+    "minihpx/counters/describe";
+inline constexpr char const* action_counter_evaluate =
+    "minihpx/counters/evaluate";
+
+class counter_federation final : public perf::locality_provider
+{
+public:
+    // Installs the provider into loc's registry and registers the
+    // service actions and /net{...} counters. The locality must
+    // outlive both this object and any proxy counters it created.
+    explicit counter_federation(locality& loc);
+    ~counter_federation() override;
+
+    counter_federation(counter_federation const&) = delete;
+    counter_federation& operator=(counter_federation const&) = delete;
+
+    // perf::locality_provider:
+    std::vector<std::uint32_t> known_localities() const override;
+    std::vector<perf::counter_path> expand_remote(
+        perf::counter_path const& path) override;
+    perf::counter_ptr create_remote(
+        perf::counter_path const& path, std::string* error) override;
+
+    locality& endpoint() noexcept { return loc_; }
+
+private:
+    void register_service_actions();
+    void register_net_counters();
+    void unregister_net_counters();
+
+    // Server side: resolve-once cache for names peers keep evaluating.
+    perf::counter_handle served_handle(
+        std::string const& name, std::string* error);
+
+    locality& loc_;
+    perf::counter_registry& registry_;
+    std::vector<std::string> net_types_;
+
+    std::mutex served_mutex_;
+    std::map<std::string, perf::counter_handle> served_;
+};
+
+// Block until `f` is ready, honoring the locality's deterministic pump
+// (sim fabric) when one is configured. Shared by the federation and
+// its proxy counters.
+template <typename R>
+R federation_wait(locality& loc, future<R> f)
+{
+    if (auto const& pump = loc.config().pump)
+    {
+        while (!f.is_ready())
+        {
+            if (!pump())
+                throw peer_unreachable(loc.id(),
+                    "sim fabric went idle while a federation reply was "
+                    "outstanding");
+        }
+    }
+    return f.get();
+}
+
+}    // namespace minihpx::net

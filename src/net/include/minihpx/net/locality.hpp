@@ -1,0 +1,283 @@
+// net::locality — one endpoint of a multi-locality minihpx run.
+//
+// A locality owns its id, a snapshot of the action table, a pending-
+// request map, per-peer liveness state, and traffic statistics (the
+// /net{locality#H/total}/* counters). It is transport-agnostic: the
+// TCP mesh (tcp.hpp) and the simulator fabric (sim_fabric.hpp) both
+// push inbound frames through deliver() and carry outbound frames via
+// the attached transport.
+//
+// Remote invocation:
+//
+//   future<R> f = net::async<R>(loc, dest, "action/name", args...);
+//
+// marshals the arguments, sends an invoke frame, and completes the
+// future when the matching result/error frame arrives. Failures
+// propagate as exceptions through the future:
+//   - remote_error        the action threw (or decode failed) remotely
+//   - peer_unreachable    the peer died (EOF, heartbeat misses,
+//                         partition) or the request timed out
+//
+// Inbound invokes run as minihpx tasks when a runtime is active, so a
+// handler that blocks cannot wedge the reader thread that feeds it;
+// with inline_handlers (sim fabric) they run on the delivering thread.
+#pragma once
+
+#include <minihpx/future.hpp>
+#include <minihpx/net/action.hpp>
+#include <minihpx/net/serialize.hpp>
+#include <minihpx/net/wire.hpp>
+#include <minihpx/perf/registry.hpp>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace minihpx::net {
+
+// The request's peer is gone (or never answered): connection EOF,
+// heartbeat-miss eviction, fabric partition, or request timeout.
+class peer_unreachable : public std::runtime_error
+{
+public:
+    peer_unreachable(std::uint32_t peer, std::string const& reason)
+      : std::runtime_error("locality#" + std::to_string(peer) +
+            " unreachable: " + reason)
+      , peer_(peer)
+    {
+    }
+
+    std::uint32_t peer() const noexcept { return peer_; }
+
+private:
+    std::uint32_t peer_;
+};
+
+// The action ran (or was dispatched) remotely and failed; carries the
+// remote what() string and the locality it came from.
+class remote_error : public std::runtime_error
+{
+public:
+    remote_error(std::uint32_t origin, std::string const& what)
+      : std::runtime_error(
+            "locality#" + std::to_string(origin) + ": " + what)
+      , origin_(origin)
+    {
+    }
+
+    std::uint32_t origin() const noexcept { return origin_; }
+
+private:
+    std::uint32_t origin_;
+};
+
+struct net_config
+{
+    std::uint32_t id = 0;
+    std::uint32_t num_localities = 1;
+
+    // Liveness probing (TCP mode). 0 disables the heartbeat thread;
+    // a peer is declared dead after miss_limit silent intervals.
+    std::uint64_t heartbeat_interval_ms = 250;
+    std::uint32_t heartbeat_miss_limit = 8;
+
+    // Fail a pending request exceptionally after this long without a
+    // reply (checked by the heartbeat thread). 0 = wait forever.
+    std::uint64_t request_timeout_ms = 0;
+
+    // Run inbound action handlers on the delivering thread instead of
+    // spawning minihpx tasks (sim fabric: single-threaded, no runtime).
+    bool inline_handlers = false;
+
+    // Counter registry this locality homes its counters in. Defaults
+    // to perf::counter_registry::instance(); in-process multi-locality
+    // runs give each locality its own registry.
+    perf::counter_registry* registry = nullptr;
+
+    // Deterministic wait hook (sim fabric): invoked repeatedly while a
+    // federation query waits for its reply on a non-task thread; must
+    // make progress (deliver one message) or return false. TCP mode
+    // leaves this empty and blocks on the future instead.
+    std::function<bool()> pump;
+};
+
+// Traffic statistics, exported as /net{locality#H/total}/* counters by
+// counter_federation::register_net_counters().
+struct net_stats
+{
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> messages_received{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> invokes_sent{0};
+    std::atomic<std::uint64_t> invokes_executed{0};
+    std::atomic<std::uint64_t> errors_received{0};
+    std::atomic<std::uint64_t> heartbeats_sent{0};
+    std::atomic<std::uint64_t> heartbeats_received{0};
+    std::atomic<std::uint64_t> peers_lost{0};
+};
+
+// What carries frames between localities. send() returns false when
+// the peer cannot be reached at the transport level (the caller turns
+// that into peer_unreachable).
+class transport
+{
+public:
+    virtual ~transport() = default;
+    virtual bool send(message const& m) = 0;
+    virtual void close() = 0;
+};
+
+class locality
+{
+public:
+    explicit locality(net_config config);
+    ~locality();
+
+    locality(locality const&) = delete;
+    locality& operator=(locality const&) = delete;
+
+    std::uint32_t id() const noexcept { return config_.id; }
+    std::uint32_t num_localities() const noexcept
+    {
+        return config_.num_localities;
+    }
+    net_config const& config() const noexcept { return config_; }
+    perf::counter_registry& registry() noexcept { return *registry_; }
+    action_registry& actions() noexcept { return actions_; }
+    net_stats const& stats() const noexcept { return stats_; }
+
+    // ---- transport wiring ---------------------------------------------
+    void attach_transport(transport* t);
+
+    // Inbound frame entry point; thread-safe. Dispatches invokes,
+    // completes pending requests, refreshes peer liveness.
+    void deliver(message m);
+
+    void peer_up(std::uint32_t peer);
+    void peer_down(std::uint32_t peer, std::string const& reason);
+
+    // ---- liveness ------------------------------------------------------
+    bool peer_alive(std::uint32_t peer) const;
+    // Self plus every live peer, ascending (the federation's view).
+    std::vector<std::uint32_t> alive_localities() const;
+
+    using topology_callback =
+        std::function<void(std::uint32_t peer, bool alive)>;
+    void on_topology_change(topology_callback cb);
+
+    // ---- invocation ----------------------------------------------------
+    // Untyped: send pre-marshalled arguments, get raw result bytes.
+    // dest == id() loops back through the local action table.
+    future<std::vector<std::uint8_t>> invoke(std::uint32_t dest,
+        std::uint64_t action_id, std::vector<std::uint8_t> args);
+
+    template <typename R, typename... Ts>
+    future<R> async(std::uint32_t dest, std::string_view action, Ts&&... ts)
+    {
+        output_archive out;
+        (save(out, std::forward<Ts>(ts)), ...);
+        std::uint32_t const origin = dest;
+        return invoke(dest, fnv1a64(action), out.take())
+            .then([origin](future<std::vector<std::uint8_t>> bytes) -> R {
+                std::vector<std::uint8_t> const payload = bytes.get();
+                input_archive in(payload);
+                if constexpr (std::is_void_v<R>)
+                {
+                    (void) in;
+                    (void) origin;
+                    return;
+                }
+                else
+                {
+                    return load<R>(in);
+                }
+            });
+    }
+
+    // ---- lifecycle -----------------------------------------------------
+    // Start the heartbeat/timeout thread (no-op when interval is 0).
+    void start_heartbeats();
+
+    // Orderly shutdown: goodbye to live peers, fail pending requests,
+    // stop heartbeats, close the transport. Idempotent.
+    void stop();
+
+    // Abrupt death for failure testing: close the transport with no
+    // goodbye — peers find out via EOF or heartbeat misses.
+    void kill();
+
+    // The locality whose action handler is currently executing on this
+    // thread (nullptr outside one). Lets handlers issue nested calls.
+    static locality* current() noexcept;
+
+private:
+    struct pending_request
+    {
+        promise<std::vector<std::uint8_t>> result;
+        std::uint32_t dest = 0;
+        std::uint64_t deadline_ns = 0;    // 0 = no deadline
+    };
+
+    void execute_invoke(message m);
+    bool send_frame(message const& m);
+    void fail_pending_to(std::uint32_t peer, std::string const& reason);
+    void heartbeat_loop();
+    std::vector<std::uint32_t> live_peers_snapshot() const;
+
+    // Handler tasks dispatched onto the runtime hold a token for the
+    // duration of their body; stop()/kill() drain to zero after the
+    // transport is closed, so a locality is never destroyed under a
+    // still-running handler. (Consequence: don't call stop() from
+    // inside a handler.)
+    std::shared_ptr<void> inflight_token();
+    void drain_inflight();
+
+    net_config config_;
+    perf::counter_registry* registry_;
+    action_registry actions_;
+    net_stats stats_;
+
+    std::atomic<transport*> transport_{nullptr};
+    std::atomic<bool> stopped_{false};
+
+    mutable std::mutex peers_mutex_;
+    struct peer_state
+    {
+        bool alive = false;
+        std::uint64_t last_rx_ns = 0;
+    };
+    std::map<std::uint32_t, peer_state> peers_;
+    topology_callback topology_cb_;
+
+    std::mutex pending_mutex_;
+    std::map<std::uint64_t, pending_request> pending_;
+    std::atomic<std::uint64_t> next_request_id_{1};
+
+    std::thread heartbeat_thread_;
+    std::mutex heartbeat_mutex_;
+    std::condition_variable heartbeat_cv_;
+    bool heartbeat_stop_ = false;
+
+    std::mutex inflight_mutex_;
+    std::condition_variable inflight_cv_;
+    std::uint64_t inflight_handlers_ = 0;
+};
+
+// Free-function spelling, mirroring minihpx::async.
+template <typename R, typename... Ts>
+future<R> async(
+    locality& loc, std::uint32_t dest, std::string_view action, Ts&&... ts)
+{
+    return loc.template async<R>(dest, action, std::forward<Ts>(ts)...);
+}
+
+}    // namespace minihpx::net

@@ -1,0 +1,21 @@
+// minihpx::net — multi-locality runtime with cross-locality counter
+// federation. Umbrella header.
+//
+//   serialize.hpp        bounds-checked little-endian archives
+//   wire.hpp             versioned frame header, message types, fnv1a64
+//   action.hpp           named remote entry points, typed registration
+//   locality.hpp         endpoint: invoke/async, liveness, lifecycle
+//   tcp.hpp              loopback TCP full-mesh transport
+//   sim_fabric.hpp       deterministic in-process virtual network
+//   federation.hpp       counter registry federation + /net counters
+//   distributed_fib.hpp  the canonical cross-locality workload
+#pragma once
+
+#include <minihpx/net/action.hpp>
+#include <minihpx/net/distributed_fib.hpp>
+#include <minihpx/net/federation.hpp>
+#include <minihpx/net/locality.hpp>
+#include <minihpx/net/serialize.hpp>
+#include <minihpx/net/sim_fabric.hpp>
+#include <minihpx/net/tcp.hpp>
+#include <minihpx/net/wire.hpp>

@@ -1,0 +1,302 @@
+// Compact binary serialization for the locality boundary.
+//
+// Everything that crosses the wire — action arguments, results,
+// counter-federation replies — goes through these archives. The
+// encoding is explicit little-endian with length-prefixed containers,
+// so the same bytes decode on every peer regardless of host endianness
+// or struct layout; the input side is bounds-checked and throws
+// serialization_error instead of reading past the payload (a truncated
+// or hostile frame must never become memory corruption).
+//
+// Supported out of the box: bool, integral and floating-point types,
+// enums, std::string, and std::vector / std::pair / std::tuple /
+// std::optional of supported types — enough to marshal any action
+// signature built from value types. Extend by overloading save()/load()
+// in namespace minihpx::net for your type.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace minihpx::net {
+
+class serialization_error : public std::runtime_error
+{
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class output_archive
+{
+public:
+    output_archive() = default;
+
+    void write_bytes(void const* data, std::size_t size)
+    {
+        auto const* bytes = static_cast<std::uint8_t const*>(data);
+        buffer_.insert(buffer_.end(), bytes, bytes + size);
+    }
+
+    template <typename T,
+        typename = std::enable_if_t<std::is_unsigned_v<T>>>
+    void write_le(T value)
+    {
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            buffer_.push_back(
+                static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+    }
+
+    std::vector<std::uint8_t> const& data() const noexcept { return buffer_; }
+    std::vector<std::uint8_t> take() noexcept { return std::move(buffer_); }
+    std::size_t size() const noexcept { return buffer_.size(); }
+
+private:
+    std::vector<std::uint8_t> buffer_;
+};
+
+class input_archive
+{
+public:
+    input_archive(std::uint8_t const* data, std::size_t size) noexcept
+      : data_(data)
+      , size_(size)
+    {
+    }
+
+    explicit input_archive(std::vector<std::uint8_t> const& bytes) noexcept
+      : input_archive(bytes.data(), bytes.size())
+    {
+    }
+
+    void read_bytes(void* out, std::size_t size)
+    {
+        require(size);
+        std::memcpy(out, data_ + pos_, size);
+        pos_ += size;
+    }
+
+    template <typename T,
+        typename = std::enable_if_t<std::is_unsigned_v<T>>>
+    T read_le()
+    {
+        require(sizeof(T));
+        T value = 0;
+        for (std::size_t i = 0; i < sizeof(T); ++i)
+            value |= static_cast<T>(data_[pos_ + i]) << (8 * i);
+        pos_ += sizeof(T);
+        return value;
+    }
+
+    std::size_t remaining() const noexcept { return size_ - pos_; }
+    bool exhausted() const noexcept { return pos_ == size_; }
+
+private:
+    void require(std::size_t size) const
+    {
+        if (size_ - pos_ < size)
+            throw serialization_error("truncated payload: need " +
+                std::to_string(size) + " bytes, have " +
+                std::to_string(size_ - pos_));
+    }
+
+    std::uint8_t const* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+// ---- save/load ----------------------------------------------------------
+
+namespace detail {
+
+    // Maps a value type to the unsigned carrier of equal width.
+    template <std::size_t Size>
+    struct carrier;
+    template <>
+    struct carrier<1>
+    {
+        using type = std::uint8_t;
+    };
+    template <>
+    struct carrier<2>
+    {
+        using type = std::uint16_t;
+    };
+    template <>
+    struct carrier<4>
+    {
+        using type = std::uint32_t;
+    };
+    template <>
+    struct carrier<8>
+    {
+        using type = std::uint64_t;
+    };
+    template <typename T>
+    using carrier_t = typename carrier<sizeof(T)>::type;
+
+    template <typename T>
+    inline constexpr bool is_scalar_encodable_v =
+        std::is_arithmetic_v<T> || std::is_enum_v<T>;
+
+}    // namespace detail
+
+template <typename T>
+std::enable_if_t<detail::is_scalar_encodable_v<T>> save(
+    output_archive& ar, T value)
+{
+    using C = detail::carrier_t<T>;
+    C bits;
+    std::memcpy(&bits, &value, sizeof(T));
+    ar.write_le(bits);
+}
+
+inline void save(output_archive& ar, std::string_view value)
+{
+    ar.write_le(static_cast<std::uint32_t>(value.size()));
+    ar.write_bytes(value.data(), value.size());
+}
+
+inline void save(output_archive& ar, std::string const& value)
+{
+    save(ar, std::string_view(value));
+}
+
+inline void save(output_archive& ar, char const* value)
+{
+    save(ar, std::string_view(value));
+}
+
+template <typename T>
+void save(output_archive& ar, std::vector<T> const& values)
+{
+    ar.write_le(static_cast<std::uint32_t>(values.size()));
+    for (T const& v : values)
+        save(ar, v);
+}
+
+template <typename A, typename B>
+void save(output_archive& ar, std::pair<A, B> const& value)
+{
+    save(ar, value.first);
+    save(ar, value.second);
+}
+
+template <typename... Ts>
+void save(output_archive& ar, std::tuple<Ts...> const& value)
+{
+    std::apply([&ar](Ts const&... parts) { (save(ar, parts), ...); }, value);
+}
+
+template <typename T>
+void save(output_archive& ar, std::optional<T> const& value)
+{
+    save(ar, static_cast<std::uint8_t>(value.has_value() ? 1 : 0));
+    if (value)
+        save(ar, *value);
+}
+
+// load<T>(ar): tag-dispatched so tuple/vector elements recurse cleanly.
+template <typename T>
+struct loader;
+
+template <typename T>
+T load(input_archive& ar)
+{
+    return loader<T>::apply(ar);
+}
+
+template <typename T>
+struct loader
+{
+    static_assert(detail::is_scalar_encodable_v<T>,
+        "no load() overload for this type");
+
+    static T apply(input_archive& ar)
+    {
+        using C = detail::carrier_t<T>;
+        C const bits = ar.template read_le<C>();
+        T value;
+        std::memcpy(&value, &bits, sizeof(T));
+        return value;
+    }
+};
+
+template <>
+struct loader<std::string>
+{
+    static std::string apply(input_archive& ar)
+    {
+        auto const size = ar.read_le<std::uint32_t>();
+        std::string out(size, '\0');
+        ar.read_bytes(out.data(), size);
+        return out;
+    }
+};
+
+template <typename T>
+struct loader<std::vector<T>>
+{
+    static std::vector<T> apply(input_archive& ar)
+    {
+        auto const size = ar.read_le<std::uint32_t>();
+        std::vector<T> out;
+        out.reserve(std::min<std::size_t>(size, 4096));
+        for (std::uint32_t i = 0; i < size; ++i)
+            out.push_back(load<T>(ar));
+        return out;
+    }
+};
+
+template <typename A, typename B>
+struct loader<std::pair<A, B>>
+{
+    static std::pair<A, B> apply(input_archive& ar)
+    {
+        // Separate statements: evaluation order inside a braced pair
+        // of function arguments would be unspecified.
+        A a = load<A>(ar);
+        B b = load<B>(ar);
+        return {std::move(a), std::move(b)};
+    }
+};
+
+template <typename... Ts>
+struct loader<std::tuple<Ts...>>
+{
+    static std::tuple<Ts...> apply(input_archive& ar)
+    {
+        return load_impl(ar, std::index_sequence_for<Ts...>{});
+    }
+
+private:
+    template <std::size_t... Is>
+    static std::tuple<Ts...> load_impl(
+        input_archive& ar, std::index_sequence<Is...>)
+    {
+        std::tuple<std::optional<Ts>...> parts;
+        // Fold over comma: left-to-right, the wire order save() used.
+        ((std::get<Is>(parts).emplace(load<Ts>(ar))), ...);
+        return std::tuple<Ts...>{std::move(*std::get<Is>(parts))...};
+    }
+};
+
+template <typename T>
+struct loader<std::optional<T>>
+{
+    static std::optional<T> apply(input_archive& ar)
+    {
+        if (load<std::uint8_t>(ar) == 0)
+            return std::nullopt;
+        return load<T>(ar);
+    }
+};
+
+}    // namespace minihpx::net

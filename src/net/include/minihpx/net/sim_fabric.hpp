@@ -1,0 +1,101 @@
+// Simulated multi-locality fabric: N in-process localities joined by a
+// virtual network priced with sim::net_model.
+//
+// Everything runs on the calling thread. send() enqueues the message
+// with a delivery timestamp from the model; step()/run() pop events in
+// (time, sequence) order and push them through locality::deliver with
+// inline handlers — no OS threads, no sockets, no runtime. Two runs of
+// the same program therefore produce byte-identical delivery logs
+// (delivery_log()), which is what makes distributed what-if experiments
+// ("would fib(30) scale past one node on a 10 GbE link?") trustworthy:
+// a changed log digest means the experiment changed, not the weather.
+//
+// Each locality gets its own counter_registry (id i), so federation
+// over the fabric exercises the same registry seams as real sockets.
+#pragma once
+
+#include <minihpx/net/locality.hpp>
+#include <minihpx/perf/registry.hpp>
+#include <minihpx/sim/net_model.hpp>
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace minihpx::net {
+
+class sim_fabric
+{
+public:
+    explicit sim_fabric(
+        std::uint32_t count, sim::net_model model = sim::net_model{});
+    ~sim_fabric();
+
+    sim_fabric(sim_fabric const&) = delete;
+    sim_fabric& operator=(sim_fabric const&) = delete;
+
+    std::uint32_t count() const noexcept
+    {
+        return static_cast<std::uint32_t>(localities_.size());
+    }
+    locality& at(std::uint32_t i) { return *localities_.at(i); }
+    perf::counter_registry& registry_at(std::uint32_t i)
+    {
+        return *registries_.at(i);
+    }
+
+    // Deliver the next queued message; false when the fabric is idle.
+    bool step();
+    // Drain until idle. Returns the number of messages delivered.
+    std::uint64_t run();
+
+    std::uint64_t now_ns() const noexcept { return now_ns_; }
+    std::uint64_t messages_delivered() const noexcept { return delivered_; }
+
+    // Unplug a locality: its in-flight messages are dropped, future
+    // sends to/from it fail, every survivor sees peer_down. Models
+    // abrupt node death for failure-path tests.
+    void partition(std::uint32_t id);
+
+    // One line per delivered message, in delivery order — the
+    // byte-determinism witness. Format:
+    //   t=<ns> seq=<n> <src>-><dst> <type> req=<id> action=<id> bytes=<n>
+    std::string const& delivery_log() const noexcept { return log_; }
+
+private:
+    struct port;
+
+    bool post(message m);
+
+    struct event
+    {
+        std::uint64_t time = 0;
+        std::uint64_t seq = 0;
+        message m;
+    };
+    struct event_after
+    {
+        bool operator()(event const& a, event const& b) const noexcept
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    sim::net_model model_;
+    std::vector<std::unique_ptr<perf::counter_registry>> registries_;
+    std::vector<std::unique_ptr<port>> ports_;
+    std::vector<char> unplugged_;
+    std::priority_queue<event, std::vector<event>, event_after> queue_;
+    std::uint64_t now_ns_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::string log_;
+    // Last: destroyed first, so locality::stop still sees its port.
+    std::vector<std::unique_ptr<locality>> localities_;
+};
+
+}    // namespace minihpx::net

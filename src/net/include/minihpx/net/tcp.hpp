@@ -1,0 +1,89 @@
+// Loopback TCP mesh: the real-socket transport behind net::locality.
+//
+// Topology is a full mesh over 127.0.0.1. Each locality binds one
+// listening port; locality i actively connects to every peer j < i and
+// accepts the connection from every peer j > i, so each pair shares
+// exactly one duplex socket. The handshake is a hello/hello_ack
+// exchange of locality ids (and, implicitly, wire versions — a
+// mismatched peer is rejected by decode_header).
+//
+// Two-phase bring-up so tests can use ephemeral ports:
+//
+//   tcp_mesh mesh(loc);
+//   std::uint16_t port = mesh.listen(0);     // 0 -> kernel-assigned
+//   ... exchange ports out of band (argv, fork, vector in-process) ...
+//   mesh.connect(ports_by_locality_id, timeout_ms);   // blocks: full mesh
+//
+// One reader thread per connection pushes inbound frames through
+// locality::deliver(); writes are serialized per connection. EOF or a
+// socket error reports peer_down to the owner — that is how abrupt
+// peer death (kill -9, test kill()) is detected without heartbeats.
+#pragma once
+
+#include <minihpx/net/locality.hpp>
+#include <minihpx/net/wire.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace minihpx::net {
+
+class tcp_mesh final : public transport
+{
+public:
+    explicit tcp_mesh(locality& owner);
+    ~tcp_mesh() override;
+
+    tcp_mesh(tcp_mesh const&) = delete;
+    tcp_mesh& operator=(tcp_mesh const&) = delete;
+
+    // Bind + listen on 127.0.0.1:port (0 = ephemeral) and start the
+    // accept thread. Returns the bound port. Throws std::runtime_error
+    // on socket failure.
+    std::uint16_t listen(std::uint16_t port);
+
+    // Complete the mesh: dial every peer with a lower id (retrying
+    // until it is up), then wait for every higher-id peer to dial us.
+    // ports[i] is locality i's listening port. Throws on timeout.
+    void connect(std::vector<std::uint16_t> const& ports,
+        std::uint64_t timeout_ms = 10'000);
+
+    // transport:
+    bool send(message const& m) override;
+    void close() override;
+
+    std::size_t connection_count() const;
+
+private:
+    struct connection
+    {
+        int fd = -1;
+        std::uint32_t peer = 0;
+        std::mutex write_mutex;
+        std::thread reader;
+        std::atomic<bool> open{false};
+    };
+
+    void accept_loop();
+    void reader_loop(connection* conn);
+    void add_connection(int fd, std::uint32_t peer);
+    void shutdown_fd(int fd);
+
+    locality& owner_;
+    std::atomic<bool> closing_{false};
+    std::atomic<bool> closed_{false};
+
+    int listen_fd_ = -1;
+    std::uint16_t listen_port_ = 0;
+    std::thread accept_thread_;
+
+    mutable std::mutex connections_mutex_;
+    std::map<std::uint32_t, std::unique_ptr<connection>> connections_;
+};
+
+}    // namespace minihpx::net

@@ -1,0 +1,84 @@
+// Wire framing for the locality boundary.
+//
+// Every message is one fixed-size little-endian header followed by an
+// opaque payload (encoded with net/serialize.hpp). The header is
+// versioned: a peer speaking a different wire revision is rejected at
+// decode time with a clear error instead of silently misparsing — the
+// classic rolling-upgrade failure mode for binary protocols.
+//
+//   offset  size  field
+//        0     4  magic          'mhx1' (0x3178686d LE)
+//        4     2  version        wire_version
+//        6     2  type           message_type
+//        8     4  source         sending locality id
+//       12     4  dest           receiving locality id
+//       16     8  request_id     correlates request/reply pairs
+//       24     8  action_id      fnv1a-64 of the action name (invoke)
+//       32     4  payload_size   bytes following the header
+#pragma once
+
+#include <minihpx/net/serialize.hpp>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace minihpx::net {
+
+inline constexpr std::uint32_t wire_magic = 0x3178686d;    // "mhx1"
+inline constexpr std::uint16_t wire_version = 1;
+inline constexpr std::size_t wire_header_size = 36;
+
+// Payload ceiling: far above anything the runtime sends, low enough
+// that a corrupt size field cannot trigger a multi-gigabyte allocation.
+inline constexpr std::uint32_t wire_max_payload = 64u << 20;
+
+enum class message_type : std::uint16_t
+{
+    hello = 1,         // connector announces its locality id
+    hello_ack = 2,     // acceptor answers with its own
+    invoke = 3,        // run action_id with the payload's arguments
+    result = 4,        // invoke succeeded; payload = serialized result
+    error = 5,         // invoke failed; payload = error string
+    heartbeat = 6,     // liveness probe (no payload)
+    goodbye = 7,       // orderly shutdown announcement (no payload)
+};
+
+char const* to_string(message_type type) noexcept;
+
+struct message
+{
+    message_type type = message_type::invoke;
+    std::uint32_t source = 0;
+    std::uint32_t dest = 0;
+    std::uint64_t request_id = 0;
+    std::uint64_t action_id = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+using wire_header = std::array<std::uint8_t, wire_header_size>;
+
+// Header for `m` (payload travels separately, right after it).
+wire_header encode_header(message const& m) noexcept;
+
+// Decode a header into `m` (payload left empty; its size is returned
+// via *payload_size). false + *error on bad magic, unknown version,
+// unknown type, or oversized payload.
+bool decode_header(wire_header const& header, message& m,
+    std::uint32_t* payload_size, std::string* error);
+
+// FNV-1a 64, the stable cross-process action id: both sides hash the
+// registered name, so no id-exchange handshake is needed.
+constexpr std::uint64_t fnv1a64(std::string_view text) noexcept
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (char c : text)
+    {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+}    // namespace minihpx::net

@@ -1,0 +1,63 @@
+#include <minihpx/net/action.hpp>
+
+#include <stdexcept>
+
+namespace minihpx::net {
+
+void action_registry::add_erased(std::string name, action_handler handler)
+{
+    std::uint64_t const id = fnv1a64(name);
+    auto e = std::make_shared<entry>();
+    e->name = std::move(name);
+    e->handler = std::move(handler);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto const [it, inserted] = table_.emplace(id, e);
+    if (!inserted)
+    {
+        if (it->second->name == e->name)
+            throw std::invalid_argument(
+                "action \"" + e->name + "\" already registered");
+        throw std::invalid_argument("action id collision: \"" + e->name +
+            "\" and \"" + it->second->name + "\" share fnv1a64 id " +
+            std::to_string(id));
+    }
+}
+
+action_registry::entry const* action_registry::find(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto const it = table_.find(id);
+    return it == table_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> action_registry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(table_.size());
+    for (auto const& [id, e] : table_)
+        out.push_back(e->name);
+    return out;
+}
+
+std::size_t action_registry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return table_.size();
+}
+
+std::map<std::uint64_t, std::shared_ptr<action_registry::entry>>
+action_registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return table_;
+}
+
+action_registry& action_registry::global()
+{
+    static action_registry instance;
+    return instance;
+}
+
+}    // namespace minihpx::net

@@ -1,0 +1,318 @@
+#include <minihpx/net/federation.hpp>
+
+#include <minihpx/perf/basic_counters.hpp>
+#include <minihpx/perf/counter_name.hpp>
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace minihpx::net {
+
+namespace {
+
+    // Transparent proxy: evaluations are served by the counter's home
+    // locality. Unreachable home -> status not_available (sampling
+    // paths must not throw).
+    class remote_counter final : public perf::counter
+    {
+    public:
+        remote_counter(locality& loc, std::uint32_t home,
+            perf::counter_info info, std::string remote_name)
+          : loc_(loc)
+          , home_(home)
+          , info_(std::move(info))
+          , remote_name_(std::move(remote_name))
+        {
+        }
+
+        perf::counter_value get_value(bool reset = false) override
+        {
+            perf::counter_value out;
+            try
+            {
+                wire_counter_value const v =
+                    federation_wait(loc_,
+                        loc_.async<wire_counter_value>(home_,
+                            action_counter_evaluate, remote_name_,
+                            static_cast<std::uint8_t>(reset ? 1 : 0)));
+                out.time_ns = std::get<0>(v);
+                out.count = std::get<1>(v);
+                out.value = std::get<2>(v);
+                out.scaling = std::get<3>(v);
+                out.status =
+                    static_cast<perf::counter_status>(std::get<4>(v));
+            }
+            catch (...)
+            {
+                out.time_ns = perf::counter_clock_ns();
+                out.status = perf::counter_status::not_available;
+            }
+            return out;
+        }
+
+        void reset() override
+        {
+            try
+            {
+                federation_wait(loc_,
+                    loc_.async<wire_counter_value>(home_,
+                        action_counter_evaluate, remote_name_,
+                        static_cast<std::uint8_t>(1)));
+            }
+            catch (...)
+            {
+                // A dead home has nothing left to reset.
+            }
+        }
+
+        perf::counter_info const& info() const noexcept override
+        {
+            return info_;
+        }
+
+    private:
+        locality& loc_;
+        std::uint32_t home_;
+        perf::counter_info info_;
+        std::string remote_name_;
+    };
+
+    void set_error(std::string* error, std::string message)
+    {
+        if (error)
+            *error = std::move(message);
+    }
+
+}    // namespace
+
+counter_federation::counter_federation(locality& loc)
+  : loc_(loc)
+  , registry_(loc.registry())
+{
+    registry_.set_local_locality(loc_.id());
+    register_service_actions();
+    register_net_counters();
+    loc_.on_topology_change([this](std::uint32_t, bool) {
+        registry_.notify_topology_change();
+    });
+    registry_.set_locality_provider(this);
+}
+
+counter_federation::~counter_federation()
+{
+    registry_.set_locality_provider(nullptr);
+    loc_.on_topology_change(nullptr);
+    unregister_net_counters();
+}
+
+std::vector<std::uint32_t> counter_federation::known_localities() const
+{
+    return loc_.alive_localities();
+}
+
+std::vector<perf::counter_path> counter_federation::expand_remote(
+    perf::counter_path const& path)
+{
+    auto const home = static_cast<std::uint32_t>(path.parent_index);
+    if (!loc_.peer_alive(home))
+        return {};
+
+    std::vector<perf::counter_path> out;
+    try
+    {
+        std::vector<std::string> const names = federation_wait(loc_,
+            loc_.async<std::vector<std::string>>(
+                home, action_counter_expand, path.full_name()));
+        out.reserve(names.size());
+        for (std::string const& name : names)
+            if (auto parsed = perf::parse_counter_name(name))
+                out.push_back(std::move(*parsed));
+    }
+    catch (...)
+    {
+        out.clear();    // unreachable peer == no instances
+    }
+    return out;
+}
+
+perf::counter_ptr counter_federation::create_remote(
+    perf::counter_path const& path, std::string* error)
+{
+    auto const home = static_cast<std::uint32_t>(path.parent_index);
+    std::string const name = path.full_name();
+    if (!loc_.peer_alive(home))
+    {
+        set_error(error,
+            name + ": " + perf::locality_prefix(home) + " is not connected");
+        return nullptr;
+    }
+
+    try
+    {
+        wire_counter_info const info = federation_wait(loc_,
+            loc_.async<wire_counter_info>(
+                home, action_counter_describe, name));
+
+        perf::counter_info proxy_info;
+        proxy_info.full_name = std::get<0>(info);
+        proxy_info.kind = static_cast<perf::counter_kind>(std::get<1>(info));
+        proxy_info.unit_of_measure = std::get<2>(info);
+        proxy_info.helptext = std::get<3>(info);
+        return std::make_shared<remote_counter>(
+            loc_, home, std::move(proxy_info), name);
+    }
+    catch (std::exception const& e)
+    {
+        set_error(error, name + ": " + e.what());
+        return nullptr;
+    }
+}
+
+perf::counter_handle counter_federation::served_handle(
+    std::string const& name, std::string* error)
+{
+    {
+        std::lock_guard<std::mutex> lock(served_mutex_);
+        auto const it = served_.find(name);
+        if (it != served_.end())
+            return it->second;
+    }
+    perf::counter_handle handle = registry_.resolve(name, error);
+    if (handle)
+    {
+        std::lock_guard<std::mutex> lock(served_mutex_);
+        served_.emplace(name, handle);
+    }
+    return handle;
+}
+
+void counter_federation::register_service_actions()
+{
+    counter_federation* self = this;
+
+    loc_.actions().add(action_counter_expand,
+        [self](std::string name) -> std::vector<std::string> {
+            auto const path = perf::parse_counter_name(name);
+            if (!path)
+                throw std::runtime_error("malformed counter name: " + name);
+            std::vector<std::string> out;
+            for (perf::counter_path const& p :
+                self->registry_.expand(*path))
+                out.push_back(p.full_name());
+            return out;
+        });
+
+    loc_.actions().add(action_counter_describe,
+        [self](std::string name) -> wire_counter_info {
+            std::string error;
+            perf::counter_handle handle =
+                self->served_handle(name, &error);
+            if (!handle)
+                throw std::runtime_error(error.empty() ?
+                        "unknown counter: " + name :
+                        error);
+            perf::counter_info const& info = handle.info();
+            return wire_counter_info{info.full_name,
+                static_cast<std::uint8_t>(info.kind), info.unit_of_measure,
+                info.helptext};
+        });
+
+    loc_.actions().add(action_counter_evaluate,
+        [self](std::string name, std::uint8_t reset) -> wire_counter_value {
+            std::string error;
+            perf::counter_handle handle =
+                self->served_handle(name, &error);
+            if (!handle)
+                throw std::runtime_error(error.empty() ?
+                        "unknown counter: " + name :
+                        error);
+            perf::counter_value const v =
+                handle.evaluate(reset != 0);
+            return wire_counter_value{v.time_ns, v.count, v.value,
+                v.scaling, static_cast<std::uint8_t>(v.status)};
+        });
+}
+
+void counter_federation::register_net_counters()
+{
+    net_stats const& stats = loc_.stats();
+    locality* loc = &loc_;
+
+    struct stat_counter
+    {
+        char const* name;
+        char const* help;
+        std::atomic<std::uint64_t> const* source;
+    };
+    stat_counter const counters[] = {
+        {"/net/count/messages-sent", "frames handed to the transport",
+            &stats.messages_sent},
+        {"/net/count/messages-received", "frames delivered by the transport",
+            &stats.messages_received},
+        {"/net/count/bytes-sent", "header+payload bytes sent",
+            &stats.bytes_sent},
+        {"/net/count/bytes-received", "header+payload bytes received",
+            &stats.bytes_received},
+        {"/net/count/invokes-sent", "remote actions issued from here",
+            &stats.invokes_sent},
+        {"/net/count/invokes-executed", "remote actions executed here",
+            &stats.invokes_executed},
+        {"/net/count/errors-received", "remote invocations that failed",
+            &stats.errors_received},
+        {"/net/count/heartbeats-sent", "liveness probes sent",
+            &stats.heartbeats_sent},
+        {"/net/count/heartbeats-received", "liveness probes received",
+            &stats.heartbeats_received},
+        {"/net/count/peers-lost", "peers declared dead since startup",
+            &stats.peers_lost},
+    };
+
+    for (stat_counter const& c : counters)
+    {
+        perf::counter_registry::type_info type;
+        type.type_key = c.name;
+        type.kind = perf::counter_kind::monotonically_increasing;
+        type.unit_of_measure = "";
+        type.helptext = c.help;
+        auto const* source = c.source;
+        type.create = [source](perf::counter_path const& path) {
+            perf::counter_info info;
+            info.full_name = path.full_name();
+            info.kind = perf::counter_kind::monotonically_increasing;
+            return std::make_shared<perf::delta_counter>(std::move(info),
+                [source] {
+                    return static_cast<double>(
+                        source->load(std::memory_order_relaxed));
+                });
+        };
+        registry_.register_type(std::move(type));
+        net_types_.push_back(c.name);
+    }
+
+    perf::counter_registry::type_info alive;
+    alive.type_key = "/net/peers-alive";
+    alive.kind = perf::counter_kind::raw;
+    alive.helptext = "connected peers right now";
+    alive.create = [loc](perf::counter_path const& path) {
+        perf::counter_info info;
+        info.full_name = path.full_name();
+        info.kind = perf::counter_kind::raw;
+        return std::make_shared<perf::gauge_counter>(std::move(info),
+            [loc] {
+                return static_cast<double>(loc->alive_localities().size()) -
+                    1.0;
+            });
+    };
+    registry_.register_type(std::move(alive));
+    net_types_.push_back("/net/peers-alive");
+}
+
+void counter_federation::unregister_net_counters()
+{
+    for (std::string const& type : net_types_)
+        registry_.unregister_type(type);
+    net_types_.clear();
+}
+
+}    // namespace minihpx::net

@@ -1,0 +1,525 @@
+#include <minihpx/async.hpp>
+#include <minihpx/net/locality.hpp>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace minihpx::net {
+
+namespace {
+
+    thread_local locality* current_locality = nullptr;
+
+    std::uint64_t now_ns() noexcept
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    struct current_scope
+    {
+        explicit current_scope(locality* loc) noexcept
+          : previous(std::exchange(current_locality, loc))
+        {
+        }
+        ~current_scope() { current_locality = previous; }
+        locality* previous;
+    };
+
+}    // namespace
+
+locality* locality::current() noexcept
+{
+    return current_locality;
+}
+
+locality::locality(net_config config)
+  : config_(std::move(config))
+  , registry_(config_.registry ? config_.registry :
+                                 &perf::counter_registry::instance())
+  , actions_(action_registry::global())
+{
+    registry_->set_local_locality(config_.id);
+}
+
+locality::~locality()
+{
+    stop();
+}
+
+void locality::attach_transport(transport* t)
+{
+    transport_.store(t, std::memory_order_release);
+}
+
+void locality::on_topology_change(topology_callback cb)
+{
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    topology_cb_ = std::move(cb);
+}
+
+bool locality::peer_alive(std::uint32_t peer) const
+{
+    if (peer == id())
+        return !stopped_.load(std::memory_order_acquire);
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    auto const it = peers_.find(peer);
+    return it != peers_.end() && it->second.alive;
+}
+
+std::vector<std::uint32_t> locality::alive_localities() const
+{
+    std::vector<std::uint32_t> out{id()};
+    {
+        std::lock_guard<std::mutex> lock(peers_mutex_);
+        for (auto const& [peer, state] : peers_)
+            if (state.alive)
+                out.push_back(peer);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::uint32_t> locality::live_peers_snapshot() const
+{
+    std::vector<std::uint32_t> out;
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    for (auto const& [peer, state] : peers_)
+        if (state.alive)
+            out.push_back(peer);
+    return out;
+}
+
+void locality::peer_up(std::uint32_t peer)
+{
+    topology_callback cb;
+    {
+        std::lock_guard<std::mutex> lock(peers_mutex_);
+        peer_state& state = peers_[peer];
+        bool const was_alive = state.alive;
+        state.alive = true;
+        state.last_rx_ns = now_ns();
+        if (was_alive)
+            return;
+        cb = topology_cb_;
+    }
+    if (cb)
+        cb(peer, true);
+}
+
+void locality::peer_down(std::uint32_t peer, std::string const& reason)
+{
+    topology_callback cb;
+    {
+        std::lock_guard<std::mutex> lock(peers_mutex_);
+        auto const it = peers_.find(peer);
+        if (it == peers_.end() || !it->second.alive)
+            return;
+        it->second.alive = false;
+        cb = topology_cb_;
+    }
+    stats_.peers_lost.fetch_add(1, std::memory_order_relaxed);
+    fail_pending_to(peer, reason);
+    if (cb)
+        cb(peer, false);
+}
+
+void locality::fail_pending_to(std::uint32_t peer, std::string const& reason)
+{
+    std::vector<promise<std::vector<std::uint8_t>>> doomed;
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        for (auto it = pending_.begin(); it != pending_.end();)
+        {
+            if (it->second.dest == peer)
+            {
+                doomed.push_back(std::move(it->second.result));
+                it = pending_.erase(it);
+            }
+            else
+            {
+                ++it;
+            }
+        }
+    }
+    for (auto& p : doomed)
+        p.set_exception(
+            std::make_exception_ptr(peer_unreachable(peer, reason)));
+}
+
+bool locality::send_frame(message const& m)
+{
+    if (m.dest == id())
+    {
+        // Loopback: no transport round trip, straight back in.
+        deliver(m);
+        return true;
+    }
+
+    transport* t = transport_.load(std::memory_order_acquire);
+    if (!t)
+        return false;
+    if (!t->send(m))
+        return false;
+    stats_.messages_sent.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_sent.fetch_add(
+        wire_header_size + m.payload.size(), std::memory_order_relaxed);
+    return true;
+}
+
+future<std::vector<std::uint8_t>> locality::invoke(std::uint32_t dest,
+    std::uint64_t action_id, std::vector<std::uint8_t> args)
+{
+    promise<std::vector<std::uint8_t>> p;
+    future<std::vector<std::uint8_t>> f = p.get_future();
+
+    if (stopped_.load(std::memory_order_acquire))
+    {
+        p.set_exception(std::make_exception_ptr(
+            peer_unreachable(dest, "this locality is stopped")));
+        return f;
+    }
+    if (dest != id() && !peer_alive(dest))
+    {
+        p.set_exception(std::make_exception_ptr(
+            peer_unreachable(dest, "peer is not connected")));
+        return f;
+    }
+
+    std::uint64_t const rid =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(pending_mutex_);
+        pending_request& req = pending_[rid];
+        req.result = std::move(p);
+        req.dest = dest;
+        req.deadline_ns = config_.request_timeout_ms ?
+            now_ns() + config_.request_timeout_ms * 1'000'000 :
+            0;
+    }
+
+    message m;
+    m.type = message_type::invoke;
+    m.source = id();
+    m.dest = dest;
+    m.request_id = rid;
+    m.action_id = action_id;
+    m.payload = std::move(args);
+
+    stats_.invokes_sent.fetch_add(1, std::memory_order_relaxed);
+    if (!send_frame(m))
+    {
+        promise<std::vector<std::uint8_t>> orphan;
+        bool found = false;
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            auto const it = pending_.find(rid);
+            if (it != pending_.end())
+            {
+                orphan = std::move(it->second.result);
+                pending_.erase(it);
+                found = true;
+            }
+        }
+        if (found)
+            orphan.set_exception(std::make_exception_ptr(
+                peer_unreachable(dest, "transport send failed")));
+    }
+    return f;
+}
+
+void locality::deliver(message m)
+{
+    stats_.messages_received.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytes_received.fetch_add(
+        wire_header_size + m.payload.size(), std::memory_order_relaxed);
+
+    if (m.source != id())
+    {
+        std::lock_guard<std::mutex> lock(peers_mutex_);
+        auto const it = peers_.find(m.source);
+        if (it != peers_.end() && it->second.alive)
+            it->second.last_rx_ns = now_ns();
+    }
+
+    switch (m.type)
+    {
+    case message_type::invoke:
+    {
+        if (!config_.inline_handlers && minihpx::detail::spawn_target_ptr())
+        {
+            // Handlers run as tasks: a blocking handler parks a worker,
+            // not the reader thread that carries its nested replies.
+            // The token keeps stop() from returning (and the locality
+            // from being destroyed) while the task body is running.
+            minihpx::apply(
+                [this, m = std::move(m), token = inflight_token()]() mutable {
+                    execute_invoke(std::move(m));
+                });
+        }
+        else
+        {
+            execute_invoke(std::move(m));
+        }
+        break;
+    }
+    case message_type::result:
+    case message_type::error:
+    {
+        promise<std::vector<std::uint8_t>> p;
+        bool found = false;
+        {
+            std::lock_guard<std::mutex> lock(pending_mutex_);
+            auto const it = pending_.find(m.request_id);
+            if (it != pending_.end())
+            {
+                p = std::move(it->second.result);
+                pending_.erase(it);
+                found = true;
+            }
+        }
+        if (!found)
+            break;    // request already failed (timeout, peer_down)
+        if (m.type == message_type::result)
+        {
+            p.set_value(std::move(m.payload));
+        }
+        else
+        {
+            stats_.errors_received.fetch_add(1, std::memory_order_relaxed);
+            p.set_exception(std::make_exception_ptr(remote_error(m.source,
+                std::string(m.payload.begin(), m.payload.end()))));
+        }
+        break;
+    }
+    case message_type::heartbeat:
+        stats_.heartbeats_received.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case message_type::goodbye:
+        peer_down(m.source, "peer said goodbye");
+        break;
+    case message_type::hello:
+    case message_type::hello_ack:
+        // Handshake frames are consumed by the transport; stray ones
+        // only refresh liveness (above).
+        break;
+    }
+}
+
+void locality::execute_invoke(message m)
+{
+    current_scope scope(this);
+
+    std::uint32_t const source = m.source;
+    std::uint64_t const rid = m.request_id;
+    result_sender reply(
+        [this, source, rid](std::vector<std::uint8_t> bytes) {
+            message r;
+            r.type = message_type::result;
+            r.source = id();
+            r.dest = source;
+            r.request_id = rid;
+            r.payload = std::move(bytes);
+            send_frame(r);
+        },
+        [this, source, rid](std::string what) {
+            message r;
+            r.type = message_type::error;
+            r.source = id();
+            r.dest = source;
+            r.request_id = rid;
+            r.payload.assign(what.begin(), what.end());
+            send_frame(r);
+        });
+
+    action_registry::entry const* entry = actions_.find(m.action_id);
+    if (!entry)
+    {
+        reply.send_error(
+            "unknown action id " + std::to_string(m.action_id) +
+            " (not registered before locality construction?)");
+        return;
+    }
+
+    stats_.invokes_executed.fetch_add(1, std::memory_order_relaxed);
+    input_archive in(m.payload);
+    entry->handler(in, std::move(reply));
+}
+
+std::shared_ptr<void> locality::inflight_token()
+{
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        ++inflight_handlers_;
+    }
+    // The deleter fires when the dispatched task's closure is destroyed
+    // — after the handler body ran (or the task was dropped unrun).
+    // Notify under the lock: the draining thread may destroy this
+    // object the moment the count reaches zero.
+    return std::shared_ptr<void>(static_cast<void*>(nullptr),
+        [this](void*) {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            --inflight_handlers_;
+            if (inflight_handlers_ == 0)
+                inflight_cv_.notify_all();
+        });
+}
+
+void locality::drain_inflight()
+{
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    inflight_cv_.wait(lock, [this] { return inflight_handlers_ == 0; });
+}
+
+void locality::start_heartbeats()
+{
+    if (config_.heartbeat_interval_ms == 0 && config_.request_timeout_ms == 0)
+        return;
+    if (heartbeat_thread_.joinable())
+        return;
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+}
+
+void locality::heartbeat_loop()
+{
+    std::uint64_t const interval_ms = config_.heartbeat_interval_ms ?
+        config_.heartbeat_interval_ms :
+        std::max<std::uint64_t>(1, config_.request_timeout_ms / 4);
+    std::uint64_t const silence_limit_ns = config_.heartbeat_interval_ms ?
+        config_.heartbeat_interval_ms * config_.heartbeat_miss_limit *
+            1'000'000 :
+        0;
+
+    std::unique_lock<std::mutex> lk(heartbeat_mutex_);
+    while (!heartbeat_stop_)
+    {
+        heartbeat_cv_.wait_for(lk, std::chrono::milliseconds(interval_ms),
+            [this] { return heartbeat_stop_; });
+        if (heartbeat_stop_)
+            break;
+        lk.unlock();
+
+        std::uint64_t const now = now_ns();
+
+        if (config_.heartbeat_interval_ms != 0)
+        {
+            for (std::uint32_t peer : live_peers_snapshot())
+            {
+                message hb;
+                hb.type = message_type::heartbeat;
+                hb.source = id();
+                hb.dest = peer;
+                if (send_frame(hb))
+                    stats_.heartbeats_sent.fetch_add(
+                        1, std::memory_order_relaxed);
+            }
+
+            std::vector<std::uint32_t> silent;
+            {
+                std::lock_guard<std::mutex> lock(peers_mutex_);
+                for (auto const& [peer, state] : peers_)
+                    if (state.alive &&
+                        now - state.last_rx_ns > silence_limit_ns)
+                        silent.push_back(peer);
+            }
+            for (std::uint32_t peer : silent)
+                peer_down(peer,
+                    "no traffic for " +
+                        std::to_string(config_.heartbeat_miss_limit) +
+                        " heartbeat intervals");
+        }
+
+        if (config_.request_timeout_ms != 0)
+        {
+            std::vector<std::pair<std::uint32_t,
+                promise<std::vector<std::uint8_t>>>>
+                expired;
+            {
+                std::lock_guard<std::mutex> lock(pending_mutex_);
+                for (auto it = pending_.begin(); it != pending_.end();)
+                {
+                    if (it->second.deadline_ns != 0 &&
+                        now > it->second.deadline_ns)
+                    {
+                        expired.emplace_back(it->second.dest,
+                            std::move(it->second.result));
+                        it = pending_.erase(it);
+                    }
+                    else
+                    {
+                        ++it;
+                    }
+                }
+            }
+            for (auto& [dest, p] : expired)
+                p.set_exception(std::make_exception_ptr(peer_unreachable(
+                    dest,
+                    "request timed out after " +
+                        std::to_string(config_.request_timeout_ms) + "ms")));
+        }
+
+        lk.lock();
+    }
+}
+
+void locality::stop()
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+
+    {
+        std::lock_guard<std::mutex> lk(heartbeat_mutex_);
+        heartbeat_stop_ = true;
+    }
+    heartbeat_cv_.notify_all();
+    if (heartbeat_thread_.joinable())
+        heartbeat_thread_.join();
+
+    for (std::uint32_t peer : live_peers_snapshot())
+    {
+        message bye;
+        bye.type = message_type::goodbye;
+        bye.source = id();
+        bye.dest = peer;
+        send_frame(bye);
+    }
+
+    for (std::uint32_t peer : live_peers_snapshot())
+        peer_down(peer, "this locality is stopping");
+
+    if (transport* t =
+            transport_.exchange(nullptr, std::memory_order_acq_rel))
+        t->close();
+
+    // Transport closed (reader threads joined), so no new handler can
+    // be dispatched; wait out the ones already on the runtime.
+    drain_inflight();
+}
+
+void locality::kill()
+{
+    if (stopped_.exchange(true, std::memory_order_acq_rel))
+        return;
+
+    {
+        std::lock_guard<std::mutex> lk(heartbeat_mutex_);
+        heartbeat_stop_ = true;
+    }
+    heartbeat_cv_.notify_all();
+    if (heartbeat_thread_.joinable())
+        heartbeat_thread_.join();
+
+    if (transport* t =
+            transport_.exchange(nullptr, std::memory_order_acq_rel))
+        t->close();
+
+    for (std::uint32_t peer : live_peers_snapshot())
+        peer_down(peer, "this locality was killed");
+
+    drain_inflight();
+}
+
+}    // namespace minihpx::net

@@ -1,0 +1,129 @@
+#include <minihpx/net/sim_fabric.hpp>
+
+namespace minihpx::net {
+
+struct sim_fabric::port final : transport
+{
+    port(sim_fabric& fabric, std::uint32_t id) : fabric_(fabric), id_(id) {}
+
+    bool send(message const& m) override
+    {
+        if (closed_)
+            return false;
+        return fabric_.post(m);
+    }
+
+    void close() override { closed_ = true; }
+
+    sim_fabric& fabric_;
+    std::uint32_t id_;
+    bool closed_ = false;
+};
+
+sim_fabric::sim_fabric(std::uint32_t count, sim::net_model model)
+  : model_(model)
+  , unplugged_(count, 0)
+{
+    registries_.reserve(count);
+    ports_.reserve(count);
+    localities_.reserve(count);
+
+    for (std::uint32_t i = 0; i < count; ++i)
+    {
+        registries_.push_back(std::make_unique<perf::counter_registry>());
+
+        net_config config;
+        config.id = i;
+        config.num_localities = count;
+        config.heartbeat_interval_ms = 0;    // liveness is explicit here
+        config.inline_handlers = true;       // no runtime, one thread
+        config.registry = registries_.back().get();
+        config.pump = [this] { return step(); };
+        localities_.push_back(std::make_unique<locality>(std::move(config)));
+    }
+
+    for (std::uint32_t i = 0; i < count; ++i)
+    {
+        ports_.push_back(std::make_unique<port>(*this, i));
+        localities_[i]->attach_transport(ports_.back().get());
+    }
+
+    // No handshake on a fabric: the mesh is up by construction.
+    for (std::uint32_t i = 0; i < count; ++i)
+        for (std::uint32_t j = 0; j < count; ++j)
+            if (i != j)
+                localities_[i]->peer_up(j);
+}
+
+sim_fabric::~sim_fabric()
+{
+    for (auto& loc : localities_)
+        loc->stop();
+}
+
+bool sim_fabric::post(message m)
+{
+    if (m.source >= unplugged_.size() || m.dest >= unplugged_.size())
+        return false;
+    if (unplugged_[m.source] || unplugged_[m.dest])
+        return false;
+
+    event ev;
+    ev.time = model_.delivery_ns(now_ns_, m.payload.size());
+    ev.seq = seq_++;
+    ev.m = std::move(m);
+    queue_.push(std::move(ev));
+    return true;
+}
+
+bool sim_fabric::step()
+{
+    while (!queue_.empty())
+    {
+        // priority_queue::top is const; the payload move is safe only
+        // because we pop immediately after.
+        event ev = std::move(const_cast<event&>(queue_.top()));
+        queue_.pop();
+
+        if (unplugged_[ev.m.dest] || unplugged_[ev.m.source])
+            continue;    // dropped on the floor, like the real thing
+
+        now_ns_ = ev.time;
+        ++delivered_;
+        log_ += "t=" + std::to_string(ev.time) +
+            " seq=" + std::to_string(ev.seq) + " " +
+            std::to_string(ev.m.source) + "->" +
+            std::to_string(ev.m.dest) + " " + to_string(ev.m.type) +
+            " req=" + std::to_string(ev.m.request_id) +
+            " action=" + std::to_string(ev.m.action_id) +
+            " bytes=" + std::to_string(ev.m.payload.size()) + "\n";
+
+        localities_[ev.m.dest]->deliver(std::move(ev.m));
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t sim_fabric::run()
+{
+    std::uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+void sim_fabric::partition(std::uint32_t id)
+{
+    if (id >= unplugged_.size() || unplugged_[id])
+        return;
+    unplugged_[id] = 1;
+    for (std::uint32_t i = 0; i < localities_.size(); ++i)
+    {
+        if (i == id)
+            continue;
+        localities_[i]->peer_down(id, "partitioned from the fabric");
+        localities_[id]->peer_down(i, "partitioned from the fabric");
+    }
+}
+
+}    // namespace minihpx::net

@@ -1,0 +1,336 @@
+#include <minihpx/net/tcp.hpp>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace minihpx::net {
+
+namespace {
+
+    std::uint64_t steady_ms() noexcept
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    bool read_full(int fd, void* out, std::size_t size) noexcept
+    {
+        auto* bytes = static_cast<std::uint8_t*>(out);
+        while (size > 0)
+        {
+            ssize_t const n = ::recv(fd, bytes, size, 0);
+            if (n > 0)
+            {
+                bytes += n;
+                size -= static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;    // EOF or hard error
+        }
+        return true;
+    }
+
+    bool write_full(int fd, void const* data, std::size_t size) noexcept
+    {
+        auto const* bytes = static_cast<std::uint8_t const*>(data);
+        while (size > 0)
+        {
+            ssize_t const n = ::send(fd, bytes, size, MSG_NOSIGNAL);
+            if (n > 0)
+            {
+                bytes += n;
+                size -= static_cast<std::size_t>(n);
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            return false;
+        }
+        return true;
+    }
+
+    bool write_message(int fd, message const& m) noexcept
+    {
+        wire_header const header = encode_header(m);
+        if (!write_full(fd, header.data(), header.size()))
+            return false;
+        return m.payload.empty() ||
+            write_full(fd, m.payload.data(), m.payload.size());
+    }
+
+    // false on EOF/error/malformed frame.
+    bool read_message(int fd, message& m) noexcept
+    {
+        wire_header header;
+        if (!read_full(fd, header.data(), header.size()))
+            return false;
+        std::uint32_t payload_size = 0;
+        if (!decode_header(header, m, &payload_size, nullptr))
+            return false;
+        m.payload.resize(payload_size);
+        return payload_size == 0 ||
+            read_full(fd, m.payload.data(), payload_size);
+    }
+
+    void set_nodelay(int fd) noexcept
+    {
+        int const one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+
+    sockaddr_in loopback(std::uint16_t port) noexcept
+    {
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        return addr;
+    }
+
+}    // namespace
+
+tcp_mesh::tcp_mesh(locality& owner) : owner_(owner)
+{
+    owner_.attach_transport(this);
+}
+
+tcp_mesh::~tcp_mesh()
+{
+    close();
+}
+
+std::uint16_t tcp_mesh::listen(std::uint16_t port)
+{
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        throw std::runtime_error(
+            std::string("socket() failed: ") + std::strerror(errno));
+
+    int const one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr = loopback(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+            sizeof(addr)) != 0)
+        throw std::runtime_error("bind(127.0.0.1:" + std::to_string(port) +
+            ") failed: " + std::strerror(errno));
+    if (::listen(listen_fd_, 16) != 0)
+        throw std::runtime_error(
+            std::string("listen() failed: ") + std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    listen_port_ = ntohs(addr.sin_port);
+
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    return listen_port_;
+}
+
+void tcp_mesh::accept_loop()
+{
+    for (;;)
+    {
+        int const fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+        {
+            if (errno == EINTR)
+                continue;
+            return;    // listener closed
+        }
+        if (closing_.load(std::memory_order_acquire))
+        {
+            ::close(fd);
+            return;
+        }
+        set_nodelay(fd);
+
+        // Handshake: the connector speaks first.
+        message hello;
+        if (!read_message(fd, hello) ||
+            hello.type != message_type::hello ||
+            hello.dest != owner_.id())
+        {
+            ::close(fd);
+            continue;
+        }
+
+        message ack;
+        ack.type = message_type::hello_ack;
+        ack.source = owner_.id();
+        ack.dest = hello.source;
+        if (!write_message(fd, ack))
+        {
+            ::close(fd);
+            continue;
+        }
+
+        add_connection(fd, hello.source);
+    }
+}
+
+void tcp_mesh::connect(std::vector<std::uint16_t> const& ports,
+    std::uint64_t timeout_ms)
+{
+    std::uint64_t const deadline = steady_ms() + timeout_ms;
+
+    // Dial every lower-id peer, retrying while it boots.
+    for (std::uint32_t peer = 0; peer < owner_.id(); ++peer)
+    {
+        if (peer >= ports.size())
+            throw std::runtime_error("no port known for locality#" +
+                std::to_string(peer));
+
+        int fd = -1;
+        for (;;)
+        {
+            fd = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (fd < 0)
+                throw std::runtime_error(std::string("socket() failed: ") +
+                    std::strerror(errno));
+            sockaddr_in addr = loopback(ports[peer]);
+            if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0)
+                break;
+            ::close(fd);
+            fd = -1;
+            if (steady_ms() >= deadline)
+                throw std::runtime_error("timed out connecting to "
+                    "locality#" + std::to_string(peer) + " on port " +
+                    std::to_string(ports[peer]));
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        set_nodelay(fd);
+
+        message hello;
+        hello.type = message_type::hello;
+        hello.source = owner_.id();
+        hello.dest = peer;
+        message ack;
+        if (!write_message(fd, hello) || !read_message(fd, ack) ||
+            ack.type != message_type::hello_ack || ack.source != peer)
+        {
+            ::close(fd);
+            throw std::runtime_error("handshake with locality#" +
+                std::to_string(peer) + " failed");
+        }
+
+        add_connection(fd, peer);
+    }
+
+    // Wait for every higher-id peer to dial us.
+    std::size_t const expected = owner_.num_localities() - 1;
+    while (connection_count() < expected)
+    {
+        if (steady_ms() >= deadline)
+            throw std::runtime_error("timed out waiting for inbound "
+                "connections: have " + std::to_string(connection_count()) +
+                " of " + std::to_string(expected));
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+void tcp_mesh::add_connection(int fd, std::uint32_t peer)
+{
+    connection* raw = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        auto& slot = connections_[peer];
+        if (slot && slot->open.load(std::memory_order_acquire))
+        {
+            // Duplicate dial (reconnect attempt) — keep the first.
+            ::close(fd);
+            return;
+        }
+        if (slot && slot->reader.joinable())
+            slot->reader.join();
+        slot = std::make_unique<connection>();
+        slot->fd = fd;
+        slot->peer = peer;
+        slot->open.store(true, std::memory_order_release);
+        raw = slot.get();
+    }
+    owner_.peer_up(peer);
+    raw->reader = std::thread([this, raw] { reader_loop(raw); });
+}
+
+void tcp_mesh::reader_loop(connection* conn)
+{
+    message m;
+    while (read_message(conn->fd, m))
+        owner_.deliver(std::move(m));
+
+    bool const was_open = conn->open.exchange(false);
+    if (was_open && !closing_.load(std::memory_order_acquire))
+        owner_.peer_down(conn->peer, "connection lost");
+}
+
+bool tcp_mesh::send(message const& m)
+{
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    auto const it = connections_.find(m.dest);
+    if (it == connections_.end() ||
+        !it->second->open.load(std::memory_order_acquire))
+        return false;
+    std::lock_guard<std::mutex> write_lock(it->second->write_mutex);
+    return write_message(it->second->fd, m);
+}
+
+void tcp_mesh::close()
+{
+    if (closed_.exchange(true, std::memory_order_acq_rel))
+        return;
+    closing_.store(true, std::memory_order_release);
+
+    if (listen_fd_ >= 0)
+    {
+        ::shutdown(listen_fd_, SHUT_RDWR);
+        ::close(listen_fd_);
+    }
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    listen_fd_ = -1;
+
+    std::vector<connection*> conns;
+    {
+        std::lock_guard<std::mutex> lock(connections_mutex_);
+        for (auto& [peer, conn] : connections_)
+            conns.push_back(conn.get());
+    }
+    for (connection* conn : conns)
+    {
+        conn->open.store(false, std::memory_order_release);
+        ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (connection* conn : conns)
+    {
+        if (conn->reader.joinable())
+            conn->reader.join();
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+}
+
+std::size_t tcp_mesh::connection_count() const
+{
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    std::size_t n = 0;
+    for (auto const& [peer, conn] : connections_)
+        if (conn->open.load(std::memory_order_acquire))
+            ++n;
+    return n;
+}
+
+}    // namespace minihpx::net

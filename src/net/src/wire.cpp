@@ -1,0 +1,126 @@
+#include <minihpx/net/wire.hpp>
+
+namespace minihpx::net {
+
+namespace {
+
+    void put_le16(std::uint8_t* out, std::uint16_t v) noexcept
+    {
+        out[0] = static_cast<std::uint8_t>(v & 0xff);
+        out[1] = static_cast<std::uint8_t>(v >> 8);
+    }
+
+    void put_le32(std::uint8_t* out, std::uint32_t v) noexcept
+    {
+        for (int i = 0; i < 4; ++i)
+            out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+    }
+
+    void put_le64(std::uint8_t* out, std::uint64_t v) noexcept
+    {
+        for (int i = 0; i < 8; ++i)
+            out[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+    }
+
+    std::uint16_t get_le16(std::uint8_t const* in) noexcept
+    {
+        return static_cast<std::uint16_t>(
+            in[0] | (static_cast<std::uint16_t>(in[1]) << 8));
+    }
+
+    std::uint32_t get_le32(std::uint8_t const* in) noexcept
+    {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t get_le64(std::uint8_t const* in) noexcept
+    {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+        return v;
+    }
+
+    bool fail(std::string* error, std::string message)
+    {
+        if (error)
+            *error = std::move(message);
+        return false;
+    }
+
+}    // namespace
+
+char const* to_string(message_type type) noexcept
+{
+    switch (type)
+    {
+    case message_type::hello:
+        return "hello";
+    case message_type::hello_ack:
+        return "hello-ack";
+    case message_type::invoke:
+        return "invoke";
+    case message_type::result:
+        return "result";
+    case message_type::error:
+        return "error";
+    case message_type::heartbeat:
+        return "heartbeat";
+    case message_type::goodbye:
+        return "goodbye";
+    }
+    return "<unknown>";
+}
+
+wire_header encode_header(message const& m) noexcept
+{
+    wire_header h{};
+    put_le32(h.data() + 0, wire_magic);
+    put_le16(h.data() + 4, wire_version);
+    put_le16(h.data() + 6, static_cast<std::uint16_t>(m.type));
+    put_le32(h.data() + 8, m.source);
+    put_le32(h.data() + 12, m.dest);
+    put_le64(h.data() + 16, m.request_id);
+    put_le64(h.data() + 24, m.action_id);
+    put_le32(h.data() + 32, static_cast<std::uint32_t>(m.payload.size()));
+    return h;
+}
+
+bool decode_header(wire_header const& header, message& m,
+    std::uint32_t* payload_size, std::string* error)
+{
+    if (get_le32(header.data() + 0) != wire_magic)
+        return fail(error, "bad magic (not a minihpx::net frame)");
+
+    std::uint16_t const version = get_le16(header.data() + 4);
+    if (version != wire_version)
+        return fail(error,
+            "wire version mismatch: peer speaks v" + std::to_string(version) +
+                ", this build speaks v" + std::to_string(wire_version));
+
+    std::uint16_t const type = get_le16(header.data() + 6);
+    if (type < static_cast<std::uint16_t>(message_type::hello) ||
+        type > static_cast<std::uint16_t>(message_type::goodbye))
+        return fail(error, "unknown message type " + std::to_string(type));
+
+    std::uint32_t const size = get_le32(header.data() + 32);
+    if (size > wire_max_payload)
+        return fail(error,
+            "payload size " + std::to_string(size) + " exceeds the " +
+                std::to_string(wire_max_payload) + " byte frame limit");
+
+    m.type = static_cast<message_type>(type);
+    m.source = get_le32(header.data() + 8);
+    m.dest = get_le32(header.data() + 12);
+    m.request_id = get_le64(header.data() + 16);
+    m.action_id = get_le64(header.data() + 24);
+    m.payload.clear();
+    if (payload_size)
+        *payload_size = size;
+    return true;
+}
+
+}    // namespace minihpx::net

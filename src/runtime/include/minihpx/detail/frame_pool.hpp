@@ -12,8 +12,9 @@
 // are different threads.
 //
 // The pool feeds the paper-style object counters
-// /runtime{locality#0/total}/memory/frame-recycle-hits and
-// /runtime{locality#0/total}/memory/allocations (thread_counters.cpp).
+// /runtime{locality#H/total}/memory/frame-recycle-hits and
+// /runtime{locality#H/total}/memory/allocations (thread_counters.cpp;
+// H = perf::this_locality(), spelled via perf::locality_prefix).
 #pragma once
 
 #include <cstddef>

@@ -9,7 +9,9 @@
 //
 // Instrumentation: every transition feeds per-worker relaxed counters,
 // which the performance-counter framework (src/core) exposes under the
-// /threads{locality#0/...}/... names used throughout the paper:
+// /threads{locality#H/...}/... names used throughout the paper, where
+// H is perf::this_locality() — 0 single-node, the node id under
+// minihpx::net (names are formatted via perf::locality_prefix):
 //   time/average            <- exec_time_ns / tasks_executed
 //   time/average-overhead   <- sched_time_ns / tasks_executed
 //   time/cumulative[-overhead], count/cumulative, count/instantaneous/*,
@@ -297,7 +299,8 @@ public:
         return descriptors_destroyed_.load(std::memory_order_relaxed);
     }
     // Descriptor objects currently alive (in flight or cached); the
-    // /threads{locality#0/total}/count/objects reading.
+    // /threads{locality#H/total}/count/objects reading (H =
+    // perf::this_locality()).
     std::uint64_t descriptors_alive() const noexcept
     {
         return descriptors_created() - descriptors_destroyed();

@@ -1,0 +1,51 @@
+// Network cost model for multi-locality simulation.
+//
+// Companion to machine_desc: where machine_desc prices compute and
+// memory, net_model prices the wire between localities. net::sim_fabric
+// stamps every message with a virtual delivery time computed here, so
+// distributed runs (strong-scaling sweeps past one node, federation
+// traffic) are reproducible to the byte: all arithmetic is integral —
+// no floating-point bandwidth division whose rounding could differ
+// across build flags — and delivery order is (time, sequence) like the
+// simulator's event heap.
+//
+// Defaults approximate a commodity 10 GbE link between the paper's Ivy
+// Bridge nodes: ~20 us one-way latency, ~1.2 GB/s effective bandwidth.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace minihpx::sim {
+
+struct net_model
+{
+    // Fixed one-way latency added to every message.
+    std::uint64_t latency_ns = 20'000;
+
+    // Serialization bandwidth, expressed integrally as bytes per
+    // microsecond (1200 B/us = 1.2 GB/s). Must be >= 1.
+    std::uint64_t bytes_per_us = 1'200;
+
+    // Fixed per-message cost charged on top of the payload (framing,
+    // syscall, interrupt) — modeled as bytes on the wire.
+    std::uint64_t per_message_bytes = 64;
+
+    // Virtual time on the wire for one message of `payload_bytes`.
+    std::uint64_t transfer_ns(std::size_t payload_bytes) const noexcept
+    {
+        std::uint64_t const bytes =
+            static_cast<std::uint64_t>(payload_bytes) + per_message_bytes;
+        std::uint64_t const bw = bytes_per_us ? bytes_per_us : 1;
+        return latency_ns + bytes * 1'000 / bw;
+    }
+
+    // Delivery timestamp for a message sent at `send_ns`.
+    std::uint64_t delivery_ns(
+        std::uint64_t send_ns, std::size_t payload_bytes) const noexcept
+    {
+        return send_ns + transfer_ns(payload_bytes);
+    }
+};
+
+}    // namespace minihpx::sim

@@ -13,10 +13,10 @@
 // runtime's scheduler, drains the per-worker lanes on a background
 // thread, and registers the tracer's self-observation counters:
 //
-//   /trace{locality#0/total}/tasks/spawned
-//   /trace{locality#0/total}/events/recorded
-//   /trace{locality#0/total}/events/dropped
-//   /trace{locality#0/total}/overhead-pct
+//   /trace{locality#H/total}/tasks/spawned     (H = perf::this_locality(),
+//   /trace{locality#H/total}/events/recorded    spelled via
+//   /trace{locality#H/total}/events/dropped     perf::locality_prefix)
+//   /trace{locality#H/total}/overhead-pct
 //
 // A runtime::at_shutdown hook quiesces the session (uninstall, final
 // drain, flush) before worker teardown — same contract as

@@ -920,3 +920,85 @@ TEST(SessionListing, ListsTypes)
     EXPECT_NE(os.str().find("/arithmetics/add"), std::string::npos);
     EXPECT_NE(os.str().find("/statistics/median"), std::string::npos);
 }
+
+// ------------------------------------------------ locality-aware names
+
+TEST(CounterName, ParentWildcardParses)
+{
+    auto p = parse_counter_name("/threads{locality#*/total}/count/cumulative");
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->parent_instance, "locality");
+    EXPECT_TRUE(p->parent_wildcard);
+    EXPECT_FALSE(p->instance_wildcard);
+    EXPECT_EQ(p->full_name(),
+        "/threads{locality#*/total}/count/cumulative");
+
+    // Both wildcards at once: per-worker columns on every locality.
+    auto q = parse_counter_name(
+        "/threads{locality#*/worker-thread#*}/count/cumulative");
+    ASSERT_TRUE(q);
+    EXPECT_TRUE(q->parent_wildcard);
+    EXPECT_TRUE(q->instance_wildcard);
+    EXPECT_EQ(q->full_name(),
+        "/threads{locality#*/worker-thread#*}/count/cumulative");
+}
+
+TEST(CounterName, LocalityPrefixHelpers)
+{
+    EXPECT_EQ(locality_prefix(0), "locality#0");
+    EXPECT_EQ(locality_prefix(17), "locality#17");
+    EXPECT_EQ(locality_instance(3), "{locality#3/total}");
+    EXPECT_EQ(
+        locality_instance(2, "worker-thread#1"), "{locality#2/worker-thread#1}");
+}
+
+TEST(CounterName, BracelessNamesDefaultToThisLocality)
+{
+    // Parsing without braces homes the counter on this_locality() —
+    // locality#0 on single-node processes, the claimed id once
+    // minihpx::net assigns one.
+    std::uint32_t const saved = this_locality();
+    set_this_locality(4);
+    auto p = parse_counter_name("/threads/time/average");
+    set_this_locality(saved);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->parent_index, 4);
+    EXPECT_EQ(p->full_name(), "/threads{locality#4/total}/time/average");
+
+    // Explicit braces always win over the process default.
+    auto q = parse_counter_name("/threads{locality#0/total}/time/average");
+    ASSERT_TRUE(q);
+    EXPECT_EQ(q->parent_index, 0);
+}
+
+TEST(Registry, NonLocalCounterWithoutFederationIsAnError)
+{
+    counter_registry registry;
+    std::string error;
+    EXPECT_EQ(registry.create(
+                  "/threads{locality#9/total}/count/cumulative", &error),
+        nullptr);
+    EXPECT_NE(error.find("no counter federation"), std::string::npos);
+}
+
+TEST(Registry, ParentWildcardWithoutProviderExpandsLocallyOnly)
+{
+    counter_registry registry;
+    counter_registry::type_info t;
+    t.type_key = "/solo/value";
+    t.create = [](counter_path const& path) -> counter_ptr {
+        counter_info info;
+        info.full_name = path.full_name();
+        return std::make_shared<gauge_counter>(
+            std::move(info), [] { return 1.0; });
+    };
+    registry.register_type(std::move(t));
+
+    auto parsed = parse_counter_name("/solo{locality#*/total}/value");
+    ASSERT_TRUE(parsed);
+    auto paths = registry.expand(*parsed);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_FALSE(paths[0].parent_wildcard);
+    EXPECT_EQ(paths[0].parent_index,
+        static_cast<std::int64_t>(registry.local_locality()));
+}

@@ -1,0 +1,625 @@
+// minihpx::net tests: serialization round trips and truncation safety,
+// wire framing (versioned header rejection), the action registry,
+// remote invocation over the deterministic sim fabric and the real TCP
+// mesh, failure propagation (remote exceptions, dead peers), counter
+// federation (wildcard expansion, remote proxies, cross-locality
+// aggregates), and byte-deterministic fabric delivery.
+#include <minihpx/minihpx.hpp>
+#include <minihpx/net/net.hpp>
+#include <minihpx/perf/perf.hpp>
+
+#include <gtest/gtest.h>
+
+#include "test_env.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace minihpx;
+using namespace minihpx::net;
+
+namespace {
+
+// ---- shared test actions (registered once; the global action table
+// is process-wide and snapshotted per locality) -----------------------
+
+std::int64_t add_action(std::int64_t a, std::int64_t b)
+{
+    return a + b;
+}
+
+std::string greet_action(std::string name, std::uint32_t times)
+{
+    std::string out;
+    for (std::uint32_t i = 0; i < times; ++i)
+        out += name;
+    return out;
+}
+
+std::int64_t throwing_action(std::int64_t)
+{
+    throw std::runtime_error("boom from the remote side");
+}
+
+// Never replies: parks the reply future forever so callers can test
+// what happens when the peer dies with a request outstanding.
+future<std::int64_t> never_action()
+{
+    static auto* parked = new std::vector<promise<std::int64_t>>();
+    parked->emplace_back();
+    return parked->back().get_future();
+}
+
+std::uint32_t whoami_action()
+{
+    return locality::current()->id();
+}
+
+void register_test_actions()
+{
+    auto& global = action_registry::global();
+    if (global.contains("test/add"))
+        return;
+    register_action("test/add", &add_action);
+    register_action("test/greet", &greet_action);
+    register_action("test/throw", &throwing_action);
+    register_action("test/never", &never_action);
+    register_action("test/whoami", &whoami_action);
+    register_distributed_fib();
+}
+
+// Registers "/test/value" in `registry`: total = base, worker-thread#i
+// = base + i + 1, with `instances` indexable instances.
+void register_value_counter(
+    perf::counter_registry& registry, double base, std::uint64_t instances)
+{
+    perf::counter_registry::type_info t;
+    t.type_key = "/test/value";
+    t.kind = perf::counter_kind::raw;
+    t.create = [base](perf::counter_path const& path) -> perf::counter_ptr {
+        perf::counter_info info;
+        info.full_name = path.full_name();
+        info.kind = perf::counter_kind::raw;
+        double const value = path.instance_index < 0 ?
+            base :
+            base + static_cast<double>(path.instance_index) + 1.0;
+        return std::make_shared<perf::gauge_counter>(
+            std::move(info), [value] { return value; });
+    };
+    if (instances > 0)
+        t.instance_count = [instances] { return instances; };
+    registry.register_type(std::move(t));
+}
+
+// ---- serialization ------------------------------------------------------
+
+TEST(NetSerialize, ScalarRoundTrip)
+{
+    output_archive out;
+    save(out, std::uint8_t{0xab});
+    save(out, std::int32_t{-12345});
+    save(out, std::uint64_t{0xdeadbeefcafef00dull});
+    save(out, 3.25);
+    save(out, true);
+
+    input_archive in(out.data());
+    EXPECT_EQ(load<std::uint8_t>(in), 0xab);
+    EXPECT_EQ(load<std::int32_t>(in), -12345);
+    EXPECT_EQ(load<std::uint64_t>(in), 0xdeadbeefcafef00dull);
+    EXPECT_EQ(load<double>(in), 3.25);
+    EXPECT_EQ(load<bool>(in), true);
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(NetSerialize, ContainersRoundTrip)
+{
+    output_archive out;
+    save(out, std::string("federated counters"));
+    save(out, std::vector<std::uint32_t>{1, 2, 3});
+    save(out, std::make_pair(std::string("k"), 7.5));
+    save(out, std::make_tuple(std::uint64_t{9}, std::string("t"), -1.0));
+    save(out, std::optional<std::int32_t>{42});
+    save(out, std::optional<std::int32_t>{});
+
+    input_archive in(out.data());
+    EXPECT_EQ(load<std::string>(in), "federated counters");
+    EXPECT_EQ(
+        (load<std::vector<std::uint32_t>>(in)),
+        (std::vector<std::uint32_t>{1, 2, 3}));
+    auto const p = load<std::pair<std::string, double>>(in);
+    EXPECT_EQ(p.first, "k");
+    EXPECT_EQ(p.second, 7.5);
+    auto const t =
+        load<std::tuple<std::uint64_t, std::string, double>>(in);
+    EXPECT_EQ(std::get<0>(t), 9u);
+    EXPECT_EQ(std::get<1>(t), "t");
+    EXPECT_EQ(std::get<2>(t), -1.0);
+    EXPECT_EQ(load<std::optional<std::int32_t>>(in), 42);
+    EXPECT_EQ(load<std::optional<std::int32_t>>(in), std::nullopt);
+    EXPECT_TRUE(in.exhausted());
+}
+
+TEST(NetSerialize, TruncationThrowsInsteadOfOverreading)
+{
+    output_archive out;
+    save(out, std::string("a long enough payload"));
+    std::vector<std::uint8_t> bytes = out.take();
+    bytes.resize(bytes.size() / 2);
+
+    input_archive in(bytes);
+    EXPECT_THROW(load<std::string>(in), serialization_error);
+
+    // A hostile length prefix must not read past the end either.
+    output_archive evil;
+    evil.write_le(std::uint32_t{0xffffffff});
+    input_archive evil_in(evil.data());
+    EXPECT_THROW(load<std::vector<std::uint64_t>>(evil_in),
+        serialization_error);
+}
+
+// ---- wire framing -------------------------------------------------------
+
+TEST(NetWire, HeaderRoundTrip)
+{
+    message m;
+    m.type = message_type::invoke;
+    m.source = 3;
+    m.dest = 7;
+    m.request_id = 0x1122334455667788ull;
+    m.action_id = fnv1a64("test/add");
+    m.payload.assign(10, 0xee);
+
+    wire_header const h = encode_header(m);
+    message decoded;
+    std::uint32_t payload_size = 0;
+    std::string error;
+    ASSERT_TRUE(decode_header(h, decoded, &payload_size, &error)) << error;
+    EXPECT_EQ(decoded.type, message_type::invoke);
+    EXPECT_EQ(decoded.source, 3u);
+    EXPECT_EQ(decoded.dest, 7u);
+    EXPECT_EQ(decoded.request_id, m.request_id);
+    EXPECT_EQ(decoded.action_id, m.action_id);
+    EXPECT_EQ(payload_size, 10u);
+}
+
+TEST(NetWire, RejectsForeignAndFutureFrames)
+{
+    message m;
+    wire_header h = encode_header(m);
+
+    wire_header bad_magic = h;
+    bad_magic[0] = 'X';
+    message out;
+    std::string error;
+    EXPECT_FALSE(decode_header(bad_magic, out, nullptr, &error));
+    EXPECT_NE(error.find("magic"), std::string::npos);
+
+    wire_header bad_version = h;
+    bad_version[4] = 99;    // little-endian low byte of the version
+    EXPECT_FALSE(decode_header(bad_version, out, nullptr, &error));
+    EXPECT_NE(error.find("version"), std::string::npos);
+
+    wire_header huge = h;
+    huge[32] = huge[33] = huge[34] = huge[35] = 0xff;
+    EXPECT_FALSE(decode_header(huge, out, nullptr, &error));
+    EXPECT_NE(error.find("frame limit"), std::string::npos);
+}
+
+TEST(NetWire, ActionIdsAreStable)
+{
+    // FNV-1a 64 reference value: both sides of a connection must agree
+    // across processes and builds.
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+    EXPECT_NE(fnv1a64("test/add"), fnv1a64("test/greet"));
+}
+
+// ---- action registry ----------------------------------------------------
+
+TEST(NetAction, DuplicateRegistrationThrows)
+{
+    action_registry reg;
+    reg.add("dup", &add_action);
+    EXPECT_THROW(reg.add("dup", &add_action), std::invalid_argument);
+}
+
+TEST(NetAction, TypedDispatchAndErrors)
+{
+    action_registry reg;
+    reg.add("sum", &add_action);
+
+    output_archive args;
+    save(args, std::int64_t{40});
+    save(args, std::int64_t{2});
+
+    std::vector<std::uint8_t> result_bytes;
+    std::string error_text;
+    auto run = [&](std::vector<std::uint8_t> const& payload) {
+        result_bytes.clear();
+        error_text.clear();
+        input_archive in(payload);
+        reg.find(fnv1a64("sum"))
+            ->handler(in,
+                result_sender(
+                    [&](std::vector<std::uint8_t> b) {
+                        result_bytes = std::move(b);
+                    },
+                    [&](std::string w) { error_text = std::move(w); }));
+    };
+
+    run(args.data());
+    ASSERT_TRUE(error_text.empty()) << error_text;
+    input_archive in(result_bytes);
+    EXPECT_EQ(load<std::int64_t>(in), 42);
+
+    // Truncated arguments surface as an error reply, not a crash.
+    std::vector<std::uint8_t> truncated(args.data());
+    truncated.resize(3);
+    run(truncated);
+    EXPECT_NE(error_text.find("argument decode failed"), std::string::npos);
+}
+
+// ---- sim fabric ---------------------------------------------------------
+
+TEST(NetFabric, RoundTripAndLoopback)
+{
+    register_test_actions();
+    sim_fabric fabric(2);
+
+    auto f = fabric.at(0).async<std::int64_t>(1, "test/add",
+        std::int64_t{20}, std::int64_t{22});
+    auto who = fabric.at(0).async<std::uint32_t>(1, "test/whoami");
+    fabric.run();
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), 42);
+    EXPECT_EQ(who.get(), 1u);
+
+    // Loopback to self never touches the fabric queue.
+    auto self = fabric.at(0).async<std::uint32_t>(0, "test/whoami");
+    ASSERT_TRUE(self.is_ready());
+    EXPECT_EQ(self.get(), 0u);
+
+    EXPECT_GT(fabric.at(1).stats().invokes_executed.load(), 0u);
+    EXPECT_GT(fabric.now_ns(), 0u);
+}
+
+TEST(NetFabric, RemoteExceptionPropagates)
+{
+    register_test_actions();
+    sim_fabric fabric(2);
+
+    auto f = fabric.at(0).async<std::int64_t>(1, "test/throw",
+        std::int64_t{1});
+    fabric.run();
+    try
+    {
+        f.get();
+        FAIL() << "expected remote_error";
+    }
+    catch (remote_error const& e)
+    {
+        EXPECT_EQ(e.origin(), 1u);
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    }
+    EXPECT_EQ(fabric.at(0).stats().errors_received.load(), 1u);
+}
+
+TEST(NetFabric, DeadPeerFailsPendingAndFutureSends)
+{
+    register_test_actions();
+    sim_fabric fabric(3);
+
+    auto pending = fabric.at(0).async<std::int64_t>(2, "test/never");
+    fabric.partition(2);
+    ASSERT_TRUE(pending.is_ready());
+    EXPECT_THROW(pending.get(), peer_unreachable);
+
+    // New sends to the dead peer fail immediately.
+    auto refused = fabric.at(0).async<std::int64_t>(2, "test/add",
+        std::int64_t{1}, std::int64_t{2});
+    ASSERT_TRUE(refused.is_ready());
+    EXPECT_THROW(refused.get(), peer_unreachable);
+
+    // Survivors keep talking.
+    auto ok = fabric.at(0).async<std::int64_t>(1, "test/add",
+        std::int64_t{1}, std::int64_t{2});
+    fabric.run();
+    EXPECT_EQ(ok.get(), 3);
+    EXPECT_EQ(fabric.at(0).alive_localities(),
+        (std::vector<std::uint32_t>{0, 1}));
+}
+
+TEST(NetFabric, DistributedFibMatchesSequential)
+{
+    register_test_actions();
+    sim_fabric fabric(3);
+
+    auto f = distributed_fib(fabric.at(0), 18, 10);
+    fabric.run();
+    ASSERT_TRUE(f.is_ready());
+    EXPECT_EQ(f.get(), fib_sequential(18));
+
+    // The work actually spread: every locality executed something.
+    for (std::uint32_t i = 1; i < fabric.count(); ++i)
+        EXPECT_GT(fabric.at(i).stats().invokes_executed.load(), 0u) << i;
+}
+
+TEST(NetFabric, DeliveryLogIsByteDeterministic)
+{
+    register_test_actions();
+    auto run_once = [] {
+        sim_fabric fabric(2);
+        auto f = distributed_fib(fabric.at(0), 16, 8);
+        fabric.run();
+        EXPECT_EQ(f.get(), fib_sequential(16));
+        return fabric.delivery_log();
+    };
+    std::string const first = run_once();
+    std::string const second = run_once();
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+// ---- counter federation -------------------------------------------------
+
+TEST(NetFederation, WildcardExpandsAcrossLocalities)
+{
+    register_test_actions();
+    sim_fabric fabric(2);
+    register_value_counter(fabric.registry_at(0), 10.0, 2);
+    register_value_counter(fabric.registry_at(1), 20.0, 2);
+    counter_federation fed0(fabric.at(0));
+    counter_federation fed1(fabric.at(1));
+
+    std::vector<std::string> errors;
+    auto handles = fabric.registry_at(0).resolve_all(
+        "/test{locality#*/total}/value", &errors);
+    ASSERT_TRUE(errors.empty()) << errors.front();
+    ASSERT_EQ(handles.size(), 2u);
+    EXPECT_EQ(handles[0].evaluate().get(), 10.0);
+    EXPECT_EQ(handles[1].evaluate().get(), 20.0);
+    EXPECT_EQ(handles[1].info().full_name,
+        "/test{locality#1/total}/value");
+}
+
+TEST(NetFederation, RemoteInstanceWildcardExpandsOnHomeLocality)
+{
+    register_test_actions();
+    sim_fabric fabric(2);
+    register_value_counter(fabric.registry_at(0), 10.0, 2);
+    register_value_counter(fabric.registry_at(1), 20.0, 3);
+    counter_federation fed0(fabric.at(0));
+    counter_federation fed1(fabric.at(1));
+
+    // Only locality#1's registry knows it has three instances.
+    std::vector<std::string> errors;
+    auto handles = fabric.registry_at(0).resolve_all(
+        "/test{locality#1/worker-thread#*}/value", &errors);
+    ASSERT_TRUE(errors.empty()) << errors.front();
+    ASSERT_EQ(handles.size(), 3u);
+    double sum = 0;
+    for (auto const& h : handles)
+        sum += h.evaluate().get();
+    EXPECT_EQ(sum, (20.0 + 1) + (20.0 + 2) + (20.0 + 3));
+}
+
+TEST(NetFederation, AggregateSpansLocalities)
+{
+    register_test_actions();
+    sim_fabric fabric(2);
+    register_value_counter(fabric.registry_at(0), 10.0, 0);
+    register_value_counter(fabric.registry_at(1), 20.0, 0);
+    counter_federation fed0(fabric.at(0));
+    counter_federation fed1(fabric.at(1));
+
+    std::string error;
+    auto handle = fabric.registry_at(0).resolve(
+        "/arithmetics/add@/test{locality#*/total}/value", &error);
+    ASSERT_TRUE(handle) << error;
+    EXPECT_EQ(handle.evaluate().get(), 30.0);
+}
+
+TEST(NetFederation, DeadPeerReportsNotAvailable)
+{
+    register_test_actions();
+    sim_fabric fabric(2);
+    register_value_counter(fabric.registry_at(0), 10.0, 0);
+    register_value_counter(fabric.registry_at(1), 20.0, 0);
+    counter_federation fed0(fabric.at(0));
+    counter_federation fed1(fabric.at(1));
+
+    std::string error;
+    auto handle = fabric.registry_at(0).resolve(
+        "/test{locality#1/total}/value", &error);
+    ASSERT_TRUE(handle) << error;
+    EXPECT_EQ(handle.evaluate().get(), 20.0);
+
+    std::uint64_t const version_before = fabric.registry_at(0).version();
+    fabric.partition(1);
+    EXPECT_EQ(handle.evaluate().status,
+        perf::counter_status::not_available);
+    // The topology change bumped the version so wildcard consumers
+    // (sampler, active_counters) re-expand without the dead peer.
+    EXPECT_GT(fabric.registry_at(0).version(), version_before);
+    auto paths = fabric.registry_at(0).expand(
+        *perf::parse_counter_name("/test{locality#*/total}/value"));
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(paths[0].parent_index, 0);
+}
+
+TEST(NetFederation, NetCountersAreRegistered)
+{
+    register_test_actions();
+    sim_fabric fabric(2);
+    counter_federation fed0(fabric.at(0));
+    counter_federation fed1(fabric.at(1));
+
+    auto f = fabric.at(0).async<std::int64_t>(1, "test/add",
+        std::int64_t{2}, std::int64_t{3});
+    fabric.run();
+    EXPECT_EQ(f.get(), 5);
+
+    std::string error;
+    auto sent = fabric.registry_at(0).resolve(
+        "/net{locality#0/total}/count/invokes-sent", &error);
+    ASSERT_TRUE(sent) << error;
+    EXPECT_GE(sent.evaluate().get(), 1.0);
+
+    // The remote side's executed count, read through the federation.
+    auto executed = fabric.registry_at(0).resolve(
+        "/net{locality#1/total}/count/invokes-executed", &error);
+    ASSERT_TRUE(executed) << error;
+    EXPECT_GE(executed.evaluate().get(), 1.0);
+
+    auto alive = fabric.registry_at(0).resolve(
+        "/net{locality#0/total}/peers-alive", &error);
+    ASSERT_TRUE(alive) << error;
+    EXPECT_EQ(alive.evaluate().get(), 1.0);
+}
+
+// ---- TCP mesh -----------------------------------------------------------
+
+struct tcp_pair
+{
+    perf::counter_registry registry0, registry1;
+    std::unique_ptr<locality> loc0, loc1;
+    std::unique_ptr<tcp_mesh> mesh0, mesh1;
+
+    explicit tcp_pair(std::uint64_t heartbeat_ms = 0)
+    {
+        register_test_actions();
+
+        net_config c0;
+        c0.id = 0;
+        c0.num_localities = 2;
+        c0.heartbeat_interval_ms = heartbeat_ms;
+        c0.registry = &registry0;
+        net_config c1 = c0;
+        c1.id = 1;
+        c1.registry = &registry1;
+
+        loc0 = std::make_unique<locality>(c0);
+        loc1 = std::make_unique<locality>(c1);
+        mesh0 = std::make_unique<tcp_mesh>(*loc0);
+        mesh1 = std::make_unique<tcp_mesh>(*loc1);
+
+        std::vector<std::uint16_t> const ports{
+            mesh0->listen(0), mesh1->listen(0)};
+        mesh1->connect(ports);
+        mesh0->connect(ports);
+    }
+
+    ~tcp_pair()
+    {
+        loc0->stop();
+        loc1->stop();
+    }
+};
+
+TEST(NetTcp, RoundTripOverRealSockets)
+{
+    tcp_pair net;
+    ASSERT_TRUE(net.loc0->peer_alive(1));
+    ASSERT_TRUE(net.loc1->peer_alive(0));
+
+    EXPECT_EQ(net.loc0->async<std::int64_t>(1, "test/add", std::int64_t{19},
+                     std::int64_t{23})
+                  .get(),
+        42);
+    EXPECT_EQ(
+        net.loc1
+            ->async<std::string>(0, "test/greet", std::string("hi"), 3u)
+            .get(),
+        "hihihi");
+    EXPECT_GT(net.loc0->stats().bytes_sent.load(), 0u);
+    EXPECT_GT(net.loc0->stats().bytes_received.load(), 0u);
+}
+
+TEST(NetTcp, RemoteExceptionCarriesOrigin)
+{
+    tcp_pair net;
+    auto f = net.loc0->async<std::int64_t>(1, "test/throw", std::int64_t{0});
+    try
+    {
+        f.get();
+        FAIL() << "expected remote_error";
+    }
+    catch (remote_error const& e)
+    {
+        EXPECT_EQ(e.origin(), 1u);
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    }
+}
+
+TEST(NetTcp, AbruptPeerDeathFailsPendingRequests)
+{
+    tcp_pair net;
+    auto pending = net.loc0->async<std::int64_t>(1, "test/never");
+    EXPECT_FALSE(pending.is_ready());
+
+    net.loc1->kill();    // no goodbye: loc0 learns via EOF
+
+    EXPECT_THROW(pending.get(), peer_unreachable);
+    auto refused = net.loc0->async<std::int64_t>(1, "test/add",
+        std::int64_t{1}, std::int64_t{1});
+    EXPECT_THROW(refused.get(), peer_unreachable);
+    EXPECT_EQ(net.loc0->stats().peers_lost.load(), 1u);
+}
+
+TEST(NetTcp, OrderlyGoodbyeReportsPeerDown)
+{
+    tcp_pair net;
+    net.loc1->stop();
+    // The goodbye frame races only against this thread; wait for it.
+    for (int i = 0; i < 200 && net.loc0->peer_alive(1); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_FALSE(net.loc0->peer_alive(1));
+}
+
+TEST(NetTcp, HeartbeatsFlow)
+{
+    tcp_pair net(/*heartbeat_ms=*/10);
+    net.loc0->start_heartbeats();
+    net.loc1->start_heartbeats();
+    for (int i = 0; i < 200; ++i)
+    {
+        if (net.loc0->stats().heartbeats_received.load() > 0 &&
+            net.loc1->stats().heartbeats_received.load() > 0)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(net.loc0->stats().heartbeats_sent.load(), 0u);
+    EXPECT_GT(net.loc0->stats().heartbeats_received.load(), 0u);
+    EXPECT_GT(net.loc1->stats().heartbeats_received.load(), 0u);
+}
+
+TEST(NetTcp, DistributedFibWithRuntimeDispatch)
+{
+    runtime_config config;
+    config.sched.num_workers = 2;
+    runtime rt(config);
+
+    tcp_pair net;
+    auto f = distributed_fib(*net.loc0, 16, 8);
+    EXPECT_EQ(f.get(), fib_sequential(16));
+    EXPECT_GT(net.loc1->stats().invokes_executed.load(), 0u);
+}
+
+TEST(NetTcp, FederatedCountersOverSockets)
+{
+    tcp_pair net;
+    register_value_counter(net.registry0, 5.0, 0);
+    register_value_counter(net.registry1, 7.0, 0);
+    counter_federation fed0(*net.loc0);
+    counter_federation fed1(*net.loc1);
+
+    std::string error;
+    auto handle = net.registry0.resolve(
+        "/arithmetics/add@/test{locality#*/total}/value", &error);
+    ASSERT_TRUE(handle) << error;
+    EXPECT_EQ(handle.evaluate().get(), 12.0);
+}
+
+}    // namespace

@@ -6,6 +6,7 @@
 #include <minihpx/minihpx.hpp>
 #include <minihpx/perf/perf.hpp>
 #include <minihpx/sim/engine.hpp>
+#include <minihpx/net/net.hpp>
 #include <minihpx/telemetry/telemetry.hpp>
 
 #include <gtest/gtest.h>
@@ -893,4 +894,77 @@ TEST(TelemetryShutdownOrdering, NormalOrderDrainsEverything)
     while (std::getline(in, line))
         ++rows;
     EXPECT_GE(rows, 1u);
+}
+
+// ------------------------------------------------- federation (late join)
+
+TEST(Discovery, LateJoiningLocalityEntersWildcardStream)
+{
+    // Satellite of the minihpx::net federation work: a sampler holding
+    // a `locality#*` wildcard must pick up a locality that boots and
+    // dials in *mid-session*. The join bumps the registry version via
+    // the topology callback, the next tick re-expands the wildcard
+    // across known_localities(), and the csv sink re-emits its header
+    // (on_schema_change) with the new remote column appended.
+    perf::counter_registry registry0, registry1;
+    register_test_gauge(registry0, "/test/value", [] { return 1.0; });
+    register_test_gauge(registry1, "/test/value", [] { return 2.0; });
+
+    net::net_config c0;
+    c0.id = 0;
+    c0.num_localities = 2;
+    c0.registry = &registry0;
+    net::locality loc0(c0);
+    net::tcp_mesh mesh0(loc0);
+    std::uint16_t const port0 = mesh0.listen(0);
+    net::counter_federation fed0(loc0);
+
+    sampler_config config;
+    config.counter_names = {"/test{locality#*/total}/value"};
+    std::ostringstream csv;
+    sampler s(registry0, config);
+    ASSERT_TRUE(s.errors().empty());
+    ASSERT_EQ(s.schema().width(), 1u);
+    EXPECT_EQ(s.schema().columns[0].name, "/test{locality#0/total}/value");
+    s.add_sink(std::make_shared<csv_sink>(csv));
+    s.tick(100);
+
+    // locality#1 boots late and dials in.
+    net::net_config c1 = c0;
+    c1.id = 1;
+    c1.registry = &registry1;
+    net::locality loc1(c1);
+    net::tcp_mesh mesh1(loc1);
+    mesh1.listen(0);
+    net::counter_federation fed1(loc1);
+    mesh1.connect({port0});
+
+    for (int i = 0; i < 400 && !loc0.peer_alive(1); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE(loc0.peer_alive(1));
+
+    s.tick(200);
+    s.tick(300);
+    s.stop();
+
+    // The wildcard re-expanded: locality#1's gauge joined the stream
+    // as an appended column, sampled through the remote proxy.
+    ASSERT_EQ(s.schema().width(), 2u);
+    EXPECT_EQ(s.schema().columns[0].name, "/test{locality#0/total}/value");
+    EXPECT_EQ(s.schema().columns[1].name, "/test{locality#1/total}/value");
+
+    std::istringstream in(csv.str());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_EQ(lines[0], "t_ns,seq,/test{locality#0/total}/value");
+    EXPECT_EQ(lines[2],
+        "t_ns,seq,/test{locality#0/total}/value,"
+        "/test{locality#1/total}/value");
+    EXPECT_NE(lines[3].find(",2"), std::string::npos);
+
+    loc1.stop();
+    loc0.stop();
 }

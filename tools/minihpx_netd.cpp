@@ -1,0 +1,472 @@
+// minihpx-netd: multi-locality launcher and federation smoke driver.
+//
+// Boots N localities, runs distributed fib across them, and proves the
+// counter-federation contract: one aggregate query spanning
+// `locality#*` must equal the sum of the per-locality queries, and a
+// single Prometheus exposition must carry every locality's series.
+//
+//   --mh:mode=MODE         threads (default) | fork | sim
+//   --mh:localities=N      number of localities (default 2)
+//   --mh:fib=N             fib argument (default 18)
+//   --mh:threshold=T       remote-spawn threshold (default 10)
+//   --mh:threads=W         workers per runtime (default 2)
+//   --mh:repeat=K          sim mode: rerun K times, fail on any
+//                          delivery-log digest mismatch (default 1)
+//   --mh:port-base=P       fork mode: locality i listens on P+i
+//                          (default derived from the parent pid)
+//
+// Modes:
+//   threads  N localities in one process, one shared runtime, real TCP
+//            loopback sockets, one registry per locality.
+//   fork     N processes (fork before any threads exist), one locality
+//            each, the process-global registry, ports = base+id.
+//   sim      N localities on the deterministic sim_fabric: no sockets,
+//            no threads, virtual time; prints the delivery-log digest.
+//
+// Exit code 0 only if the workload result and every federation
+// assertion hold — CI runs this binary as the multi-locality smoke.
+#include <minihpx/minihpx.hpp>
+#include <minihpx/net/net.hpp>
+#include <minihpx/perf/perf.hpp>
+#include <minihpx/telemetry/telemetry.hpp>
+#include <minihpx/util/cli.hpp>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace minihpx;
+
+namespace {
+
+std::atomic<bool> shutdown_requested{false};
+
+void netd_shutdown()
+{
+    shutdown_requested.store(true, std::memory_order_release);
+}
+
+void register_netd_actions()
+{
+    if (net::action_registry::global().contains("netd/shutdown"))
+        return;
+    net::register_action("netd/shutdown", &netd_shutdown);
+    net::register_distributed_fib();
+}
+
+struct options
+{
+    std::string mode = "threads";
+    std::uint32_t localities = 2;
+    std::uint32_t fib_n = 18;
+    std::uint32_t threshold = 10;
+    std::uint32_t workers = 2;
+    std::uint32_t repeat = 1;
+    std::uint16_t port_base = 0;
+};
+
+bool check(bool condition, std::string const& what)
+{
+    if (condition)
+    {
+        std::cout << what << ": OK\n";
+        return true;
+    }
+    std::cerr << what << ": FAILED\n";
+    return false;
+}
+
+// Sum of the per-locality queries, each resolved and evaluated
+// individually through the federation.
+double per_locality_sum(perf::counter_registry& registry,
+    std::string const& object_counter, std::uint32_t localities,
+    bool print = false)
+{
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < localities; ++i)
+    {
+        std::string const name = "/" +
+            object_counter.substr(0, object_counter.find('/')) +
+            perf::locality_instance(i) +
+            object_counter.substr(object_counter.find('/'));
+        std::string error;
+        auto handle = registry.resolve(name, &error);
+        if (!handle)
+        {
+            std::cerr << "resolve(" << name << "): " << error << "\n";
+            return -1.0;
+        }
+        double const value = handle.evaluate().get();
+        if (print)
+            std::cout << "  " << name << " = " << value << "\n";
+        sum += value;
+    }
+    return sum;
+}
+
+// The federation contract: one wildcard aggregate == sum of the
+// per-locality queries. `object_counter` is "object/counter/leaf"
+// without braces, e.g. "threads/count/cumulative".
+bool verify_aggregate(perf::counter_registry& registry,
+    std::string const& object_counter, std::uint32_t localities)
+{
+    std::string const wildcard = "/" +
+        object_counter.substr(0, object_counter.find('/')) +
+        "{locality#*/total}" +
+        object_counter.substr(object_counter.find('/'));
+    std::string const aggregate_name = "/arithmetics/add@" + wildcard;
+
+    std::string error;
+    auto aggregate = registry.resolve(aggregate_name, &error);
+    if (!aggregate)
+    {
+        std::cerr << "resolve(" << aggregate_name << "): " << error << "\n";
+        return false;
+    }
+    double const total = aggregate.evaluate().get();
+    double const sum =
+        per_locality_sum(registry, object_counter, localities, true);
+    std::cout << "  " << aggregate_name << " = " << total << "\n";
+    return check(sum >= 0.0 && total == sum,
+        "aggregate-check " + wildcard + " (" + std::to_string(total) +
+            " == per-locality sum " + std::to_string(sum) + ")");
+}
+
+// One Prometheus exposition carrying every locality's series, produced
+// by a sampler holding `locality#*` wildcards behind a scrape sink.
+bool print_exposition(
+    perf::counter_registry& registry, std::uint32_t localities)
+{
+    telemetry::sampler_config config;
+    config.counter_names = {
+        "/threads{locality#*/total}/count/cumulative",
+        "/net{locality#*/total}/count/invokes-executed",
+        "/arithmetics/add@/threads{locality#*/total}/count/cumulative",
+    };
+    telemetry::sampler sampler(registry, config);
+    for (auto const& e : sampler.errors())
+        std::cerr << "sampler: " << e << "\n";
+    auto endpoint = std::make_shared<telemetry::scrape_endpoint>(0);
+    sampler.add_sink(endpoint);
+    sampler.tick(1);
+    std::string const body = endpoint->render();
+    sampler.stop();
+
+    std::cout << "--- prometheus exposition (single scrape) ---\n"
+              << body << "---------------------------------------------\n";
+    bool ok = true;
+    for (std::uint32_t i = 0; i < localities; ++i)
+        ok = ok &&
+            body.find(perf::locality_prefix(i)) != std::string::npos;
+    return check(ok, "scrape-spans-localities");
+}
+
+// Execute `count` trivial tasks on the active runtime so that the
+// /threads counters carry nonzero, then-stable values: the federation
+// serves counter queries inline (inline_handlers below), so scraping
+// does not spawn tasks and cannot perturb the numbers it reads.
+void warm_up_runtime(std::uint32_t count)
+{
+    std::vector<future<std::uint32_t>> warm;
+    warm.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        warm.push_back(minihpx::async([i] { return i; }));
+    for (auto& f : warm)
+        f.get();
+}
+
+// ---- threads mode -------------------------------------------------------
+
+int run_threads_mode(options const& opt)
+{
+    register_netd_actions();
+
+    runtime_config rc;
+    rc.sched.num_workers = opt.workers;
+    runtime rt(rc);
+
+    std::vector<std::unique_ptr<perf::counter_registry>> registries;
+    std::vector<std::unique_ptr<net::locality>> localities;
+    std::vector<std::unique_ptr<net::tcp_mesh>> meshes;
+    std::vector<std::unique_ptr<net::counter_federation>> federations;
+    std::vector<std::uint16_t> ports;
+
+    for (std::uint32_t i = 0; i < opt.localities; ++i)
+    {
+        registries.push_back(std::make_unique<perf::counter_registry>());
+        perf::register_all_runtime_counters(*registries.back(), rt);
+
+        net::net_config config;
+        config.id = i;
+        config.num_localities = opt.localities;
+        config.registry = registries.back().get();
+        // Serve inbound actions (including the counter service) on the
+        // delivering thread: a federated scrape then cannot spawn tasks
+        // and perturb the /threads counters it is reading.
+        config.inline_handlers = true;
+        localities.push_back(
+            std::make_unique<net::locality>(std::move(config)));
+        meshes.push_back(std::make_unique<net::tcp_mesh>(*localities[i]));
+        ports.push_back(meshes.back()->listen(0));
+        federations.push_back(
+            std::make_unique<net::counter_federation>(*localities[i]));
+    }
+    // Highest id first: each dials its lower-id peers, then locality 0
+    // (which only accepts) completes instantly.
+    for (std::uint32_t i = opt.localities; i-- > 0;)
+        meshes[i]->connect(ports);
+    for (auto& loc : localities)
+        loc->start_heartbeats();
+
+    warm_up_runtime(64);
+
+    auto result =
+        net::distributed_fib(*localities[0], opt.fib_n, opt.threshold);
+    std::uint64_t const value = result.get();
+    std::uint64_t const expected = net::fib_sequential(opt.fib_n);
+    std::cout << "fib(" << opt.fib_n << ") = " << value << " (expected "
+              << expected << ")\n";
+    bool ok = check(value == expected, "fib-result");
+
+    while (rt.get_scheduler().tasks_alive() != 0)
+        std::this_thread::yield();
+
+    ok = verify_aggregate(
+             *registries[0], "threads/count/cumulative", opt.localities) &&
+        ok;
+    ok = verify_aggregate(
+             *registries[0], "net/peers-alive", opt.localities) &&
+        ok;
+    // Live traffic counters move while being scraped (each federated
+    // query executes an invoke on its home peer) — report, don't assert.
+    per_locality_sum(
+        *registries[0], "net/count/invokes-executed", opt.localities, true);
+    ok = print_exposition(*registries[0], opt.localities) && ok;
+
+    for (auto& loc : localities)
+        loc->stop();
+    return ok ? 0 : 1;
+}
+
+// ---- fork mode ----------------------------------------------------------
+
+int run_one_forked_locality(options const& opt, std::uint32_t id,
+    std::vector<std::uint16_t> const& ports)
+{
+    perf::set_this_locality(id);
+    register_netd_actions();
+
+    runtime_config rc;
+    rc.sched.num_workers = opt.workers;
+    runtime rt(rc);
+    perf::counter_registry& registry = perf::counter_registry::instance();
+    perf::register_all_runtime_counters(registry, rt);
+
+    net::net_config config;
+    config.id = id;
+    config.num_localities = opt.localities;
+    config.registry = &registry;
+    config.inline_handlers = true;    // scrape must not perturb /threads
+    net::locality loc(config);
+    net::tcp_mesh mesh(loc);
+    mesh.listen(ports[id]);
+    net::counter_federation federation(loc);
+
+    // Distinct per-process task counts, so the federated aggregate sums
+    // genuinely different /threads values across the localities. Runs
+    // before connect(): a peer only dials in once its warmup is done,
+    // so connect() doubles as the "all /threads counters are stable"
+    // barrier for the aggregate check below.
+    warm_up_runtime((id + 1) * 16);
+
+    mesh.connect(ports, 20'000);
+    loc.start_heartbeats();
+
+    if (id == 0)
+    {
+        auto result = net::distributed_fib(loc, opt.fib_n, opt.threshold);
+        std::uint64_t const value = result.get();
+        std::uint64_t const expected = net::fib_sequential(opt.fib_n);
+        std::cout << "fib(" << opt.fib_n << ") = " << value
+                  << " (expected " << expected << ")\n";
+        bool ok = check(value == expected, "fib-result");
+
+        while (rt.get_scheduler().tasks_alive() != 0)
+            std::this_thread::yield();
+
+        ok = verify_aggregate(
+                 registry, "threads/count/cumulative", opt.localities) &&
+            ok;
+        ok = verify_aggregate(registry, "net/peers-alive", opt.localities) &&
+            ok;
+        ok = print_exposition(registry, opt.localities) && ok;
+
+        for (std::uint32_t peer = 1; peer < opt.localities; ++peer)
+            loc.async<void>(peer, "netd/shutdown").get();
+        loc.stop();
+        return ok ? 0 : 1;
+    }
+
+    // Workers serve until locality 0 says shutdown (or dies).
+    while (!shutdown_requested.load(std::memory_order_acquire) &&
+        loc.peer_alive(0))
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    loc.stop();
+    return 0;
+}
+
+int run_fork_mode(options const& opt)
+{
+    std::uint16_t base = opt.port_base;
+    if (base == 0)
+        base = static_cast<std::uint16_t>(
+            20'000 + (static_cast<std::uint32_t>(::getpid()) * 131) % 20'000);
+    std::vector<std::uint16_t> ports;
+    for (std::uint32_t i = 0; i < opt.localities; ++i)
+        ports.push_back(static_cast<std::uint16_t>(base + i));
+
+    // Fork before any thread exists; the parent becomes locality 0.
+    std::vector<pid_t> children;
+    for (std::uint32_t id = 1; id < opt.localities; ++id)
+    {
+        pid_t const pid = ::fork();
+        if (pid < 0)
+        {
+            std::perror("fork");
+            return 1;
+        }
+        if (pid == 0)
+            ::_exit(run_one_forked_locality(opt, id, ports));
+        children.push_back(pid);
+    }
+
+    int code = run_one_forked_locality(opt, 0, ports);
+    for (pid_t pid : children)
+    {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0)
+        {
+            std::cerr << "child " << pid << " failed\n";
+            code = 1;
+        }
+    }
+    return code;
+}
+
+// ---- sim mode -----------------------------------------------------------
+
+int run_sim_mode(options const& opt)
+{
+    register_netd_actions();
+
+    std::vector<std::uint64_t> digests;
+    for (std::uint32_t round = 0; round < std::max(1u, opt.repeat); ++round)
+    {
+        net::sim_fabric fabric(opt.localities);
+        std::vector<std::unique_ptr<net::counter_federation>> federations;
+        for (std::uint32_t i = 0; i < opt.localities; ++i)
+            federations.push_back(
+                std::make_unique<net::counter_federation>(fabric.at(i)));
+
+        auto result =
+            net::distributed_fib(fabric.at(0), opt.fib_n, opt.threshold);
+        fabric.run();
+        std::uint64_t const value = result.get();
+        std::uint64_t const expected = net::fib_sequential(opt.fib_n);
+
+        // Hash the workload's delivery log before any federation query
+        // adds its own (round-0-only) traffic to it.
+        digests.push_back(net::fnv1a64(fabric.delivery_log()));
+
+        if (round == 0)
+        {
+            std::cout << "fib(" << opt.fib_n << ") = " << value
+                      << " (expected " << expected << ")\n";
+            if (!check(value == expected, "fib-result"))
+                return 1;
+            if (!verify_aggregate(fabric.registry_at(0), "net/peers-alive",
+                    opt.localities))
+                return 1;
+            // Live traffic counters move while being scraped (each
+            // federated query executes an invoke on its home peer), so
+            // they are reported rather than equality-checked.
+            per_locality_sum(fabric.registry_at(0),
+                "net/count/invokes-executed", opt.localities, true);
+            std::cout << "virtual-time=" << fabric.now_ns() << "ns messages="
+                      << fabric.messages_delivered() << "\n";
+        }
+        else if (value != expected)
+        {
+            std::cerr << "round " << round << ": wrong fib result\n";
+            return 1;
+        }
+
+        std::cout << "round " << round << " delivery-digest=" << std::hex
+                  << digests.back() << std::dec << "\n";
+    }
+
+    for (std::uint64_t d : digests)
+        if (d != digests.front())
+        {
+            std::cerr << "determinism-check: FAILED (digest mismatch)\n";
+            return 1;
+        }
+    if (digests.size() > 1)
+        std::cout << "determinism-check: OK (" << digests.size()
+                  << " identical runs)\n";
+    return 0;
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    util::cli_args const args(argc, argv);
+    options opt;
+    opt.mode = args.value_or("mh:mode", "threads");
+    opt.localities = static_cast<std::uint32_t>(
+        args.int_or("mh:localities", 2));
+    opt.fib_n = static_cast<std::uint32_t>(args.int_or("mh:fib", 18));
+    opt.threshold =
+        static_cast<std::uint32_t>(args.int_or("mh:threshold", 10));
+    opt.workers = static_cast<std::uint32_t>(args.int_or("mh:threads", 2));
+    opt.repeat = static_cast<std::uint32_t>(args.int_or("mh:repeat", 1));
+    opt.port_base =
+        static_cast<std::uint16_t>(args.int_or("mh:port-base", 0));
+
+    if (opt.localities < 1 || opt.localities > 64)
+    {
+        std::cerr << "--mh:localities must be in [1, 64]\n";
+        return 2;
+    }
+
+    std::cout << "minihpx-netd: mode=" << opt.mode << " localities="
+              << opt.localities << " fib=" << opt.fib_n << " threshold="
+              << opt.threshold << "\n";
+    try
+    {
+        if (opt.mode == "threads")
+            return run_threads_mode(opt);
+        if (opt.mode == "fork")
+            return run_fork_mode(opt);
+        if (opt.mode == "sim")
+            return run_sim_mode(opt);
+        std::cerr << "unknown --mh:mode=" << opt.mode
+                  << " (threads | fork | sim)\n";
+        return 2;
+    }
+    catch (std::exception const& e)
+    {
+        std::cerr << "minihpx-netd: " << e.what() << "\n";
+        return 1;
+    }
+}
