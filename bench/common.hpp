@@ -94,4 +94,40 @@ inline std::string time_cell(sim_report const& report)
     return buf;
 }
 
+// The argv prologue every figure/table binary used to open with by
+// hand: parse, resolve the input scale and core sweep, pick benchmark
+// names from the positionals with a per-binary default, print the
+// platform header. One struct so drivers differ only in what they
+// measure, not in how they are invoked.
+struct options
+{
+    minihpx::util::cli_args args;
+    input_scale scale;
+    std::vector<unsigned> cores;
+
+    options(int argc, char const* const* argv)
+      : args(argc, argv)
+      , scale(scale_from_cli(args))
+      , cores(core_sweep(args))
+    {
+    }
+
+    // Positional benchmark names, or `dflt` when none were given.
+    std::vector<std::string> names_or(
+        std::initializer_list<char const*> dflt) const
+    {
+        std::vector<std::string> names = args.positionals();
+        if (names.empty())
+            names.assign(dflt.begin(), dflt.end());
+        return names;
+    }
+
+    // Platform header plus the input-scale line.
+    void print_header(char const* title) const
+    {
+        print_platform_header(title);
+        std::printf("input scale: %s\n", scale_name(scale));
+    }
+};
+
 }    // namespace bench

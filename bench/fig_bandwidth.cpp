@@ -11,17 +11,12 @@
 
 int main(int argc, char** argv)
 {
-    minihpx::util::cli_args args(argc, argv);
-    auto const scale = bench::scale_from_cli(args);
-    auto const cores = bench::core_sweep(args);
+    bench::options opt(argc, argv);
+    auto const scale = opt.scale;
+    auto const cores = opt.cores;
+    auto const names = opt.names_or({"alignment", "pyramids", "strassen"});
 
-    std::vector<std::string> names = args.positionals();
-    if (names.empty())
-        names = {"alignment", "pyramids", "strassen"};
-
-    bench::print_platform_header(
-        "Figs 13-15: OFFCORE bandwidth vs cores (HPX)");
-    std::printf("input scale: %s\n", bench::scale_name(scale));
+    opt.print_header("Figs 13-15: OFFCORE bandwidth vs cores (HPX)");
 
     int fig = 13;
     for (auto const& name : names)

@@ -12,18 +12,15 @@
 
 int main(int argc, char** argv)
 {
-    minihpx::util::cli_args args(argc, argv);
-    auto const scale = bench::scale_from_cli(args);
-    auto const cores = bench::core_sweep(args);
+    bench::options opt(argc, argv);
+    auto const scale = opt.scale;
+    auto const cores = opt.cores;
+    auto const names = opt.names_or(
+        {"alignment", "pyramids", "strassen", "sort", "fft", "uts",
+            "intersim"});
 
-    std::vector<std::string> names = args.positionals();
-    if (names.empty())
-        names = {"alignment", "pyramids", "strassen", "sort", "fft", "uts",
-            "intersim"};
-
-    bench::print_platform_header(
+    opt.print_header(
         "Figs 1-7: execution time vs cores (HPX vs C++11 Standard)");
-    std::printf("input scale: %s\n", bench::scale_name(scale));
 
     int fig = 1;
     for (auto const& name : names)

@@ -12,17 +12,14 @@
 
 int main(int argc, char** argv)
 {
-    minihpx::util::cli_args args(argc, argv);
-    auto const scale = bench::scale_from_cli(args);
-    auto const cores = bench::core_sweep(args);
+    bench::options opt(argc, argv);
+    auto const scale = opt.scale;
+    auto const cores = opt.cores;
+    auto const names =
+        opt.names_or({"alignment", "pyramids", "strassen", "fft", "uts"});
 
-    std::vector<std::string> names = args.positionals();
-    if (names.empty())
-        names = {"alignment", "pyramids", "strassen", "fft", "uts"};
-
-    bench::print_platform_header(
+    opt.print_header(
         "Figs 8-12: overhead decomposition from intrinsic counters (HPX)");
-    std::printf("input scale: %s\n", bench::scale_name(scale));
 
     int fig = 8;
     for (auto const& name : names)

@@ -51,13 +51,12 @@ std::string scaling_limit(inncabs::benchmark_entry const& entry,
 
 int main(int argc, char** argv)
 {
-    minihpx::util::cli_args args(argc, argv);
-    auto const scale = bench::scale_from_cli(args);
-    auto const cores = bench::core_sweep(args);
+    bench::options opt(argc, argv);
+    auto const scale = opt.scale;
+    auto const cores = opt.cores;
 
-    bench::print_platform_header(
-        "Table V: benchmark classification and granularity");
-    std::printf("input scale: %s\n\n", bench::scale_name(scale));
+    opt.print_header("Table V: benchmark classification and granularity");
+    std::printf("\n");
 
     std::printf("%-10s | %14s %-10s | %10s | %8s | %8s\n", "benchmark",
         "task dur[us]", "class", "tasks", "std", "hpx");

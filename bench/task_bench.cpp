@@ -1,0 +1,356 @@
+// Task Bench METG sweep: minimum effective task granularity per
+// engine, graph type, and worker count.
+//
+// Methodology follows the Task Bench paper (PAPERS.md): for a fixed
+// dependency graph (width x steps), shrink the per-task granularity
+// until efficiency — ideal time over measured time, where ideal =
+// points x task_ns / workers — drops below 50 %. METG(50) is the
+// smallest granularity still at or above that bar; it prices the
+// runtime's per-task overhead in units an application writer can use
+// ("tasks shorter than this waste more than half the machine").
+//
+// Engines: `minihpx` and `std` are wall-clock measured; `sim` runs the
+// identical source on the virtual-time simulator, so its METG reflects
+// the modeled scheduler costs only and is byte-deterministic.
+//
+//   $ ./task_bench [--mh:taskbench-graphs=stencil,fft]
+//                  [--mh:taskbench-engines=minihpx,std,sim]
+//                  [--mh:taskbench-workers=1,2] [--mh:taskbench-width=W]
+//                  [--mh:taskbench-steps=S] [--mh:taskbench-payload=N]
+//                  [--mh:taskbench-start-ns=N] [--mh:taskbench-min-ns=N]
+//                  [--mh:taskbench-json=BENCH_taskbench.json] [--help]
+//
+// Summary lines are grep-stable:  "METG engine=... graph=... workers=N
+// metg_ns=... " — CI greps them after the smoke sweep.
+#include "common.hpp"
+
+#include <minihpx/minihpx.hpp>
+#include <minihpx/taskbench/taskbench.hpp>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tb = minihpx::taskbench;
+
+namespace {
+
+// ------------------------------------------------ table-driven flags
+// One row per --mh:taskbench-* option: the single place where a flag's
+// name, default, and help line live (same registration style as
+// runtime_config::from_cli).
+struct flag_row
+{
+    char const* name;
+    char const* dflt;
+    char const* help;
+};
+
+constexpr flag_row flag_table[] = {
+    {"mh:taskbench-graphs", "trivial,stencil,fft,tree,random",
+        "comma list of dependency graphs to sweep"},
+    {"mh:taskbench-engines", "minihpx,std,sim",
+        "comma list of engines to measure"},
+    {"mh:taskbench-workers", "1,2", "comma list of worker counts"},
+    {"mh:taskbench-width", "16", "graph width (parallel tasks per step)"},
+    {"mh:taskbench-steps", "16", "graph steps (timesteps)"},
+    {"mh:taskbench-payload", "2", "payload words per point"},
+    {"mh:taskbench-start-ns", "262144",
+        "largest task granularity in the sweep [ns]"},
+    {"mh:taskbench-min-ns", "256",
+        "smallest granularity tried before giving up [ns]"},
+    {"mh:taskbench-json", "BENCH_taskbench.json",
+        "result file (empty to disable)"},
+};
+
+void print_flag_table()
+{
+    std::printf("task_bench options:\n");
+    for (auto const& row : flag_table)
+        std::printf("  --%-26s %s (default: %s)\n", row.name, row.help,
+            row.dflt);
+}
+
+std::string flag_or_default(
+    minihpx::util::cli_args const& args, char const* name)
+{
+    for (auto const& row : flag_table)
+        if (std::string_view(row.name) == name)
+            return args.value_or(name, row.dflt);
+    return {};
+}
+
+std::vector<std::string> split_list(std::string const& csv)
+{
+    std::vector<std::string> out;
+    for (auto part : minihpx::util::split(csv, ','))
+        if (!part.empty())
+            out.emplace_back(part);
+    return out;
+}
+
+// ------------------------------------------------------ measurements
+struct sample
+{
+    std::uint64_t task_ns = 0;
+    double time_s = 0.0;
+    double efficiency = 0.0;
+    std::uint64_t checksum = 0;
+};
+
+struct sweep_result
+{
+    std::string engine;
+    std::string graph;
+    unsigned workers = 0;
+    std::vector<sample> samples;
+    std::uint64_t metg_ns = 0;    // 0 => not reached at any granularity
+    bool bounded = false;         // true when start_ns itself was >= 50 %
+};
+
+double ideal_seconds(tb::graph_spec const& spec, unsigned workers)
+{
+    return static_cast<double>(spec.total_points()) *
+        static_cast<double>(spec.task_ns) * 1e-9 /
+        static_cast<double>(workers);
+}
+
+// One measured run at a fixed granularity; returns wall seconds.
+template <typename E>
+double run_once_wall(tb::graph_spec const& spec, std::uint64_t* checksum)
+{
+    auto const t0 = std::chrono::steady_clock::now();
+    auto const r = tb::run_graph<E>(spec);
+    auto const t1 = std::chrono::steady_clock::now();
+    *checksum = r.checksum;
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Granularity sweep: halve task_ns from start_ns until efficiency
+// drops below 50 % (then stop — the knee has been found) or min_ns is
+// passed. `measure` maps a fully-specified graph_spec to seconds.
+template <typename Measure>
+sweep_result sweep(std::string engine, tb::graph_spec spec,
+    unsigned workers, std::uint64_t start_ns, std::uint64_t min_ns,
+    Measure&& measure)
+{
+    sweep_result out;
+    out.engine = std::move(engine);
+    out.graph = tb::graph_name(spec.type);
+    out.workers = workers;
+
+    for (std::uint64_t ns = start_ns; ns >= min_ns; ns /= 2)
+    {
+        spec.task_ns = ns;
+        sample s;
+        s.task_ns = ns;
+        s.time_s = measure(spec, &s.checksum);
+        double const ideal = ideal_seconds(spec, workers);
+        s.efficiency = s.time_s > 0.0 ? ideal / s.time_s : 0.0;
+        if (s.efficiency > 1.0)
+            s.efficiency = 1.0;    // timer noise at coarse grain
+        out.samples.push_back(s);
+
+        if (s.efficiency >= 0.5)
+        {
+            out.metg_ns = ns;
+            out.bounded = true;
+        }
+        else if (out.bounded)
+            break;    // past the knee
+        if (ns == 0)
+            break;
+    }
+    return out;
+}
+
+void print_sweep(sweep_result const& r)
+{
+    std::printf("\n-- %s / %s / %u worker(s) --\n", r.engine.c_str(),
+        r.graph.c_str(), r.workers);
+    std::printf("%12s %12s %12s %18s\n", "task[ns]", "time[ms]", "eff",
+        "checksum");
+    for (auto const& s : r.samples)
+        std::printf("%12llu %12.3f %12.3f 0x%016llx\n",
+            static_cast<unsigned long long>(s.task_ns), s.time_s * 1e3,
+            s.efficiency, static_cast<unsigned long long>(s.checksum));
+    if (r.bounded)
+        std::printf("METG engine=%s graph=%s workers=%u metg_ns=%llu\n",
+            r.engine.c_str(), r.graph.c_str(), r.workers,
+            static_cast<unsigned long long>(r.metg_ns));
+    else
+        std::printf(
+            "METG engine=%s graph=%s workers=%u metg_ns=unbounded\n",
+            r.engine.c_str(), r.graph.c_str(), r.workers);
+}
+
+void append_json(std::string& json, sweep_result const& r)
+{
+    char buf[160];
+    if (!json.empty())
+        json += ",\n";
+    std::snprintf(buf, sizeof(buf),
+        "    {\"engine\": \"%s\", \"graph\": \"%s\", \"workers\": %u, "
+        "\"metg_ns\": %lld,\n     \"sweep\": [",
+        r.engine.c_str(), r.graph.c_str(), r.workers,
+        r.bounded ? static_cast<long long>(r.metg_ns) : -1LL);
+    json += buf;
+    for (std::size_t i = 0; i != r.samples.size(); ++i)
+    {
+        auto const& s = r.samples[i];
+        std::snprintf(buf, sizeof(buf),
+            "%s{\"task_ns\": %llu, \"time_s\": %.9f, "
+            "\"efficiency\": %.4f}",
+            i ? ", " : "", static_cast<unsigned long long>(s.task_ns),
+            s.time_s, s.efficiency);
+        json += buf;
+    }
+    json += "]}";
+}
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    bench::options opt(argc, argv);
+    if (opt.args.flag("help"))
+    {
+        print_flag_table();
+        return 0;
+    }
+
+    tb::graph_spec base;
+    base.width = static_cast<unsigned>(
+        opt.args.int_or("mh:taskbench-width", 16));
+    base.steps = static_cast<unsigned>(
+        opt.args.int_or("mh:taskbench-steps", 16));
+    base.payload_words = static_cast<unsigned>(
+        opt.args.int_or("mh:taskbench-payload", 2));
+    auto const start_ns = static_cast<std::uint64_t>(
+        opt.args.int_or("mh:taskbench-start-ns", 262144));
+    auto const min_ns = static_cast<std::uint64_t>(
+        opt.args.int_or("mh:taskbench-min-ns", 256));
+
+    auto const graphs =
+        split_list(flag_or_default(opt.args, "mh:taskbench-graphs"));
+    auto const engines =
+        split_list(flag_or_default(opt.args, "mh:taskbench-engines"));
+    std::vector<unsigned> workers;
+    for (auto const& w :
+        split_list(flag_or_default(opt.args, "mh:taskbench-workers")))
+        workers.push_back(
+            static_cast<unsigned>(std::strtoul(w.c_str(), nullptr, 10)));
+
+    bench::print_platform_header(
+        "Task Bench: METG(50%) per engine / graph / workers");
+    std::printf("width=%u steps=%u payload=%u start=%lluns min=%lluns\n",
+        base.width, base.steps, base.payload_words,
+        static_cast<unsigned long long>(start_ns),
+        static_cast<unsigned long long>(min_ns));
+    std::printf("spin calibration: %llu iters/us\n",
+        static_cast<unsigned long long>(tb::spin_iters_per_us()));
+
+    std::string json;
+    for (auto const& engine : engines)
+    {
+        for (unsigned n : workers)
+        {
+            // One real runtime per worker count, shared across graphs
+            // and granularities (construction cost stays out of the
+            // measured window either way).
+            std::unique_ptr<minihpx::runtime> rt;
+            if (engine == "minihpx")
+            {
+                minihpx::runtime_config config;
+                config.sched.num_workers = n;
+                rt = std::make_unique<minihpx::runtime>(config);
+            }
+
+            for (auto const& name : graphs)
+            {
+                auto const type = tb::parse_graph_type(name);
+                if (!type)
+                {
+                    std::printf("unknown graph: %s\n", name.c_str());
+                    continue;
+                }
+                tb::graph_spec spec = base;
+                spec.type = *type;
+
+                sweep_result r;
+                if (engine == "minihpx")
+                {
+                    r = sweep(engine, spec, n, start_ns, min_ns,
+                        [](tb::graph_spec const& s, std::uint64_t* c) {
+                            return run_once_wall<
+                                minihpx::engine::minihpx_engine>(s, c);
+                        });
+                }
+                else if (engine == "std")
+                {
+                    r = sweep(engine, spec, n, start_ns, min_ns,
+                        [](tb::graph_spec const& s, std::uint64_t* c) {
+                            return run_once_wall<
+                                minihpx::engine::std_engine>(s, c);
+                        });
+                }
+                else if (engine == "sim")
+                {
+                    r = sweep(engine, spec, n, start_ns, min_ns,
+                        [n](tb::graph_spec const& s, std::uint64_t* c) {
+                            bench::sim_config config;
+                            config.cores = n;
+                            bench::simulator sim(config);
+                            tb::run_result rr;
+                            auto const report = sim.run(
+                                [&] {
+                                    rr = tb::run_graph<
+                                        minihpx::engine::sim_engine>(s);
+                                });
+                            *c = rr.checksum;
+                            return report.failed ? 0.0 :
+                                                   report.exec_time_s;
+                        });
+                }
+                else
+                {
+                    std::printf("unknown engine: %s\n", engine.c_str());
+                    continue;
+                }
+                print_sweep(r);
+                if (!json.empty() || !r.samples.empty())
+                    append_json(json, r);
+            }
+        }
+    }
+
+    auto& st = tb::global_stats();
+    std::printf("\n/taskbench/points/executed   %llu\n"
+                "/taskbench/deps/edges        %llu\n"
+                "/taskbench/graphs/completed  %llu\n",
+        static_cast<unsigned long long>(st.points_executed.load()),
+        static_cast<unsigned long long>(st.deps_edges.load()),
+        static_cast<unsigned long long>(st.graphs_completed.load()));
+
+    auto const json_path =
+        flag_or_default(opt.args, "mh:taskbench-json");
+    if (!json_path.empty())
+    {
+        if (std::FILE* f = std::fopen(json_path.c_str(), "w"))
+        {
+            std::fprintf(f,
+                "{\n  \"bench\": \"task_bench\",\n"
+                "  \"width\": %u, \"steps\": %u, \"payload_words\": %u,\n"
+                "  \"results\": [\n%s\n  ]\n}\n",
+                base.width, base.steps, base.payload_words, json.c_str());
+            std::fclose(f);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+        else
+            std::printf("cannot write %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -18,6 +18,7 @@
 #include <thread>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 namespace minihpx::baseline {
 
@@ -118,6 +119,52 @@ struct std_engine
     {
         return async(
             launch::async, std::forward<F>(f), std::forward<Ts>(ts)...);
+    }
+
+    // ---- dependency-graph surface (engine concept v2) ------------------
+    // Thread-per-task semantics throughout: a dependency gate is a real
+    // OS thread blocked on its inputs, exactly what a std::async port of
+    // a dataflow graph costs. That price is the measurement.
+
+    template <typename T>
+    using shared_future = std::shared_future<T>;
+
+    template <typename T>
+    static std::shared_future<T> share(std::future<T>&& f)
+    {
+        return f.share();
+    }
+
+    template <typename T>
+    static std::future<void> when_all(std::vector<std::shared_future<T>> deps)
+    {
+        if (deps.empty())
+        {
+            std::promise<void> p;
+            p.set_value();
+            return p.get_future();
+        }
+        return async(launch::async, [deps = std::move(deps)] {
+            for (auto const& d : deps)
+                d.wait();
+        });
+    }
+
+    // Continuation: spawns `fn` as a new task once `gate` is ready.
+    template <typename F>
+    static auto then(std::future<void> gate, F&& fn)
+    {
+        return async(launch::async,
+            [gate = std::move(gate), fn = std::forward<F>(fn)]() mutable {
+                gate.wait();
+                return fn();
+            });
+    }
+
+    template <typename T>
+    static T sync_wait(std::future<T> f)
+    {
+        return f.get();
     }
 
     static void annotate_work(work_annotation const& w) noexcept

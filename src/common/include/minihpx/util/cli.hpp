@@ -6,11 +6,14 @@
 // passed through to the application.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace minihpx::util {
@@ -47,6 +50,45 @@ private:
     std::string program_;
     std::vector<std::pair<std::string, std::string>> options_;
     std::vector<std::string> positionals_;
+};
+
+// Table-driven integer-option registration. Each row binds one
+// --name=value option to a destination (which keeps its current value
+// as the default), optionally with a deprecated legacy spelling. When
+// only the legacy spelling appears, apply() still honors it but prints
+// a one-line deprecation warning to stderr — once per process per
+// alias, no matter how many cli_args are parsed.
+//
+//   util::option_table table;
+//   table.add("mh:steal-rounds", steal.rounds)
+//        .add("mh:steal-sleep-us", steal.sleep_us, "mh:sleep-us");
+//   table.apply(args);
+class option_table
+{
+public:
+    template <typename Int>
+    option_table& add(
+        char const* name, Int& dst, char const* deprecated_alias = nullptr)
+    {
+        static_assert(std::is_integral_v<Int> && !std::is_same_v<Int, bool>,
+            "option_table rows bind integer destinations");
+        rows_.push_back({name, deprecated_alias,
+            [&dst](std::int64_t v) { dst = static_cast<Int>(v); }});
+        return *this;
+    }
+
+    // Reads every registered row out of `args`; the canonical spelling
+    // wins when both it and its alias are present.
+    void apply(cli_args const& args) const;
+
+private:
+    struct row
+    {
+        char const* name;
+        char const* deprecated_alias;    // nullptr when none
+        std::function<void(std::int64_t)> store;
+    };
+    std::vector<row> rows_;
 };
 
 }    // namespace minihpx::util

@@ -1,7 +1,10 @@
 #include <minihpx/util/cli.hpp>
 #include <minihpx/util/strings.hpp>
 
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 
 namespace minihpx::util {
 
@@ -95,6 +98,41 @@ std::vector<std::string> cli_args::values(std::string_view name) const
         if (key == name)
             out.push_back(val);
     return out;
+}
+
+namespace {
+
+    // Once per process per alias: repeated from_cli parses (tests,
+    // multiple sessions) must not spam stderr.
+    void warn_deprecated_once(char const* alias, char const* canonical)
+    {
+        static std::mutex mtx;
+        static std::set<std::string> warned;
+        std::lock_guard<std::mutex> lock(mtx);
+        if (!warned.insert(alias).second)
+            return;
+        std::fprintf(stderr,
+            "minihpx: warning: --%s is deprecated; use --%s\n", alias,
+            canonical);
+    }
+
+}    // namespace
+
+void option_table::apply(cli_args const& args) const
+{
+    for (auto const& r : rows_)
+    {
+        if (args.has(r.name))
+        {
+            r.store(args.int_or(r.name, 0));
+            continue;
+        }
+        if (r.deprecated_alias && args.has(r.deprecated_alias))
+        {
+            warn_deprecated_once(r.deprecated_alias, r.name);
+            r.store(args.int_or(r.deprecated_alias, 0));
+        }
+    }
 }
 
 }    // namespace minihpx::util

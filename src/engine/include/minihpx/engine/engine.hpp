@@ -1,0 +1,291 @@
+// The minihpx Engine concept: one static interface, three runtimes.
+//
+// Every workload family (Inncabs fork/join trees, Task Bench dependency
+// graphs) is written once against this concept and compiles unchanged
+// against the real minihpx runtime, the thread-per-task C++11 baseline,
+// and the virtual-time simulator. This mirrors — and extends — the
+// paper's porting story (Table II): moving a benchmark between
+// std::async and HPX is a namespace swap.
+//
+// Concept surface (version 2):
+//
+//   E::template future<T>         one-shot future type
+//   E::template shared_future<T>  copyable handle (fan-out dependencies)
+//   E::mutex                      lockable
+//   E::launch                     {async, deferred, fork, sync}
+//
+//   E::async([policy,] f, xs...) -> future<R>
+//   E::share(future<T>&&)        -> shared_future<T>
+//   E::when_all(vector<shared_future<T>>) -> future<void>
+//                                 dependency gate: ready when all are
+//   E::then(future<void>, f)     -> future<R>
+//                                 spawn f as a NEW task once the gate
+//                                 fires (dataflow continuation, not an
+//                                 inline callback)
+//   E::sync_wait(future<T>)      -> T   blocking wait from graph root
+//
+//   E::annotate_work(w)           cost-model + PMU feed
+//   E::trace_label(lit)           label the running task in a trace
+//   E::skip_compute()             sim may skip data-independent kernels
+//   E::name()
+//
+// Version 1 was fork/join only (async + annotate_work + trace_label);
+// version 2 adds the explicit-dependency surface (share / when_all /
+// then / sync_wait) that Task Bench graphs require. engine_traits<E>
+// below checks conformance at compile time; the runtime contract is
+// pinned by tests/test_engine_concept.cpp for all three engines.
+#pragma once
+
+#include <minihpx/baseline/std_engine.hpp>
+#include <minihpx/minihpx.hpp>
+#include <minihpx/sim/engine.hpp>
+
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace minihpx::engine {
+
+inline constexpr int concept_version = 2;
+
+// Real execution on the minihpx runtime (a runtime must be active).
+struct minihpx_engine
+{
+    template <typename T>
+    using future = minihpx::future<T>;
+    template <typename T>
+    using shared_future = minihpx::shared_future<T>;
+    using mutex = minihpx::mutex;
+
+    enum class launch : std::uint8_t
+    {
+        async,
+        deferred,
+        fork,
+        sync,
+    };
+
+    static constexpr minihpx::launch to_native(launch policy) noexcept
+    {
+        switch (policy)
+        {
+        case launch::deferred:
+            return minihpx::launch::deferred;
+        case launch::fork:
+            return minihpx::launch::fork;
+        case launch::sync:
+            return minihpx::launch::sync;
+        case launch::async:
+        default:
+            return minihpx::launch::async;
+        }
+    }
+
+    template <typename F, typename... Ts>
+    static auto async(launch policy, F&& f, Ts&&... ts)
+    {
+        return minihpx::async(to_native(policy), std::forward<F>(f),
+            std::forward<Ts>(ts)...);
+    }
+
+    template <typename F, typename... Ts,
+        typename =
+            std::enable_if_t<!std::is_same_v<std::decay_t<F>, launch>>>
+    static auto async(F&& f, Ts&&... ts)
+    {
+        return minihpx::async(std::forward<F>(f), std::forward<Ts>(ts)...);
+    }
+
+    // ---- dependency-graph surface (concept v2) -------------------------
+    // when_all maps to the native gate in future.hpp (no task spawned:
+    // readiness propagates through continuation slots with one atomic
+    // countdown); then() spawns the continuation as a real task when
+    // the gate fires, so every graph point is a scheduled task — which
+    // is exactly what METG is supposed to price.
+
+    template <typename T>
+    static minihpx::shared_future<T> share(minihpx::future<T>&& f)
+    {
+        return f.share();
+    }
+
+    template <typename T>
+    static minihpx::future<void> when_all(
+        std::vector<minihpx::shared_future<T>> const& deps)
+    {
+        return minihpx::when_all(deps);
+    }
+
+    template <typename F>
+    static auto then(minihpx::future<void> gate, F&& fn)
+        -> minihpx::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        minihpx::promise<R> p;
+        auto out = p.get_future();
+        auto keep = gate.state();
+        // The callback holds a reference to the gate state (a cycle the
+        // fire breaks: mark_ready moves the callback out and drops it
+        // after running) and spawns the continuation as a fresh task.
+        keep->when_ready(
+            [keep, p = std::move(p), fn = std::forward<F>(fn)]() mutable {
+                minihpx::async([p = std::move(p),
+                                   fn = std::move(fn)]() mutable {
+                    try
+                    {
+                        if constexpr (std::is_void_v<R>)
+                        {
+                            fn();
+                            p.set_value();
+                        }
+                        else
+                        {
+                            p.set_value(fn());
+                        }
+                    }
+                    catch (...)
+                    {
+                        p.set_exception(std::current_exception());
+                    }
+                });
+            });
+        return out;
+    }
+
+    template <typename T>
+    static T sync_wait(minihpx::future<T> f)
+    {
+        return f.get();
+    }
+
+    static void annotate_work(minihpx::work_annotation const& w) noexcept
+    {
+        minihpx::annotate_work(w);
+    }
+
+    // Label the running task for trace analysis (no-op unless a
+    // trace::session is active). `label` must be a string literal /
+    // static storage — the recorder stores the pointer, not a copy.
+    static void trace_label(char const* label) noexcept
+    {
+        minihpx::this_task::annotate(label);
+    }
+
+    static bool skip_compute() noexcept { return false; }
+    static constexpr char const* name() noexcept { return "minihpx"; }
+};
+
+// Real thread-per-task execution (paper's "C++11 Standard" baseline).
+using std_engine = minihpx::baseline::std_engine;
+
+// Virtual-time execution on the simulated Table III node.
+using sim_engine = minihpx::sim::sim_engine;
+
+// Convenience aliases for workload code.
+template <typename E, typename T>
+using efuture = typename E::template future<T>;
+
+template <typename E, typename T>
+using eshared_future = typename E::template shared_future<T>;
+
+// ---- compile-time conformance --------------------------------------------
+// engine_traits<E> detects every member of the concept surface;
+// is_engine_v<E> is the conjunction. The conformance test suite
+// static_asserts it for all three engines, so a backend that drifts
+// from the concept fails at compile time with a named trait, not at
+// template-instantiation depth inside a workload.
+
+namespace detail {
+
+    template <typename, template <typename> typename, typename = void>
+    struct detect : std::false_type
+    {
+    };
+
+    template <typename E, template <typename> typename Op>
+    struct detect<E, Op, std::void_t<Op<E>>> : std::true_type
+    {
+    };
+
+    template <typename E>
+    using future_t = typename E::template future<int>;
+    template <typename E>
+    using shared_future_t = typename E::template shared_future<int>;
+    template <typename E>
+    using mutex_t = typename E::mutex;
+    template <typename E>
+    using launch_t = typename E::launch;
+
+    template <typename E>
+    using async_t = decltype(E::async(std::declval<int (*)()>()));
+    template <typename E>
+    using async_policy_t = decltype(
+        E::async(E::launch::async, std::declval<int (*)()>()));
+    template <typename E>
+    using share_t = decltype(
+        E::share(std::declval<typename E::template future<int>&&>()));
+    template <typename E>
+    using when_all_t = decltype(E::when_all(
+        std::declval<std::vector<typename E::template shared_future<int>>>()));
+    template <typename E>
+    using then_t = decltype(E::then(
+        std::declval<typename E::template future<void>>(),
+        std::declval<int (*)()>()));
+    template <typename E>
+    using sync_wait_t = decltype(
+        E::sync_wait(std::declval<typename E::template future<int>>()));
+    template <typename E>
+    using annotate_work_t = decltype(
+        E::annotate_work(std::declval<minihpx::work_annotation const&>()));
+    template <typename E>
+    using trace_label_t = decltype(E::trace_label("x"));
+    template <typename E>
+    using skip_compute_t =
+        std::enable_if_t<std::is_same_v<decltype(E::skip_compute()), bool>>;
+    template <typename E>
+    using name_t = std::enable_if_t<
+        std::is_convertible_v<decltype(E::name()), char const*>>;
+
+}    // namespace detail
+
+template <typename E>
+struct engine_traits
+{
+    static constexpr bool has_future =
+        detail::detect<E, detail::future_t>::value;
+    static constexpr bool has_shared_future =
+        detail::detect<E, detail::shared_future_t>::value;
+    static constexpr bool has_mutex =
+        detail::detect<E, detail::mutex_t>::value;
+    static constexpr bool has_launch =
+        detail::detect<E, detail::launch_t>::value;
+    static constexpr bool has_async =
+        detail::detect<E, detail::async_t>::value;
+    static constexpr bool has_policy_async =
+        detail::detect<E, detail::async_policy_t>::value;
+    static constexpr bool has_share =
+        detail::detect<E, detail::share_t>::value;
+    static constexpr bool has_when_all =
+        detail::detect<E, detail::when_all_t>::value;
+    static constexpr bool has_then =
+        detail::detect<E, detail::then_t>::value;
+    static constexpr bool has_sync_wait =
+        detail::detect<E, detail::sync_wait_t>::value;
+    static constexpr bool has_annotate_work =
+        detail::detect<E, detail::annotate_work_t>::value;
+    static constexpr bool has_trace_label =
+        detail::detect<E, detail::trace_label_t>::value;
+    static constexpr bool has_skip_compute =
+        detail::detect<E, detail::skip_compute_t>::value;
+    static constexpr bool has_name = detail::detect<E, detail::name_t>::value;
+
+    static constexpr bool conforms = has_future && has_shared_future &&
+        has_mutex && has_launch && has_async && has_policy_async &&
+        has_share && has_when_all && has_then && has_sync_wait &&
+        has_annotate_work && has_trace_label && has_skip_compute && has_name;
+};
+
+template <typename E>
+inline constexpr bool is_engine_v = engine_traits<E>::conforms;
+
+}    // namespace minihpx::engine

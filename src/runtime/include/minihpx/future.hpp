@@ -511,6 +511,11 @@ public:
         return state_->ref_value();
     }
 
+    detail::state_ptr<detail::shared_state<T>> const& state() const noexcept
+    {
+        return state_;
+    }
+
 private:
     detail::state_ptr<detail::shared_state<T>> state_;
 };
@@ -689,6 +694,45 @@ future<std::vector<future<T>>> when_all(std::vector<future<T>>&& futures)
         });
     }
     return future<std::vector<future<T>>>(std::move(out));
+}
+
+// when_all over shared handles: the dependency-gate form used by
+// fan-out task graphs (one producer, many consumers — Task Bench
+// stencils, butterflies, random graphs). The result carries no values;
+// it merely becomes ready once every input is. Values and exceptions
+// stay observable through the inputs themselves, which the caller
+// keeps. No task is spawned: readiness propagates through the inputs'
+// continuation slots with one atomic countdown.
+template <typename T>
+future<void> when_all(std::vector<shared_future<T>> const& futures)
+{
+    auto out = detail::make_state<void>();
+    if (futures.empty())
+    {
+        out->set_value();
+        return future<void>(std::move(out));
+    }
+
+    struct gate_state
+    {
+        std::atomic<std::size_t> remaining;
+        detail::state_ptr<detail::shared_state<void>> out;
+    };
+    auto shared = std::make_shared<gate_state>();
+    shared->remaining.store(futures.size(), std::memory_order_relaxed);
+    shared->out = out;
+
+    for (auto const& f : futures)
+    {
+        f.state()->when_ready([shared] {
+            if (shared->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                1)
+            {
+                shared->out->set_value();
+            }
+        });
+    }
+    return future<void>(std::move(out));
 }
 
 }    // namespace minihpx

@@ -27,13 +27,7 @@ namespace {
 runtime_config runtime_config::from_cli(util::cli_args const& args)
 {
     runtime_config config;
-    config.sched.num_workers = static_cast<unsigned>(args.int_or("mh:threads",
-        static_cast<std::int64_t>(std::thread::hardware_concurrency())));
-    if (config.sched.num_workers == 0)
-        config.sched.num_workers = 1;
-    config.sched.stack_size = static_cast<std::size_t>(
-        args.int_or("mh:stack-size",
-            static_cast<std::int64_t>(threads::default_stack_size)));
+    config.sched.num_workers = std::thread::hardware_concurrency();
     config.sched.bind_workers = args.flag("mh:bind");
 
     if (auto qp = args.value("mh:queue-policy"))
@@ -45,18 +39,26 @@ runtime_config runtime_config::from_cli(util::cli_args const& args)
         config.sched.queue = *parsed;
     }
 
+    // Integer knobs are table-driven: one row per flag, destinations
+    // keep their struct defaults, and deprecated legacy spellings
+    // (--mh:sleep-us predates steal_params) warn once per process.
     auto& steal = config.sched.steal;
-    steal.seed =
-        static_cast<std::uint64_t>(args.int_or("mh:steal-seed", 0x5eed));
-    steal.rounds = static_cast<unsigned>(
-        args.int_or("mh:steal-rounds", steal.rounds));
-    steal.batch = static_cast<unsigned>(
-        args.int_or("mh:steal-batch", steal.batch));
-    steal.spin_iters = static_cast<unsigned>(
-        args.int_or("mh:steal-spin", steal.spin_iters));
-    // --mh:sleep-us is the pre-steal_params spelling, kept as an alias.
-    steal.sleep_us = static_cast<unsigned>(args.int_or("mh:steal-sleep-us",
-        args.int_or("mh:sleep-us", steal.sleep_us)));
+    auto& cache = config.sched.descriptor_cache;
+    util::option_table table;
+    table.add("mh:threads", config.sched.num_workers)
+        .add("mh:stack-size", config.sched.stack_size)
+        .add("mh:steal-seed", steal.seed)
+        .add("mh:steal-rounds", steal.rounds)
+        .add("mh:steal-batch", steal.batch)
+        .add("mh:steal-spin", steal.spin_iters)
+        .add("mh:steal-sleep-us", steal.sleep_us, "mh:sleep-us")
+        .add("mh:descriptor-cache", cache.worker_capacity)
+        .add("mh:descriptor-refill", cache.refill_batch)
+        .add("mh:descriptor-global", cache.global_capacity);
+    table.apply(args);
+    if (config.sched.num_workers == 0)
+        config.sched.num_workers = 1;
+
     if (auto park = args.value("mh:steal-park"))
     {
         using park_policy = scheduler_config::steal_params::park_policy;
@@ -78,14 +80,6 @@ runtime_config runtime_config::from_cli(util::cli_args const& args)
             throw std::runtime_error("minihpx: --mh:spawn-path=" +
                 std::string(*sp) + " — expected 'pooled' or 'legacy'");
     }
-
-    auto& cache = config.sched.descriptor_cache;
-    cache.worker_capacity = static_cast<unsigned>(
-        args.int_or("mh:descriptor-cache", cache.worker_capacity));
-    cache.refill_batch = static_cast<unsigned>(
-        args.int_or("mh:descriptor-refill", cache.refill_batch));
-    cache.global_capacity = static_cast<unsigned>(
-        args.int_or("mh:descriptor-global", cache.global_capacity));
 
     // Surface bad values here, at the CLI boundary, rather than from
     // deep inside scheduler construction.

@@ -14,6 +14,7 @@
 #include <tuple>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 namespace minihpx::sim {
 
@@ -173,6 +174,56 @@ struct sim_engine
     {
         return async(
             launch::async, std::forward<F>(f), std::forward<Ts>(ts)...);
+    }
+
+    // ---- dependency-graph surface (engine concept v2) ------------------
+    // sim_future already has shared-handle semantics (copies alias one
+    // state; the DES supports multiple waiters per state), so the
+    // shared type is the future type itself. Gates and continuations
+    // are simulated tasks that wait on their inputs — their spawn and
+    // suspension costs are charged by the cost model, deterministically.
+
+    template <typename T>
+    using shared_future = sim_future<T>;
+
+    template <typename T>
+    static sim_future<T> share(sim_future<T>&& f)
+    {
+        return std::move(f);
+    }
+
+    template <typename T>
+    static sim_future<void> when_all(std::vector<sim_future<T>> deps)
+    {
+        if (deps.empty())
+        {
+            auto state = std::make_shared<detail::sim_state<void>>();
+            state->ready = true;
+            return sim_future<void>(std::move(state));
+        }
+        return async(launch::async, [deps = std::move(deps)]() mutable {
+            for (auto& d : deps)
+                d.wait();
+        });
+    }
+
+    // Continuation: spawns `fn` as a new simulated task; it suspends
+    // until `gate` is ready, then runs. Deterministic: spawn order is
+    // program order, wakeup order is the DES event order.
+    template <typename F>
+    static auto then(sim_future<void> gate, F&& fn)
+    {
+        return async(launch::async,
+            [gate = std::move(gate), fn = std::forward<F>(fn)]() mutable {
+                gate.wait();
+                return fn();
+            });
+    }
+
+    template <typename T>
+    static T sync_wait(sim_future<T> f)
+    {
+        return f.get();
     }
 
     static void annotate_work(work_annotation const& w) noexcept

@@ -1,0 +1,44 @@
+// Task Bench self-observation counters, in the paper's intrinsic-
+// counter idiom: the workload family reports on itself through the same
+// registry every other subsystem uses, so telemetry sampling, derived
+// /arithmetics composition, trace correlation and cross-locality
+// federation all work on the new family with zero extra wiring.
+//
+//   /taskbench{locality#H/total}/points/executed    (mono)
+//   /taskbench{locality#H/total}/deps/edges         (mono)
+//   /taskbench{locality#H/total}/graphs/completed   (mono)
+#pragma once
+
+#include <minihpx/perf/registry.hpp>
+
+#include <atomic>
+#include <cstdint>
+
+namespace minihpx::taskbench {
+
+struct stats
+{
+    std::atomic<std::uint64_t> points_executed{0};
+    std::atomic<std::uint64_t> deps_edges{0};
+    std::atomic<std::uint64_t> graphs_completed{0};
+
+    void reset() noexcept
+    {
+        points_executed = 0;
+        deps_edges = 0;
+        graphs_completed = 0;
+    }
+};
+
+// Process-global tallies (all engines feed the same block: the counters
+// describe the workload, not the backend executing it).
+stats& global_stats() noexcept;
+
+// Register the /taskbench counter types with `registry`. Idempotent;
+// sources read global_stats(), so registration is process-lifetime
+// (nothing to tear down). The executor calls this lazily on first use
+// against the default registry.
+void register_counters(
+    perf::counter_registry& registry = perf::counter_registry::instance());
+
+}    // namespace minihpx::taskbench

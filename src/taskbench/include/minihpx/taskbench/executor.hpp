@@ -1,0 +1,175 @@
+// Dependency-graph executor, templated over the Engine concept (v2).
+//
+// Execution is the futures + when_all port style from "Quantifying
+// Overheads in Charm++ and HPX using Task Bench" (PAPERS.md): every
+// point is one task; its inputs are expressed as an E::when_all gate
+// over the producers' shared futures, and the body is attached with
+// E::then — a dataflow continuation the engine spawns when the gate
+// fires. Fan-out needs no copies of data: producers write their payload
+// into a (steps x width x payload_words) grid slot that is theirs
+// alone, and consumers read it strictly after the gate, so the only
+// synchronization is the future graph itself.
+//
+// The payload checksum is a pure function of (seed, t, x, dependency
+// payloads) — the spin kernel feeds a volatile sink, not the checksum —
+// so minihpx, the std baseline, and the compute-skipping simulator must
+// all produce the same value (pinned by tests/test_taskbench.cpp).
+#pragma once
+
+#include <minihpx/engine/engine.hpp>
+#include <minihpx/taskbench/counters.hpp>
+#include <minihpx/taskbench/graph.hpp>
+#include <minihpx/taskbench/kernel.hpp>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace minihpx::taskbench {
+
+struct run_result
+{
+    std::uint64_t points = 0;    // tasks executed (width x steps)
+    std::uint64_t edges = 0;     // dependency edges waited on
+    std::uint64_t checksum = 0;    // fold of the last timestep's payload
+};
+
+namespace detail {
+
+    // One point's task body: recomputes its dependency list (bounded,
+    // allocation-free), folds the producers' payloads, burns the
+    // calibrated granularity, writes its own payload slot.
+    template <typename E>
+    void execute_point(
+        graph_spec const& spec, unsigned t, unsigned x, std::uint64_t* grid)
+    {
+        E::trace_label(graph_trace_label(spec.type));
+        E::annotate_work({.cpu_ns = spec.task_ns,
+            .instructions = spec.task_ns > 1 ? spec.task_ns / 2 : 1});
+
+        std::uint64_t acc = point_hash(spec.seed, t, x);
+        dep_list const deps = dependencies(spec, t, x);
+        if (t > 0)
+        {
+            std::uint64_t const* prev_row = grid +
+                static_cast<std::uint64_t>(t - 1) * spec.width *
+                    spec.payload_words;
+            for (unsigned i = 0; i != deps.count; ++i)
+                acc ^= prev_row[static_cast<std::uint64_t>(deps.idx[i]) *
+                    spec.payload_words];
+        }
+
+        if (!E::skip_compute())
+            spin_for_ns(spec.task_ns);
+
+        std::uint64_t* slot = grid +
+            (static_cast<std::uint64_t>(t) * spec.width + x) *
+                spec.payload_words;
+        for (unsigned w = 0; w != spec.payload_words; ++w)
+            slot[w] = acc + w;
+
+        global_stats().points_executed.fetch_add(
+            1, std::memory_order_relaxed);
+    }
+
+    inline void ensure_counters_registered()
+    {
+        static std::once_flag once;
+        std::call_once(once, [] { register_counters(); });
+    }
+
+}    // namespace detail
+
+// Build and run one dependency graph on engine E. Timing is the
+// caller's job (real engines: a steady_clock around this call; the
+// simulator: sim_report.exec_time_s of the enclosing run). Must be
+// called from wherever E::async is legal (inside the simulator for
+// sim_engine; a live runtime for minihpx_engine).
+template <typename E>
+run_result run_graph(graph_spec const& spec)
+{
+    static_assert(minihpx::engine::is_engine_v<E>,
+        "run_graph requires a conforming engine (see engine_traits)");
+
+    if (auto err = spec.validate())
+        throw std::invalid_argument(*err);
+    detail::ensure_counters_registered();
+
+    std::vector<std::uint64_t> grid(
+        spec.total_points() * spec.payload_words);
+    std::uint64_t* const data = grid.data();
+
+    using shared = minihpx::engine::eshared_future<E, void>;
+    std::vector<shared> prev, cur;
+    prev.reserve(spec.width);
+    cur.reserve(spec.width);
+    std::vector<shared> gates;
+    // Every point joins the final gate: graphs with reader-less points
+    // (trivial everywhere; random-nearest wherever no draw lands on a
+    // producer) would otherwise have tasks still running — and touching
+    // the grid — after the last timestep completes.
+    std::vector<shared> all;
+    all.reserve(spec.total_points());
+    std::uint64_t edges = 0;
+
+    for (unsigned t = 0; t != spec.steps; ++t)
+    {
+        cur.clear();
+        for (unsigned x = 0; x != spec.width; ++x)
+        {
+            auto body = [spec, t, x, data] {
+                detail::execute_point<E>(spec, t, x, data);
+            };
+            dep_list const deps = dependencies(spec, t, x);
+            minihpx::engine::efuture<E, void> fut;
+            if (deps.count == 0)
+            {
+                fut = E::async(std::move(body));
+            }
+            else
+            {
+                gates.clear();
+                gates.reserve(deps.count);
+                for (unsigned i = 0; i != deps.count; ++i)
+                    gates.push_back(prev[deps.idx[i]]);
+                edges += deps.count;
+                fut = E::then(E::when_all(gates), std::move(body));
+            }
+            cur.push_back(E::share(std::move(fut)));
+            all.push_back(cur.back());
+        }
+        prev.swap(cur);
+    }
+
+    E::sync_wait(E::when_all(all));
+
+    run_result result;
+    result.points = spec.total_points();
+    result.edges = edges;
+    std::uint64_t const* last_row = data +
+        static_cast<std::uint64_t>(spec.steps - 1) * spec.width *
+            spec.payload_words;
+    for (std::uint64_t i = 0;
+        i != static_cast<std::uint64_t>(spec.width) * spec.payload_words;
+        ++i)
+    {
+        // Avalanche each word before folding: adjacent payload words
+        // differ only in low bits, and a plain XOR would cancel the
+        // high bits pairwise.
+        std::uint64_t v = last_row[i] + 0x9e3779b97f4a7c15ull * (i + 1);
+        v ^= v >> 33;
+        v *= 0xff51afd7ed558ccdull;
+        v ^= v >> 33;
+        result.checksum ^= v;
+    }
+
+    auto& st = global_stats();
+    st.deps_edges.fetch_add(edges, std::memory_order_relaxed);
+    st.graphs_completed.fetch_add(1, std::memory_order_relaxed);
+    return result;
+}
+
+}    // namespace minihpx::taskbench

@@ -1,0 +1,97 @@
+// Task Bench parameterized dependency graphs.
+//
+// Following "Task Bench: A Parameterized Benchmark for Evaluating
+// Parallel Runtime Performance" (see PAPERS.md), a workload is a grid
+// of width x steps points; point (t, x) depends on a small set of
+// points at timestep t-1 chosen by the graph type. The five types span
+// the dependency patterns the Inncabs fork/join trees never touch:
+//
+//   trivial        no dependencies (embarrassingly parallel; pure
+//                  spawn-throughput measurement)
+//   stencil-1d     {x-1, x, x+1} clamped at the edges (nearest-neighbor
+//                  exchange)
+//   fft            {x, x ^ (1 << ((t-1) mod log2(width)))} — the FFT
+//                  butterfly; distance doubles every timestep
+//   binary-tree    {2x, 2x+1} where in range, else {x} — a repeated
+//                  fan-in contraction toward index 0
+//   random-nearest fan_in draws from the [x-window, x+window]
+//                  neighborhood, chosen by a counter-based hash of
+//                  (seed, t, x) — deterministic, no RNG state
+//
+// Dependencies are a pure function of (spec, t, x): executors recompute
+// them wherever needed (graph build, task bodies, tests) with no
+// allocation and byte-identical results across engines and runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minihpx::taskbench {
+
+enum class graph_type : std::uint8_t
+{
+    trivial,
+    stencil_1d,
+    fft,
+    binary_tree,
+    random_nearest,
+};
+
+// "trivial", "stencil-1d", "fft", "binary-tree", "random-nearest"
+char const* graph_name(graph_type type) noexcept;
+
+// Static-storage trace label ("taskbench/stencil-1d") for E::trace_label
+// — the recorder stores the pointer, not a copy.
+char const* graph_trace_label(graph_type type) noexcept;
+
+std::optional<graph_type> parse_graph_type(std::string_view text) noexcept;
+
+// All five types, in declaration order (sweep drivers iterate this).
+std::vector<graph_type> const& all_graph_types();
+
+struct graph_spec
+{
+    graph_type type = graph_type::stencil_1d;
+    unsigned width = 16;      // points per timestep
+    unsigned steps = 10;      // timesteps
+    std::uint64_t task_ns = 1000;    // calibrated spin per point
+    unsigned payload_words = 2;      // 8-byte words each point outputs
+    unsigned fan_in = 3;             // random-nearest: deps per point
+    unsigned window = 4;             // random-nearest: neighborhood radius
+    std::uint64_t seed = 42;
+
+    std::uint64_t total_points() const noexcept
+    {
+        return static_cast<std::uint64_t>(width) * steps;
+    }
+
+    // nullopt if well-formed, else a human-readable reason.
+    std::optional<std::string> validate() const;
+};
+
+// Dependency list of one point: indices into timestep t-1. Bounded and
+// stack-resident so task bodies can recompute their inputs without
+// touching the heap.
+struct dep_list
+{
+    static constexpr unsigned max_deps = 8;
+    unsigned count = 0;
+    unsigned idx[max_deps] = {};
+};
+
+// Deps of point (t, x); empty for t == 0 and for the trivial graph.
+// Duplicate draws (random-nearest) are deduplicated.
+dep_list dependencies(graph_spec const& spec, unsigned t, unsigned x) noexcept;
+
+// Sum of dependencies(t, x).count over the whole grid.
+std::uint64_t total_edges(graph_spec const& spec);
+
+// Counter-based hash used for random-nearest draws and payload
+// checksums (SplitMix64 over a mixed key). Exposed for tests.
+std::uint64_t point_hash(
+    std::uint64_t seed, std::uint64_t t, std::uint64_t x) noexcept;
+
+}    // namespace minihpx::taskbench

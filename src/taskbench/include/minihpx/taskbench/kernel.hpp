@@ -1,0 +1,30 @@
+// Calibrated spin kernel: the tunable "task granularity" knob.
+//
+// Task Bench's kernel burns a requested amount of CPU per point. A
+// clock read per iteration would dominate at sub-microsecond
+// granularity, so the kernel is iteration-calibrated instead: a one-time
+// measurement converts ns -> xorshift iterations, and each task runs a
+// fixed iteration count (exactly the Task Bench approach). The chaotic
+// accumulator is forced into a volatile sink so the loop cannot be
+// optimized away — and deliberately does NOT feed the payload
+// checksum, which must be identical across engines including the
+// compute-skipping simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace minihpx::taskbench {
+
+// Iterations of the xorshift spin loop per microsecond, measured once
+// per process (first call, ~1 ms) and cached.
+std::uint64_t spin_iters_per_us() noexcept;
+
+// Burn ~ns of CPU with the calibrated loop. Returns the iterations
+// actually run (0 when ns == 0).
+std::uint64_t spin_for_ns(std::uint64_t ns) noexcept;
+
+// The raw loop (exposed for calibration and tests): runs `iters`
+// xorshift64 rounds starting from `x` and returns the final state.
+std::uint64_t spin_chunk(std::uint64_t x, std::uint64_t iters) noexcept;
+
+}    // namespace minihpx::taskbench

@@ -1,0 +1,7 @@
+// Umbrella header for the Task Bench workload family.
+#pragma once
+
+#include <minihpx/taskbench/counters.hpp>
+#include <minihpx/taskbench/executor.hpp>
+#include <minihpx/taskbench/graph.hpp>
+#include <minihpx/taskbench/kernel.hpp>

@@ -1,0 +1,66 @@
+#include <minihpx/taskbench/counters.hpp>
+
+#include <minihpx/perf/basic_counters.hpp>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace minihpx::taskbench {
+
+stats& global_stats() noexcept
+{
+    static stats block;
+    return block;
+}
+
+namespace {
+
+    void register_monotonic(perf::counter_registry& registry,
+        std::string key, std::string help, perf::value_source source)
+    {
+        if (registry.contains(key))
+            return;
+        auto const kind = perf::counter_kind::monotonically_increasing;
+        perf::counter_registry::type_info t;
+        t.type_key = key;
+        t.kind = kind;
+        t.helptext = std::move(help);
+        t.create = [source = std::move(source), kind](
+                       perf::counter_path const& path) -> perf::counter_ptr {
+            perf::counter_info info;
+            info.full_name = path.full_name();
+            info.kind = kind;
+            return std::make_shared<perf::delta_counter>(
+                std::move(info), source);
+        };
+        registry.register_type(std::move(t));
+    }
+
+}    // namespace
+
+void register_counters(perf::counter_registry& registry)
+{
+    register_monotonic(registry, "/taskbench/points/executed",
+        "task-bench graph points whose task body has run",
+        [] {
+            return static_cast<double>(
+                global_stats().points_executed.load(
+                    std::memory_order_relaxed));
+        });
+    register_monotonic(registry, "/taskbench/deps/edges",
+        "dependency edges waited on by completed task-bench graphs",
+        [] {
+            return static_cast<double>(
+                global_stats().deps_edges.load(std::memory_order_relaxed));
+        });
+    register_monotonic(registry, "/taskbench/graphs/completed",
+        "task-bench dependency graphs executed to completion",
+        [] {
+            return static_cast<double>(
+                global_stats().graphs_completed.load(
+                    std::memory_order_relaxed));
+        });
+}
+
+}    // namespace minihpx::taskbench

@@ -1,0 +1,210 @@
+#include <minihpx/taskbench/graph.hpp>
+
+#include <minihpx/util/assert.hpp>
+
+#include <algorithm>
+
+namespace minihpx::taskbench {
+
+namespace {
+
+    // floor(log2(v)) for v >= 1.
+    unsigned log2_floor(unsigned v) noexcept
+    {
+        unsigned bits = 0;
+        while (v >>= 1u)
+            ++bits;
+        return bits;
+    }
+
+    std::uint64_t splitmix64(std::uint64_t z) noexcept
+    {
+        z += 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    void push_unique(dep_list& deps, unsigned value) noexcept
+    {
+        for (unsigned i = 0; i != deps.count; ++i)
+            if (deps.idx[i] == value)
+                return;
+        MINIHPX_ASSERT(deps.count < dep_list::max_deps);
+        deps.idx[deps.count++] = value;
+    }
+
+}    // namespace
+
+char const* graph_name(graph_type type) noexcept
+{
+    switch (type)
+    {
+    case graph_type::trivial:
+        return "trivial";
+    case graph_type::stencil_1d:
+        return "stencil-1d";
+    case graph_type::fft:
+        return "fft";
+    case graph_type::binary_tree:
+        return "binary-tree";
+    case graph_type::random_nearest:
+        return "random-nearest";
+    }
+    return "unknown";
+}
+
+char const* graph_trace_label(graph_type type) noexcept
+{
+    switch (type)
+    {
+    case graph_type::trivial:
+        return "taskbench/trivial";
+    case graph_type::stencil_1d:
+        return "taskbench/stencil-1d";
+    case graph_type::fft:
+        return "taskbench/fft";
+    case graph_type::binary_tree:
+        return "taskbench/binary-tree";
+    case graph_type::random_nearest:
+        return "taskbench/random-nearest";
+    }
+    return "taskbench/unknown";
+}
+
+std::optional<graph_type> parse_graph_type(std::string_view text) noexcept
+{
+    if (text == "trivial")
+        return graph_type::trivial;
+    if (text == "stencil-1d" || text == "stencil1d" || text == "stencil")
+        return graph_type::stencil_1d;
+    if (text == "fft")
+        return graph_type::fft;
+    if (text == "binary-tree" || text == "tree")
+        return graph_type::binary_tree;
+    if (text == "random-nearest" || text == "random")
+        return graph_type::random_nearest;
+    return std::nullopt;
+}
+
+std::vector<graph_type> const& all_graph_types()
+{
+    static std::vector<graph_type> const types = {
+        graph_type::trivial,
+        graph_type::stencil_1d,
+        graph_type::fft,
+        graph_type::binary_tree,
+        graph_type::random_nearest,
+    };
+    return types;
+}
+
+std::optional<std::string> graph_spec::validate() const
+{
+    if (width == 0)
+        return "taskbench: width must be >= 1";
+    if (steps == 0)
+        return "taskbench: steps must be >= 1";
+    if (payload_words == 0)
+        return "taskbench: payload-words must be >= 1";
+    if (payload_words > 4096)
+        return "taskbench: payload-words must be <= 4096 (32 KiB per "
+               "point keeps the grid cacheable)";
+    if (fan_in == 0)
+        return "taskbench: fan-in must be >= 1";
+    if (fan_in > dep_list::max_deps)
+        return "taskbench: fan-in must be <= " +
+            std::to_string(dep_list::max_deps);
+    if (window == 0)
+        return "taskbench: window must be >= 1";
+    if (total_points() > 50'000'000ull)
+        return "taskbench: width x steps exceeds the 50M-point budget";
+    return std::nullopt;
+}
+
+std::uint64_t point_hash(
+    std::uint64_t seed, std::uint64_t t, std::uint64_t x) noexcept
+{
+    return splitmix64(seed ^ (t * 0x9e3779b97f4a7c15ull) ^
+        (x * 0xc2b2ae3d27d4eb4full));
+}
+
+dep_list dependencies(graph_spec const& spec, unsigned t, unsigned x) noexcept
+{
+    dep_list deps;
+    if (t == 0 || spec.type == graph_type::trivial)
+        return deps;
+
+    unsigned const width = spec.width;
+    switch (spec.type)
+    {
+    case graph_type::trivial:
+        break;
+
+    case graph_type::stencil_1d:
+        if (x > 0)
+            push_unique(deps, x - 1);
+        push_unique(deps, x);
+        if (x + 1 < width)
+            push_unique(deps, x + 1);
+        break;
+
+    case graph_type::fft:
+    {
+        push_unique(deps, x);
+        unsigned const levels = std::max(1u, log2_floor(width));
+        unsigned const partner = x ^ (1u << ((t - 1) % levels));
+        if (partner < width)
+            push_unique(deps, partner);
+        break;
+    }
+
+    case graph_type::binary_tree:
+    {
+        // Fan-in contraction toward index 0: interior points gather
+        // their two children; points past the last parent slot carry
+        // themselves forward so every (t, x) exists every step.
+        unsigned long long const left =
+            2ull * static_cast<unsigned long long>(x);
+        if (left < width)
+        {
+            push_unique(deps, static_cast<unsigned>(left));
+            if (left + 1 < width)
+                push_unique(deps, static_cast<unsigned>(left + 1));
+        }
+        else
+        {
+            push_unique(deps, x);
+        }
+        break;
+    }
+
+    case graph_type::random_nearest:
+    {
+        unsigned const span = 2 * spec.window + 1;
+        for (unsigned i = 0; i != spec.fan_in; ++i)
+        {
+            std::uint64_t const h =
+                point_hash(spec.seed + i, t, x);
+            long long const offset = static_cast<long long>(h % span) -
+                static_cast<long long>(spec.window);
+            long long dep = static_cast<long long>(x) + offset;
+            dep = std::clamp<long long>(dep, 0, width - 1);
+            push_unique(deps, static_cast<unsigned>(dep));
+        }
+        break;
+    }
+    }
+    return deps;
+}
+
+std::uint64_t total_edges(graph_spec const& spec)
+{
+    std::uint64_t edges = 0;
+    for (unsigned t = 0; t != spec.steps; ++t)
+        for (unsigned x = 0; x != spec.width; ++x)
+            edges += dependencies(spec, t, x).count;
+    return edges;
+}
+
+}    // namespace minihpx::taskbench

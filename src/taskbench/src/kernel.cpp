@@ -1,0 +1,61 @@
+#include <minihpx/taskbench/kernel.hpp>
+
+#include <chrono>
+
+namespace minihpx::taskbench {
+
+std::uint64_t spin_chunk(std::uint64_t x, std::uint64_t iters) noexcept
+{
+    if (x == 0)
+        x = 0x2545f4914f6cdd1dull;
+    for (std::uint64_t i = 0; i != iters; ++i)
+    {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    return x;
+}
+
+namespace {
+
+    std::uint64_t measure_iters_per_us() noexcept
+    {
+        using clock = std::chrono::steady_clock;
+        // Warm up, then time a block large enough to swamp clock
+        // resolution (~1 ms at a few iterations/ns).
+        volatile std::uint64_t sink = spin_chunk(1, 10'000);
+        constexpr std::uint64_t block = 2'000'000;
+        auto const t0 = clock::now();
+        sink = spin_chunk(sink, block);
+        auto const t1 = clock::now();
+        (void) sink;
+        auto const ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t1 - t0)
+                            .count();
+        if (ns <= 0)
+            return 1000;    // pathological clock; assume 1 iter/ns
+        std::uint64_t const per_us =
+            block * 1000ull / static_cast<std::uint64_t>(ns);
+        return per_us == 0 ? 1 : per_us;
+    }
+
+}    // namespace
+
+std::uint64_t spin_iters_per_us() noexcept
+{
+    static std::uint64_t const cached = measure_iters_per_us();
+    return cached;
+}
+
+std::uint64_t spin_for_ns(std::uint64_t ns) noexcept
+{
+    if (ns == 0)
+        return 0;
+    std::uint64_t const iters = ns * spin_iters_per_us() / 1000ull;
+    volatile std::uint64_t sink = spin_chunk(ns, iters ? iters : 1);
+    (void) sink;
+    return iters ? iters : 1;
+}
+
+}    // namespace minihpx::taskbench

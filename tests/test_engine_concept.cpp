@@ -1,0 +1,165 @@
+// Engine concept (v2) conformance: every backend — minihpx runtime,
+// thread-per-task std baseline, virtual-time simulator — satisfies the
+// same static interface and the same runtime contract for the
+// dependency-graph surface (share / when_all / then / sync_wait) that
+// Task Bench graphs are written against.
+//
+// The compile-time half is engine_traits static_asserts: a backend that
+// drifts from the concept fails here with the name of the missing
+// member, not at template-instantiation depth inside a workload. The
+// runtime half drives the identical templated body through all three
+// engines, each under its own harness (live runtime / bare threads /
+// simulator).
+#include <inncabs/engine.hpp>
+#include <minihpx/engine/engine.hpp>
+#include <minihpx/sim/simulator.hpp>
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace engine = minihpx::engine;
+
+// ---- compile-time conformance ---------------------------------------------
+
+static_assert(engine::concept_version == 2);
+
+template <typename E>
+constexpr void assert_conforms()
+{
+    using traits = engine::engine_traits<E>;
+    static_assert(traits::has_future);
+    static_assert(traits::has_shared_future);
+    static_assert(traits::has_mutex);
+    static_assert(traits::has_launch);
+    static_assert(traits::has_async);
+    static_assert(traits::has_policy_async);
+    static_assert(traits::has_share);
+    static_assert(traits::has_when_all);
+    static_assert(traits::has_then);
+    static_assert(traits::has_sync_wait);
+    static_assert(traits::has_annotate_work);
+    static_assert(traits::has_trace_label);
+    static_assert(traits::has_skip_compute);
+    static_assert(traits::has_name);
+    static_assert(engine::is_engine_v<E>);
+}
+
+template void assert_conforms<engine::minihpx_engine>();
+template void assert_conforms<engine::std_engine>();
+template void assert_conforms<engine::sim_engine>();
+
+// A v1-style engine (fork/join only) must be rejected by name.
+struct fork_join_only
+{
+    template <typename T>
+    using future = minihpx::future<T>;
+    using mutex = minihpx::mutex;
+    template <typename F>
+    static auto async(F&& f)
+    {
+        return minihpx::async(std::forward<F>(f));
+    }
+};
+static_assert(!engine::is_engine_v<fork_join_only>);
+static_assert(!engine::engine_traits<fork_join_only>::has_when_all);
+static_assert(!engine::engine_traits<fork_join_only>::has_then);
+
+// ---- runtime contract -----------------------------------------------------
+
+namespace {
+
+// The portable body: value transport, fan-in gating with visible
+// producer writes, empty-gate readiness, then() result propagation,
+// and the annotation hooks. Runs unchanged on all three engines.
+template <typename E>
+void check_engine_contract()
+{
+    // async returns a value, with and without a launch policy.
+    EXPECT_EQ(E::sync_wait(E::async([] { return 17; })), 17);
+    EXPECT_EQ(
+        E::sync_wait(E::async(E::launch::async, [] { return 21; })), 21);
+
+    // share + when_all: the gate fires only after every producer's
+    // write is visible to the consumer.
+    auto data = std::make_shared<std::array<int, 4>>();
+    std::vector<typename E::template shared_future<void>> producers;
+    for (int i = 0; i != 4; ++i)
+        producers.push_back(E::share(E::async([data, i] {
+            E::trace_label("producer");
+            E::annotate_work({.cpu_ns = 1000});
+            (*data)[static_cast<std::size_t>(i)] = i + 1;
+        })));
+    auto sum = E::then(E::when_all(producers), [data] {
+        return std::accumulate(data->begin(), data->end(), 0);
+    });
+    EXPECT_EQ(E::sync_wait(std::move(sum)), 1 + 2 + 3 + 4);
+
+    // An empty dependency list is an already-satisfied gate.
+    std::vector<typename E::template shared_future<int>> none;
+    bool fired = false;
+    auto tail =
+        E::then(E::when_all(none), [&fired] { fired = true; return 7; });
+    EXPECT_EQ(E::sync_wait(std::move(tail)), 7);
+    EXPECT_TRUE(fired);
+
+    // then() chains: a continuation's future can gate the next stage.
+    auto first = E::share(E::async([] {}));
+    std::vector<typename E::template shared_future<void>> one{first};
+    auto second = E::share(E::then(E::when_all(one), [] {}));
+    std::vector<typename E::template shared_future<void>> two{second};
+    EXPECT_EQ(E::sync_wait(E::then(E::when_all(two), [] { return 3; })), 3);
+}
+
+}    // namespace
+
+TEST(EngineConcept, MinihpxEngineContract)
+{
+    minihpx::runtime_config config;
+    config.sched.num_workers = 2;
+    minihpx::runtime rt(config);
+    check_engine_contract<engine::minihpx_engine>();
+}
+
+TEST(EngineConcept, StdEngineContract)
+{
+    check_engine_contract<engine::std_engine>();
+}
+
+TEST(EngineConcept, SimEngineContract)
+{
+    minihpx::sim::sim_config config;
+    config.cores = 2;
+    minihpx::sim::simulator sim(config);
+    auto const report = sim.run([] {
+        check_engine_contract<engine::sim_engine>();
+    });
+    EXPECT_FALSE(report.failed) << report.failure_reason;
+}
+
+TEST(EngineConcept, Names)
+{
+    EXPECT_STREQ(engine::minihpx_engine::name(), "minihpx");
+    EXPECT_FALSE(engine::minihpx_engine::skip_compute());
+    // The other two engines report themselves too; exact strings are
+    // their own contract, pinned where those engines are tested.
+    EXPECT_NE(engine::std_engine::name(), nullptr);
+    EXPECT_NE(engine::sim_engine::name(), nullptr);
+}
+
+TEST(EngineConcept, InncabsShimReexportsTheSameTypes)
+{
+    // The Inncabs header is now a pure re-export of the shared concept:
+    // zero per-benchmark migration, byte-identical types.
+    static_assert(
+        std::is_same_v<inncabs::minihpx_engine, engine::minihpx_engine>);
+    static_assert(std::is_same_v<inncabs::std_engine, engine::std_engine>);
+    static_assert(std::is_same_v<inncabs::sim_engine, engine::sim_engine>);
+    static_assert(std::is_same_v<inncabs::efuture<inncabs::std_engine, int>,
+        engine::efuture<engine::std_engine, int>>);
+    SUCCEED();
+}

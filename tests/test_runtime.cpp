@@ -572,11 +572,21 @@ TEST(RuntimeConfig, FromCliParsesStealParams)
 
 TEST(RuntimeConfig, FromCliLegacySleepAlias)
 {
-    // --mh:sleep-us is the pre-steal_params spelling; still accepted.
+    // --mh:sleep-us is the pre-steal_params spelling; deprecated but
+    // still honored (with a once-per-process stderr warning).
     char const* argv[] = {"prog", "--mh:sleep-us=75"};
     util::cli_args args(2, argv);
     auto config = runtime_config::from_cli(args);
     EXPECT_EQ(config.sched.steal.sleep_us, 75u);
+}
+
+TEST(RuntimeConfig, FromCliCanonicalSpellingBeatsLegacyAlias)
+{
+    char const* argv[] = {
+        "prog", "--mh:sleep-us=75", "--mh:steal-sleep-us=33"};
+    util::cli_args args(3, argv);
+    auto config = runtime_config::from_cli(args);
+    EXPECT_EQ(config.sched.steal.sleep_us, 33u);
 }
 
 TEST(RuntimeConfig, FromCliParsesQueuePolicy)
