@@ -1,0 +1,244 @@
+// Cost of the causal profiler itself (ISSUE: the analysis must be
+// cheap enough to run after every traced experiment).
+//
+// Deterministic sim traces of three labeled workloads (Inncabs sort,
+// Task Bench stencil, Inncabs fib) are profiled and swept repeatedly;
+// the medians of profile() and the full causal_whatif() grid are
+// reported per workload next to the trace size, plus the /causal
+// self-counters — the subsystem's own cost measured with the paper's
+// intrinsic-counter idiom.
+//
+//   $ ./causal_overhead [--samples=S] [--workers=P]
+//                       [--json=BENCH_causal.json] [--trace-dir=DIR]
+//
+// --trace-dir additionally writes each recorded trace as
+// DIR/causal_<workload>.mhtrace — CI feeds those to the
+// `minihpx-trace causal` CLI smoke.
+#include <inncabs/fib.hpp>
+#include <inncabs/sort.hpp>
+#include <minihpx/causal/causal.hpp>
+#include <minihpx/perf/perf.hpp>
+#include <minihpx/sim/engine.hpp>
+#include <minihpx/sim/simulator.hpp>
+#include <minihpx/taskbench/taskbench.hpp>
+#include <minihpx/trace/trace.hpp>
+#include <minihpx/util/cli.hpp>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace minihpx;
+namespace tb = minihpx::taskbench;
+
+namespace {
+
+double median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    return v.empty() ? 0.0 : v[v.size() / 2];
+}
+
+template <typename F>
+double time_ms(F&& fn)
+{
+    auto const t0 = std::chrono::steady_clock::now();
+    fn();
+    auto const dt = std::chrono::steady_clock::now() - t0;
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::microseconds>(dt)
+                   .count()) /
+        1000.0;
+}
+
+trace::trace_data record_sim(
+    std::function<void()> const& body, unsigned cores)
+{
+    sim::sim_config config;
+    config.cores = cores;
+    sim::simulator sim(config);
+
+    trace::trace_options options;
+    options.enabled = true;
+    options.destination = "";
+    trace::sim_session session(sim, options);
+    auto memory =
+        std::make_shared<trace::memory_sink>(trace::clock_kind::virtual_);
+    session.add_sink(memory);
+    auto const report = sim.run(body);
+    if (report.failed)
+    {
+        std::fprintf(
+            stderr, "sim run failed: %s\n", report.failure_reason.c_str());
+        std::exit(1);
+    }
+    session.finish();
+    return memory->take();
+}
+
+void write_trace(trace::trace_data const& data, std::string const& path)
+{
+    trace::mhtrace_file_sink sink(path, data.clock);
+    if (!sink.ok())
+    {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    for (trace::event e : data.events)
+    {
+        // Loaded/memory traces hold string-table ids; the live sink
+        // expects pointers it can re-intern.
+        if (static_cast<trace::event_kind>(e.kind) ==
+                trace::event_kind::label &&
+            e.aux < data.strings.size())
+            e.aux = static_cast<std::uint64_t>(
+                reinterpret_cast<std::uintptr_t>(
+                    data.strings[e.aux].c_str()));
+        sink.consume(e);
+    }
+    sink.close();
+}
+
+struct row
+{
+    char const* name;
+    std::uint64_t events;
+    std::uint64_t labels;    // labels with curves
+    double profile_ms;
+    double whatif_ms;
+    std::string rank1;
+    double rank1_speedup50;
+};
+
+}    // namespace
+
+int main(int argc, char** argv)
+{
+    util::cli_args const args(argc, argv);
+    unsigned const samples =
+        static_cast<unsigned>(args.int_or("samples", 5));
+    unsigned const workers =
+        static_cast<unsigned>(args.int_or("workers", 2));
+    std::string const trace_dir = args.value_or("trace-dir", "");
+
+    std::printf("== causal analysis overhead (%u samples, P=%u) ==\n\n",
+        samples, workers);
+
+    struct workload
+    {
+        char const* name;
+        std::function<void()> body;
+    };
+    std::vector<workload> const workloads = {
+        {"sort",
+            [] {
+                (void) inncabs::sort_bench<engine::sim_engine>::run(
+                    {.n = 1 << 16, .serial_cutoff = 2048});
+            }},
+        {"stencil",
+            [] {
+                tb::graph_spec spec;
+                spec.type = tb::graph_type::stencil_1d;
+                spec.width = 64;
+                spec.steps = 32;
+                spec.task_ns = 50'000;
+                (void) tb::run_graph<engine::sim_engine>(spec);
+            }},
+        {"fib", [] {
+             (void) inncabs::fib_bench<engine::sim_engine>::run(
+                 {.n = 18, .body_ns = 25'000});
+         }},
+    };
+
+    std::vector<row> rows;
+    for (auto const& w : workloads)
+    {
+        trace::trace_data const data = record_sim(w.body, workers);
+        if (!trace_dir.empty())
+            write_trace(
+                data, trace_dir + "/causal_" + w.name + ".mhtrace");
+
+        causal::whatif_report report;
+        std::vector<double> profile_ms, whatif_ms;
+        for (unsigned s = 0; s < samples; ++s)
+        {
+            profile_ms.push_back(
+                time_ms([&] { (void) causal::profile(data); }));
+            whatif_ms.push_back(time_ms(
+                [&] { report = causal::causal_whatif(data); }));
+        }
+
+        row r;
+        r.name = w.name;
+        r.events = data.events.size();
+        r.labels = report.curves.size();
+        r.profile_ms = median(profile_ms);
+        r.whatif_ms = median(whatif_ms);
+        r.rank1 =
+            report.curves.empty() ? "-" : report.curves.front().label;
+        r.rank1_speedup50 = 0.0;
+        if (!report.curves.empty())
+            for (auto const& p : report.curves.front().points)
+                if (p.optimized_pct == 50.0)
+                    r.rank1_speedup50 = p.projected_speedup;
+        rows.push_back(r);
+
+        std::printf("%s: %llu events, %llu labeled curves\n", w.name,
+            static_cast<unsigned long long>(r.events),
+            static_cast<unsigned long long>(r.labels));
+        std::printf("  %-24s %10.3f ms\n", "profile pass (median)",
+            r.profile_ms);
+        std::printf("  %-24s %10.3f ms\n", "whatif grid (median)",
+            r.whatif_ms);
+        std::printf("  CAUSAL rank=1 label=%s speedup@50%%=%.3f\n\n",
+            r.rank1.c_str(), r.rank1_speedup50);
+    }
+
+    auto const& stats = causal::global_stats();
+    std::printf("/causal/profile/passes   %llu\n",
+        static_cast<unsigned long long>(stats.profile_passes.load()));
+    std::printf("/causal/profile/time/ns  %llu\n",
+        static_cast<unsigned long long>(stats.profile_time_ns.load()));
+    std::printf("/causal/whatif/sweeps    %llu\n",
+        static_cast<unsigned long long>(stats.whatif_sweeps.load()));
+
+    if (auto path = args.value("json"))
+    {
+        std::FILE* f = std::fopen(path->c_str(), "w");
+        if (!f)
+        {
+            std::fprintf(stderr, "cannot open %s\n", path->c_str());
+            return 1;
+        }
+        std::fprintf(f,
+            "{\n  \"benchmark\": \"causal_overhead\",\n"
+            "  \"workers\": %u,\n  \"results\": [\n",
+            workers);
+        for (std::size_t i = 0; i < rows.size(); ++i)
+            std::fprintf(f,
+                "    {\"workload\": \"%s\", \"events\": %llu, "
+                "\"labels\": %llu, \"profile_ms\": %.3f, "
+                "\"whatif_ms\": %.3f, \"rank1\": \"%s\", "
+                "\"rank1_speedup50\": %.4f}%s\n",
+                rows[i].name,
+                static_cast<unsigned long long>(rows[i].events),
+                static_cast<unsigned long long>(rows[i].labels),
+                rows[i].profile_ms, rows[i].whatif_ms,
+                rows[i].rank1.c_str(), rows[i].rank1_speedup50,
+                i + 1 < rows.size() ? "," : "");
+        std::fprintf(f,
+            "  ],\n  \"counters\": {\"profile_passes\": %llu, "
+            "\"profile_time_ns\": %llu, \"whatif_sweeps\": %llu}\n}\n",
+            static_cast<unsigned long long>(stats.profile_passes.load()),
+            static_cast<unsigned long long>(stats.profile_time_ns.load()),
+            static_cast<unsigned long long>(stats.whatif_sweeps.load()));
+        std::fclose(f);
+        std::printf("wrote %s\n", path->c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,15 @@
+// Umbrella header for minihpx::causal — the trace-driven causal
+// profiler: per-label work/span attribution (profile.hpp), what-if
+// speedup curves under Brent's bound (whatif.hpp), rendering
+// (report.hpp) and /causal self-counters (counters.hpp).
+//
+// The verification story lives on the simulator side: scale a label's
+// cost with sim_config::cost_scales, re-run, and the measured speedup
+// must match predicted_speedup() on the baseline trace — see
+// tests/test_causal.cpp and docs/CAUSAL.md.
+#pragma once
+
+#include <minihpx/causal/counters.hpp>
+#include <minihpx/causal/profile.hpp>
+#include <minihpx/causal/report.hpp>
+#include <minihpx/causal/whatif.hpp>

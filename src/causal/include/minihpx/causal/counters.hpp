@@ -1,0 +1,42 @@
+// Causal-profiler self-observation counters, in the paper's intrinsic-
+// counter idiom: the analysis tool reports its own cost through the
+// same registry the runtime uses, so "how expensive is profiling?"
+// is answered with the instrument under study.
+//
+//   /causal{locality#H/total}/profile/passes     (mono)
+//   /causal{locality#H/total}/profile/time/ns    (mono)
+//   /causal{locality#H/total}/whatif/sweeps      (mono)
+#pragma once
+
+#include <minihpx/perf/registry.hpp>
+
+#include <atomic>
+#include <cstdint>
+
+namespace minihpx::causal {
+
+struct stats
+{
+    std::atomic<std::uint64_t> profile_passes{0};
+    std::atomic<std::uint64_t> profile_time_ns{0};
+    std::atomic<std::uint64_t> whatif_sweeps{0};
+
+    void reset() noexcept
+    {
+        profile_passes = 0;
+        profile_time_ns = 0;
+        whatif_sweeps = 0;
+    }
+};
+
+// Process-global tallies (profile() and causal_whatif() feed them).
+stats& global_stats() noexcept;
+
+// Register the /causal counter types with `registry`. Idempotent;
+// sources read global_stats(), so registration is process-lifetime.
+// profile() / causal_whatif() call this lazily on first use against
+// the default registry.
+void register_counters(
+    perf::counter_registry& registry = perf::counter_registry::instance());
+
+}    // namespace minihpx::causal

@@ -1,0 +1,63 @@
+// Per-label profile of a trace: where the work and the critical path
+// actually live, keyed by this_task::annotate labels.
+//
+// The TASKPROF observation (PAPERS.md) is that flat profiles mislead on
+// task-parallel programs: a region with most of the *work* may have
+// ample parallelism while a small region serializes the run. This pass
+// attributes three quantities to every label in one time-ordered sweep
+// (the same longest-path machinery trace::analyze uses):
+//
+//   exclusive   execution time charged while the label was current on
+//               the running task (a task's latest annotate() wins)
+//   inclusive   exclusive time of the label itself plus all execution
+//               of tasks spawned *under* it: a child inherits the
+//               spawning task's current label into its context, so
+//               "sort-merge" inclusive covers the whole merge subtree
+//   critical    exclusive time restricted to tasks on the critical
+//               path — the span residency that decides whether
+//               optimizing the label can shorten the run at all
+//
+// Execution with no label in scope lands in the "<unlabeled>" bucket
+// (annotate("") resets to it), so the rows always sum to the work.
+#pragma once
+
+#include <minihpx/trace/format.hpp>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace minihpx::causal {
+
+inline constexpr char const* unlabeled_name = "<unlabeled>";
+
+struct label_row
+{
+    std::string label;                  // unlabeled_name for bucket 0
+    std::uint64_t tasks = 0;            // tasks ever charged under it
+    std::uint64_t exclusive_ns = 0;
+    std::uint64_t inclusive_ns = 0;
+    std::uint64_t critical_ns = 0;
+    double work_share = 0.0;            // exclusive / total work
+    double critical_share = 0.0;        // critical / critical-path exec
+};
+
+struct profile_result
+{
+    std::uint64_t tasks = 0;
+    unsigned workers = 0;
+    std::uint64_t work_ns = 0;
+    std::uint64_t span_ns = 0;
+    double parallelism = 0.0;           // work / span
+    // Total execution of critical-path tasks — the denominator of
+    // critical_share. Can exceed span_ns: a task on the chain charges
+    // all its execution here, including slices off the chain.
+    std::uint64_t critical_exec_ns = 0;
+    // Sorted by exclusive_ns descending; includes the unlabeled row,
+    // so the exclusive column sums to work_ns.
+    std::vector<label_row> labels;
+};
+
+profile_result profile(trace::trace_data const& data);
+
+}    // namespace minihpx::causal

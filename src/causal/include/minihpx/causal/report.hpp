@@ -1,0 +1,32 @@
+// Rendering for causal profiles: human table and machine JSON.
+//
+// The table ends with grep-stable ranking lines,
+//
+//   CAUSAL rank=1 label=sort-merge speedup@50%=1.31 critical-share=0.64
+//
+// one per ranked label — CI smoke steps and scripts key on the
+// "CAUSAL rank=" prefix the way METG sweeps key on "METG engine=".
+#pragma once
+
+#include <minihpx/causal/profile.hpp>
+#include <minihpx/causal/whatif.hpp>
+
+#include <cstddef>
+#include <ostream>
+
+namespace minihpx::causal {
+
+struct report_options
+{
+    std::size_t top = 5;            // ranked labels to print / emit
+    bool show_curves = false;       // full per-label grid in the table
+};
+
+void render_table(std::ostream& out, profile_result const& prof,
+    whatif_report const& whatif, report_options const& opts = {});
+
+// One self-contained JSON object: {"profile": {...}, "whatif": {...}}.
+void render_json(std::ostream& out, profile_result const& prof,
+    whatif_report const& whatif, report_options const& opts = {});
+
+}    // namespace minihpx::causal

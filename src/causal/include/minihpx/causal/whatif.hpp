@@ -1,0 +1,73 @@
+// Causal what-if engine: per-label speedup curves with Brent's bound.
+//
+// For each label L and each grid point p (percent of L's cost
+// optimized away), rerun the longest-path sweep with every execution
+// slice charged under L scaled by (1 - p/100), then project
+//
+//   makespan'(L, p) = max(span', work'/P)       (Brent's bound)
+//   speedup(L, p)   = max(span, work/P) / makespan'(L, p)
+//
+// This is the COZ/TASKPROF question — "how much faster would the run
+// get if I made *this* region faster?" — answered from the recorded
+// task graph instead of by perturbing a live run. Labels match
+// *exactly* (unlike trace::project_whatif's substring matching): the
+// simulator's cost-scaling hook (sim_config::cost_scales) uses the
+// same exact-match rule, which is what lets tests re-run a workload
+// with a region genuinely shrunk and check the prediction.
+#pragma once
+
+#include <minihpx/causal/profile.hpp>
+#include <minihpx/trace/format.hpp>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minihpx::causal {
+
+struct curve_point
+{
+    double optimized_pct = 0.0;    // % of the label's cost removed
+    std::uint64_t projected_makespan_ns = 0;
+    double projected_speedup = 1.0;    // baseline / projected
+};
+
+struct causal_curve
+{
+    std::string label;
+    std::uint64_t matched_tasks = 0;      // tasks charged under it
+    std::uint64_t matched_exec_ns = 0;    // exclusive time scaled
+    std::vector<curve_point> points;      // ascending optimized_pct
+};
+
+struct whatif_report
+{
+    unsigned workers = 0;                    // the P in the bound
+    std::uint64_t work_ns = 0;
+    std::uint64_t span_ns = 0;
+    std::uint64_t baseline_makespan_ns = 0;    // max(span, work/P)
+    // One curve per label with nonzero exclusive time (unlabeled is
+    // not optimizable and gets no curve), ranked by projected speedup
+    // at the largest grid point, descending — curves[0] is the
+    // "optimize this first" answer.
+    std::vector<causal_curve> curves;
+};
+
+// Default grid: 5% to 95% in steps of 15 (5, 20, 35, 50, 65, 80, 95).
+std::vector<double> const& default_speedup_grid();
+
+// `grid_pct` entries outside (0, 100) are clamped into [0, 99.9].
+// `workers` = 0 uses the count observed in the trace.
+whatif_report causal_whatif(trace::trace_data const& data,
+    std::vector<double> const& grid_pct = default_speedup_grid(),
+    unsigned workers = 0);
+
+// Single-point convenience for verification loops: the projected
+// speedup of optimizing `optimized_pct` percent of the execution
+// charged under `label` (exact match). Returns 1.0 when the label
+// never appears.
+double predicted_speedup(trace::trace_data const& data,
+    std::string_view label, double optimized_pct, unsigned workers = 0);
+
+}    // namespace minihpx::causal

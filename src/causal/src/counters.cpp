@@ -1,0 +1,67 @@
+#include <minihpx/causal/counters.hpp>
+
+#include <minihpx/perf/basic_counters.hpp>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace minihpx::causal {
+
+stats& global_stats() noexcept
+{
+    static stats block;
+    return block;
+}
+
+namespace {
+
+    void register_monotonic(perf::counter_registry& registry,
+        std::string key, std::string help, perf::value_source source)
+    {
+        if (registry.contains(key))
+            return;
+        auto const kind = perf::counter_kind::monotonically_increasing;
+        perf::counter_registry::type_info t;
+        t.type_key = key;
+        t.kind = kind;
+        t.helptext = std::move(help);
+        t.create = [source = std::move(source), kind](
+                       perf::counter_path const& path) -> perf::counter_ptr {
+            perf::counter_info info;
+            info.full_name = path.full_name();
+            info.kind = kind;
+            return std::make_shared<perf::delta_counter>(
+                std::move(info), source);
+        };
+        registry.register_type(std::move(t));
+    }
+
+}    // namespace
+
+void register_counters(perf::counter_registry& registry)
+{
+    register_monotonic(registry, "/causal/profile/passes",
+        "per-label causal profile passes over loaded traces",
+        [] {
+            return static_cast<double>(
+                global_stats().profile_passes.load(
+                    std::memory_order_relaxed));
+        });
+    register_monotonic(registry, "/causal/profile/time/ns",
+        "wall time spent in causal profile passes",
+        [] {
+            return static_cast<double>(
+                global_stats().profile_time_ns.load(
+                    std::memory_order_relaxed));
+        });
+    register_monotonic(registry, "/causal/whatif/sweeps",
+        "rescaled longest-path sweeps run for causal what-if grids",
+        [] {
+            return static_cast<double>(
+                global_stats().whatif_sweeps.load(
+                    std::memory_order_relaxed));
+        });
+}
+
+}    // namespace minihpx::causal

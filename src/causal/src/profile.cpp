@@ -1,0 +1,192 @@
+#include <minihpx/causal/counters.hpp>
+#include <minihpx/causal/profile.hpp>
+
+#include <minihpx/trace/detail/sweep.hpp>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace minihpx::causal {
+
+namespace {
+
+    // Labels are attributed by *text*, not string-table id: the table
+    // interns by pointer, so two literals with equal spelling (ODR
+    // duplicates across TUs) can land on distinct ids. `canonical`
+    // maps every id to the first id carrying its text, and folds ""
+    // (annotate_scope restoring to unlabeled) into the reserved id 0.
+    std::vector<std::uint64_t> canonical_ids(
+        trace::trace_data const& data)
+    {
+        std::vector<std::uint64_t> canon(data.strings.size(), 0);
+        std::unordered_map<std::string_view, std::uint64_t> first;
+        for (std::uint64_t id = 1; id < data.strings.size(); ++id)
+        {
+            if (data.strings[id].empty())
+                continue;
+            canon[id] =
+                first.try_emplace(data.strings[id], id).first->second;
+        }
+        return canon;
+    }
+
+    struct per_task
+    {
+        // Labels inherited from the spawn chain: the spawning task's
+        // context plus its current label at spawn time. Small and
+        // deduplicated — nesting depth in practice is a handful.
+        std::vector<std::uint64_t> context;
+        // (label, exclusive ns) charged to this task, insertion order.
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> charged;
+    };
+
+    struct totals
+    {
+        std::uint64_t tasks = 0;
+        std::uint64_t exclusive_ns = 0;
+        std::uint64_t inclusive_ns = 0;
+        std::uint64_t critical_ns = 0;
+    };
+
+    struct attribution_observer
+    {
+        std::vector<std::uint64_t> const& canon;
+        std::unordered_map<std::uint64_t, per_task>& tasks;
+        std::unordered_map<std::uint64_t, totals>& labels;
+
+        std::uint64_t bucket(std::uint64_t label_id) const
+        {
+            return label_id < canon.size() ? canon[label_id] : 0;
+        }
+
+        void on_charge(std::uint64_t task, std::uint64_t label_id,
+            std::uint64_t delta_ns, double /*scaled*/)
+        {
+            std::uint64_t const label = bucket(label_id);
+            per_task& t = tasks[task];
+
+            auto charged = std::find_if(t.charged.begin(),
+                t.charged.end(),
+                [&](auto const& c) { return c.first == label; });
+            if (charged == t.charged.end())
+            {
+                ++labels[label].tasks;
+                t.charged.emplace_back(label, delta_ns);
+            }
+            else
+                charged->second += delta_ns;
+            labels[label].exclusive_ns += delta_ns;
+
+            // Inclusive: the current label plus every distinct spawn-
+            // context label (skipping the current one so nothing is
+            // double-counted when a child re-annotates its inherited
+            // label).
+            labels[label].inclusive_ns += delta_ns;
+            for (std::uint64_t ctx : t.context)
+                if (ctx != label)
+                    labels[ctx].inclusive_ns += delta_ns;
+        }
+
+        void on_spawn(std::uint64_t child, std::uint64_t parent,
+            std::uint64_t parent_label)
+        {
+            if (parent == 0)
+                return;
+            // Copy before inserting the child: operator[] may rehash.
+            std::vector<std::uint64_t> ctx = tasks[parent].context;
+            per_task& c = tasks[child];
+            c.context = std::move(ctx);
+            std::uint64_t const label = bucket(parent_label);
+            if (label != 0 &&
+                std::find(c.context.begin(), c.context.end(), label) ==
+                    c.context.end())
+                c.context.push_back(label);
+        }
+    };
+
+}    // namespace
+
+profile_result profile(trace::trace_data const& data)
+{
+    register_counters();
+    auto const t0 = std::chrono::steady_clock::now();
+
+    std::vector<std::uint64_t> const canon = canonical_ids(data);
+    std::unordered_map<std::uint64_t, per_task> tasks;
+    std::unordered_map<std::uint64_t, totals> labels;
+    attribution_observer obs{canon, tasks, labels};
+    trace::detail::sweep_result r = trace::detail::sweep(
+        data, [](trace::trace_data const&, std::uint64_t) { return 1.0; },
+        obs);
+
+    profile_result out;
+    out.tasks = r.tasks.size();
+    out.workers = trace::detail::observed_workers(r);
+    out.work_ns = r.work_ns;
+    out.span_ns = static_cast<std::uint64_t>(r.span);
+    out.parallelism = out.span_ns ?
+        static_cast<double>(out.work_ns) /
+            static_cast<double>(out.span_ns) :
+        0.0;
+
+    // Critical residency: exclusive time of the distinct tasks on the
+    // critical path, per label. A task can appear as several chain
+    // visits (before a spawn, after the join) — count it once.
+    std::unordered_set<std::uint64_t> on_path;
+    for (std::int64_t cursor = r.span_node; cursor >= 0;
+        cursor = r.nodes[static_cast<std::size_t>(cursor)].pred)
+        on_path.insert(r.nodes[static_cast<std::size_t>(cursor)].task);
+    for (std::uint64_t task : on_path)
+    {
+        auto const it = tasks.find(task);
+        if (it == tasks.end())
+            continue;
+        for (auto const& [label, ns] : it->second.charged)
+        {
+            labels[label].critical_ns += ns;
+            out.critical_exec_ns += ns;
+        }
+    }
+
+    out.labels.reserve(labels.size());
+    for (auto const& [id, t] : labels)
+    {
+        label_row row;
+        row.label = id == 0 ? unlabeled_name : data.strings[id];
+        row.tasks = t.tasks;
+        row.exclusive_ns = t.exclusive_ns;
+        row.inclusive_ns = t.inclusive_ns;
+        row.critical_ns = t.critical_ns;
+        row.work_share = out.work_ns ?
+            static_cast<double>(t.exclusive_ns) /
+                static_cast<double>(out.work_ns) :
+            0.0;
+        row.critical_share = out.critical_exec_ns ?
+            static_cast<double>(t.critical_ns) /
+                static_cast<double>(out.critical_exec_ns) :
+            0.0;
+        out.labels.push_back(std::move(row));
+    }
+    std::sort(out.labels.begin(), out.labels.end(),
+        [](label_row const& a, label_row const& b) {
+            if (a.exclusive_ns != b.exclusive_ns)
+                return a.exclusive_ns > b.exclusive_ns;
+            return a.label < b.label;    // deterministic tie order
+        });
+
+    auto const dt = std::chrono::steady_clock::now() - t0;
+    global_stats().profile_passes.fetch_add(1, std::memory_order_relaxed);
+    global_stats().profile_time_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
+                .count()),
+        std::memory_order_relaxed);
+    return out;
+}
+
+}    // namespace minihpx::causal

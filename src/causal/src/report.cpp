@@ -1,0 +1,168 @@
+#include <minihpx/causal/report.hpp>
+
+#include <minihpx/telemetry/sink.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace minihpx::causal {
+
+namespace {
+
+    std::string fmt(char const* format, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), format, v);
+        return buf;
+    }
+
+    std::string ms(std::uint64_t ns)
+    {
+        return fmt("%.3f", static_cast<double>(ns) / 1e6) + " ms";
+    }
+
+    // The grid point the ranking lines quote: 50% if present in the
+    // curves' grid, else the point closest to it.
+    double headline_pct(whatif_report const& whatif)
+    {
+        double best = 50.0;
+        double dist = 1e9;
+        if (!whatif.curves.empty())
+        {
+            for (curve_point const& p : whatif.curves.front().points)
+            {
+                double const d = std::abs(p.optimized_pct - 50.0);
+                if (d < dist)
+                {
+                    dist = d;
+                    best = p.optimized_pct;
+                }
+            }
+        }
+        return best;
+    }
+
+    double speedup_at(causal_curve const& curve, double pct)
+    {
+        for (curve_point const& p : curve.points)
+            if (p.optimized_pct == pct)
+                return p.projected_speedup;
+        return 1.0;
+    }
+
+    double critical_share_of(
+        profile_result const& prof, std::string const& label)
+    {
+        for (label_row const& row : prof.labels)
+            if (row.label == label)
+                return row.critical_share;
+        return 0.0;
+    }
+
+}    // namespace
+
+void render_table(std::ostream& out, profile_result const& prof,
+    whatif_report const& whatif, report_options const& opts)
+{
+    out << "causal profile: tasks=" << prof.tasks
+        << " workers=" << prof.workers << " work=" << ms(prof.work_ns)
+        << " span=" << ms(prof.span_ns)
+        << " parallelism=" << fmt("%.2f", prof.parallelism) << "\n";
+    out << "baseline makespan (Brent, P=" << whatif.workers
+        << "): " << ms(whatif.baseline_makespan_ns) << "\n\n";
+
+    out << "  label                          tasks   exclusive     "
+           "inclusive    critical  work%  crit%\n";
+    for (label_row const& row : prof.labels)
+    {
+        char line[192];
+        std::snprintf(line, sizeof(line),
+            "  %-30s %6llu  %10.3f ms %10.3f ms %8.3f ms  %5.1f   %5.1f",
+            row.label.c_str(),
+            static_cast<unsigned long long>(row.tasks),
+            static_cast<double>(row.exclusive_ns) / 1e6,
+            static_cast<double>(row.inclusive_ns) / 1e6,
+            static_cast<double>(row.critical_ns) / 1e6,
+            row.work_share * 100.0, row.critical_share * 100.0);
+        out << line << "\n";
+    }
+
+    double const pct = headline_pct(whatif);
+    out << "\nwhat-if ranking (optimize " << fmt("%.0f", pct)
+        << "% of a label's cost away):\n";
+    std::size_t rank = 0;
+    for (causal_curve const& curve : whatif.curves)
+    {
+        if (rank == opts.top)
+            break;
+        ++rank;
+        out << "CAUSAL rank=" << rank << " label=" << curve.label
+            << " speedup@" << fmt("%.0f", pct)
+            << "%=" << fmt("%.3f", speedup_at(curve, pct))
+            << " critical-share="
+            << fmt("%.3f", critical_share_of(prof, curve.label)) << "\n";
+        if (opts.show_curves)
+        {
+            for (curve_point const& p : curve.points)
+                out << "    " << fmt("%5.1f", p.optimized_pct)
+                    << "% -> " << ms(p.projected_makespan_ns) << " ("
+                    << fmt("%.3f", p.projected_speedup) << "x)\n";
+        }
+    }
+    if (whatif.curves.empty())
+        out << "  (no labeled execution: nothing to optimize — "
+               "annotate regions with this_task::annotate)\n";
+}
+
+void render_json(std::ostream& out, profile_result const& prof,
+    whatif_report const& whatif, report_options const& opts)
+{
+    using telemetry::json_escape;
+    out << "{\"profile\":{\"tasks\":" << prof.tasks
+        << ",\"workers\":" << prof.workers
+        << ",\"work_ns\":" << prof.work_ns
+        << ",\"span_ns\":" << prof.span_ns
+        << ",\"parallelism\":" << fmt("%.6f", prof.parallelism)
+        << ",\"critical_exec_ns\":" << prof.critical_exec_ns
+        << ",\"labels\":[";
+    for (std::size_t i = 0; i < prof.labels.size(); ++i)
+    {
+        label_row const& row = prof.labels[i];
+        out << (i ? "," : "") << "{\"label\":\""
+            << json_escape(row.label) << "\",\"tasks\":" << row.tasks
+            << ",\"exclusive_ns\":" << row.exclusive_ns
+            << ",\"inclusive_ns\":" << row.inclusive_ns
+            << ",\"critical_ns\":" << row.critical_ns
+            << ",\"work_share\":" << fmt("%.6f", row.work_share)
+            << ",\"critical_share\":" << fmt("%.6f", row.critical_share)
+            << "}";
+    }
+    out << "]},\"whatif\":{\"workers\":" << whatif.workers
+        << ",\"baseline_makespan_ns\":" << whatif.baseline_makespan_ns
+        << ",\"curves\":[";
+    std::size_t const n = std::min(opts.top, whatif.curves.size());
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        causal_curve const& curve = whatif.curves[i];
+        out << (i ? "," : "") << "{\"rank\":" << i + 1 << ",\"label\":\""
+            << json_escape(curve.label)
+            << "\",\"matched_tasks\":" << curve.matched_tasks
+            << ",\"matched_exec_ns\":" << curve.matched_exec_ns
+            << ",\"points\":[";
+        for (std::size_t j = 0; j < curve.points.size(); ++j)
+        {
+            curve_point const& p = curve.points[j];
+            out << (j ? "," : "") << "{\"optimized_pct\":"
+                << fmt("%.1f", p.optimized_pct)
+                << ",\"projected_makespan_ns\":"
+                << p.projected_makespan_ns << ",\"projected_speedup\":"
+                << fmt("%.6f", p.projected_speedup) << "}";
+        }
+        out << "]}";
+    }
+    out << "]}}\n";
+}
+
+}    // namespace minihpx::causal

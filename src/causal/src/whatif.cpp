@@ -1,0 +1,150 @@
+#include <minihpx/causal/counters.hpp>
+#include <minihpx/causal/whatif.hpp>
+
+#include <minihpx/trace/detail/sweep.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <string_view>
+
+namespace minihpx::causal {
+
+namespace {
+
+    double clamp_pct(double pct)
+    {
+        // 100% would make a label free and the projection degenerate;
+        // cap just below so Brent's bound stays finite and nonzero.
+        return std::clamp(pct, 0.0, 99.9);
+    }
+
+    std::uint64_t brent(double span, double work, unsigned workers)
+    {
+        return static_cast<std::uint64_t>(
+            std::max(span, work / static_cast<double>(workers)));
+    }
+
+    // Sweep with slices charged under `label` scaled by `factor`.
+    // Matching is by string *text* (the table interns by pointer, so
+    // equal spellings can hold several ids) and exact — the same rule
+    // sim_config::cost_scales applies, which is what makes simulator
+    // verification of these projections an apples-to-apples check.
+    trace::detail::sweep_result scaled_sweep(
+        trace::trace_data const& data, std::string_view label,
+        double factor)
+    {
+        global_stats().whatif_sweeps.fetch_add(
+            1, std::memory_order_relaxed);
+        return trace::detail::sweep(data,
+            [&](trace::trace_data const& d, std::uint64_t id) {
+                return id != 0 && id < d.strings.size() &&
+                        d.strings[id] == label ?
+                    factor :
+                    1.0;
+            });
+    }
+
+    std::vector<double> clean_grid(std::vector<double> const& grid_pct)
+    {
+        std::vector<double> grid;
+        grid.reserve(grid_pct.size());
+        for (double pct : grid_pct)
+            grid.push_back(clamp_pct(pct));
+        std::sort(grid.begin(), grid.end());
+        grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+        return grid;
+    }
+
+}    // namespace
+
+std::vector<double> const& default_speedup_grid()
+{
+    static std::vector<double> const grid = {
+        5.0, 20.0, 35.0, 50.0, 65.0, 80.0, 95.0};
+    return grid;
+}
+
+whatif_report causal_whatif(trace::trace_data const& data,
+    std::vector<double> const& grid_pct, unsigned workers)
+{
+    register_counters();
+
+    // One profile pass supplies the candidate labels plus their
+    // matched-task / matched-time totals; each (label, pct) grid cell
+    // is then its own rescaled sweep.
+    profile_result const prof = profile(data);
+
+    whatif_report out;
+    out.workers = workers ? workers : prof.workers;
+    out.work_ns = prof.work_ns;
+    out.span_ns = prof.span_ns;
+    out.baseline_makespan_ns = brent(static_cast<double>(prof.span_ns),
+        static_cast<double>(prof.work_ns), out.workers);
+
+    std::vector<double> const grid = clean_grid(grid_pct);
+
+    for (label_row const& row : prof.labels)
+    {
+        if (row.label == unlabeled_name || row.exclusive_ns == 0)
+            continue;    // nothing a user could optimize
+        causal_curve curve;
+        curve.label = row.label;
+        curve.matched_tasks = row.tasks;
+        curve.matched_exec_ns = row.exclusive_ns;
+        for (double pct : grid)
+        {
+            trace::detail::sweep_result what =
+                scaled_sweep(data, row.label, 1.0 - pct / 100.0);
+            curve_point point;
+            point.optimized_pct = pct;
+            point.projected_makespan_ns =
+                brent(what.span, what.work_scaled, out.workers);
+            point.projected_speedup = point.projected_makespan_ns ?
+                static_cast<double>(out.baseline_makespan_ns) /
+                    static_cast<double>(point.projected_makespan_ns) :
+                1.0;
+            curve.points.push_back(point);
+        }
+        out.curves.push_back(std::move(curve));
+    }
+
+    // Rank by speedup at the deepest optimization, descending; ties
+    // (e.g. two off-critical labels both pinned at the work bound)
+    // break by matched time, then name, to stay deterministic.
+    std::sort(out.curves.begin(), out.curves.end(),
+        [](causal_curve const& a, causal_curve const& b) {
+            double const sa =
+                a.points.empty() ? 1.0 : a.points.back().projected_speedup;
+            double const sb =
+                b.points.empty() ? 1.0 : b.points.back().projected_speedup;
+            if (sa != sb)
+                return sa > sb;
+            if (a.matched_exec_ns != b.matched_exec_ns)
+                return a.matched_exec_ns > b.matched_exec_ns;
+            return a.label < b.label;
+        });
+    return out;
+}
+
+double predicted_speedup(trace::trace_data const& data,
+    std::string_view label, double optimized_pct, unsigned workers)
+{
+    register_counters();
+
+    trace::detail::sweep_result base = trace::detail::sweep(data,
+        [](trace::trace_data const&, std::uint64_t) { return 1.0; });
+    unsigned const p =
+        workers ? workers : trace::detail::observed_workers(base);
+
+    trace::detail::sweep_result what =
+        scaled_sweep(data, label, 1.0 - clamp_pct(optimized_pct) / 100.0);
+    std::uint64_t const baseline =
+        brent(base.span, static_cast<double>(base.work_ns), p);
+    std::uint64_t const projected = brent(what.span, what.work_scaled, p);
+    return projected ?
+        static_cast<double>(baseline) / static_cast<double>(projected) :
+        1.0;
+}
+
+}    // namespace minihpx::causal

@@ -269,6 +269,10 @@ public:
     // `label` must point to storage outliving the trace session —
     // string literals in practice; sinks intern it at drain time.
     static void annotate_current(char const* label) noexcept;
+    // Label most recently attached to the calling task via
+    // annotate_current (nullptr when unlabeled or off-worker). Stored
+    // on the task descriptor, so it follows the task across steals.
+    static char const* current_label() noexcept;
 
     // Current task of the calling OS thread (nullptr off-worker).
     static threads::thread_data* current_task() noexcept;

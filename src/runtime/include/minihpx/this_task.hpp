@@ -36,6 +36,46 @@ inline void annotate(char const* label) noexcept
     scheduler::annotate_current(label);
 }
 
+// Label most recently attached to the calling task (nullptr when
+// unlabeled or off-task). Follows the task across steals.
+inline char const* current_label() noexcept
+{
+    return scheduler::current_label();
+}
+
+// RAII form of annotate(): labels the calling task on construction and
+// restores the previous label (or unlabeled) on destruction, so nested
+// regions attribute correctly:
+//
+//   this_task::annotate_scope phase("solve");
+//   { this_task::annotate_scope inner("solve-ghost-exchange"); ... }
+//   // back under "solve" here — including when the restore runs on a
+//   // different worker after a steal (the label lives on the task
+//   // descriptor, not the worker).
+//
+// Must be destroyed on the task that created it (normal scoping).
+class annotate_scope
+{
+public:
+    explicit annotate_scope(char const* label) noexcept
+      : previous_(scheduler::current_label())
+    {
+        annotate(label);
+    }
+
+    ~annotate_scope()
+    {
+        // "" resets to unlabeled: annotate(nullptr) would be a no-op.
+        annotate(previous_ ? previous_ : "");
+    }
+
+    annotate_scope(annotate_scope const&) = delete;
+    annotate_scope& operator=(annotate_scope const&) = delete;
+
+private:
+    char const* previous_;
+};
+
 // Reschedule the current task at the back of its queue.
 inline void yield()
 {

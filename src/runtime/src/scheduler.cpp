@@ -455,6 +455,9 @@ void scheduler::annotate_current(char const* label) noexcept
     detail::worker* const w = tls_worker;
     if (!w || !w->current_ || !label)
         return;
+    // Remember the label on the descriptor even when no tracer is
+    // attached: annotate_scope needs the previous label to restore it.
+    w->current_->set_trace_label(*label ? label : nullptr);
     if (trace::recorder* tr = w->sched_.tracer())
         tr->emit(w->id(),
             trace_ev(clock_ns(), trace::event_kind::label,
@@ -462,6 +465,12 @@ void scheduler::annotate_current(char const* label) noexcept
                 static_cast<std::uint64_t>(
                     reinterpret_cast<std::uintptr_t>(label)),
                 w->id()));
+}
+
+char const* scheduler::current_label() noexcept
+{
+    detail::worker* const w = tls_worker;
+    return w && w->current_ ? w->current_->trace_label() : nullptr;
 }
 
 threads::thread_id scheduler::spawn(task_function fn,

@@ -64,6 +64,23 @@ struct sim_config
     // source of truth for paper figures. Virtual results are therefore
     // identical across policies (pinned by test_sim / test_telemetry).
     threads::queue_policy queue = threads::queue_policy::chase_lev;
+
+    // Causal-verification hook: virtually "optimize region L by
+    // (1-factor)". Every compute segment of a task whose current trace
+    // label (sim_engine::trace_label) compares equal to `label` has its
+    // modeled cost multiplied by `factor`; later entries win when
+    // several match. The scale resolves at the segment's closing
+    // interaction — the same granularity at which the offline analyzer
+    // attributes a slice to its label — so causal::predicted_speedup
+    // and a re-run with the scale installed measure the same quantity
+    // (tests/test_causal.cpp pins the agreement). Modeled PMU totals
+    // stay unscaled: the hook shrinks time, not the program.
+    struct label_cost_scale
+    {
+        std::string label;
+        double factor = 1.0;
+    };
+    std::vector<label_cost_scale> cost_scales;
 };
 
 // What a run produces; the units are virtual seconds.
@@ -171,6 +188,10 @@ namespace detail {
 
         // compute accumulated since the last interaction boundary
         work_annotation pending{};
+
+        // sim_config::cost_scales factor of the task's current label
+        // (annotate_label keeps it in sync; 1 = unscaled)
+        double cost_scale = 1.0;
 
         // placement + contention snapshot (set at dispatch)
         unsigned core = 0;

@@ -309,8 +309,9 @@ std::uint64_t simulator::segment_cost_ns(sim_task const& task) const
     work_annotation const& w = task.pending;
     double const mem_bytes = static_cast<double>(
         w.data_rd_bytes + w.rfo_bytes + w.code_rd_bytes);
-    double cost = static_cast<double>(w.cpu_ns) +
-        mem_bytes * task.mem_bw_factor;
+    double cost = (static_cast<double>(w.cpu_ns) +
+                      mem_bytes * task.mem_bw_factor) *
+        task.cost_scale;
     if (task.load_factor > 1.0)
     {
         // Oversubscribed kernel run queue: the DES already serializes
@@ -800,6 +801,15 @@ void simulator::annotate_label(char const* label) noexcept
     sim_task* task = running_;
     if (!task || !label)
         return;
+    // Re-resolve the causal cost scale on every label change, whether
+    // or not a tracer is installed: the scaled re-run of a verification
+    // pair does not need to record anything.
+    task->cost_scale = 1.0;
+    for (auto const& s : config_.cost_scales)
+    {
+        if (s.label == label)
+            task->cost_scale = s.factor;
+    }
     temit(tracer_, now_ns_, trace::event_kind::label, task->id,
         static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(label)),
         task->core);

@@ -46,7 +46,9 @@ namespace detail {
     void execute_point(
         graph_spec const& spec, unsigned t, unsigned x, std::uint64_t* grid)
     {
-        E::trace_label(graph_trace_label(spec.type));
+        E::trace_label(t + 1 == spec.steps ?
+                final_step_trace_label(spec.type) :
+                graph_trace_label(spec.type));
         E::annotate_work({.cpu_ns = spec.task_ns,
             .instructions = spec.task_ns > 1 ? spec.task_ns / 2 : 1});
 

@@ -47,6 +47,12 @@ char const* graph_name(graph_type type) noexcept;
 // — the recorder stores the pointer, not a copy.
 char const* graph_trace_label(graph_type type) noexcept;
 
+// Static-storage label for the final timestep of a graph
+// ("taskbench/fft@final"): the tail of the graph gets its own label so
+// causal profiles can rank the finishing wave separately from the
+// steady-state body.
+char const* final_step_trace_label(graph_type type) noexcept;
+
 std::optional<graph_type> parse_graph_type(std::string_view text) noexcept;
 
 // All five types, in declaration order (sweep drivers iterate this).

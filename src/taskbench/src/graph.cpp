@@ -72,6 +72,24 @@ char const* graph_trace_label(graph_type type) noexcept
     return "taskbench/unknown";
 }
 
+char const* final_step_trace_label(graph_type type) noexcept
+{
+    switch (type)
+    {
+    case graph_type::trivial:
+        return "taskbench/trivial@final";
+    case graph_type::stencil_1d:
+        return "taskbench/stencil-1d@final";
+    case graph_type::fft:
+        return "taskbench/fft@final";
+    case graph_type::binary_tree:
+        return "taskbench/binary-tree@final";
+    case graph_type::random_nearest:
+        return "taskbench/random-nearest@final";
+    }
+    return "taskbench/unknown@final";
+}
+
 std::optional<graph_type> parse_graph_type(std::string_view text) noexcept
 {
     if (text == "trivial")

@@ -103,6 +103,17 @@ public:
     void add_exec_time(std::uint64_t ns) noexcept { exec_time_ns_ += ns; }
     std::uint64_t exec_time_ns() const noexcept { return exec_time_ns_; }
 
+    // --- tracing ------------------------------------------------------
+    // Current annotate() label (static-storage string; nullptr = none).
+    // Lives on the descriptor, not the worker, so it travels with the
+    // task across suspensions and steals — this_task::annotate_scope
+    // restores the right label no matter which worker resumes the task.
+    char const* trace_label() const noexcept { return trace_label_; }
+    void set_trace_label(char const* label) noexcept
+    {
+        trace_label_ = label;
+    }
+
     // Set by a waker that observed the task not yet parked (state still
     // active); consumed by the scheduler when it parks the task. This is
     // the standard two-phase suspend handshake: a task can only be
@@ -121,6 +132,7 @@ private:
     std::atomic<thread_state> state_{thread_state::unknown};
     thread_priority priority_ = thread_priority::normal;
     char const* description_ = "<unknown>";
+    char const* trace_label_ = nullptr;
     task_function function_;
     execution_context context_;
     stack stack_;

@@ -31,6 +31,7 @@ void thread_data::init(thread_id id, task_function fn,
     context_ = execution_context{};    // force fresh entry on first run
     function_ = std::move(fn);
     description_ = description ? description : "<unknown>";
+    trace_label_ = nullptr;    // recycled descriptors must not inherit
     priority_ = priority;
     exec_time_ns_ = 0;
     next = nullptr;

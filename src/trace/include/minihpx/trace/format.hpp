@@ -4,16 +4,25 @@
 //
 //   magic   8 bytes  "MHTRACE1"
 //   clock   u8       0 = steady (real runtime), 1 = virtual (sim)
-//   records ...      until EOF:
+//   records ...      until the end marker:
 //     tag u8 == 1: event   u16 kind, u32 worker, u64 t_ns, u64 task,
 //                          u64 aux
 //     tag u8 == 2: string  u32 id, u32 len, len bytes (UTF-8)
+//     tag u8 == 3: end     u64 events, u32 strings — written exactly
+//                          once, as the last record; the counts must
+//                          match the records that precede it
 //
 // Label events carry a `char const*` in aux while in memory; the
 // writer interns each distinct pointer into the string table (a def
 // record precedes first use) and rewrites aux to the table id, so the
 // file is self-contained and — given a deterministic event stream, as
 // under minihpx::sim — byte-for-byte reproducible.
+//
+// The end marker is what makes truncation *detectable*: a stream cut
+// mid-record fails its field reads, and a stream cut between records
+// (the common case — the writer flushes in 64 KiB chunks) is missing
+// the marker. Loaders refuse both instead of silently analyzing a
+// partial trace.
 #pragma once
 
 #include <minihpx/trace/event.hpp>
@@ -50,7 +59,7 @@ class mhtrace_writer
 {
 public:
     mhtrace_writer(std::ostream& out, clock_kind clock);
-    ~mhtrace_writer();    // flushes
+    ~mhtrace_writer();    // finishes (end marker) and flushes
 
     // Streams one event; label aux (a char const*) is interned.
     // Records accumulate in an internal buffer (one ostream write per
@@ -58,6 +67,11 @@ public:
     // stream back.
     void write(event const& e);
     void flush();
+
+    // Write the end-of-stream marker and flush. Idempotent; no events
+    // may be written afterwards. The destructor calls this, so the
+    // stream is complete once the writer is gone.
+    void finish();
 
     std::uint64_t events_written() const noexcept { return events_; }
 
@@ -69,11 +83,14 @@ private:
     std::unordered_map<std::uint64_t, std::uint32_t> interned_;
     std::uint32_t next_string_id_ = 1;
     std::uint64_t events_ = 0;
+    bool finished_ = false;
 };
 
 // Parse a complete .mhtrace stream. Returns false (with *error set,
-// when non-null) on malformed input; a truncated final record is an
-// error, a clean EOF between records is success.
+// when non-null) on malformed input: bad magic, a truncated record, a
+// stream that ends without the end marker (truncation at a record
+// boundary), record counts disagreeing with the marker, trailing data
+// after the marker, or a label event referencing an undefined string.
 bool load_mhtrace(std::istream& in, trace_data& out, std::string* error);
 bool load_mhtrace_file(
     std::string const& path, trace_data& out, std::string* error);

@@ -1,218 +1,14 @@
 #include <minihpx/trace/analysis.hpp>
+#include <minihpx/trace/detail/sweep.hpp>
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
-#include <unordered_map>
-#include <unordered_set>
+#include <string_view>
 
 namespace minihpx::trace {
 
-namespace {
-
-    struct task_state
-    {
-        double path = 0.0;           // longest chain ending at this task now
-        std::int64_t node = -1;      // chain node for `path` (see chain_node)
-        std::uint64_t parent = 0;
-        std::uint64_t last_t = 0;  // slice start / last charge point
-        bool running = false;
-        bool ended = false;
-        std::uint64_t exec_ns = 0;     // unscaled execution total
-        double scaled_exec = 0.0;      // scaled execution total
-        std::uint64_t label_id = 0;    // last label (trace_data string id)
-        double scale = 1.0;            // what-if factor (1 = unchanged)
-    };
-
-    struct slice
-    {
-        std::uint32_t worker;
-        std::uint64_t begin_ns;
-        std::uint64_t end_ns;
-    };
-
-    // One entry per chain-extending edge (spawn, wake). A task can sit
-    // on the critical path more than once — a parent runs before the
-    // spawn and again after the join — so the chain is a list of
-    // *visits*, not a per-task predecessor pointer.
-    struct chain_node
-    {
-        std::uint64_t task;
-        std::int64_t pred;    // index into sweep_result::nodes, -1 = root
-    };
-
-    struct sweep_result
-    {
-        std::unordered_map<std::uint64_t, task_state> tasks;
-        std::vector<chain_node> nodes;
-        std::vector<slice> slices;
-        std::uint64_t steals = 0;
-        std::uint64_t t_first = 0;
-        std::uint64_t t_last = 0;
-        double span = 0.0;
-        std::int64_t span_node = -1;    // argmax chain endpoint
-        double work_scaled = 0.0;
-        std::uint64_t work_ns = 0;
-    };
-
-    // Slices are opened by begin in push order; a close event finds the
-    // most recent open slice of its worker (a worker runs one task at a
-    // time, so this is the matching one).
-    void close_slice(
-        std::vector<slice>& slices, std::uint32_t worker, std::uint64_t t)
-    {
-        for (auto it = slices.rbegin(); it != slices.rend(); ++it)
-        {
-            if (it->worker != worker)
-                continue;
-            if (it->end_ns == it->begin_ns)
-                it->end_ns = t;
-            return;    // most recent slice of this worker decides
-        }
-    }
-
-    // One time-ordered pass over the events, maintaining per-task
-    // longest-chain lengths. `rescale` assigns each task's slice-time
-    // factor the moment its label becomes known (what-if); the default
-    // pass keeps every factor at 1.
-    template <typename Rescale>
-    sweep_result sweep(trace_data const& data, Rescale&& rescale)
-    {
-        // Stable sort by timestamp: ties keep file order, which is the
-        // causal emission order (exact under the sim's single lane).
-        std::vector<std::uint32_t> order(data.events.size());
-        std::iota(order.begin(), order.end(), 0u);
-        std::stable_sort(order.begin(), order.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-                return data.events[a].t_ns < data.events[b].t_ns;
-            });
-
-        sweep_result r;
-        if (!data.events.empty())
-        {
-            r.t_first = data.events[order.front()].t_ns;
-            r.t_last = data.events[order.back()].t_ns;
-        }
-
-        auto charge = [&](task_state& ts, std::uint64_t t) {
-            if (!ts.running || t <= ts.last_t)
-                return;
-            std::uint64_t const d = t - ts.last_t;
-            ts.exec_ns += d;
-            ts.scaled_exec += static_cast<double>(d) * ts.scale;
-            ts.path += static_cast<double>(d) * ts.scale;
-            ts.last_t = t;
-        };
-
-        // Current chain node of a task, materializing one lazily for
-        // tasks first seen as edge sources (the root, truncated traces).
-        auto node_of = [&](task_state& ts, std::uint64_t id) {
-            if (ts.node < 0)
-            {
-                ts.node = static_cast<std::int64_t>(r.nodes.size());
-                r.nodes.push_back({id, -1});
-            }
-            return ts.node;
-        };
-
-        auto track_span = [&](task_state& ts, std::uint64_t id) {
-            if (ts.path > r.span)
-            {
-                r.span = ts.path;
-                r.span_node = node_of(ts, id);
-            }
-        };
-
-        for (std::uint32_t idx : order)
-        {
-            event const& e = data.events[idx];
-            task_state& ts = r.tasks[e.task];
-            switch (static_cast<event_kind>(e.kind))
-            {
-            case event_kind::spawn:
-            {
-                ts.parent = e.aux;
-                if (e.aux != 0)
-                {
-                    // note: operator[] may rehash; re-fetch ts after.
-                    task_state& parent = r.tasks[e.aux];
-                    charge(parent, e.t_ns);
-                    std::int64_t const pn = node_of(parent, e.aux);
-                    task_state& child = r.tasks[e.task];
-                    child.path = parent.path;
-                    child.node = static_cast<std::int64_t>(r.nodes.size());
-                    r.nodes.push_back({e.task, pn});
-                }
-                break;
-            }
-
-            case event_kind::begin:
-                ts.running = true;
-                ts.last_t = e.t_ns;
-                r.slices.push_back(
-                    {e.worker, e.t_ns, e.t_ns});    // end patched below
-                break;
-
-            case event_kind::end:
-                charge(ts, e.t_ns);
-                ts.running = false;
-                ts.ended = true;
-                close_slice(r.slices, e.worker, e.t_ns);
-                track_span(ts, e.task);
-                break;
-
-            case event_kind::suspend:
-            case event_kind::yield:
-                charge(ts, e.t_ns);
-                ts.running = false;
-                close_slice(r.slices, e.worker, e.t_ns);
-                track_span(ts, e.task);
-                break;
-
-            case event_kind::resume:
-            {
-                if (e.aux != 0)
-                {
-                    task_state& waker = r.tasks[e.aux];
-                    charge(waker, e.t_ns);
-                    std::int64_t const wn = node_of(waker, e.aux);
-                    task_state& woken = r.tasks[e.task];
-                    if (waker.path > woken.path)
-                    {
-                        woken.path = waker.path;
-                        woken.node =
-                            static_cast<std::int64_t>(r.nodes.size());
-                        r.nodes.push_back({e.task, wn});
-                    }
-                }
-                break;
-            }
-
-            case event_kind::steal:
-                ++r.steals;
-                break;
-
-            case event_kind::label:
-                charge(ts, e.t_ns);
-                ts.label_id = e.aux;
-                ts.scale = rescale(data, ts.label_id);
-                break;
-            }
-        }
-
-        for (auto& [id, ts] : r.tasks)
-        {
-            // Truncated traces: tasks still running at the last event
-            // contribute what they executed so far.
-            charge(ts, r.t_last);
-            track_span(ts, id);
-            r.work_ns += ts.exec_ns;
-            r.work_scaled += ts.scaled_exec;
-        }
-        return r;
-    }
-
-}    // namespace
+using detail::sweep;
+using detail::sweep_result;
 
 analysis_result analyze(trace_data const& data, unsigned util_bins)
 {
@@ -330,13 +126,7 @@ whatif_result project_whatif(trace_data const& data,
     }
 
     if (workers == 0)
-    {
-        std::unordered_set<std::uint32_t> seen;
-        for (auto const& s : base.slices)
-            if (s.worker != external_worker)
-                seen.insert(s.worker);
-        workers = seen.empty() ? 1u : static_cast<unsigned>(seen.size());
-    }
+        workers = detail::observed_workers(base);
     out.workers = workers;
 
     auto brent = [&](double span, double work) {

@@ -12,6 +12,7 @@ namespace {
     constexpr char magic[8] = {'M', 'H', 'T', 'R', 'A', 'C', 'E', '1'};
     constexpr std::uint8_t tag_event = 1;
     constexpr std::uint8_t tag_string = 2;
+    constexpr std::uint8_t tag_end = 3;
 
     template <typename T>
     char* put_le(char* p, T v)
@@ -68,6 +69,19 @@ mhtrace_writer::mhtrace_writer(std::ostream& out, clock_kind clock)
 
 mhtrace_writer::~mhtrace_writer()
 {
+    finish();
+}
+
+void mhtrace_writer::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    buf_.push_back(static_cast<char>(tag_end));
+    char rec[sizeof(events_) + sizeof(next_string_id_)];
+    char* p = put_le(rec, events_);
+    p = put_le(p, next_string_id_ - 1);    // string records written
+    buf_.insert(buf_.end(), rec, rec + (p - rec));
     flush();
 }
 
@@ -139,6 +153,8 @@ bool load_mhtrace(std::istream& in, trace_data& out, std::string* error)
     out.events.clear();
     out.strings.assign(1, std::string{});
 
+    std::uint64_t strings_read = 0;
+    bool saw_end = false;
     std::uint8_t tag = 0;
     while (get_u8(in, tag))
     {
@@ -157,6 +173,8 @@ bool load_mhtrace(std::istream& in, trace_data& out, std::string* error)
             std::uint32_t len = 0;
             if (!get_le(in, id) || !get_le(in, len))
                 return set_error(error, "truncated string record");
+            if (id == 0)
+                return set_error(error, "string record redefines id 0");
             if (len > (1u << 20))
                 return set_error(error, "string record too long");
             std::string s(len, '\0');
@@ -165,11 +183,43 @@ bool load_mhtrace(std::istream& in, trace_data& out, std::string* error)
             if (id >= out.strings.size())
                 out.strings.resize(id + 1);
             out.strings[id] = std::move(s);
+            ++strings_read;
+        }
+        else if (tag == tag_end)
+        {
+            std::uint64_t events_declared = 0;
+            std::uint32_t strings_declared = 0;
+            if (!get_le(in, events_declared) ||
+                !get_le(in, strings_declared))
+                return set_error(error, "truncated end marker");
+            if (events_declared != out.events.size() ||
+                strings_declared != strings_read)
+                return set_error(error,
+                    "end marker disagrees with record counts "
+                    "(corrupt or spliced trace)");
+            if (in.get() != std::char_traits<char>::eof())
+                return set_error(error, "data after end-of-stream marker");
+            saw_end = true;
+            break;
         }
         else
         {
             return set_error(error, "unknown record tag");
         }
+    }
+    if (!saw_end)
+        return set_error(error,
+            "truncated trace: stream ends without the end-of-stream "
+            "marker (writer died mid-run or the file was cut)");
+    // Label events must resolve inside the loaded string table — the
+    // writer defines every string before its first use, so a dangling
+    // reference means corruption, not a benign unlabeled task.
+    for (event const& e : out.events)
+    {
+        if (static_cast<event_kind>(e.kind) == event_kind::label &&
+            e.aux >= out.strings.size())
+            return set_error(
+                error, "label event references an undefined string");
     }
     return true;
 }

@@ -231,6 +231,108 @@ TEST(Format, LoaderRejectsGarbage)
     EXPECT_FALSE(trace::load_mhtrace(truncated, data, &error));
 }
 
+TEST(Format, FinishWritesEndMarkerAndIsIdempotent)
+{
+    std::ostringstream out;
+    trace::mhtrace_writer writer(out, trace::clock_kind::steady);
+    writer.write(make_event(trace::event_kind::begin, 1, 1));
+    writer.write(make_event(trace::event_kind::end, 5, 1));
+    writer.finish();
+    std::string const first = out.str();
+    writer.finish();    // second call adds nothing
+    EXPECT_EQ(out.str(), first);
+
+    std::istringstream in(first);
+    trace::trace_data data;
+    std::string error;
+    ASSERT_TRUE(trace::load_mhtrace(in, data, &error)) << error;
+    EXPECT_EQ(data.events.size(), 2u);
+}
+
+TEST(Format, LoaderRejectsStreamCutBetweenRecords)
+{
+    // The dangerous truncation: the file ends exactly on a record
+    // boundary, so every record parses — only the missing end marker
+    // reveals that the writer died mid-run.
+    std::ostringstream out;
+    trace::mhtrace_writer writer(out, trace::clock_kind::steady);
+    writer.write(make_event(trace::event_kind::begin, 1, 1));
+    writer.write(make_event(trace::event_kind::end, 9, 1));
+    writer.flush();    // deliberately no finish()
+
+    std::istringstream in(out.str());
+    trace::trace_data data;
+    std::string error;
+    EXPECT_FALSE(trace::load_mhtrace(in, data, &error));
+    EXPECT_NE(error.find("truncated trace"), std::string::npos) << error;
+}
+
+TEST(Format, LoaderRejectsEndMarkerCountMismatch)
+{
+    std::ostringstream out;
+    trace::mhtrace_writer writer(out, trace::clock_kind::steady);
+    writer.write(make_event(trace::event_kind::begin, 1, 1));
+    writer.finish();
+    std::string bytes = out.str();
+    // The footer's u64 event count starts right after the tag byte,
+    // 12 bytes from the end; bump it so it disagrees with the stream.
+    bytes[bytes.size() - 12] =
+        static_cast<char>(bytes[bytes.size() - 12] + 1);
+
+    std::istringstream in(bytes);
+    trace::trace_data data;
+    std::string error;
+    EXPECT_FALSE(trace::load_mhtrace(in, data, &error));
+    EXPECT_NE(error.find("end marker disagrees"), std::string::npos)
+        << error;
+}
+
+TEST(Format, LoaderRejectsDataAfterEndMarker)
+{
+    std::ostringstream out;
+    trace::mhtrace_writer writer(out, trace::clock_kind::steady);
+    writer.write(make_event(trace::event_kind::begin, 1, 1));
+    writer.finish();
+    std::string bytes = out.str();
+    bytes.push_back('\0');    // spliced/corrupt tail
+
+    std::istringstream in(bytes);
+    trace::trace_data data;
+    std::string error;
+    EXPECT_FALSE(trace::load_mhtrace(in, data, &error));
+    EXPECT_NE(
+        error.find("after end-of-stream marker"), std::string::npos)
+        << error;
+}
+
+TEST(Format, LoaderRejectsLabelReferencingUndefinedString)
+{
+    // Hand-rolled stream: one label event referencing string id 9 that
+    // no string record defines, with a self-consistent end marker.
+    std::string bytes = "MHTRACE1";
+    bytes.push_back('\0');    // clock: steady
+    auto put = [&bytes](auto v, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i)
+            bytes.push_back(static_cast<char>(
+                (static_cast<std::uint64_t>(v) >> (8 * i)) & 0xff));
+    };
+    bytes.push_back('\x01');    // tag: event
+    put(static_cast<std::uint16_t>(trace::event_kind::label), 2);
+    put(std::uint32_t{0}, 4);    // worker
+    put(std::uint64_t{5}, 8);    // t_ns
+    put(std::uint64_t{1}, 8);    // task
+    put(std::uint64_t{9}, 8);    // aux: undefined string id
+    bytes.push_back('\x03');     // tag: end marker
+    put(std::uint64_t{1}, 8);    // events written
+    put(std::uint32_t{0}, 4);    // strings written
+
+    std::istringstream in(bytes);
+    trace::trace_data data;
+    std::string error;
+    EXPECT_FALSE(trace::load_mhtrace(in, data, &error));
+    EXPECT_NE(error.find("undefined string"), std::string::npos) << error;
+}
+
 // ----------------------------------------------- sinks (chrome, memory)
 
 TEST(Sinks, ChromeJsonShapeAndBalance)
@@ -476,7 +578,7 @@ std::string serialize(trace::trace_data const& data)
                 data.strings[e.aux].c_str());
         writer.write(e);
     }
-    writer.flush();
+    writer.finish();    // loadable: footer included in the bytes
     return out.str();
 }
 

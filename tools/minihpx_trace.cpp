@@ -7,8 +7,16 @@
 //   minihpx-trace whatif FILE --match=LABEL --speedup=K [--workers=P]
 //       project the makespan if tasks whose annotate() label contains
 //       LABEL ran K× faster (Brent bound over the recorded DAG)
+//   minihpx-trace causal FILE [--top=N] [--speedup-grid=P1,P2,...]
+//       [--workers=P] [--curves] [--json[=OUT.json]]
+//       per-label causal profile + ranked what-if speedup curves
+//       ("CAUSAL rank=..." lines; see docs/CAUSAL.md)
 //
-// Exit status: 0 on success, 1 on usage errors or unreadable input.
+// Exit status: 0 on success, 1 on usage errors or unreadable input —
+// including truncated/corrupt traces: the loader requires the
+// end-of-stream marker, so a partial file is an error, never a
+// silently partial analysis.
+#include <minihpx/causal/causal.hpp>
 #include <minihpx/trace/analysis.hpp>
 #include <minihpx/trace/format.hpp>
 #include <minihpx/trace/sinks.hpp>
@@ -16,7 +24,12 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 using namespace minihpx;
 
@@ -162,13 +175,79 @@ int cmd_whatif(trace::trace_data const& data, util::cli_args const& args)
     return 0;
 }
 
+int cmd_causal(trace::trace_data const& data, util::cli_args const& args)
+{
+    causal::report_options opts;
+    opts.top = static_cast<std::size_t>(args.int_or("top", 5));
+    opts.show_curves = args.flag("curves");
+    unsigned const workers =
+        static_cast<unsigned>(args.int_or("workers", 0));
+
+    std::vector<double> grid = causal::default_speedup_grid();
+    if (auto const csv = args.value("speedup-grid"); csv && !csv->empty())
+    {
+        grid.clear();
+        std::istringstream in(*csv);
+        std::string item;
+        while (std::getline(in, item, ','))
+        {
+            try
+            {
+                grid.push_back(std::stod(item));
+            }
+            catch (std::exception const&)
+            {
+                std::fprintf(stderr,
+                    "minihpx-trace: bad --speedup-grid entry '%s'\n",
+                    item.c_str());
+                return 1;
+            }
+        }
+        if (grid.empty())
+        {
+            std::fprintf(
+                stderr, "minihpx-trace: empty --speedup-grid\n");
+            return 1;
+        }
+    }
+
+    causal::profile_result const prof = causal::profile(data);
+    causal::whatif_report const whatif =
+        causal::causal_whatif(data, grid, workers);
+
+    if (args.has("json"))
+    {
+        std::string const out = args.value_or("json", "");
+        if (out.empty() || out == "1" || out == "true")
+            causal::render_json(std::cout, prof, whatif, opts);
+        else
+        {
+            std::ofstream file(out);
+            if (!file)
+            {
+                std::fprintf(stderr,
+                    "minihpx-trace: cannot open '%s'\n", out.c_str());
+                return 1;
+            }
+            causal::render_json(file, prof, whatif, opts);
+            std::printf("wrote %s\n", out.c_str());
+        }
+        return 0;
+    }
+    causal::render_table(std::cout, prof, whatif, opts);
+    return 0;
+}
+
 int usage()
 {
     std::fprintf(stderr,
         "usage: minihpx-trace summary FILE [--bins=N]\n"
         "       minihpx-trace chrome  FILE --out=OUT.json\n"
         "       minihpx-trace whatif  FILE --match=LABEL --speedup=K "
-        "[--workers=P]\n");
+        "[--workers=P]\n"
+        "       minihpx-trace causal  FILE [--top=N] "
+        "[--speedup-grid=P1,P2,...] [--workers=P] [--curves] "
+        "[--json[=OUT.json]]\n");
     return 1;
 }
 
@@ -197,5 +276,7 @@ int main(int argc, char** argv)
         return cmd_chrome(data, args);
     if (command == "whatif")
         return cmd_whatif(data, args);
+    if (command == "causal")
+        return cmd_causal(data, args);
     return usage();
 }
