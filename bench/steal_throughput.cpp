@@ -5,20 +5,27 @@
 // every task lands at the bottom of the producer's own queue and every
 // other worker makes progress only by stealing. Tasks/s under this
 // workload is dominated by queue-operation cost and steal contention —
-// exactly where the mutex deque and the Chase-Lev deque differ.
+// exactly where the mutex deque and the Chase-Lev deque differ. The
+// victim-policy knobs exercise the locality-aware selection (DESIGN.md
+// choice #10): with --numa-domains=D the same-/cross-domain steal split
+// is reported per cell, straight from /threads/steal/{same,cross}-domain
+// worker stats.
 //
 //   $ ./steal_throughput [--tasks=N] [--reps=R] [--workers=1,4,16]
+//                        [--victim-policy=random|numa] [--numa-domains=D]
 //                        [--json=BENCH_scheduler.json]
 //
 // The JSON report (CI smoke artifact) carries tasks/s per
 // {policy, workers} cell plus the 16-worker chase-lev/mutex speedup.
 #include <minihpx/minihpx.hpp>
 #include <minihpx/threads/queue_policy.hpp>
+#include <minihpx/threads/topology.hpp>
 #include <minihpx/util/cli.hpp>
 #include <minihpx/util/strings.hpp>
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -42,14 +49,26 @@ struct cell
     threads::queue_policy policy;
     unsigned workers;
     double tasks_per_s;
+    std::uint64_t steals_same = 0;
+    std::uint64_t steals_cross = 0;
 };
 
-double run_once(
-    threads::queue_policy policy, unsigned workers, std::size_t tasks)
+struct run_result
+{
+    double tasks_per_s = 0;
+    std::uint64_t steals_same = 0;
+    std::uint64_t steals_cross = 0;
+};
+
+run_result run_once(threads::queue_policy policy,
+    threads::victim_policy victim, unsigned numa_domains, unsigned workers,
+    std::size_t tasks)
 {
     runtime_config config;
     config.sched.num_workers = workers;
     config.sched.queue = policy;
+    config.sched.steal.victim = victim;
+    config.sched.numa_domains = numa_domains;
     runtime rt(config);
 
     auto const t0 = std::chrono::steady_clock::now();
@@ -63,15 +82,33 @@ double run_once(
     auto const dt = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - t0)
                         .count();
-    return static_cast<double>(tasks) / dt;
+
+    run_result r;
+    r.tasks_per_s = static_cast<double>(tasks) / dt;
+    auto& sched = rt.get_scheduler();
+    for (unsigned i = 0; i < sched.num_workers(); ++i)
+    {
+        auto const& s = sched.get_worker(i).get_stats();
+        r.steals_same +=
+            s.steals_same_domain.load(std::memory_order_relaxed);
+        r.steals_cross +=
+            s.steals_cross_domain.load(std::memory_order_relaxed);
+    }
+    return r;
 }
 
-double best_of(threads::queue_policy policy, unsigned workers,
+run_result best_of(threads::queue_policy policy,
+    threads::victim_policy victim, unsigned numa_domains, unsigned workers,
     std::size_t tasks, unsigned reps)
 {
-    double best = 0;
+    run_result best;
     for (unsigned r = 0; r < reps; ++r)
-        best = std::max(best, run_once(policy, workers, tasks));
+    {
+        auto const one =
+            run_once(policy, victim, numa_domains, workers, tasks);
+        if (one.tasks_per_s > best.tasks_per_s)
+            best = one;
+    }
     return best;
 }
 
@@ -95,11 +132,18 @@ int main(int argc, char** argv)
         static_cast<std::size_t>(args.int_or("tasks", 20000));
     auto const reps = static_cast<unsigned>(args.int_or("reps", 3));
     auto const workers = workers_from_cli(args);
+    auto const victim =
+        threads::parse_victim_policy(args.value_or("victim-policy", "numa"))
+            .value_or(threads::victim_policy::numa);
+    auto const domains =
+        static_cast<unsigned>(args.int_or("numa-domains", 0));
 
     std::printf("steal_throughput: %zu tasks/run, best of %u reps, "
-                "single producer\n\n",
-        tasks, reps);
-    std::printf("%8s %12s %16s\n", "workers", "policy", "tasks/s");
+                "single producer, victim=%s domains=%s\n\n",
+        tasks, reps, threads::to_string(victim),
+        domains ? std::to_string(domains).c_str() : "sysfs");
+    std::printf("%8s %12s %16s %12s %12s\n", "workers", "policy", "tasks/s",
+        "same-dom", "cross-dom");
 
     std::vector<cell> cells;
     for (unsigned n : workers)
@@ -107,10 +151,14 @@ int main(int argc, char** argv)
         for (auto policy : {threads::queue_policy::mutex_deque,
                  threads::queue_policy::chase_lev})
         {
-            double const rate = best_of(policy, n, tasks, reps);
-            cells.push_back({policy, n, rate});
-            std::printf("%8u %12s %16.0f\n", n,
-                threads::to_string(policy), rate);
+            auto const r =
+                best_of(policy, victim, domains, n, tasks, reps);
+            cells.push_back(
+                {policy, n, r.tasks_per_s, r.steals_same, r.steals_cross});
+            std::printf("%8u %12s %16.0f %12llu %12llu\n", n,
+                threads::to_string(policy), r.tasks_per_s,
+                static_cast<unsigned long long>(r.steals_same),
+                static_cast<unsigned long long>(r.steals_cross));
         }
     }
 
@@ -138,14 +186,19 @@ int main(int argc, char** argv)
         }
         std::fprintf(f,
             "{\n  \"benchmark\": \"steal_throughput\",\n"
-            "  \"tasks\": %zu,\n  \"reps\": %u,\n  \"results\": [\n",
-            tasks, reps);
+            "  \"tasks\": %zu,\n  \"reps\": %u,\n"
+            "  \"victim_policy\": \"%s\",\n  \"results\": [\n",
+            tasks, reps, threads::to_string(victim));
         for (std::size_t i = 0; i < cells.size(); ++i)
             std::fprintf(f,
                 "    {\"policy\": \"%s\", \"workers\": %u, "
-                "\"tasks_per_s\": %.1f}%s\n",
+                "\"tasks_per_s\": %.1f, \"steals_same_domain\": %llu, "
+                "\"steals_cross_domain\": %llu}%s\n",
                 threads::to_string(cells[i].policy), cells[i].workers,
-                cells[i].tasks_per_s, i + 1 < cells.size() ? "," : "");
+                cells[i].tasks_per_s,
+                static_cast<unsigned long long>(cells[i].steals_same),
+                static_cast<unsigned long long>(cells[i].steals_cross),
+                i + 1 < cells.size() ? "," : "");
         std::fprintf(f,
             "  ],\n  \"speedup_%uw\": %.3f\n}\n", top, speedup);
         std::fclose(f);

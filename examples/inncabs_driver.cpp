@@ -50,7 +50,7 @@ int main(int argc, char** argv)
             std::printf(" %s", entry.name.c_str());
         std::printf("\nengines: minihpx std serial sim-hpx sim-std\n"
                     "options: --engine=E --scale=tiny|default|paper "
-                    "--samples=N --sim-cores=N --mh:threads=N "
+                    "--samples=N --sim-cores=N --tile=N --mh:threads=N "
                     "--mh:print-counter=NAME ...\n");
         return args.flag("list") ? 0 : 1;
     }
@@ -66,6 +66,11 @@ int main(int argc, char** argv)
     auto const scale = parse_scale(args);
     auto const engine = args.value_or("engine", "minihpx");
     auto const samples = static_cast<unsigned>(args.int_or("samples", 5));
+
+    // --tile=N retiles the matmul workload (0 = untiled row bands);
+    // other benchmarks ignore it.
+    if (auto const tile = args.int_or("tile", -1); tile >= 0)
+        inncabs::matmul_tile_override() = static_cast<std::size_t>(tile);
 
     double result = 0.0;
     inncabs::sample_result timing;

@@ -52,16 +52,25 @@ private:
     std::vector<std::string> positionals_;
 };
 
-// Table-driven integer-option registration. Each row binds one
-// --name=value option to a destination (which keeps its current value
-// as the default), optionally with a deprecated legacy spelling. When
-// only the legacy spelling appears, apply() still honors it but prints
-// a one-line deprecation warning to stderr — once per process per
-// alias, no matter how many cli_args are parsed.
+// Table-driven option registration. Each row binds one --name=value
+// option to a destination (which keeps its current value as the
+// default), optionally with a deprecated legacy spelling. When only
+// the legacy spelling appears, apply() still honors it but prints a
+// one-line deprecation warning to stderr — once per process per alias,
+// no matter how many cli_args are parsed.
+//
+// Two row flavors share the table (and the alias machinery):
+//   - integer rows store through an int destination;
+//   - string rows run a parse-and-store callback; returning false
+//     makes apply() throw std::runtime_error naming the flag, the
+//     rejected value, and the `expected` choices.
 //
 //   util::option_table table;
 //   table.add("mh:steal-rounds", steal.rounds)
-//        .add("mh:steal-sleep-us", steal.sleep_us, "mh:sleep-us");
+//        .add("mh:steal-sleep-us", steal.sleep_us, "mh:sleep-us")
+//        .add_string("mh:queue-policy",
+//            [&](std::string const& v) { ...; return ok; },
+//            "'mutex' or 'chase-lev'");
 //   table.apply(args);
 class option_table
 {
@@ -73,12 +82,26 @@ public:
         static_assert(std::is_integral_v<Int> && !std::is_same_v<Int, bool>,
             "option_table rows bind integer destinations");
         rows_.push_back({name, deprecated_alias,
-            [&dst](std::int64_t v) { dst = static_cast<Int>(v); }});
+            [&dst](std::int64_t v) { dst = static_cast<Int>(v); }, nullptr,
+            nullptr});
+        return *this;
+    }
+
+    // String-valued row. `store` parses and applies the raw value;
+    // returning false rejects it and apply() throws with `expected`
+    // spliced into the message.
+    option_table& add_string(char const* name,
+        std::function<bool(std::string const&)> store, char const* expected,
+        char const* deprecated_alias = nullptr)
+    {
+        rows_.push_back(
+            {name, deprecated_alias, nullptr, std::move(store), expected});
         return *this;
     }
 
     // Reads every registered row out of `args`; the canonical spelling
-    // wins when both it and its alias are present.
+    // wins when both it and its alias are present. Throws
+    // std::runtime_error when a string row rejects its value.
     void apply(cli_args const& args) const;
 
 private:
@@ -87,6 +110,8 @@ private:
         char const* name;
         char const* deprecated_alias;    // nullptr when none
         std::function<void(std::int64_t)> store;
+        std::function<bool(std::string const&)> store_string;
+        char const* expected;    // string rows: valid-choices helptext
     };
     std::vector<row> rows_;
 };

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 
 namespace minihpx::util {
 
@@ -120,17 +121,31 @@ namespace {
 
 void option_table::apply(cli_args const& args) const
 {
+    auto apply_row = [&args](row const& r, char const* spelling) {
+        if (r.store_string)
+        {
+            std::string const v = args.value_or(spelling, "");
+            if (!r.store_string(v))
+                throw std::runtime_error("minihpx: --" +
+                    std::string(spelling) + "=" + v + " — expected " +
+                    (r.expected ? r.expected : "a different value"));
+        }
+        else
+        {
+            r.store(args.int_or(spelling, 0));
+        }
+    };
     for (auto const& r : rows_)
     {
         if (args.has(r.name))
         {
-            r.store(args.int_or(r.name, 0));
+            apply_row(r, r.name);
             continue;
         }
         if (r.deprecated_alias && args.has(r.deprecated_alias))
         {
             warn_deprecated_once(r.deprecated_alias, r.name);
-            r.store(args.int_or(r.deprecated_alias, 0));
+            apply_row(r, r.deprecated_alias);
         }
     }
 }

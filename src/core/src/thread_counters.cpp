@@ -136,6 +136,8 @@ namespace {
         "/threads/idle-rate",
         "/threads/count/stolen",
         "/threads/count/steal-attempts",
+        "/threads/steal/same-domain",
+        "/threads/steal/cross-domain",
         "/threads/count/pending-misses",
         "/threads/count/suspensions",
         "/threads/count/yields",
@@ -216,6 +218,18 @@ void register_thread_counters(counter_registry& registry, scheduler& sched)
     register_delta(registry, sched, "/threads/count/steal-attempts", "",
         "steal attempts (successful or not)",
         [load](stats const& s) { return load(s.steal_attempts); });
+
+    // The locality split of /threads/count/stolen: same- vs cross-domain
+    // sums to the total, so the steal mix under the numa victim policy
+    // is observable from counters alone (bench/steal_throughput reports
+    // it; single-domain machines read zero for cross-domain).
+    register_delta(registry, sched, "/threads/steal/same-domain", "",
+        "tasks stolen from a victim in the thief's NUMA domain",
+        [load](stats const& s) { return load(s.steals_same_domain); });
+
+    register_delta(registry, sched, "/threads/steal/cross-domain", "",
+        "tasks stolen from a victim in another NUMA domain",
+        [load](stats const& s) { return load(s.steals_cross_domain); });
 
     register_delta(registry, sched, "/threads/count/suspensions", "",
         "task suspensions (blocking on futures/locks)",

@@ -68,7 +68,7 @@ struct benchmark_entry
     std::function<double(input_scale)> run_sim_body;
 };
 
-// All fourteen benchmarks, in Table V order.
+// All fifteen benchmarks: Table V order, then the tiled matmul.
 std::vector<benchmark_entry> const& suite();
 
 // nullptr when `name` is not in the suite.

@@ -8,6 +8,7 @@
 #include <inncabs/floorplan.hpp>
 #include <inncabs/health.hpp>
 #include <inncabs/intersim.hpp>
+#include <inncabs/matmul.hpp>
 #include <inncabs/nqueens.hpp>
 #include <inncabs/pyramids.hpp>
 #include <inncabs/qap.hpp>

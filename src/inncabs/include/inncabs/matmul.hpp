@@ -1,0 +1,195 @@
+// Blocked/tiled dense matrix multiply: the cache-locality workload.
+//
+// Unlike Strassen's recursive decomposition, this benchmark makes tile
+// size a *tunable* and exposes the classic locality trade directly:
+// tile=0 spawns one task per row band whose inner ijk loop streams the
+// whole of B per band (working set far beyond TLB/LLC reach), while
+// tile=t spawns one task per t x t tile of C iterating k-blocks of
+// t x t mini-gemms (working set 3*t^2 doubles). Both orders accumulate
+// each C(i,j) in ascending k, so the checksum is bitwise identical
+// across tile sizes and engines — only the memory behavior differs,
+// which is exactly what the dTLB/LLC counters are supposed to expose
+// (paper §V-C ties efficiency loss to memory traffic, not arithmetic).
+#pragma once
+
+#include <inncabs/engine.hpp>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace inncabs {
+
+// Drivers may override the tile size the suite-registered entry uses
+// (inncabs_driver --tile=N; 0 = untiled row bands). size_t(-1) means
+// "use the input scale's default". Direct matmul_bench<E>::run calls
+// with explicit params (tests, bench/matmul_tiling) see the override
+// too, so sweep drivers should leave it untouched.
+inline std::size_t& matmul_tile_override() noexcept
+{
+    static std::size_t tile = static_cast<std::size_t>(-1);
+    return tile;
+}
+
+template <typename E>
+struct matmul_bench
+{
+    static constexpr char const* name = "matmul";
+
+    // Row-major matrix with stride (views into tiles/bands).
+    struct view
+    {
+        double* data;
+        std::size_t stride;
+        double& at(std::size_t r, std::size_t c) const
+        {
+            return data[r * stride + c];
+        }
+    };
+
+    struct params
+    {
+        std::size_t n = 256;
+        // Edge length of the C tiles (one task per tile, k-blocked
+        // mini-gemms inside). 0 = untiled: one task per row band of
+        // height `band`, streaming all of B per band.
+        std::size_t tile = 32;
+        std::size_t band = 32;
+
+        static params tiny() { return {.n = 64, .tile = 16, .band = 8}; }
+        static params bench_default()
+        {
+            return {.n = 512, .tile = 64, .band = 32};
+        }
+        static params paper() { return {.n = 3072, .tile = 64, .band = 32}; }
+    };
+
+    static std::vector<double> make_matrix(std::size_t n, std::uint64_t seed)
+    {
+        minihpx::util::xoshiro256ss rng(seed);
+        std::vector<double> m(n * n);
+        for (auto& x : m)
+            x = rng.uniform01() - 0.5;
+        return m;
+    }
+
+    // One rows x inner x cols gemm region: compute at the Strassen
+    // kernel's calibrated 0.38 ns/madd, traffic proportional to the
+    // operand areas, and — new here — the *working set* (distinct bytes
+    // of the three operand blocks) plus access count that feed the
+    // deterministic dTLB/LLC model. A t=64 tile is 3*64^2*8 = 96 KiB
+    // (24 pages, compulsory walks only); an untiled band at n=512 is
+    // (n^2 + 2*h*n)*8 = 2.3 MiB (576 pages, past the 512-entry STLB).
+    static void annotate_gemm(
+        std::size_t rows, std::size_t inner, std::size_t cols)
+    {
+        auto const fr = static_cast<double>(rows);
+        auto const fi = static_cast<double>(inner);
+        auto const fc = static_cast<double>(cols);
+        E::annotate_work(
+            {.cpu_ns = static_cast<std::uint64_t>(fr * fi * fc * 0.38),
+                .data_rd_bytes =
+                    static_cast<std::uint64_t>((fr * fi + fi * fc) * 8.0),
+                .rfo_bytes = static_cast<std::uint64_t>(fr * fc * 8.0),
+                .instructions =
+                    static_cast<std::uint64_t>(fr * fi * fc * 4),
+                .footprint_bytes = static_cast<std::uint64_t>(
+                    (fr * fi + fi * fc + fr * fc) * 8.0),
+                .mem_accesses =
+                    static_cast<std::uint64_t>(2.0 * fr * fi * fc)});
+    }
+
+    // c[0..rows)[0..cols) += a[0..rows)[0..inner) * b[0..inner)[0..cols)
+    static void gemm_acc(view c, view a, view b, std::size_t rows,
+        std::size_t inner, std::size_t cols)
+    {
+        for (std::size_t i = 0; i < rows; ++i)
+            for (std::size_t k = 0; k < inner; ++k)
+            {
+                double const aik = a.at(i, k);
+                for (std::size_t j = 0; j < cols; ++j)
+                    c.at(i, j) += aik * b.at(k, j);
+            }
+    }
+
+    static view offset(view m, std::size_t r, std::size_t c)
+    {
+        return view{m.data + r * m.stride + c, m.stride};
+    }
+
+    static void multiply(view c, view a, view b, params const& p)
+    {
+        std::vector<efuture<E, void>> tasks;
+        if (p.tile == 0)
+        {
+            std::size_t const h = p.band ? p.band : 32;
+            for (std::size_t i0 = 0; i0 < p.n; i0 += h)
+            {
+                std::size_t const rows = std::min(h, p.n - i0);
+                tasks.push_back(E::async([=] {
+                    E::trace_label("matmul-band");
+                    annotate_gemm(rows, p.n, p.n);
+                    if (!E::skip_compute())
+                        gemm_acc(offset(c, i0, 0), offset(a, i0, 0), b,
+                            rows, p.n, p.n);
+                }));
+            }
+        }
+        else
+        {
+            std::size_t const t = p.tile;
+            for (std::size_t i0 = 0; i0 < p.n; i0 += t)
+                for (std::size_t j0 = 0; j0 < p.n; j0 += t)
+                {
+                    tasks.push_back(E::async([=] {
+                        E::trace_label("matmul-tile");
+                        std::size_t const ti = std::min(t, p.n - i0);
+                        std::size_t const tj = std::min(t, p.n - j0);
+                        for (std::size_t k0 = 0; k0 < p.n; k0 += t)
+                        {
+                            std::size_t const tk = std::min(t, p.n - k0);
+                            annotate_gemm(ti, tk, tj);
+                            if (!E::skip_compute())
+                                gemm_acc(offset(c, i0, j0),
+                                    offset(a, i0, k0), offset(b, k0, j0),
+                                    ti, tk, tj);
+                        }
+                    }));
+                }
+        }
+        for (auto& f : tasks)
+            f.get();
+    }
+
+    static double checksum(std::vector<double> const& m)
+    {
+        double sum = 0;
+        for (std::size_t i = 0; i < m.size(); i += m.size() / 97 + 1)
+            sum += m[i];
+        return sum;
+    }
+
+    static double run(params p)
+    {
+        if (matmul_tile_override() != static_cast<std::size_t>(-1))
+            p.tile = matmul_tile_override();
+        auto a = make_matrix(p.n, 1);
+        auto b = make_matrix(p.n, 2);
+        std::vector<double> c(p.n * p.n, 0.0);
+        multiply(view{c.data(), p.n}, view{a.data(), p.n},
+            view{b.data(), p.n}, p);
+        return E::skip_compute() ? 0.0 : checksum(c);
+    }
+
+    static double run_serial(params const& p)
+    {
+        auto a = make_matrix(p.n, 1);
+        auto b = make_matrix(p.n, 2);
+        std::vector<double> c(p.n * p.n, 0.0);
+        gemm_acc(view{c.data(), p.n}, view{a.data(), p.n},
+            view{b.data(), p.n}, p.n, p.n, p.n);
+        return checksum(c);
+    }
+};
+
+}    // namespace inncabs

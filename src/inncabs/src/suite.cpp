@@ -67,6 +67,7 @@ std::vector<benchmark_entry> const& suite()
         make_entry<uts_bench>(),
         make_entry<intersim_bench>(),
         make_entry<round_bench>(),
+        make_entry<matmul_bench>(),
     };
     return entries;
 }

@@ -25,6 +25,14 @@ enum class event : std::uint8_t
     tot_cyc,                             // PAPI_TOT_CYC
     l3_tcm,                              // PAPI_L3_TCM (approx: data rd+rfo)
     res_stl,                             // PAPI_RES_STL (memory stalls)
+    // Memory-locality events, modeled per task footprint by the
+    // deterministic cache+TLB model (minihpx/memory_model.hpp). The
+    // counter-path spellings use '/' (/papi{...}/dtlb/misses) so the
+    // derived /arithmetics miss-rate counters read naturally.
+    dtlb_loads,                          // data-TLB lookups (loads+stores)
+    dtlb_misses,                         // data-TLB walks (PAPI_TLB_DM)
+    llc_loads,                           // LLC lookups (offcore rd+rfo)
+    llc_misses,                          // LLC load misses to DRAM
     event_count_,                        // sentinel
 };
 

@@ -1,0 +1,32 @@
+// Native PMU access through libpapi, when the build machine has it.
+//
+// The modeled counters (papi_engine) are always available and always
+// deterministic; this shim is the bridge to *real* hardware readings
+// on machines with <papi.h> and PMU permissions. It compiles — and
+// cleanly reports unavailability — everywhere else: no libpapi at
+// build time means backend() == "model" and begin() == nullopt, so
+// callers (bench/matmul_tiling prints the source per row) degrade to
+// the model without a single #ifdef on their side.
+#pragma once
+
+#include <minihpx/papi/events.hpp>
+
+#include <cstdint>
+#include <optional>
+
+namespace minihpx::papi::native {
+
+// True when libpapi is compiled in and initialized successfully.
+bool available() noexcept;
+
+// "papi" when native counting works, "model" otherwise.
+char const* backend() noexcept;
+
+// Scoped native counting of one event on the calling thread: begin()
+// arms the event and returns an opaque handle — nullopt when native
+// counting is unavailable or the event has no translation on this
+// machine — and end() stops counting and returns the reading.
+std::optional<int> begin(event e) noexcept;
+std::optional<std::uint64_t> end(int handle) noexcept;
+
+}    // namespace minihpx::papi::native

@@ -27,6 +27,16 @@ namespace {
             "last-level cache misses (modeled as data rd + rfo lines)"},
         {event::res_stl, "PAPI_RES_STL", "PAPI_RES_STL",
             "resource-stall cycles attributable to memory traffic"},
+        {event::dtlb_loads, "dtlb/loads", "perf::DTLB-LOADS",
+            "data-TLB lookups (modeled load/store count per footprint)"},
+        {event::dtlb_misses, "dtlb/misses", "PAPI_TLB_DM",
+            "data-TLB misses (modeled page walks; thrash past 512-entry "
+            "STLB reach)"},
+        {event::llc_loads, "llc/loads", "perf::LLC-LOADS",
+            "last-level-cache lookups (offcore data rd + rfo lines)"},
+        {event::llc_misses, "llc/misses", "perf::LLC-LOAD-MISSES",
+            "last-level-cache misses (modeled DRAM fills; thrash past "
+            "25 MB L3)"},
     }};
 
 }    // namespace

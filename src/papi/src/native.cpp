@@ -1,0 +1,92 @@
+#include <minihpx/papi/native.hpp>
+
+#if __has_include(<papi.h>)
+#include <papi.h>
+#define MINIHPX_HAVE_NATIVE_PAPI 1
+#else
+#define MINIHPX_HAVE_NATIVE_PAPI 0
+#endif
+
+namespace minihpx::papi::native {
+
+#if MINIHPX_HAVE_NATIVE_PAPI
+
+namespace {
+
+    bool init_library() noexcept
+    {
+        static bool const ok = [] {
+            return PAPI_library_init(PAPI_VER_CURRENT) == PAPI_VER_CURRENT;
+        }();
+        return ok;
+    }
+
+}    // namespace
+
+bool available() noexcept
+{
+    return init_library();
+}
+
+char const* backend() noexcept
+{
+    return available() ? "papi" : "model";
+}
+
+std::optional<int> begin(event e) noexcept
+{
+    if (!init_library())
+        return std::nullopt;
+    int set = PAPI_NULL;
+    if (PAPI_create_eventset(&set) != PAPI_OK)
+        return std::nullopt;
+    int code = 0;
+    if (PAPI_event_name_to_code(
+            const_cast<char*>(get_event_info(e).papi_name), &code) !=
+            PAPI_OK ||
+        PAPI_add_event(set, code) != PAPI_OK ||
+        PAPI_start(set) != PAPI_OK)
+    {
+        PAPI_cleanup_eventset(set);
+        PAPI_destroy_eventset(&set);
+        return std::nullopt;
+    }
+    return set;
+}
+
+std::optional<std::uint64_t> end(int handle) noexcept
+{
+    long long value = 0;
+    int const rc = PAPI_stop(handle, &value);
+    PAPI_cleanup_eventset(handle);
+    PAPI_destroy_eventset(&handle);
+    if (rc != PAPI_OK)
+        return std::nullopt;
+    return value < 0 ? 0 : static_cast<std::uint64_t>(value);
+}
+
+#else    // no <papi.h> on this machine: degrade to the model
+
+bool available() noexcept
+{
+    return false;
+}
+
+char const* backend() noexcept
+{
+    return "model";
+}
+
+std::optional<int> begin(event) noexcept
+{
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t> end(int) noexcept
+{
+    return std::nullopt;
+}
+
+#endif
+
+}    // namespace minihpx::papi::native

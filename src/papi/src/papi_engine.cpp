@@ -1,5 +1,6 @@
 #include <minihpx/papi/papi_engine.hpp>
 
+#include <minihpx/memory_model.hpp>
 #include <minihpx/perf/basic_counters.hpp>
 #include <minihpx/runtime/scheduler.hpp>
 #include <minihpx/util/assert.hpp>
@@ -81,8 +82,18 @@ void papi_engine::record(
     add(event::tot_cyc,
         static_cast<std::uint64_t>(static_cast<double>(work.cpu_ns) * ghz_));
     add(event::l3_tcm, rd_lines + rfo_lines);
-    // Stall model: ~60 cycles per off-core line that missed LLC.
-    add(event::res_stl, (rd_lines + rfo_lines) * 60);
+
+    // Footprint-priced locality events (no-ops for workloads that do
+    // not annotate a footprint — traffic comes back all-zero misses).
+    memory_traffic const mt = model_traffic(memory_model{}, work);
+    add(event::dtlb_loads, mt.dtlb_loads);
+    add(event::dtlb_misses, mt.dtlb_misses);
+    add(event::llc_loads, mt.llc_loads);
+    add(event::llc_misses, mt.llc_misses);
+
+    // Stall model: ~60 cycles per off-core line that missed LLC, plus
+    // ~30 cycles per modeled page walk.
+    add(event::res_stl, (rd_lines + rfo_lines) * 60 + mt.dtlb_misses * 30);
 }
 
 std::uint64_t papi_engine::count(event e, std::uint32_t worker) const noexcept

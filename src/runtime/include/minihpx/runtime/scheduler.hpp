@@ -22,6 +22,7 @@
 #include <minihpx/threads/stack.hpp>
 #include <minihpx/threads/thread_data.hpp>
 #include <minihpx/threads/thread_queue.hpp>
+#include <minihpx/threads/topology.hpp>
 #include <minihpx/util/cache_align.hpp>
 #include <minihpx/util/eventcount.hpp>
 #include <minihpx/util/histogram.hpp>
@@ -52,6 +53,12 @@ struct scheduler_config
     unsigned num_workers = 1;
     std::size_t stack_size = threads::default_stack_size;
     bool bind_workers = false;    // best-effort sched_setaffinity
+
+    // Memory-domain count for the numa victim policy
+    // (--mh:numa-domains). 0 = discover from sysfs; N > 0 stripes the
+    // workers into N contiguous blocks (topology::uniform), which
+    // keeps the locality paths testable on single-socket CI.
+    unsigned numa_domains = 0;
 
     // Run-queue implementation (--mh:queue-policy). chase_lev is the
     // default; mutex_deque is kept for A/B ablation runs.
@@ -109,6 +116,15 @@ struct scheduler_config
         unsigned sleep_us = 100;        // timeout for park == timed
         park_policy park = park_policy::spin_park;
 
+        // Victim ordering (--mh:steal-victim-policy). numa probes
+        // same-domain deques before remote ones and steals half the
+        // victim queue (instead of `batch`) on a cross-domain raid —
+        // pay the interconnect latency once, move half the work. With
+        // one discovered domain (single-socket, containers) it
+        // degenerates to the random order. random is kept as the A/B
+        // ablation baseline.
+        threads::victim_policy victim = threads::victim_policy::numa;
+
         // nullopt when valid, otherwise a human-readable reason.
         std::optional<std::string> validate() const;
     };
@@ -160,6 +176,10 @@ namespace detail {
             std::atomic<std::uint64_t> total_time_ns{0};
             std::atomic<std::uint64_t> steal_attempts{0};
             std::atomic<std::uint64_t> steals{0};
+            // Stolen-task split by topology::same_domain(thief, victim)
+            // (sums to `steals`); feeds /threads/steal/{same,cross}-domain.
+            std::atomic<std::uint64_t> steals_same_domain{0};
+            std::atomic<std::uint64_t> steals_cross_domain{0};
             std::atomic<std::uint64_t> yields{0};
             std::atomic<std::uint64_t> suspensions{0};
             std::atomic<std::uint64_t> wakeups{0};
@@ -230,6 +250,10 @@ public:
     {
         return static_cast<unsigned>(workers_.size());
     }
+
+    // Worker -> memory-domain map the numa victim policy steers by
+    // (config.numa_domains override, else sysfs discovery).
+    threads::topology const& topology() const noexcept { return topology_; }
 
     // ---- task management ---------------------------------------------
     using task_function = threads::thread_data::task_function;
@@ -330,6 +354,8 @@ public:
         std::uint64_t idle_time_ns = 0;
         std::uint64_t total_time_ns = 0;
         std::uint64_t steals = 0;
+        std::uint64_t steals_same_domain = 0;
+        std::uint64_t steals_cross_domain = 0;
         std::uint64_t steal_attempts = 0;
         std::uint64_t pending_misses = 0;
         std::uint64_t stolen_from = 0;
@@ -372,6 +398,7 @@ private:
     };
 
     scheduler_config config_;
+    threads::topology topology_;
     std::atomic<run_state> state_{run_state::stopped};
 
     std::vector<std::unique_ptr<detail::worker>> workers_;

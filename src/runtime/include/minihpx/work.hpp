@@ -34,6 +34,16 @@ struct work_annotation
     // Optional instruction count (feeds PAPI_TOT_INS).
     std::uint64_t instructions = 0;
 
+    // Memory-locality footprint of the annotated region, consumed by
+    // the deterministic dTLB/LLC model (minihpx/memory_model.hpp):
+    // the number of *distinct* bytes the region touches (its working
+    // set — as opposed to the traffic totals above, which count every
+    // transfer) and the load/store count. Zero means "no footprint
+    // information"; the model then reports no TLB/LLC misses, so
+    // pre-existing workloads keep their counter readings.
+    std::uint64_t footprint_bytes = 0;
+    std::uint64_t mem_accesses = 0;
+
     constexpr work_annotation& operator+=(work_annotation const& o) noexcept
     {
         cpu_ns += o.cpu_ns;
@@ -41,6 +51,15 @@ struct work_annotation
         rfo_bytes += o.rfo_bytes;
         code_rd_bytes += o.code_rd_bytes;
         instructions += o.instructions;
+        // The working set of a sum of regions is not the sum of the
+        // working sets, but segments accumulated between interaction
+        // boundaries belong to one task touching one tile; max() is
+        // the closest safe composition (never overstates thrash for
+        // tiled kernels, understates only across disjoint phases).
+        footprint_bytes =
+            footprint_bytes > o.footprint_bytes ? footprint_bytes :
+                                                  o.footprint_bytes;
+        mem_accesses += o.mem_accesses;
         return *this;
     }
 };

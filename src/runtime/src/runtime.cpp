@@ -30,23 +30,17 @@ runtime_config runtime_config::from_cli(util::cli_args const& args)
     config.sched.num_workers = std::thread::hardware_concurrency();
     config.sched.bind_workers = args.flag("mh:bind");
 
-    if (auto qp = args.value("mh:queue-policy"))
-    {
-        auto parsed = threads::parse_queue_policy(*qp);
-        if (!parsed)
-            throw std::runtime_error("minihpx: --mh:queue-policy=" +
-                std::string(*qp) + " — expected 'mutex' or 'chase-lev'");
-        config.sched.queue = *parsed;
-    }
-
-    // Integer knobs are table-driven: one row per flag, destinations
-    // keep their struct defaults, and deprecated legacy spellings
+    // Knobs are table-driven: one row per flag, destinations keep
+    // their struct defaults, and deprecated legacy spellings
     // (--mh:sleep-us predates steal_params) warn once per process.
+    // String-valued rows parse-and-validate in place; a false return
+    // makes apply() throw naming the flag and the valid choices.
     auto& steal = config.sched.steal;
     auto& cache = config.sched.descriptor_cache;
     util::option_table table;
     table.add("mh:threads", config.sched.num_workers)
         .add("mh:stack-size", config.sched.stack_size)
+        .add("mh:numa-domains", config.sched.numa_domains)
         .add("mh:steal-seed", steal.seed)
         .add("mh:steal-rounds", steal.rounds)
         .add("mh:steal-batch", steal.batch)
@@ -54,32 +48,52 @@ runtime_config runtime_config::from_cli(util::cli_args const& args)
         .add("mh:steal-sleep-us", steal.sleep_us, "mh:sleep-us")
         .add("mh:descriptor-cache", cache.worker_capacity)
         .add("mh:descriptor-refill", cache.refill_batch)
-        .add("mh:descriptor-global", cache.global_capacity);
+        .add("mh:descriptor-global", cache.global_capacity)
+        .add_string("mh:queue-policy",
+            [&config](std::string const& v) {
+                auto parsed = threads::parse_queue_policy(v);
+                if (parsed)
+                    config.sched.queue = *parsed;
+                return parsed.has_value();
+            },
+            "'mutex' or 'chase-lev'")
+        .add_string("mh:steal-victim-policy",
+            [&steal](std::string const& v) {
+                auto parsed = threads::parse_victim_policy(v);
+                if (parsed)
+                    steal.victim = *parsed;
+                return parsed.has_value();
+            },
+            "'random' or 'numa'")
+        .add_string("mh:steal-park",
+            [&steal](std::string const& v) {
+                using park_policy =
+                    scheduler_config::steal_params::park_policy;
+                if (v == "spin-park")
+                    steal.park = park_policy::spin_park;
+                else if (v == "timed")
+                    steal.park = park_policy::timed;
+                else
+                    return false;
+                return true;
+            },
+            "'spin-park' or 'timed'")
+        .add_string("mh:spawn-path",
+            [&config](std::string const& v) {
+                if (v == "pooled" || v == "pooled-frame")
+                    config.sched.spawn =
+                        scheduler_config::spawn_path::pooled_frame;
+                else if (v == "legacy")
+                    config.sched.spawn =
+                        scheduler_config::spawn_path::legacy;
+                else
+                    return false;
+                return true;
+            },
+            "'pooled' or 'legacy'");
     table.apply(args);
     if (config.sched.num_workers == 0)
         config.sched.num_workers = 1;
-
-    if (auto park = args.value("mh:steal-park"))
-    {
-        using park_policy = scheduler_config::steal_params::park_policy;
-        if (*park == "spin-park")
-            steal.park = park_policy::spin_park;
-        else if (*park == "timed")
-            steal.park = park_policy::timed;
-        else
-            throw std::runtime_error("minihpx: --mh:steal-park=" +
-                std::string(*park) + " — expected 'spin-park' or 'timed'");
-    }
-    if (auto sp = args.value("mh:spawn-path"))
-    {
-        if (*sp == "pooled" || *sp == "pooled-frame")
-            config.sched.spawn = scheduler_config::spawn_path::pooled_frame;
-        else if (*sp == "legacy")
-            config.sched.spawn = scheduler_config::spawn_path::legacy;
-        else
-            throw std::runtime_error("minihpx: --mh:spawn-path=" +
-                std::string(*sp) + " — expected 'pooled' or 'legacy'");
-    }
 
     // Surface bad values here, at the CLI boundary, rather than from
     // deep inside scheduler construction.

@@ -154,18 +154,31 @@ namespace detail {
             return nullptr;
 
         auto const& p = sched_.config().steal;
+        threads::topology const& topo = sched_.topology_;
+        bool const numa = p.victim == threads::victim_policy::numa &&
+            topo.num_domains() > 1;
+        // Cross-domain raids under the numa policy lift the batch cap
+        // to steal_into's own half-the-victim-queue budget: a remote
+        // steal pays the interconnect latency once, so it should move
+        // half the cold end, not `batch` tasks.
+        unsigned const cross_batch = numa ? 65536u : p.batch;
+
         // One raid takes up to `batch` tasks: the first is returned, the
         // surplus lands in our own queue (and is itself stealable, which
         // diffuses a single hot queue across the pool in O(log n) raids).
         auto raid = [&](std::uint32_t victim) -> threads::thread_data* {
             stats_->steal_attempts.fetch_add(1, std::memory_order_relaxed);
+            bool const same = topo.same_domain(id_, victim);
             unsigned stolen = 0;
             threads::thread_data* task =
                 sched_.workers_[victim]->queue_.steal_into(
-                    queue_, p.batch, &stolen);
+                    queue_, same ? p.batch : cross_batch, &stolen);
             if (task)
             {
                 stats_->steals.fetch_add(stolen, std::memory_order_relaxed);
+                (same ? stats_->steals_same_domain :
+                        stats_->steals_cross_domain)
+                    .fetch_add(stolen, std::memory_order_relaxed);
                 // Only the task we are about to run gets a steal event;
                 // batch surplus re-queued locally is covered by the
                 // begin events of whoever eventually runs it.
@@ -177,23 +190,51 @@ namespace detail {
             return task;
         };
 
-        for (unsigned round = 0; round < p.rounds; ++round)
-        {
-            // Random victims first (decorrelates thieves), then one
-            // deterministic sweep so a single busy victim is always found.
+        // Random victims first (decorrelates thieves), then one
+        // deterministic sweep so a single busy victim is always found.
+        // `filter` restricts a pass to one side of the domain boundary
+        // under the numa policy (pass_same: same-domain victims only).
+        auto probe_and_sweep =
+            [&](bool filtered, bool pass_same) -> threads::thread_data* {
             for (unsigned attempt = 0; attempt < n; ++attempt)
             {
                 auto victim = static_cast<std::uint32_t>(rng_.below(n));
-                if (victim == id_)
+                if (victim == id_ ||
+                    (filtered &&
+                        topo.same_domain(id_, victim) != pass_same))
                     continue;
                 if (threads::thread_data* task = raid(victim))
                     return task;
             }
             for (unsigned v = 0; v < n; ++v)
             {
-                if (v == id_)
+                if (v == id_ ||
+                    (filtered && topo.same_domain(id_, v) != pass_same))
                     continue;
                 if (threads::thread_data* task = raid(v))
+                    return task;
+            }
+            return nullptr;
+        };
+
+        for (unsigned round = 0; round < p.rounds; ++round)
+        {
+            if (numa)
+            {
+                // Same-domain deques first: a local steal keeps the
+                // stolen subtree's working set on this socket. Only
+                // when the whole domain is dry do we cross over.
+                if (threads::thread_data* task =
+                        probe_and_sweep(true, true))
+                    return task;
+                if (threads::thread_data* task =
+                        probe_and_sweep(true, false))
+                    return task;
+            }
+            else
+            {
+                if (threads::thread_data* task =
+                        probe_and_sweep(false, false))
                     return task;
             }
             // New work may have landed locally while we were searching.
@@ -355,6 +396,12 @@ std::optional<std::string> scheduler_config::cache_params::validate() const
 
 scheduler::scheduler(scheduler_config config)
   : config_(config)
+  , topology_(config.numa_domains > 0 ?
+            threads::topology::uniform(
+                config.num_workers ? config.num_workers : 1,
+                config.numa_domains) :
+            threads::topology::from_sysfs(
+                config.num_workers ? config.num_workers : 1))
   , stack_pool_(config.stack_size)
 {
     if (auto err = config_.steal.validate())
@@ -838,6 +885,10 @@ scheduler::totals scheduler::aggregate() const
         t.idle_time_ns += s.idle_time_ns.load(std::memory_order_relaxed);
         t.total_time_ns += s.total_time_ns.load(std::memory_order_relaxed);
         t.steals += s.steals.load(std::memory_order_relaxed);
+        t.steals_same_domain +=
+            s.steals_same_domain.load(std::memory_order_relaxed);
+        t.steals_cross_domain +=
+            s.steals_cross_domain.load(std::memory_order_relaxed);
         t.steal_attempts += s.steal_attempts.load(std::memory_order_relaxed);
         t.suspensions += s.suspensions.load(std::memory_order_relaxed);
         t.yields += s.yields.load(std::memory_order_relaxed);

@@ -9,6 +9,8 @@
 // (HPX-style lightweight tasks vs thread-per-task std::async).
 #pragma once
 
+#include <minihpx/memory_model.hpp>
+
 #include <cstdint>
 #include <string>
 
@@ -32,6 +34,16 @@ struct machine_desc
     // (first-touch places the working set on socket 0).
     double numa_penalty = 1.55;
     std::uint64_t ram_bytes = 32ull << 30;
+
+    // ---- memory-locality model (minihpx/memory_model.hpp) -------------
+    // Per-core unified second-level TLB and per-socket shared L3; the
+    // deterministic dTLB/LLC model derives modeled miss counts from
+    // task footprints, and tlb_walk_ns prices each modeled page walk
+    // into virtual task time (~30 cycles @2.5 GHz).
+    std::uint64_t page_bytes = 4096;
+    std::uint64_t stlb_entries = 512;
+    std::uint64_t llc_bytes = 25ull << 20;
+    double tlb_walk_ns = 12.0;
 
     // ---- HPX-style scheduler model -------------------------------------
     double hpx_spawn_ns = 320;          // create descriptor + enqueue
@@ -78,6 +90,16 @@ struct machine_desc
     unsigned socket_of(unsigned core) const noexcept
     {
         return core / cores_per_socket;
+    }
+
+    // The dTLB/LLC model parameterized by this machine.
+    memory_model mem_model() const noexcept
+    {
+        memory_model m;
+        m.page_bytes = page_bytes;
+        m.tlb_entries = stlb_entries;
+        m.llc_bytes = llc_bytes;
+        return m;
     }
 
     // The paper's node (Table III).

@@ -22,6 +22,7 @@
 #include <minihpx/threads/context.hpp>
 #include <minihpx/threads/queue_policy.hpp>
 #include <minihpx/threads/stack.hpp>
+#include <minihpx/threads/topology.hpp>
 #include <minihpx/util/rng.hpp>
 #include <minihpx/util/unique_function.hpp>
 #include <minihpx/work.hpp>
@@ -64,6 +65,16 @@ struct sim_config
     // source of truth for paper figures. Virtual results are therefore
     // identical across policies (pinned by test_sim / test_telemetry).
     threads::queue_policy queue = threads::queue_policy::chase_lev;
+
+    // Victim-selection policy for the hpx-like steal model. Unlike
+    // `queue`, this one IS part of the cost model: numa probes
+    // same-socket queues before remote ones and batch-moves half a
+    // remote victim's cold end, so steal composition (and with it the
+    // virtual makespan) changes. Defaults to the pre-locality random
+    // order so every byte-pinned virtual result stays put; ablations
+    // (bench/matmul_tiling, test_sim NumaVictimPolicy*) opt in to numa
+    // explicitly.
+    threads::victim_policy victim = threads::victim_policy::random;
 
     // Causal-verification hook: virtually "optimize region L by
     // (1-factor)". Every compute segment of a task whose current trace
@@ -110,6 +121,14 @@ struct sim_report
     std::uint64_t offcore_code_rd = 0;
     std::uint64_t instructions = 0;
 
+    // Footprint-priced locality totals (memory_model.hpp via
+    // machine_desc::mem_model); all-zero misses for workloads that do
+    // not annotate a footprint.
+    std::uint64_t dtlb_loads = 0;
+    std::uint64_t dtlb_misses = 0;
+    std::uint64_t llc_loads = 0;
+    std::uint64_t llc_misses = 0;
+
     double avg_task_duration_us() const noexcept
     {
         return tasks_executed ?
@@ -122,6 +141,22 @@ struct sim_report
             sched_overhead_s * 1e6 / static_cast<double>(tasks_executed) :
             0.0;
     }
+    // The locality diagnostics the matmul tiling ablation reads.
+    double dtlb_miss_rate() const noexcept
+    {
+        return dtlb_loads ?
+            static_cast<double>(dtlb_misses) /
+                static_cast<double>(dtlb_loads) :
+            0.0;
+    }
+    double llc_miss_rate() const noexcept
+    {
+        return llc_loads ?
+            static_cast<double>(llc_misses) /
+                static_cast<double>(llc_loads) :
+            0.0;
+    }
+
     // Paper §V-C: offcore lines * 64 B / execution time.
     double offcore_bandwidth_gbs() const noexcept
     {
@@ -188,6 +223,10 @@ namespace detail {
 
         // compute accumulated since the last interaction boundary
         work_annotation pending{};
+        // modeled page walks of the pending segment (accumulated
+        // per-annotation in simulator::annotate, priced by
+        // segment_cost_ns, cleared with `pending`)
+        std::uint64_t pending_dtlb_misses = 0;
 
         // sim_config::cost_scales factor of the task's current label
         // (annotate_label keeps it in sync; 1 = unscaled)

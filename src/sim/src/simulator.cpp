@@ -309,8 +309,14 @@ std::uint64_t simulator::segment_cost_ns(sim_task const& task) const
     work_annotation const& w = task.pending;
     double const mem_bytes = static_cast<double>(
         w.data_rd_bytes + w.rfo_bytes + w.code_rd_bytes);
+    // Modeled page walks stall the core like any other memory time
+    // (and are NUMA-amplified with it: a remote walk crosses the
+    // interconnect too, via mem_bw_factor's numa_penalty share).
+    double const tlb_ns =
+        static_cast<double>(task.pending_dtlb_misses) *
+        config_.machine.tlb_walk_ns;
     double cost = (static_cast<double>(w.cpu_ns) +
-                      mem_bytes * task.mem_bw_factor) *
+                      mem_bytes * task.mem_bw_factor + tlb_ns) *
         task.cost_scale;
     if (task.load_factor > 1.0)
     {
@@ -356,24 +362,22 @@ sim_task* simulator::pick_hpx(unsigned core, std::uint64_t& cost_ns)
     if (cores_.size() == 1)
         return nullptr;
 
-    // Steal: random probes (deterministic RNG), then a sweep.
+    // Steal: random probes (deterministic RNG), then a sweep. Under the
+    // numa victim policy both passes run twice: once restricted to
+    // same-socket victims, then (only if that found nothing) over the
+    // remote socket(s). A remote raid additionally drags half of the
+    // victim's cold end (queue front) back, amortizing the interconnect
+    // trip — mirroring the real scheduler's uncapped cross-domain batch.
     std::uint64_t cost = 0;
     unsigned const n = static_cast<unsigned>(cores_.size());
-    for (unsigned attempt = 0; attempt < 2 * n; ++attempt)
-    {
-        auto const victim = static_cast<unsigned>(rng_.below(n));
-        if (victim == core)
-            continue;
+    bool const numa = config_.victim == threads::victim_policy::numa &&
+        m.sockets > 1 && n > m.cores_per_socket;
+
+    auto grab = [&](unsigned victim) -> sim_task* {
         auto& vq = cores_[victim].queue;
-        if (vq.empty())
-        {
-            cost += static_cast<std::uint64_t>(m.hpx_steal_attempt_ns);
-            continue;
-        }
         sim_task* task = vq.front();
         vq.pop_front();
-        bool const remote =
-            m.socket_of(victim) != m.socket_of(core);
+        bool const remote = m.socket_of(victim) != m.socket_of(core);
         cost += static_cast<std::uint64_t>(
             (remote ? m.hpx_steal_remote_ns : m.hpx_steal_local_ns) *
             contention);
@@ -381,27 +385,61 @@ sim_task* simulator::pick_hpx(unsigned core, std::uint64_t& cost_ns)
         report_.remote_steals += remote;
         temit(tracer_, now_ns_, trace::event_kind::steal, task->id, victim,
             core);
-        cost_ns = cost;
+        if (numa && remote)
+        {
+            std::size_t const extra = vq.size() / 2;
+            for (std::size_t i = 0; i < extra; ++i)
+            {
+                sim_task* batched = vq.front();
+                vq.pop_front();
+                own.push_back(batched);
+                ++report_.steals;
+                ++report_.remote_steals;
+                // Moving an already-located task is far cheaper than the
+                // initial raid: one queue-transfer per task.
+                cost += static_cast<std::uint64_t>(
+                    m.hpx_steal_attempt_ns * contention);
+                temit(tracer_, now_ns_, trace::event_kind::steal,
+                    batched->id, victim, core);
+            }
+        }
         return task;
-    }
-    for (unsigned v = 0; v < n; ++v)
-    {
-        if (v == core || cores_[v].queue.empty())
-            continue;
-        sim_task* task = cores_[v].queue.front();
-        cores_[v].queue.pop_front();
-        bool const remote = m.socket_of(v) != m.socket_of(core);
-        cost += static_cast<std::uint64_t>(
-            (remote ? m.hpx_steal_remote_ns : m.hpx_steal_local_ns) *
-            contention);
-        ++report_.steals;
-        report_.remote_steals += remote;
-        temit(tracer_, now_ns_, trace::event_kind::steal, task->id, v, core);
-        cost_ns = cost;
-        return task;
-    }
+    };
+
+    // filter: 0 = any victim, 1 = same-socket only, 2 = remote only.
+    auto pass = [&](int filter) -> sim_task* {
+        for (unsigned attempt = 0; attempt < 2 * n; ++attempt)
+        {
+            auto const victim = static_cast<unsigned>(rng_.below(n));
+            if (victim == core)
+                continue;
+            bool const same = m.socket_of(victim) == m.socket_of(core);
+            if ((filter == 1 && !same) || (filter == 2 && same))
+                continue;
+            if (cores_[victim].queue.empty())
+            {
+                cost += static_cast<std::uint64_t>(m.hpx_steal_attempt_ns);
+                continue;
+            }
+            return grab(victim);
+        }
+        for (unsigned v = 0; v < n; ++v)
+        {
+            if (v == core || cores_[v].queue.empty())
+                continue;
+            bool const same = m.socket_of(v) == m.socket_of(core);
+            if ((filter == 1 && !same) || (filter == 2 && same))
+                continue;
+            return grab(v);
+        }
+        return nullptr;
+    };
+
+    sim_task* task = numa ? pass(1) : pass(0);
+    if (numa && !task)
+        task = pass(2);
     cost_ns = cost;
-    return nullptr;
+    return task;
 }
 
 void simulator::enqueue_std(sim_task* task)
@@ -569,6 +607,7 @@ void simulator::handle_resume(sim_task* task)
     (void) inter;
     std::uint64_t const cost = segment_cost_ns(*task);
     task->pending = work_annotation{};
+    task->pending_dtlb_misses = 0;
     exec_ns_total_ += cost;
     task->vt_exec_ns += cost;
     push(now_ns_ + cost, ev_apply, task, task->core);
@@ -825,6 +864,17 @@ void simulator::annotate(work_annotation const& w) noexcept
     report_.offcore_rfo += to_lines(w.rfo_bytes);
     report_.offcore_code_rd += to_lines(w.code_rd_bytes);
     report_.instructions += w.instructions;
+
+    // Locality model, priced per annotation (each annotation is one
+    // kernel's footprint; summing the annotations first would merge
+    // disjoint working sets into a fictitious large one).
+    memory_traffic const mt =
+        model_traffic(config_.machine.mem_model(), w);
+    report_.dtlb_loads += mt.dtlb_loads;
+    report_.dtlb_misses += mt.dtlb_misses;
+    report_.llc_loads += mt.llc_loads;
+    report_.llc_misses += mt.llc_misses;
+    task->pending_dtlb_misses += mt.dtlb_misses;
 }
 
 sim_task* simulator::spawn_task(util::unique_function<void()> fn, bool front)

@@ -1,0 +1,123 @@
+#include <minihpx/threads/topology.hpp>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace minihpx::threads {
+
+std::vector<unsigned> parse_cpulist(std::string_view list)
+{
+    std::vector<unsigned> cpus;
+    std::size_t pos = 0;
+    while (pos < list.size())
+    {
+        std::size_t const comma = list.find(',', pos);
+        std::string_view item = list.substr(pos,
+            comma == std::string_view::npos ? std::string_view::npos :
+                                              comma - pos);
+        // Trim trailing whitespace/newline from the sysfs read.
+        while (!item.empty() &&
+            (item.back() == '\n' || item.back() == ' ' ||
+                item.back() == '\r'))
+            item.remove_suffix(1);
+        if (item.empty())
+            return {};
+
+        char const* begin = item.data();
+        char* end = nullptr;
+        unsigned long const lo = std::strtoul(begin, &end, 10);
+        if (end == begin)
+            return {};
+        unsigned long hi = lo;
+        if (end < item.data() + item.size() && *end == '-')
+        {
+            char const* hi_begin = end + 1;
+            hi = std::strtoul(hi_begin, &end, 10);
+            if (end == hi_begin)
+                return {};
+        }
+        if (end != item.data() + item.size() || hi < lo ||
+            hi - lo > 4096)    // sanity bound against garbage
+            return {};
+        for (unsigned long c = lo; c <= hi; ++c)
+            cpus.push_back(static_cast<unsigned>(c));
+
+        if (comma == std::string_view::npos)
+            break;
+        pos = comma + 1;
+    }
+    return cpus;
+}
+
+topology topology::uniform(unsigned workers, unsigned domains)
+{
+    topology t;
+    if (workers == 0)
+        workers = 1;
+    if (domains == 0)
+        domains = 1;
+    if (domains > workers)
+        domains = workers;
+    t.domains_ = domains;
+    t.domain_of_.resize(workers);
+    // Contiguous blocks, sockets filled first — the same shape as
+    // machine_desc::socket_of (core / cores_per_socket).
+    unsigned const per = (workers + domains - 1) / domains;
+    for (unsigned w = 0; w < workers; ++w)
+    {
+        unsigned d = w / per;
+        if (d >= domains)
+            d = domains - 1;
+        t.domain_of_[w] = d;
+    }
+    return t;
+}
+
+topology topology::from_sysfs(unsigned workers)
+{
+    if (workers == 0)
+        workers = 1;
+
+    // cpu -> node, discovered node by node. Nodes are not necessarily
+    // dense, so the domain index is the discovery order.
+    std::vector<unsigned> cpu_node;
+    unsigned domains = 0;
+    for (unsigned node = 0; node < 64; ++node)
+    {
+        std::string const path = "/sys/devices/system/node/node" +
+            std::to_string(node) + "/cpulist";
+        std::FILE* f = std::fopen(path.c_str(), "r");
+        if (!f)
+            break;
+        char buf[4096];
+        std::size_t const n = std::fread(buf, 1, sizeof(buf) - 1, f);
+        std::fclose(f);
+        buf[n] = '\0';
+        std::vector<unsigned> const cpus =
+            parse_cpulist(std::string_view(buf, n));
+        if (cpus.empty())
+            continue;
+        for (unsigned const cpu : cpus)
+        {
+            if (cpu >= cpu_node.size())
+                cpu_node.resize(cpu + 1, 0);
+            cpu_node[cpu] = domains;
+        }
+        ++domains;
+    }
+
+    if (domains <= 1 || cpu_node.empty())
+        return topology{};    // single domain (or unreadable sysfs)
+
+    topology t;
+    t.domains_ = domains;
+    t.domain_of_.resize(workers);
+    // Workers bind to core (id % hardware_concurrency) when bound at
+    // all (scheduler::bind_to_core); mirror that wrap here.
+    for (unsigned w = 0; w < workers; ++w)
+        t.domain_of_[w] = cpu_node[w % cpu_node.size()];
+    return t;
+}
+
+}    // namespace minihpx::threads

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -155,6 +157,76 @@ TEST(Cli, NumericParsing)
     EXPECT_DOUBLE_EQ(args.double_or("d", 0), 2.5);
     EXPECT_EQ(args.int_or("neg", 0), -7);
     EXPECT_EQ(args.int_or("missing", 42), 42);
+}
+
+TEST(OptionTable, StringRowStoresAcceptedValue)
+{
+    char const* argv[] = {"p", "--mh:policy=numa"};
+    cli_args args(2, argv);
+    std::string got = "random";
+    option_table table;
+    table.add_string("mh:policy",
+        [&](std::string const& v) {
+            got = v;
+            return true;
+        },
+        "'random' or 'numa'");
+    table.apply(args);
+    EXPECT_EQ(got, "numa");
+}
+
+TEST(OptionTable, StringRowRejectionThrowsWithExpectedText)
+{
+    char const* argv[] = {"p", "--mh:policy=closest"};
+    cli_args args(2, argv);
+    option_table table;
+    table.add_string("mh:policy",
+        [](std::string const&) { return false; }, "'random' or 'numa'");
+    try
+    {
+        table.apply(args);
+        FAIL() << "apply() accepted a rejected string value";
+    }
+    catch (std::runtime_error const& e)
+    {
+        std::string const what = e.what();
+        EXPECT_NE(what.find("mh:policy"), std::string::npos) << what;
+        EXPECT_NE(what.find("closest"), std::string::npos) << what;
+        EXPECT_NE(what.find("'random' or 'numa'"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(OptionTable, StringRowHonorsDeprecatedAlias)
+{
+    char const* argv[] = {"p", "--mh:old-policy=numa"};
+    cli_args args(2, argv);
+    std::string got;
+    option_table table;
+    table.add_string("mh:policy",
+        [&](std::string const& v) {
+            got = v;
+            return true;
+        },
+        "'random' or 'numa'", "mh:old-policy");
+    table.apply(args);    // warns on stderr once, still stores
+    EXPECT_EQ(got, "numa");
+}
+
+TEST(OptionTable, CanonicalSpellingWinsOverAlias)
+{
+    char const* argv[] = {"p", "--mh:old-policy=random", "--mh:policy=numa"};
+    cli_args args(3, argv);
+    std::string got;
+    option_table table;
+    table.add_string("mh:policy",
+        [&](std::string const& v) {
+            got = v;
+            return true;
+        },
+        "'random' or 'numa'", "mh:old-policy");
+    table.apply(args);
+    EXPECT_EQ(got, "numa");
 }
 
 // --------------------------------------------------------------- histogram

@@ -4,10 +4,14 @@
 // plus benchmark-specific known values and structural checks.
 #include <inncabs/harness.hpp>
 #include <inncabs/inncabs.hpp>
+#include <minihpx/trace/trace.hpp>
 
 #include <gtest/gtest.h>
 
 #include "test_env.hpp"
+
+#include <cstring>
+#include <memory>
 
 using namespace inncabs;
 namespace ms = minihpx::sim;
@@ -39,7 +43,7 @@ class SuiteEquivalence : public ::testing::TestWithParam<char const*>
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SuiteEquivalence,
     ::testing::Values("alignment", "health", "sparselu", "fft", "fib",
         "pyramids", "sort", "strassen", "floorplan", "nqueens", "qap",
-        "uts", "intersim", "round"),
+        "uts", "intersim", "round", "matmul"),
     [](auto const& info) { return std::string(info.param); });
 
 TEST_P(SuiteEquivalence, SimMatchesSerial)
@@ -74,13 +78,144 @@ TEST_P(SuiteEquivalence, StdBaselineMatchesSerial)
 
 // -------------------------------------------------- benchmark specifics
 
-TEST(SuiteRegistry, FourteenBenchmarksInTableVOrder)
+TEST(SuiteRegistry, FifteenBenchmarksTableVOrderThenMatmul)
 {
-    ASSERT_EQ(suite().size(), 14u);
+    ASSERT_EQ(suite().size(), 15u);
     EXPECT_EQ(suite().front().name, "alignment");
-    EXPECT_EQ(suite().back().name, "round");
+    EXPECT_EQ(suite().back().name, "matmul");
     EXPECT_NE(find_benchmark("uts"), nullptr);
+    EXPECT_NE(find_benchmark("matmul"), nullptr);
     EXPECT_EQ(find_benchmark("nope"), nullptr);
+}
+
+TEST(Matmul, ChecksumIndependentOfTileSize)
+{
+    // Both task shapes accumulate every C(i,j) in ascending k, so the
+    // result is bitwise identical: untiled bands, square tiles, ragged
+    // tiles (t does not divide n), and the serial reference all agree.
+    using M = matmul_bench<sim_engine>;
+    typename M::params p;
+    p.n = 96;
+    double const serial = M::run_serial(p);
+
+    for (std::size_t tile : {std::size_t{0}, std::size_t{16},
+             std::size_t{32}, std::size_t{40}, std::size_t{96}})
+    {
+        p.tile = tile;
+        ms::sim_config config;
+        config.cores = 4;
+        config.skip_compute = false;
+        ms::simulator sim(config);
+        double result = 0;
+        auto report = sim.run([&] { result = M::run(p); });
+        ASSERT_FALSE(report.failed);
+        EXPECT_DOUBLE_EQ(result, serial) << "tile=" << tile;
+    }
+}
+
+TEST(Matmul, ModeledDtlbMissRateDropsTenfoldWhenTiled)
+{
+    // The tentpole A/B: at n=512 an untiled 32-row band's working set
+    // (576 pages) thrashes the modeled 512-entry STLB while a 64-square
+    // tile (24 pages) pays only compulsory walks. Deterministic model,
+    // so the exact rates are pinned to be reproducible run to run.
+    using M = matmul_bench<sim_engine>;
+    auto miss_rate = [](std::size_t tile) {
+        typename M::params p;
+        p.n = 512;
+        p.tile = tile;
+        p.band = 32;
+        ms::sim_config config;
+        config.cores = 8;    // skip_compute stays on: model-only run
+        ms::simulator sim(config);
+        auto report = sim.run([&] { M::run(p); });
+        EXPECT_FALSE(report.failed);
+        return report.dtlb_miss_rate();
+    };
+    double const untiled = miss_rate(0);
+    double const tiled = miss_rate(64);
+    EXPECT_GT(untiled, 10.0 * tiled);
+    // Sanity band: percent-range untiled (SNIPPETS.md profiles measure
+    // 7.4-7.7% at n=3000), compulsory-only tiled.
+    EXPECT_GT(untiled, 0.001);
+    EXPECT_LT(untiled, 0.15);
+    EXPECT_LT(tiled, 0.001);
+    EXPECT_DOUBLE_EQ(untiled, miss_rate(0));    // deterministic
+}
+
+TEST(Matmul, NumaVictimPolicyBeatsRandomOnNumaMachine)
+{
+    // 1024 tile tasks on the simulated dual-socket node: same-socket
+    // probing plus batched cross-socket raids shorten the makespan.
+    using M = matmul_bench<sim_engine>;
+    auto makespan = [](minihpx::threads::victim_policy victim) {
+        typename M::params p;
+        p.n = 512;
+        p.tile = 16;
+        ms::sim_config config;
+        config.cores = 20;
+        config.victim = victim;
+        ms::simulator sim(config);
+        auto report = sim.run([&] { M::run(p); });
+        EXPECT_FALSE(report.failed);
+        return report.exec_time_s;
+    };
+    EXPECT_LT(makespan(minihpx::threads::victim_policy::numa),
+        makespan(minihpx::threads::victim_policy::random));
+}
+
+TEST(Matmul, SimTraceByteDeterministicWithLabels)
+{
+    // The locality-aware steal path must not break trace determinism:
+    // two identical numa-policy runs produce byte-identical virtual
+    // traces, and the workload's task labels survive into them.
+    using M = matmul_bench<sim_engine>;
+    namespace trace = minihpx::trace;
+    auto record = [] {
+        ms::sim_config config;
+        config.cores = 20;
+        config.victim = minihpx::threads::victim_policy::numa;
+        ms::simulator sim(config);
+        trace::trace_options options;
+        options.enabled = true;
+        options.destination = "";
+        trace::sim_session session(sim, options);
+        auto memory = std::make_shared<trace::memory_sink>(
+            trace::clock_kind::virtual_);
+        session.add_sink(memory);
+        auto report = sim.run([] { M::run(M::params::tiny()); });
+        EXPECT_FALSE(report.failed);
+        session.finish();
+        return memory->take();
+    };
+    auto const a = record();
+    auto const b = record();
+    ASSERT_EQ(a.events.size(), b.events.size());
+    EXPECT_EQ(std::memcmp(a.events.data(), b.events.data(),
+                  a.events.size() * sizeof(trace::event)),
+        0);
+    bool labeled = false;
+    for (auto const& s : a.strings)
+        labeled |= s == "matmul-tile";
+    EXPECT_TRUE(labeled);
+}
+
+TEST(Matmul, TileOverrideRedirectsSuiteEntry)
+{
+    // The --tile driver knob: overriding the tile changes the task
+    // decomposition (8 untiled bands vs 16 tiles at tiny scale).
+    using M = matmul_bench<sim_engine>;
+    auto count_tasks = [](std::size_t override_tile) {
+        inncabs::matmul_tile_override() = override_tile;
+        ms::sim_config config;
+        config.cores = 2;
+        ms::simulator sim(config);
+        auto report = sim.run([] { M::run(M::params::tiny()); });
+        inncabs::matmul_tile_override() = static_cast<std::size_t>(-1);
+        EXPECT_FALSE(report.failed);
+        return report.tasks_created;
+    };
+    EXPECT_LT(count_tasks(0), count_tasks(16));
 }
 
 TEST(Fib, KnownValues)

@@ -1,10 +1,14 @@
 // Tests for the simulated PAPI layer: event catalogue, the virtual PMU
 // fed by work annotations, and the /papi{...}/EVENT counter bindings.
 #include <minihpx/minihpx.hpp>
+#include <minihpx/papi/native.hpp>
 #include <minihpx/papi/papi_engine.hpp>
 #include <minihpx/perf/perf.hpp>
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
 
 using namespace minihpx;
 using namespace minihpx::papi;
@@ -145,4 +149,95 @@ TEST(PapiCounters, PerWorkerWildcard)
     ASSERT_TRUE(p.has_value());
     EXPECT_EQ(registry.expand(*p).size(), 3u);
     engine.uninstall();
+}
+
+TEST(PapiEvents, MemoryLocalityEventsInCatalogue)
+{
+    EXPECT_EQ(find_event("dtlb/loads"), event::dtlb_loads);
+    EXPECT_EQ(find_event("dtlb/misses"), event::dtlb_misses);
+    EXPECT_EQ(find_event("llc/loads"), event::llc_loads);
+    EXPECT_EQ(find_event("llc/misses"), event::llc_misses);
+    // Every modeled event carries a native PAPI spelling for the
+    // hardware backend's translation table.
+    EXPECT_STREQ(get_event_info(event::dtlb_misses).papi_name,
+        "PAPI_TLB_DM");
+    EXPECT_EQ(num_events, 11u);
+}
+
+TEST(PapiEngine, ModelsTlbMissesFromFootprint)
+{
+    papi_engine engine(2);
+    // 64-page working set inside the 512-entry STLB reach: compulsory
+    // walks only, one per page.
+    engine.record(0,
+        {.footprint_bytes = 64 * 4096, .mem_accesses = 1000});
+    EXPECT_EQ(engine.count(event::dtlb_loads, 0), 1000u);
+    EXPECT_EQ(engine.count(event::dtlb_misses, 0), 64u);
+    EXPECT_EQ(engine.count(event::llc_loads, 0), 1000u);
+
+    // 1024-page working set thrashes the STLB: compulsory walks plus
+    // accesses * ((1024-512)/1024)/8 = 6250 capacity walks.
+    engine.record(1,
+        {.footprint_bytes = 1024 * 4096, .mem_accesses = 100000});
+    EXPECT_EQ(engine.count(event::dtlb_misses, 1), 1024u + 6250u);
+}
+
+TEST(PapiEngine, NoFootprintMeansNoModeledLocalityMisses)
+{
+    papi_engine engine(1);
+    engine.record(0, {.data_rd_bytes = 640, .mem_accesses = 500});
+    EXPECT_EQ(engine.count(event::dtlb_loads, 0), 500u);
+    EXPECT_EQ(engine.count(event::dtlb_misses, 0), 0u);
+    EXPECT_EQ(engine.count(event::llc_misses, 0), 0u);
+}
+
+TEST(PapiCounters, DtlbMissRateDerivedCounter)
+{
+    runtime_config config;
+    config.sched.num_workers = 2;
+    runtime rt(config);
+    papi_engine engine(2);
+    engine.install();
+    perf::counter_registry registry;
+    engine.register_counters(registry);
+
+    EXPECT_TRUE(registry.contains("/papi/dtlb/misses"));
+    EXPECT_TRUE(registry.contains("/papi/llc/loads"));
+
+    // The miss-rate derivation bench/matmul_tiling reports.
+    auto rate = registry.create(
+        "/arithmetics/divide@"
+        "/papi{locality#0/total}/dtlb/misses,"
+        "/papi{locality#0/total}/dtlb/loads");
+    ASSERT_TRUE(rate);
+    rate->reset();
+    async([] {
+        annotate_work(
+            {.footprint_bytes = 64 * 4096, .mem_accesses = 1000});
+    }).get();
+    EXPECT_DOUBLE_EQ(rate->get_value().get(), 64.0 / 1000.0);
+
+    papi_engine::remove_counters(registry);
+    engine.uninstall();
+}
+
+TEST(PapiNative, DegradesGracefullyWithoutHardware)
+{
+    // The container has no PMU (and usually no libpapi); assert the
+    // shim's contract rather than a particular backend.
+    char const* const b = native::backend();
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(std::string_view(b) == "papi" ||
+        std::string_view(b) == "model");
+    if (!native::available())
+    {
+        EXPECT_STREQ(b, "model");
+        EXPECT_FALSE(native::begin(event::dtlb_misses).has_value());
+    }
+    else
+    {
+        auto h = native::begin(event::dtlb_misses);
+        if (h)
+            EXPECT_TRUE(native::end(*h).has_value());
+    }
 }

@@ -606,6 +606,101 @@ TEST(RuntimeConfig, FromCliParsesQueuePolicy)
     EXPECT_THROW(runtime_config::from_cli(args_bad), std::runtime_error);
 }
 
+TEST(RuntimeConfig, FromCliParsesVictimPolicyAndDomains)
+{
+    // Locality-aware stealing is the default on multi-domain machines.
+    EXPECT_EQ(scheduler_config{}.steal.victim, threads::victim_policy::numa);
+
+    char const* argv[] = {
+        "prog", "--mh:steal-victim-policy=random", "--mh:numa-domains=2"};
+    util::cli_args args(3, argv);
+    auto config = runtime_config::from_cli(args);
+    EXPECT_EQ(config.sched.steal.victim, threads::victim_policy::random);
+    EXPECT_EQ(config.sched.numa_domains, 2u);
+
+    char const* argv_numa[] = {"prog", "--mh:steal-victim-policy=numa"};
+    util::cli_args args_numa(2, argv_numa);
+    EXPECT_EQ(runtime_config::from_cli(args_numa).sched.steal.victim,
+        threads::victim_policy::numa);
+
+    char const* argv_bad[] = {"prog", "--mh:steal-victim-policy=closest"};
+    util::cli_args args_bad(2, argv_bad);
+    EXPECT_THROW(runtime_config::from_cli(args_bad), std::runtime_error);
+}
+
+namespace {
+
+    // Single producer: every task spawns at the bottom of one worker's
+    // queue, so the other workers only make progress by stealing.
+    struct steal_totals
+    {
+        std::uint64_t steals = 0, same = 0, cross = 0;
+    };
+
+    steal_totals run_steal_storm(
+        threads::victim_policy victim, unsigned domains)
+    {
+        runtime_config config;
+        config.sched.num_workers = 4;
+        config.sched.steal.victim = victim;
+        config.sched.numa_domains = domains;
+        runtime rt(config);
+        async([] {
+            std::vector<future<void>> fs;
+            for (int i = 0; i < 4000; ++i)
+                fs.push_back(async([] {
+                    volatile int x = 0;
+                    for (int j = 0; j < 64; ++j)
+                        x += j;
+                }));
+            wait_all(fs);
+        }).get();
+
+        steal_totals t;
+        auto& sched = rt.get_scheduler();
+        for (unsigned i = 0; i < sched.num_workers(); ++i)
+        {
+            auto const& s = sched.get_worker(i).get_stats();
+            t.steals += s.steals.load(std::memory_order_relaxed);
+            t.same +=
+                s.steals_same_domain.load(std::memory_order_relaxed);
+            t.cross +=
+                s.steals_cross_domain.load(std::memory_order_relaxed);
+        }
+        return t;
+    }
+
+}    // namespace
+
+TEST(Scheduler, NumaPolicyStealSplitSumsToTotal)
+{
+    auto const t =
+        run_steal_storm(threads::victim_policy::numa, /*domains=*/2);
+    EXPECT_GT(t.steals, 0u);
+    EXPECT_EQ(t.same + t.cross, t.steals);
+    // Tasks originate in one domain; the other domain's workers can
+    // only reach them across the boundary.
+    EXPECT_GT(t.cross, 0u);
+}
+
+TEST(Scheduler, SingleDomainCountsAllStealsSameDomain)
+{
+    auto const t =
+        run_steal_storm(threads::victim_policy::numa, /*domains=*/1);
+    EXPECT_GT(t.steals, 0u);
+    EXPECT_EQ(t.cross, 0u);
+    EXPECT_EQ(t.same, t.steals);
+}
+
+TEST(Scheduler, RandomPolicyStillSplitsByDomain)
+{
+    // The split counters are accounting, not policy: they populate
+    // under random victim selection too.
+    auto const t =
+        run_steal_storm(threads::victim_policy::random, /*domains=*/2);
+    EXPECT_EQ(t.same + t.cross, t.steals);
+}
+
 TEST(RuntimeConfig, FromCliRejectsInvalidStealParams)
 {
     char const* argv_batch[] = {"prog", "--mh:steal-batch=0"};

@@ -315,6 +315,132 @@ TEST(Simulator, SkipComputeFlagVisible)
     EXPECT_FALSE(skip);
 }
 
+TEST(Simulator, TlbModelDerivesMissesFromFootprint)
+{
+    // 64 pages fit the 512-entry STLB: compulsory walks only.
+    simulator fits(make_config(1));
+    auto const r1 = fits.run([] {
+        sim_engine::annotate_work({.data_rd_bytes = 1 << 20,
+            .footprint_bytes = 64 * 4096,
+            .mem_accesses = 100'000});
+    });
+    EXPECT_EQ(r1.dtlb_loads, 100'000u);
+    EXPECT_EQ(r1.dtlb_misses, 64u);
+    EXPECT_EQ(r1.llc_loads, 100'000u);
+
+    // 1024 pages thrash: compulsory + accesses * ((1024-512)/1024)/8.
+    simulator thrashes(make_config(1));
+    auto const r2 = thrashes.run([] {
+        sim_engine::annotate_work({.data_rd_bytes = 1 << 20,
+            .footprint_bytes = 1024 * 4096,
+            .mem_accesses = 100'000});
+    });
+    EXPECT_EQ(r2.dtlb_misses, 1024u + 100'000u / 2u / 8u);
+    EXPECT_GT(r2.dtlb_miss_rate(), 10.0 * r1.dtlb_miss_rate());
+}
+
+TEST(Simulator, NoFootprintMeansNoModeledTlbMisses)
+{
+    // Pre-existing workloads annotate traffic but no working set; the
+    // model must not invent misses for them (counter readings stay put).
+    simulator sim(make_config(1));
+    auto const report = sim.run([] {
+        sim_engine::annotate_work(
+            {.cpu_ns = 10'000, .data_rd_bytes = 1 << 20});
+    });
+    EXPECT_GT(report.dtlb_loads, 0u);    // line-granular traffic
+    EXPECT_EQ(report.dtlb_misses, 0u);
+    EXPECT_EQ(report.llc_misses, 0u);
+}
+
+TEST(Simulator, TlbWalksPriceIntoVirtualTime)
+{
+    auto exec_s = [](std::uint64_t footprint) {
+        simulator sim(make_config(1));
+        return sim
+            .run([=] {
+                sim_engine::annotate_work({.cpu_ns = 1'000'000,
+                    .footprint_bytes = footprint,
+                    .mem_accesses = 1'000'000});
+            })
+            .exec_time_s;
+    };
+    // Thrashing run pays ~63.5k walks x 12 ns on top of the same cpu_ns.
+    EXPECT_GT(exec_s(1024 * 4096), exec_s(64 * 4096) + 5e-4);
+}
+
+namespace {
+
+// Single producer, flat spawn: every task starts on core 0's queue, so
+// the victim policy fully determines how the other 19 cores find work.
+sim_report run_flat(threads::victim_policy victim, unsigned cores = 20)
+{
+    sim_config config = make_config(cores);
+    config.victim = victim;
+    simulator sim(config);
+    return sim.run([] {
+        std::vector<decltype(sim_engine::async([] {}))> fs;
+        for (int i = 0; i < 400; ++i)
+            fs.push_back(sim_engine::async(
+                [] { sim_engine::annotate_work({.cpu_ns = 20'000}); }));
+        for (auto& f : fs)
+            f.get();
+    });
+}
+
+}    // namespace
+
+TEST(Simulator, VictimPolicyDefaultIsRandomAndByteStable)
+{
+    EXPECT_EQ(sim_config{}.victim, threads::victim_policy::random);
+    // Explicit random must match the default exactly (the pre-locality
+    // results every byte-pinned test in this repo relies on).
+    auto const a = run_flat(threads::victim_policy::random);
+    sim_config config = make_config(20);
+    simulator sim(config);
+    auto const b = sim.run([] {
+        std::vector<decltype(sim_engine::async([] {}))> fs;
+        for (int i = 0; i < 400; ++i)
+            fs.push_back(sim_engine::async(
+                [] { sim_engine::annotate_work({.cpu_ns = 20'000}); }));
+        for (auto& f : fs)
+            f.get();
+    });
+    EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.remote_steals, b.remote_steals);
+}
+
+TEST(Simulator, NumaVictimPolicyIsDeterministicPerConfig)
+{
+    auto const a = run_flat(threads::victim_policy::numa);
+    auto const b = run_flat(threads::victim_policy::numa);
+    EXPECT_FALSE(a.failed);
+    EXPECT_DOUBLE_EQ(a.exec_time_s, b.exec_time_s);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.remote_steals, b.remote_steals);
+    EXPECT_EQ(a.tasks_executed, 401u);
+}
+
+TEST(Simulator, NumaVictimPolicyLowersRemoteStealShare)
+{
+    auto const random = run_flat(threads::victim_policy::random);
+    auto const numa = run_flat(threads::victim_policy::numa);
+    ASSERT_GT(random.steals, 0u);
+    ASSERT_GT(numa.steals, 0u);
+    double const random_share = static_cast<double>(random.remote_steals) /
+        static_cast<double>(random.steals);
+    double const numa_share = static_cast<double>(numa.remote_steals) /
+        static_cast<double>(numa.steals);
+    // Same-socket-first probing: fewer cross-socket raids per steal.
+    EXPECT_LT(numa_share, random_share);
+    // On a single socket the policies are identical by construction.
+    auto const one_socket_a = run_flat(threads::victim_policy::numa, 8);
+    auto const one_socket_b = run_flat(threads::victim_policy::random, 8);
+    EXPECT_DOUBLE_EQ(one_socket_a.exec_time_s, one_socket_b.exec_time_s);
+    EXPECT_EQ(one_socket_a.steals, one_socket_b.steals);
+}
+
 TEST(MachineDesc, TableIIIDefaults)
 {
     auto const m = machine_desc::ivy_bridge_2s_20c();

@@ -5,6 +5,7 @@
 #include <minihpx/threads/stack.hpp>
 #include <minihpx/threads/thread_data.hpp>
 #include <minihpx/threads/thread_queue.hpp>
+#include <minihpx/threads/topology.hpp>
 #include <minihpx/util/unique_function.hpp>
 
 #include <gtest/gtest.h>
@@ -449,4 +450,90 @@ TEST(UniqueFunction, ArgumentsAndReturn)
     minihpx::util::unique_function<int(int, int)> f(
         [](int a, int b) { return a * 10 + b; });
     EXPECT_EQ(f(3, 4), 34);
+}
+
+// --------------------------------------------------------------- topology
+
+TEST(Topology, ParseCpulistRangesAndSingles)
+{
+    auto const cpus = mt::parse_cpulist("0-3,8,10-11");
+    EXPECT_EQ(cpus, (std::vector<unsigned>{0, 1, 2, 3, 8, 10, 11}));
+}
+
+TEST(Topology, ParseCpulistTrimsSysfsNewline)
+{
+    EXPECT_EQ(mt::parse_cpulist("4-5\n"), (std::vector<unsigned>{4, 5}));
+}
+
+TEST(Topology, ParseCpulistRejectsMalformedInput)
+{
+    EXPECT_TRUE(mt::parse_cpulist("").empty());
+    EXPECT_TRUE(mt::parse_cpulist("a-b").empty());
+    EXPECT_TRUE(mt::parse_cpulist("3-1").empty());    // descending range
+    EXPECT_TRUE(mt::parse_cpulist("1,,2").empty());
+    EXPECT_TRUE(mt::parse_cpulist("1-99999999").empty());    // sanity cap
+}
+
+TEST(Topology, DefaultIsSingleDomain)
+{
+    mt::topology const t;
+    EXPECT_EQ(t.num_domains(), 1u);
+    EXPECT_TRUE(t.same_domain(0, 17));
+}
+
+TEST(Topology, UniformStripesContiguousBlocks)
+{
+    // 8 workers over 2 domains: sockets filled first, like
+    // machine_desc::socket_of.
+    auto const t = mt::topology::uniform(8, 2);
+    EXPECT_EQ(t.num_domains(), 2u);
+    for (unsigned w = 0; w < 4; ++w)
+        EXPECT_EQ(t.domain_of(w), 0u) << w;
+    for (unsigned w = 4; w < 8; ++w)
+        EXPECT_EQ(t.domain_of(w), 1u) << w;
+    EXPECT_TRUE(t.same_domain(0, 3));
+    EXPECT_FALSE(t.same_domain(3, 4));
+}
+
+TEST(Topology, UniformRoundsUpUnevenSplit)
+{
+    // 5 workers over 2 domains: ceil(5/2)=3 per block -> {0,0,0,1,1}.
+    auto const t = mt::topology::uniform(5, 2);
+    EXPECT_EQ(t.domain_of(2), 0u);
+    EXPECT_EQ(t.domain_of(3), 1u);
+    // domain_of wraps out-of-range worker ids by table size.
+    EXPECT_EQ(t.domain_of(5), t.domain_of(0));
+}
+
+TEST(Topology, UniformClampsDegenerateShapes)
+{
+    EXPECT_EQ(mt::topology::uniform(4, 0).num_domains(), 1u);
+    // More domains than workers: one worker per domain.
+    auto const t = mt::topology::uniform(2, 8);
+    EXPECT_EQ(t.num_domains(), 2u);
+    EXPECT_FALSE(t.same_domain(0, 1));
+}
+
+TEST(Topology, ParseVictimPolicySpellings)
+{
+    using mt::victim_policy;
+    EXPECT_EQ(mt::parse_victim_policy("random"), victim_policy::random);
+    EXPECT_EQ(mt::parse_victim_policy("uniform"), victim_policy::random);
+    EXPECT_EQ(mt::parse_victim_policy("numa"), victim_policy::numa);
+    EXPECT_EQ(mt::parse_victim_policy("locality"), victim_policy::numa);
+    EXPECT_EQ(mt::parse_victim_policy("local-first"), victim_policy::numa);
+    EXPECT_FALSE(mt::parse_victim_policy("closest").has_value());
+    EXPECT_FALSE(mt::parse_victim_policy("").has_value());
+    EXPECT_STREQ(to_string(victim_policy::numa), "numa");
+    EXPECT_STREQ(to_string(victim_policy::random), "random");
+}
+
+TEST(Topology, FromSysfsNeverFailsAndCoversAllWorkers)
+{
+    // Content depends on the host (containers usually collapse to one
+    // node); assert the invariants instead of a specific shape.
+    auto const t = mt::topology::from_sysfs(16);
+    EXPECT_GE(t.num_domains(), 1u);
+    for (unsigned w = 0; w < 16; ++w)
+        EXPECT_LT(t.domain_of(w), t.num_domains()) << w;
 }
